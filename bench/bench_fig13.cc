@@ -1,0 +1,36 @@
+// Figure 13 (§7.4): the M-Lab network-trace workload — CMS frequency
+// queries over a visit log with Zipf-distributed client IPs, at 5x-class
+// compaction PowerLaw(1,1,4,1).
+//
+// Substitution: the paper uses the 2015 Paris-traceroute M-Lab log (170M
+// visits over a year); we generate a Poisson visit process with
+// Zipf(s=1.1)-distributed IPs at a laptop scale preserving the same
+// heavy-tailed frequency structure, and query visit frequencies of
+// random IPs binned by (age, length).
+#include "bench/heatmap.h"
+
+int main() {
+  ss::bench::HeatmapBenchConfig config;
+  config.title = "fig13_mlab_cms_5x";
+  config.compaction_tag = "5X-class";
+  config.decay = std::make_shared<ss::PowerLawDecay>(1, 1, 4, 1);
+  config.model = ss::ArrivalModel::kPoisson;
+  config.num_events = 1500000;
+  config.mean_interarrival = 21.0;  // ~1.5M visits over the synthetic year
+  config.error_trials = 120;
+  config.measure_latency = false;
+  config.value_universe = 20000;  // distinct client IPs
+
+  // Event source: Poisson arrivals with Zipf IPs (visit frequencies are
+  // heavy-tailed, unlike the uniform values of Figures 9-11).
+  auto gen = std::make_shared<ss::MLabTraceGenerator>(config.mean_interarrival, 20000, 1.1,
+                                                      config.seed);
+  config.event_source = [gen] { return gen->Next(); };
+  // Probe IPs with traffic-weighted (Zipf) frequency, like querying the
+  // visit counts of actually-observed clients.
+  auto zipf = std::make_shared<ss::ZipfSampler>(20000, 1.1);
+  config.value_sampler = [zipf](ss::Rng& rng) {
+    return static_cast<double>(zipf->Sample(rng));
+  };
+  return ss::bench::RunHeatmapBench(config);
+}

@@ -1,0 +1,176 @@
+// Figure 6: outlier detection on the Google-cluster-style CPU trace with
+// landmark windows.
+//
+// The workload (§7.1.2) divides time into intervals and runs a boxplot test
+// on each. With summaries alone, a spike inside a multi-interval window
+// "smears": min/max and quantile queries over every interval the window
+// covers see it, inflating false positives. Landmark windows — populated at
+// ingest by a Three-Sigma policy — pull anomalies out of the summaries and
+// pin them to their true interval, driving FPs toward zero at a modest
+// storage premium, while the moving-average (AVG) workload degrades only
+// slightly versus spending the same bytes on gentler summary decay.
+//
+// Bars reproduced: 10x with LM budget 0% / low / mid / high, and the
+// "give the space to summaries instead" ~6x summary-only control.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analytics/outlier.h"
+#include "src/workload/generators.h"
+
+namespace {
+
+using namespace ss;
+using namespace ss::bench;
+
+constexpr Timestamp kInterval = 3600;  // boxplot test per hour
+constexpr int kSamples = 100000;       // ~69 days of per-minute samples
+constexpr double kFenceK = 3.0;        // spike-scale outliers only (the paper's trace regime)
+
+struct IntervalStats {
+  double q1, q3, lo, hi, avg;
+  bool ok;
+};
+
+// Interval statistics through the store's query engine.
+IntervalStats QueryInterval(SummaryStore& store, StreamId sid, Timestamp lo, Timestamp hi) {
+  IntervalStats out{};
+  QuerySpec spec{.t1 = lo, .t2 = hi, .op = QueryOp::kQuantile, .quantile_q = 0.25};
+  auto q1 = store.Query(sid, spec);
+  spec.quantile_q = 0.75;
+  auto q3 = store.Query(sid, spec);
+  spec.op = QueryOp::kMin;
+  auto min = store.Query(sid, spec);
+  spec.op = QueryOp::kMax;
+  auto max = store.Query(sid, spec);
+  spec.op = QueryOp::kMean;
+  auto mean = store.Query(sid, spec);
+  if (!q1.ok() || !q3.ok() || !min.ok() || !max.ok() || !mean.ok()) {
+    out.ok = false;
+    return out;
+  }
+  out.q1 = q1->estimate;
+  out.q3 = q3->estimate;
+  out.lo = min->estimate;
+  out.hi = max->estimate;
+  out.avg = mean->estimate;
+  out.ok = true;
+  return out;
+}
+
+struct ConfigResult {
+  std::string name;
+  double lm_fraction;
+  double compaction;
+  size_t false_positives;
+  size_t false_negatives;
+  double fp_increase;
+  double avg_error;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6: outlier detection with landmarks (cluster trace) ===\n");
+
+  // Ground truth.
+  std::vector<Event> events;
+  {
+    ClusterTraceGenerator gen(60, 0.01, 4242);
+    for (int i = 0; i < kSamples; ++i) {
+      events.push_back(gen.Next());
+    }
+  }
+  Timestamp t_end = events.back().ts + 1;
+  OutlierReport truth = DetectOutliers(events, 0, t_end, kInterval, kFenceK);
+  size_t num_intervals = truth.interval_has_outlier.size();
+  std::vector<double> true_avgs = IntervalAverages(events, 0, t_end, kInterval);
+  std::printf("trace: %d samples, %zu hourly intervals, %zu contain outliers (%.0f%%)\n\n",
+              kSamples, num_intervals, truth.flagged,
+              100.0 * static_cast<double>(truth.flagged) / static_cast<double>(num_intervals));
+
+  struct RunDef {
+    const char* name;
+    std::shared_ptr<const DecayFunction> decay;
+    // Fraction of policy-detected anomalies given landmark storage; the
+    // paper's budget knob (2.5% / 5% / 7.5% of raw bytes) expressed as a
+    // capture probability at this scale.
+    double capture_prob;
+  };
+  const RunDef runs[] = {
+      {"10x LM=0%", std::make_shared<PowerLawDecay>(1, 1, 1, 1), 0.0},
+      {"10x LM lo", std::make_shared<PowerLawDecay>(1, 1, 1, 1), 0.33},
+      {"10x LM mid", std::make_shared<PowerLawDecay>(1, 1, 1, 1), 0.67},
+      {"10x LM hi", std::make_shared<PowerLawDecay>(1, 1, 1, 1), 1.0},
+      {"6x summary-only", std::make_shared<PowerLawDecay>(1, 1, 4, 1), 0.0},
+  };
+
+  std::printf("%-18s %8s %11s %8s %8s %12s %10s\n", "config", "LM bytes", "compaction", "FP",
+              "FN", "FP increase", "AVG err");
+  for (const RunDef& def : runs) {
+    auto store = SummaryStore::Open(StoreOptions{});
+    StreamConfig config;
+    config.decay = def.decay;
+    config.operators = OperatorSet::AggregatesOnly();
+    config.operators.quantile = true;
+    config.operators.quantile_k = 24;
+    config.raw_threshold = 8;
+    StreamId sid = *(*store)->CreateStream(std::move(config));
+
+    ThreeSigmaPolicy policy(3.0, 500);
+    Rng budget_rng(99);
+    for (const Event& e : events) {
+      bool landmark = policy.Observe(e.value) && def.capture_prob > 0 &&
+                      budget_rng.NextBernoulli(def.capture_prob);
+      if (landmark) {
+        (void)(*store)->BeginLandmark(sid, e.ts);
+        (void)(*store)->Append(sid, e.ts, e.value);
+        (void)(*store)->EndLandmark(sid, e.ts);
+      } else {
+        (void)(*store)->Append(sid, e.ts, e.value);
+      }
+    }
+
+    auto* stream = (*store)->GetStream(sid).value();
+    double lm_bytes = 0;
+    for (const auto* lm : stream->LandmarksOverlapping(0, t_end)) {
+      lm_bytes += static_cast<double>(lm->SizeBytes());
+    }
+    double raw_bytes = static_cast<double>(events.size()) * 16.0;
+    double store_bytes = static_cast<double>(stream->SizeBytes());
+
+    OutlierReport detected;
+    detected.interval_has_outlier.assign(num_intervals, false);
+    double avg_err_acc = 0;
+    size_t avg_cells = 0;
+    for (size_t i = 0; i < num_intervals; ++i) {
+      Timestamp lo = static_cast<Timestamp>(i) * kInterval;
+      Timestamp hi = lo + kInterval - 1;
+      IntervalStats stats = QueryInterval(**store, sid, lo, hi);
+      if (!stats.ok) {
+        continue;
+      }
+      double iqr = stats.q3 - stats.q1;
+      bool flagged = stats.hi > stats.q3 + kFenceK * iqr || stats.lo < stats.q1 - kFenceK * iqr;
+      if (flagged) {
+        detected.interval_has_outlier[i] = true;
+        ++detected.flagged;
+      }
+      if (true_avgs[i] != 0) {
+        avg_err_acc += std::abs(stats.avg - true_avgs[i]) / std::abs(true_avgs[i]);
+        ++avg_cells;
+      }
+    }
+    OutlierAccuracy acc = CompareOutlierReports(truth, detected);
+    std::printf("%-18s %7.2f%% %10.1fx %8zu %8zu %11.1f%% %9.4f\n", def.name,
+                100.0 * lm_bytes / raw_bytes, raw_bytes / store_bytes, acc.false_positives,
+                acc.false_negatives,
+                100.0 * static_cast<double>(acc.false_positives) /
+                    static_cast<double>(truth.flagged),
+                avg_err_acc / static_cast<double>(avg_cells));
+  }
+  std::printf("\nshape check vs paper: FP increase falls monotonically with LM budget toward 0; "
+              "the 6x summary-only control keeps a high FP rate; AVG error stays small "
+              "throughout and is slightly better when space goes to summaries.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 7(b): cold-cache query-latency distribution. Count queries across
+// all 16 (age, length) classes against a disk-resident SummaryStore, with
+// every internal cache (window cache, LSM block cache) dropped before each
+// query — the paper's worst-case methodology.
+//
+// Shape to check: a CDF with low median and a bounded tail (the paper's
+// PB-scale numbers are 1.3s median / <70s worst-case; at laptop scale the
+// absolute values are milliseconds, the stability is the point).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workload/generators.h"
+
+namespace {
+
+using namespace ss;
+using namespace ss::bench;
+
+constexpr uint64_t kNumEvents = 2000000;
+constexpr int kQueriesPerClass = 40;
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 7(b): cold-cache query latency CDF ===\n");
+  ScopedTempDir dir("fig7b");
+  StoreOptions options;
+  options.dir = dir.path();
+  auto store = SummaryStore::Open(options);
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  config.operators = OperatorSet::Microbench();
+  config.raw_threshold = 32;
+  StreamId sid = *(*store)->CreateStream(std::move(config));
+
+  SyntheticStreamSpec spec;
+  spec.arrival = ArrivalKind::kPoisson;
+  spec.mean_interarrival = 16.0;
+  spec.seed = 11;
+  SyntheticStream gen(spec);
+  Timestamp start = 0;
+  Timestamp now = 0;
+  for (uint64_t i = 0; i < kNumEvents; ++i) {
+    Event e = gen.Next();
+    if (i == 0) {
+      start = e.ts;
+    }
+    now = e.ts;
+    (void)(*store)->Append(sid, e.ts, e.value);
+  }
+  (void)(*store)->EvictAll();
+  std::printf("store: %llu events on disk (%.1f MB), %zu windows\n",
+              static_cast<unsigned long long>(kNumEvents),
+              static_cast<double>((*store)->backend().ApproximateSizeBytes()) / 1e6,
+              (*store)->GetStream(sid).value()->window_count());
+
+  std::vector<double> latencies;
+  Rng rng(12);
+  for (int ai = 0; ai < 4; ++ai) {
+    for (int li = 0; li < 4; ++li) {
+      for (int q = 0; q < kQueriesPerClass; ++q) {
+        Timestamp t1;
+        Timestamp t2;
+        if (!SampleQueryRange(rng, now, start, ai, li, &t1, &t2)) {
+          continue;
+        }
+        (*store)->DropCaches();
+        QuerySpec query{.t1 = t1, .t2 = t2, .op = QueryOp::kCount};
+        Stopwatch timer;
+        auto result = (*store)->Query(sid, query);
+        if (result.ok()) {
+          latencies.push_back(timer.ElapsedMillis());
+        }
+      }
+    }
+  }
+
+  std::printf("\n%d cold-cache count queries across all (age,length) classes\n",
+              static_cast<int>(latencies.size()));
+  std::printf("%12s %14s\n", "percentile", "latency (ms)");
+  for (double pct : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    std::printf("%11.0f%% %14.2f\n", pct, Percentile(latencies, pct));
+  }
+  std::printf("\ntail distribution P(latency >= x):\n");
+  std::vector<double> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  for (double x : {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0}) {
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), x);
+    double p = static_cast<double>(sorted.end() - it) / static_cast<double>(sorted.size());
+    std::printf("  P(>= %6.1f ms) = %.4f\n", x, p);
+  }
+  return 0;
+}

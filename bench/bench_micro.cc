@@ -1,0 +1,194 @@
+// Component microbenchmarks (google-benchmark): per-operator update and
+// union costs, ingest cost per append under different decay families, query
+// cost vs range length, and LSM backend put/get. These quantify the design
+// choices DESIGN.md calls out (merge-heap ingest, raw-threshold
+// materialization, block-cached reads).
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/enum_store.h"
+#include "src/core/summary_store.h"
+#include "src/random/rng.h"
+#include "src/sketch/bloom.h"
+#include "src/sketch/cms.h"
+#include "src/sketch/hyperloglog.h"
+#include "src/sketch/quantile.h"
+#include "src/storage/lsm_store.h"
+#include "src/storage/memory_backend.h"
+#include "src/workload/generators.h"
+
+namespace {
+
+using namespace ss;
+
+// ------------------------------------------------------------------ sketches
+
+void BM_BloomUpdate(benchmark::State& state) {
+  BloomFilter bloom(1024, 5);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    bloom.Update(0, static_cast<double>(i++));
+  }
+}
+BENCHMARK(BM_BloomUpdate);
+
+void BM_CmsUpdate(benchmark::State& state) {
+  CountMinSketch cms(static_cast<uint32_t>(state.range(0)), 5);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    cms.Update(0, static_cast<double>(i++ % 1000));
+  }
+}
+BENCHMARK(BM_CmsUpdate)->Arg(128)->Arg(1000);
+
+void BM_CmsUnion(benchmark::State& state) {
+  CountMinSketch a(static_cast<uint32_t>(state.range(0)), 5);
+  CountMinSketch b(static_cast<uint32_t>(state.range(0)), 5);
+  for (int i = 0; i < 1000; ++i) {
+    a.Update(i, i);
+    b.Update(i, i + 7);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MergeFrom(b));
+  }
+}
+BENCHMARK(BM_CmsUnion)->Arg(128)->Arg(1000);
+
+void BM_HllUpdate(benchmark::State& state) {
+  HyperLogLog hll(12);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    hll.Update(0, static_cast<double>(i++));
+  }
+}
+BENCHMARK(BM_HllUpdate);
+
+void BM_QuantileUpdate(benchmark::State& state) {
+  QuantileSketch sketch(128, 1);
+  Rng rng(1);
+  for (auto _ : state) {
+    sketch.Update(0, rng.NextDouble());
+  }
+}
+BENCHMARK(BM_QuantileUpdate);
+
+// -------------------------------------------------------------------- ingest
+
+void BM_StreamAppend(benchmark::State& state) {
+  MemoryBackend kv;
+  StreamConfig config;
+  if (state.range(0) == 0) {
+    config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  } else {
+    config.decay = std::make_shared<ExponentialDecay>(2.0, 1, 1);
+  }
+  config.operators = OperatorSet::Microbench();
+  config.operators.cms_width = 128;
+  config.raw_threshold = 32;
+  Stream stream(1, config, &kv);
+  Timestamp t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.Append(++t, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamAppend)->Arg(0)->Arg(1)->Name("BM_StreamAppend(0=powerlaw,1=exp)");
+
+void BM_EnumAppend(benchmark::State& state) {
+  MemoryBackend kv;
+  EnumStore store(1, &kv, 4096);
+  Timestamp t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Append(++t, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnumAppend);
+
+// -------------------------------------------------------------------- query
+
+class QueryFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (store_ != nullptr) {
+      return;
+    }
+    store_ = SummaryStore::Open(StoreOptions{}).value().release();
+    StreamConfig config;
+    config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+    config.operators = OperatorSet::Microbench();
+    config.operators.cms_width = 128;
+    config.raw_threshold = 32;
+    sid_ = *store_->CreateStream(std::move(config));
+    SyntheticStreamSpec spec;
+    spec.mean_interarrival = 16.0;
+    SyntheticStream gen(spec);
+    for (int i = 0; i < 500000; ++i) {
+      Event e = gen.Next();
+      (void)store_->Append(sid_, e.ts, e.value);
+      now_ = e.ts;
+    }
+  }
+
+  static SummaryStore* store_;
+  static StreamId sid_;
+  static Timestamp now_;
+};
+
+SummaryStore* QueryFixture::store_ = nullptr;
+StreamId QueryFixture::sid_ = 0;
+Timestamp QueryFixture::now_ = 0;
+
+BENCHMARK_DEFINE_F(QueryFixture, CountByLength)(benchmark::State& state) {
+  Timestamp length = state.range(0);
+  Rng rng(3);
+  for (auto _ : state) {
+    Timestamp t2 = now_ - 3600 - static_cast<Timestamp>(rng.NextBounded(1000000));
+    QuerySpec spec{.t1 = t2 - length, .t2 = t2, .op = QueryOp::kCount};
+    benchmark::DoNotOptimize(store_->Query(sid_, spec));
+  }
+}
+BENCHMARK_REGISTER_F(QueryFixture, CountByLength)->Arg(60)->Arg(3600)->Arg(86400)->Arg(2628000);
+
+// ------------------------------------------------------------------- storage
+
+void BM_LsmPut(benchmark::State& state) {
+  std::string dir = "/tmp/ss_bench_micro_lsm";
+  (void)RemoveDirRecursive(dir);
+  {
+    auto store = LsmStore::Open(dir);
+    Rng rng(4);
+    uint64_t i = 0;
+    std::string value(128, 'v');
+    for (auto _ : state) {
+      benchmark::DoNotOptimize((*store)->Put("key" + std::to_string(i++), value));
+    }
+    state.SetItemsProcessed(state.iterations());
+  }  // destroy (flush) before removing the directory
+  (void)RemoveDirRecursive(dir);
+}
+BENCHMARK(BM_LsmPut);
+
+void BM_LsmGetWarm(benchmark::State& state) {
+  std::string dir = "/tmp/ss_bench_micro_lsm_get";
+  (void)RemoveDirRecursive(dir);
+  {
+    auto store = LsmStore::Open(dir);
+    std::string value(128, 'v');
+    for (int i = 0; i < 100000; ++i) {
+      (void)(*store)->Put("key" + std::to_string(i), value);
+    }
+    (void)(*store)->Flush();
+    Rng rng(5);
+    for (auto _ : state) {
+      std::string key = "key" + std::to_string(rng.NextBounded(100000));
+      benchmark::DoNotOptimize((*store)->Get(key));
+    }
+    state.SetItemsProcessed(state.iterations());
+  }
+  (void)RemoveDirRecursive(dir);
+}
+BENCHMARK(BM_LsmGetWarm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

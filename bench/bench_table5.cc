@@ -1,0 +1,87 @@
+// Table 5: storage-compaction evolution for the decay-configuration family.
+//
+// The paper streams 16-byte tuples and reports compaction = (raw size) /
+// (store size) at 10 GB, 100 GB and 1000 GB of raw data per configuration.
+// Store size = (number of decayed windows) × (per-window bytes); the window
+// count comes from the exact decay arithmetic (Table 4 / Appendix A), which
+// this binary evaluates via DecaySequence::WindowCountFor — the same code
+// the live ingest path uses for target-bucket boundaries. A live-ingest
+// cross-check validates the analytic count on a small stream.
+//
+// The per-window byte cost is calibrated once (c = 28,284 B) so that
+// PowerLaw(1,1,1,1) reproduces the paper's 10x/32x/100x column — every other
+// row then follows from the decay math with no further freedom.
+#include "bench/bench_util.h"
+#include "src/storage/memory_backend.h"
+
+namespace {
+
+using namespace ss;
+using namespace ss::bench;
+
+constexpr double kWindowBytes = 28284.0;
+constexpr double kTupleBytes = 16.0;
+
+double CompactionFor(const DecaySequence& seq, double raw_gb) {
+  double raw_bytes = raw_gb * (1 << 30);
+  auto n = static_cast<uint64_t>(raw_bytes / kTupleBytes);
+  double windows = static_cast<double>(seq.WindowCountFor(n));
+  return raw_bytes / (windows * kWindowBytes);
+}
+
+void PrintRow(const std::string& name, const DecaySequence& seq) {
+  std::printf("%-24s %9.1fx %9.1fx %9.1fx\n", name.c_str(), CompactionFor(seq, 10),
+              CompactionFor(seq, 100), CompactionFor(seq, 1000));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 5: compaction vs decay configuration ===\n");
+  std::printf("%-24s %10s %10s %10s   (raw stream size)\n", "decay", "10GB", "100GB", "1000GB");
+
+  struct PowerRow {
+    uint32_t p, q, r, s;
+  };
+  const PowerRow power_rows[] = {
+      {1, 1, 88, 1}, {1, 1, 16, 1}, {1, 1, 8, 1}, {1, 1, 4, 1},
+      {1, 1, 1, 1},  {1, 2, 48, 1}, {1, 2, 5, 1},
+  };
+  for (const auto& row : power_rows) {
+    auto decay = std::make_shared<PowerLawDecay>(row.p, row.q, row.r, row.s);
+    PrintRow(decay->Describe(), DecaySequence(decay));
+  }
+  struct ExpRow {
+    double b;
+    uint32_t r, s;
+  };
+  const ExpRow exp_rows[] = {{2, 88, 1}, {2, 32, 1}, {2, 1, 1}, {3, 1, 1}};
+  for (const auto& row : exp_rows) {
+    auto decay = std::make_shared<ExponentialDecay>(row.b, row.r, row.s);
+    PrintRow(decay->Describe(), DecaySequence(decay));
+  }
+
+  // Live-ingest cross-check: the analytic window count must match a real
+  // ingest through Algorithm 1 (within the transient tail of un-merged
+  // windows at the stream head).
+  std::printf("\nlive-ingest cross-check (PowerLaw(1,1,1,1), 1M elements):\n");
+  MemoryBackend kv;
+  auto decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  StreamConfig config;
+  config.decay = decay;
+  config.operators = OperatorSet::AggregatesOnly();
+  config.raw_threshold = 8;
+  Stream stream(1, config, &kv);
+  uint64_t n = 1000000;
+  for (uint64_t i = 1; i <= n; ++i) {
+    (void)stream.Append(static_cast<Timestamp>(i), 1.0);
+  }
+  DecaySequence seq(decay);
+  std::printf("  analytic windows: %llu, live windows: %zu (ratio %.2f)\n",
+              static_cast<unsigned long long>(seq.WindowCountFor(n)), stream.window_count(),
+              static_cast<double>(stream.window_count()) /
+                  static_cast<double>(seq.WindowCountFor(n)));
+  std::printf("\npaper row check: PowerLaw(1,1,1,1) = 10x / 32x / 100x; "
+              "Exponential(2,1,1) ≈ 8600x / 77000x / 700000x.\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Shared infrastructure for the paper-reproduction benchmark harnesses:
+// ground-truth oracle over the raw event stream, (age, length) query-class
+// machinery (§7.2.2, Figure 8), percentile helpers, and heatmap printing in
+// the style of Figures 9-11/13.
+#ifndef SUMMARYSTORE_BENCH_BENCH_UTIL_H_
+#define SUMMARYSTORE_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/summary_store.h"
+#include "src/random/rng.h"
+#include "src/storage/file_util.h"
+
+namespace ss::bench {
+
+// ---------------------------------------------------------------- time scale
+// Stream time is in seconds; the synthetic "year" of §7.2.2 with its four
+// calendar-based query classes.
+inline constexpr Timestamp kMinute = 60;
+inline constexpr Timestamp kHour = 3600;
+inline constexpr Timestamp kDay = 86400;
+inline constexpr Timestamp kMonth = 2628000;  // year / 12
+inline constexpr Timestamp kYear = 31536000;
+
+inline const char* kClassNames[4] = {"min", "hr", "day", "mon"};
+inline const Timestamp kClassUnits[4] = {kMinute, kHour, kDay, kMonth};
+
+// ------------------------------------------------------------------- oracle
+// Exact answers over the raw stream, for measuring query error.
+class Oracle {
+ public:
+  void Add(const Event& event) {
+    ts_.push_back(event.ts);
+    prefix_sum_.push_back((prefix_sum_.empty() ? 0.0 : prefix_sum_.back()) + event.value);
+    by_value_[event.value].push_back(event.ts);
+  }
+
+  size_t size() const { return ts_.size(); }
+  Timestamp first_ts() const { return ts_.front(); }
+  Timestamp last_ts() const { return ts_.back(); }
+
+  // Count of events with t1 <= ts <= t2.
+  double Count(Timestamp t1, Timestamp t2) const {
+    auto [lo, hi] = Range(t1, t2);
+    return static_cast<double>(hi - lo);
+  }
+
+  double Sum(Timestamp t1, Timestamp t2) const {
+    auto [lo, hi] = Range(t1, t2);
+    if (hi == lo) {
+      return 0.0;
+    }
+    return prefix_sum_[hi - 1] - (lo == 0 ? 0.0 : prefix_sum_[lo - 1]);
+  }
+
+  double Frequency(double value, Timestamp t1, Timestamp t2) const {
+    auto it = by_value_.find(value);
+    if (it == by_value_.end()) {
+      return 0.0;
+    }
+    const auto& v = it->second;
+    auto lo = std::lower_bound(v.begin(), v.end(), t1);
+    auto hi = std::upper_bound(v.begin(), v.end(), t2);
+    return static_cast<double>(hi - lo);
+  }
+
+  bool Exists(double value, Timestamp t1, Timestamp t2) const {
+    return Frequency(value, t1, t2) > 0;
+  }
+
+ private:
+  std::pair<size_t, size_t> Range(Timestamp t1, Timestamp t2) const {
+    auto lo = std::lower_bound(ts_.begin(), ts_.end(), t1);
+    auto hi = std::upper_bound(ts_.begin(), ts_.end(), t2);
+    return {static_cast<size_t>(lo - ts_.begin()), static_cast<size_t>(hi - ts_.begin())};
+  }
+
+  std::vector<Timestamp> ts_;
+  std::vector<double> prefix_sum_;
+  std::map<double, std::vector<Timestamp>> by_value_;
+};
+
+// --------------------------------------------------------------- percentiles
+inline double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  double pos = pct / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+// ------------------------------------------------------------ query sampling
+// Draws a random query from (age, length) class (ai, li): both uniform in
+// [unit, 2·unit), anchored at the stream's end (Figure 8: age = distance
+// from now to the query's newer edge).
+inline bool SampleQueryRange(Rng& rng, Timestamp now, Timestamp start, int ai, int li,
+                             Timestamp* t1, Timestamp* t2) {
+  Timestamp age = kClassUnits[ai] +
+                  static_cast<Timestamp>(rng.NextBounded(static_cast<uint64_t>(kClassUnits[ai])));
+  Timestamp len = kClassUnits[li] +
+                  static_cast<Timestamp>(rng.NextBounded(static_cast<uint64_t>(kClassUnits[li])));
+  *t2 = now - age;
+  *t1 = *t2 - len;
+  return *t1 >= start;
+}
+
+// ------------------------------------------------------------------ heatmaps
+// 4x4 cell grid, indexed [length][age] like the paper's figures (x = age,
+// y = length).
+struct Heatmap {
+  std::string op;
+  std::string metric;
+  std::string tag;  // e.g. compaction label
+  double cell[4][4] = {};
+
+  void Print() const {
+    std::printf("\n%s  (%s)  %s\n", op.c_str(), metric.c_str(), tag.c_str());
+    std::printf("%8s", "len\\age");
+    for (const char* name : kClassNames) {
+      std::printf(" %9s", name);
+    }
+    std::printf("\n");
+    for (int li = 0; li < 4; ++li) {
+      std::printf("%8s", kClassNames[li]);
+      for (int ai = 0; ai < 4; ++ai) {
+        double v = cell[li][ai];
+        if (v == 0) {
+          std::printf(" %9s", "0");
+        } else if (v >= 1000 || v < 0.001) {
+          std::printf(" %9.1e", v);
+        } else {
+          std::printf(" %9.3f", v);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+};
+
+// Relative error vs. a baseline; when the baseline is zero, report the raw
+// estimate magnitude (this is what makes the paper's month-age/minute-length
+// cells blow up to 10^3-10^6).
+inline double RelativeError(double estimate, double truth) {
+  if (truth == 0.0) {
+    return std::abs(estimate);
+  }
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+// ------------------------------------------------------------------ tempdirs
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& name) : path_("/tmp/ss_bench_" + name) {
+    (void)RemoveDirRecursive(path_);
+  }
+  ~ScopedTempDir() { (void)RemoveDirRecursive(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace ss::bench
+
+#endif  // SUMMARYSTORE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,195 @@
+// Driver for the §7.2.2 microbenchmark heatmaps (Figures 9, 10, 11, 13):
+// ingest a synthetic stream under a given decay, then measure per
+// (age, length) class — for each of Count, Sum, Bloom filter, CMS —
+// the 95%-ile query error, the 95%-ile relative CI width, and (optionally)
+// cold-cache query latency.
+#ifndef SUMMARYSTORE_BENCH_HEATMAP_H_
+#define SUMMARYSTORE_BENCH_HEATMAP_H_
+
+#include <functional>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/workload/generators.h"
+
+namespace ss::bench {
+
+struct HeatmapBenchConfig {
+  std::string title;
+  std::string compaction_tag;  // e.g. "100X" (paper label); measured is printed too
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  double mean_interarrival = 16.0;  // seconds; ~2M events/synthetic year
+  int64_t value_universe = 1000;
+  std::shared_ptr<const DecayFunction> decay;
+  ArrivalModel model = ArrivalModel::kGeneric;
+  uint64_t num_events = 2000000;
+  int error_trials = 150;   // queries per (age,length) cell for error/CI
+  int latency_trials = 6;   // cold-cache queries per cell per op
+  bool measure_latency = false;
+  uint32_t cms_width = 1000;
+  uint32_t bloom_bits = 1024;
+  uint64_t seed = 20170101;
+  // Alternative event source (overrides the synthetic stream when set);
+  // must produce monotone timestamps.
+  std::function<Event()> event_source;
+  // Alternative query-operand sampler for kExistence/kFrequency probes
+  // (defaults to uniform over the value universe).
+  std::function<double(Rng&)> value_sampler;
+};
+
+inline int RunHeatmapBench(const HeatmapBenchConfig& config) {
+  ScopedTempDir dir(config.title);
+  StoreOptions options;
+  if (config.measure_latency) {
+    options.dir = dir.path();
+  }
+  auto store = SummaryStore::Open(options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  StreamConfig stream_config;
+  stream_config.decay = config.decay;
+  stream_config.operators = OperatorSet::Microbench();
+  stream_config.operators.bloom_bits = config.bloom_bits;
+  stream_config.operators.cms_width = config.cms_width;
+  stream_config.operators.cms_depth = 5;
+  stream_config.arrival_model = config.model;
+  stream_config.raw_threshold = 32;
+  stream_config.seed = config.seed;
+  StreamId sid = *(*store)->CreateStream(std::move(stream_config));
+
+  std::printf("=== %s ===\n", config.title.c_str());
+  std::printf("ingesting %llu events (decay %s)...\n",
+              static_cast<unsigned long long>(config.num_events),
+              config.decay->Describe().c_str());
+
+  Oracle oracle;
+  {
+    SyntheticStreamSpec spec;
+    spec.arrival = config.arrival;
+    spec.mean_interarrival = config.mean_interarrival;
+    spec.value_universe = config.value_universe;
+    spec.seed = config.seed;
+    SyntheticStream synthetic(spec);
+    Stopwatch ingest_timer;
+    for (uint64_t i = 0; i < config.num_events; ++i) {
+      Event e = config.event_source ? config.event_source() : synthetic.Next();
+      oracle.Add(e);
+      if (auto s = (*store)->Append(sid, e.ts, e.value); !s.ok()) {
+        std::fprintf(stderr, "append failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    double secs = ingest_timer.ElapsedSeconds();
+    std::printf("ingest: %.1fs (%.0f appends/sec)\n", secs,
+                static_cast<double>(config.num_events) / secs);
+  }
+  auto* stream = (*store)->GetStream(sid).value();
+  double raw_bytes = static_cast<double>(config.num_events) * 16.0;
+  // Compaction is governed by window count (Table 5's model): at the paper's
+  // per-stream scale the fixed per-window sketch budget amortizes over
+  // billions of events; at laptop scale it dominates the byte count, so the
+  // comparable figure is events-per-window.
+  std::printf("windows: %zu (%.0f events/window avg; paper label %s; raw %.1f MB; "
+              "see bench_table5 for the byte-compaction model)\n",
+              stream->window_count(),
+              static_cast<double>(config.num_events) / static_cast<double>(stream->window_count()),
+              config.compaction_tag.c_str(), raw_bytes / 1e6);
+  if (config.measure_latency) {
+    if (auto s = (*store)->EvictAll(); !s.ok()) {
+      std::fprintf(stderr, "evict failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  Timestamp now = oracle.last_ts();
+  Timestamp start = oracle.first_ts();
+  const char* op_names[4] = {"Count", "Sum", "BloomFilter", "CMS"};
+
+  for (int op = 0; op < 4; ++op) {
+    Heatmap err{op_names[op], "Error", config.compaction_tag};
+    Heatmap ci{op_names[op], "CIwidth", config.compaction_tag};
+    Heatmap lat{op_names[op], "Latency p95 ms", config.compaction_tag};
+    Rng rng(config.seed ^ (0xbeef00 + static_cast<uint64_t>(op)));
+
+    for (int li = 0; li < 4; ++li) {
+      for (int ai = 0; ai < 4; ++ai) {
+        std::vector<double> errors;
+        std::vector<double> ci_widths;
+        std::vector<double> latencies;
+        for (int trial = 0; trial < config.error_trials; ++trial) {
+          Timestamp t1;
+          Timestamp t2;
+          if (!SampleQueryRange(rng, now, start, ai, li, &t1, &t2)) {
+            continue;
+          }
+          QuerySpec spec;
+          spec.t1 = t1;
+          spec.t2 = t2;
+          double value =
+              config.value_sampler
+                  ? config.value_sampler(rng)
+                  : static_cast<double>(
+                        rng.NextBounded(static_cast<uint64_t>(config.value_universe)));
+          bool measure_lat = config.measure_latency && trial < config.latency_trials;
+          double truth = 0;
+          switch (op) {
+            case 0:
+              spec.op = QueryOp::kCount;
+              truth = oracle.Count(t1, t2);
+              break;
+            case 1:
+              spec.op = QueryOp::kSum;
+              truth = oracle.Sum(t1, t2);
+              break;
+            case 2:
+              spec.op = QueryOp::kExistence;
+              spec.value = value;
+              truth = oracle.Exists(value, t1, t2) ? 1.0 : 0.0;
+              break;
+            case 3:
+              spec.op = QueryOp::kFrequency;
+              spec.value = value;
+              truth = oracle.Frequency(value, t1, t2);
+              break;
+          }
+          if (measure_lat) {
+            (*store)->DropCaches();
+          }
+          Stopwatch timer;
+          auto result = (*store)->Query(sid, spec);
+          if (measure_lat) {
+            latencies.push_back(timer.ElapsedMillis());
+          }
+          if (!result.ok()) {
+            continue;
+          }
+          if (op == 2) {
+            errors.push_back(result->bool_answer == (truth > 0) ? 0.0 : 1.0);
+            ci_widths.push_back(result->ci_hi - result->ci_lo);
+          } else {
+            errors.push_back(RelativeError(result->estimate, truth));
+            double denom = truth != 0 ? std::abs(truth) : 1.0;
+            ci_widths.push_back(std::min(result->CiWidth() / denom, 2.0));  // paper clamps at 2
+          }
+        }
+        err.cell[li][ai] = Percentile(errors, 95);
+        ci.cell[li][ai] = Percentile(ci_widths, 95);
+        lat.cell[li][ai] = Percentile(latencies, 95);
+      }
+    }
+    err.Print();
+    ci.Print();
+    if (config.measure_latency) {
+      lat.Print();
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace ss::bench
+
+#endif  // SUMMARYSTORE_BENCH_HEATMAP_H_

@@ -1,0 +1,29 @@
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# build/bench/ holds only the bench executables — `for b in build/bench/*`
+# then runs exactly the harness binaries.
+function(ss_bench name)
+  add_executable(${name} bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE
+    ss_core ss_baseline ss_workload ss_analytics Threads::Threads)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+ss_bench(bench_table2)
+ss_bench(bench_table5)
+ss_bench(bench_fig5)
+ss_bench(bench_fig6)
+ss_bench(bench_fig7a)
+ss_bench(bench_fig7b)
+ss_bench(bench_fig9)
+ss_bench(bench_fig10)
+ss_bench(bench_fig11)
+ss_bench(bench_fig12)
+ss_bench(bench_fig13)
+ss_bench(bench_tsm)
+
+add_executable(bench_micro bench/bench_micro.cc)
+target_link_libraries(bench_micro PRIVATE
+  ss_core ss_baseline ss_workload ss_analytics benchmark::benchmark Threads::Threads)
+set_target_properties(bench_micro PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+ss_bench(bench_ablation)
+ss_bench(bench_scale)

@@ -1,0 +1,135 @@
+// Financial time-series example (the FinTime workload the paper's §2
+// motivates): tick streams for a basket of instruments, with the
+// benchmark's three query families —
+//   * deep historic queries    (yearly aggregate statistics, old data)
+//   * short time-depth queries (today's ticks, exact)
+//   * time-moving statistics   (rolling weekly means with CIs)
+// answered from a single decayed store holding years of ticks per
+// instrument.
+//
+// Build & run:  ./build/examples/fintime
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/summary_store.h"
+#include "src/random/arrival.h"
+#include "src/random/rng.h"
+
+namespace {
+
+constexpr ss::Timestamp kDay = 86400;
+constexpr ss::Timestamp kWeek = 7 * kDay;
+constexpr ss::Timestamp kYear = 365 * kDay;
+constexpr int kInstruments = 8;
+constexpr int kYears = 3;
+
+// Geometric-random-walk tick generator for one instrument.
+class TickGenerator {
+ public:
+  TickGenerator(uint64_t seed, double open_price, double volatility, double tick_rate)
+      : rng_(seed), arrivals_(tick_rate, seed ^ 0x7157), price_(open_price),
+        volatility_(volatility) {}
+
+  ss::Event Next() {
+    ss::Timestamp ts = arrivals_.Next();
+    price_ *= std::exp(volatility_ * rng_.NextGaussian());
+    return ss::Event{ts, price_};
+  }
+
+ private:
+  ss::Rng rng_;
+  ss::PoissonArrivals arrivals_;
+  double price_;
+  double volatility_;
+};
+
+}  // namespace
+
+int main() {
+  auto store = ss::SummaryStore::Open(ss::StoreOptions{});
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<ss::StreamId> instruments;
+  ss::Timestamp horizon = 0;
+  uint64_t total_ticks = 0;
+  for (int i = 0; i < kInstruments; ++i) {
+    ss::StreamConfig config;
+    config.decay = std::make_shared<ss::PowerLawDecay>(1, 1, 4, 1);
+    config.operators = ss::OperatorSet::AggregatesOnly();
+    config.operators.quantile = true;
+    config.operators.quantile_k = 64;
+    config.arrival_model = ss::ArrivalModel::kPoisson;
+    config.raw_threshold = 64;  // today's ticks answer exactly
+    config.seed = 100 + static_cast<uint64_t>(i);
+    instruments.push_back(*(*store)->CreateStream(std::move(config)));
+
+    TickGenerator gen(42 + static_cast<uint64_t>(i), 50.0 + 20.0 * i, 0.0015,
+                      1.0 / 600.0);  // a tick every ~10 minutes
+    while (true) {
+      ss::Event e = gen.Next();
+      if (e.ts >= kYears * kYear) {
+        break;
+      }
+      (void)(*store)->Append(instruments.back(), e.ts, e.value);
+      horizon = std::max(horizon, e.ts);
+      ++total_ticks;
+    }
+  }
+  std::printf("ticks: %llu across %d instruments (%.1f MB raw) -> %.2f MB decayed (%.1fx)\n\n",
+              static_cast<unsigned long long>(total_ticks), kInstruments,
+              total_ticks * 16.0 / 1e6, (*store)->TotalSizeBytes() / 1e6,
+              total_ticks * 16.0 / static_cast<double>((*store)->TotalSizeBytes()));
+
+  // --- deep historic: yearly mean + p95 price per instrument, 2 years back.
+  std::printf("deep historic: year-1 statistics (aged ~2 years)\n");
+  std::printf("%12s %12s %12s %24s\n", "instrument", "mean", "p95", "mean 95% CI");
+  for (int i = 0; i < 4; ++i) {
+    ss::QuerySpec spec{.t1 = 0, .t2 = kYear - 1, .op = ss::QueryOp::kMean};
+    auto mean = (*store)->Query(instruments[static_cast<size_t>(i)], spec);
+    spec.op = ss::QueryOp::kQuantile;
+    spec.quantile_q = 0.95;
+    auto p95 = (*store)->Query(instruments[static_cast<size_t>(i)], spec);
+    if (!mean.ok() || !p95.ok()) {
+      continue;
+    }
+    std::printf("%12d %12.2f %12.2f     [%8.2f, %8.2f]\n", i, mean->estimate, p95->estimate,
+                mean->ci_lo, mean->ci_hi);
+  }
+
+  // --- short time-depth: today's tick count and range, answered exactly
+  // from the raw tail windows.
+  std::printf("\nshort depth: last day (exact from raw tail windows)\n");
+  std::printf("%12s %10s %12s %12s %8s\n", "instrument", "ticks", "low", "high", "exact");
+  for (int i = 0; i < 4; ++i) {
+    ss::QuerySpec spec{.t1 = horizon - kDay, .t2 = horizon, .op = ss::QueryOp::kCount};
+    auto count = (*store)->Query(instruments[static_cast<size_t>(i)], spec);
+    spec.op = ss::QueryOp::kMin;
+    auto low = (*store)->Query(instruments[static_cast<size_t>(i)], spec);
+    spec.op = ss::QueryOp::kMax;
+    auto high = (*store)->Query(instruments[static_cast<size_t>(i)], spec);
+    if (!count.ok() || !low.ok() || !high.ok()) {
+      continue;
+    }
+    std::printf("%12d %10.0f %12.2f %12.2f %8s\n", i, count->estimate, low->estimate,
+                high->estimate, count->exact ? "yes" : "no");
+  }
+
+  // --- time-moving statistics: 8-week rolling weekly mean for instrument 0,
+  // one year back (each point is a range query with a CI).
+  std::printf("\ntime-moving: weekly mean, instrument 0, one year ago\n");
+  std::printf("%10s %12s %24s\n", "week", "mean", "95% CI");
+  for (int w = 0; w < 8; ++w) {
+    ss::Timestamp t1 = kYear + static_cast<ss::Timestamp>(w) * kWeek;
+    ss::QuerySpec spec{.t1 = t1, .t2 = t1 + kWeek - 1, .op = ss::QueryOp::kMean};
+    auto mean = (*store)->Query(instruments[0], spec);
+    if (!mean.ok()) {
+      continue;
+    }
+    std::printf("%10d %12.2f     [%8.2f, %8.2f]\n", w, mean->estimate, mean->ci_lo,
+                mean->ci_hi);
+  }
+  return 0;
+}

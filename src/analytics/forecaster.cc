@@ -1,0 +1,133 @@
+#include "src/analytics/forecaster.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace ss {
+
+Status SolveLinearSystem(std::vector<double>& a, std::vector<double>& b, int n) {
+  SS_CHECK(static_cast<int>(a.size()) == n * n && static_cast<int>(b.size()) == n);
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-12) {
+      return Status::FailedPrecondition("singular system in least squares");
+    }
+    if (pivot != col) {
+      for (int k = 0; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    for (int row = col + 1; row < n; ++row) {
+      double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) {
+        continue;
+      }
+      for (int k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  for (int row = n - 1; row >= 0; --row) {
+    double acc = b[row];
+    for (int k = row + 1; k < n; ++k) {
+      acc -= a[row * n + k] * b[k];
+    }
+    b[row] = acc / a[row * n + row];
+  }
+  return Status::Ok();
+}
+
+std::vector<double> Forecaster::Features(double ts) const {
+  std::vector<double> f;
+  f.reserve(2 + 2 * options_.seasonal_periods.size() *
+                    static_cast<size_t>(options_.harmonics_per_period));
+  f.push_back(1.0);
+  f.push_back((ts - t0_) / t_scale_);
+  for (double period : options_.seasonal_periods) {
+    for (int h = 1; h <= options_.harmonics_per_period; ++h) {
+      double angle = 2.0 * M_PI * h * ts / period;
+      f.push_back(std::sin(angle));
+      f.push_back(std::cos(angle));
+    }
+  }
+  return f;
+}
+
+StatusOr<Forecaster> Forecaster::Fit(std::span<const Event> train,
+                                     const ForecasterOptions& options) {
+  if (train.size() < 4) {
+    return Status::InvalidArgument("too few training samples");
+  }
+  double t0 = static_cast<double>(train.front().ts);
+  double t_scale =
+      std::max(1.0, static_cast<double>(train.back().ts) - static_cast<double>(train.front().ts));
+
+  Forecaster model(options, {}, t0, t_scale);
+  int n = static_cast<int>(model.Features(t0).size());
+
+  // Normal equations with ridge regularization: (XᵀX + λI)·β = Xᵀy.
+  std::vector<double> xtx(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> xty(static_cast<size_t>(n), 0.0);
+  for (const Event& sample : train) {
+    std::vector<double> f = model.Features(static_cast<double>(sample.ts));
+    for (int i = 0; i < n; ++i) {
+      xty[i] += f[i] * sample.value;
+      for (int j = i; j < n; ++j) {
+        xtx[i * n + j] += f[i] * f[j];
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < i; ++j) {
+      xtx[i * n + j] = xtx[j * n + i];
+    }
+    xtx[i * n + i] += options.ridge_lambda * static_cast<double>(train.size());
+  }
+  SS_RETURN_IF_ERROR(SolveLinearSystem(xtx, xty, n));
+  model.coeffs_ = std::move(xty);
+  return model;
+}
+
+double Forecaster::Predict(Timestamp ts) const {
+  std::vector<double> f = Features(static_cast<double>(ts));
+  double acc = 0.0;
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    acc += coeffs_[i] * f[i];
+  }
+  return acc;
+}
+
+std::vector<double> Forecaster::PredictAll(std::span<const Timestamp> ts) const {
+  std::vector<double> out;
+  out.reserve(ts.size());
+  for (Timestamp t : ts) {
+    out.push_back(Predict(t));
+  }
+  return out;
+}
+
+double Smape(std::span<const double> actual, std::span<const double> predicted) {
+  SS_CHECK(actual.size() == predicted.size()) << "series length mismatch";
+  if (actual.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    double denom = (std::abs(actual[i]) + std::abs(predicted[i])) / 2.0;
+    if (denom > 0) {
+      acc += std::abs(actual[i] - predicted[i]) / denom;
+    }
+  }
+  return acc / static_cast<double>(actual.size());
+}
+
+}  // namespace ss

@@ -1,0 +1,59 @@
+// Forecasting engine (Facebook Prophet stand-in, §7.1.1).
+//
+// Prophet's core model is a (piecewise-)linear trend plus Fourier-series
+// seasonalities fit by maximum likelihood. This engine fits the same model
+// family — linear trend + configurable Fourier harmonics — by ridge least
+// squares on (timestamp, value) samples. Figure 5's experiment measures the
+// *relative* forecast error of the same engine trained on full, uniformly
+// sampled, and time-decayed data, which this model family preserves.
+#ifndef SUMMARYSTORE_SRC_ANALYTICS_FORECASTER_H_
+#define SUMMARYSTORE_SRC_ANALYTICS_FORECASTER_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/window.h"  // Event
+
+namespace ss {
+
+struct ForecasterOptions {
+  // Seasonal periods in timestamp units (e.g. one week and one year for
+  // daily data) and the number of Fourier harmonics per period.
+  std::vector<double> seasonal_periods;
+  int harmonics_per_period = 3;
+  double ridge_lambda = 1e-3;
+};
+
+class Forecaster {
+ public:
+  // Fits on training samples (need not be evenly spaced — decayed sample
+  // sets are sparse in the past by construction).
+  static StatusOr<Forecaster> Fit(std::span<const Event> train, const ForecasterOptions& options);
+
+  double Predict(Timestamp ts) const;
+  std::vector<double> PredictAll(std::span<const Timestamp> ts) const;
+
+ private:
+  Forecaster(ForecasterOptions options, std::vector<double> coeffs, double t0, double t_scale)
+      : options_(std::move(options)), coeffs_(std::move(coeffs)), t0_(t0), t_scale_(t_scale) {}
+
+  std::vector<double> Features(double ts) const;
+
+  ForecasterOptions options_;
+  std::vector<double> coeffs_;
+  double t0_;       // time origin for numeric conditioning
+  double t_scale_;  // time scale for numeric conditioning
+};
+
+// Symmetric mean absolute percentage error between series (same length);
+// the forecast-accuracy metric used by the Figure 5 harness.
+double Smape(std::span<const double> actual, std::span<const double> predicted);
+
+// Solves the dense symmetric system A·x = b in place (Gaussian elimination
+// with partial pivoting). A is row-major n×n. Fails on singular systems.
+Status SolveLinearSystem(std::vector<double>& a, std::vector<double>& b, int n);
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_ANALYTICS_FORECASTER_H_

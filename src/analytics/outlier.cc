@@ -1,0 +1,81 @@
+#include "src/analytics/outlier.h"
+
+#include <cmath>
+
+namespace ss {
+
+OutlierReport DetectOutliers(std::span<const Event> events, Timestamp t_start, Timestamp t_end,
+                             Timestamp interval, double fence_k) {
+  OutlierReport report;
+  if (interval <= 0 || t_end <= t_start) {
+    return report;
+  }
+  size_t num_intervals = static_cast<size_t>((t_end - t_start + interval - 1) / interval);
+  report.interval_has_outlier.assign(num_intervals, false);
+
+  size_t idx = 0;
+  std::vector<double> bucket;
+  for (size_t i = 0; i < num_intervals; ++i) {
+    Timestamp lo = t_start + static_cast<Timestamp>(i) * interval;
+    Timestamp hi = lo + interval;
+    bucket.clear();
+    while (idx < events.size() && events[idx].ts < hi) {
+      if (events[idx].ts >= lo) {
+        bucket.push_back(events[idx].value);
+      }
+      ++idx;
+    }
+    if (bucket.size() >= 4) {
+      BoxplotStats stats = BoxplotTest(bucket, fence_k);
+      if (stats.has_outlier) {
+        report.interval_has_outlier[i] = true;
+        ++report.flagged;
+      }
+    }
+  }
+  return report;
+}
+
+OutlierAccuracy CompareOutlierReports(const OutlierReport& truth, const OutlierReport& test) {
+  OutlierAccuracy acc;
+  size_t n = std::min(truth.interval_has_outlier.size(), test.interval_has_outlier.size());
+  for (size_t i = 0; i < n; ++i) {
+    bool t = truth.interval_has_outlier[i];
+    bool p = test.interval_has_outlier[i];
+    if (t && p) {
+      ++acc.true_positives;
+    } else if (!t && p) {
+      ++acc.false_positives;
+    } else if (t && !p) {
+      ++acc.false_negatives;
+    }
+  }
+  return acc;
+}
+
+std::vector<double> IntervalAverages(std::span<const Event> events, Timestamp t_start,
+                                     Timestamp t_end, Timestamp interval) {
+  std::vector<double> averages;
+  if (interval <= 0 || t_end <= t_start) {
+    return averages;
+  }
+  size_t num_intervals = static_cast<size_t>((t_end - t_start + interval - 1) / interval);
+  averages.assign(num_intervals, 0.0);
+  std::vector<size_t> counts(num_intervals, 0);
+  for (const Event& event : events) {
+    if (event.ts < t_start || event.ts >= t_end) {
+      continue;
+    }
+    size_t i = static_cast<size_t>((event.ts - t_start) / interval);
+    averages[i] += event.value;
+    ++counts[i];
+  }
+  for (size_t i = 0; i < num_intervals; ++i) {
+    if (counts[i] > 0) {
+      averages[i] /= static_cast<double>(counts[i]);
+    }
+  }
+  return averages;
+}
+
+}  // namespace ss

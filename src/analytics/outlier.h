@@ -1,0 +1,72 @@
+// Outlier-detection workload (§7.1.2): divide time into fixed intervals and
+// run the standard boxplot test on each, plus the Three-Sigma landmark
+// policy the paper suggests for annotating anomalies at ingest (§4.3).
+#ifndef SUMMARYSTORE_SRC_ANALYTICS_OUTLIER_H_
+#define SUMMARYSTORE_SRC_ANALYTICS_OUTLIER_H_
+
+#include <span>
+#include <vector>
+
+#include "src/core/window.h"  // Event
+#include "src/stats/boxplot.h"
+#include "src/stats/welford.h"
+
+namespace ss {
+
+struct OutlierReport {
+  // One flag per interval: does the interval contain a boxplot outlier?
+  std::vector<bool> interval_has_outlier;
+  size_t flagged = 0;
+};
+
+// Runs the boxplot test on each interval of width `interval` over
+// [t_start, t_end); events must be time-ordered.
+OutlierReport DetectOutliers(std::span<const Event> events, Timestamp t_start, Timestamp t_end,
+                             Timestamp interval, double fence_k = 1.5);
+
+// Outlier-detection quality vs. a ground-truth report.
+struct OutlierAccuracy {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  double FalsePositiveIncrease(size_t baseline_positives) const {
+    return baseline_positives == 0
+               ? 0.0
+               : static_cast<double>(false_positives) / static_cast<double>(baseline_positives);
+  }
+};
+OutlierAccuracy CompareOutlierReports(const OutlierReport& truth, const OutlierReport& test);
+
+// Streaming Three-Sigma landmark policy (§4.3): flags a sample whose
+// deviation from the running mean exceeds k·σ. Used at ingest to decide
+// when to open/close landmark windows.
+class ThreeSigmaPolicy {
+ public:
+  explicit ThreeSigmaPolicy(double k = 3.0, int64_t warmup = 100) : k_(k), warmup_(warmup) {}
+
+  // Returns true if `value` is anomalous under the statistics so far, then
+  // folds it in.
+  bool Observe(double value) {
+    bool anomalous = false;
+    if (acc_.count() >= warmup_) {
+      double sigma = acc_.StdDev();
+      anomalous = sigma > 0 && std::abs(value - acc_.Mean()) > k_ * sigma;
+    }
+    acc_.Add(value);
+    return anomalous;
+  }
+
+ private:
+  double k_;
+  int64_t warmup_;
+  WelfordAccumulator acc_;
+};
+
+// Simple moving average over fixed intervals (the aggregation workload run
+// alongside outlier detection in Figure 6).
+std::vector<double> IntervalAverages(std::span<const Event> events, Timestamp t_start,
+                                     Timestamp t_end, Timestamp interval);
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_ANALYTICS_OUTLIER_H_

@@ -1,0 +1,41 @@
+#include "src/analytics/reconstruct.h"
+
+#include <algorithm>
+
+#include "src/sketch/reservoir.h"
+
+namespace ss {
+
+StatusOr<std::vector<Event>> ReconstructSamples(Stream& stream, Timestamp t1, Timestamp t2) {
+  SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views, stream.WindowsOverlapping(t1, t2));
+  std::vector<Event> samples;
+  for (const auto& view : views) {
+    const SummaryWindow& window = *view.window;
+    if (window.is_raw()) {
+      for (const Event& event : window.raw()) {
+        if (event.ts >= t1 && event.ts <= t2) {
+          samples.push_back(event);
+        }
+      }
+      continue;
+    }
+    const auto* reservoir =
+        SummaryCast<ReservoirSample>(window.Find(SummaryKind::kReservoir));
+    if (reservoir == nullptr) {
+      return Status::FailedPrecondition("stream has no reservoir (sampled) operator");
+    }
+    for (const auto& item : reservoir->items()) {
+      if (item.ts >= t1 && item.ts <= t2) {
+        samples.push_back(Event{item.ts, item.value});
+      }
+    }
+  }
+  for (const Event& event : stream.QueryLandmarks(t1, t2)) {
+    samples.push_back(event);
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  return samples;
+}
+
+}  // namespace ss

@@ -1,0 +1,20 @@
+// Sample-based series reconstruction from a SummaryStore stream: the bridge
+// between the store and sample-consuming analytics (forecasting, outlier
+// scans). Raw windows and landmarks contribute their events exactly;
+// materialized windows contribute their reservoir samples — so a
+// time-decayed stream yields a sample set that is dense for recent data and
+// progressively sparser with age, exactly the input §7.1.1 feeds Prophet.
+#ifndef SUMMARYSTORE_SRC_ANALYTICS_RECONSTRUCT_H_
+#define SUMMARYSTORE_SRC_ANALYTICS_RECONSTRUCT_H_
+
+#include <vector>
+
+#include "src/core/stream.h"
+
+namespace ss {
+
+StatusOr<std::vector<Event>> ReconstructSamples(Stream& stream, Timestamp t1, Timestamp t2);
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_ANALYTICS_RECONSTRUCT_H_

@@ -1,0 +1,233 @@
+#include "src/baseline/enum_store.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/serde.h"
+
+namespace ss {
+
+namespace {
+
+// Key layout: 'e' <sid:8BE> <seq:8BE>; meta under 'f' <sid:8BE>.
+std::string EnumBlockKey(StreamId sid, uint64_t seq) {
+  std::string key = "e";
+  AppendBigEndian64(&key, sid);
+  AppendBigEndian64(&key, seq);
+  return key;
+}
+
+std::string EnumMetaKey(StreamId sid) {
+  std::string key = "f";
+  AppendBigEndian64(&key, sid);
+  return key;
+}
+
+}  // namespace
+
+EnumStore::EnumStore(StreamId id, KvBackend* kv, size_t block_events)
+    : id_(id), kv_(kv), block_events_(block_events) {}
+
+std::string EnumStore::BlockKey(uint64_t seq) const { return EnumBlockKey(id_, seq); }
+
+Status EnumStore::Append(Timestamp ts, double value) {
+  if (last_ts_ != kMinTimestamp && ts < last_ts_) {
+    return Status::InvalidArgument("out-of-order append");
+  }
+  last_ts_ = ts;
+  ++count_;
+  buffer_.push_back(Event{ts, value});
+  if (buffer_.size() >= block_events_) {
+    return FlushBuffer();
+  }
+  return Status::Ok();
+}
+
+Status EnumStore::FlushBuffer() {
+  if (buffer_.empty()) {
+    return Status::Ok();
+  }
+  Writer writer;
+  writer.PutVarint(buffer_.size());
+  writer.PutSignedVarint(buffer_.front().ts);
+  Timestamp prev = buffer_.front().ts;
+  for (const Event& event : buffer_) {
+    writer.PutSignedVarint(event.ts - prev);
+    writer.PutDouble(event.value);
+    prev = event.ts;
+  }
+  uint64_t seq = next_seq_++;
+  SS_RETURN_IF_ERROR(kv_->Put(BlockKey(seq), writer.data()));
+  blocks_.push_back(BlockMeta{seq, buffer_.front().ts, buffer_.back().ts, buffer_.size()});
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Status EnumStore::Flush() {
+  SS_RETURN_IF_ERROR(FlushBuffer());
+  Writer writer;
+  writer.PutVarint(count_);
+  writer.PutVarint(next_seq_);
+  writer.PutSignedVarint(last_ts_);
+  return kv_->Put(EnumMetaKey(id_), writer.data());
+}
+
+StatusOr<std::unique_ptr<EnumStore>> EnumStore::Load(StreamId id, KvBackend* kv,
+                                                     size_t block_events) {
+  auto store = std::make_unique<EnumStore>(id, kv, block_events);
+  SS_ASSIGN_OR_RETURN(std::string meta, kv->Get(EnumMetaKey(id)));
+  Reader reader(meta);
+  SS_ASSIGN_OR_RETURN(store->count_, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(store->next_seq_, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(store->last_ts_, reader.ReadSignedVarint());
+
+  std::string prefix = "e";
+  AppendBigEndian64(&prefix, id);
+  Status scan_status = Status::Ok();
+  SS_RETURN_IF_ERROR(kv->Scan(prefix, PrefixEnd(prefix),
+                              [&](std::string_view key, std::string_view value) {
+                                uint64_t seq = ReadBigEndian64(key.substr(9));
+                                Reader block(value);
+                                auto count = block.ReadVarint();
+                                auto first_ts = block.ReadSignedVarint();
+                                if (!count.ok() || !first_ts.ok()) {
+                                  scan_status = Status::Corruption("bad enum block header");
+                                  return false;
+                                }
+                                // ts_last is recovered lazily from the block
+                                // body on first scan; store first ts for
+                                // routing and approximate last with first.
+                                store->blocks_.push_back(
+                                    BlockMeta{seq, *first_ts, kMaxTimestamp, *count});
+                                return true;
+                              }));
+  SS_RETURN_IF_ERROR(scan_status);
+  // Tighten ts_last: block i's events end before block i+1 starts.
+  for (size_t i = 0; i + 1 < store->blocks_.size(); ++i) {
+    store->blocks_[i].ts_last = store->blocks_[i + 1].ts_first;
+  }
+  if (!store->blocks_.empty()) {
+    store->blocks_.back().ts_last = store->last_ts_;
+  }
+  return store;
+}
+
+StatusOr<std::vector<Event>> EnumStore::LoadBlock(const BlockMeta& meta) {
+  SS_ASSIGN_OR_RETURN(std::string payload, kv_->Get(BlockKey(meta.seq)));
+  Reader reader(payload);
+  SS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(Timestamp first_ts, reader.ReadSignedVarint());
+  std::vector<Event> events;
+  events.reserve(count);
+  Timestamp prev = first_ts;
+  for (uint64_t i = 0; i < count; ++i) {
+    SS_ASSIGN_OR_RETURN(int64_t delta, reader.ReadSignedVarint());
+    Event event;
+    event.ts = prev + delta;
+    prev = event.ts;
+    SS_ASSIGN_OR_RETURN(event.value, reader.ReadDouble());
+    events.push_back(event);
+  }
+  return events;
+}
+
+Status EnumStore::Scan(Timestamp t1, Timestamp t2,
+                       const std::function<bool(const Event&)>& visit) {
+  // Sealed blocks first (binary search to the first overlapping block).
+  auto it = std::partition_point(blocks_.begin(), blocks_.end(),
+                                 [t1](const BlockMeta& b) { return b.ts_last < t1; });
+  for (; it != blocks_.end() && it->ts_first <= t2; ++it) {
+    SS_ASSIGN_OR_RETURN(std::vector<Event> events, LoadBlock(*it));
+    for (const Event& event : events) {
+      if (event.ts > t2) {
+        return Status::Ok();
+      }
+      if (event.ts >= t1) {
+        if (!visit(event)) {
+          return Status::Ok();
+        }
+      }
+    }
+  }
+  for (const Event& event : buffer_) {
+    if (event.ts > t2) {
+      break;
+    }
+    if (event.ts >= t1) {
+      if (!visit(event)) {
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<double> EnumStore::QueryCount(Timestamp t1, Timestamp t2) {
+  double count = 0;
+  SS_RETURN_IF_ERROR(Scan(t1, t2, [&count](const Event&) {
+    ++count;
+    return true;
+  }));
+  return count;
+}
+
+StatusOr<double> EnumStore::QuerySum(Timestamp t1, Timestamp t2) {
+  double sum = 0;
+  SS_RETURN_IF_ERROR(Scan(t1, t2, [&sum](const Event& e) {
+    sum += e.value;
+    return true;
+  }));
+  return sum;
+}
+
+StatusOr<double> EnumStore::QueryMin(Timestamp t1, Timestamp t2) {
+  double best = std::numeric_limits<double>::infinity();
+  SS_RETURN_IF_ERROR(Scan(t1, t2, [&best](const Event& e) {
+    best = std::min(best, e.value);
+    return true;
+  }));
+  return best;
+}
+
+StatusOr<double> EnumStore::QueryMax(Timestamp t1, Timestamp t2) {
+  double best = -std::numeric_limits<double>::infinity();
+  SS_RETURN_IF_ERROR(Scan(t1, t2, [&best](const Event& e) {
+    best = std::max(best, e.value);
+    return true;
+  }));
+  return best;
+}
+
+StatusOr<double> EnumStore::QueryFrequency(Timestamp t1, Timestamp t2, double value) {
+  double count = 0;
+  SS_RETURN_IF_ERROR(Scan(t1, t2, [&](const Event& e) {
+    if (e.value == value) {
+      ++count;
+    }
+    return true;
+  }));
+  return count;
+}
+
+StatusOr<bool> EnumStore::QueryExistence(Timestamp t1, Timestamp t2, double value) {
+  bool found = false;
+  SS_RETURN_IF_ERROR(Scan(t1, t2, [&](const Event& e) {
+    if (e.value == value) {
+      found = true;
+      return false;
+    }
+    return true;
+  }));
+  return found;
+}
+
+StatusOr<std::vector<Event>> EnumStore::Materialize(Timestamp t1, Timestamp t2) {
+  std::vector<Event> events;
+  SS_RETURN_IF_ERROR(Scan(t1, t2, [&events](const Event& e) {
+    events.push_back(e);
+    return true;
+  }));
+  return events;
+}
+
+}  // namespace ss

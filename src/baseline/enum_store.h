@@ -1,0 +1,76 @@
+// EnumStore: the exact, enumerate-everything time-series store baseline
+// (the role InfluxDB plays in Table 2 and Figure 7 of the paper).
+//
+// Events are packed into fixed-size blocks and persisted through the same
+// KV backend SummaryStore uses, so the comparison isolates the effect of
+// decayed summarization: EnumStore's size grows linearly with the data and
+// range queries scan every overlapping block; answers are always exact.
+#ifndef SUMMARYSTORE_SRC_BASELINE_ENUM_STORE_H_
+#define SUMMARYSTORE_SRC_BASELINE_ENUM_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/keys.h"
+#include "src/core/window.h"  // Event
+#include "src/storage/kv_backend.h"
+
+namespace ss {
+
+class EnumStore {
+ public:
+  // `block_events`: raw events per storage block.
+  EnumStore(StreamId id, KvBackend* kv, size_t block_events = 4096);
+
+  // Rebuilds the block index from the KV store.
+  static StatusOr<std::unique_ptr<EnumStore>> Load(StreamId id, KvBackend* kv,
+                                                   size_t block_events = 4096);
+
+  Status Append(Timestamp ts, double value);
+  Status Flush();
+
+  uint64_t element_count() const { return count_; }
+  // Logical raw size: 16 bytes per (timestamp, value) event — the "S" of the
+  // paper's compaction factor.
+  uint64_t SizeBytes() const { return count_ * 16; }
+  size_t block_count() const { return blocks_.size() + (buffer_.empty() ? 0 : 1); }
+
+  // Exact range aggregates over [t1, t2] (inclusive).
+  StatusOr<double> QueryCount(Timestamp t1, Timestamp t2);
+  StatusOr<double> QuerySum(Timestamp t1, Timestamp t2);
+  StatusOr<double> QueryMin(Timestamp t1, Timestamp t2);
+  StatusOr<double> QueryMax(Timestamp t1, Timestamp t2);
+  StatusOr<double> QueryFrequency(Timestamp t1, Timestamp t2, double value);
+  StatusOr<bool> QueryExistence(Timestamp t1, Timestamp t2, double value);
+
+  // Visits every event in [t1, t2] in time order.
+  Status Scan(Timestamp t1, Timestamp t2, const std::function<bool(const Event&)>& visit);
+
+  // Full-resolution extraction (for baselines that need the raw series).
+  StatusOr<std::vector<Event>> Materialize(Timestamp t1, Timestamp t2);
+
+ private:
+  struct BlockMeta {
+    uint64_t seq;
+    Timestamp ts_first;
+    Timestamp ts_last;
+    uint64_t count;
+  };
+
+  std::string BlockKey(uint64_t seq) const;
+  Status FlushBuffer();
+  StatusOr<std::vector<Event>> LoadBlock(const BlockMeta& meta);
+
+  StreamId id_;
+  KvBackend* kv_;
+  size_t block_events_;
+  uint64_t count_ = 0;
+  uint64_t next_seq_ = 0;
+  Timestamp last_ts_ = kMinTimestamp;
+  std::vector<BlockMeta> blocks_;  // time-ordered
+  std::vector<Event> buffer_;      // unsealed tail block
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_BASELINE_ENUM_STORE_H_

@@ -1,0 +1,70 @@
+#include "src/baseline/exponential_histogram.h"
+
+#include "src/common/logging.h"
+
+namespace ss {
+
+ExponentialHistogram::ExponentialHistogram(Timestamp window, uint32_t k)
+    : window_(window), per_size_limit_((k + 1) / 2 + 2) {
+  SS_CHECK(window > 0) << "EH: window must be positive";
+  SS_CHECK(k >= 1) << "EH: k must be >= 1";
+}
+
+void ExponentialHistogram::Add(Timestamp ts) {
+  SS_DCHECK(ts >= last_ts_) << "EH: non-monotone timestamp";
+  last_ts_ = ts;
+  Expire(ts);
+  buckets_.push_front(Bucket{ts, 1});
+  Cascade();
+}
+
+void ExponentialHistogram::Expire(Timestamp now) {
+  // Drop buckets whose newest event already fell out of the window.
+  while (!buckets_.empty() && buckets_.back().newest <= now - window_) {
+    buckets_.pop_back();
+  }
+}
+
+void ExponentialHistogram::Cascade() {
+  // Walk sizes from smallest (front) to largest; whenever a size class
+  // exceeds its limit, merge its two oldest buckets into one of twice the
+  // size. Buckets of equal size are contiguous because sizes are
+  // monotonically non-decreasing from front to back.
+  size_t class_start = 0;
+  while (class_start < buckets_.size()) {
+    uint64_t size = buckets_[class_start].size;
+    size_t class_end = class_start;
+    while (class_end < buckets_.size() && buckets_[class_end].size == size) {
+      ++class_end;
+    }
+    size_t count = class_end - class_start;
+    if (count <= per_size_limit_) {
+      class_start = class_end;
+      continue;
+    }
+    // Merge the two oldest buckets of this size (at positions end-1, end-2).
+    // The merged bucket keeps the newer of the two timestamps and doubles in
+    // size, joining the next size class; re-examine from the same position.
+    Bucket merged{buckets_[class_end - 2].newest, size * 2};
+    buckets_.erase(buckets_.begin() + static_cast<long>(class_end) - 2,
+                   buckets_.begin() + static_cast<long>(class_end));
+    buckets_.insert(buckets_.begin() + static_cast<long>(class_end) - 2, merged);
+    class_start = class_end - 2;
+  }
+}
+
+double ExponentialHistogram::EstimateCount(Timestamp now) {
+  Expire(now);
+  if (buckets_.empty()) {
+    return 0.0;
+  }
+  double total = 0;
+  for (const Bucket& bucket : buckets_) {
+    total += static_cast<double>(bucket.size);
+  }
+  // The oldest bucket straddles the window boundary; in expectation half of
+  // it is inside (the classic EH estimator).
+  return total - static_cast<double>(buckets_.back().size) / 2.0;
+}
+
+}  // namespace ss

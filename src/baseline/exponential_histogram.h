@@ -1,0 +1,55 @@
+// Exponential Histogram (Datar, Gionis, Indyk, Motwani — SIAM J. Comput.
+// 2002): approximate count over a *sliding window*, the algorithmic
+// ancestor of SummaryStore's decayed windowing (§8.4 of the paper).
+//
+// EH maintains power-of-two-sized buckets with at most ⌈k/2⌉+2 buckets per
+// size; querying the count of the last W time units has relative error at
+// most 1/k using O(k·log²W) bits. The paper's critique — which this
+// baseline lets the ablation bench demonstrate — is that EH (i) supports
+// only the sliding-window suffix, not arbitrary historical ranges, and
+// (ii) its forced power-of-2 windowing is the most aggressive decay in the
+// family SummaryStore generalizes.
+#ifndef SUMMARYSTORE_SRC_BASELINE_EXPONENTIAL_HISTOGRAM_H_
+#define SUMMARYSTORE_SRC_BASELINE_EXPONENTIAL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/common/clock.h"
+
+namespace ss {
+
+class ExponentialHistogram {
+ public:
+  // Counts events within the trailing `window` time units; relative error
+  // <= 1/k.
+  ExponentialHistogram(Timestamp window, uint32_t k);
+
+  // Records an event; timestamps must be non-decreasing.
+  void Add(Timestamp ts);
+
+  // Estimated number of events with ts in (now - window, now].
+  double EstimateCount(Timestamp now);
+
+  size_t bucket_count() const { return buckets_.size(); }
+  // Logical memory footprint (one (timestamp, size) pair per bucket).
+  size_t SizeBytes() const { return buckets_.size() * 16 + 16; }
+
+ private:
+  struct Bucket {
+    Timestamp newest;  // timestamp of the most recent event in the bucket
+    uint64_t size;     // number of events (a power of two)
+  };
+
+  void Expire(Timestamp now);
+  void Cascade();
+
+  Timestamp window_;
+  uint32_t per_size_limit_;  // ⌈k/2⌉ + 2
+  Timestamp last_ts_ = kMinTimestamp;
+  std::deque<Bucket> buckets_;  // front = newest, back = oldest
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_BASELINE_EXPONENTIAL_HISTOGRAM_H_

@@ -1,0 +1,48 @@
+// Time representation and measurement helpers.
+//
+// SummaryStore timestamps are int64 event-time values in *stream time units*
+// (the ingest pipeline is agnostic to whether a unit is a second or a
+// microsecond; workload generators document their unit). Wall-clock helpers
+// are used only by benchmarks and by Append() when the caller omits a
+// timestamp.
+#ifndef SUMMARYSTORE_SRC_COMMON_CLOCK_H_
+#define SUMMARYSTORE_SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ss {
+
+using Timestamp = int64_t;
+
+inline constexpr Timestamp kMinTimestamp = INT64_MIN;
+inline constexpr Timestamp kMaxTimestamp = INT64_MAX;
+
+// Wall-clock time in microseconds since the Unix epoch.
+inline Timestamp NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Monotonic stopwatch for latency measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_COMMON_CLOCK_H_

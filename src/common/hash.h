@@ -1,0 +1,131 @@
+// 64-bit hashing utilities: an xxHash64-style string hash and cheap integer
+// mixers. Used by the sketch library (Bloom / CMS / HLL) and the storage
+// engine (block checksums use CRC32 in serde.h instead).
+#ifndef SUMMARYSTORE_SRC_COMMON_HASH_H_
+#define SUMMARYSTORE_SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace ss {
+
+// SplitMix64 finalizer; a strong, fast 64-bit mixer (Stafford variant 13).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+namespace hash_internal {
+
+inline constexpr uint64_t kPrime1 = 0x9e3779b185ebca87ULL;
+inline constexpr uint64_t kPrime2 = 0xc2b2ae3d27d4eb4fULL;
+inline constexpr uint64_t kPrime3 = 0x165667b19e3779f9ULL;
+inline constexpr uint64_t kPrime4 = 0x85ebca77c2b2ae63ULL;
+inline constexpr uint64_t kPrime5 = 0x27d4eb2f165667c5ULL;
+
+inline uint64_t Rotl(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+inline uint64_t Load64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = Rotl(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+inline uint64_t MergeRound(uint64_t acc, uint64_t val) {
+  acc ^= Round(0, val);
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+}  // namespace hash_internal
+
+// xxHash64 over an arbitrary byte string.
+inline uint64_t Hash64(std::string_view data, uint64_t seed = 0) {
+  using namespace hash_internal;  // NOLINT
+  const char* p = data.data();
+  const char* end = p + data.size();
+  uint64_t h;
+
+  if (data.size() >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    const char* limit = end - 32;
+    do {
+      v1 = Round(v1, Load64(p));
+      v2 = Round(v2, Load64(p + 8));
+      v3 = Round(v3, Load64(p + 16));
+      v4 = Round(v4, Load64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = Rotl(v1, 1) + Rotl(v2, 7) + Rotl(v3, 12) + Rotl(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<uint64_t>(data.size());
+
+  while (p + 8 <= end) {
+    h ^= Round(0, Load64(p));
+    h = Rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Load32(p)) * kPrime1;
+    h = Rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*p)) * kPrime5;
+    h = Rotl(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+inline uint64_t Hash64(uint64_t value, uint64_t seed = 0) {
+  return Mix64(value + seed * hash_internal::kPrime1 + hash_internal::kPrime5);
+}
+
+inline uint64_t Hash64(int64_t value, uint64_t seed = 0) {
+  return Hash64(static_cast<uint64_t>(value), seed);
+}
+
+// Double-hashing scheme: derive the i-th of k hash values from two base
+// hashes (Kirsch & Mitzenmacher). All multi-hash sketches use this.
+inline uint64_t NthHash(uint64_t h1, uint64_t h2, uint64_t i) {
+  return h1 + i * h2 + i * i;
+}
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_COMMON_HASH_H_

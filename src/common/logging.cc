@@ -1,0 +1,10 @@
+#include "src/common/logging.h"
+
+namespace ss {
+
+LogLevel& MinLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+}  // namespace ss

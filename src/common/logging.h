@@ -1,0 +1,83 @@
+// Minimal leveled logging to stderr, plus CHECK macros for invariants whose
+// violation indicates a programming error (not a recoverable condition —
+// those return Status).
+#ifndef SUMMARYSTORE_SRC_COMMON_LOGGING_H_
+#define SUMMARYSTORE_SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ss {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Process-wide minimum level; messages below it are dropped.
+LogLevel& MinLogLevel();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= MinLogLevel()) {
+      stream_ << "\n";
+      std::cerr << stream_.str();
+    }
+    if (level_ == LogLevel::kFatal) {
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "D";
+      case LogLevel::kInfo:
+        return "I";
+      case LogLevel::kWarning:
+        return "W";
+      case LogLevel::kError:
+        return "E";
+      case LogLevel::kFatal:
+        return "F";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') {
+        base = p + 1;
+      }
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace ss
+
+#define SS_LOG(level) \
+  ::ss::log_internal::LogMessage(::ss::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#define SS_CHECK(cond)                                                          \
+  if (!(cond))                                                                  \
+  ::ss::log_internal::LogMessage(::ss::LogLevel::kFatal, __FILE__, __LINE__)    \
+      .stream()                                                                 \
+      << "Check failed: " #cond " "
+
+#define SS_DCHECK(cond) SS_CHECK(cond)
+
+#endif  // SUMMARYSTORE_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,99 @@
+// Generic byte-budgeted LRU cache. Used as the storage engine's block cache
+// and as SummaryStore's window cache. Not thread-safe by itself; LsmStore
+// guards it with its own mutex.
+#ifndef SUMMARYSTORE_SRC_COMMON_LRU_CACHE_H_
+#define SUMMARYSTORE_SRC_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace ss {
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  // `capacity_bytes` bounds the sum of per-entry charges. A zero capacity
+  // disables caching entirely.
+  explicit LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  // Inserts or replaces the entry, charging `charge` bytes against the
+  // budget, and evicts least-recently-used entries to fit.
+  void Put(const K& key, V value, size_t charge) {
+    if (capacity_ == 0) {
+      return;
+    }
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      used_ -= it->second->charge;
+      entries_.erase(it->second);
+      index_.erase(it);
+    }
+    entries_.push_front(Entry{key, std::move(value), charge});
+    index_[key] = entries_.begin();
+    used_ += charge;
+    EvictToFit();
+  }
+
+  // Returns a copy of the cached value and marks it most recently used.
+  std::optional<V> Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return entries_.front().value;
+  }
+
+  void Erase(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return;
+    }
+    used_ -= it->second->charge;
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+    used_ = 0;
+  }
+
+  size_t size_bytes() const { return used_; }
+  size_t entry_count() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    K key;
+    V value;
+    size_t charge;
+  };
+
+  void EvictToFit() {
+    while (used_ > capacity_ && !entries_.empty()) {
+      const Entry& victim = entries_.back();
+      used_ -= victim.charge;
+      index_.erase(victim.key);
+      entries_.pop_back();
+    }
+  }
+
+  size_t capacity_;
+  size_t used_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<Entry> entries_;
+  std::unordered_map<K, typename std::list<Entry>::iterator> index_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_COMMON_LRU_CACHE_H_

@@ -1,0 +1,39 @@
+#include "src/common/serde.h"
+
+#include <array>
+
+namespace ss {
+
+namespace {
+
+// Builds the CRC32-C lookup table at static-init time.
+std::array<uint32_t, 256> BuildCrc32cTable() {
+  constexpr uint32_t kPoly = 0x82f63b78;  // reversed Castagnoli polynomial
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = BuildCrc32cTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data) {
+  const auto& table = Crc32cTable();
+  uint32_t crc = 0xffffffff;
+  for (char c : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(c)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffff;
+}
+
+}  // namespace ss

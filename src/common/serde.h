@@ -1,0 +1,169 @@
+// Binary serialization framework (ProtoBuf stand-in): a byte-buffer Writer
+// with varint / zigzag / fixed-width primitives and a bounds-checked Reader.
+// Every persistent object in SummaryStore (summary operators, windows, SSTable
+// blocks) round-trips through these. CRC32 (Castagnoli polynomial, software
+// table) provides block integrity checks in the storage engine.
+#ifndef SUMMARYSTORE_SRC_COMMON_SERDE_H_
+#define SUMMARYSTORE_SRC_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ss {
+
+// Maps signed integers to unsigned so that small magnitudes encode small.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// Appends serialized primitives to an owned byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutFixed32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutFixed64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<char>(v));
+  }
+
+  void PutSignedVarint(int64_t v) { PutVarint(ZigZagEncode(v)); }
+
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed64(bits);
+  }
+
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    PutRaw(s.data(), s.size());
+  }
+
+  void PutRaw(const void* data, size_t n) {
+    const char* p = static_cast<const char*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::string& data() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// Consumes serialized primitives from a borrowed byte span; every accessor
+// is bounds-checked and reports kCorruption on truncated input.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  StatusOr<uint8_t> ReadU8() {
+    if (pos_ + 1 > data_.size()) {
+      return Truncated("u8");
+    }
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  StatusOr<uint32_t> ReadFixed32() {
+    if (pos_ + 4 > data_.size()) {
+      return Truncated("fixed32");
+    }
+    uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  StatusOr<uint64_t> ReadFixed64() {
+    if (pos_ + 8 > data_.size()) {
+      return Truncated("fixed64");
+    }
+    uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  StatusOr<uint64_t> ReadVarint() {
+    uint64_t result = 0;
+    for (int shift = 0; shift <= 63; shift += 7) {
+      if (pos_ >= data_.size()) {
+        return Truncated("varint");
+      }
+      uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        return result;
+      }
+    }
+    return Status::Corruption("varint too long");
+  }
+
+  StatusOr<int64_t> ReadSignedVarint() {
+    SS_ASSIGN_OR_RETURN(uint64_t raw, ReadVarint());
+    return ZigZagDecode(raw);
+  }
+
+  StatusOr<double> ReadDouble() {
+    SS_ASSIGN_OR_RETURN(uint64_t bits, ReadFixed64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  StatusOr<std::string_view> ReadString() {
+    SS_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (pos_ + n > data_.size()) {
+      return Truncated("string body");
+    }
+    std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  StatusOr<std::string_view> ReadRaw(size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Truncated("raw bytes");
+    }
+    std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Truncated(const char* what) {
+    return Status::Corruption(std::string("truncated input reading ") + what);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// CRC32-C (Castagnoli) over a byte string; table-driven software version.
+uint32_t Crc32c(std::string_view data);
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_COMMON_SERDE_H_

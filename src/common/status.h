@@ -1,0 +1,170 @@
+// Lightweight Status / StatusOr error handling, modeled on absl::Status.
+// SummaryStore APIs do not throw across library boundaries; fallible
+// operations return Status (or StatusOr<T> when they produce a value).
+#ifndef SUMMARYSTORE_SRC_COMMON_STATUS_H_
+#define SUMMARYSTORE_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ss {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kInternal = 6,
+  kIoError = 7,
+  kCorruption = 8,
+  kUnimplemented = 9,
+};
+
+inline const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+  static Status IoError(std::string msg) { return Status(StatusCode::kIoError, std::move(msg)); }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    std::string out = StatusCodeToString(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+// Holds either a value of type T or an error Status. Never holds both.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ss
+
+// Propagates a non-OK Status from an expression to the caller.
+#define SS_RETURN_IF_ERROR(expr)          \
+  do {                                    \
+    ::ss::Status ss_status_ = (expr);     \
+    if (!ss_status_.ok()) {               \
+      return ss_status_;                  \
+    }                                     \
+  } while (false)
+
+// Evaluates a StatusOr expression; on success assigns the value to lhs,
+// otherwise returns the error to the caller.
+#define SS_ASSIGN_OR_RETURN(lhs, expr)              \
+  SS_ASSIGN_OR_RETURN_IMPL_(                        \
+      SS_STATUS_CONCAT_(ss_statusor_, __LINE__), lhs, expr)
+
+#define SS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) {                                \
+    return tmp.status();                          \
+  }                                               \
+  lhs = std::move(tmp).value()
+
+#define SS_STATUS_CONCAT_(a, b) SS_STATUS_CONCAT_IMPL_(a, b)
+#define SS_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SUMMARYSTORE_SRC_COMMON_STATUS_H_

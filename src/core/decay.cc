@@ -1,0 +1,245 @@
+#include "src/core/decay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace ss {
+
+namespace {
+
+enum class DecayTag : uint8_t { kPowerLaw = 1, kExponential = 2, kUniform = 3 };
+
+// Saturating integer power; window lengths can exceed any stream we ingest
+// but must not overflow while we compute them.
+uint64_t SatPow(uint64_t base, uint32_t exp) {
+  uint64_t result = 1;
+  for (uint32_t i = 0; i < exp; ++i) {
+    if (result > UINT64_MAX / (base == 0 ? 1 : base)) {
+      return UINT64_MAX;
+    }
+    result *= base;
+  }
+  return result;
+}
+
+uint64_t SatAdd(uint64_t a, uint64_t b) { return a > UINT64_MAX - b ? UINT64_MAX : a + b; }
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return a > UINT64_MAX / b ? UINT64_MAX : a * b;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- PowerLawDecay
+
+PowerLawDecay::PowerLawDecay(uint32_t p, uint32_t q, uint32_t r, uint32_t s)
+    : p_(p), q_(q), r_(r), s_(s) {
+  SS_CHECK(p >= 1) << "PowerLawDecay: p must be >= 1";
+  SS_CHECK(p + q >= 1) << "PowerLawDecay: p+q must be >= 1";
+  SS_CHECK(r >= 1 && s >= 1) << "PowerLawDecay: R and S must be >= 1";
+}
+
+void PowerLawDecay::ExtendGroupsTo(uint64_t k) const {
+  while (group_end_.empty() || group_end_.back() <= k) {
+    uint64_t j = group_end_.size() + 1;  // 1-based group index
+    uint64_t count = SatMul(r_, SatPow(j, p_ - 1));
+    uint64_t prev = group_end_.empty() ? 0 : group_end_.back();
+    group_end_.push_back(SatAdd(prev, count));
+  }
+}
+
+uint64_t PowerLawDecay::WindowLength(uint64_t k) const {
+  ExtendGroupsTo(k);
+  auto it = std::upper_bound(group_end_.begin(), group_end_.end(), k);
+  uint64_t j = static_cast<uint64_t>(it - group_end_.begin()) + 1;  // group of window k
+  return SatMul(s_, SatPow(j, q_));
+}
+
+std::string PowerLawDecay::Describe() const {
+  return "PowerLaw(" + std::to_string(p_) + "," + std::to_string(q_) + "," + std::to_string(r_) +
+         "," + std::to_string(s_) + ")";
+}
+
+std::unique_ptr<DecayFunction> PowerLawDecay::Clone() const {
+  return std::make_unique<PowerLawDecay>(p_, q_, r_, s_);
+}
+
+void PowerLawDecay::Serialize(Writer& writer) const {
+  writer.PutU8(static_cast<uint8_t>(DecayTag::kPowerLaw));
+  writer.PutVarint(p_);
+  writer.PutVarint(q_);
+  writer.PutVarint(r_);
+  writer.PutVarint(s_);
+}
+
+// ----------------------------------------------------------- ExponentialDecay
+
+ExponentialDecay::ExponentialDecay(double b, uint32_t r, uint32_t s) : b_(b), r_(r), s_(s) {
+  SS_CHECK(b >= 1.0001) << "ExponentialDecay: b must exceed 1";
+  SS_CHECK(r >= 1 && s >= 1) << "ExponentialDecay: R and S must be >= 1";
+}
+
+uint64_t ExponentialDecay::WindowLength(uint64_t k) const {
+  // R windows per group; group j (0-based) has length S·b^j, so
+  // Exponential(2,1,1) yields the classic 1,2,4,8,... windowing of Figure 3.
+  uint64_t j = k / r_;
+  double len = static_cast<double>(s_) * std::pow(b_, static_cast<double>(j));
+  if (len >= 9e18) {
+    return UINT64_MAX;
+  }
+  return std::max<uint64_t>(1, static_cast<uint64_t>(len));
+}
+
+std::string ExponentialDecay::Describe() const {
+  return "Exponential(" + std::to_string(b_) + "," + std::to_string(r_) + "," +
+         std::to_string(s_) + ")";
+}
+
+std::unique_ptr<DecayFunction> ExponentialDecay::Clone() const {
+  return std::make_unique<ExponentialDecay>(b_, r_, s_);
+}
+
+void ExponentialDecay::Serialize(Writer& writer) const {
+  writer.PutU8(static_cast<uint8_t>(DecayTag::kExponential));
+  writer.PutDouble(b_);
+  writer.PutVarint(r_);
+  writer.PutVarint(s_);
+}
+
+// ---------------------------------------------------------------- UniformDecay
+
+UniformDecay::UniformDecay(uint64_t window_length) : window_length_(window_length) {
+  SS_CHECK(window_length >= 1) << "UniformDecay: window length must be >= 1";
+}
+
+uint64_t UniformDecay::WindowLength(uint64_t /*k*/) const { return window_length_; }
+
+std::string UniformDecay::Describe() const {
+  return "Uniform(" + std::to_string(window_length_) + ")";
+}
+
+std::unique_ptr<DecayFunction> UniformDecay::Clone() const {
+  return std::make_unique<UniformDecay>(window_length_);
+}
+
+void UniformDecay::Serialize(Writer& writer) const {
+  writer.PutU8(static_cast<uint8_t>(DecayTag::kUniform));
+  writer.PutVarint(window_length_);
+}
+
+StatusOr<std::unique_ptr<DecayFunction>> DeserializeDecay(Reader& reader) {
+  SS_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+  switch (static_cast<DecayTag>(tag)) {
+    case DecayTag::kPowerLaw: {
+      SS_ASSIGN_OR_RETURN(uint64_t p, reader.ReadVarint());
+      SS_ASSIGN_OR_RETURN(uint64_t q, reader.ReadVarint());
+      SS_ASSIGN_OR_RETURN(uint64_t r, reader.ReadVarint());
+      SS_ASSIGN_OR_RETURN(uint64_t s, reader.ReadVarint());
+      if (p < 1 || p > 16 || q > 16 || r < 1 || r > UINT32_MAX || s < 1 || s > UINT32_MAX) {
+        return Status::Corruption("PowerLawDecay: parameters out of range");
+      }
+      return std::unique_ptr<DecayFunction>(
+          std::make_unique<PowerLawDecay>(static_cast<uint32_t>(p), static_cast<uint32_t>(q),
+                                          static_cast<uint32_t>(r), static_cast<uint32_t>(s)));
+    }
+    case DecayTag::kExponential: {
+      SS_ASSIGN_OR_RETURN(double b, reader.ReadDouble());
+      SS_ASSIGN_OR_RETURN(uint64_t r, reader.ReadVarint());
+      SS_ASSIGN_OR_RETURN(uint64_t s, reader.ReadVarint());
+      if (!(b >= 1.0001) || !(b <= 1e6) || r < 1 || r > UINT32_MAX || s < 1 || s > UINT32_MAX) {
+        return Status::Corruption("ExponentialDecay: parameters out of range");
+      }
+      return std::unique_ptr<DecayFunction>(std::make_unique<ExponentialDecay>(
+          b, static_cast<uint32_t>(r), static_cast<uint32_t>(s)));
+    }
+    case DecayTag::kUniform: {
+      SS_ASSIGN_OR_RETURN(uint64_t len, reader.ReadVarint());
+      if (len < 1) {
+        return Status::Corruption("UniformDecay: zero window length");
+      }
+      return std::unique_ptr<DecayFunction>(std::make_unique<UniformDecay>(len));
+    }
+  }
+  return Status::Corruption("unknown decay function tag");
+}
+
+// --------------------------------------------------------------- DecaySequence
+
+DecaySequence::DecaySequence(std::shared_ptr<const DecayFunction> decay)
+    : decay_(std::move(decay)) {
+  boundaries_.push_back(0);
+}
+
+void DecaySequence::ExtendTo(uint64_t k) const {
+  while (boundaries_.size() <= k + 1) {
+    uint64_t next_idx = boundaries_.size() - 1;  // window index being added
+    boundaries_.push_back(SatAdd(boundaries_.back(), decay_->WindowLength(next_idx)));
+  }
+}
+
+void DecaySequence::ExtendUntilBoundary(uint64_t n) const {
+  while (boundaries_.back() < n) {
+    uint64_t next_idx = boundaries_.size() - 1;
+    boundaries_.push_back(SatAdd(boundaries_.back(), decay_->WindowLength(next_idx)));
+  }
+}
+
+uint64_t DecaySequence::WindowLength(uint64_t k) const {
+  ExtendTo(k);
+  return boundaries_[k + 1] - boundaries_[k];
+}
+
+uint64_t DecaySequence::BucketBoundary(uint64_t k) const {
+  ExtendTo(k == 0 ? 0 : k - 1);
+  if (k >= boundaries_.size()) {
+    ExtendTo(k);
+  }
+  return boundaries_[k];
+}
+
+uint64_t DecaySequence::FirstBucketWithLengthAtLeast(uint64_t len) const {
+  // Lengths are non-decreasing, so find any index satisfying the request by
+  // doubling probes, then binary-search below it. Non-growing sequences
+  // (UniformDecay, power law with q=0) may never reach `len`; return the
+  // kNoBucket sentinel after a generous probe horizon — such pairs simply
+  // never merge.
+  uint64_t k = 1;
+  while (decay_->WindowLength(k) < len) {
+    if (k >= (uint64_t{1} << 40)) {
+      return kNoBucket;
+    }
+    k *= 2;
+  }
+  ExtendTo(k);
+  // Binary search for the first index with length >= len.
+  uint64_t lo = 0;
+  uint64_t hi = k;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (WindowLength(mid) >= len) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+uint64_t DecaySequence::FirstBoundaryGreaterThan(uint64_t x) const {
+  ExtendUntilBoundary(x == UINT64_MAX ? x : x + 1);
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), x);
+  return static_cast<uint64_t>(it - boundaries_.begin());
+}
+
+uint64_t DecaySequence::WindowCountFor(uint64_t n) const {
+  ExtendUntilBoundary(n);
+  auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), n);
+  return static_cast<uint64_t>(it - boundaries_.begin());
+}
+
+}  // namespace ss

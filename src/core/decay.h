@@ -1,0 +1,136 @@
+// Decay functions (§4.2, Table 4): each defines the infinite sequence of
+// *target window lengths* D[0], D[1], ... measured in element counts. The
+// k-th target bucket covers element ages [B_k, B_{k+1}), age measured from
+// the newest element, where B_k = D[0] + ... + D[k-1]. The window-merge
+// ingest algorithm merges two adjacent windows exactly when both fall inside
+// one target bucket.
+//
+//   PowerLawDecay(p,q,R,S):  for j = 1,2,...: R·j^(p-1) windows of length S·j^q
+//                            store size grows as Θ((n/RS)^(p/(p+q)))
+//   ExponentialDecay(b,R,S): for j = 1,2,...: R windows of length S·b^j
+//                            store size grows as Θ(R·log_b(n/RS))
+#ifndef SUMMARYSTORE_SRC_CORE_DECAY_H_
+#define SUMMARYSTORE_SRC_CORE_DECAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/status.h"
+
+namespace ss {
+
+class DecayFunction {
+ public:
+  virtual ~DecayFunction() = default;
+
+  // Length in elements of the k-th target window, k >= 0. Must be
+  // non-decreasing in k and >= 1.
+  virtual uint64_t WindowLength(uint64_t k) const = 0;
+
+  virtual std::string Describe() const = 0;
+  virtual std::unique_ptr<DecayFunction> Clone() const = 0;
+  virtual void Serialize(Writer& writer) const = 0;
+};
+
+StatusOr<std::unique_ptr<DecayFunction>> DeserializeDecay(Reader& reader);
+
+class PowerLawDecay : public DecayFunction {
+ public:
+  // p >= 1, q >= 0, p + q >= 1; R, S >= 1. PowerLaw(1,1,1,1) yields target
+  // lengths 1,2,3,4,... — the paper's 100x headline configuration.
+  PowerLawDecay(uint32_t p, uint32_t q, uint32_t r, uint32_t s);
+
+  uint64_t WindowLength(uint64_t k) const override;
+  std::string Describe() const override;
+  std::unique_ptr<DecayFunction> Clone() const override;
+  void Serialize(Writer& writer) const override;
+
+  uint32_t p() const { return p_; }
+  uint32_t q() const { return q_; }
+  uint32_t r() const { return r_; }
+  uint32_t s() const { return s_; }
+
+ private:
+  uint32_t p_, q_, r_, s_;
+  // Lazily extended: group_end_[j] = index one past the last window of
+  // group j (group j has R·(j+1)^(p-1) windows of length S·(j+1)^q).
+  mutable std::vector<uint64_t> group_end_;
+  void ExtendGroupsTo(uint64_t k) const;
+};
+
+class ExponentialDecay : public DecayFunction {
+ public:
+  // b > 1, R, S >= 1. Exponential(2,1,1) gives lengths 1,2,4,8,...
+  ExponentialDecay(double b, uint32_t r, uint32_t s);
+
+  uint64_t WindowLength(uint64_t k) const override;
+  std::string Describe() const override;
+  std::unique_ptr<DecayFunction> Clone() const override;
+  void Serialize(Writer& writer) const override;
+
+  double b() const { return b_; }
+  uint32_t r() const { return r_; }
+  uint32_t s() const { return s_; }
+
+ private:
+  double b_;
+  uint32_t r_, s_;
+};
+
+// Uniform windowing (no decay): every target window has the same length.
+// This is the "uniform sampling" baseline configuration of §7.1.1 — the
+// store approximates but does not bias toward recent data.
+class UniformDecay : public DecayFunction {
+ public:
+  explicit UniformDecay(uint64_t window_length);
+
+  uint64_t WindowLength(uint64_t k) const override;
+  std::string Describe() const override;
+  std::unique_ptr<DecayFunction> Clone() const override;
+  void Serialize(Writer& writer) const override;
+
+ private:
+  uint64_t window_length_;
+};
+
+// Memoizes a decay function's window lengths and their prefix sums, and
+// answers the two queries the merge algorithm needs:
+//   * BucketBoundary(k) = B_k
+//   * FirstBucketWithLengthAtLeast(len) = min k with D[k] >= len
+// Also computes the total window count needed to cover N elements (the
+// store-size model behind Table 5).
+class DecaySequence {
+ public:
+  // Returned by FirstBucketWithLengthAtLeast when no target bucket ever
+  // reaches the requested length (non-growing decay sequences).
+  static constexpr uint64_t kNoBucket = UINT64_MAX;
+
+  explicit DecaySequence(std::shared_ptr<const DecayFunction> decay);
+
+  uint64_t WindowLength(uint64_t k) const;
+  uint64_t BucketBoundary(uint64_t k) const;  // B_k; B_0 = 0
+  uint64_t FirstBucketWithLengthAtLeast(uint64_t len) const;
+  // Smallest m with B_m > x (m >= 1 since B_0 = 0 and x >= 0).
+  uint64_t FirstBoundaryGreaterThan(uint64_t x) const;
+
+  // Number of target windows needed to cover n elements (smallest W with
+  // B_W >= n).
+  uint64_t WindowCountFor(uint64_t n) const;
+
+  const DecayFunction& decay() const { return *decay_; }
+
+ private:
+  void ExtendTo(uint64_t k) const;           // ensure boundaries_[k+1] exists
+  void ExtendUntilBoundary(uint64_t n) const;  // ensure max boundary >= n
+
+  std::shared_ptr<const DecayFunction> decay_;
+  // boundaries_[k] = B_k; boundaries_[0] = 0. Lengths implied by deltas.
+  mutable std::vector<uint64_t> boundaries_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_CORE_DECAY_H_

@@ -1,0 +1,101 @@
+#include "src/core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ss {
+
+namespace {
+
+// Squared coefficient of variation of interarrivals, (σt/µt)²; 1.0 when the
+// stream model has too little data (the Poisson value — the natural prior).
+double InterarrivalCv2(const StreamStats& stats) {
+  double mu = stats.MeanInterarrival();
+  if (stats.interarrival.count() < 2 || mu <= 0) {
+    return 1.0;
+  }
+  double cv = stats.StdDevInterarrival() / mu;
+  return cv * cv;
+}
+
+}  // namespace
+
+MeanVar EstimateSubWindowCount(double count, double frac, const StreamStats& stats,
+                               ArrivalModel model) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  MeanVar out;
+  out.mean = count * frac;
+  double bernoulli = frac * (1.0 - frac);
+  if (model == ArrivalModel::kPoisson) {
+    out.variance = count * bernoulli;  // Binomial(C, f)
+  } else {
+    out.variance = InterarrivalCv2(stats) * count * bernoulli;
+  }
+  // Discretization floor: even a perfectly regular stream has ±1-event
+  // uncertainty at each sub-window boundary (the proportional share is
+  // continuous, the truth is an integer count). Without it, zero-variance
+  // streams emit point intervals that systematically miss.
+  out.variance = std::max(out.variance, bernoulli);
+  return out;
+}
+
+MeanVar EstimateSubWindowSum(double sum, double count, double frac, const StreamStats& stats,
+                             ArrivalModel model) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  MeanVar out;
+  out.mean = sum * frac;
+  double mu_v = stats.MeanValue();
+  double var_v = stats.StdDevValue() * stats.StdDevValue();
+  double cv2 = model == ArrivalModel::kPoisson ? 1.0 : InterarrivalCv2(stats);
+  out.variance = (cv2 * mu_v * mu_v + var_v) * count * frac * (1.0 - frac);
+  // Boundary-discretization floor: one event's worth of value mass at each
+  // sub-window edge (see EstimateSubWindowCount).
+  out.variance = std::max(out.variance, (mu_v * mu_v + var_v) * frac * (1.0 - frac));
+  return out;
+}
+
+MeanVar EstimateSubWindowFrequency(double count, double value_freq, double frac,
+                                   double count_variance) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  MeanVar out;
+  out.mean = value_freq * frac;
+  if (count <= 1 || value_freq <= 0) {
+    out.variance = 0.0;
+    return out;
+  }
+  // Hypergeometric variance at the expected draw count C_t = C·f:
+  //   V·(Ct/C)·(1−Ct/C)·(C−Ct)/(C−1)
+  double ct = count * frac;
+  double inner = value_freq * frac * (1.0 - frac) * (count - ct) / (count - 1.0);
+  // Plus variance of the conditional mean (V/C)·C_t over the count posterior.
+  double ratio = value_freq / count;
+  out.variance = std::max(0.0, inner) + ratio * ratio * count_variance;
+  return out;
+}
+
+double MembershipProbability(double frac, double occurrences) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  if (occurrences <= 0) {
+    return 0.0;
+  }
+  return 1.0 - std::pow(1.0 - frac, occurrences);
+}
+
+Interval NormalInterval(double exact, double mean, double variance, double confidence) {
+  double total = exact + mean;
+  if (variance <= 0) {
+    return Interval{total, total};
+  }
+  NormalDist dist(total, std::sqrt(variance));
+  double alpha = (1.0 - confidence) / 2.0;
+  return Interval{dist.Quantile(alpha), dist.Quantile(1.0 - alpha)};
+}
+
+Interval BinomialInterval(double exact, int64_t n, double p, double confidence) {
+  BinomialDist dist(n, std::clamp(p, 0.0, 1.0));
+  double alpha = (1.0 - confidence) / 2.0;
+  return Interval{exact + static_cast<double>(dist.Quantile(alpha)),
+                  exact + static_cast<double>(dist.Quantile(1.0 - alpha))};
+}
+
+}  // namespace ss

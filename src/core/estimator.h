@@ -1,0 +1,64 @@
+// Sub-window estimators (§5, Appendix B, Table 6): given only whole-window
+// summary state plus the four stream-level scalars (µt, σt, µv, σv), produce
+// the maximum-likelihood answer and the posterior distribution for a query
+// that covers fraction t/T of a window.
+//
+// These are pure functions of (window aggregates, overlap fraction, stream
+// stats) so they can be unit-tested directly against the paper's formulas.
+#ifndef SUMMARYSTORE_SRC_CORE_ESTIMATOR_H_
+#define SUMMARYSTORE_SRC_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "src/core/stream.h"
+#include "src/stats/distributions.h"
+
+namespace ss {
+
+struct MeanVar {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+// Theorem B.1/B.3 (generic) and B.2 (Poisson): count posterior for a
+// sub-window covering fraction `frac` of a window holding `count` elements.
+//   generic: N(C·f, (σt/µt)²·C·f(1−f))   [B.3 with T/µt ≈ C]
+//   Poisson: Binom(C, f) — mean C·f, variance C·f(1−f)
+MeanVar EstimateSubWindowCount(double count, double frac, const StreamStats& stats,
+                               ArrivalModel model);
+
+// Theorem B.3: sum posterior.
+//   N(S·f, ((σt/µt)²·µv² + σv²)·C·f(1−f))
+MeanVar EstimateSubWindowSum(double sum, double count, double frac, const StreamStats& stats,
+                             ArrivalModel model);
+
+// Theorem B.5 / Corollary B.6: frequency posterior for a value with
+// whole-window frequency `value_freq`, window count `count`, overlap
+// fraction `frac`, and the count posterior's variance `count_variance`.
+// Compound Hypergeom(C, V, C_t) moments:
+//   mean = V·f
+//   var  = E[Var(H|C_t)] + (V/C)²·Var(C_t)
+MeanVar EstimateSubWindowFrequency(double count, double value_freq, double frac,
+                                   double count_variance);
+
+// Probability that a value present in the window occurs in the sub-window,
+// for an assumed whole-window occurrence count v: 1 − (1−f)^v (Theorem B.4).
+double MembershipProbability(double frac, double occurrences);
+
+// Confidence interval [lo, hi] at `confidence` for a posterior composed of
+// an exact part plus a normal(mean, variance) part; degenerates to the point
+// when variance is 0. `floor_at_zero` clamps lo at 0 (counts, sums of
+// non-negative streams keep their natural floor through the exact part).
+struct Interval {
+  double lo;
+  double hi;
+};
+Interval NormalInterval(double exact, double mean, double variance, double confidence);
+
+// Exact Binomial interval for the single-partial-window Poisson case:
+// exact + Binom(n, p) quantiles at (1±confidence)/2.
+Interval BinomialInterval(double exact, int64_t n, double p, double confidence);
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_CORE_ESTIMATOR_H_

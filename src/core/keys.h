@@ -1,0 +1,82 @@
+// Key layout for SummaryStore objects in the KV backend. Keys sort (i)
+// grouped by stream and (ii) in temporal order within each stream — the
+// same layout discipline §6 of the paper applies to RocksDB.
+//
+//   'M'                      -> store metadata (stream id list)
+//   'm' <sid:8BE>            -> per-stream metadata
+//   'w' <sid:8BE> <cs:8BE>   -> summary window starting at count index cs
+//   'l' <sid:8BE> <id:8BE>   -> landmark window
+#ifndef SUMMARYSTORE_SRC_CORE_KEYS_H_
+#define SUMMARYSTORE_SRC_CORE_KEYS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ss {
+
+using StreamId = uint64_t;
+
+inline void AppendBigEndian64(std::string* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+inline uint64_t ReadBigEndian64(std::string_view data) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(data[static_cast<size_t>(i)]);
+  }
+  return v;
+}
+
+inline std::string StoreMetaKey() { return "M"; }
+
+inline std::string StreamMetaKey(StreamId sid) {
+  std::string key = "m";
+  AppendBigEndian64(&key, sid);
+  return key;
+}
+
+inline std::string WindowKey(StreamId sid, uint64_t cs) {
+  std::string key = "w";
+  AppendBigEndian64(&key, sid);
+  AppendBigEndian64(&key, cs);
+  return key;
+}
+
+inline std::string WindowKeyPrefix(StreamId sid) {
+  std::string key = "w";
+  AppendBigEndian64(&key, sid);
+  return key;
+}
+
+inline std::string LandmarkKey(StreamId sid, uint64_t id) {
+  std::string key = "l";
+  AppendBigEndian64(&key, sid);
+  AppendBigEndian64(&key, id);
+  return key;
+}
+
+inline std::string LandmarkKeyPrefix(StreamId sid) {
+  std::string key = "l";
+  AppendBigEndian64(&key, sid);
+  return key;
+}
+
+// Smallest key strictly greater than every key with the given prefix.
+inline std::string PrefixEnd(std::string prefix) {
+  while (!prefix.empty()) {
+    auto last = static_cast<uint8_t>(prefix.back());
+    if (last != 0xff) {
+      prefix.back() = static_cast<char>(last + 1);
+      return prefix;
+    }
+    prefix.pop_back();
+  }
+  return prefix;  // empty = unbounded
+}
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_CORE_KEYS_H_

@@ -1,0 +1,143 @@
+#include "src/core/operators.h"
+
+#include "src/sketch/aggregates.h"
+#include "src/sketch/bloom.h"
+#include "src/sketch/cms.h"
+#include "src/sketch/counting_bloom.h"
+#include "src/sketch/histogram.h"
+#include "src/sketch/hyperloglog.h"
+#include "src/sketch/quantile.h"
+#include "src/sketch/reservoir.h"
+
+namespace ss {
+
+std::vector<std::unique_ptr<Summary>> OperatorSet::CreateAll(uint64_t seed) const {
+  std::vector<std::unique_ptr<Summary>> out;
+  if (count) {
+    out.push_back(std::make_unique<CountSummary>());
+  }
+  if (sum) {
+    out.push_back(std::make_unique<SumSummary>());
+  }
+  if (minmax) {
+    out.push_back(std::make_unique<MinMaxSummary>());
+  }
+  if (bloom) {
+    out.push_back(std::make_unique<BloomFilter>(bloom_bits, bloom_hashes));
+  }
+  if (counting_bloom) {
+    out.push_back(std::make_unique<CountingBloomFilter>(cbf_counters, cbf_hashes));
+  }
+  if (cms) {
+    out.push_back(std::make_unique<CountMinSketch>(cms_width, cms_depth));
+  }
+  if (hll) {
+    out.push_back(std::make_unique<HyperLogLog>(hll_precision));
+  }
+  if (histogram) {
+    out.push_back(std::make_unique<Histogram>(hist_lo, hist_hi, hist_buckets));
+  }
+  if (quantile) {
+    out.push_back(std::make_unique<QuantileSketch>(quantile_k, Mix64(seed ^ 0x71)) );
+  }
+  if (reservoir) {
+    out.push_back(std::make_unique<ReservoirSample>(reservoir_capacity, Mix64(seed ^ 0x52)));
+  }
+  return out;
+}
+
+void OperatorSet::Serialize(Writer& writer) const {
+  uint32_t flags = 0;
+  flags |= count ? 1u << 0 : 0;
+  flags |= sum ? 1u << 1 : 0;
+  flags |= minmax ? 1u << 2 : 0;
+  flags |= bloom ? 1u << 3 : 0;
+  flags |= counting_bloom ? 1u << 4 : 0;
+  flags |= cms ? 1u << 5 : 0;
+  flags |= hll ? 1u << 6 : 0;
+  flags |= histogram ? 1u << 7 : 0;
+  flags |= quantile ? 1u << 8 : 0;
+  flags |= reservoir ? 1u << 9 : 0;
+  writer.PutVarint(flags);
+  writer.PutVarint(bloom_bits);
+  writer.PutVarint(bloom_hashes);
+  writer.PutVarint(cbf_counters);
+  writer.PutVarint(cbf_hashes);
+  writer.PutVarint(cms_width);
+  writer.PutVarint(cms_depth);
+  writer.PutVarint(hll_precision);
+  writer.PutDouble(hist_lo);
+  writer.PutDouble(hist_hi);
+  writer.PutVarint(hist_buckets);
+  writer.PutVarint(quantile_k);
+  writer.PutVarint(reservoir_capacity);
+}
+
+StatusOr<OperatorSet> OperatorSet::Deserialize(Reader& reader) {
+  OperatorSet ops;
+  SS_ASSIGN_OR_RETURN(uint64_t flags, reader.ReadVarint());
+  ops.count = (flags & (1u << 0)) != 0;
+  ops.sum = (flags & (1u << 1)) != 0;
+  ops.minmax = (flags & (1u << 2)) != 0;
+  ops.bloom = (flags & (1u << 3)) != 0;
+  ops.counting_bloom = (flags & (1u << 4)) != 0;
+  ops.cms = (flags & (1u << 5)) != 0;
+  ops.hll = (flags & (1u << 6)) != 0;
+  ops.histogram = (flags & (1u << 7)) != 0;
+  ops.quantile = (flags & (1u << 8)) != 0;
+  ops.reservoir = (flags & (1u << 9)) != 0;
+  SS_ASSIGN_OR_RETURN(uint64_t v, reader.ReadVarint());
+  ops.bloom_bits = static_cast<uint32_t>(v);
+  SS_ASSIGN_OR_RETURN(v, reader.ReadVarint());
+  ops.bloom_hashes = static_cast<uint32_t>(v);
+  SS_ASSIGN_OR_RETURN(v, reader.ReadVarint());
+  ops.cbf_counters = static_cast<uint32_t>(v);
+  SS_ASSIGN_OR_RETURN(v, reader.ReadVarint());
+  ops.cbf_hashes = static_cast<uint32_t>(v);
+  SS_ASSIGN_OR_RETURN(v, reader.ReadVarint());
+  ops.cms_width = static_cast<uint32_t>(v);
+  SS_ASSIGN_OR_RETURN(v, reader.ReadVarint());
+  ops.cms_depth = static_cast<uint32_t>(v);
+  SS_ASSIGN_OR_RETURN(v, reader.ReadVarint());
+  ops.hll_precision = static_cast<uint32_t>(v);
+  SS_ASSIGN_OR_RETURN(ops.hist_lo, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(ops.hist_hi, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(v, reader.ReadVarint());
+  ops.hist_buckets = static_cast<uint32_t>(v);
+  SS_ASSIGN_OR_RETURN(v, reader.ReadVarint());
+  ops.quantile_k = static_cast<uint32_t>(v);
+  SS_ASSIGN_OR_RETURN(v, reader.ReadVarint());
+  ops.reservoir_capacity = static_cast<uint32_t>(v);
+
+  // Validate every enabled operator's configuration so CreateAll can never
+  // trip an invariant check on corrupt input.
+  auto bad = [] { return Status::Corruption("OperatorSet: invalid configuration"); };
+  if (ops.bloom && (ops.bloom_bits == 0 || ops.bloom_bits > (1u << 30) || ops.bloom_hashes == 0 ||
+                    ops.bloom_hashes > 64)) {
+    return bad();
+  }
+  if (ops.counting_bloom && (ops.cbf_counters == 0 || ops.cbf_counters > (1u << 28) ||
+                             ops.cbf_hashes == 0 || ops.cbf_hashes > 64)) {
+    return bad();
+  }
+  if (ops.cms && (ops.cms_width == 0 || ops.cms_depth == 0 ||
+                  static_cast<uint64_t>(ops.cms_width) * ops.cms_depth > (1u << 28))) {
+    return bad();
+  }
+  if (ops.hll && (ops.hll_precision < 4 || ops.hll_precision > 18)) {
+    return bad();
+  }
+  if (ops.histogram && (!(ops.hist_hi > ops.hist_lo) || ops.hist_buckets == 0 ||
+                        ops.hist_buckets > (1u << 24))) {
+    return bad();
+  }
+  if (ops.quantile && (ops.quantile_k < 8 || ops.quantile_k > (1u << 24))) {
+    return bad();
+  }
+  if (ops.reservoir && (ops.reservoir_capacity == 0 || ops.reservoir_capacity > (1u << 28))) {
+    return bad();
+  }
+  return ops;
+}
+
+}  // namespace ss

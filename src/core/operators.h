@@ -1,0 +1,84 @@
+// Per-stream summary-operator configuration (CreateStream's
+// "[Summary Operators]" argument, Table 3). Each stream independently
+// selects which operators its windows maintain and how each is sized; the
+// default enables the full collection, matching the paper's default
+// ("the default is to use the entire collection").
+#ifndef SUMMARYSTORE_SRC_CORE_OPERATORS_H_
+#define SUMMARYSTORE_SRC_CORE_OPERATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/status.h"
+#include "src/sketch/summary.h"
+
+namespace ss {
+
+struct OperatorSet {
+  bool count = true;
+  bool sum = true;
+  bool minmax = true;
+
+  bool bloom = false;
+  uint32_t bloom_bits = 1024;  // the paper's microbenchmarks use width ~1000
+  uint32_t bloom_hashes = 5;
+
+  bool counting_bloom = false;
+  uint32_t cbf_counters = 1024;
+  uint32_t cbf_hashes = 5;
+
+  bool cms = false;
+  uint32_t cms_width = 1000;
+  uint32_t cms_depth = 5;
+
+  bool hll = false;
+  uint32_t hll_precision = 12;
+
+  bool histogram = false;
+  double hist_lo = 0.0;
+  double hist_hi = 1.0;
+  uint32_t hist_buckets = 64;
+
+  bool quantile = false;
+  uint32_t quantile_k = 128;
+
+  bool reservoir = false;
+  uint32_t reservoir_capacity = 64;
+
+  // Aggregates only (the cheap default).
+  static OperatorSet AggregatesOnly() { return OperatorSet{}; }
+
+  // The full collection with paper-like sizing.
+  static OperatorSet Full() {
+    OperatorSet ops;
+    ops.bloom = true;
+    ops.counting_bloom = true;
+    ops.cms = true;
+    ops.hll = true;
+    ops.histogram = true;
+    ops.quantile = true;
+    ops.reservoir = true;
+    return ops;
+  }
+
+  // The §7.2.2 microbenchmark set: Count, Sum, Bloom filter, CMS.
+  static OperatorSet Microbench() {
+    OperatorSet ops;
+    ops.bloom = true;
+    ops.cms = true;
+    return ops;
+  }
+
+  // Instantiates fresh (empty) summaries for one window. `seed` fixes the
+  // randomized operators (quantile compaction coin, reservoir) so replays
+  // are deterministic.
+  std::vector<std::unique_ptr<Summary>> CreateAll(uint64_t seed) const;
+
+  void Serialize(Writer& writer) const;
+  static StatusOr<OperatorSet> Deserialize(Reader& reader);
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_CORE_OPERATORS_H_

@@ -1,0 +1,652 @@
+#include "src/core/query.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/estimator.h"
+#include "src/sketch/aggregates.h"
+#include "src/sketch/bloom.h"
+#include "src/sketch/cms.h"
+#include "src/sketch/counting_bloom.h"
+#include "src/sketch/histogram.h"
+#include "src/sketch/hyperloglog.h"
+#include "src/sketch/quantile.h"
+
+namespace ss {
+
+namespace {
+
+// Length of the intersection of half-open spans [s1, e1) and [s2, e2).
+double SpanOverlap(double s1, double e1, double s2, double e2) {
+  return std::max(0.0, std::min(e1, e2) - std::max(s1, s2));
+}
+
+// One window's contribution geometry: query∩cover boundaries plus the
+// landmark-hollowed effective fractions of §5.1.
+struct Overlap {
+  Timestamp a;   // query∩cover start (inclusive)
+  Timestamp b;   // query∩cover end (exclusive)
+  double frac;   // t_eff / T_eff in [0, 1]
+  bool full;     // the query fully covers the window's (hollowed) span
+};
+
+Overlap ComputeOverlap(const Stream& stream, const Stream::WindowView& view, Timestamp t1,
+                       Timestamp t2) {
+  Overlap o;
+  if (view.cover_end <= view.cover_start) {
+    // Degenerate cover: several windows share a start timestamp (high-rate
+    // streams with quantized clocks). All of this window's events sit at the
+    // single instant cover_start; a query containing that instant gets the
+    // whole window, any other query gets none of it.
+    bool hit = t1 <= view.cover_start && view.cover_start <= t2;
+    o.a = view.cover_start;
+    o.b = hit ? view.cover_start + 1 : view.cover_start;
+    o.frac = hit ? 1.0 : 0.0;
+    o.full = true;
+    return o;
+  }
+  o.a = std::max(t1, view.cover_start);
+  o.b = std::min(t2 + 1, view.cover_end);
+  double cover_len = static_cast<double>(view.cover_end - view.cover_start);
+  double overlap_len = static_cast<double>(o.b - o.a);
+
+  // Hollow out landmark spans (§4.3): both the window span and the query
+  // overlap shrink by their intersection with landmark intervals.
+  double lm_in_window = 0.0;
+  double lm_in_overlap = 0.0;
+  for (const LandmarkWindow* lm : stream.LandmarksOverlapping(view.cover_start,
+                                                              view.cover_end - 1)) {
+    double lm_start = static_cast<double>(lm->ts_start);
+    double lm_end = static_cast<double>(lm->ts_end) + 1.0;
+    lm_in_window += SpanOverlap(lm_start, lm_end, static_cast<double>(view.cover_start),
+                                static_cast<double>(view.cover_end));
+    lm_in_overlap += SpanOverlap(lm_start, lm_end, static_cast<double>(o.a),
+                                 static_cast<double>(o.b));
+  }
+  double t_eff = std::max(0.0, overlap_len - lm_in_overlap);
+  double big_t_eff = std::max(0.0, cover_len - lm_in_window);
+  if (big_t_eff <= 0.0) {
+    o.frac = 0.0;
+    o.full = true;  // nothing summarized lives here
+  } else {
+    o.frac = std::clamp(t_eff / big_t_eff, 0.0, 1.0);
+    o.full = o.frac >= 1.0;
+  }
+  return o;
+}
+
+const CountSummary* GetCount(const SummaryWindow& window) {
+  return SummaryCast<CountSummary>(window.Find(SummaryKind::kCount));
+}
+
+// Whole-window frequency of `value` from whichever frequency operator the
+// stream maintains (CMS preferred, counting Bloom as fallback), plus the
+// sketch's own noise variance: per-cell collision mass is ~Poisson with
+// mean (total inserts)/(width), which the noise-corrected point estimate
+// removes in expectation but not in variance.
+struct FreqEstimate {
+  double freq;
+  double sketch_variance;
+};
+
+std::optional<FreqEstimate> WindowFrequency(const SummaryWindow& window, double value) {
+  if (const auto* cms = SummaryCast<CountMinSketch>(window.Find(SummaryKind::kCountMin))) {
+    double noise = static_cast<double>(cms->total_count()) / cms->width();
+    return FreqEstimate{cms->EstimateCountCorrected(value), noise};
+  }
+  if (const auto* cbf =
+          SummaryCast<CountingBloomFilter>(window.Find(SummaryKind::kCountingBloom))) {
+    double noise = static_cast<double>(cbf->inserted_count()) * cbf->num_hashes() /
+                   std::max(1u, cbf->num_counters());
+    return FreqEstimate{static_cast<double>(cbf->EstimateCount(value)), noise};
+  }
+  return std::nullopt;
+}
+
+struct Accumulation {
+  double exact = 0.0;      // contributions with zero posterior variance
+  double mean = 0.0;       // estimated (partial-window) mean
+  double variance = 0.0;   // posterior variance of the estimated part
+  // Correlated sketch noise: every window's CMS shares one hash family (a
+  // union requirement, §3.1), so the same colliding values pollute value v
+  // in every window. Per-window sketch errors therefore add linearly in
+  // standard deviation, not in quadrature.
+  double sketch_std = 0.0;
+  int partials = 0;        // number of partially covered summarized windows
+  // Binomial shortcut bookkeeping (single-partial Poisson case, Thm B.2).
+  int64_t binom_n = 0;
+  double binom_p = 0.0;
+};
+
+QueryResult FinishAdditive(const Accumulation& acc, const QuerySpec& spec, bool poisson,
+                           size_t windows_read, size_t landmark_events) {
+  QueryResult result;
+  result.confidence = spec.confidence;
+  result.windows_read = windows_read;
+  result.landmark_events = landmark_events;
+  result.estimate = acc.exact + acc.mean;
+  double total_variance = acc.variance + acc.sketch_std * acc.sketch_std;
+  result.exact = acc.partials == 0 && total_variance == 0.0;
+  if (result.exact) {
+    result.ci_lo = result.ci_hi = result.estimate;
+    return result;
+  }
+  Interval interval;
+  if (poisson && acc.partials == 1 && acc.binom_n > 0) {
+    interval = BinomialInterval(acc.exact, acc.binom_n, acc.binom_p, spec.confidence);
+  } else {
+    interval = NormalInterval(acc.exact, acc.mean, total_variance, spec.confidence);
+  }
+  result.ci_lo = std::max(0.0, interval.lo);
+  result.ci_hi = std::max(result.ci_lo, interval.hi);
+  return result;
+}
+
+StatusOr<QueryResult> RunCountOrSum(Stream& stream, const QuerySpec& spec) {
+  const bool is_sum = spec.op == QueryOp::kSum;
+  const bool poisson = stream.config().arrival_model == ArrivalModel::kPoisson;
+  SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
+                      stream.WindowsOverlapping(spec.t1, spec.t2));
+  Accumulation acc;
+  for (const auto& view : views) {
+    Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
+    if (o.b <= o.a) {
+      continue;
+    }
+    const SummaryWindow& window = *view.window;
+    if (window.is_raw()) {
+      // Raw events are exact: filter by the query bounds themselves (an
+      // event may share its timestamp with the next window's cover start,
+      // which the half-open cover span would wrongly exclude).
+      for (const Event& event : window.raw()) {
+        if (event.ts >= spec.t1 && event.ts <= spec.t2) {
+          acc.exact += is_sum ? event.value : 1.0;
+        }
+      }
+      continue;
+    }
+    const CountSummary* count = GetCount(window);
+    if (count == nullptr) {
+      return Status::FailedPrecondition("stream has no count operator");
+    }
+    double window_count = static_cast<double>(count->count());
+    double window_value;
+    if (is_sum) {
+      const auto* sum = SummaryCast<SumSummary>(window.Find(SummaryKind::kSum));
+      if (sum == nullptr) {
+        return Status::FailedPrecondition("stream has no sum operator");
+      }
+      window_value = sum->sum();
+    } else {
+      window_value = window_count;
+    }
+    if (o.full) {
+      acc.exact += window_value;
+      continue;
+    }
+    MeanVar est = is_sum ? EstimateSubWindowSum(window_value, window_count, o.frac,
+                                                stream.stats(), stream.config().arrival_model)
+                         : EstimateSubWindowCount(window_value, o.frac, stream.stats(),
+                                                  stream.config().arrival_model);
+    acc.mean += est.mean;
+    acc.variance += est.variance;
+    ++acc.partials;
+    if (!is_sum) {
+      acc.binom_n = count->count() <= static_cast<uint64_t>(INT64_MAX)
+                        ? static_cast<int64_t>(count->count())
+                        : 0;
+      acc.binom_p = o.frac;
+    }
+  }
+  std::vector<Event> lm_events = stream.QueryLandmarks(spec.t1, spec.t2);
+  for (const Event& event : lm_events) {
+    acc.exact += is_sum ? event.value : 1.0;
+  }
+  return FinishAdditive(acc, spec, poisson && !is_sum, views.size(), lm_events.size());
+}
+
+StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec) {
+  const bool is_min = spec.op == QueryOp::kMin;
+  SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
+                      stream.WindowsOverlapping(spec.t1, spec.t2));
+  QueryResult result;
+  result.confidence = spec.confidence;
+  result.windows_read = views.size();
+  bool found = false;
+  double best = 0.0;
+  auto consider = [&](double v) {
+    best = found ? (is_min ? std::min(best, v) : std::max(best, v)) : v;
+    found = true;
+  };
+  for (const auto& view : views) {
+    Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
+    if (o.b <= o.a) {
+      continue;
+    }
+    const SummaryWindow& window = *view.window;
+    if (window.is_raw()) {
+      for (const Event& event : window.raw()) {
+        if (event.ts >= spec.t1 && event.ts <= spec.t2) {
+          consider(event.value);
+        }
+      }
+      continue;
+    }
+    const auto* minmax = SummaryCast<MinMaxSummary>(window.Find(SummaryKind::kMinMax));
+    if (minmax == nullptr) {
+      return Status::FailedPrecondition("stream has no minmax operator");
+    }
+    if (!minmax->empty()) {
+      // Partial windows cannot localize the extremum; include the whole
+      // window's bound (conservative) and mark the answer inexact.
+      consider(is_min ? minmax->min() : minmax->max());
+      if (!o.full) {
+        result.exact = false;
+      }
+    }
+  }
+  std::vector<Event> lm_events = stream.QueryLandmarks(spec.t1, spec.t2);
+  result.landmark_events = lm_events.size();
+  for (const Event& event : lm_events) {
+    consider(event.value);
+  }
+  if (!found) {
+    return Status::NotFound("no data in query range");
+  }
+  result.estimate = best;
+  result.ci_lo = result.ci_hi = best;
+  return result;
+}
+
+StatusOr<QueryResult> RunFrequency(Stream& stream, const QuerySpec& spec) {
+  SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
+                      stream.WindowsOverlapping(spec.t1, spec.t2));
+  Accumulation acc;
+  for (const auto& view : views) {
+    Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
+    if (o.b <= o.a) {
+      continue;
+    }
+    const SummaryWindow& window = *view.window;
+    if (window.is_raw()) {
+      for (const Event& event : window.raw()) {
+        if (event.ts >= spec.t1 && event.ts <= spec.t2 && event.value == spec.value) {
+          acc.exact += 1.0;
+        }
+      }
+      continue;
+    }
+    std::optional<FreqEstimate> freq = WindowFrequency(window, spec.value);
+    if (!freq.has_value()) {
+      return Status::FailedPrecondition("stream has no frequency operator (CMS/counting Bloom)");
+    }
+    if (o.full) {
+      acc.exact += freq->freq;
+      acc.sketch_std += std::sqrt(freq->sketch_variance);  // correlated across windows
+      continue;
+    }
+    const CountSummary* count = GetCount(window);
+    double window_count = count != nullptr ? static_cast<double>(count->count()) : 0.0;
+    MeanVar count_est = EstimateSubWindowCount(window_count, o.frac, stream.stats(),
+                                               stream.config().arrival_model);
+    MeanVar est =
+        EstimateSubWindowFrequency(window_count, freq->freq, o.frac, count_est.variance);
+    acc.mean += est.mean;
+    acc.variance += est.variance;
+    acc.sketch_std += std::sqrt(freq->sketch_variance) * o.frac;
+    ++acc.partials;
+  }
+  std::vector<Event> lm_events = stream.QueryLandmarks(spec.t1, spec.t2);
+  for (const Event& event : lm_events) {
+    if (event.value == spec.value) {
+      acc.exact += 1.0;
+    }
+  }
+  return FinishAdditive(acc, spec, /*poisson=*/false, views.size(), lm_events.size());
+}
+
+StatusOr<QueryResult> RunExistence(Stream& stream, const QuerySpec& spec) {
+  SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
+                      stream.WindowsOverlapping(spec.t1, spec.t2));
+  QueryResult result;
+  result.confidence = spec.confidence;
+  result.windows_read = views.size();
+
+  // Combine per-window presence probabilities: p = 1 − Π(1 − p_i). The CI
+  // brackets the unknown whole-window occurrence count V between 1 and the
+  // window count C (Bloom alone cannot localize, §7.2.2); a frequency
+  // operator, when configured, pins the estimate.
+  double log_not_present = 0.0;      // Σ log(1 − p̂_i)
+  double log_not_present_lo = 0.0;   // with V = 1        (lower bracket)
+  double log_not_present_hi = 0.0;   // with V = C        (upper bracket)
+  bool certain_hit = false;
+  bool any_estimate = false;
+
+  for (const auto& view : views) {
+    Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
+    if (o.b <= o.a) {
+      continue;
+    }
+    const SummaryWindow& window = *view.window;
+    if (window.is_raw()) {
+      for (const Event& event : window.raw()) {
+        if (event.ts >= spec.t1 && event.ts <= spec.t2 && event.value == spec.value) {
+          certain_hit = true;
+        }
+      }
+      continue;
+    }
+    const auto* bloom = SummaryCast<BloomFilter>(window.Find(SummaryKind::kBloom));
+    const auto* cbf =
+        SummaryCast<CountingBloomFilter>(window.Find(SummaryKind::kCountingBloom));
+    bool might_contain;
+    double fp_rate;
+    if (bloom != nullptr) {
+      might_contain = bloom->MightContain(spec.value);
+      fp_rate = bloom->FalsePositiveRate();
+    } else if (cbf != nullptr) {
+      might_contain = cbf->MightContain(spec.value);
+      fp_rate = 0.01;  // CBF sizing default; refined below by frequency
+    } else {
+      return Status::FailedPrecondition("stream has no membership operator (Bloom)");
+    }
+    if (!might_contain) {
+      continue;  // Bloom "false" is certain (§5.2)
+    }
+    const CountSummary* count = GetCount(window);
+    double window_count =
+        count != nullptr ? static_cast<double>(count->count()) : 1.0;
+    // The frequency operator, when configured, pins the occurrence count; a
+    // noise-corrected estimate of ~0 means the Bloom hit was almost surely a
+    // false positive. Without one, bracket V in [1, C] (§7.2.2). When the
+    // filter itself is trustworthy (low fill), its positive already implies
+    // at least one occurrence, overriding a CMS under-correction.
+    std::optional<FreqEstimate> freq = WindowFrequency(window, spec.value);
+    double v_hat = freq.has_value() ? freq->freq : std::max(1.0, window_count / 2.0);
+    if (freq.has_value() && fp_rate < 0.1) {
+      v_hat = std::max(v_hat, 1.0);
+    }
+    double p_est = (1.0 - fp_rate) * MembershipProbability(o.frac, v_hat);
+    double p_lo = (1.0 - fp_rate) * MembershipProbability(o.frac, 1.0);
+    double p_hi = (1.0 - fp_rate) * MembershipProbability(o.frac, std::max(1.0, window_count));
+    log_not_present += std::log1p(-std::min(p_est, 1.0 - 1e-12));
+    log_not_present_lo += std::log1p(-std::min(p_lo, 1.0 - 1e-12));
+    log_not_present_hi += std::log1p(-std::min(p_hi, 1.0 - 1e-12));
+    any_estimate = true;
+  }
+  std::vector<Event> lm_events = stream.QueryLandmarks(spec.t1, spec.t2);
+  result.landmark_events = lm_events.size();
+  for (const Event& event : lm_events) {
+    if (event.value == spec.value) {
+      certain_hit = true;
+    }
+  }
+
+  if (certain_hit) {
+    result.estimate = 1.0;
+    result.bool_answer = true;
+    result.ci_lo = result.ci_hi = 1.0;
+    result.exact = true;
+    return result;
+  }
+  result.exact = !any_estimate;
+  result.estimate = 1.0 - std::exp(log_not_present);
+  result.ci_lo = 1.0 - std::exp(log_not_present_lo);
+  result.ci_hi = 1.0 - std::exp(log_not_present_hi);
+  result.bool_answer = result.estimate >= 0.5;
+  return result;
+}
+
+StatusOr<QueryResult> RunDistinct(Stream& stream, const QuerySpec& spec) {
+  SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
+                      stream.WindowsOverlapping(spec.t1, spec.t2));
+  QueryResult result;
+  result.confidence = spec.confidence;
+  result.windows_read = views.size();
+  std::unique_ptr<HyperLogLog> merged;
+  for (const auto& view : views) {
+    Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
+    if (o.b <= o.a) {
+      continue;
+    }
+    const SummaryWindow& window = *view.window;
+    if (window.is_raw()) {
+      if (merged == nullptr) {
+        merged = std::make_unique<HyperLogLog>(stream.config().operators.hll_precision);
+      }
+      for (const Event& event : window.raw()) {
+        if (event.ts >= spec.t1 && event.ts <= spec.t2) {
+          merged->AddHash(HashValue(event.value));
+        }
+      }
+      continue;
+    }
+    const auto* hll = SummaryCast<HyperLogLog>(window.Find(SummaryKind::kHyperLogLog));
+    if (hll == nullptr) {
+      return Status::FailedPrecondition("stream has no hyperloglog operator");
+    }
+    if (merged == nullptr) {
+      merged = std::make_unique<HyperLogLog>(hll->precision());
+    }
+    SS_RETURN_IF_ERROR(merged->MergeFrom(*hll));
+    // Summaries cannot restrict to a sub-window; partial windows contribute
+    // their full distinct set (upper-biased), so the answer is inexact.
+    if (!o.full) {
+      result.exact = false;
+    }
+  }
+  std::vector<Event> lm_events = stream.QueryLandmarks(spec.t1, spec.t2);
+  result.landmark_events = lm_events.size();
+  if (!lm_events.empty() && merged == nullptr) {
+    merged = std::make_unique<HyperLogLog>(stream.config().operators.hll_precision);
+  }
+  for (const Event& event : lm_events) {
+    merged->AddHash(HashValue(event.value));
+  }
+  if (merged == nullptr) {
+    result.estimate = 0.0;
+    result.ci_lo = result.ci_hi = 0.0;
+    return result;
+  }
+  result.estimate = merged->EstimateCardinality();
+  // HLL standard error 1.04/sqrt(m); always an approximation.
+  result.exact = false;
+  double m = std::ldexp(1.0, static_cast<int>(merged->precision()));
+  double rel = 1.04 / std::sqrt(m);
+  NormalDist dist(result.estimate, result.estimate * rel);
+  double alpha = (1.0 - spec.confidence) / 2.0;
+  result.ci_lo = std::max(0.0, dist.Quantile(alpha));
+  result.ci_hi = dist.Quantile(1.0 - alpha);
+  return result;
+}
+
+StatusOr<QueryResult> RunQuantile(Stream& stream, const QuerySpec& spec) {
+  SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
+                      stream.WindowsOverlapping(spec.t1, spec.t2));
+  QueryResult result;
+  result.confidence = spec.confidence;
+  result.windows_read = views.size();
+  result.exact = false;
+  std::unique_ptr<QuantileSketch> merged;
+  auto ensure = [&]() {
+    if (merged == nullptr) {
+      merged = std::make_unique<QuantileSketch>(stream.config().operators.quantile_k,
+                                                stream.config().seed ^ 0x9e3779b9);
+    }
+  };
+  for (const auto& view : views) {
+    Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
+    if (o.b <= o.a) {
+      continue;
+    }
+    const SummaryWindow& window = *view.window;
+    if (window.is_raw()) {
+      ensure();
+      for (const Event& event : window.raw()) {
+        if (event.ts >= spec.t1 && event.ts <= spec.t2) {
+          merged->Update(event.ts, event.value);
+        }
+      }
+      continue;
+    }
+    const auto* sketch = SummaryCast<QuantileSketch>(window.Find(SummaryKind::kQuantile));
+    if (sketch == nullptr) {
+      return Status::FailedPrecondition("stream has no quantile operator");
+    }
+    ensure();
+    SS_RETURN_IF_ERROR(merged->MergeFrom(*sketch));
+  }
+  std::vector<Event> lm_events = stream.QueryLandmarks(spec.t1, spec.t2);
+  result.landmark_events = lm_events.size();
+  if (!lm_events.empty()) {
+    ensure();
+  }
+  for (const Event& event : lm_events) {
+    merged->Update(event.ts, event.value);
+  }
+  if (merged == nullptr || merged->total_count() == 0) {
+    return Status::NotFound("no data in query range");
+  }
+  double q = std::clamp(spec.quantile_q, 0.0, 1.0);
+  result.estimate = merged->EstimateQuantile(q);
+  double rank_err = 2.0 / static_cast<double>(stream.config().operators.quantile_k);
+  result.ci_lo = merged->EstimateQuantile(std::max(0.0, q - rank_err));
+  result.ci_hi = merged->EstimateQuantile(std::min(1.0, q + rank_err));
+  return result;
+}
+
+StatusOr<QueryResult> RunValueRangeCount(Stream& stream, const QuerySpec& spec) {
+  if (!(spec.value_hi > spec.value_lo)) {
+    return Status::InvalidArgument("value range [value_lo, value_hi) is empty");
+  }
+  SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
+                      stream.WindowsOverlapping(spec.t1, spec.t2));
+  Accumulation acc;
+  for (const auto& view : views) {
+    Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
+    if (o.b <= o.a) {
+      continue;
+    }
+    const SummaryWindow& window = *view.window;
+    if (window.is_raw()) {
+      for (const Event& event : window.raw()) {
+        if (event.ts >= spec.t1 && event.ts <= spec.t2 && event.value >= spec.value_lo &&
+            event.value < spec.value_hi) {
+          acc.exact += 1.0;
+        }
+      }
+      continue;
+    }
+    const auto* hist = SummaryCast<Histogram>(window.Find(SummaryKind::kHistogram));
+    if (hist == nullptr) {
+      return Status::FailedPrecondition("stream has no histogram operator");
+    }
+    // Whole-window selection count from the histogram (bucket interpolation
+    // is the operator's inherent approximation), then the usual
+    // time-proportional share with the count posterior's spread.
+    double selected = hist->EstimateRangeCount(spec.value_lo, spec.value_hi);
+    if (o.full) {
+      acc.exact += selected;
+      continue;
+    }
+    MeanVar est =
+        EstimateSubWindowCount(selected, o.frac, stream.stats(), stream.config().arrival_model);
+    acc.mean += est.mean;
+    acc.variance += est.variance;
+    ++acc.partials;
+  }
+  std::vector<Event> lm_events = stream.QueryLandmarks(spec.t1, spec.t2);
+  for (const Event& event : lm_events) {
+    if (event.value >= spec.value_lo && event.value < spec.value_hi) {
+      acc.exact += 1.0;
+    }
+  }
+  return FinishAdditive(acc, spec, /*poisson=*/false, views.size(), lm_events.size());
+}
+
+StatusOr<QueryResult> RunMean(Stream& stream, const QuerySpec& spec) {
+  QuerySpec count_spec = spec;
+  count_spec.op = QueryOp::kCount;
+  QuerySpec sum_spec = spec;
+  sum_spec.op = QueryOp::kSum;
+  SS_ASSIGN_OR_RETURN(QueryResult count, RunQuery(stream, count_spec));
+  SS_ASSIGN_OR_RETURN(QueryResult sum, RunQuery(stream, sum_spec));
+  QueryResult result;
+  result.confidence = spec.confidence;
+  result.windows_read = count.windows_read;
+  result.landmark_events = count.landmark_events;
+  result.exact = count.exact && sum.exact;
+  if (count.estimate <= 0) {
+    return Status::NotFound("no data in query range");
+  }
+  result.estimate = sum.estimate / count.estimate;
+  // First-order (delta-method) propagation of the two interval half-widths.
+  double sum_hw = (sum.ci_hi - sum.ci_lo) / 2.0;
+  double count_hw = (count.ci_hi - count.ci_lo) / 2.0;
+  double rel = std::sqrt(std::pow(sum_hw / std::max(1e-12, std::abs(sum.estimate)), 2) +
+                         std::pow(count_hw / count.estimate, 2));
+  double hw = std::abs(result.estimate) * rel;
+  result.ci_lo = result.estimate - hw;
+  result.ci_hi = result.estimate + hw;
+  return result;
+}
+
+}  // namespace
+
+const char* QueryOpName(QueryOp op) {
+  switch (op) {
+    case QueryOp::kCount:
+      return "count";
+    case QueryOp::kSum:
+      return "sum";
+    case QueryOp::kMean:
+      return "mean";
+    case QueryOp::kMin:
+      return "min";
+    case QueryOp::kMax:
+      return "max";
+    case QueryOp::kExistence:
+      return "existence";
+    case QueryOp::kFrequency:
+      return "frequency";
+    case QueryOp::kDistinct:
+      return "distinct";
+    case QueryOp::kQuantile:
+      return "quantile";
+    case QueryOp::kValueRangeCount:
+      return "value_range_count";
+  }
+  return "unknown";
+}
+
+StatusOr<QueryResult> RunQuery(Stream& stream, const QuerySpec& spec) {
+  if (spec.t2 < spec.t1) {
+    return Status::InvalidArgument("query range end precedes start");
+  }
+  if (spec.confidence <= 0.0 || spec.confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  switch (spec.op) {
+    case QueryOp::kCount:
+    case QueryOp::kSum:
+      return RunCountOrSum(stream, spec);
+    case QueryOp::kMean:
+      return RunMean(stream, spec);
+    case QueryOp::kMin:
+    case QueryOp::kMax:
+      return RunMinMax(stream, spec);
+    case QueryOp::kExistence:
+      return RunExistence(stream, spec);
+    case QueryOp::kFrequency:
+      return RunFrequency(stream, spec);
+    case QueryOp::kDistinct:
+      return RunDistinct(stream, spec);
+    case QueryOp::kQuantile:
+      return RunQuantile(stream, spec);
+    case QueryOp::kValueRangeCount:
+      return RunValueRangeCount(stream, spec);
+  }
+  return Status::InvalidArgument("unknown query operator");
+}
+
+}  // namespace ss

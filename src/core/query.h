@@ -1,0 +1,70 @@
+// Temporal range-query engine (§5): walks the summary windows overlapping
+// [t1, t2], takes exact unions from fully covered windows, statistical
+// estimates from the (at most two) partially covered edge windows, weaves in
+// landmark data exactly ("hollowing out" their spans from the proportional
+// shares), and returns the maximum-likelihood answer with a confidence
+// interval.
+#ifndef SUMMARYSTORE_SRC_CORE_QUERY_H_
+#define SUMMARYSTORE_SRC_CORE_QUERY_H_
+
+#include "src/core/stream.h"
+
+namespace ss {
+
+enum class QueryOp : uint8_t {
+  kCount = 0,
+  kSum = 1,
+  kMean = 2,
+  kMin = 3,
+  kMax = 4,
+  kExistence = 5,  // membership of `value` (Bloom / counting Bloom)
+  kFrequency = 6,  // occurrence count of `value` (CMS / counting Bloom)
+  kDistinct = 7,   // distinct-value count (HyperLogLog)
+  kQuantile = 8,   // approximate `quantile_q` quantile (KLL sketch)
+  // Count of events whose value lies in [value_lo, value_hi) — a SQL-style
+  // selection answered from the Histogram operator.
+  kValueRangeCount = 9,
+};
+
+const char* QueryOpName(QueryOp op);
+
+struct QuerySpec {
+  Timestamp t1 = 0;  // inclusive
+  Timestamp t2 = 0;  // inclusive
+  QueryOp op = QueryOp::kCount;
+  double value = 0.0;       // kExistence / kFrequency operand
+  double quantile_q = 0.5;  // kQuantile operand
+  double value_lo = 0.0;    // kValueRangeCount operands: [value_lo, value_hi)
+  double value_hi = 0.0;
+  double confidence = 0.95;
+};
+
+struct QueryResult {
+  // Maximum-likelihood answer. For kExistence this is P(value present).
+  double estimate = 0.0;
+  // Thresholded answer for kExistence.
+  bool bool_answer = false;
+  // Confidence interval at `confidence`.
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  double confidence = 0.95;
+  // True when no statistical estimation was involved (query was answered
+  // entirely from raw windows, landmarks, and exact whole-window unions).
+  bool exact = true;
+  size_t windows_read = 0;
+  size_t landmark_events = 0;
+
+  double CiWidth() const { return ci_hi - ci_lo; }
+  // CI width relative to a baseline answer, the metric of §7.2.2.
+  double RelativeCiWidth(double baseline) const {
+    return baseline == 0.0 ? CiWidth() : CiWidth() / std::abs(baseline);
+  }
+};
+
+// Executes `spec` against `stream`. Fails with kFailedPrecondition if the
+// stream is not configured with an operator able to answer `spec.op`.
+StatusOr<QueryResult> RunQuery(Stream& stream, const QuerySpec& spec);
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_CORE_QUERY_H_

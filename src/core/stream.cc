@@ -1,0 +1,622 @@
+#include "src/core/stream.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ss {
+
+namespace {
+
+uint64_t SatAdd(uint64_t a, uint64_t b) { return a > UINT64_MAX - b ? UINT64_MAX : a + b; }
+
+void SerializeWelford(Writer& writer, const WelfordAccumulator& acc) {
+  writer.PutVarint(static_cast<uint64_t>(acc.count()));
+  writer.PutDouble(acc.Mean());
+  writer.PutDouble(acc.m2());
+}
+
+StatusOr<WelfordAccumulator> DeserializeWelford(Reader& reader) {
+  SS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(double mean, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(double m2, reader.ReadDouble());
+  return WelfordAccumulator::FromParts(static_cast<int64_t>(count), mean, m2);
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- StreamConfig
+
+void StreamConfig::Serialize(Writer& writer) const {
+  decay->Serialize(writer);
+  operators.Serialize(writer);
+  writer.PutU8(static_cast<uint8_t>(arrival_model));
+  writer.PutU8(static_cast<uint8_t>(windowing));
+  writer.PutVarint(raw_threshold);
+  writer.PutFixed64(seed);
+  writer.PutVarint(window_cache_bytes);
+  writer.PutVarint(reorder_buffer);
+}
+
+StatusOr<StreamConfig> StreamConfig::Deserialize(Reader& reader) {
+  StreamConfig config;
+  SS_ASSIGN_OR_RETURN(std::unique_ptr<DecayFunction> decay, DeserializeDecay(reader));
+  config.decay = std::shared_ptr<const DecayFunction>(std::move(decay));
+  SS_ASSIGN_OR_RETURN(config.operators, OperatorSet::Deserialize(reader));
+  SS_ASSIGN_OR_RETURN(uint8_t model, reader.ReadU8());
+  config.arrival_model = static_cast<ArrivalModel>(model);
+  SS_ASSIGN_OR_RETURN(uint8_t windowing, reader.ReadU8());
+  if (windowing > static_cast<uint8_t>(WindowingMode::kTimeBased)) {
+    return Status::Corruption("StreamConfig: bad windowing mode");
+  }
+  config.windowing = static_cast<WindowingMode>(windowing);
+  SS_ASSIGN_OR_RETURN(config.raw_threshold, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(config.seed, reader.ReadFixed64());
+  SS_ASSIGN_OR_RETURN(config.window_cache_bytes, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(config.reorder_buffer, reader.ReadVarint());
+  return config;
+}
+
+// ----------------------------------------------------------------------- Stream
+
+Stream::Stream(StreamId id, StreamConfig config, KvBackend* kv)
+    : id_(id), config_(std::move(config)), kv_(kv), seq_(config_.decay) {
+  SS_CHECK(config_.decay != nullptr) << "stream requires a decay function";
+}
+
+Status Stream::Append(Timestamp ts, double value) {
+  if (config_.reorder_buffer > 0 && !in_landmark_) {
+    // Stage in the reorder heap; release the oldest event once the buffer
+    // is full. Arrivals displaced by more than the buffer capacity still
+    // surface as out-of-order errors below.
+    reorder_.push({ts, value});
+    if (reorder_.size() <= config_.reorder_buffer) {
+      return Status::Ok();
+    }
+    auto [release_ts, release_value] = reorder_.top();
+    reorder_.pop();
+    return AppendOrdered(release_ts, release_value);
+  }
+  return AppendOrdered(ts, value);
+}
+
+Status Stream::DrainReorderBuffer() {
+  while (!reorder_.empty()) {
+    auto [ts, value] = reorder_.top();
+    reorder_.pop();
+    SS_RETURN_IF_ERROR(AppendOrdered(ts, value));
+  }
+  return Status::Ok();
+}
+
+Status Stream::AppendOrdered(Timestamp ts, double value) {
+  if (last_ts_ != kMinTimestamp && ts < last_ts_) {
+    return Status::InvalidArgument("out-of-order append: ts " + std::to_string(ts) +
+                                   " < watermark " + std::to_string(last_ts_));
+  }
+  if (config_.windowing == WindowingMode::kTimeBased && ts < 0) {
+    return Status::InvalidArgument("time-based windowing requires non-negative timestamps");
+  }
+  // Stream model (§5.2): four scalars over the whole stream.
+  if (last_ts_ != kMinTimestamp) {
+    stats_.interarrival.Add(static_cast<double>(ts - last_ts_));
+  }
+  stats_.values.Add(value);
+  first_ts_ = std::min(first_ts_, ts);
+  last_ts_ = ts;
+  meta_dirty_ = true;
+
+  if (in_landmark_) {
+    LandmarkWindow& lm = landmarks_.back();
+    lm.events.push_back(Event{ts, value});
+    lm.ts_end = ts;
+    ++landmark_elements_;
+    return Status::Ok();
+  }
+
+  ++n_;
+  uint64_t prev_tail_cs = windows_.empty() ? 0 : windows_.rbegin()->first;
+  WindowSlot slot;
+  slot.ce = n_;
+  slot.ts_start = ts;
+  slot.ts_last = ts;
+  slot.dirty = true;
+  slot.window = std::make_shared<SummaryWindow>(n_, ts, value);
+  slot.size_bytes = slot.window->SizeBytes();
+  windows_.emplace(n_, std::move(slot));
+  ts_index_.insert({ts, n_});
+  if (prev_tail_cs != 0) {
+    PushCandidate(prev_tail_cs);
+  }
+  return DrainMerges();
+}
+
+uint64_t Stream::Position() const {
+  if (config_.windowing == WindowingMode::kTimeBased) {
+    return last_ts_ == kMinTimestamp ? 0 : static_cast<uint64_t>(last_ts_);
+  }
+  return n_;
+}
+
+uint64_t Stream::StartPos(const WindowSlot& slot, uint64_t cs) const {
+  return config_.windowing == WindowingMode::kTimeBased
+             ? static_cast<uint64_t>(slot.ts_start)
+             : cs;
+}
+
+uint64_t Stream::EndPos(const WindowSlot& slot) const {
+  return config_.windowing == WindowingMode::kTimeBased
+             ? static_cast<uint64_t>(slot.ts_last)
+             : slot.ce;
+}
+
+std::optional<uint64_t> Stream::ComputeMergeAt(uint64_t left_start, uint64_t right_end) const {
+  // Positions are element counts (count-based windowing) or timestamps
+  // (time-based); the containment arithmetic is identical in both.
+  uint64_t len = right_end - left_start + 1;
+  uint64_t k_fit = seq_.FirstBucketWithLengthAtLeast(len);
+  if (k_fit == DecaySequence::kNoBucket) {
+    return std::nullopt;
+  }
+  // The pair fits bucket K at position P iff
+  //   P >= right_end + B_K    (the pair is old enough to be inside the bucket)
+  //   P <  left_start + B_{K+1} (and hasn't aged past it)
+  // Candidates queued long ago may have aged past several buckets, so pick
+  // K directly: the smallest K >= k_fit with B_{K+1} > P − left_start. Then
+  // merge_at = max(P, right_end + B_K) always satisfies both bounds: if the
+  // max is P the second bound holds by choice of K, and otherwise it holds
+  // because D[K] >= len for every K >= k_fit.
+  uint64_t position = Position();
+  uint64_t aged = position > left_start ? position - left_start : 0;
+  uint64_t k = std::max(k_fit, seq_.FirstBoundaryGreaterThan(aged) - 1);
+  uint64_t merge_at = std::max(position, SatAdd(right_end, seq_.BucketBoundary(k)));
+  if (merge_at == UINT64_MAX) {
+    return std::nullopt;  // bucket so deep the pair will never merge in practice
+  }
+  SS_DCHECK(merge_at < SatAdd(left_start, seq_.BucketBoundary(k + 1)))
+      << "merge_at " << merge_at << " outside bucket " << k;
+  return merge_at;
+}
+
+void Stream::PushCandidate(uint64_t left_cs) {
+  auto it = windows_.find(left_cs);
+  if (it == windows_.end()) {
+    return;
+  }
+  auto succ = std::next(it);
+  if (succ == windows_.end()) {
+    return;
+  }
+  std::optional<uint64_t> merge_at =
+      ComputeMergeAt(StartPos(it->second, left_cs), EndPos(succ->second));
+  if (merge_at.has_value()) {
+    heap_.push(MergeCandidate{*merge_at, left_cs, succ->first});
+  }
+}
+
+Status Stream::DrainMerges() {
+  while (!heap_.empty() && heap_.top().merge_at <= Position()) {
+    MergeCandidate candidate = heap_.top();
+    heap_.pop();
+    auto it = windows_.find(candidate.left_cs);
+    if (it == windows_.end()) {
+      continue;  // left window merged away; fresh candidates were pushed then
+    }
+    auto succ = std::next(it);
+    if (succ == windows_.end() || succ->first != candidate.right_cs) {
+      continue;  // pair changed since this entry was queued
+    }
+    std::optional<uint64_t> merge_at =
+        ComputeMergeAt(StartPos(it->second, candidate.left_cs), EndPos(succ->second));
+    if (!merge_at.has_value()) {
+      continue;
+    }
+    if (*merge_at > Position()) {
+      heap_.push(MergeCandidate{*merge_at, candidate.left_cs, candidate.right_cs});
+      continue;
+    }
+    SS_RETURN_IF_ERROR(MergePair(candidate.left_cs, candidate.right_cs));
+  }
+  return Status::Ok();
+}
+
+Status Stream::MergePair(uint64_t left_cs, uint64_t right_cs) {
+  auto left_it = windows_.find(left_cs);
+  auto right_it = windows_.find(right_cs);
+  SS_CHECK(left_it != windows_.end() && right_it != windows_.end()) << "merge of missing window";
+  WindowSlot& left = left_it->second;
+  WindowSlot& right = right_it->second;
+
+  SS_RETURN_IF_ERROR(LoadWindow(left_cs, left).status());
+  SS_RETURN_IF_ERROR(LoadWindow(right_cs, right).status());
+
+  SS_RETURN_IF_ERROR(left.window->MergeFrom(std::move(*right.window), config_.operators,
+                                            config_.raw_threshold, config_.seed));
+  left.ce = right.ce;
+  left.ts_last = right.ts_last;
+  left.dirty = true;
+  left.size_bytes = left.window->SizeBytes();
+
+  ts_index_.erase({right.ts_start, right_cs});
+  // Only windows that ever reached the KV store need a tombstone; the vast
+  // majority of tail windows merge away between flushes.
+  if (right.persisted) {
+    pending_deletes_.push_back(right_cs);
+  }
+  windows_.erase(right_it);
+  ++merges_;
+
+  // Both neighbor pairs changed; queue fresh candidates.
+  if (left_it != windows_.begin()) {
+    PushCandidate(std::prev(left_it)->first);
+  }
+  PushCandidate(left_cs);
+  return Status::Ok();
+}
+
+Status Stream::BeginLandmark(Timestamp ts) {
+  if (in_landmark_) {
+    return Status::FailedPrecondition("landmark already active");
+  }
+  // Landmark routing is decided at arrival time; settle any staged events
+  // first so the boundary is unambiguous.
+  SS_RETURN_IF_ERROR(DrainReorderBuffer());
+  LandmarkWindow lm;
+  lm.id = next_landmark_id_++;
+  lm.ts_start = ts;
+  lm.ts_end = ts;
+  landmarks_.push_back(std::move(lm));
+  in_landmark_ = true;
+  meta_dirty_ = true;
+  return Status::Ok();
+}
+
+Status Stream::EndLandmark(Timestamp ts) {
+  if (!in_landmark_) {
+    return Status::FailedPrecondition("no active landmark");
+  }
+  LandmarkWindow& lm = landmarks_.back();
+  lm.ts_end = std::max(lm.ts_end, ts);
+  lm.closed = true;
+  in_landmark_ = false;
+  meta_dirty_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::shared_ptr<SummaryWindow>> Stream::LoadWindow(uint64_t cs, WindowSlot& slot) {
+  if (slot.window != nullptr) {
+    return slot.window;
+  }
+  SS_ASSIGN_OR_RETURN(std::string payload, kv_->Get(WindowKey(id_, cs)));
+  Reader reader(payload);
+  SS_ASSIGN_OR_RETURN(SummaryWindow window, SummaryWindow::Deserialize(reader));
+  slot.window = std::make_shared<SummaryWindow>(std::move(window));
+  return slot.window;
+}
+
+Status Stream::PersistWindow(uint64_t cs, WindowSlot& slot) {
+  SS_CHECK(slot.window != nullptr) << "persisting evicted window";
+  Writer writer;
+  slot.window->Serialize(writer);
+  SS_RETURN_IF_ERROR(kv_->Put(WindowKey(id_, cs), writer.data()));
+  slot.size_bytes = slot.window->SizeBytes();
+  slot.dirty = false;
+  slot.persisted = true;
+  return Status::Ok();
+}
+
+Status Stream::PersistMeta() {
+  Writer writer;
+  config_.Serialize(writer);
+  writer.PutVarint(n_);
+  writer.PutVarint(landmark_elements_);
+  writer.PutSignedVarint(first_ts_);
+  writer.PutSignedVarint(last_ts_);
+  writer.PutU8(in_landmark_ ? 1 : 0);
+  writer.PutVarint(next_landmark_id_);
+  writer.PutVarint(merges_);
+  SerializeWelford(writer, stats_.interarrival);
+  SerializeWelford(writer, stats_.values);
+  SS_RETURN_IF_ERROR(kv_->Put(StreamMetaKey(id_), writer.data()));
+  meta_dirty_ = false;
+  return Status::Ok();
+}
+
+Status Stream::PersistLandmark(const LandmarkWindow& lm) {
+  Writer writer;
+  lm.Serialize(writer);
+  return kv_->Put(LandmarkKey(id_, lm.id), writer.data());
+}
+
+Status Stream::Flush() {
+  SS_RETURN_IF_ERROR(DrainReorderBuffer());
+  for (auto& [cs, slot] : windows_) {
+    if (slot.dirty) {
+      SS_RETURN_IF_ERROR(PersistWindow(cs, slot));
+    }
+  }
+  for (uint64_t cs : pending_deletes_) {
+    SS_RETURN_IF_ERROR(kv_->Delete(WindowKey(id_, cs)));
+  }
+  pending_deletes_.clear();
+  for (size_t i = first_dirty_landmark_; i < landmarks_.size(); ++i) {
+    SS_RETURN_IF_ERROR(PersistLandmark(landmarks_[i]));
+  }
+  // The active (unclosed) landmark keeps mutating; re-persist it next flush.
+  first_dirty_landmark_ = in_landmark_ && !landmarks_.empty() ? landmarks_.size() - 1
+                                                              : landmarks_.size();
+  if (meta_dirty_) {
+    SS_RETURN_IF_ERROR(PersistMeta());
+  }
+  return Status::Ok();
+}
+
+Status Stream::EvictAllWindows() {
+  SS_RETURN_IF_ERROR(Flush());
+  for (auto& [cs, slot] : windows_) {
+    if (slot.window != nullptr) {
+      slot.size_bytes = slot.window->SizeBytes();
+      slot.window = nullptr;
+    }
+  }
+  return Status::Ok();
+}
+
+void Stream::DropCleanWindowPayloads() {
+  for (auto& [cs, slot] : windows_) {
+    if (slot.window != nullptr && !slot.dirty) {
+      slot.size_bytes = slot.window->SizeBytes();
+      slot.window = nullptr;
+    }
+  }
+}
+
+Status Stream::Erase() {
+  // Collect keys first: mutating while scanning is undefined for backends.
+  std::vector<std::string> keys;
+  auto collect = [&keys](std::string_view key, std::string_view) {
+    keys.emplace_back(key);
+    return true;
+  };
+  SS_RETURN_IF_ERROR(
+      kv_->Scan(WindowKeyPrefix(id_), PrefixEnd(WindowKeyPrefix(id_)), collect));
+  SS_RETURN_IF_ERROR(
+      kv_->Scan(LandmarkKeyPrefix(id_), PrefixEnd(LandmarkKeyPrefix(id_)), collect));
+  keys.push_back(StreamMetaKey(id_));
+  for (const std::string& key : keys) {
+    SS_RETURN_IF_ERROR(kv_->Delete(key));
+  }
+  windows_.clear();
+  ts_index_.clear();
+  landmarks_.clear();
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<Stream>> Stream::Load(StreamId id, KvBackend* kv) {
+  SS_ASSIGN_OR_RETURN(std::string meta, kv->Get(StreamMetaKey(id)));
+  Reader reader(meta);
+  SS_ASSIGN_OR_RETURN(StreamConfig config, StreamConfig::Deserialize(reader));
+  auto stream = std::make_unique<Stream>(id, std::move(config), kv);
+  SS_ASSIGN_OR_RETURN(stream->n_, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(stream->landmark_elements_, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(stream->first_ts_, reader.ReadSignedVarint());
+  SS_ASSIGN_OR_RETURN(stream->last_ts_, reader.ReadSignedVarint());
+  SS_ASSIGN_OR_RETURN(uint8_t in_landmark, reader.ReadU8());
+  stream->in_landmark_ = in_landmark != 0;
+  SS_ASSIGN_OR_RETURN(stream->next_landmark_id_, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(stream->merges_, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(stream->stats_.interarrival, DeserializeWelford(reader));
+  SS_ASSIGN_OR_RETURN(stream->stats_.values, DeserializeWelford(reader));
+
+  // Rebuild the window index from the persisted windows; payloads stay
+  // evicted until queried.
+  Status scan_status = Status::Ok();
+  SS_RETURN_IF_ERROR(kv->Scan(
+      WindowKeyPrefix(id), PrefixEnd(WindowKeyPrefix(id)),
+      [&](std::string_view key, std::string_view value) {
+        uint64_t cs = ReadBigEndian64(key.substr(9));
+        Reader header(value);
+        WindowSlot slot;
+        // Header layout: cs, ce, ts_start, ts_last (see SummaryWindow serde).
+        auto cs_field = header.ReadVarint();
+        auto ce_field = header.ReadVarint();
+        auto ts_start = header.ReadSignedVarint();
+        auto ts_last = header.ReadSignedVarint();
+        if (!cs_field.ok() || !ce_field.ok() || !ts_start.ok() || !ts_last.ok() ||
+            *cs_field != cs) {
+          scan_status = Status::Corruption("bad window header for stream " + std::to_string(id));
+          return false;
+        }
+        slot.ce = *ce_field;
+        slot.ts_start = *ts_start;
+        slot.ts_last = *ts_last;
+        slot.size_bytes = value.size();
+        slot.persisted = true;
+        stream->windows_.emplace(cs, std::move(slot));
+        stream->ts_index_.insert({*ts_start, cs});
+        return true;
+      }));
+  SS_RETURN_IF_ERROR(scan_status);
+
+  SS_RETURN_IF_ERROR(kv->Scan(LandmarkKeyPrefix(id), PrefixEnd(LandmarkKeyPrefix(id)),
+                              [&](std::string_view, std::string_view value) {
+                                Reader lm_reader(value);
+                                auto lm = LandmarkWindow::Deserialize(lm_reader);
+                                if (!lm.ok()) {
+                                  scan_status = lm.status();
+                                  return false;
+                                }
+                                stream->landmarks_.push_back(std::move(lm).value());
+                                return true;
+                              }));
+  SS_RETURN_IF_ERROR(scan_status);
+  std::sort(stream->landmarks_.begin(), stream->landmarks_.end(),
+            [](const LandmarkWindow& a, const LandmarkWindow& b) {
+              return a.ts_start != b.ts_start ? a.ts_start < b.ts_start : a.id < b.id;
+            });
+  // An open landmark keeps mutating after reload; treat it as dirty so the
+  // next Flush re-persists it (closed landmarks are immutable).
+  stream->first_dirty_landmark_ = stream->in_landmark_ && !stream->landmarks_.empty()
+                                      ? stream->landmarks_.size() - 1
+                                      : stream->landmarks_.size();
+
+  // Re-arm the merge heap for every adjacent pair.
+  for (auto it = stream->windows_.begin(); it != stream->windows_.end(); ++it) {
+    stream->PushCandidate(it->first);
+  }
+  stream->meta_dirty_ = false;
+  return stream;
+}
+
+uint64_t Stream::ResidentWindowBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [cs, slot] : windows_) {
+    if (slot.window != nullptr) {
+      bytes += slot.window->SizeBytes();
+    }
+  }
+  return bytes;
+}
+
+uint64_t Stream::SizeBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [cs, slot] : windows_) {
+    bytes += slot.window != nullptr ? slot.window->SizeBytes() : slot.size_bytes;
+  }
+  for (const auto& lm : landmarks_) {
+    bytes += lm.SizeBytes();
+  }
+  return bytes;
+}
+
+Status Stream::BulkLoadWindows(uint64_t cs_first, uint64_t cs_last) {
+  Status decode_status = Status::Ok();
+  SS_RETURN_IF_ERROR(kv_->Scan(
+      WindowKey(id_, cs_first), WindowKey(id_, cs_last + 1),
+      [&](std::string_view key, std::string_view value) {
+        uint64_t cs = ReadBigEndian64(key.substr(9));
+        auto it = windows_.find(cs);
+        if (it == windows_.end() || it->second.window != nullptr) {
+          return true;  // merged away since persisted, or already resident
+        }
+        Reader reader(value);
+        auto window = SummaryWindow::Deserialize(reader);
+        if (!window.ok()) {
+          decode_status = window.status();
+          return false;
+        }
+        it->second.window = std::make_shared<SummaryWindow>(std::move(window).value());
+        return true;
+      }));
+  return decode_status;
+}
+
+StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t1, Timestamp t2) {
+  std::vector<WindowView> views;
+  if (windows_.empty() || t2 < t1) {
+    return views;
+  }
+  // Start from the first window with ts_start >= t1, plus one predecessor
+  // whose cover may extend past t1. (All duplicates at ts_start == t1 must
+  // be visited: with quantized clocks several windows can share a start.)
+  auto begin_idx = ts_index_.lower_bound({t1, 0});
+  if (begin_idx != ts_index_.begin()) {
+    --begin_idx;
+  }
+  // Count evicted windows in range; past a handful, one range scan beats
+  // per-window point lookups by decoding each storage block only once.
+  size_t missing = 0;
+  uint64_t cs_first = 0;
+  uint64_t cs_last = 0;
+  for (auto idx = begin_idx; idx != ts_index_.end() && idx->first <= t2; ++idx) {
+    auto slot_it = windows_.find(idx->second);
+    SS_CHECK(slot_it != windows_.end()) << "ts_index out of sync";
+    if (slot_it->second.window == nullptr) {
+      if (missing == 0) {
+        cs_first = idx->second;
+      }
+      cs_last = idx->second;
+      ++missing;
+    }
+  }
+  if (missing > 16) {
+    SS_RETURN_IF_ERROR(BulkLoadWindows(cs_first, cs_last));
+  }
+
+  for (auto idx = begin_idx; idx != ts_index_.end() && idx->first <= t2; ++idx) {
+    uint64_t cs = idx->second;
+    auto slot_it = windows_.find(cs);
+    auto next_idx = std::next(idx);
+    Timestamp cover_end = next_idx != ts_index_.end() ? next_idx->first : last_ts_ + 1;
+    if (cover_end <= t1 && slot_it->second.ts_start < t1) {
+      continue;  // the stepped-back window ends before the query starts
+    }
+    SS_ASSIGN_OR_RETURN(std::shared_ptr<SummaryWindow> window,
+                        LoadWindow(cs, slot_it->second));
+    slot_it->second.last_access = ++access_clock_;
+    views.push_back(WindowView{std::move(window), slot_it->second.ts_start, cover_end});
+  }
+  EnforceWindowCacheBudget();
+  return views;
+}
+
+void Stream::EnforceWindowCacheBudget() {
+  if (config_.window_cache_bytes == 0) {
+    return;
+  }
+  uint64_t resident = 0;
+  for (const auto& [cs, slot] : windows_) {
+    if (slot.window != nullptr && !slot.dirty && slot.persisted) {
+      resident += slot.window->SizeBytes();
+    }
+  }
+  if (resident <= config_.window_cache_bytes) {
+    return;
+  }
+  // Collect clean resident slots oldest-access first and drop until we fit.
+  // (Dirty or never-persisted windows must stay: they are the only copy.)
+  std::vector<std::pair<uint64_t, uint64_t>> victims;  // (last_access, cs)
+  for (const auto& [cs, slot] : windows_) {
+    if (slot.window != nullptr && !slot.dirty && slot.persisted) {
+      victims.emplace_back(slot.last_access, cs);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const auto& [access, cs] : victims) {
+    if (resident <= config_.window_cache_bytes) {
+      break;
+    }
+    WindowSlot& slot = windows_.find(cs)->second;
+    resident -= slot.window->SizeBytes();
+    slot.size_bytes = slot.window->SizeBytes();
+    slot.window = nullptr;
+  }
+}
+
+std::vector<const LandmarkWindow*> Stream::LandmarksOverlapping(Timestamp t1,
+                                                                Timestamp t2) const {
+  std::vector<const LandmarkWindow*> out;
+  for (const auto& lm : landmarks_) {
+    if (lm.ts_start > t2) {
+      break;
+    }
+    if (lm.ts_end >= t1) {
+      out.push_back(&lm);
+    }
+  }
+  return out;
+}
+
+std::vector<Event> Stream::QueryLandmarks(Timestamp t1, Timestamp t2) const {
+  std::vector<Event> out;
+  for (const LandmarkWindow* lm : LandmarksOverlapping(t1, t2)) {
+    for (const Event& event : lm->events) {
+      if (event.ts >= t1 && event.ts <= t2) {
+        out.push_back(event);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ss

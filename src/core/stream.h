@@ -1,0 +1,220 @@
+// Stream: one time series inside a SummaryStore — the owner of its decayed
+// summary windows, landmark windows, stream-level statistics, and the
+// window-merge ingest machinery (Algorithm 1 of the paper).
+//
+// Ingest path: every non-landmark append creates a fresh single-element
+// window and registers a merge candidate for the (previous tail, new tail)
+// pair in a min-heap ordered by "earliest stream length N at which the pair
+// fits inside one decay target bucket". Candidates are validated lazily
+// (windows may have merged away) and recomputed on pop — this is the
+// "efficient heap used by the merge procedure to identify candidate window
+// merges" from §6. Amortized cost is O(log W) per append.
+#ifndef SUMMARYSTORE_SRC_CORE_STREAM_H_
+#define SUMMARYSTORE_SRC_CORE_STREAM_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "src/core/decay.h"
+#include "src/core/keys.h"
+#include "src/core/window.h"
+#include "src/stats/welford.h"
+#include "src/storage/kv_backend.h"
+
+namespace ss {
+
+// Arrival-process model assumed by the error estimators (§5.2 / Table 6):
+// kPoisson enables the tighter Binomial bounds; kGeneric uses the
+// renewal-theoretic normal approximation valid for any i.i.d. interarrivals.
+enum class ArrivalModel : uint8_t { kGeneric = 0, kPoisson = 1 };
+
+// Dimension in which decay target-window lengths (and element ages) are
+// measured. kCountBased matches the reference implementation: D[k] counts
+// elements, so storage follows Table 4 exactly regardless of arrival gaps.
+// kTimeBased follows the paper's prose ("windows span progressively-longer
+// time lengths", §3.2): D[k] is a time span, so wall-clock-uniform queries
+// see uniform per-bucket resolution even under bursty arrivals.
+enum class WindowingMode : uint8_t { kCountBased = 0, kTimeBased = 1 };
+
+struct StreamConfig {
+  std::shared_ptr<const DecayFunction> decay;
+  OperatorSet operators;
+  ArrivalModel arrival_model = ArrivalModel::kGeneric;
+  WindowingMode windowing = WindowingMode::kCountBased;
+  // Windows at most this many elements keep raw events (exact answers);
+  // larger windows materialize into the operator set.
+  uint64_t raw_threshold = 64;
+  uint64_t seed = 1;
+  // Memory budget for clean (persisted, reloadable) window payloads kept
+  // resident after queries; 0 = unlimited (everything stays in memory, the
+  // ingest-heavy default). Long-lived query servers set a budget so cold
+  // queries don't accrete the whole store into RAM.
+  uint64_t window_cache_bytes = 0;
+  // Bounded out-of-order tolerance: appends are staged in a min-heap of this
+  // capacity and released in timestamp order, so events may arrive up to
+  // `reorder_buffer` positions early/late. 0 (default) = appends must be
+  // monotone. Staged events are not yet queryable; Flush() drains them.
+  uint64_t reorder_buffer = 0;
+
+  void Serialize(Writer& writer) const;
+  static StatusOr<StreamConfig> Deserialize(Reader& reader);
+};
+
+// The four per-stream scalars of §5.2: mean/stddev of interarrival times and
+// of values, tracked online over the whole stream.
+struct StreamStats {
+  WelfordAccumulator interarrival;
+  WelfordAccumulator values;
+
+  double MeanInterarrival() const { return interarrival.Mean(); }
+  double StdDevInterarrival() const { return interarrival.StdDev(); }
+  double MeanValue() const { return values.Mean(); }
+  double StdDevValue() const { return values.StdDev(); }
+};
+
+class Stream {
+ public:
+  // Index entry + (possibly evicted) payload for one summary window.
+  struct WindowSlot {
+    uint64_t ce = 0;
+    Timestamp ts_start = 0;
+    Timestamp ts_last = 0;
+    size_t size_bytes = 0;  // last known logical size (valid when evicted)
+    bool dirty = false;
+    bool persisted = false;  // a KV entry exists; merging it away needs a delete
+    uint64_t last_access = 0;  // LRU stamp for the window-cache budget
+    std::shared_ptr<SummaryWindow> window;  // null when evicted to the KV store
+  };
+
+  Stream(StreamId id, StreamConfig config, KvBackend* kv);
+
+  // Rebuilds a stream (meta, window index, landmarks) from the KV store.
+  static StatusOr<std::unique_ptr<Stream>> Load(StreamId id, KvBackend* kv);
+
+  // --- ingest -----------------------------------------------------------
+  Status Append(Timestamp ts, double value);
+  Status BeginLandmark(Timestamp ts);
+  Status EndLandmark(Timestamp ts);
+  bool in_landmark() const { return in_landmark_; }
+  // Events staged in the reorder buffer, not yet ingested/queryable.
+  size_t reorder_buffered() const { return reorder_.size(); }
+  // Ingests everything still staged in the reorder buffer (also runs on
+  // Flush). After draining, the watermark advances to the newest staged ts.
+  Status DrainReorderBuffer();
+
+  // Persists dirty windows, landmarks and metadata to the KV store.
+  Status Flush();
+  // Flush + drop all in-memory window payloads (queries reload on demand).
+  Status EvictAllWindows();
+  // Drops clean payloads only (cold-cache experiments).
+  void DropCleanWindowPayloads();
+  // Removes every persisted key for this stream (DeleteStream).
+  Status Erase();
+
+  // --- introspection ------------------------------------------------------
+  StreamId id() const { return id_; }
+  const StreamConfig& config() const { return config_; }
+  const StreamStats& stats() const { return stats_; }
+  uint64_t element_count() const { return n_; }           // summarized elements
+  uint64_t landmark_element_count() const { return landmark_elements_; }
+  size_t window_count() const { return windows_.size(); }
+  size_t landmark_window_count() const { return landmarks_.size(); }
+  Timestamp start_time() const { return first_ts_; }
+  Timestamp watermark() const { return last_ts_; }
+  uint64_t merge_count() const { return merges_; }
+  // Logical decayed size: Σ window SizeBytes + landmark bytes (the "s" in
+  // the paper's compaction factor S/s, measured pre-serialization like §7).
+  uint64_t SizeBytes() const;
+  // Bytes of window payloads currently resident in memory (cache telemetry).
+  uint64_t ResidentWindowBytes() const;
+
+  // --- query support (used by the query engine) ---------------------------
+  // Windows whose covered time span intersects [t1, t2], oldest first; loads
+  // evicted payloads from the KV store. Each entry carries the *cover* span:
+  // cover_start = window ts_start, cover_end = next window's ts_start (or
+  // watermark+1 for the tail) so that windows tile stream time contiguously.
+  struct WindowView {
+    std::shared_ptr<SummaryWindow> window;
+    Timestamp cover_start;
+    Timestamp cover_end;  // exclusive
+  };
+  StatusOr<std::vector<WindowView>> WindowsOverlapping(Timestamp t1, Timestamp t2);
+
+  // Landmark windows intersecting [t1, t2].
+  std::vector<const LandmarkWindow*> LandmarksOverlapping(Timestamp t1, Timestamp t2) const;
+
+  // Raw-event enumeration over landmarks (the Ql query of Table 3).
+  std::vector<Event> QueryLandmarks(Timestamp t1, Timestamp t2) const;
+
+ private:
+  struct MergeCandidate {
+    uint64_t merge_at;  // earliest N at which the pair fits one target bucket
+    uint64_t left_cs;
+    uint64_t right_cs;
+    bool operator>(const MergeCandidate& other) const { return merge_at > other.merge_at; }
+  };
+
+  // Earliest stream length N >= n_ at which windows [left, right] fit inside
+  // a single target bucket; nullopt if they never will.
+  // The monotone ingest path Append delegates to (after reorder staging).
+  Status AppendOrdered(Timestamp ts, double value);
+  // Current position along the decay axis: element count (count-based) or
+  // watermark timestamp (time-based).
+  uint64_t Position() const;
+  // A window's start/end coordinates along the decay axis.
+  uint64_t StartPos(const WindowSlot& slot, uint64_t cs) const;
+  uint64_t EndPos(const WindowSlot& slot) const;
+  std::optional<uint64_t> ComputeMergeAt(uint64_t left_start, uint64_t right_end) const;
+  void PushCandidate(uint64_t left_cs);  // candidate for (left, successor(left))
+  Status DrainMerges();
+  Status MergePair(uint64_t left_cs, uint64_t right_cs);
+  StatusOr<std::shared_ptr<SummaryWindow>> LoadWindow(uint64_t cs, WindowSlot& slot);
+  // Loads every evicted window with cs in [cs_first, cs_last] through one
+  // backend range scan — decoding each storage block once instead of once
+  // per window (large range queries touch thousands of adjacent windows).
+  Status BulkLoadWindows(uint64_t cs_first, uint64_t cs_last);
+  // Drops least-recently-used clean payloads until resident clean bytes fit
+  // the configured window_cache_bytes budget. No-op when the budget is 0.
+  void EnforceWindowCacheBudget();
+  Status PersistWindow(uint64_t cs, WindowSlot& slot);
+  Status PersistMeta();
+  Status PersistLandmark(const LandmarkWindow& lm);
+
+  StreamId id_;
+  StreamConfig config_;
+  KvBackend* kv_;
+  DecaySequence seq_;
+
+  uint64_t n_ = 0;  // summarized (non-landmark) elements ingested
+  uint64_t landmark_elements_ = 0;
+  Timestamp first_ts_ = kMaxTimestamp;
+  Timestamp last_ts_ = kMinTimestamp;
+  StreamStats stats_;
+  bool in_landmark_ = false;
+  uint64_t next_landmark_id_ = 0;
+  uint64_t merges_ = 0;
+
+  std::map<uint64_t, WindowSlot> windows_;  // keyed by cs
+  // Time index for query routing: (ts_start, cs) pairs, one per live window.
+  // cs disambiguates windows sharing a start timestamp.
+  std::set<std::pair<Timestamp, uint64_t>> ts_index_;
+  std::vector<LandmarkWindow> landmarks_;   // ordered by ts_start
+  size_t first_dirty_landmark_ = 0;
+  std::priority_queue<MergeCandidate, std::vector<MergeCandidate>, std::greater<>> heap_;
+  std::vector<uint64_t> pending_deletes_;  // cs of merged-away windows
+  bool meta_dirty_ = true;
+  uint64_t access_clock_ = 0;  // monotone stamp source for slot.last_access
+  // Min-heap (by timestamp) staging out-of-order arrivals; see
+  // StreamConfig::reorder_buffer.
+  std::priority_queue<std::pair<Timestamp, double>, std::vector<std::pair<Timestamp, double>>,
+                      std::greater<>>
+      reorder_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_CORE_STREAM_H_

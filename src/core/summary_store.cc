@@ -1,0 +1,192 @@
+#include "src/core/summary_store.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace ss {
+
+StatusOr<std::unique_ptr<SummaryStore>> SummaryStore::Open(const StoreOptions& options) {
+  std::unique_ptr<KvBackend> kv;
+  if (options.dir.empty()) {
+    kv = std::make_unique<MemoryBackend>();
+  } else {
+    SS_ASSIGN_OR_RETURN(std::unique_ptr<LsmStore> lsm, LsmStore::Open(options.dir, options.lsm));
+    kv = std::move(lsm);
+  }
+  std::unique_ptr<SummaryStore> store(new SummaryStore(std::move(kv)));
+
+  // Store meta: varint next_id, varint count, then stream ids.
+  auto meta = store->kv_->Get(StoreMetaKey());
+  if (meta.ok()) {
+    Reader reader(*meta);
+    SS_ASSIGN_OR_RETURN(store->next_stream_id_, reader.ReadVarint());
+    SS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+    for (uint64_t i = 0; i < count; ++i) {
+      SS_ASSIGN_OR_RETURN(StreamId id, reader.ReadVarint());
+      SS_ASSIGN_OR_RETURN(std::unique_ptr<Stream> stream, Stream::Load(id, store->kv_.get()));
+      store->streams_.emplace(id, std::move(stream));
+    }
+  } else if (meta.status().code() != StatusCode::kNotFound) {
+    return meta.status();
+  }
+  return store;
+}
+
+Status SummaryStore::PersistStreamList() {
+  Writer writer;
+  writer.PutVarint(next_stream_id_);
+  writer.PutVarint(streams_.size());
+  for (const auto& [id, stream] : streams_) {
+    writer.PutVarint(id);
+  }
+  return kv_->Put(StoreMetaKey(), writer.data());
+}
+
+StatusOr<StreamId> SummaryStore::CreateStream(StreamConfig config) {
+  StreamId id = next_stream_id_++;
+  SS_RETURN_IF_ERROR(CreateStreamWithId(id, std::move(config)));
+  return id;
+}
+
+Status SummaryStore::CreateStreamWithId(StreamId id, StreamConfig config) {
+  if (streams_.contains(id)) {
+    return Status::AlreadyExists("stream " + std::to_string(id) + " exists");
+  }
+  if (config.decay == nullptr) {
+    return Status::InvalidArgument("stream config requires a decay function");
+  }
+  next_stream_id_ = std::max(next_stream_id_, id + 1);
+  auto stream = std::make_unique<Stream>(id, std::move(config), kv_.get());
+  streams_.emplace(id, std::move(stream));
+  return PersistStreamList();
+}
+
+Status SummaryStore::DeleteStream(StreamId id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("stream " + std::to_string(id) + " not found");
+  }
+  SS_RETURN_IF_ERROR(it->second->Erase());
+  streams_.erase(it);
+  return PersistStreamList();
+}
+
+std::vector<StreamId> SummaryStore::ListStreams() const {
+  std::vector<StreamId> ids;
+  ids.reserve(streams_.size());
+  for (const auto& [id, stream] : streams_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+StatusOr<Stream*> SummaryStore::GetStream(StreamId id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("stream " + std::to_string(id) + " not found");
+  }
+  return it->second.get();
+}
+
+Status SummaryStore::Append(StreamId id, Timestamp ts, double value) {
+  SS_ASSIGN_OR_RETURN(Stream * stream, GetStream(id));
+  return stream->Append(ts, value);
+}
+
+Status SummaryStore::Append(StreamId id, double value) { return Append(id, NowMicros(), value); }
+
+Status SummaryStore::BeginLandmark(StreamId id, Timestamp ts) {
+  SS_ASSIGN_OR_RETURN(Stream * stream, GetStream(id));
+  return stream->BeginLandmark(ts);
+}
+
+Status SummaryStore::EndLandmark(StreamId id, Timestamp ts) {
+  SS_ASSIGN_OR_RETURN(Stream * stream, GetStream(id));
+  return stream->EndLandmark(ts);
+}
+
+StatusOr<QueryResult> SummaryStore::Query(StreamId id, const QuerySpec& spec) {
+  SS_ASSIGN_OR_RETURN(Stream * stream, GetStream(id));
+  return RunQuery(*stream, spec);
+}
+
+StatusOr<std::vector<Event>> SummaryStore::QueryLandmark(StreamId id, Timestamp t1, Timestamp t2) {
+  SS_ASSIGN_OR_RETURN(Stream * stream, GetStream(id));
+  return stream->QueryLandmarks(t1, t2);
+}
+
+StatusOr<QueryResult> SummaryStore::QueryAggregate(std::span<const StreamId> ids,
+                                                   const QuerySpec& spec) {
+  if (ids.empty()) {
+    return Status::InvalidArgument("QueryAggregate requires at least one stream");
+  }
+  const bool additive = spec.op == QueryOp::kCount || spec.op == QueryOp::kSum;
+  const bool extremum = spec.op == QueryOp::kMin || spec.op == QueryOp::kMax;
+  if (!additive && !extremum) {
+    return Status::InvalidArgument("QueryAggregate supports count, sum, min, max");
+  }
+
+  QueryResult combined;
+  combined.confidence = spec.confidence;
+  combined.exact = true;
+  double variance = 0.0;  // from per-stream CI half-widths, quadrature
+  bool first = true;
+  for (StreamId id : ids) {
+    SS_ASSIGN_OR_RETURN(QueryResult result, Query(id, spec));
+    combined.windows_read += result.windows_read;
+    combined.landmark_events += result.landmark_events;
+    combined.exact = combined.exact && result.exact;
+    if (additive) {
+      combined.estimate += result.estimate;
+      double hw = result.CiWidth() / 2.0;
+      variance += hw * hw;
+    } else {
+      bool better = first || (spec.op == QueryOp::kMin ? result.estimate < combined.estimate
+                                                       : result.estimate > combined.estimate);
+      if (better) {
+        combined.estimate = result.estimate;
+      }
+    }
+    first = false;
+  }
+  if (additive) {
+    double hw = std::sqrt(variance);
+    combined.ci_lo = std::max(0.0, combined.estimate - hw);
+    combined.ci_hi = combined.estimate + hw;
+  } else {
+    combined.ci_lo = combined.ci_hi = combined.estimate;
+  }
+  return combined;
+}
+
+Status SummaryStore::Flush() {
+  for (auto& [id, stream] : streams_) {
+    SS_RETURN_IF_ERROR(stream->Flush());
+  }
+  return kv_->Flush();
+}
+
+Status SummaryStore::EvictAll() {
+  for (auto& [id, stream] : streams_) {
+    SS_RETURN_IF_ERROR(stream->EvictAllWindows());
+  }
+  return kv_->Flush();
+}
+
+void SummaryStore::DropCaches() {
+  for (auto& [id, stream] : streams_) {
+    stream->DropCleanWindowPayloads();
+  }
+  kv_->DropCaches();
+}
+
+uint64_t SummaryStore::TotalSizeBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [id, stream] : streams_) {
+    bytes += stream->SizeBytes();
+  }
+  return bytes;
+}
+
+}  // namespace ss

@@ -1,0 +1,89 @@
+// SummaryStore: the public API of the system (Table 3 of the paper).
+//
+//   CreateStream(decay, [operators])  -> CreateStream(StreamConfig)
+//   DeleteStream(stream)              -> DeleteStream(id)
+//   Append(stream, [ts], value)       -> Append(id, ts, value)
+//   Begin/EndLandmark(stream)         -> Begin/EndLandmark(id, ts)
+//   Query(stream, Ts, Te, op, params) -> Query(id, QuerySpec)
+//   QueryLandmark(stream, Ts, Te)     -> QueryLandmark(id, t1, t2)
+//
+// A store owns one KV backend (durable LSM directory, or in-memory) shared
+// by all streams.
+#ifndef SUMMARYSTORE_SRC_CORE_SUMMARY_STORE_H_
+#define SUMMARYSTORE_SRC_CORE_SUMMARY_STORE_H_
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/core/stream.h"
+#include "src/storage/lsm_store.h"
+#include "src/storage/memory_backend.h"
+
+namespace ss {
+
+struct StoreOptions {
+  // Directory for the durable LSM backend; empty selects the in-memory
+  // backend (tests, ephemeral analysis).
+  std::string dir;
+  LsmOptions lsm;
+};
+
+class SummaryStore {
+ public:
+  // Opens (or creates) a store and reloads every registered stream's index.
+  static StatusOr<std::unique_ptr<SummaryStore>> Open(const StoreOptions& options);
+
+  // --- stream lifecycle --------------------------------------------------
+  StatusOr<StreamId> CreateStream(StreamConfig config);
+  Status CreateStreamWithId(StreamId id, StreamConfig config);
+  Status DeleteStream(StreamId id);
+  std::vector<StreamId> ListStreams() const;
+
+  // --- writes (Table 3) ----------------------------------------------------
+  Status Append(StreamId id, Timestamp ts, double value);
+  // Timestamp-less variant: stamps with the system clock (µs since epoch).
+  Status Append(StreamId id, double value);
+  Status BeginLandmark(StreamId id, Timestamp ts);
+  Status EndLandmark(StreamId id, Timestamp ts);
+
+  // --- reads (Table 3) -----------------------------------------------------
+  StatusOr<QueryResult> Query(StreamId id, const QuerySpec& spec);
+  StatusOr<std::vector<Event>> QueryLandmark(StreamId id, Timestamp t1, Timestamp t2);
+
+  // Fleet query: one additive aggregate (count / sum) or extremum
+  // (min / max) over several streams at once. Additive estimates sum and
+  // their CI half-widths combine in quadrature (streams are independent);
+  // extrema take the min/max of the per-stream answers.
+  StatusOr<QueryResult> QueryAggregate(std::span<const StreamId> ids, const QuerySpec& spec);
+
+  // --- maintenance ---------------------------------------------------------
+  // Persists all dirty state to the backend.
+  Status Flush();
+  // Flush + evict all in-memory window payloads.
+  Status EvictAll();
+  // Simulates a cold cache: drops window payloads and backend block caches.
+  void DropCaches();
+
+  // --- introspection -------------------------------------------------------
+  StatusOr<Stream*> GetStream(StreamId id);
+  // Logical decayed size across streams (the "s" of compaction S/s).
+  uint64_t TotalSizeBytes() const;
+  KvBackend& backend() { return *kv_; }
+
+ private:
+  explicit SummaryStore(std::unique_ptr<KvBackend> kv) : kv_(std::move(kv)) {}
+
+  Status PersistStreamList();
+
+  std::unique_ptr<KvBackend> kv_;
+  std::map<StreamId, std::unique_ptr<Stream>> streams_;
+  StreamId next_stream_id_ = 1;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_CORE_SUMMARY_STORE_H_

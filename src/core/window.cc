@@ -1,0 +1,176 @@
+#include "src/core/window.h"
+
+#include "src/common/logging.h"
+
+namespace ss {
+
+SummaryWindow::SummaryWindow(uint64_t c, Timestamp ts, double value)
+    : cs_(c), ce_(c), ts_start_(ts), ts_last_(ts) {
+  raw_.push_back(Event{ts, value});
+}
+
+void SummaryWindow::Append(uint64_t c, Timestamp ts, double value) {
+  SS_DCHECK(c == ce_ + 1) << "non-contiguous append";
+  ce_ = c;
+  ts_last_ = ts;
+  if (summaries_.empty()) {
+    raw_.push_back(Event{ts, value});
+  } else {
+    for (auto& summary : summaries_) {
+      summary->Update(ts, value);
+    }
+  }
+}
+
+void SummaryWindow::Materialize(const OperatorSet& ops, uint64_t seed) {
+  if (!summaries_.empty()) {
+    return;
+  }
+  summaries_ = ops.CreateAll(seed ^ cs_);
+  for (const Event& event : raw_) {
+    for (auto& summary : summaries_) {
+      summary->Update(event.ts, event.value);
+    }
+  }
+  raw_.clear();
+  raw_.shrink_to_fit();
+}
+
+Status SummaryWindow::MergeFrom(SummaryWindow&& other, const OperatorSet& ops,
+                                uint64_t raw_threshold, uint64_t seed) {
+  if (other.cs_ != ce_ + 1) {
+    return Status::InvalidArgument("MergeFrom: windows not adjacent");
+  }
+  bool both_raw = summaries_.empty() && other.summaries_.empty();
+  if (both_raw && raw_.size() + other.raw_.size() <= raw_threshold) {
+    raw_.insert(raw_.end(), other.raw_.begin(), other.raw_.end());
+  } else {
+    Materialize(ops, seed);
+    if (other.summaries_.empty()) {
+      for (const Event& event : other.raw_) {
+        for (auto& summary : summaries_) {
+          summary->Update(event.ts, event.value);
+        }
+      }
+    } else {
+      if (other.summaries_.size() != summaries_.size()) {
+        return Status::InvalidArgument("MergeFrom: operator set mismatch");
+      }
+      for (size_t i = 0; i < summaries_.size(); ++i) {
+        SS_RETURN_IF_ERROR(summaries_[i]->MergeFrom(*other.summaries_[i]));
+      }
+    }
+  }
+  ce_ = other.ce_;
+  ts_last_ = other.ts_last_;
+  return Status::Ok();
+}
+
+const Summary* SummaryWindow::Find(SummaryKind kind) const {
+  for (const auto& summary : summaries_) {
+    if (summary->kind() == kind) {
+      return summary.get();
+    }
+  }
+  return nullptr;
+}
+
+size_t SummaryWindow::SizeBytes() const {
+  size_t bytes = 32;  // header: count range + time span
+  bytes += raw_.size() * sizeof(Event);
+  for (const auto& summary : summaries_) {
+    bytes += summary->SizeBytes();
+  }
+  return bytes;
+}
+
+void SummaryWindow::Serialize(Writer& writer) const {
+  writer.PutVarint(cs_);
+  writer.PutVarint(ce_);
+  writer.PutSignedVarint(ts_start_);
+  writer.PutSignedVarint(ts_last_);
+  writer.PutVarint(raw_.size());
+  Timestamp prev_ts = ts_start_;
+  for (const Event& event : raw_) {
+    writer.PutSignedVarint(event.ts - prev_ts);  // delta-encode timestamps
+    writer.PutDouble(event.value);
+    prev_ts = event.ts;
+  }
+  writer.PutVarint(summaries_.size());
+  for (const auto& summary : summaries_) {
+    SerializeSummary(*summary, writer);
+  }
+}
+
+StatusOr<SummaryWindow> SummaryWindow::Deserialize(Reader& reader) {
+  SummaryWindow window;
+  SS_ASSIGN_OR_RETURN(window.cs_, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(window.ce_, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(window.ts_start_, reader.ReadSignedVarint());
+  SS_ASSIGN_OR_RETURN(window.ts_last_, reader.ReadSignedVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t raw_count, reader.ReadVarint());
+  // Each raw event costs at least 9 encoded bytes; bound before reserving.
+  if (raw_count > reader.remaining() / 9 + 1) {
+    return Status::Corruption("SummaryWindow: raw count exceeds payload");
+  }
+  window.raw_.reserve(raw_count);
+  Timestamp prev_ts = window.ts_start_;
+  for (uint64_t i = 0; i < raw_count; ++i) {
+    Event event;
+    SS_ASSIGN_OR_RETURN(int64_t delta, reader.ReadSignedVarint());
+    event.ts = prev_ts + delta;
+    prev_ts = event.ts;
+    SS_ASSIGN_OR_RETURN(event.value, reader.ReadDouble());
+    window.raw_.push_back(event);
+  }
+  SS_ASSIGN_OR_RETURN(uint64_t summary_count, reader.ReadVarint());
+  if (summary_count > reader.remaining()) {
+    return Status::Corruption("SummaryWindow: summary count exceeds payload");
+  }
+  window.summaries_.reserve(summary_count);
+  for (uint64_t i = 0; i < summary_count; ++i) {
+    SS_ASSIGN_OR_RETURN(std::unique_ptr<Summary> summary, DeserializeSummary(reader));
+    window.summaries_.push_back(std::move(summary));
+  }
+  return window;
+}
+
+void LandmarkWindow::Serialize(Writer& writer) const {
+  writer.PutVarint(id);
+  writer.PutSignedVarint(ts_start);
+  writer.PutSignedVarint(ts_end);
+  writer.PutU8(closed ? 1 : 0);
+  writer.PutVarint(events.size());
+  Timestamp prev_ts = ts_start;
+  for (const Event& event : events) {
+    writer.PutSignedVarint(event.ts - prev_ts);
+    writer.PutDouble(event.value);
+    prev_ts = event.ts;
+  }
+}
+
+StatusOr<LandmarkWindow> LandmarkWindow::Deserialize(Reader& reader) {
+  LandmarkWindow window;
+  SS_ASSIGN_OR_RETURN(window.id, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(window.ts_start, reader.ReadSignedVarint());
+  SS_ASSIGN_OR_RETURN(window.ts_end, reader.ReadSignedVarint());
+  SS_ASSIGN_OR_RETURN(uint8_t closed, reader.ReadU8());
+  window.closed = closed != 0;
+  SS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  if (count > reader.remaining() / 9 + 1) {
+    return Status::Corruption("LandmarkWindow: event count exceeds payload");
+  }
+  window.events.reserve(count);
+  Timestamp prev_ts = window.ts_start;
+  for (uint64_t i = 0; i < count; ++i) {
+    Event event;
+    SS_ASSIGN_OR_RETURN(int64_t delta, reader.ReadSignedVarint());
+    event.ts = prev_ts + delta;
+    prev_ts = event.ts;
+    SS_ASSIGN_OR_RETURN(event.value, reader.ReadDouble());
+    window.events.push_back(event);
+  }
+  return window;
+}
+
+}  // namespace ss

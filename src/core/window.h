@@ -1,0 +1,93 @@
+// Window representations (§3.2, §4): the summarized window — SummaryStore's
+// unit of decayed storage — and the landmark window, which retains raw
+// events at full resolution.
+//
+// A summary window covers a contiguous range of element counts [cs, ce]
+// (1-based indices in arrival order, landmark elements excluded) and the
+// time span of those elements. Small windows keep their raw events; once a
+// window grows past the stream's `raw_threshold` it *materializes* into the
+// stream's configured summary operators. This mirrors the real system's
+// ingest buffer: the newest (tiny) windows are effectively exact, and decay
+// converts them into constant-size digests as they age and merge.
+#ifndef SUMMARYSTORE_SRC_CORE_WINDOW_H_
+#define SUMMARYSTORE_SRC_CORE_WINDOW_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/serde.h"
+#include "src/common/status.h"
+#include "src/core/operators.h"
+#include "src/sketch/summary.h"
+
+namespace ss {
+
+struct Event {
+  Timestamp ts;
+  double value;
+};
+
+class SummaryWindow {
+ public:
+  SummaryWindow() = default;
+  // Creates a fresh single-element window at count index `c`.
+  SummaryWindow(uint64_t c, Timestamp ts, double value);
+
+  uint64_t cs() const { return cs_; }
+  uint64_t ce() const { return ce_; }
+  Timestamp ts_start() const { return ts_start_; }
+  Timestamp ts_last() const { return ts_last_; }
+  uint64_t element_count() const { return ce_ - cs_ + 1; }
+  bool is_raw() const { return !raw_.empty() || summaries_.empty(); }
+  const std::vector<Event>& raw() const { return raw_; }
+  const std::vector<std::unique_ptr<Summary>>& summaries() const { return summaries_; }
+
+  // Extends the window with the next element (count index must be ce+1).
+  void Append(uint64_t c, Timestamp ts, double value);
+
+  // Absorbs `other`, which must be the immediately following window
+  // (other.cs == ce+1). Materializes into `ops` if the combined raw size
+  // exceeds `raw_threshold`. `seed` keys randomized operators.
+  Status MergeFrom(SummaryWindow&& other, const OperatorSet& ops, uint64_t raw_threshold,
+                   uint64_t seed);
+
+  // Converts a raw window into summary form (idempotent).
+  void Materialize(const OperatorSet& ops, uint64_t seed);
+
+  // First summary of the given kind, or nullptr.
+  const Summary* Find(SummaryKind kind) const;
+
+  // Logical storage footprint (the unit Table 5's compaction is measured in).
+  size_t SizeBytes() const;
+
+  void Serialize(Writer& writer) const;
+  static StatusOr<SummaryWindow> Deserialize(Reader& reader);
+
+ private:
+  uint64_t cs_ = 0;
+  uint64_t ce_ = 0;
+  Timestamp ts_start_ = 0;
+  Timestamp ts_last_ = 0;
+  std::vector<Event> raw_;  // populated iff not materialized
+  std::vector<std::unique_ptr<Summary>> summaries_;
+};
+
+// Raw events spanning an annotated interval of interest (§4.3). Landmark
+// windows are never merged or decayed.
+struct LandmarkWindow {
+  uint64_t id = 0;
+  Timestamp ts_start = 0;
+  Timestamp ts_end = 0;  // last event (or explicit EndLandmark time)
+  bool closed = false;
+  std::vector<Event> events;
+
+  size_t SizeBytes() const { return events.size() * sizeof(Event) + 24; }
+
+  void Serialize(Writer& writer) const;
+  static StatusOr<LandmarkWindow> Deserialize(Reader& reader);
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_CORE_WINDOW_H_

@@ -1,0 +1,85 @@
+// Arrival-process generators for the microbenchmark streams (§7.2.2):
+// memoryless Poisson arrivals and heavy-tailed Pareto interarrivals with
+// finite (α=2.2) or infinite (α=1.2) variance, matching the paper's
+// parameter choices.
+#ifndef SUMMARYSTORE_SRC_RANDOM_ARRIVAL_H_
+#define SUMMARYSTORE_SRC_RANDOM_ARRIVAL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/clock.h"
+#include "src/random/rng.h"
+
+namespace ss {
+
+// Produces a monotonically increasing sequence of event timestamps.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  // Timestamp of the next event, in stream time units.
+  virtual Timestamp Next() = 0;
+};
+
+// Poisson process: i.i.d. exponential interarrivals with the given rate
+// (events per time unit). Continuous arrival times are accumulated in double
+// precision and quantized to integer timestamps on emission.
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  PoissonArrivals(double rate, uint64_t seed, Timestamp start = 0)
+      : rng_(seed), rate_(rate), time_(static_cast<double>(start)) {}
+
+  Timestamp Next() override {
+    time_ += rng_.NextExponential(rate_);
+    return static_cast<Timestamp>(time_);
+  }
+
+ private:
+  Rng rng_;
+  double rate_;
+  double time_;
+};
+
+// Renewal process with Pareto(x_m, alpha) interarrivals. alpha <= 2 gives
+// infinite variance — the paper's pathological case for sub-window
+// estimation. `mean_interarrival` fixes x_m so the long-run rate matches.
+class ParetoArrivals : public ArrivalProcess {
+ public:
+  ParetoArrivals(double mean_interarrival, double alpha, uint64_t seed, Timestamp start = 0)
+      : rng_(seed), alpha_(alpha), time_(static_cast<double>(start)) {
+    // Pareto mean = x_m * alpha / (alpha - 1) for alpha > 1.
+    x_m_ = mean_interarrival * (alpha - 1.0) / alpha;
+  }
+
+  Timestamp Next() override {
+    time_ += rng_.NextPareto(x_m_, alpha_);
+    return static_cast<Timestamp>(time_);
+  }
+
+ private:
+  Rng rng_;
+  double alpha_;
+  double x_m_;
+  double time_;
+};
+
+// Fixed-interval arrivals (one event every `period` units) for perfectly
+// regular streams such as the TSM backup logs.
+class RegularArrivals : public ArrivalProcess {
+ public:
+  explicit RegularArrivals(Timestamp period, Timestamp start = 0)
+      : period_(period), time_(start - period) {}
+
+  Timestamp Next() override {
+    time_ += period_;
+    return time_;
+  }
+
+ private:
+  Timestamp period_;
+  Timestamp time_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_RANDOM_ARRIVAL_H_

@@ -1,0 +1,82 @@
+// Deterministic pseudo-random generation: xoshiro256++ seeded via SplitMix64.
+// Every workload in this repository takes an explicit seed so experiments are
+// reproducible bit-for-bit across runs and machines (std::mt19937
+// distributions are not portable across standard libraries; these are).
+#ifndef SUMMARYSTORE_SRC_RANDOM_RNG_H_
+#define SUMMARYSTORE_SRC_RANDOM_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace ss {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // xoshiro256++ next().
+  uint64_t NextU64() {
+    uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in (0, 1]; safe as a log() argument.
+  double NextDoubleOpenZero() { return 1.0 - NextDouble(); }
+
+  // Uniform integer in [0, bound) for bound > 0 (Lemire-style rejection-free
+  // approximation via 128-bit multiply; bias < 2^-64, irrelevant here).
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>((static_cast<__uint128_t>(NextU64()) * bound) >> 64);
+  }
+
+  int64_t NextInRange(int64_t lo, int64_t hi) {  // inclusive range [lo, hi]
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Exponential with the given rate (mean 1/rate).
+  double NextExponential(double rate) { return -std::log(NextDoubleOpenZero()) / rate; }
+
+  // Pareto (type I) with scale x_m > 0 and shape alpha > 0.
+  // Mean x_m*alpha/(alpha-1) for alpha > 1; infinite variance for alpha <= 2.
+  double NextPareto(double x_m, double alpha) {
+    return x_m / std::pow(NextDoubleOpenZero(), 1.0 / alpha);
+  }
+
+  // Standard normal via Box-Muller (one value per call; simple and stateless).
+  double NextGaussian() {
+    double u1 = NextDoubleOpenZero();
+    double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_RANDOM_RNG_H_

@@ -1,0 +1,45 @@
+// Zipf(s, n) sampler over ranks {1..n} by inverse-CDF binary search on a
+// precomputed cumulative table. Used by the M-Lab-style IP-visit workload
+// (client visit frequencies are heavy-tailed).
+#ifndef SUMMARYSTORE_SRC_RANDOM_ZIPF_H_
+#define SUMMARYSTORE_SRC_RANDOM_ZIPF_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/random/rng.h"
+
+namespace ss {
+
+class ZipfSampler {
+ public:
+  // n >= 1 distinct items, exponent s > 0 (s=1 is the classic Zipf law).
+  ZipfSampler(int64_t n, double s) : cdf_(static_cast<size_t>(n)) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[static_cast<size_t>(i)] = acc;
+    }
+    for (auto& v : cdf_) {
+      v /= acc;
+    }
+  }
+
+  // Returns a rank in [1, n]; rank 1 is the most frequent item.
+  int64_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int64_t>(it - cdf_.begin()) + 1;
+  }
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_RANDOM_ZIPF_H_

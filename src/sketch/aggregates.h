@@ -1,0 +1,152 @@
+// The simple-aggregate operator set: Count, Sum, MinMax. Mean is derived at
+// query time as Sum/Count, exactly as in the paper ("for the latter,
+// aggregates can be additionally maintained for a low overhead").
+#ifndef SUMMARYSTORE_SRC_SKETCH_AGGREGATES_H_
+#define SUMMARYSTORE_SRC_SKETCH_AGGREGATES_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "src/sketch/summary.h"
+
+namespace ss {
+
+class CountSummary : public Summary {
+ public:
+  static constexpr SummaryKind kKind = SummaryKind::kCount;
+
+  CountSummary() = default;
+  explicit CountSummary(uint64_t count) : count_(count) {}
+
+  SummaryKind kind() const override { return kKind; }
+  uint64_t count() const { return count_; }
+
+  void Update(Timestamp /*ts*/, double /*value*/) override { ++count_; }
+
+  Status MergeFrom(const Summary& other) override {
+    const auto* o = SummaryCast<CountSummary>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("CountSummary: kind mismatch in union");
+    }
+    count_ += o->count_;  // the union of two Counts is addition (§3.1)
+    return Status::Ok();
+  }
+
+  void Serialize(Writer& writer) const override { writer.PutVarint(count_); }
+
+  static StatusOr<std::unique_ptr<Summary>> Deserialize(Reader& reader) {
+    SS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+    return std::unique_ptr<Summary>(new CountSummary(count));
+  }
+
+  size_t SizeBytes() const override { return sizeof(uint64_t); }
+
+  std::unique_ptr<Summary> Clone() const override { return std::make_unique<CountSummary>(*this); }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+class SumSummary : public Summary {
+ public:
+  static constexpr SummaryKind kKind = SummaryKind::kSum;
+
+  SumSummary() = default;
+  explicit SumSummary(double sum) : sum_(sum) {}
+
+  SummaryKind kind() const override { return kKind; }
+  double sum() const { return sum_; }
+
+  void Update(Timestamp /*ts*/, double value) override { sum_ += value; }
+
+  Status MergeFrom(const Summary& other) override {
+    const auto* o = SummaryCast<SumSummary>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("SumSummary: kind mismatch in union");
+    }
+    sum_ += o->sum_;
+    return Status::Ok();
+  }
+
+  void Serialize(Writer& writer) const override { writer.PutDouble(sum_); }
+
+  static StatusOr<std::unique_ptr<Summary>> Deserialize(Reader& reader) {
+    SS_ASSIGN_OR_RETURN(double sum, reader.ReadDouble());
+    return std::unique_ptr<Summary>(new SumSummary(sum));
+  }
+
+  size_t SizeBytes() const override { return sizeof(double); }
+
+  std::unique_ptr<Summary> Clone() const override { return std::make_unique<SumSummary>(*this); }
+
+ private:
+  double sum_ = 0.0;
+};
+
+class MinMaxSummary : public Summary {
+ public:
+  static constexpr SummaryKind kKind = SummaryKind::kMinMax;
+
+  MinMaxSummary() = default;
+  MinMaxSummary(double min, double max, bool empty) : min_(min), max_(max), empty_(empty) {}
+
+  SummaryKind kind() const override { return kKind; }
+  bool empty() const { return empty_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  void Update(Timestamp /*ts*/, double value) override {
+    if (empty_) {
+      min_ = max_ = value;
+      empty_ = false;
+    } else {
+      min_ = std::min(min_, value);
+      max_ = std::max(max_, value);
+    }
+  }
+
+  Status MergeFrom(const Summary& other) override {
+    const auto* o = SummaryCast<MinMaxSummary>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("MinMaxSummary: kind mismatch in union");
+    }
+    if (o->empty_) {
+      return Status::Ok();
+    }
+    if (empty_) {
+      *this = *o;
+    } else {
+      min_ = std::min(min_, o->min_);
+      max_ = std::max(max_, o->max_);
+    }
+    return Status::Ok();
+  }
+
+  void Serialize(Writer& writer) const override {
+    writer.PutU8(empty_ ? 1 : 0);
+    writer.PutDouble(min_);
+    writer.PutDouble(max_);
+  }
+
+  static StatusOr<std::unique_ptr<Summary>> Deserialize(Reader& reader) {
+    SS_ASSIGN_OR_RETURN(uint8_t empty, reader.ReadU8());
+    SS_ASSIGN_OR_RETURN(double min, reader.ReadDouble());
+    SS_ASSIGN_OR_RETURN(double max, reader.ReadDouble());
+    return std::unique_ptr<Summary>(new MinMaxSummary(min, max, empty != 0));
+  }
+
+  size_t SizeBytes() const override { return 2 * sizeof(double) + 1; }
+
+  std::unique_ptr<Summary> Clone() const override {
+    return std::make_unique<MinMaxSummary>(*this);
+  }
+
+ private:
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  bool empty_ = true;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_SKETCH_AGGREGATES_H_

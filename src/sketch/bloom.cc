@@ -1,0 +1,91 @@
+#include "src/sketch/bloom.h"
+
+#include <bit>
+#include <cmath>
+
+namespace ss {
+
+BloomFilter::BloomFilter(uint32_t num_bits, uint32_t num_hashes)
+    : num_bits_((num_bits + 63) / 64 * 64),
+      num_hashes_(num_hashes),
+      bits_(num_bits_ / 64, 0) {}
+
+void BloomFilter::Update(Timestamp /*ts*/, double value) { AddHash(HashValue(value)); }
+
+void BloomFilter::AddHash(uint64_t hash) {
+  uint64_t h2 = Mix64(hash);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = NthHash(hash, h2, i) % num_bits_;
+    bits_[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::MightContain(double value) const { return MightContainHash(HashValue(value)); }
+
+bool BloomFilter::MightContainHash(uint64_t hash) const {
+  uint64_t h2 = Mix64(hash);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = NthHash(hash, h2, i) % num_bits_;
+    if ((bits_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double BloomFilter::FalsePositiveRate() const {
+  uint64_t set_bits = 0;
+  for (uint64_t word : bits_) {
+    set_bits += static_cast<uint64_t>(std::popcount(word));
+  }
+  double fill = static_cast<double>(set_bits) / num_bits_;
+  return std::pow(fill, static_cast<double>(num_hashes_));
+}
+
+Status BloomFilter::MergeFrom(const Summary& other) {
+  const auto* o = SummaryCast<BloomFilter>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("BloomFilter: kind mismatch in union");
+  }
+  if (o->num_bits_ != num_bits_ || o->num_hashes_ != num_hashes_) {
+    return Status::InvalidArgument("BloomFilter: config mismatch in union");
+  }
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    bits_[i] |= o->bits_[i];
+  }
+  inserted_ += o->inserted_;
+  return Status::Ok();
+}
+
+void BloomFilter::Serialize(Writer& writer) const {
+  writer.PutVarint(num_bits_);
+  writer.PutVarint(num_hashes_);
+  writer.PutVarint(inserted_);
+  for (uint64_t word : bits_) {
+    writer.PutFixed64(word);
+  }
+}
+
+StatusOr<std::unique_ptr<Summary>> BloomFilter::Deserialize(Reader& reader) {
+  SS_ASSIGN_OR_RETURN(uint64_t num_bits, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t num_hashes, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t inserted, reader.ReadVarint());
+  if (num_bits == 0 || num_bits % 64 != 0 || num_bits > (uint64_t{1} << 32) ||
+      num_bits / 8 > reader.remaining()) {
+    return Status::Corruption("BloomFilter: bad bit width");
+  }
+  auto bloom = std::make_unique<BloomFilter>(static_cast<uint32_t>(num_bits),
+                                             static_cast<uint32_t>(num_hashes));
+  bloom->inserted_ = inserted;
+  for (auto& word : bloom->bits_) {
+    SS_ASSIGN_OR_RETURN(word, reader.ReadFixed64());
+  }
+  return std::unique_ptr<Summary>(std::move(bloom));
+}
+
+size_t BloomFilter::SizeBytes() const { return bits_.size() * sizeof(uint64_t) + 16; }
+
+std::unique_ptr<Summary> BloomFilter::Clone() const { return std::make_unique<BloomFilter>(*this); }
+
+}  // namespace ss

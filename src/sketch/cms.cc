@@ -1,0 +1,107 @@
+#include "src/sketch/cms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ss {
+
+CountMinSketch::CountMinSketch(uint32_t width, uint32_t depth)
+    : width_(width), depth_(depth), table_(static_cast<size_t>(width) * depth, 0) {}
+
+void CountMinSketch::Update(Timestamp /*ts*/, double value) { AddHash(HashValue(value)); }
+
+void CountMinSketch::AddHash(uint64_t hash, uint64_t count) {
+  uint64_t h2 = Mix64(hash);
+  for (uint32_t row = 0; row < depth_; ++row) {
+    Cell(row, NthHash(hash, h2, row) % width_) += count;
+  }
+  total_ += count;
+}
+
+uint64_t CountMinSketch::EstimateCount(double value) const {
+  return EstimateCountHash(HashValue(value));
+}
+
+uint64_t CountMinSketch::EstimateCountHash(uint64_t hash) const {
+  uint64_t h2 = Mix64(hash);
+  uint64_t best = UINT64_MAX;
+  for (uint32_t row = 0; row < depth_; ++row) {
+    best = std::min(best, Cell(row, NthHash(hash, h2, row) % width_));
+  }
+  return best == UINT64_MAX ? 0 : best;
+}
+
+double CountMinSketch::EstimateCountCorrected(double value) const {
+  return EstimateCountCorrectedHash(HashValue(value));
+}
+
+double CountMinSketch::EstimateCountCorrectedHash(uint64_t hash) const {
+  if (depth_ == 0) {
+    return 0.0;
+  }
+  uint64_t h2 = Mix64(hash);
+  std::vector<double> corrected(depth_);
+  uint64_t raw_min = UINT64_MAX;
+  for (uint32_t row = 0; row < depth_; ++row) {
+    uint64_t raw = Cell(row, NthHash(hash, h2, row) % width_);
+    raw_min = std::min(raw_min, raw);
+    double cell = static_cast<double>(raw);
+    double noise = width_ > 1 ? (static_cast<double>(total_) - cell) / (width_ - 1) : 0.0;
+    corrected[row] = cell - noise;
+  }
+  // Median of the noise-corrected rows (count-mean-min), clamped into
+  // [0, min-estimate]: the min is a guaranteed upper bound.
+  std::nth_element(corrected.begin(), corrected.begin() + depth_ / 2, corrected.end());
+  double median = corrected[depth_ / 2];
+  return std::clamp(median, 0.0, static_cast<double>(raw_min));
+}
+
+Status CountMinSketch::MergeFrom(const Summary& other) {
+  const auto* o = SummaryCast<CountMinSketch>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("CountMinSketch: kind mismatch in union");
+  }
+  if (o->width_ != width_ || o->depth_ != depth_) {
+    return Status::InvalidArgument("CountMinSketch: config mismatch in union");
+  }
+  for (size_t i = 0; i < table_.size(); ++i) {
+    table_[i] += o->table_[i];
+  }
+  total_ += o->total_;
+  return Status::Ok();
+}
+
+void CountMinSketch::Serialize(Writer& writer) const {
+  writer.PutVarint(width_);
+  writer.PutVarint(depth_);
+  writer.PutVarint(total_);
+  for (uint64_t cell : table_) {
+    writer.PutVarint(cell);
+  }
+}
+
+StatusOr<std::unique_ptr<Summary>> CountMinSketch::Deserialize(Reader& reader) {
+  SS_ASSIGN_OR_RETURN(uint64_t width, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t depth, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t total, reader.ReadVarint());
+  if (width == 0 || depth == 0 || width * depth > (uint64_t{1} << 28) ||
+      width * depth > reader.remaining()) {
+    return Status::Corruption("CountMinSketch: bad dimensions");
+  }
+  auto cms =
+      std::make_unique<CountMinSketch>(static_cast<uint32_t>(width), static_cast<uint32_t>(depth));
+  cms->total_ = total;
+  for (auto& cell : cms->table_) {
+    SS_ASSIGN_OR_RETURN(cell, reader.ReadVarint());
+  }
+  return std::unique_ptr<Summary>(std::move(cms));
+}
+
+size_t CountMinSketch::SizeBytes() const { return table_.size() * sizeof(uint64_t) + 16; }
+
+std::unique_ptr<Summary> CountMinSketch::Clone() const {
+  return std::make_unique<CountMinSketch>(*this);
+}
+
+}  // namespace ss

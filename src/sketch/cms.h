@@ -1,0 +1,60 @@
+// Count-Min sketch (Cormode & Muthukrishnan): frequency estimation with a
+// one-sided overestimation error of at most ε·N where ε = e/width, with
+// probability 1 − e^(−depth). Union is element-wise addition, so CMS decays
+// gracefully through window merges.
+#ifndef SUMMARYSTORE_SRC_SKETCH_CMS_H_
+#define SUMMARYSTORE_SRC_SKETCH_CMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/summary.h"
+
+namespace ss {
+
+class CountMinSketch : public Summary {
+ public:
+  static constexpr SummaryKind kKind = SummaryKind::kCountMin;
+
+  // The paper's microbenchmarks use width 1000 and 5 hash rows.
+  CountMinSketch(uint32_t width, uint32_t depth);
+
+  SummaryKind kind() const override { return kKind; }
+  uint32_t width() const { return width_; }
+  uint32_t depth() const { return depth_; }
+  uint64_t total_count() const { return total_; }
+
+  void Update(Timestamp ts, double value) override;
+  void AddHash(uint64_t hash, uint64_t count = 1);
+
+  // Point estimate of value's frequency (min over rows; never underestimates).
+  uint64_t EstimateCount(double value) const;
+  uint64_t EstimateCountHash(uint64_t hash) const;
+
+  // Count-mean-min estimate: subtracts each row's expected collision noise
+  // (total − cell)/(width − 1) before taking the minimum. Unbiased-ish for
+  // rare values (can return 0 for absent ones) at the cost of occasional
+  // underestimation; the query engine uses it as the ML point estimate and
+  // keeps the conservative min-estimate as the upper bracket.
+  double EstimateCountCorrected(double value) const;
+  double EstimateCountCorrectedHash(uint64_t hash) const;
+
+  Status MergeFrom(const Summary& other) override;
+  void Serialize(Writer& writer) const override;
+  static StatusOr<std::unique_ptr<Summary>> Deserialize(Reader& reader);
+  size_t SizeBytes() const override;
+  std::unique_ptr<Summary> Clone() const override;
+
+ private:
+  uint64_t& Cell(uint32_t row, uint64_t col) { return table_[row * width_ + col]; }
+  uint64_t Cell(uint32_t row, uint64_t col) const { return table_[row * width_ + col]; }
+
+  uint32_t width_;
+  uint32_t depth_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> table_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_SKETCH_CMS_H_

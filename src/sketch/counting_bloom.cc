@@ -1,0 +1,82 @@
+#include "src/sketch/counting_bloom.h"
+
+#include <algorithm>
+
+namespace ss {
+
+CountingBloomFilter::CountingBloomFilter(uint32_t num_counters, uint32_t num_hashes)
+    : num_counters_(num_counters), num_hashes_(num_hashes), counters_(num_counters, 0) {}
+
+void CountingBloomFilter::Update(Timestamp /*ts*/, double value) {
+  uint64_t h1 = HashValue(value);
+  uint64_t h2 = Mix64(h1);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    ++counters_[NthHash(h1, h2, i) % num_counters_];
+  }
+  ++inserted_;
+}
+
+bool CountingBloomFilter::MightContain(double value) const { return EstimateCount(value) > 0; }
+
+uint64_t CountingBloomFilter::EstimateCount(double value) const {
+  uint64_t h1 = HashValue(value);
+  uint64_t h2 = Mix64(h1);
+  uint32_t best = UINT32_MAX;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    best = std::min(best, counters_[NthHash(h1, h2, i) % num_counters_]);
+  }
+  return best == UINT32_MAX ? 0 : best;
+}
+
+Status CountingBloomFilter::MergeFrom(const Summary& other) {
+  const auto* o = SummaryCast<CountingBloomFilter>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("CountingBloomFilter: kind mismatch in union");
+  }
+  if (o->num_counters_ != num_counters_ || o->num_hashes_ != num_hashes_) {
+    return Status::InvalidArgument("CountingBloomFilter: config mismatch in union");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += o->counters_[i];
+  }
+  inserted_ += o->inserted_;
+  return Status::Ok();
+}
+
+void CountingBloomFilter::Serialize(Writer& writer) const {
+  writer.PutVarint(num_counters_);
+  writer.PutVarint(num_hashes_);
+  writer.PutVarint(inserted_);
+  for (uint32_t c : counters_) {
+    writer.PutVarint(c);
+  }
+}
+
+StatusOr<std::unique_ptr<Summary>> CountingBloomFilter::Deserialize(Reader& reader) {
+  SS_ASSIGN_OR_RETURN(uint64_t num_counters, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t num_hashes, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t inserted, reader.ReadVarint());
+  if (num_counters == 0 || num_counters > (uint64_t{1} << 28) ||
+      num_counters > reader.remaining()) {
+    return Status::Corruption("CountingBloomFilter: bad width");
+  }
+  auto cbf = std::make_unique<CountingBloomFilter>(static_cast<uint32_t>(num_counters),
+                                                   static_cast<uint32_t>(num_hashes));
+  cbf->inserted_ = inserted;
+  for (auto& c : cbf->counters_) {
+    SS_ASSIGN_OR_RETURN(uint64_t v, reader.ReadVarint());
+    if (v > UINT32_MAX) {
+      return Status::Corruption("CountingBloomFilter: counter overflow");
+    }
+    c = static_cast<uint32_t>(v);
+  }
+  return std::unique_ptr<Summary>(std::move(cbf));
+}
+
+size_t CountingBloomFilter::SizeBytes() const { return counters_.size() * sizeof(uint32_t) + 16; }
+
+std::unique_ptr<Summary> CountingBloomFilter::Clone() const {
+  return std::make_unique<CountingBloomFilter>(*this);
+}
+
+}  // namespace ss

@@ -1,0 +1,48 @@
+// Counting Bloom filter: a Bloom filter whose bits are counters. Supports
+// both membership tests and a min-counter frequency estimate — the paper's
+// §5.2 notes that "a more precise answer is possible if we use a frequency
+// data structure such as a counting Bloom filter (useful summary on its own
+// too)". Union is element-wise counter addition.
+#ifndef SUMMARYSTORE_SRC_SKETCH_COUNTING_BLOOM_H_
+#define SUMMARYSTORE_SRC_SKETCH_COUNTING_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/summary.h"
+
+namespace ss {
+
+class CountingBloomFilter : public Summary {
+ public:
+  static constexpr SummaryKind kKind = SummaryKind::kCountingBloom;
+
+  CountingBloomFilter(uint32_t num_counters, uint32_t num_hashes);
+
+  SummaryKind kind() const override { return kKind; }
+  uint32_t num_counters() const { return num_counters_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+  uint64_t inserted_count() const { return inserted_; }
+
+  void Update(Timestamp ts, double value) override;
+
+  bool MightContain(double value) const;
+  // Min-counter frequency estimate; one-sided overestimate like CMS.
+  uint64_t EstimateCount(double value) const;
+
+  Status MergeFrom(const Summary& other) override;
+  void Serialize(Writer& writer) const override;
+  static StatusOr<std::unique_ptr<Summary>> Deserialize(Reader& reader);
+  size_t SizeBytes() const override;
+  std::unique_ptr<Summary> Clone() const override;
+
+ private:
+  uint32_t num_counters_;
+  uint32_t num_hashes_;
+  uint64_t inserted_ = 0;
+  std::vector<uint32_t> counters_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_SKETCH_COUNTING_BLOOM_H_

@@ -1,0 +1,125 @@
+#include "src/sketch/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace ss {
+
+Histogram::Histogram(double lo, double hi, uint32_t num_buckets)
+    : lo_(lo), hi_(hi), buckets_(num_buckets, 0) {
+  SS_CHECK(hi > lo) << "Histogram: empty range [" << lo << "," << hi << ")";
+  SS_CHECK(num_buckets > 0) << "Histogram: zero buckets";
+}
+
+void Histogram::Update(Timestamp /*ts*/, double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto b = static_cast<size_t>((value - lo_) / BucketWidth());
+  b = std::min(b, buckets_.size() - 1);  // guard against FP edge rounding
+  ++buckets_[b];
+}
+
+double Histogram::EstimateRangeCount(double a, double b) const {
+  if (b <= a) {
+    return 0.0;
+  }
+  a = std::max(a, lo_);
+  b = std::min(b, hi_);
+  if (b <= a) {
+    return 0.0;
+  }
+  double width = BucketWidth();
+  double acc = 0.0;
+  size_t first = static_cast<size_t>((a - lo_) / width);
+  size_t last = std::min(static_cast<size_t>((b - lo_) / width), buckets_.size() - 1);
+  for (size_t i = first; i <= last; ++i) {
+    double bucket_lo = lo_ + static_cast<double>(i) * width;
+    double bucket_hi = bucket_lo + width;
+    double overlap = std::min(b, bucket_hi) - std::max(a, bucket_lo);
+    if (overlap > 0) {
+      acc += static_cast<double>(buckets_[i]) * (overlap / width);
+    }
+  }
+  return acc;
+}
+
+double Histogram::EstimateQuantile(double q) const {
+  uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) {
+    return lo_;
+  }
+  double target = q * static_cast<double>(in_range);
+  double acc = 0.0;
+  double width = BucketWidth();
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    double next = acc + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      double frac = buckets_[i] == 0 ? 0.0 : (target - acc) / static_cast<double>(buckets_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width;
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+Status Histogram::MergeFrom(const Summary& other) {
+  const auto* o = SummaryCast<Histogram>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("Histogram: kind mismatch in union");
+  }
+  if (o->lo_ != lo_ || o->hi_ != hi_ || o->buckets_.size() != buckets_.size()) {
+    return Status::InvalidArgument("Histogram: config mismatch in union");
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += o->buckets_[i];
+  }
+  total_ += o->total_;
+  underflow_ += o->underflow_;
+  overflow_ += o->overflow_;
+  return Status::Ok();
+}
+
+void Histogram::Serialize(Writer& writer) const {
+  writer.PutDouble(lo_);
+  writer.PutDouble(hi_);
+  writer.PutVarint(buckets_.size());
+  writer.PutVarint(total_);
+  writer.PutVarint(underflow_);
+  writer.PutVarint(overflow_);
+  for (uint64_t b : buckets_) {
+    writer.PutVarint(b);
+  }
+}
+
+StatusOr<std::unique_ptr<Summary>> Histogram::Deserialize(Reader& reader) {
+  SS_ASSIGN_OR_RETURN(double lo, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(double hi, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(uint64_t num_buckets, reader.ReadVarint());
+  if (!(hi > lo) || num_buckets == 0 || num_buckets > (uint64_t{1} << 24) ||
+      num_buckets > reader.remaining()) {
+    return Status::Corruption("Histogram: bad configuration");
+  }
+  auto hist = std::make_unique<Histogram>(lo, hi, static_cast<uint32_t>(num_buckets));
+  SS_ASSIGN_OR_RETURN(hist->total_, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(hist->underflow_, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(hist->overflow_, reader.ReadVarint());
+  for (auto& b : hist->buckets_) {
+    SS_ASSIGN_OR_RETURN(b, reader.ReadVarint());
+  }
+  return std::unique_ptr<Summary>(std::move(hist));
+}
+
+size_t Histogram::SizeBytes() const { return buckets_.size() * sizeof(uint64_t) + 40; }
+
+std::unique_ptr<Summary> Histogram::Clone() const { return std::make_unique<Histogram>(*this); }
+
+}  // namespace ss

@@ -1,0 +1,57 @@
+// Fixed-range equi-width histogram. All windows of a stream share the same
+// [lo, hi) range and bucket count, so the union is bucket-wise addition.
+// Out-of-range values are tracked in dedicated underflow/overflow buckets.
+#ifndef SUMMARYSTORE_SRC_SKETCH_HISTOGRAM_H_
+#define SUMMARYSTORE_SRC_SKETCH_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/summary.h"
+
+namespace ss {
+
+class Histogram : public Summary {
+ public:
+  static constexpr SummaryKind kKind = SummaryKind::kHistogram;
+
+  Histogram(double lo, double hi, uint32_t num_buckets);
+
+  SummaryKind kind() const override { return kKind; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  uint32_t num_buckets() const { return static_cast<uint32_t>(buckets_.size()); }
+  uint64_t total_count() const { return total_; }
+  uint64_t bucket_count(uint32_t b) const { return buckets_[b]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+
+  void Update(Timestamp ts, double value) override;
+
+  // Estimated count of values in [a, b): whole buckets plus linear
+  // interpolation within partially covered edge buckets.
+  double EstimateRangeCount(double a, double b) const;
+
+  // Approximate q-quantile (q in [0,1]) by walking the cumulative histogram.
+  double EstimateQuantile(double q) const;
+
+  Status MergeFrom(const Summary& other) override;
+  void Serialize(Writer& writer) const override;
+  static StatusOr<std::unique_ptr<Summary>> Deserialize(Reader& reader);
+  size_t SizeBytes() const override;
+  std::unique_ptr<Summary> Clone() const override;
+
+ private:
+  double BucketWidth() const { return (hi_ - lo_) / static_cast<double>(buckets_.size()); }
+
+  double lo_;
+  double hi_;
+  uint64_t total_ = 0;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_SKETCH_HISTOGRAM_H_

@@ -1,0 +1,96 @@
+#include "src/sketch/hyperloglog.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace ss {
+
+namespace {
+
+double AlphaM(uint32_t m) {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / m);
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(uint32_t precision)
+    : precision_(precision), registers_(size_t{1} << precision, 0) {
+  SS_CHECK(precision >= 4 && precision <= 18) << "HLL precision out of range: " << precision;
+}
+
+void HyperLogLog::Update(Timestamp /*ts*/, double value) { AddHash(HashValue(value)); }
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  uint32_t index = static_cast<uint32_t>(hash >> (64 - precision_));
+  uint64_t rest = hash << precision_;
+  // Rank = position of the leftmost 1-bit in the remaining bits, in [1, 64-p+1].
+  uint8_t rank = rest == 0 ? static_cast<uint8_t>(64 - precision_ + 1)
+                           : static_cast<uint8_t>(std::countl_zero(rest) + 1);
+  registers_[index] = std::max(registers_[index], rank);
+}
+
+double HyperLogLog::EstimateCardinality() const {
+  uint32_t m = uint32_t{1} << precision_;
+  double sum = 0.0;
+  uint32_t zero_registers = 0;
+  for (uint8_t reg : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) {
+      ++zero_registers;
+    }
+  }
+  double raw = AlphaM(m) * m * m / sum;
+  // Small-range correction: linear counting while any register is empty.
+  if (raw <= 2.5 * m && zero_registers > 0) {
+    return m * std::log(static_cast<double>(m) / zero_registers);
+  }
+  return raw;
+}
+
+Status HyperLogLog::MergeFrom(const Summary& other) {
+  const auto* o = SummaryCast<HyperLogLog>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("HyperLogLog: kind mismatch in union");
+  }
+  if (o->precision_ != precision_) {
+    return Status::InvalidArgument("HyperLogLog: precision mismatch in union");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], o->registers_[i]);
+  }
+  return Status::Ok();
+}
+
+void HyperLogLog::Serialize(Writer& writer) const {
+  writer.PutVarint(precision_);
+  writer.PutRaw(registers_.data(), registers_.size());
+}
+
+StatusOr<std::unique_ptr<Summary>> HyperLogLog::Deserialize(Reader& reader) {
+  SS_ASSIGN_OR_RETURN(uint64_t precision, reader.ReadVarint());
+  if (precision < 4 || precision > 18) {
+    return Status::Corruption("HyperLogLog: bad precision");
+  }
+  auto hll = std::make_unique<HyperLogLog>(static_cast<uint32_t>(precision));
+  SS_ASSIGN_OR_RETURN(std::string_view raw, reader.ReadRaw(hll->registers_.size()));
+  std::copy(raw.begin(), raw.end(), reinterpret_cast<char*>(hll->registers_.data()));
+  return std::unique_ptr<Summary>(std::move(hll));
+}
+
+size_t HyperLogLog::SizeBytes() const { return registers_.size() + 8; }
+
+std::unique_ptr<Summary> HyperLogLog::Clone() const { return std::make_unique<HyperLogLog>(*this); }
+
+}  // namespace ss

@@ -1,0 +1,168 @@
+#include "src/sketch/quantile.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ss {
+
+QuantileSketch::QuantileSketch(uint32_t k, uint64_t seed) : k_(k), coin_state_(seed) {
+  SS_CHECK(k >= 8) << "QuantileSketch: k too small: " << k;
+  levels_.emplace_back();
+}
+
+bool QuantileSketch::NextCoin() {
+  coin_state_ += 0x9e3779b97f4a7c15ULL;
+  return (Mix64(coin_state_) & 1) != 0;
+}
+
+void QuantileSketch::Update(Timestamp /*ts*/, double value) {
+  levels_[0].push_back(value);
+  ++total_;
+  if (levels_[0].size() >= k_) {
+    CompactLevel(0);
+  }
+}
+
+void QuantileSketch::CompactLevel(size_t level) {
+  if (levels_.size() == level + 1) {
+    levels_.emplace_back();  // may reallocate: take references only after this
+  }
+  auto& buf = levels_[level];
+  auto& up = levels_[level + 1];
+  std::sort(buf.begin(), buf.end());
+  // Keep either the odd- or even-ranked half, chosen by a fair coin; each
+  // survivor doubles in weight by moving one level up.
+  size_t offset = NextCoin() ? 1 : 0;
+  for (size_t i = offset; i < buf.size(); i += 2) {
+    up.push_back(buf[i]);
+  }
+  buf.clear();
+  if (up.size() >= k_) {
+    CompactLevel(level + 1);
+  }
+}
+
+std::vector<std::pair<double, uint64_t>> QuantileSketch::WeightedItems() const {
+  std::vector<std::pair<double, uint64_t>> items;
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    uint64_t weight = uint64_t{1} << level;
+    for (double v : levels_[level]) {
+      items.emplace_back(v, weight);
+    }
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+double QuantileSketch::EstimateQuantile(double q) const {
+  auto items = WeightedItems();
+  if (items.empty()) {
+    return 0.0;
+  }
+  uint64_t total_weight = 0;
+  for (const auto& [v, w] : items) {
+    total_weight += w;
+  }
+  double target = q * static_cast<double>(total_weight);
+  uint64_t acc = 0;
+  for (const auto& [v, w] : items) {
+    acc += w;
+    if (static_cast<double>(acc) >= target) {
+      return v;
+    }
+  }
+  return items.back().first;
+}
+
+double QuantileSketch::EstimateRank(double x) const {
+  auto items = WeightedItems();
+  if (items.empty()) {
+    return 0.0;
+  }
+  uint64_t total_weight = 0;
+  uint64_t below = 0;
+  for (const auto& [v, w] : items) {
+    total_weight += w;
+    if (v <= x) {
+      below += w;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total_weight);
+}
+
+Status QuantileSketch::MergeFrom(const Summary& other) {
+  const auto* o = SummaryCast<QuantileSketch>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("QuantileSketch: kind mismatch in union");
+  }
+  if (o->k_ != k_) {
+    return Status::InvalidArgument("QuantileSketch: k mismatch in union");
+  }
+  while (levels_.size() < o->levels_.size()) {
+    levels_.emplace_back();
+  }
+  for (size_t level = 0; level < o->levels_.size(); ++level) {
+    auto& dst = levels_[level];
+    dst.insert(dst.end(), o->levels_[level].begin(), o->levels_[level].end());
+  }
+  total_ += o->total_;
+  // Re-establish the capacity invariant bottom-up; compaction may cascade.
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    if (levels_[level].size() >= k_) {
+      CompactLevel(level);
+    }
+  }
+  return Status::Ok();
+}
+
+void QuantileSketch::Serialize(Writer& writer) const {
+  writer.PutVarint(k_);
+  writer.PutVarint(total_);
+  writer.PutFixed64(coin_state_);
+  writer.PutVarint(levels_.size());
+  for (const auto& level : levels_) {
+    writer.PutVarint(level.size());
+    for (double v : level) {
+      writer.PutDouble(v);
+    }
+  }
+}
+
+StatusOr<std::unique_ptr<Summary>> QuantileSketch::Deserialize(Reader& reader) {
+  SS_ASSIGN_OR_RETURN(uint64_t k, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t total, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t coin_state, reader.ReadFixed64());
+  SS_ASSIGN_OR_RETURN(uint64_t num_levels, reader.ReadVarint());
+  if (k < 8 || k > (uint64_t{1} << 24) || num_levels > 64) {
+    return Status::Corruption("QuantileSketch: bad configuration");
+  }
+  auto sketch = std::make_unique<QuantileSketch>(static_cast<uint32_t>(k), coin_state);
+  sketch->total_ = total;
+  sketch->levels_.assign(num_levels == 0 ? 1 : num_levels, {});
+  for (auto& level : sketch->levels_) {
+    SS_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+    if (n >= k || n > reader.remaining() / sizeof(double)) {
+      return Status::Corruption("QuantileSketch: level over capacity");
+    }
+    level.resize(n);
+    for (auto& v : level) {
+      SS_ASSIGN_OR_RETURN(v, reader.ReadDouble());
+    }
+  }
+  return std::unique_ptr<Summary>(std::move(sketch));
+}
+
+size_t QuantileSketch::SizeBytes() const {
+  size_t bytes = 24;
+  for (const auto& level : levels_) {
+    bytes += level.size() * sizeof(double);
+  }
+  return bytes;
+}
+
+std::unique_ptr<Summary> QuantileSketch::Clone() const {
+  return std::make_unique<QuantileSketch>(*this);
+}
+
+}  // namespace ss

@@ -1,0 +1,59 @@
+// Mergeable quantile sketch in the KLL style (Karnin-Lang-Liberty): a stack
+// of capacity-k buffers where level i holds items of weight 2^i. When a level
+// overflows it is sorted and randomly halved (keep odd- or even-ranked
+// items), promoting the survivors one level up. Union concatenates levels and
+// re-compacts, so the sketch decays gracefully through window merges.
+//
+// The paper excludes non-unionable exact medians ("not all statistics are
+// unionable, e.g., median" — §3.4); this operator provides the standard
+// approximate, unionable alternative.
+#ifndef SUMMARYSTORE_SRC_SKETCH_QUANTILE_H_
+#define SUMMARYSTORE_SRC_SKETCH_QUANTILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/summary.h"
+
+namespace ss {
+
+class QuantileSketch : public Summary {
+ public:
+  static constexpr SummaryKind kKind = SummaryKind::kQuantile;
+
+  // k = per-level buffer capacity; error is O(1/k) in rank. `seed` fixes the
+  // compaction coin for reproducibility.
+  explicit QuantileSketch(uint32_t k = 128, uint64_t seed = 1);
+
+  SummaryKind kind() const override { return kKind; }
+  uint32_t k() const { return k_; }
+  uint64_t total_count() const { return total_; }
+
+  void Update(Timestamp ts, double value) override;
+
+  // Approximate q-quantile, q in [0, 1]. Returns 0 for an empty sketch.
+  double EstimateQuantile(double q) const;
+  // Approximate rank: fraction of inserted values <= x.
+  double EstimateRank(double x) const;
+
+  Status MergeFrom(const Summary& other) override;
+  void Serialize(Writer& writer) const override;
+  static StatusOr<std::unique_ptr<Summary>> Deserialize(Reader& reader);
+  size_t SizeBytes() const override;
+  std::unique_ptr<Summary> Clone() const override;
+
+ private:
+  void CompactLevel(size_t level);
+  bool NextCoin();
+  // Flattens to (value, weight) pairs sorted by value.
+  std::vector<std::pair<double, uint64_t>> WeightedItems() const;
+
+  uint32_t k_;
+  uint64_t total_ = 0;
+  uint64_t coin_state_;
+  std::vector<std::vector<double>> levels_;  // levels_[i] items carry weight 2^i
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_SKETCH_QUANTILE_H_

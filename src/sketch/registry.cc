@@ -1,0 +1,75 @@
+// Kind-tagged (de)serialization for summary operators — the single place
+// that knows every concrete Summary type. New operators are added here and
+// nowhere else ("new operators can be added to SummaryStore as long as they
+// specify a union function", §3.1).
+#include "src/sketch/aggregates.h"
+#include "src/sketch/bloom.h"
+#include "src/sketch/cms.h"
+#include "src/sketch/counting_bloom.h"
+#include "src/sketch/histogram.h"
+#include "src/sketch/hyperloglog.h"
+#include "src/sketch/quantile.h"
+#include "src/sketch/reservoir.h"
+#include "src/sketch/summary.h"
+
+namespace ss {
+
+const char* SummaryKindName(SummaryKind kind) {
+  switch (kind) {
+    case SummaryKind::kCount:
+      return "count";
+    case SummaryKind::kSum:
+      return "sum";
+    case SummaryKind::kMinMax:
+      return "minmax";
+    case SummaryKind::kBloom:
+      return "bloom";
+    case SummaryKind::kCountingBloom:
+      return "counting_bloom";
+    case SummaryKind::kCountMin:
+      return "count_min";
+    case SummaryKind::kHyperLogLog:
+      return "hyperloglog";
+    case SummaryKind::kHistogram:
+      return "histogram";
+    case SummaryKind::kQuantile:
+      return "quantile";
+    case SummaryKind::kReservoir:
+      return "reservoir";
+  }
+  return "unknown";
+}
+
+void SerializeSummary(const Summary& summary, Writer& writer) {
+  writer.PutU8(static_cast<uint8_t>(summary.kind()));
+  summary.Serialize(writer);
+}
+
+StatusOr<std::unique_ptr<Summary>> DeserializeSummary(Reader& reader) {
+  SS_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+  switch (static_cast<SummaryKind>(tag)) {
+    case SummaryKind::kCount:
+      return CountSummary::Deserialize(reader);
+    case SummaryKind::kSum:
+      return SumSummary::Deserialize(reader);
+    case SummaryKind::kMinMax:
+      return MinMaxSummary::Deserialize(reader);
+    case SummaryKind::kBloom:
+      return BloomFilter::Deserialize(reader);
+    case SummaryKind::kCountingBloom:
+      return CountingBloomFilter::Deserialize(reader);
+    case SummaryKind::kCountMin:
+      return CountMinSketch::Deserialize(reader);
+    case SummaryKind::kHyperLogLog:
+      return HyperLogLog::Deserialize(reader);
+    case SummaryKind::kHistogram:
+      return Histogram::Deserialize(reader);
+    case SummaryKind::kQuantile:
+      return QuantileSketch::Deserialize(reader);
+    case SummaryKind::kReservoir:
+      return ReservoirSample::Deserialize(reader);
+  }
+  return Status::Corruption("unknown summary kind tag");
+}
+
+}  // namespace ss

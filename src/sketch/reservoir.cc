@@ -1,0 +1,119 @@
+#include "src/sketch/reservoir.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ss {
+
+ReservoirSample::ReservoirSample(uint32_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_state_(seed) {
+  SS_CHECK(capacity > 0) << "ReservoirSample: zero capacity";
+  // Pre-size for typical capacities; huge reservoirs grow on demand rather
+  // than committing memory up front.
+  items_.reserve(std::min<uint32_t>(capacity, 4096));
+}
+
+uint64_t ReservoirSample::NextRandom() {
+  rng_state_ += 0x9e3779b97f4a7c15ULL;
+  return Mix64(rng_state_);
+}
+
+void ReservoirSample::Update(Timestamp ts, double value) {
+  ++population_;
+  if (items_.size() < capacity_) {
+    items_.push_back(Item{ts, value});
+    return;
+  }
+  // Algorithm R: replace a random slot with probability capacity/population.
+  uint64_t j = NextRandom() % population_;
+  if (j < capacity_) {
+    items_[static_cast<size_t>(j)] = Item{ts, value};
+  }
+}
+
+Status ReservoirSample::MergeFrom(const Summary& other) {
+  const auto* o = SummaryCast<ReservoirSample>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("ReservoirSample: kind mismatch in union");
+  }
+  if (o->capacity_ != capacity_) {
+    return Status::InvalidArgument("ReservoirSample: capacity mismatch in union");
+  }
+  if (o->population_ == 0) {
+    return Status::Ok();
+  }
+  if (population_ == 0) {
+    items_ = o->items_;
+    population_ = o->population_;
+    return Status::Ok();
+  }
+  // Re-sample the union: each output slot draws from this reservoir with
+  // probability population/(population+other), consuming drawn items so the
+  // result is a without-replacement sample of the merged population.
+  std::vector<Item> mine = std::move(items_);
+  std::vector<Item> theirs = o->items_;
+  std::vector<Item> merged;
+  uint64_t my_weight = population_;
+  uint64_t their_weight = o->population_;
+  size_t want = std::min<size_t>(capacity_, mine.size() + theirs.size());
+  merged.reserve(want);
+  while (merged.size() < want) {
+    bool from_mine;
+    if (mine.empty()) {
+      from_mine = false;
+    } else if (theirs.empty()) {
+      from_mine = true;
+    } else {
+      from_mine = NextRandom() % (my_weight + their_weight) < my_weight;
+    }
+    auto& src = from_mine ? mine : theirs;
+    size_t idx = static_cast<size_t>(NextRandom() % src.size());
+    merged.push_back(src[idx]);
+    src[idx] = src.back();
+    src.pop_back();
+  }
+  items_ = std::move(merged);
+  population_ += o->population_;
+  return Status::Ok();
+}
+
+void ReservoirSample::Serialize(Writer& writer) const {
+  writer.PutVarint(capacity_);
+  writer.PutVarint(population_);
+  writer.PutFixed64(rng_state_);
+  writer.PutVarint(items_.size());
+  for (const Item& item : items_) {
+    writer.PutSignedVarint(item.ts);
+    writer.PutDouble(item.value);
+  }
+}
+
+StatusOr<std::unique_ptr<Summary>> ReservoirSample::Deserialize(Reader& reader) {
+  SS_ASSIGN_OR_RETURN(uint64_t capacity, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t population, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t rng_state, reader.ReadFixed64());
+  SS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  if (capacity == 0 || capacity > (uint64_t{1} << 28) || count > capacity ||
+      count > reader.remaining() / 9 + 1) {
+    return Status::Corruption("ReservoirSample: bad configuration");
+  }
+  auto sample = std::make_unique<ReservoirSample>(static_cast<uint32_t>(capacity), rng_state);
+  sample->population_ = population;
+  sample->items_.resize(count);
+  for (auto& item : sample->items_) {
+    SS_ASSIGN_OR_RETURN(item.ts, reader.ReadSignedVarint());
+    SS_ASSIGN_OR_RETURN(item.value, reader.ReadDouble());
+  }
+  return std::unique_ptr<Summary>(std::move(sample));
+}
+
+size_t ReservoirSample::SizeBytes() const {
+  return items_.size() * sizeof(Item) + 24;
+}
+
+std::unique_ptr<Summary> ReservoirSample::Clone() const {
+  return std::make_unique<ReservoirSample>(*this);
+}
+
+}  // namespace ss

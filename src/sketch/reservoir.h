@@ -1,0 +1,51 @@
+// Reservoir sample (Vitter's Algorithm R) of (timestamp, value) pairs: the
+// "arbitrary queries" operator set. A window's reservoir is a uniform sample
+// of the elements it spans; the union re-samples two reservoirs into one by
+// population-weighted draws, matching the paper's "two windows with N samples
+// each are re-sampled to a single one with N" (§3.1).
+#ifndef SUMMARYSTORE_SRC_SKETCH_RESERVOIR_H_
+#define SUMMARYSTORE_SRC_SKETCH_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/summary.h"
+
+namespace ss {
+
+class ReservoirSample : public Summary {
+ public:
+  static constexpr SummaryKind kKind = SummaryKind::kReservoir;
+
+  struct Item {
+    Timestamp ts;
+    double value;
+  };
+
+  explicit ReservoirSample(uint32_t capacity, uint64_t seed = 1);
+
+  SummaryKind kind() const override { return kKind; }
+  uint32_t capacity() const { return capacity_; }
+  uint64_t population() const { return population_; }
+  const std::vector<Item>& items() const { return items_; }
+
+  void Update(Timestamp ts, double value) override;
+
+  Status MergeFrom(const Summary& other) override;
+  void Serialize(Writer& writer) const override;
+  static StatusOr<std::unique_ptr<Summary>> Deserialize(Reader& reader);
+  size_t SizeBytes() const override;
+  std::unique_ptr<Summary> Clone() const override;
+
+ private:
+  uint64_t NextRandom();  // SplitMix64 step over serialized state
+
+  uint32_t capacity_;
+  uint64_t population_ = 0;  // elements seen, not retained
+  uint64_t rng_state_;
+  std::vector<Item> items_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_SKETCH_RESERVOIR_H_

@@ -1,0 +1,91 @@
+// Base interface for SummaryStore's summary operators (§3.1 of the paper).
+//
+// A Summary is a compact digest of the (timestamp, value) pairs inserted into
+// one window. The only structural requirement — exactly as the paper states —
+// is a *union* function: merging two instances of the same operator kind
+// yields an instance summarizing the concatenation of their inputs. The
+// window-merge ingest algorithm (Algorithm 1) relies on this property.
+//
+// Operator sets (paper §3.1):
+//   1. simple aggregates:      Count, Sum, MinMax (Mean derives from Count+Sum)
+//   2. frequency / counting:   Histogram, Quantile, CountMinSketch,
+//                              CountingBloomFilter, HyperLogLog
+//   3. membership:             BloomFilter
+//   4. arbitrary queries:      ReservoirSample
+#ifndef SUMMARYSTORE_SRC_SKETCH_SUMMARY_H_
+#define SUMMARYSTORE_SRC_SKETCH_SUMMARY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/clock.h"
+#include "src/common/hash.h"
+#include "src/common/serde.h"
+#include "src/common/status.h"
+
+namespace ss {
+
+enum class SummaryKind : uint8_t {
+  kCount = 1,
+  kSum = 2,
+  kMinMax = 3,
+  kBloom = 4,
+  kCountingBloom = 5,
+  kCountMin = 6,
+  kHyperLogLog = 7,
+  kHistogram = 8,
+  kQuantile = 9,
+  kReservoir = 10,
+};
+
+const char* SummaryKindName(SummaryKind kind);
+
+// Canonical 64-bit hash of a stream value, shared by every hashing sketch so
+// that Bloom / CMS / HLL answers agree on what "the same value" means.
+inline uint64_t HashValue(double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  return Hash64(bits);
+}
+
+class Summary {
+ public:
+  virtual ~Summary() = default;
+
+  virtual SummaryKind kind() const = 0;
+
+  // Folds one stream element into the digest.
+  virtual void Update(Timestamp ts, double value) = 0;
+
+  // Union with another instance of the same kind (and compatible
+  // configuration). Fails with kInvalidArgument on kind/config mismatch.
+  virtual Status MergeFrom(const Summary& other) = 0;
+
+  // Appends the payload (kind tag excluded; the registry writes it).
+  virtual void Serialize(Writer& writer) const = 0;
+
+  // Logical in-memory footprint in bytes, used for compaction accounting.
+  virtual size_t SizeBytes() const = 0;
+
+  virtual std::unique_ptr<Summary> Clone() const = 0;
+};
+
+// Serializes `summary` with its kind tag so DeserializeSummary can route it.
+void SerializeSummary(const Summary& summary, Writer& writer);
+
+// Inverse of SerializeSummary; defined in registry.cc.
+StatusOr<std::unique_ptr<Summary>> DeserializeSummary(Reader& reader);
+
+// Safely downcasts after a kind check; returns nullptr on mismatch.
+template <typename T>
+const T* SummaryCast(const Summary* summary) {
+  if (summary != nullptr && summary->kind() == T::kKind) {
+    return static_cast<const T*>(summary);
+  }
+  return nullptr;
+}
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_SKETCH_SUMMARY_H_

@@ -1,0 +1,59 @@
+// Boxplot (Tukey fence) outlier test: the statistical test the paper's
+// outlier-detection workload runs on each time interval (§7.1.2), and the
+// "Three Sigma rule" helper used as the default landmark policy (§4.3).
+#ifndef SUMMARYSTORE_SRC_STATS_BOXPLOT_H_
+#define SUMMARYSTORE_SRC_STATS_BOXPLOT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ss {
+
+struct BoxplotStats {
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double lower_fence = 0.0;
+  double upper_fence = 0.0;
+  bool has_outlier = false;
+};
+
+// Linear-interpolation quantile of *sorted* data, q in [0,1].
+inline double SortedQuantile(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+// Runs the standard boxplot test with fences at Q1/Q3 ± k·IQR (k = 1.5 by
+// default). Copies and sorts the input.
+inline BoxplotStats BoxplotTest(std::span<const double> values, double k = 1.5) {
+  BoxplotStats stats;
+  if (values.empty()) {
+    return stats;
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  stats.q1 = SortedQuantile(sorted, 0.25);
+  stats.median = SortedQuantile(sorted, 0.50);
+  stats.q3 = SortedQuantile(sorted, 0.75);
+  double iqr = stats.q3 - stats.q1;
+  stats.lower_fence = stats.q1 - k * iqr;
+  stats.upper_fence = stats.q3 + k * iqr;
+  stats.has_outlier = sorted.front() < stats.lower_fence || sorted.back() > stats.upper_fence;
+  return stats;
+}
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_STATS_BOXPLOT_H_

@@ -1,0 +1,246 @@
+#include "src/stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/stats/special_functions.h"
+
+namespace ss {
+
+namespace {
+
+// Generic smallest-k-with-Cdf(k)>=prob search over an integer support, given
+// a monotone cdf callable. Binary search keeps every quantile O(log range)
+// cdf evaluations.
+template <typename CdfFn>
+int64_t IntegerQuantile(int64_t lo, int64_t hi, double prob, CdfFn cdf) {
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    if (cdf(mid) >= prob) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double LogChoose(int64_t n, int64_t k) {
+  if (k < 0 || k > n) {
+    return -HUGE_VAL;
+  }
+  return std::lgamma(static_cast<double>(n) + 1) - std::lgamma(static_cast<double>(k) + 1) -
+         std::lgamma(static_cast<double>(n - k) + 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- NormalDist
+
+NormalDist::NormalDist(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+  SS_CHECK(stddev >= 0) << "negative stddev " << stddev;
+}
+
+double NormalDist::Pdf(double x) const {
+  if (stddev_ == 0) {
+    return x == mean_ ? HUGE_VAL : 0.0;
+  }
+  double z = (x - mean_) / stddev_;
+  return std::exp(-0.5 * z * z) / (stddev_ * std::sqrt(2.0 * M_PI));
+}
+
+double NormalDist::Cdf(double x) const {
+  if (stddev_ == 0) {
+    return x >= mean_ ? 1.0 : 0.0;
+  }
+  return StdNormalCdf((x - mean_) / stddev_);
+}
+
+double NormalDist::Quantile(double p) const {
+  if (stddev_ == 0) {
+    return mean_;
+  }
+  return mean_ + stddev_ * StdNormalQuantile(p);
+}
+
+// -------------------------------------------------------------- BinomialDist
+
+BinomialDist::BinomialDist(int64_t n, double p) : n_(n), p_(p) {
+  SS_CHECK(n >= 0) << "negative n " << n;
+  SS_CHECK(p >= 0.0 && p <= 1.0) << "p out of range " << p;
+}
+
+double BinomialDist::Pmf(int64_t k) const {
+  if (k < 0 || k > n_) {
+    return 0.0;
+  }
+  if (p_ == 0.0) {
+    return k == 0 ? 1.0 : 0.0;
+  }
+  if (p_ == 1.0) {
+    return k == n_ ? 1.0 : 0.0;
+  }
+  double lp = LogChoose(n_, k) + k * std::log(p_) + (n_ - k) * std::log1p(-p_);
+  return std::exp(lp);
+}
+
+double BinomialDist::Cdf(int64_t k) const {
+  if (k < 0) {
+    return 0.0;
+  }
+  if (k >= n_) {
+    return 1.0;
+  }
+  if (p_ == 0.0) {
+    return 1.0;
+  }
+  if (p_ == 1.0) {
+    return 0.0;  // k < n here
+  }
+  // P(X <= k) = I_{1-p}(n-k, k+1).
+  return RegularizedIncompleteBeta(static_cast<double>(n_ - k), static_cast<double>(k) + 1.0,
+                                   1.0 - p_);
+}
+
+int64_t BinomialDist::Quantile(double prob) const {
+  SS_CHECK(prob >= 0.0 && prob <= 1.0) << "prob out of range " << prob;
+  if (prob <= 0.0) {
+    return 0;
+  }
+  if (prob >= 1.0) {
+    return n_;
+  }
+  return IntegerQuantile(0, n_, prob, [this](int64_t k) { return Cdf(k); });
+}
+
+// --------------------------------------------------------------- PoissonDist
+
+PoissonDist::PoissonDist(double lambda) : lambda_(lambda) {
+  SS_CHECK(lambda >= 0) << "negative lambda " << lambda;
+}
+
+double PoissonDist::Pmf(int64_t k) const {
+  if (k < 0) {
+    return 0.0;
+  }
+  if (lambda_ == 0.0) {
+    return k == 0 ? 1.0 : 0.0;
+  }
+  return std::exp(k * std::log(lambda_) - lambda_ - std::lgamma(static_cast<double>(k) + 1));
+}
+
+double PoissonDist::Cdf(int64_t k) const {
+  if (k < 0) {
+    return 0.0;
+  }
+  if (lambda_ == 0.0) {
+    return 1.0;
+  }
+  return RegularizedGammaQ(static_cast<double>(k) + 1.0, lambda_);
+}
+
+int64_t PoissonDist::Quantile(double prob) const {
+  SS_CHECK(prob >= 0.0 && prob <= 1.0) << "prob out of range " << prob;
+  if (prob <= 0.0 || lambda_ == 0.0) {
+    return 0;
+  }
+  // Upper bound the support by mean + 12 standard deviations (cdf there is
+  // 1 − ~1e-30, far past any usable quantile).
+  int64_t hi = static_cast<int64_t>(lambda_ + 12.0 * std::sqrt(lambda_) + 16.0);
+  if (prob >= Cdf(hi)) {
+    return hi;
+  }
+  return IntegerQuantile(0, hi, prob, [this](int64_t k) { return Cdf(k); });
+}
+
+// ------------------------------------------------------------- HypergeomDist
+
+HypergeomDist::HypergeomDist(int64_t population, int64_t successes, int64_t draws)
+    : population_(population), successes_(successes), draws_(draws) {
+  SS_CHECK(population >= 0) << "negative population";
+  SS_CHECK(successes >= 0 && successes <= population)
+      << "successes " << successes << " out of [0," << population << "]";
+  SS_CHECK(draws >= 0 && draws <= population)
+      << "draws " << draws << " out of [0," << population << "]";
+}
+
+int64_t HypergeomDist::SupportMin() const {
+  return std::max<int64_t>(0, draws_ + successes_ - population_);
+}
+
+int64_t HypergeomDist::SupportMax() const { return std::min(draws_, successes_); }
+
+double HypergeomDist::Mean() const {
+  if (population_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(draws_) * successes_ / population_;
+}
+
+double HypergeomDist::Variance() const {
+  if (population_ <= 1) {
+    return 0.0;
+  }
+  double n = static_cast<double>(draws_);
+  double big_n = static_cast<double>(population_);
+  double big_k = static_cast<double>(successes_);
+  return n * (big_k / big_n) * (1.0 - big_k / big_n) * (big_n - n) / (big_n - 1.0);
+}
+
+double HypergeomDist::Pmf(int64_t k) const {
+  if (k < SupportMin() || k > SupportMax()) {
+    return 0.0;
+  }
+  double lp = LogChoose(successes_, k) + LogChoose(population_ - successes_, draws_ - k) -
+              LogChoose(population_, draws_);
+  return std::exp(lp);
+}
+
+double HypergeomDist::Cdf(int64_t k) const {
+  if (k < SupportMin()) {
+    return 0.0;
+  }
+  if (k >= SupportMax()) {
+    return 1.0;
+  }
+  // Support width is at most min(successes, draws)+1; a single value's
+  // frequency is small in practice, so direct summation is cheap. Fall back
+  // to a normal approximation for enormous supports.
+  int64_t lo = SupportMin();
+  if (k - lo > 200000) {
+    NormalDist approx(Mean(), std::sqrt(Variance()));
+    return approx.Cdf(static_cast<double>(k) + 0.5);
+  }
+  double acc = 0.0;
+  for (int64_t i = lo; i <= k; ++i) {
+    acc += Pmf(i);
+  }
+  return std::min(acc, 1.0);
+}
+
+int64_t HypergeomDist::Quantile(double prob) const {
+  SS_CHECK(prob >= 0.0 && prob <= 1.0) << "prob out of range " << prob;
+  int64_t lo = SupportMin();
+  int64_t hi = SupportMax();
+  if (prob <= 0.0) {
+    return lo;
+  }
+  if (prob >= 1.0) {
+    return hi;
+  }
+  if (hi - lo > 200000) {
+    return IntegerQuantile(lo, hi, prob, [this](int64_t k) { return Cdf(k); });
+  }
+  // Single forward pass: cheaper than repeated Cdf calls on small supports.
+  double acc = 0.0;
+  for (int64_t k = lo; k <= hi; ++k) {
+    acc += Pmf(k);
+    if (acc >= prob) {
+      return k;
+    }
+  }
+  return hi;
+}
+
+}  // namespace ss

@@ -1,0 +1,98 @@
+// Probability distributions used by the query-error estimators (§5 and
+// Appendix B of the paper): Normal, Binomial, Poisson and Hypergeometric,
+// each with pdf/pmf, cdf, and quantile (inverse cdf).
+#ifndef SUMMARYSTORE_SRC_STATS_DISTRIBUTIONS_H_
+#define SUMMARYSTORE_SRC_STATS_DISTRIBUTIONS_H_
+
+#include <cstdint>
+
+namespace ss {
+
+// Normal(mean, stddev). A zero stddev degenerates to a point mass.
+class NormalDist {
+ public:
+  NormalDist(double mean, double stddev);
+
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+  double variance() const { return stddev_ * stddev_; }
+
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  // p in (0,1); for the degenerate case every quantile is the mean.
+  double Quantile(double p) const;
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+// Binomial(n, p): number of successes in n independent trials.
+class BinomialDist {
+ public:
+  BinomialDist(int64_t n, double p);
+
+  int64_t n() const { return n_; }
+  double p() const { return p_; }
+  double Mean() const { return static_cast<double>(n_) * p_; }
+  double Variance() const { return static_cast<double>(n_) * p_ * (1.0 - p_); }
+
+  double Pmf(int64_t k) const;
+  // P(X <= k), exact via the regularized incomplete beta function.
+  double Cdf(int64_t k) const;
+  // Smallest k with Cdf(k) >= prob.
+  int64_t Quantile(double prob) const;
+
+ private:
+  int64_t n_;
+  double p_;
+};
+
+// Poisson(lambda).
+class PoissonDist {
+ public:
+  explicit PoissonDist(double lambda);
+
+  double lambda() const { return lambda_; }
+  double Mean() const { return lambda_; }
+  double Variance() const { return lambda_; }
+
+  double Pmf(int64_t k) const;
+  // P(X <= k) = Q(k+1, lambda), exact via the incomplete gamma function.
+  double Cdf(int64_t k) const;
+  int64_t Quantile(double prob) const;
+
+ private:
+  double lambda_;
+};
+
+// Hypergeometric(population, successes, draws): count of "successes" in a
+// uniform sample of `draws` elements without replacement from a population
+// containing `successes` marked elements. This is the sub-window frequency
+// posterior of Theorem B.5.
+class HypergeomDist {
+ public:
+  HypergeomDist(int64_t population, int64_t successes, int64_t draws);
+
+  int64_t population() const { return population_; }
+  int64_t successes() const { return successes_; }
+  int64_t draws() const { return draws_; }
+
+  int64_t SupportMin() const;
+  int64_t SupportMax() const;
+  double Mean() const;
+  double Variance() const;
+
+  double Pmf(int64_t k) const;
+  double Cdf(int64_t k) const;
+  int64_t Quantile(double prob) const;
+
+ private:
+  int64_t population_;
+  int64_t successes_;
+  int64_t draws_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,30 @@
+// Scalar special functions needed by the distribution layer: regularized
+// incomplete gamma/beta functions and the inverse normal CDF. These replace
+// Apache Commons Math, which the Java implementation used for "inverting
+// Normal and Hypergeometric distributions" (§6 of the paper).
+#ifndef SUMMARYSTORE_SRC_STATS_SPECIAL_FUNCTIONS_H_
+#define SUMMARYSTORE_SRC_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace ss {
+
+// Regularized lower incomplete gamma function P(a, x) = γ(a, x) / Γ(a).
+// Domain: a > 0, x >= 0. P(a, 0) = 0, P(a, ∞) = 1.
+double RegularizedGammaP(double a, double x);
+
+// Regularized upper incomplete gamma function Q(a, x) = 1 − P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+// Regularized incomplete beta function I_x(a, b).
+// Domain: a > 0, b > 0, 0 <= x <= 1.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+// Standard normal CDF Φ(z).
+double StdNormalCdf(double z);
+
+// Inverse standard normal CDF Φ⁻¹(p) for p in (0, 1). Acklam's rational
+// approximation refined with one Halley step; |relative error| < 1e-9.
+double StdNormalQuantile(double p);
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_STATS_SPECIAL_FUNCTIONS_H_

@@ -1,0 +1,73 @@
+// Welford's online algorithm for streaming mean and variance.
+//
+// SummaryStore tracks exactly four stream-level statistics — mean/stddev of
+// interarrival times and mean/stddev of values (§5.2) — so its stream model
+// stays O(1) regardless of stream size. Two WelfordAccumulators provide them.
+#ifndef SUMMARYSTORE_SRC_STATS_WELFORD_H_
+#define SUMMARYSTORE_SRC_STATS_WELFORD_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace ss {
+
+class WelfordAccumulator {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  int64_t count() const { return count_; }
+  double Mean() const { return mean_; }
+
+  // Population variance (divides by n); the estimators treat the stream
+  // prefix as the full modeled population.
+  double Variance() const {
+    if (count_ < 2) {
+      return 0.0;
+    }
+    return m2_ / static_cast<double>(count_);
+  }
+
+  double StdDev() const { return std::sqrt(Variance()); }
+
+  // Merges another accumulator (parallel variance combination).
+  void Merge(const WelfordAccumulator& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    int64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double nd = static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / nd;
+    mean_ += delta * static_cast<double>(other.count_) / nd;
+    count_ = n;
+  }
+
+  // Raw state access for persistence.
+  double m2() const { return m2_; }
+  static WelfordAccumulator FromParts(int64_t count, double mean, double m2) {
+    WelfordAccumulator acc;
+    acc.count_ = count;
+    acc.mean_ = mean;
+    acc.m2_ = m2;
+    return acc;
+  }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_STATS_WELFORD_H_

@@ -1,0 +1,228 @@
+#include "src/storage/file_util.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ss {
+
+namespace {
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IoError(context + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- AppendFile
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), bytes_written_(other.bytes_written_) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    bytes_written_ = other.bytes_written_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<AppendFile> AppendFile::Open(const std::string& path, bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return ErrnoStatus("open " + path);
+  }
+  return AppendFile(fd);
+}
+
+Status AppendFile::Append(std::string_view data) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("write");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  bytes_written_ += data.size();
+  return Status::Ok();
+}
+
+Status AppendFile::Sync() {
+  if (::fsync(fd_) != 0) {
+    return ErrnoStatus("fsync");
+  }
+  return Status::Ok();
+}
+
+Status AppendFile::Close() {
+  if (fd_ >= 0) {
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return ErrnoStatus("close");
+    }
+  }
+  return Status::Ok();
+}
+
+// ----------------------------------------------------------- RandomAccessFile
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+RandomAccessFile::RandomAccessFile(RandomAccessFile&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+RandomAccessFile& RandomAccessFile::operator=(RandomAccessFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<RandomAccessFile> RandomAccessFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return ErrnoStatus("open " + path);
+  }
+  return RandomAccessFile(fd);
+}
+
+Status RandomAccessFile::Read(uint64_t offset, uint64_t n, std::string* out) const {
+  out->resize(n);
+  char* p = out->data();
+  uint64_t done = 0;
+  while (done < n) {
+    ssize_t got = ::pread(fd_, p + done, n - done, static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("pread");
+    }
+    if (got == 0) {
+      return Status::Corruption("pread: unexpected EOF");
+    }
+    done += static_cast<uint64_t>(got);
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> RandomAccessFile::Size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return ErrnoStatus("fstat");
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+// ------------------------------------------------------------------ free fns
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  SS_ASSIGN_OR_RETURN(RandomAccessFile file, RandomAccessFile::Open(path));
+  SS_ASSIGN_OR_RETURN(uint64_t size, file.Size());
+  std::string out;
+  SS_RETURN_IF_ERROR(file.Read(0, size, &out));
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  std::string tmp = path + ".tmp";
+  {
+    SS_ASSIGN_OR_RETURN(AppendFile file, AppendFile::Open(tmp, /*truncate=*/true));
+    SS_RETURN_IF_ERROR(file.Append(contents));
+    SS_RETURN_IF_ERROR(file.Sync());
+    SS_RETURN_IF_ERROR(file.Close());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return ErrnoStatus("rename " + tmp);
+  }
+  return Status::Ok();
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("mkdir " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    return ErrnoStatus("opendir " + path);
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") {
+      names.push_back(std::move(name));
+    }
+  }
+  ::closedir(dir);
+  return names;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink " + path);
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::Ok();  // nothing to do
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    return RemoveFileIfExists(path);
+  }
+  SS_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(path));
+  for (const std::string& name : names) {
+    SS_RETURN_IF_ERROR(RemoveDirRecursive(path + "/" + name));
+  }
+  if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("rmdir " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ss

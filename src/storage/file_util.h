@@ -1,0 +1,80 @@
+// Thin POSIX file wrappers used by the LSM store: append-only writers with
+// fsync, positional readers (pread), atomic whole-file replacement via
+// rename, and directory listing. RAII owns every descriptor.
+#ifndef SUMMARYSTORE_SRC_STORAGE_FILE_UTIL_H_
+#define SUMMARYSTORE_SRC_STORAGE_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ss {
+
+// Append-only file handle; created if missing.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+
+  static StatusOr<AppendFile> Open(const std::string& path, bool truncate = false);
+
+  Status Append(std::string_view data);
+  Status Sync();
+  Status Close();
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  explicit AppendFile(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t bytes_written_ = 0;
+};
+
+// Read-only positional-access file handle.
+class RandomAccessFile {
+ public:
+  RandomAccessFile() = default;
+  ~RandomAccessFile();
+
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+  RandomAccessFile(RandomAccessFile&& other) noexcept;
+  RandomAccessFile& operator=(RandomAccessFile&& other) noexcept;
+
+  static StatusOr<RandomAccessFile> Open(const std::string& path);
+
+  // Reads exactly `n` bytes at `offset` into `out` (resized to n).
+  Status Read(uint64_t offset, uint64_t n, std::string* out) const;
+  StatusOr<uint64_t> Size() const;
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  explicit RandomAccessFile(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Writes `contents` to `path` atomically: temp file + fsync + rename.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+Status CreateDirIfMissing(const std::string& path);
+StatusOr<std::vector<std::string>> ListDir(const std::string& path);
+Status RemoveFileIfExists(const std::string& path);
+bool FileExists(const std::string& path);
+// Recursively removes a directory tree (used by tests / bench cleanup).
+Status RemoveDirRecursive(const std::string& path);
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_STORAGE_FILE_UTIL_H_

@@ -1,0 +1,49 @@
+// Key-value backend interface for SummaryStore's persistence layer.
+//
+// The paper uses RocksDB "primarily for its good append performance",
+// explicitly noting the choice "is not tied to the architecture" (§6). This
+// interface captures exactly what SummaryStore needs from a backend — point
+// put/get/delete and ordered range scans — with two implementations:
+//   * MemoryBackend — a std::map, for tests and ephemeral stores;
+//   * LsmStore      — a log-structured store (WAL + memtable + SSTables with
+//                     size-tiered compaction + block cache), the durable
+//                     RocksDB stand-in.
+#ifndef SUMMARYSTORE_SRC_STORAGE_KV_BACKEND_H_
+#define SUMMARYSTORE_SRC_STORAGE_KV_BACKEND_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace ss {
+
+class KvBackend {
+ public:
+  virtual ~KvBackend() = default;
+
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+  virtual StatusOr<std::string> Get(std::string_view key) = 0;
+  virtual Status Delete(std::string_view key) = 0;
+
+  // Visits all live entries with start <= key < end in ascending key order;
+  // stops early if the visitor returns false.
+  using ScanVisitor = std::function<bool(std::string_view key, std::string_view value)>;
+  virtual Status Scan(std::string_view start, std::string_view end, const ScanVisitor& visit) = 0;
+
+  // Durability barrier: after Flush returns OK, all prior writes survive
+  // reopen. No-op for ephemeral backends.
+  virtual Status Flush() = 0;
+
+  // Approximate bytes of live data (logical, pre-compression).
+  virtual uint64_t ApproximateSizeBytes() const = 0;
+
+  // Empties internal read caches so subsequent reads hit storage — used by
+  // the cold-cache latency benchmarks (§7.2.1 drops all caches per query).
+  virtual void DropCaches() {}
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_STORAGE_KV_BACKEND_H_

@@ -1,0 +1,351 @@
+#include "src/storage/lsm_store.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/logging.h"
+#include "src/common/serde.h"
+
+namespace ss {
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kWalName[] = "wal.log";
+
+}  // namespace
+
+LsmStore::LsmStore(std::string dir, const LsmOptions& options)
+    : dir_(std::move(dir)), options_(options), block_cache_(options.block_cache_bytes) {}
+
+LsmStore::~LsmStore() {
+  // Make a best effort to persist the memtable so short-lived stores survive
+  // reopen even without an explicit Flush(); WAL replay would recover it
+  // anyway.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!memtable_.empty()) {
+    Status s = FlushMemtableLocked();
+    if (!s.ok()) {
+      SS_LOG(Warning) << "LsmStore shutdown flush failed: " << s;
+    }
+  }
+}
+
+StatusOr<std::unique_ptr<LsmStore>> LsmStore::Open(const std::string& dir,
+                                                   const LsmOptions& options) {
+  SS_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+  std::unique_ptr<LsmStore> store(new LsmStore(dir, options));
+  SS_RETURN_IF_ERROR(store->Recover());
+  return store;
+}
+
+std::string LsmStore::TablePath(uint32_t file_id) const {
+  return dir_ + "/" + std::to_string(file_id) + ".sst";
+}
+
+Status LsmStore::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // MANIFEST format: varint count, then per table varint file_id.
+  std::string manifest_path = dir_ + "/" + kManifestName;
+  if (FileExists(manifest_path)) {
+    SS_ASSIGN_OR_RETURN(std::string manifest, ReadFileToString(manifest_path));
+    Reader reader(manifest);
+    SS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+    for (uint64_t i = 0; i < count; ++i) {
+      SS_ASSIGN_OR_RETURN(uint64_t file_id, reader.ReadVarint());
+      SS_ASSIGN_OR_RETURN(std::shared_ptr<SsTable> table,
+                          SsTable::Open(TablePath(static_cast<uint32_t>(file_id)),
+                                        static_cast<uint32_t>(file_id)));
+      tables_.push_back(std::move(table));
+      next_file_id_ = std::max(next_file_id_, static_cast<uint32_t>(file_id) + 1);
+    }
+  }
+  // Replay the WAL into the memtable, then keep appending to the same log.
+  std::string wal_path = dir_ + "/" + kWalName;
+  SS_ASSIGN_OR_RETURN(uint64_t recovered,
+                      WalReplay(wal_path, [this](std::string_view key,
+                                                 std::optional<std::string_view> value) {
+                        memtable_bytes_ += key.size() + (value ? value->size() : 0) + 32;
+                        if (value.has_value()) {
+                          memtable_.insert_or_assign(std::string(key), std::string(*value));
+                        } else {
+                          memtable_.insert_or_assign(std::string(key), std::nullopt);
+                        }
+                      }));
+  if (recovered > 0) {
+    SS_LOG(Debug) << "LsmStore recovered " << recovered << " WAL records";
+  }
+  SS_ASSIGN_OR_RETURN(wal_, WalWriter::Open(wal_path, /*truncate=*/false));
+  return Status::Ok();
+}
+
+Status LsmStore::Write(std::string_view key, std::optional<std::string_view> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SS_RETURN_IF_ERROR(wal_->Append(key, value));
+  if (options_.sync_wal) {
+    SS_RETURN_IF_ERROR(wal_->Sync());
+  }
+  memtable_bytes_ += key.size() + (value ? value->size() : 0) + 32;
+  if (value.has_value()) {
+    memtable_.insert_or_assign(std::string(key), std::string(*value));
+  } else {
+    memtable_.insert_or_assign(std::string(key), std::nullopt);
+  }
+  if (memtable_bytes_ >= options_.memtable_bytes) {
+    SS_RETURN_IF_ERROR(FlushMemtableLocked());
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::Put(std::string_view key, std::string_view value) { return Write(key, value); }
+
+Status LsmStore::Delete(std::string_view key) { return Write(key, std::nullopt); }
+
+StatusOr<std::string> LsmStore::Get(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    if (!it->second.has_value()) {
+      return Status::NotFound("deleted");
+    }
+    return *it->second;
+  }
+  for (auto table = tables_.rbegin(); table != tables_.rend(); ++table) {
+    auto result = (*table)->Get(key, &block_cache_);
+    if (result.ok()) {
+      if (result->tombstone) {
+        return Status::NotFound("deleted");
+      }
+      return std::move(result->value);
+    }
+    if (result.status().code() != StatusCode::kNotFound) {
+      return result.status();
+    }
+  }
+  return Status::NotFound("key not present");
+}
+
+Status LsmStore::Scan(std::string_view start, std::string_view end, const ScanVisitor& visit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // K-way merge across the memtable and all tables; on duplicate keys the
+  // newest source wins (memtable first, then tables in reverse age order).
+  std::vector<std::unique_ptr<SsTable::Iterator>> iters;
+  iters.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    auto iter = std::make_unique<SsTable::Iterator>(table.get(), &block_cache_);
+    SS_RETURN_IF_ERROR(iter->Seek(start));
+    iters.push_back(std::move(iter));
+  }
+  auto mem_it = memtable_.lower_bound(start);
+
+  auto in_range = [&end](std::string_view key) { return end.empty() || key < end; };
+
+  std::string last_emitted;
+  bool emitted_any = false;
+  while (true) {
+    // Find the smallest current key across all cursors; prefer the newest
+    // source on ties.
+    std::string_view best_key;
+    int best_source = -1;  // -2 = memtable, >=0 = table index (older = smaller)
+    bool have = false;
+    if (mem_it != memtable_.end() && in_range(mem_it->first)) {
+      best_key = mem_it->first;
+      best_source = -2;
+      have = true;
+    }
+    for (size_t i = 0; i < iters.size(); ++i) {
+      if (!iters[i]->Valid()) {
+        continue;
+      }
+      std::string_view key = iters[i]->entry().key;
+      if (!in_range(key)) {
+        continue;
+      }
+      // Memtable and newer tables shadow this entry on equal keys, and newer
+      // tables appear later in iters; ">= best" on later entries would pick
+      // older duplicates, so use strict "<".
+      if (!have || key < best_key) {
+        best_key = key;
+        best_source = static_cast<int>(i);
+        have = true;
+      }
+    }
+    if (!have) {
+      break;
+    }
+
+    std::string key(best_key);
+    bool tombstone;
+    std::string value;
+    if (best_source == -2) {
+      tombstone = !mem_it->second.has_value();
+      if (!tombstone) {
+        value = *mem_it->second;
+      }
+    } else {
+      // Among tables with this same key, the newest (largest index) wins —
+      // but the memtable still outranks all of them (handled above because
+      // the memtable cursor was preferred on ties via best_source order).
+      int winner = best_source;
+      for (size_t i = static_cast<size_t>(best_source) + 1; i < iters.size(); ++i) {
+        if (iters[i]->Valid() && iters[i]->entry().key == key) {
+          winner = static_cast<int>(i);
+        }
+      }
+      tombstone = iters[static_cast<size_t>(winner)]->entry().tombstone;
+      value = iters[static_cast<size_t>(winner)]->entry().value;
+    }
+
+    bool keep_going = true;
+    if (!tombstone && (!emitted_any || key != last_emitted)) {
+      keep_going = visit(key, value);
+      last_emitted = key;
+      emitted_any = true;
+    }
+
+    // Advance every cursor positioned at `key`.
+    if (mem_it != memtable_.end() && mem_it->first == key) {
+      ++mem_it;
+    }
+    for (auto& iter : iters) {
+      while (iter->Valid() && iter->entry().key == key) {
+        SS_RETURN_IF_ERROR(iter->Next());
+      }
+    }
+    if (!keep_going) {
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::FlushMemtableLocked() {
+  if (memtable_.empty()) {
+    return Status::Ok();
+  }
+  uint32_t file_id = next_file_id_++;
+  SS_ASSIGN_OR_RETURN(SstBuilder builder, SstBuilder::Create(TablePath(file_id)));
+  for (const auto& [key, value] : memtable_) {
+    SS_RETURN_IF_ERROR(builder.Add(key, !value.has_value(), value ? *value : std::string_view()));
+  }
+  SS_RETURN_IF_ERROR(builder.Finish().status());
+  SS_ASSIGN_OR_RETURN(std::shared_ptr<SsTable> table, SsTable::Open(TablePath(file_id), file_id));
+  tables_.push_back(std::move(table));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  SS_RETURN_IF_ERROR(WriteManifestLocked());
+  // The memtable is durable in the table now; restart the WAL.
+  SS_ASSIGN_OR_RETURN(wal_, WalWriter::Open(dir_ + "/" + kWalName, /*truncate=*/true));
+  if (tables_.size() >= options_.compaction_trigger) {
+    SS_RETURN_IF_ERROR(CompactLocked());
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::CompactLocked() {
+  if (tables_.size() <= 1) {
+    return Status::Ok();
+  }
+  uint32_t file_id = next_file_id_++;
+  SS_ASSIGN_OR_RETURN(SstBuilder builder, SstBuilder::Create(TablePath(file_id)));
+
+  // Merge all tables, newest wins, tombstones dropped (full compaction).
+  std::vector<std::unique_ptr<SsTable::Iterator>> iters;
+  for (const auto& table : tables_) {
+    auto iter = std::make_unique<SsTable::Iterator>(table.get(), &block_cache_);
+    SS_RETURN_IF_ERROR(iter->Seek(""));
+    iters.push_back(std::move(iter));
+  }
+  while (true) {
+    std::string_view best_key;
+    bool have = false;
+    for (const auto& iter : iters) {
+      if (iter->Valid() && (!have || iter->entry().key < best_key)) {
+        best_key = iter->entry().key;
+        have = true;
+      }
+    }
+    if (!have) {
+      break;
+    }
+    std::string key(best_key);
+    bool tombstone = false;
+    std::string value;
+    for (const auto& iter : iters) {  // last (newest) match wins
+      if (iter->Valid() && iter->entry().key == key) {
+        tombstone = iter->entry().tombstone;
+        value = iter->entry().value;
+      }
+    }
+    if (!tombstone) {
+      SS_RETURN_IF_ERROR(builder.Add(key, false, value));
+    }
+    for (auto& iter : iters) {
+      while (iter->Valid() && iter->entry().key == key) {
+        SS_RETURN_IF_ERROR(iter->Next());
+      }
+    }
+  }
+  SS_RETURN_IF_ERROR(builder.Finish().status());
+
+  std::vector<std::shared_ptr<SsTable>> old_tables = std::move(tables_);
+  tables_.clear();
+  SS_ASSIGN_OR_RETURN(std::shared_ptr<SsTable> merged, SsTable::Open(TablePath(file_id), file_id));
+  tables_.push_back(std::move(merged));
+  SS_RETURN_IF_ERROR(WriteManifestLocked());
+  block_cache_.Clear();  // old file blocks are dead
+  for (const auto& table : old_tables) {
+    SS_RETURN_IF_ERROR(RemoveFileIfExists(table->path()));
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::WriteManifestLocked() {
+  Writer manifest;
+  manifest.PutVarint(tables_.size());
+  for (const auto& table : tables_) {
+    manifest.PutVarint(table->file_id());
+  }
+  return WriteFileAtomic(dir_ + "/" + kManifestName, manifest.data());
+}
+
+Status LsmStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushMemtableLocked();
+}
+
+uint64_t LsmStore::ApproximateSizeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes = memtable_bytes_;
+  for (const auto& table : tables_) {
+    bytes += table->file_size();
+  }
+  return bytes;
+}
+
+void LsmStore::DropCaches() {
+  std::lock_guard<std::mutex> lock(mu_);
+  block_cache_.Clear();
+}
+
+size_t LsmStore::sstable_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
+}
+
+size_t LsmStore::memtable_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memtable_.size();
+}
+
+uint64_t LsmStore::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return block_cache_.hits();
+}
+
+uint64_t LsmStore::cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return block_cache_.misses();
+}
+
+}  // namespace ss

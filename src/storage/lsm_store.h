@@ -1,0 +1,80 @@
+// Log-structured merge KV store: the durable backend (RocksDB stand-in).
+//
+// Write path:  WAL append -> memtable; memtable overflow flushes to a new
+//              SSTable; too many tables triggers a full (size-tiered)
+//              compaction into one table, dropping tombstones.
+// Read path:   memtable, then SSTables newest-to-oldest, through a shared
+//              block LRU cache.
+// Recovery:    MANIFEST lists live tables (atomically replaced); the WAL
+//              replays into a fresh memtable on open.
+//
+// All public methods are thread-safe behind a single mutex; SummaryStore's
+// ingest batches writes, so lock granularity is not the bottleneck here.
+#ifndef SUMMARYSTORE_SRC_STORAGE_LSM_STORE_H_
+#define SUMMARYSTORE_SRC_STORAGE_LSM_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/storage/kv_backend.h"
+#include "src/storage/sstable.h"
+#include "src/storage/wal.h"
+
+namespace ss {
+
+struct LsmOptions {
+  size_t memtable_bytes = 4 << 20;      // flush threshold
+  size_t block_cache_bytes = 32 << 20;  // shared data-block cache
+  size_t compaction_trigger = 8;        // full-compact when #tables reaches this
+  bool sync_wal = false;                // fsync the WAL on every write
+};
+
+class LsmStore : public KvBackend {
+ public:
+  static StatusOr<std::unique_ptr<LsmStore>> Open(const std::string& dir,
+                                                  const LsmOptions& options = {});
+  ~LsmStore() override;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  StatusOr<std::string> Get(std::string_view key) override;
+  Status Delete(std::string_view key) override;
+  Status Scan(std::string_view start, std::string_view end, const ScanVisitor& visit) override;
+  Status Flush() override;
+  uint64_t ApproximateSizeBytes() const override;
+  void DropCaches() override;
+
+  // Introspection for tests and benches.
+  size_t sstable_count() const;
+  size_t memtable_entries() const;
+  uint64_t cache_hits() const;
+  uint64_t cache_misses() const;
+
+ private:
+  LsmStore(std::string dir, const LsmOptions& options);
+
+  Status Recover();
+  Status Write(std::string_view key, std::optional<std::string_view> value);
+  Status FlushMemtableLocked();
+  Status CompactLocked();
+  Status WriteManifestLocked();
+  std::string TablePath(uint32_t file_id) const;
+
+  const std::string dir_;
+  const LsmOptions options_;
+
+  mutable std::mutex mu_;
+  // nullopt value = tombstone.
+  std::map<std::string, std::optional<std::string>, std::less<>> memtable_;
+  size_t memtable_bytes_ = 0;
+  std::optional<WalWriter> wal_;
+  std::vector<std::shared_ptr<SsTable>> tables_;  // oldest first
+  uint32_t next_file_id_ = 1;
+  mutable BlockCache block_cache_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_STORAGE_LSM_STORE_H_

@@ -1,0 +1,65 @@
+// In-memory KvBackend: an ordered map. Used by unit tests and by benchmark
+// configurations that isolate algorithmic behavior from disk effects.
+#ifndef SUMMARYSTORE_SRC_STORAGE_MEMORY_BACKEND_H_
+#define SUMMARYSTORE_SRC_STORAGE_MEMORY_BACKEND_H_
+
+#include <map>
+#include <string>
+
+#include "src/storage/kv_backend.h"
+
+namespace ss {
+
+class MemoryBackend : public KvBackend {
+ public:
+  Status Put(std::string_view key, std::string_view value) override {
+    auto [it, inserted] = map_.insert_or_assign(std::string(key), std::string(value));
+    (void)it;
+    (void)inserted;
+    return Status::Ok();
+  }
+
+  StatusOr<std::string> Get(std::string_view key) override {
+    auto it = map_.find(std::string(key));
+    if (it == map_.end()) {
+      return Status::NotFound("key not present");
+    }
+    return it->second;
+  }
+
+  Status Delete(std::string_view key) override {
+    map_.erase(std::string(key));
+    return Status::Ok();
+  }
+
+  Status Scan(std::string_view start, std::string_view end, const ScanVisitor& visit) override {
+    auto it = map_.lower_bound(std::string(start));
+    auto stop = end.empty() ? map_.end() : map_.lower_bound(std::string(end));
+    for (; it != stop; ++it) {
+      if (!visit(it->first, it->second)) {
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status Flush() override { return Status::Ok(); }
+
+  uint64_t ApproximateSizeBytes() const override {
+    uint64_t bytes = 0;
+    for (const auto& [k, v] : map_) {
+      bytes += k.size() + v.size();
+    }
+    return bytes;
+  }
+
+  size_t entry_count() const { return map_.size(); }
+
+ private:
+  // std::less<> enables heterogeneous lookup; keys stay owned strings.
+  std::map<std::string, std::string, std::less<>> map_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_STORAGE_MEMORY_BACKEND_H_

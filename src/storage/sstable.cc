@@ -1,0 +1,237 @@
+#include "src/storage/sstable.h"
+
+#include <algorithm>
+
+namespace ss {
+
+namespace {
+
+constexpr size_t kFooterSize = 8 + 8 + 4 + 8;
+
+void EncodeEntry(std::string* block, std::string_view key, bool tombstone,
+                 std::string_view value) {
+  Writer w;
+  w.PutString(key);
+  w.PutU8(tombstone ? 1 : 0);
+  if (!tombstone) {
+    w.PutString(value);
+  }
+  block->append(w.data());
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- SstBuilder
+
+StatusOr<SstBuilder> SstBuilder::Create(const std::string& path) {
+  SS_ASSIGN_OR_RETURN(AppendFile file, AppendFile::Open(path, /*truncate=*/true));
+  return SstBuilder(std::move(file));
+}
+
+Status SstBuilder::Add(std::string_view key, bool tombstone, std::string_view value) {
+  if (!last_key_.empty() && key <= last_key_) {
+    return Status::InvalidArgument("SstBuilder: keys out of order");
+  }
+  if (block_.empty()) {
+    block_first_key_ = key;
+  }
+  EncodeEntry(&block_, key, tombstone, value);
+  last_key_ = key;
+  ++entry_count_;
+  if (block_.size() >= kTargetBlockSize) {
+    return FlushBlock();
+  }
+  return Status::Ok();
+}
+
+Status SstBuilder::FlushBlock() {
+  if (block_.empty()) {
+    return Status::Ok();
+  }
+  index_.PutString(block_first_key_);
+  index_.PutVarint(offset_);
+  index_.PutVarint(block_.size());
+  index_.PutFixed32(Crc32c(block_));
+  SS_RETURN_IF_ERROR(file_.Append(block_));
+  offset_ += block_.size();
+  block_.clear();
+  ++num_blocks_;
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> SstBuilder::Finish() {
+  SS_RETURN_IF_ERROR(FlushBlock());
+  std::string index_data = index_.Release();
+  Writer footer;
+  footer.PutFixed64(offset_);
+  footer.PutFixed64(index_data.size());
+  footer.PutFixed32(Crc32c(index_data));
+  footer.PutFixed64(kSstMagic);
+  SS_RETURN_IF_ERROR(file_.Append(index_data));
+  SS_RETURN_IF_ERROR(file_.Append(footer.data()));
+  SS_RETURN_IF_ERROR(file_.Sync());
+  SS_RETURN_IF_ERROR(file_.Close());
+  return offset_;
+}
+
+// -------------------------------------------------------------------- SsTable
+
+StatusOr<std::shared_ptr<SsTable>> SsTable::Open(const std::string& path, uint32_t file_id) {
+  std::shared_ptr<SsTable> table(new SsTable(path, file_id));
+  SS_ASSIGN_OR_RETURN(table->file_, RandomAccessFile::Open(path));
+  SS_ASSIGN_OR_RETURN(table->file_size_, table->file_.Size());
+  if (table->file_size_ < kFooterSize) {
+    return Status::Corruption("SsTable: file too small: " + path);
+  }
+
+  std::string footer;
+  SS_RETURN_IF_ERROR(table->file_.Read(table->file_size_ - kFooterSize, kFooterSize, &footer));
+  Reader footer_reader(footer);
+  SS_ASSIGN_OR_RETURN(uint64_t index_offset, footer_reader.ReadFixed64());
+  SS_ASSIGN_OR_RETURN(uint64_t index_size, footer_reader.ReadFixed64());
+  SS_ASSIGN_OR_RETURN(uint32_t index_crc, footer_reader.ReadFixed32());
+  SS_ASSIGN_OR_RETURN(uint64_t magic, footer_reader.ReadFixed64());
+  if (magic != kSstMagic) {
+    return Status::Corruption("SsTable: bad magic: " + path);
+  }
+  if (index_offset + index_size + kFooterSize > table->file_size_) {
+    return Status::Corruption("SsTable: index out of bounds: " + path);
+  }
+
+  std::string index_data;
+  SS_RETURN_IF_ERROR(table->file_.Read(index_offset, index_size, &index_data));
+  if (Crc32c(index_data) != index_crc) {
+    return Status::Corruption("SsTable: index checksum mismatch: " + path);
+  }
+  Reader index_reader(index_data);
+  while (!index_reader.AtEnd()) {
+    IndexEntry entry;
+    SS_ASSIGN_OR_RETURN(std::string_view first_key, index_reader.ReadString());
+    entry.first_key = std::string(first_key);
+    SS_ASSIGN_OR_RETURN(entry.offset, index_reader.ReadVarint());
+    SS_ASSIGN_OR_RETURN(entry.size, index_reader.ReadVarint());
+    SS_ASSIGN_OR_RETURN(entry.crc, index_reader.ReadFixed32());
+    table->index_.push_back(std::move(entry));
+  }
+  if (!table->index_.empty()) {
+    table->min_key_ = table->index_.front().first_key;
+  }
+  return table;
+}
+
+size_t SsTable::FindBlock(std::string_view key) const {
+  // Last block whose first_key <= key.
+  auto it = std::upper_bound(index_.begin(), index_.end(), key,
+                             [](std::string_view k, const IndexEntry& e) { return k < e.first_key; });
+  if (it == index_.begin()) {
+    return index_.size();  // key precedes every block
+  }
+  return static_cast<size_t>(it - index_.begin()) - 1;
+}
+
+StatusOr<std::shared_ptr<std::string>> SsTable::ReadBlock(size_t block_idx,
+                                                          BlockCache* cache) const {
+  uint64_t cache_key = (static_cast<uint64_t>(file_id_) << 32) | block_idx;
+  if (cache != nullptr) {
+    if (auto hit = cache->Get(cache_key)) {
+      return *hit;
+    }
+  }
+  const IndexEntry& e = index_[block_idx];
+  auto block = std::make_shared<std::string>();
+  SS_RETURN_IF_ERROR(file_.Read(e.offset, e.size, block.get()));
+  if (Crc32c(*block) != e.crc) {
+    return Status::Corruption("SsTable: block checksum mismatch: " + path_);
+  }
+  if (cache != nullptr) {
+    cache->Put(cache_key, block, block->size());
+  }
+  return block;
+}
+
+Status SsTable::DecodeBlock(std::string_view raw, std::vector<Entry>* out) {
+  out->clear();
+  Reader reader(raw);
+  while (!reader.AtEnd()) {
+    Entry entry;
+    SS_ASSIGN_OR_RETURN(std::string_view key, reader.ReadString());
+    entry.key = std::string(key);
+    SS_ASSIGN_OR_RETURN(uint8_t tombstone, reader.ReadU8());
+    entry.tombstone = tombstone != 0;
+    if (!entry.tombstone) {
+      SS_ASSIGN_OR_RETURN(std::string_view value, reader.ReadString());
+      entry.value = std::string(value);
+    }
+    out->push_back(std::move(entry));
+  }
+  return Status::Ok();
+}
+
+StatusOr<SsTable::GetResult> SsTable::Get(std::string_view key, BlockCache* cache) const {
+  size_t block_idx = FindBlock(key);
+  if (block_idx >= index_.size()) {
+    return Status::NotFound("key not in table");
+  }
+  SS_ASSIGN_OR_RETURN(std::shared_ptr<std::string> block, ReadBlock(block_idx, cache));
+  std::vector<Entry> entries;
+  SS_RETURN_IF_ERROR(DecodeBlock(*block, &entries));
+  auto it = std::lower_bound(entries.begin(), entries.end(), key,
+                             [](const Entry& e, std::string_view k) { return e.key < k; });
+  if (it == entries.end() || it->key != key) {
+    return Status::NotFound("key not in table");
+  }
+  return GetResult{it->tombstone, it->value};
+}
+
+// --------------------------------------------------------- SsTable::Iterator
+
+Status SsTable::Iterator::LoadBlock(size_t block_idx) {
+  SS_ASSIGN_OR_RETURN(std::shared_ptr<std::string> block, table_->ReadBlock(block_idx, cache_));
+  SS_RETURN_IF_ERROR(DecodeBlock(*block, &block_entries_));
+  block_idx_ = block_idx;
+  pos_ = 0;
+  return Status::Ok();
+}
+
+Status SsTable::Iterator::Seek(std::string_view start) {
+  valid_ = false;
+  if (table_->index_.empty()) {
+    return Status::Ok();
+  }
+  size_t block_idx = table_->FindBlock(start);
+  if (block_idx >= table_->index_.size()) {
+    block_idx = 0;  // start precedes the table; begin at the first block
+  }
+  SS_RETURN_IF_ERROR(LoadBlock(block_idx));
+  auto it = std::lower_bound(block_entries_.begin(), block_entries_.end(), start,
+                             [](const Entry& e, std::string_view k) { return e.key < k; });
+  pos_ = static_cast<size_t>(it - block_entries_.begin());
+  if (pos_ >= block_entries_.size()) {
+    // Start falls past this block's last key; advance to the next block.
+    if (block_idx_ + 1 >= table_->index_.size()) {
+      return Status::Ok();
+    }
+    SS_RETURN_IF_ERROR(LoadBlock(block_idx_ + 1));
+  }
+  valid_ = true;
+  entry_ = block_entries_[pos_];
+  return Status::Ok();
+}
+
+Status SsTable::Iterator::Next() {
+  if (!valid_) {
+    return Status::FailedPrecondition("Next on invalid iterator");
+  }
+  ++pos_;
+  if (pos_ >= block_entries_.size()) {
+    if (block_idx_ + 1 >= table_->index_.size()) {
+      valid_ = false;
+      return Status::Ok();
+    }
+    SS_RETURN_IF_ERROR(LoadBlock(block_idx_ + 1));
+  }
+  entry_ = block_entries_[pos_];
+  return Status::Ok();
+}
+
+}  // namespace ss

@@ -1,0 +1,138 @@
+// Immutable sorted-string-table file: the on-disk unit of the LSM store.
+//
+// Layout:
+//   data block 0 | data block 1 | ... | index block | footer
+//
+// Data block: repeated entries
+//   [varint klen][key][u8 tombstone][varint vlen][value]   (value absent if tombstone)
+// Index block: per data block
+//   [varint first_key_len][first_key][varint offset][varint size][fixed32 crc]
+// Footer (fixed size, at EOF):
+//   [fixed64 index_offset][fixed64 index_size][fixed32 index_crc][fixed64 magic]
+//
+// Readers binary-search the in-memory index to locate the data block for a
+// key, fetch it (through the shared block cache), and scan within.
+#ifndef SUMMARYSTORE_SRC_STORAGE_SSTABLE_H_
+#define SUMMARYSTORE_SRC_STORAGE_SSTABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/lru_cache.h"
+#include "src/common/serde.h"
+#include "src/storage/file_util.h"
+
+namespace ss {
+
+// Cache key: (table file id << 32) | block index.
+using BlockCache = LruCache<uint64_t, std::shared_ptr<std::string>>;
+
+inline constexpr uint64_t kSstMagic = 0x53756d6d53746f72ULL;  // "SummStor"
+inline constexpr size_t kTargetBlockSize = 4096;
+
+// Streams sorted entries into a new SSTable file.
+class SstBuilder {
+ public:
+  static StatusOr<SstBuilder> Create(const std::string& path);
+
+  // Keys must arrive in strictly increasing order.
+  Status Add(std::string_view key, bool tombstone, std::string_view value);
+
+  // Writes index + footer and fsyncs. Returns logical data bytes written.
+  StatusOr<uint64_t> Finish();
+
+  uint64_t entry_count() const { return entry_count_; }
+
+ private:
+  explicit SstBuilder(AppendFile file) : file_(std::move(file)) {}
+
+  Status FlushBlock();
+
+  AppendFile file_;
+  std::string block_;
+  std::string block_first_key_;
+  std::string last_key_;
+  uint64_t offset_ = 0;
+  uint64_t entry_count_ = 0;
+  Writer index_;
+  uint32_t num_blocks_ = 0;
+};
+
+class SsTable {
+ public:
+  struct Entry {
+    std::string key;
+    bool tombstone;
+    std::string value;
+  };
+
+  // Opens the file and loads the block index into memory.
+  static StatusOr<std::shared_ptr<SsTable>> Open(const std::string& path, uint32_t file_id);
+
+  const std::string& path() const { return path_; }
+  uint32_t file_id() const { return file_id_; }
+  uint64_t file_size() const { return file_size_; }
+  size_t block_count() const { return index_.size(); }
+  const std::string& min_key() const { return min_key_; }
+
+  // Point lookup. Found tombstones are reported (the LSM layer must shadow
+  // older tables); absent keys return kNotFound.
+  struct GetResult {
+    bool tombstone;
+    std::string value;
+  };
+  StatusOr<GetResult> Get(std::string_view key, BlockCache* cache) const;
+
+  // Forward iterator over every entry in key order, starting at the first
+  // key >= `start`.
+  class Iterator {
+   public:
+    Iterator(const SsTable* table, BlockCache* cache) : table_(table), cache_(cache) {}
+
+    Status Seek(std::string_view start);
+    bool Valid() const { return valid_; }
+    const Entry& entry() const { return entry_; }
+    Status Next();
+
+   private:
+    Status LoadBlock(size_t block_idx);
+
+    const SsTable* table_;
+    BlockCache* cache_;
+    std::vector<Entry> block_entries_;
+    size_t block_idx_ = 0;
+    size_t pos_ = 0;
+    bool valid_ = false;
+    Entry entry_;
+  };
+
+ private:
+  struct IndexEntry {
+    std::string first_key;
+    uint64_t offset;
+    uint64_t size;
+    uint32_t crc;
+  };
+
+  SsTable(std::string path, uint32_t file_id) : path_(std::move(path)), file_id_(file_id) {}
+
+  // Returns the decoded block, via the cache when available.
+  StatusOr<std::shared_ptr<std::string>> ReadBlock(size_t block_idx, BlockCache* cache) const;
+  static Status DecodeBlock(std::string_view raw, std::vector<Entry>* out);
+  // Index of the block that could contain `key` (last block with
+  // first_key <= key), or npos if key precedes all blocks.
+  size_t FindBlock(std::string_view key) const;
+
+  std::string path_;
+  uint32_t file_id_;
+  RandomAccessFile file_;
+  uint64_t file_size_ = 0;
+  std::string min_key_;
+  std::vector<IndexEntry> index_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_STORAGE_SSTABLE_H_

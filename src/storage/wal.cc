@@ -1,0 +1,71 @@
+#include "src/storage/wal.h"
+
+#include "src/common/serde.h"
+
+namespace ss {
+
+StatusOr<WalWriter> WalWriter::Open(const std::string& path, bool truncate) {
+  SS_ASSIGN_OR_RETURN(AppendFile file, AppendFile::Open(path, truncate));
+  return WalWriter(std::move(file));
+}
+
+Status WalWriter::Append(std::string_view key, std::optional<std::string_view> value) {
+  Writer payload;
+  payload.PutString(key);
+  payload.PutU8(value.has_value() ? 1 : 0);
+  if (value.has_value()) {
+    payload.PutString(*value);
+  }
+  Writer record;
+  record.PutFixed32(Crc32c(payload.data()));
+  record.PutFixed32(static_cast<uint32_t>(payload.size()));
+  record.PutRaw(payload.data().data(), payload.size());
+  return file_.Append(record.data());
+}
+
+Status WalWriter::Sync() { return file_.Sync(); }
+
+StatusOr<uint64_t> WalReplay(const std::string& path, const WalReplayVisitor& visit) {
+  if (!FileExists(path)) {
+    return uint64_t{0};
+  }
+  SS_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  Reader reader(contents);
+  uint64_t recovered = 0;
+  while (!reader.AtEnd()) {
+    auto crc = reader.ReadFixed32();
+    if (!crc.ok()) {
+      break;  // torn tail
+    }
+    auto len = reader.ReadFixed32();
+    if (!len.ok() || reader.remaining() < *len) {
+      break;
+    }
+    auto payload = reader.ReadRaw(*len);
+    if (!payload.ok() || Crc32c(*payload) != *crc) {
+      break;  // corrupt record; discard it and everything after
+    }
+    Reader body(*payload);
+    auto key = body.ReadString();
+    if (!key.ok()) {
+      break;
+    }
+    auto has_value = body.ReadU8();
+    if (!has_value.ok()) {
+      break;
+    }
+    if (*has_value != 0) {
+      auto value = body.ReadString();
+      if (!value.ok()) {
+        break;
+      }
+      visit(*key, *value);
+    } else {
+      visit(*key, std::nullopt);
+    }
+    ++recovered;
+  }
+  return recovered;
+}
+
+}  // namespace ss

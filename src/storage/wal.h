@@ -1,0 +1,44 @@
+// Write-ahead log for the LSM store. Each record is
+//   [crc32c(payload) : fixed32][payload_len : fixed32][payload]
+// where the payload encodes one Put or Delete. Replay stops cleanly at the
+// first truncated or corrupt record (standard crash semantics: a torn tail
+// write loses only the unacknowledged suffix).
+#ifndef SUMMARYSTORE_SRC_STORAGE_WAL_H_
+#define SUMMARYSTORE_SRC_STORAGE_WAL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/storage/file_util.h"
+
+namespace ss {
+
+class WalWriter {
+ public:
+  // Opens (appending) or creates the log at `path`; `truncate` starts fresh.
+  static StatusOr<WalWriter> Open(const std::string& path, bool truncate);
+
+  // Appends one record; value == nullopt encodes a tombstone.
+  Status Append(std::string_view key, std::optional<std::string_view> value);
+
+  Status Sync();
+  uint64_t bytes_written() const { return file_.bytes_written(); }
+
+ private:
+  explicit WalWriter(AppendFile file) : file_(std::move(file)) {}
+
+  AppendFile file_;
+};
+
+// Replays all intact records in `path`, invoking the visitor in log order.
+// A missing file is not an error (fresh database). Returns the number of
+// records recovered.
+using WalReplayVisitor =
+    std::function<void(std::string_view key, std::optional<std::string_view> value)>;
+StatusOr<uint64_t> WalReplay(const std::string& path, const WalReplayVisitor& visit);
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_STORAGE_WAL_H_

@@ -1,0 +1,162 @@
+#include "src/workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace ss {
+
+namespace {
+
+constexpr Timestamp kHour = 3600;
+constexpr Timestamp kDay = 24 * kHour;
+
+}  // namespace
+
+// ------------------------------------------------------------ SyntheticStream
+
+SyntheticStream::SyntheticStream(const SyntheticStreamSpec& spec)
+    : value_rng_(Mix64(spec.seed ^ 0x5eed0001)), value_universe_(spec.value_universe) {
+  uint64_t arrival_seed = Mix64(spec.seed ^ 0x5eed0002);
+  switch (spec.arrival) {
+    case ArrivalKind::kPoisson:
+      arrivals_ = std::make_unique<PoissonArrivals>(1.0 / spec.mean_interarrival, arrival_seed);
+      break;
+    case ArrivalKind::kParetoInfiniteVariance:
+      arrivals_ = std::make_unique<ParetoArrivals>(spec.mean_interarrival, 1.2, arrival_seed);
+      break;
+    case ArrivalKind::kParetoFiniteVariance:
+      arrivals_ = std::make_unique<ParetoArrivals>(spec.mean_interarrival, 2.2, arrival_seed);
+      break;
+    case ArrivalKind::kRegular:
+      arrivals_ = std::make_unique<RegularArrivals>(
+          std::max<Timestamp>(1, static_cast<Timestamp>(spec.mean_interarrival)));
+      break;
+  }
+}
+
+Event SyntheticStream::Next() {
+  Timestamp ts = arrivals_->Next();
+  // SummaryStore appends must be monotone; integer quantization of
+  // sub-unit interarrivals can repeat a timestamp, which is fine (>=).
+  if (ts < last_ts_) {
+    ts = last_ts_;
+  }
+  last_ts_ = ts;
+  double value = static_cast<double>(value_rng_.NextBounded(
+      static_cast<uint64_t>(value_universe_)));
+  return Event{ts, value};
+}
+
+// ------------------------------------------------------ ClusterTraceGenerator
+
+ClusterTraceGenerator::ClusterTraceGenerator(Timestamp sample_period, double outlier_rate,
+                                             uint64_t seed)
+    : period_(sample_period), outlier_rate_(outlier_rate), rng_(Mix64(seed ^ 0xc105)) {}
+
+Event ClusterTraceGenerator::Next() {
+  t_ += period_;
+  double daily = std::sin(2.0 * M_PI * static_cast<double>(t_ % kDay) / kDay);
+  double base = 0.30 + 0.08 * daily + 0.02 * rng_.NextGaussian();
+  double value = base;
+  if (rng_.NextBernoulli(outlier_rate_)) {
+    // Utilization spike: heavy-tailed burst well past the boxplot fences.
+    value = base + 0.6 + 0.5 * rng_.NextPareto(0.2, 3.0);
+  }
+  value = std::clamp(value, 0.0, 4.0);
+  return Event{t_, value};
+}
+
+// --------------------------------------------------------- MLabTraceGenerator
+
+MLabTraceGenerator::MLabTraceGenerator(double mean_interarrival, int64_t num_ips, double zipf_s,
+                                       uint64_t seed)
+    : arrivals_(1.0 / mean_interarrival, Mix64(seed ^ 0x31ab0001)),
+      zipf_(num_ips, zipf_s),
+      rng_(Mix64(seed ^ 0x31ab0002)) {}
+
+Event MLabTraceGenerator::Next() {
+  Timestamp ts = arrivals_.Next();
+  double ip = static_cast<double>(zipf_.Sample(rng_));
+  return Event{ts, ip};
+}
+
+// --------------------------------------------------------- TsmBackupGenerator
+
+TsmBackupGenerator::TsmBackupGenerator(uint64_t node_id, double failure_rate, uint64_t seed)
+    : failure_rate_(failure_rate), rng_(Mix64(seed ^ node_id)), t_(0) {
+  // Per-node scale spans ~2 orders of magnitude (production backup
+  // populations are highly skewed).
+  node_scale_ = std::exp(rng_.NextGaussian() * 1.2 + 1.0);
+}
+
+Event TsmBackupGenerator::Next() {
+  t_ += kHour;
+  if (rng_.NextBernoulli(failure_rate_)) {
+    return Event{t_, 0.0};  // failed backup uploads nothing
+  }
+  // Mostly-incremental backups: lognormal around ~100 MB × node scale.
+  double mb = node_scale_ * std::exp(rng_.NextGaussian() * 0.8 + std::log(100.0));
+  return Event{t_, mb};
+}
+
+// ------------------------------------------------------ forecast series (§7.1)
+
+const char* ForecastDatasetName(ForecastDataset dataset) {
+  switch (dataset) {
+    case ForecastDataset::kEcon:
+      return "econ";
+    case ForecastDataset::kWiki:
+      return "wiki";
+    case ForecastDataset::kNoaa:
+      return "noaa";
+  }
+  return "unknown";
+}
+
+std::vector<Event> GenerateForecastSeries(ForecastDataset dataset, int days, uint64_t seed) {
+  Rng rng(Mix64(seed ^ (0xf04ecau + static_cast<uint64_t>(dataset))));
+  std::vector<Event> series;
+  series.reserve(static_cast<size_t>(days));
+  double level = 100.0;
+  for (int d = 0; d < days; ++d) {
+    double t = static_cast<double>(d);
+    double value = 0.0;
+    switch (dataset) {
+      case ForecastDataset::kEcon: {
+        // Economic indicator: strong trend + mild noise + rare large
+        // outliers concentrated early in the series (old outliers are what
+        // decay helpfully forgets — the paper saw a net accuracy *gain*).
+        level += 0.08 + 0.02 * rng.NextGaussian();
+        value = level + 1.5 * rng.NextGaussian();
+        bool early = d < days / 2;
+        if (rng.NextBernoulli(early ? 0.02 : 0.002)) {
+          value += (rng.NextBernoulli(0.5) ? 1 : -1) * (30.0 + 20.0 * rng.NextDouble());
+        }
+        break;
+      }
+      case ForecastDataset::kWiki: {
+        // Page traffic: trend + strong weekly cycle + mild annual cycle +
+        // multiplicative noise. Long-range seasonal history matters, so
+        // exponential decay's aggressive forgetting hurts (§7.1.1).
+        double trend = 200.0 + 0.05 * t;
+        double weekly = 40.0 * std::sin(2.0 * M_PI * t / 7.0);
+        double annual = 25.0 * std::sin(2.0 * M_PI * t / 365.25);
+        value = (trend + weekly + annual) * (1.0 + 0.05 * rng.NextGaussian());
+        break;
+      }
+      case ForecastDataset::kNoaa: {
+        // Daily temperature: dominant, highly regular annual cycle (kept
+        // strictly positive so percentage-error metrics stay meaningful).
+        double annual = 10.0 * std::sin(2.0 * M_PI * (t + 30.0) / 365.25);
+        value = 18.0 + annual + 1.5 * rng.NextGaussian();
+        break;
+      }
+    }
+    series.push_back(Event{static_cast<Timestamp>(d) * kDay, value});
+  }
+  return series;
+}
+
+}  // namespace ss

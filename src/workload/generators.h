@@ -1,0 +1,121 @@
+// Synthetic stream generators standing in for the paper's datasets. Every
+// generator takes an explicit seed and is deterministic, so all experiments
+// reproduce bit-for-bit.
+//
+//   SyntheticStream        — §7.2 microbenchmark streams: Poisson or Pareto
+//                            (α=1.2 / α=2.2) arrivals, uniform values from a
+//                            finite set.
+//   ClusterTraceGenerator  — Google-cluster-style CPU utilization: outlier-
+//                            heavy (the paper's trace has outliers in ~60% of
+//                            intervals).
+//   MLabTraceGenerator     — M-Lab-style visit log: Poisson arrivals, Zipf-
+//                            distributed client IPs.
+//   TsmBackupGenerator     — TSM-style backup log: per-node hourly backups,
+//                            ~1% failures, heavy-tailed backup sizes.
+//   ForecastSeriesGenerator— Econ / Wiki / NOAA stand-ins: daily series with
+//                            trend, seasonality, noise, and outliers chosen
+//                            to mimic each dataset's character (§7.1.1).
+#ifndef SUMMARYSTORE_SRC_WORKLOAD_GENERATORS_H_
+#define SUMMARYSTORE_SRC_WORKLOAD_GENERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/window.h"  // Event
+#include "src/random/arrival.h"
+#include "src/random/rng.h"
+#include "src/random/zipf.h"
+
+namespace ss {
+
+// ----------------------------------------------------------- microbenchmarks
+
+enum class ArrivalKind : uint8_t {
+  kPoisson = 0,
+  kParetoInfiniteVariance = 1,  // α = 1.2 (paper's pathological case)
+  kParetoFiniteVariance = 2,    // α = 2.2
+  kRegular = 3,
+};
+
+struct SyntheticStreamSpec {
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  double mean_interarrival = 1.0;  // stream time units between events
+  int64_t value_universe = 1000;   // values uniform over {0 .. universe-1}
+  uint64_t seed = 42;
+};
+
+// Pull-based generator of time-ordered events.
+class SyntheticStream {
+ public:
+  explicit SyntheticStream(const SyntheticStreamSpec& spec);
+
+  Event Next();
+
+ private:
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  Rng value_rng_;
+  int64_t value_universe_;
+  Timestamp last_ts_ = -1;
+};
+
+// -------------------------------------------------------------- applications
+
+// CPU utilization samples in [0, 1]. Regular sampling with a daily pattern;
+// `outlier_rate` controls per-sample spike probability, tuned so that with
+// the paper's interval-based boxplot test the majority of intervals contain
+// at least one outlier.
+class ClusterTraceGenerator {
+ public:
+  ClusterTraceGenerator(Timestamp sample_period, double outlier_rate, uint64_t seed);
+
+  Event Next();
+
+ private:
+  Timestamp period_;
+  double outlier_rate_;
+  Rng rng_;
+  Timestamp t_ = 0;
+};
+
+// Visit log: Poisson arrivals, value = client IP rank drawn from Zipf.
+class MLabTraceGenerator {
+ public:
+  MLabTraceGenerator(double mean_interarrival, int64_t num_ips, double zipf_s, uint64_t seed);
+
+  Event Next();
+  int64_t num_ips() const { return zipf_.n(); }
+
+ private:
+  PoissonArrivals arrivals_;
+  ZipfSampler zipf_;
+  Rng rng_;
+};
+
+// One node's backup history: hourly events, value = bytes uploaded (0 on
+// failure). Backup sizes are lognormal (heavy-tailed, per Wallace et al.).
+class TsmBackupGenerator {
+ public:
+  TsmBackupGenerator(uint64_t node_id, double failure_rate, uint64_t seed);
+
+  Event Next();
+
+ private:
+  double failure_rate_;
+  Rng rng_;
+  Timestamp t_;
+  double node_scale_;  // per-node mean backup size multiplier
+};
+
+// ----------------------------------------------------------------- forecasting
+
+enum class ForecastDataset : uint8_t { kEcon = 0, kWiki = 1, kNoaa = 2 };
+
+const char* ForecastDatasetName(ForecastDataset dataset);
+
+// Daily observations over `days` days (ts = day index).
+std::vector<Event> GenerateForecastSeries(ForecastDataset dataset, int days, uint64_t seed);
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analytics/forecaster.h"
+#include "src/random/rng.h"
+#include "src/workload/generators.h"
+
+namespace ss {
+namespace {
+
+constexpr Timestamp kDay = 86400;
+
+TEST(SolveLinearSystem, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+  std::vector<double> a = {2, 1, 1, 3};
+  std::vector<double> b = {5, 10};
+  ASSERT_TRUE(SolveLinearSystem(a, b, 2).ok());
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularRejected) {
+  std::vector<double> a = {1, 2, 2, 4};
+  std::vector<double> b = {1, 2};
+  EXPECT_FALSE(SolveLinearSystem(a, b, 2).ok());
+}
+
+TEST(Forecaster, RecoversLinearTrend) {
+  std::vector<Event> train;
+  for (int d = 0; d < 200; ++d) {
+    train.push_back({d * kDay, 10.0 + 0.5 * d});
+  }
+  ForecasterOptions options;
+  auto model = Forecaster::Fit(train, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Predict(250 * kDay), 10.0 + 0.5 * 250, 1.5);
+}
+
+TEST(Forecaster, RecoversSeasonality) {
+  std::vector<Event> train;
+  for (int d = 0; d < 400; ++d) {
+    double value = 100.0 + 20.0 * std::sin(2 * M_PI * d / 7.0);
+    train.push_back({d * kDay, value});
+  }
+  ForecasterOptions options;
+  options.seasonal_periods = {7.0 * kDay};
+  auto model = Forecaster::Fit(train, options);
+  ASSERT_TRUE(model.ok());
+  for (int d = 400; d < 420; ++d) {
+    double expected = 100.0 + 20.0 * std::sin(2 * M_PI * d / 7.0);
+    EXPECT_NEAR(model->Predict(d * kDay), expected, 3.0) << d;
+  }
+}
+
+TEST(Forecaster, TrendPlusSeasonalityOnNoisyData) {
+  Rng rng(3);
+  std::vector<Event> train;
+  for (int d = 0; d < 600; ++d) {
+    double value = 50.0 + 0.1 * d + 15.0 * std::sin(2 * M_PI * d / 7.0) + rng.NextGaussian();
+    train.push_back({d * kDay, value});
+  }
+  ForecasterOptions options;
+  options.seasonal_periods = {7.0 * kDay};
+  auto model = Forecaster::Fit(train, options);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  for (int d = 600; d < 660; ++d) {
+    actual.push_back(50.0 + 0.1 * d + 15.0 * std::sin(2 * M_PI * d / 7.0));
+    predicted.push_back(model->Predict(d * kDay));
+  }
+  EXPECT_LT(Smape(actual, predicted), 0.05);
+}
+
+TEST(Forecaster, WorksOnIrregularSamples) {
+  // Decayed reconstructions are sparse in the past: fit must tolerate
+  // uneven spacing.
+  Rng rng(4);
+  std::vector<Event> train;
+  for (int d = 0; d < 500; ++d) {
+    // Keep recent days densely, old days sparsely.
+    bool keep = d > 400 || rng.NextBernoulli(0.2);
+    if (keep) {
+      train.push_back({d * kDay, 10.0 + 0.3 * d});
+    }
+  }
+  auto model = Forecaster::Fit(train, ForecasterOptions{});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Predict(520 * kDay), 10.0 + 0.3 * 520, 5.0);
+}
+
+TEST(Forecaster, TooFewSamplesRejected) {
+  std::vector<Event> train = {{0, 1.0}, {1, 2.0}};
+  EXPECT_FALSE(Forecaster::Fit(train, ForecasterOptions{}).ok());
+}
+
+TEST(Smape, BasicProperties) {
+  std::vector<double> a = {1, 2, 3};
+  EXPECT_EQ(Smape(a, a), 0.0);
+  std::vector<double> b = {2, 4, 6};
+  double err = Smape(a, b);
+  EXPECT_GT(err, 0.5);
+  EXPECT_LT(err, 0.8);  // symmetric: |a-b| / mean(|a|,|b|) = 2/3
+}
+
+TEST(Forecaster, GeneratedDatasetsAreLearnable) {
+  for (ForecastDataset dataset :
+       {ForecastDataset::kEcon, ForecastDataset::kWiki, ForecastDataset::kNoaa}) {
+    auto series = GenerateForecastSeries(dataset, 1200, 11);
+    size_t split = series.size() * 9 / 10;
+    std::vector<Event> train(series.begin(), series.begin() + static_cast<long>(split));
+    ForecasterOptions options;
+    options.seasonal_periods = {7.0 * kDay, 365.25 * kDay};
+    auto model = Forecaster::Fit(train, options);
+    ASSERT_TRUE(model.ok()) << ForecastDatasetName(dataset);
+    std::vector<double> actual;
+    std::vector<double> predicted;
+    for (size_t i = split; i < series.size(); ++i) {
+      actual.push_back(series[i].value);
+      predicted.push_back(model->Predict(series[i].ts));
+    }
+    EXPECT_LT(Smape(actual, predicted), 0.25) << ForecastDatasetName(dataset);
+  }
+}
+
+}  // namespace
+}  // namespace ss

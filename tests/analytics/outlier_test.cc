@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "src/analytics/outlier.h"
+#include "src/analytics/reconstruct.h"
+#include "src/core/stream.h"
+#include "src/random/rng.h"
+#include "src/storage/memory_backend.h"
+
+namespace ss {
+namespace {
+
+TEST(DetectOutliers, FlagsSpikedIntervalsOnly) {
+  std::vector<Event> events;
+  Rng rng(1);
+  // 10 intervals of 100 units; spike intervals 3 and 7. Bounded uniform
+  // noise cannot cross the Tukey fences, so only the spikes flag.
+  for (Timestamp t = 0; t < 1000; ++t) {
+    double value = 10.0 + rng.NextDouble();
+    if ((t / 100 == 3 || t / 100 == 7) && t % 100 == 50) {
+      value = 100.0;
+    }
+    events.push_back({t, value});
+  }
+  OutlierReport report = DetectOutliers(events, 0, 1000, 100);
+  ASSERT_EQ(report.interval_has_outlier.size(), 10u);
+  EXPECT_TRUE(report.interval_has_outlier[3]);
+  EXPECT_TRUE(report.interval_has_outlier[7]);
+  EXPECT_EQ(report.flagged, 2u);
+}
+
+TEST(DetectOutliers, SparseIntervalsSkipped) {
+  std::vector<Event> events = {{5, 1.0}, {105, 100.0}};
+  OutlierReport report = DetectOutliers(events, 0, 200, 100);
+  // Fewer than 4 samples per interval: no test run.
+  EXPECT_EQ(report.flagged, 0u);
+}
+
+TEST(CompareOutlierReports, CountsConfusions) {
+  OutlierReport truth;
+  truth.interval_has_outlier = {true, false, true, false};
+  OutlierReport test;
+  test.interval_has_outlier = {true, true, false, false};
+  OutlierAccuracy acc = CompareOutlierReports(truth, test);
+  EXPECT_EQ(acc.true_positives, 1u);
+  EXPECT_EQ(acc.false_positives, 1u);
+  EXPECT_EQ(acc.false_negatives, 1u);
+}
+
+TEST(ThreeSigmaPolicy, FlagsLargeDeviations) {
+  ThreeSigmaPolicy policy(3.0, /*warmup=*/50);
+  Rng rng(2);
+  int flagged_normal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (policy.Observe(rng.NextGaussian())) {
+      ++flagged_normal;
+    }
+  }
+  // ~0.3% of gaussian samples exceed 3σ.
+  EXPECT_LT(flagged_normal, 20);
+  EXPECT_TRUE(policy.Observe(50.0));
+}
+
+TEST(ThreeSigmaPolicy, SilentDuringWarmup) {
+  ThreeSigmaPolicy policy(3.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(policy.Observe(i % 2 == 0 ? 1.0 : 1000.0));
+  }
+}
+
+TEST(IntervalAverages, ComputesPerIntervalMeans) {
+  std::vector<Event> events;
+  for (Timestamp t = 0; t < 200; ++t) {
+    events.push_back({t, t < 100 ? 1.0 : 3.0});
+  }
+  auto averages = IntervalAverages(events, 0, 200, 100);
+  ASSERT_EQ(averages.size(), 2u);
+  EXPECT_DOUBLE_EQ(averages[0], 1.0);
+  EXPECT_DOUBLE_EQ(averages[1], 3.0);
+}
+
+TEST(Reconstruct, RawAndLandmarkEventsExactSamplesFromSketches) {
+  MemoryBackend kv;
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  config.operators = OperatorSet::AggregatesOnly();
+  config.operators.reservoir = true;
+  config.operators.reservoir_capacity = 16;
+  config.raw_threshold = 8;
+  Stream stream(1, config, &kv);
+  for (Timestamp t = 1; t <= 2000; ++t) {
+    ASSERT_TRUE(stream.Append(t, static_cast<double>(t)).ok());
+  }
+  auto samples = ReconstructSamples(stream, 1, 2000);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_GT(samples->size(), 50u);
+  EXPECT_LT(samples->size(), 2000u);  // decayed: strictly fewer than raw
+  // Sorted and in range.
+  for (size_t i = 1; i < samples->size(); ++i) {
+    EXPECT_LE((*samples)[i - 1].ts, (*samples)[i].ts);
+  }
+  // Denser in the recent past than the distant past.
+  size_t old_count = 0;
+  size_t recent_count = 0;
+  for (const Event& e : *samples) {
+    if (e.ts <= 500) {
+      ++old_count;
+    }
+    if (e.ts > 1500) {
+      ++recent_count;
+    }
+  }
+  EXPECT_GT(recent_count, old_count);
+}
+
+TEST(Reconstruct, MissingReservoirErrors) {
+  MemoryBackend kv;
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  config.operators = OperatorSet::AggregatesOnly();
+  config.raw_threshold = 2;
+  Stream stream(1, config, &kv);
+  for (Timestamp t = 1; t <= 500; ++t) {
+    ASSERT_TRUE(stream.Append(t, 1.0).ok());
+  }
+  EXPECT_EQ(ReconstructSamples(stream, 1, 500).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ss

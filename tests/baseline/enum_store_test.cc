@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/enum_store.h"
+#include "src/storage/memory_backend.h"
+
+namespace ss {
+namespace {
+
+TEST(EnumStore, ExactAggregates) {
+  MemoryBackend kv;
+  EnumStore store(1, &kv, /*block_events=*/128);
+  double sum = 0;
+  for (int t = 1; t <= 1000; ++t) {
+    double v = static_cast<double>(t % 9);
+    sum += v;
+    ASSERT_TRUE(store.Append(t, v).ok());
+  }
+  EXPECT_DOUBLE_EQ(*store.QueryCount(1, 1000), 1000.0);
+  EXPECT_DOUBLE_EQ(*store.QuerySum(1, 1000), sum);
+  EXPECT_DOUBLE_EQ(*store.QueryMin(1, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(*store.QueryMax(1, 1000), 8.0);
+}
+
+TEST(EnumStore, SubRangeExact) {
+  MemoryBackend kv;
+  EnumStore store(1, &kv, 64);
+  for (int t = 1; t <= 1000; ++t) {
+    ASSERT_TRUE(store.Append(t, 1.0).ok());
+  }
+  EXPECT_DOUBLE_EQ(*store.QueryCount(250, 750), 501.0);
+  EXPECT_DOUBLE_EQ(*store.QueryCount(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(*store.QueryCount(1001, 2000), 0.0);
+}
+
+TEST(EnumStore, FrequencyAndExistence) {
+  MemoryBackend kv;
+  EnumStore store(1, &kv, 64);
+  for (int t = 1; t <= 300; ++t) {
+    ASSERT_TRUE(store.Append(t, static_cast<double>(t % 3)).ok());
+  }
+  EXPECT_DOUBLE_EQ(*store.QueryFrequency(1, 300, 0.0), 100.0);
+  EXPECT_TRUE(*store.QueryExistence(1, 300, 2.0));
+  EXPECT_FALSE(*store.QueryExistence(1, 300, 9.0));
+  EXPECT_FALSE(*store.QueryExistence(1, 1, 2.0));  // value at t=1 is 1
+}
+
+TEST(EnumStore, SizeIsLinear) {
+  MemoryBackend kv;
+  EnumStore store(1, &kv, 256);
+  for (int t = 1; t <= 10000; ++t) {
+    ASSERT_TRUE(store.Append(t, 0.0).ok());
+  }
+  EXPECT_EQ(store.SizeBytes(), 10000u * 16);
+  EXPECT_EQ(store.element_count(), 10000u);
+}
+
+TEST(EnumStore, OutOfOrderRejected) {
+  MemoryBackend kv;
+  EnumStore store(1, &kv);
+  ASSERT_TRUE(store.Append(10, 1.0).ok());
+  EXPECT_FALSE(store.Append(9, 1.0).ok());
+  EXPECT_TRUE(store.Append(10, 2.0).ok());  // equal timestamps allowed
+}
+
+TEST(EnumStore, FlushAndReloadPreservesAnswers) {
+  MemoryBackend kv;
+  {
+    EnumStore store(7, &kv, 64);
+    for (int t = 1; t <= 500; ++t) {
+      ASSERT_TRUE(store.Append(t, static_cast<double>(t)).ok());
+    }
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  auto reloaded = EnumStore::Load(7, &kv, 64);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)->element_count(), 500u);
+  EXPECT_DOUBLE_EQ(*(*reloaded)->QueryCount(1, 500), 500.0);
+  EXPECT_DOUBLE_EQ(*(*reloaded)->QuerySum(100, 200), (100.0 + 200.0) * 101.0 / 2.0);
+}
+
+TEST(EnumStore, MaterializeReturnsOrderedEvents) {
+  MemoryBackend kv;
+  EnumStore store(1, &kv, 32);
+  for (int t = 1; t <= 200; t += 2) {
+    ASSERT_TRUE(store.Append(t, static_cast<double>(t)).ok());
+  }
+  auto events = store.Materialize(51, 149);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 50u);
+  EXPECT_EQ(events->front().ts, 51);
+  EXPECT_EQ(events->back().ts, 149);
+  for (size_t i = 1; i < events->size(); ++i) {
+    EXPECT_LT((*events)[i - 1].ts, (*events)[i].ts);
+  }
+}
+
+TEST(EnumStore, ScanEarlyStop) {
+  MemoryBackend kv;
+  EnumStore store(1, &kv, 32);
+  for (int t = 1; t <= 100; ++t) {
+    ASSERT_TRUE(store.Append(t, 1.0).ok());
+  }
+  int visited = 0;
+  ASSERT_TRUE(store
+                  .Scan(1, 100,
+                        [&](const Event&) {
+                          ++visited;
+                          return visited < 5;
+                        })
+                  .ok());
+  EXPECT_EQ(visited, 5);
+}
+
+}  // namespace
+}  // namespace ss

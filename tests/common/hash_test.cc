@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/common/hash.h"
+
+namespace ss {
+namespace {
+
+TEST(Hash64, MatchesXxHash64ReferenceVectors) {
+  // Reference values from the canonical xxHash implementation.
+  EXPECT_EQ(Hash64("", 0), 0xef46db3751d8e999ULL);
+  EXPECT_EQ(Hash64("a", 0), 0xd24ec4f1a98c6e5bULL);
+  EXPECT_EQ(Hash64("abc", 0), 0x44bc2cf5ad770999ULL);
+  EXPECT_EQ(Hash64("xxhash", 0), 0x32dd38952c4bc720ULL);
+}
+
+TEST(Hash64, SeedChangesOutput) {
+  EXPECT_NE(Hash64("payload", 0), Hash64("payload", 1));
+}
+
+TEST(Hash64, LongInputsStable) {
+  std::string long_input(1000, 'z');
+  EXPECT_EQ(Hash64(long_input), Hash64(long_input));
+  EXPECT_NE(Hash64(long_input), Hash64(long_input + "z"));
+}
+
+TEST(Hash64, IntegerOverloadDiffers) {
+  std::set<uint64_t> hashes;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    hashes.insert(Hash64(i));
+  }
+  EXPECT_EQ(hashes.size(), 10000u);  // no collisions on small consecutive ints
+}
+
+TEST(Mix64, BijectiveOnSamples) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    outputs.insert(Mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64, AvalancheRoughlyHalfBits) {
+  int total_flips = 0;
+  for (uint64_t i = 1; i < 1000; ++i) {
+    uint64_t diff = Mix64(i) ^ Mix64(i ^ 1);
+    total_flips += __builtin_popcountll(diff);
+  }
+  double mean_flips = total_flips / 999.0;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(NthHash, DistinctForDistinctIndices) {
+  uint64_t h1 = Hash64("value");
+  uint64_t h2 = Mix64(h1);
+  std::set<uint64_t> values;
+  for (uint64_t i = 0; i < 16; ++i) {
+    values.insert(NthHash(h1, h2, i));
+  }
+  EXPECT_EQ(values.size(), 16u);
+}
+
+}  // namespace
+}  // namespace ss

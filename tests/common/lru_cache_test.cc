@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/lru_cache.h"
+
+namespace ss {
+namespace {
+
+TEST(LruCache, PutGet) {
+  LruCache<int, std::string> cache(100);
+  cache.Put(1, "one", 10);
+  auto hit = cache.Get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "one");
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(30);
+  cache.Put(1, 1, 10);
+  cache.Put(2, 2, 10);
+  cache.Put(3, 3, 10);
+  EXPECT_EQ(cache.entry_count(), 3u);
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_TRUE(cache.Get(1).has_value());
+  cache.Put(4, 4, 10);
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_TRUE(cache.Get(4).has_value());
+}
+
+TEST(LruCache, ReplaceUpdatesCharge) {
+  LruCache<int, int> cache(20);
+  cache.Put(1, 1, 15);
+  cache.Put(1, 2, 5);
+  EXPECT_EQ(cache.size_bytes(), 5u);
+  EXPECT_EQ(*cache.Get(1), 2);
+}
+
+TEST(LruCache, OversizedEntryEvictedImmediately) {
+  LruCache<int, int> cache(10);
+  cache.Put(1, 1, 100);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(LruCache, ZeroCapacityDisables) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 1, 1);
+  EXPECT_FALSE(cache.Get(1).has_value());
+}
+
+TEST(LruCache, EraseAndClear) {
+  LruCache<int, int> cache(100);
+  cache.Put(1, 1, 10);
+  cache.Put(2, 2, 10);
+  cache.Erase(1);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.size_bytes(), 10u);
+  cache.Clear();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(LruCache, TracksHitsAndMisses) {
+  LruCache<int, int> cache(100);
+  cache.Put(1, 1, 1);
+  cache.Get(1);
+  cache.Get(2);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "src/common/serde.h"
+#include "src/random/rng.h"
+
+namespace ss {
+namespace {
+
+TEST(ZigZag, KnownValues) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagEncode(2147483647), 4294967294u);
+}
+
+TEST(ZigZag, RoundTripExtremes) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(Writer, VarintEncodingSizes) {
+  Writer w;
+  w.PutVarint(0);
+  EXPECT_EQ(w.size(), 1u);
+  w.PutVarint(127);
+  EXPECT_EQ(w.size(), 2u);
+  w.PutVarint(128);
+  EXPECT_EQ(w.size(), 4u);  // 2 bytes for 128
+  w.PutVarint(UINT64_MAX);
+  EXPECT_EQ(w.size(), 14u);  // 10 bytes for max
+}
+
+TEST(ReaderWriter, PrimitiveRoundTrip) {
+  Writer w;
+  w.PutU8(7);
+  w.PutFixed32(0xdeadbeef);
+  w.PutFixed64(0x0123456789abcdefULL);
+  w.PutVarint(300);
+  w.PutSignedVarint(-12345);
+  w.PutDouble(3.14159);
+  w.PutString("hello world");
+
+  Reader r(w.data());
+  EXPECT_EQ(*r.ReadU8(), 7);
+  EXPECT_EQ(*r.ReadFixed32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.ReadFixed64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*r.ReadVarint(), 300u);
+  EXPECT_EQ(*r.ReadSignedVarint(), -12345);
+  EXPECT_DOUBLE_EQ(*r.ReadDouble(), 3.14159);
+  EXPECT_EQ(*r.ReadString(), "hello world");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Reader, TruncationReportsCorruption) {
+  Writer w;
+  w.PutFixed64(42);
+  std::string data = w.data().substr(0, 5);
+  Reader r(data);
+  auto result = r.ReadFixed64();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(Reader, TruncatedStringBody) {
+  Writer w;
+  w.PutString("abcdefgh");
+  std::string data = w.data().substr(0, 4);
+  Reader r(data);
+  auto result = r.ReadString();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(Reader, OverlongVarintRejected) {
+  std::string data(11, static_cast<char>(0x80));
+  Reader r(data);
+  auto result = r.ReadVarint();
+  ASSERT_FALSE(result.ok());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, Value) {
+  Writer w;
+  w.PutVarint(GetParam());
+  Reader r(w.data());
+  EXPECT_EQ(*r.ReadVarint(), GetParam());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintRoundTrip,
+                         ::testing::Values(0u, 1u, 127u, 128u, 16383u, 16384u, 2097151u,
+                                           2097152u, (uint64_t{1} << 32) - 1,
+                                           uint64_t{1} << 32, UINT64_MAX - 1, UINT64_MAX));
+
+TEST(ReaderWriter, RandomizedMixedRoundTrip) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    Writer w;
+    std::vector<uint64_t> varints;
+    std::vector<int64_t> signed_varints;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+    for (int i = 0; i < 20; ++i) {
+      varints.push_back(rng.NextU64() >> (rng.NextBounded(64)));
+      signed_varints.push_back(static_cast<int64_t>(rng.NextU64()));
+      doubles.push_back(rng.NextGaussian() * 1e6);
+      std::string s;
+      for (uint64_t n = rng.NextBounded(32); n > 0; --n) {
+        s.push_back(static_cast<char>(rng.NextBounded(256)));
+      }
+      strings.push_back(std::move(s));
+    }
+    for (int i = 0; i < 20; ++i) {
+      w.PutVarint(varints[static_cast<size_t>(i)]);
+      w.PutSignedVarint(signed_varints[static_cast<size_t>(i)]);
+      w.PutDouble(doubles[static_cast<size_t>(i)]);
+      w.PutString(strings[static_cast<size_t>(i)]);
+    }
+    Reader r(w.data());
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(*r.ReadVarint(), varints[static_cast<size_t>(i)]);
+      EXPECT_EQ(*r.ReadSignedVarint(), signed_varints[static_cast<size_t>(i)]);
+      EXPECT_DOUBLE_EQ(*r.ReadDouble(), doubles[static_cast<size_t>(i)]);
+      EXPECT_EQ(*r.ReadString(), strings[static_cast<size_t>(i)]);
+    }
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(Crc32c, KnownVectors) {
+  // Standard CRC32-C test vectors.
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  EXPECT_EQ(Crc32c("123456789"), 0xe3069283u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8a9136aau);
+}
+
+TEST(Crc32c, DetectsBitFlip) {
+  std::string data = "summary store block payload";
+  uint32_t crc = Crc32c(data);
+  data[5] ^= 1;
+  EXPECT_NE(Crc32c(data), crc);
+}
+
+}  // namespace
+}  // namespace ss

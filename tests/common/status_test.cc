@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "src/common/status.h"
+
+namespace ss {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing key");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::Internal("boom");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+Status FailingHelper() { return Status::IoError("disk on fire"); }
+
+Status UsesReturnIfError() {
+  SS_RETURN_IF_ERROR(FailingHelper());
+  return Status::Ok();
+}
+
+TEST(Macros, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kIoError);
+}
+
+StatusOr<int> ProducesValue() { return 10; }
+StatusOr<int> ProducesError() { return Status::OutOfRange("nope"); }
+
+StatusOr<int> UsesAssignOrReturn(bool fail) {
+  SS_ASSIGN_OR_RETURN(int a, fail ? ProducesError() : ProducesValue());
+  SS_ASSIGN_OR_RETURN(int b, ProducesValue());
+  return a + b;
+}
+
+TEST(Macros, AssignOrReturnSuccessAndFailure) {
+  auto ok = UsesAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 20);
+  auto err = UsesAssignOrReturn(true);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace ss

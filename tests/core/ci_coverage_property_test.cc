@@ -1,0 +1,150 @@
+// Statistical property suite for the §5.2 claim that SummaryStore returns
+// *reliable* confidence estimates: across arrival processes (Poisson,
+// finite- and infinite-variance Pareto, regular) and operators (count, sum,
+// frequency), the nominal 95% confidence interval must cover the true
+// answer for the overwhelming majority of random sub-range queries.
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "src/core/query.h"
+#include "src/core/stream.h"
+#include "src/storage/memory_backend.h"
+#include "src/workload/generators.h"
+
+namespace ss {
+namespace {
+
+using bench::Oracle;
+
+struct CoverageCase {
+  ArrivalKind arrival;
+  QueryOp op;
+  int min_coverage_pct;  // lower bound on empirical coverage of the 95% CI
+};
+
+void PrintTo(const CoverageCase& c, std::ostream* os) {
+  *os << "arrival" << static_cast<int>(c.arrival) << "_" << QueryOpName(c.op);
+}
+
+class CiCoverageProperty : public ::testing::TestWithParam<CoverageCase> {};
+
+TEST_P(CiCoverageProperty, NominalCoverageHolds) {
+  const CoverageCase& param = GetParam();
+  MemoryBackend kv;
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  config.operators = OperatorSet::Microbench();
+  config.operators.cms_width = 2048;  // ample width: isolate sub-window error
+  config.arrival_model =
+      param.arrival == ArrivalKind::kPoisson ? ArrivalModel::kPoisson : ArrivalModel::kGeneric;
+  config.raw_threshold = 16;
+  Stream stream(1, config, &kv);
+
+  SyntheticStreamSpec spec;
+  spec.arrival = param.arrival;
+  spec.mean_interarrival = 4.0;
+  spec.value_universe = 50;
+  spec.seed = 20240000 + static_cast<uint64_t>(param.arrival) * 13 +
+              static_cast<uint64_t>(param.op);
+  SyntheticStream gen(spec);
+  Oracle oracle;
+  for (int i = 0; i < 60000; ++i) {
+    Event e = gen.Next();
+    oracle.Add(e);
+    ASSERT_TRUE(stream.Append(e.ts, e.value).ok());
+  }
+
+  Rng rng(99 + static_cast<uint64_t>(param.op));
+  int covered = 0;
+  int trials = 0;
+  Timestamp span = oracle.last_ts() - oracle.first_ts();
+  for (int i = 0; i < 250; ++i) {
+    Timestamp t1 = oracle.first_ts() +
+                   static_cast<Timestamp>(rng.NextBounded(static_cast<uint64_t>(span * 3 / 4)));
+    Timestamp t2 = t1 + 20 + static_cast<Timestamp>(
+                                 rng.NextBounded(static_cast<uint64_t>(span / 4)));
+    QuerySpec query{.t1 = t1, .t2 = t2, .op = param.op};
+    double truth = 0;
+    switch (param.op) {
+      case QueryOp::kCount:
+        truth = oracle.Count(t1, t2);
+        break;
+      case QueryOp::kSum:
+        truth = oracle.Sum(t1, t2);
+        break;
+      case QueryOp::kFrequency:
+        query.value = static_cast<double>(rng.NextBounded(50));
+        truth = oracle.Frequency(query.value, t1, t2);
+        break;
+      default:
+        FAIL() << "unsupported op in coverage test";
+    }
+    auto result = RunQuery(stream, query);
+    ASSERT_TRUE(result.ok());
+    ++trials;
+    if (truth >= result->ci_lo - 1e-9 && truth <= result->ci_hi + 1e-9) {
+      ++covered;
+    }
+  }
+  EXPECT_GE(covered * 100, trials * param.min_coverage_pct)
+      << "coverage " << covered << "/" << trials;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArrivalsAndOps, CiCoverageProperty,
+    ::testing::Values(
+        // Poisson: the Binomial/normal machinery is exact-regime here.
+        CoverageCase{ArrivalKind::kPoisson, QueryOp::kCount, 88},
+        CoverageCase{ArrivalKind::kPoisson, QueryOp::kSum, 88},
+        CoverageCase{ArrivalKind::kPoisson, QueryOp::kFrequency, 85},
+        // Regular arrivals: interarrival variance ~0, intervals collapse to
+        // near-points that still cover.
+        CoverageCase{ArrivalKind::kRegular, QueryOp::kCount, 88},
+        CoverageCase{ArrivalKind::kRegular, QueryOp::kSum, 88},
+        // Finite-variance Pareto: the renewal-theoretic normal holds.
+        CoverageCase{ArrivalKind::kParetoFiniteVariance, QueryOp::kCount, 80},
+        CoverageCase{ArrivalKind::kParetoFiniteVariance, QueryOp::kSum, 80},
+        // Infinite variance: the paper's pathological case; the CLT-based
+        // model is stressed, coverage degrades but must stay useful.
+        CoverageCase{ArrivalKind::kParetoInfiniteVariance, QueryOp::kCount, 60}));
+
+TEST(CiWidthShape, GrowsWithAgeShrinksWithLength) {
+  // §7.2.2: "CI width is expected to increase with age and generally
+  // decrease with (relative) length."
+  MemoryBackend kv;
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  config.operators = OperatorSet::AggregatesOnly();
+  config.arrival_model = ArrivalModel::kPoisson;
+  config.raw_threshold = 8;
+  Stream stream(1, config, &kv);
+  SyntheticStreamSpec spec;
+  spec.mean_interarrival = 2.0;
+  spec.seed = 5;
+  SyntheticStream gen(spec);
+  Timestamp now = 0;
+  for (int i = 0; i < 100000; ++i) {
+    Event e = gen.Next();
+    now = e.ts;
+    ASSERT_TRUE(stream.Append(e.ts, e.value).ok());
+  }
+
+  auto rel_ci = [&](Timestamp age, Timestamp len) {
+    QuerySpec query{.t1 = now - age - len, .t2 = now - age, .op = QueryOp::kCount};
+    auto result = RunQuery(stream, query);
+    EXPECT_TRUE(result.ok());
+    return result->CiWidth() / std::max(1.0, result->estimate);
+  };
+  Timestamp len = 500;
+  double young = rel_ci(2000, len);
+  double old = rel_ci(150000, len);
+  EXPECT_GE(old, young);
+
+  Timestamp age = 100000;
+  double narrow = rel_ci(age, 300);
+  double wide = rel_ci(age, 30000);
+  EXPECT_LE(wide, narrow);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/decay.h"
+
+namespace ss {
+namespace {
+
+TEST(PowerLawDecay, LengthSequence1111) {
+  // PowerLaw(1,1,1,1) defines target sizes 1,2,3,4,... (§4.1).
+  PowerLawDecay decay(1, 1, 1, 1);
+  for (uint64_t k = 0; k < 20; ++k) {
+    EXPECT_EQ(decay.WindowLength(k), k + 1) << k;
+  }
+}
+
+TEST(PowerLawDecay, ThrottleRRepeatsLengths) {
+  // PowerLaw(1,1,16,1): 16 windows of each length 1,2,3,...
+  PowerLawDecay decay(1, 1, 16, 1);
+  for (uint64_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(decay.WindowLength(k), 1u);
+  }
+  for (uint64_t k = 16; k < 32; ++k) {
+    EXPECT_EQ(decay.WindowLength(k), 2u);
+  }
+}
+
+TEST(PowerLawDecay, QuadraticGrowth) {
+  // PowerLaw(1,2,1,1): lengths 1,4,9,16,...
+  PowerLawDecay decay(1, 2, 1, 1);
+  for (uint64_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(decay.WindowLength(k), (k + 1) * (k + 1));
+  }
+}
+
+TEST(PowerLawDecay, PGreaterThanOneGrowsGroupCounts) {
+  // PowerLaw(2,1,1,1): group j has j windows of length j.
+  PowerLawDecay decay(2, 1, 1, 1);
+  EXPECT_EQ(decay.WindowLength(0), 1u);   // group 1: 1 window of len 1
+  EXPECT_EQ(decay.WindowLength(1), 2u);   // group 2: 2 windows of len 2
+  EXPECT_EQ(decay.WindowLength(2), 2u);
+  EXPECT_EQ(decay.WindowLength(3), 3u);   // group 3: 3 windows of len 3
+  EXPECT_EQ(decay.WindowLength(5), 3u);
+  EXPECT_EQ(decay.WindowLength(6), 4u);
+}
+
+TEST(ExponentialDecay, ClassicDoubling) {
+  ExponentialDecay decay(2.0, 1, 1);
+  uint64_t expected = 1;
+  for (uint64_t k = 0; k < 20; ++k) {
+    EXPECT_EQ(decay.WindowLength(k), expected) << k;
+    expected *= 2;
+  }
+}
+
+TEST(ExponentialDecay, ThrottledRepeats) {
+  ExponentialDecay decay(2.0, 3, 5);
+  EXPECT_EQ(decay.WindowLength(0), 5u);
+  EXPECT_EQ(decay.WindowLength(2), 5u);
+  EXPECT_EQ(decay.WindowLength(3), 10u);
+  EXPECT_EQ(decay.WindowLength(6), 20u);
+}
+
+TEST(UniformDecay, ConstantLengths) {
+  UniformDecay decay(7);
+  for (uint64_t k = 0; k < 100; k += 13) {
+    EXPECT_EQ(decay.WindowLength(k), 7u);
+  }
+}
+
+TEST(DecaySerde, RoundTripAllKinds) {
+  std::vector<std::unique_ptr<DecayFunction>> decays;
+  decays.push_back(std::make_unique<PowerLawDecay>(1, 2, 48, 1));
+  decays.push_back(std::make_unique<ExponentialDecay>(3.0, 2, 5));
+  decays.push_back(std::make_unique<UniformDecay>(64));
+  for (const auto& decay : decays) {
+    Writer w;
+    decay->Serialize(w);
+    Reader r(w.data());
+    auto restored = DeserializeDecay(r);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ((*restored)->Describe(), decay->Describe());
+    for (uint64_t k = 0; k < 30; ++k) {
+      EXPECT_EQ((*restored)->WindowLength(k), decay->WindowLength(k));
+    }
+  }
+}
+
+TEST(DecaySequence, BoundariesArePrefixSums) {
+  DecaySequence seq(std::make_shared<PowerLawDecay>(1, 1, 1, 1));
+  EXPECT_EQ(seq.BucketBoundary(0), 0u);
+  EXPECT_EQ(seq.BucketBoundary(1), 1u);
+  EXPECT_EQ(seq.BucketBoundary(2), 3u);
+  EXPECT_EQ(seq.BucketBoundary(3), 6u);
+  EXPECT_EQ(seq.BucketBoundary(10), 55u);
+}
+
+TEST(DecaySequence, FirstBucketWithLengthAtLeast) {
+  DecaySequence seq(std::make_shared<ExponentialDecay>(2.0, 1, 1));  // 1,2,4,8,...
+  EXPECT_EQ(seq.FirstBucketWithLengthAtLeast(1), 0u);
+  EXPECT_EQ(seq.FirstBucketWithLengthAtLeast(2), 1u);
+  EXPECT_EQ(seq.FirstBucketWithLengthAtLeast(3), 2u);
+  EXPECT_EQ(seq.FirstBucketWithLengthAtLeast(5), 3u);
+  EXPECT_EQ(seq.FirstBucketWithLengthAtLeast(1024), 10u);
+}
+
+TEST(DecaySequence, NonGrowingDecayReportsNoBucket) {
+  DecaySequence seq(std::make_shared<UniformDecay>(4));
+  EXPECT_EQ(seq.FirstBucketWithLengthAtLeast(4), 0u);
+  EXPECT_EQ(seq.FirstBucketWithLengthAtLeast(5), DecaySequence::kNoBucket);
+}
+
+TEST(DecaySequence, WindowCountGrowthMatchesTable4) {
+  // PowerLaw(1,1,1,1): W(N) ~ sqrt(2N) — store grows as Θ(√N) (Table 4).
+  DecaySequence seq(std::make_shared<PowerLawDecay>(1, 1, 1, 1));
+  for (uint64_t n : {10000ULL, 1000000ULL, 100000000ULL}) {
+    double w = static_cast<double>(seq.WindowCountFor(n));
+    EXPECT_NEAR(w, std::sqrt(2.0 * static_cast<double>(n)), w * 0.02) << n;
+  }
+}
+
+TEST(DecaySequence, ExponentialWindowCountLogarithmic) {
+  DecaySequence seq(std::make_shared<ExponentialDecay>(2.0, 1, 1));
+  // Covering 2^k - 1 elements takes exactly k windows.
+  EXPECT_EQ(seq.WindowCountFor((1 << 20) - 1), 20u);
+  EXPECT_EQ(seq.WindowCountFor(1 << 20), 21u);
+}
+
+TEST(DecaySequence, Table5CompactionRatios) {
+  // Table 5: with PowerLaw(1,1,1,1), growing raw data 100x (10GB -> 1000GB)
+  // grows the store 10x, i.e. compaction improves 10x (10x -> 100x).
+  DecaySequence seq(std::make_shared<PowerLawDecay>(1, 1, 1, 1));
+  uint64_t n_10gb = 10ULL * (1 << 30) / 16;
+  uint64_t n_1000gb = 1000ULL * (1 << 30) / 16;
+  double w_small = static_cast<double>(seq.WindowCountFor(n_10gb));
+  double w_large = static_cast<double>(seq.WindowCountFor(n_1000gb));
+  // Raw grew 100x; windows grew ~10x; compaction ratio improves ~10x.
+  EXPECT_NEAR(w_large / w_small, 10.0, 0.2);
+
+  // PowerLaw(1,1,16,1) stores sqrt(16)=4x more windows than (1,1,1,1).
+  DecaySequence throttled(std::make_shared<PowerLawDecay>(1, 1, 16, 1));
+  double w_throttled = static_cast<double>(throttled.WindowCountFor(n_10gb));
+  EXPECT_NEAR(w_throttled / w_small, 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace ss

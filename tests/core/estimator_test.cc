@@ -1,0 +1,123 @@
+// Unit tests for the Table 6 / Appendix B estimators, checked directly
+// against the paper's formulas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/estimator.h"
+
+namespace ss {
+namespace {
+
+StreamStats MakeStats(double mu_t, double sigma_t, double mu_v, double sigma_v, int64_t n = 1000) {
+  StreamStats stats;
+  // Construct accumulators with the desired moments (population variance).
+  stats.interarrival = WelfordAccumulator::FromParts(n, mu_t, sigma_t * sigma_t * n);
+  stats.values = WelfordAccumulator::FromParts(n, mu_v, sigma_v * sigma_v * n);
+  return stats;
+}
+
+TEST(CountEstimator, ProportionalMean) {
+  // Theorem B.1: E[count(sub)] = C * t/T.
+  StreamStats stats = MakeStats(1.0, 1.0, 0.0, 1.0);
+  MeanVar est = EstimateSubWindowCount(1000, 0.3, stats, ArrivalModel::kGeneric);
+  EXPECT_DOUBLE_EQ(est.mean, 300.0);
+}
+
+TEST(CountEstimator, PoissonVarianceIsBinomial) {
+  // Theorem B.2: Binomial(C, f) variance = C f (1-f).
+  StreamStats stats = MakeStats(1.0, 1.0, 0.0, 1.0);
+  MeanVar est = EstimateSubWindowCount(400, 0.25, stats, ArrivalModel::kPoisson);
+  EXPECT_DOUBLE_EQ(est.variance, 400 * 0.25 * 0.75);
+}
+
+TEST(CountEstimator, GenericVarianceScalesWithCv2) {
+  // Theorem B.3 with T/µt ≈ C: var = (σt/µt)² C f(1-f).
+  StreamStats noisy = MakeStats(2.0, 4.0, 0.0, 1.0);  // cv² = 4
+  MeanVar est = EstimateSubWindowCount(100, 0.5, noisy, ArrivalModel::kGeneric);
+  EXPECT_DOUBLE_EQ(est.variance, 4.0 * 100 * 0.25);
+  // A Poisson-like stream (cv=1) reduces to the Binomial variance.
+  StreamStats poissonish = MakeStats(2.0, 2.0, 0.0, 1.0);
+  MeanVar est2 = EstimateSubWindowCount(100, 0.5, poissonish, ArrivalModel::kGeneric);
+  EXPECT_DOUBLE_EQ(est2.variance, 100 * 0.25);
+}
+
+TEST(CountEstimator, VarianceVanishesAtEdges) {
+  // Figure 12: error is largest mid-window and 0 at either edge.
+  StreamStats stats = MakeStats(1.0, 1.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(EstimateSubWindowCount(100, 0.0, stats, ArrivalModel::kGeneric).variance, 0.0);
+  EXPECT_DOUBLE_EQ(EstimateSubWindowCount(100, 1.0, stats, ArrivalModel::kGeneric).variance, 0.0);
+  double mid = EstimateSubWindowCount(100, 0.5, stats, ArrivalModel::kGeneric).variance;
+  double quarter = EstimateSubWindowCount(100, 0.25, stats, ArrivalModel::kGeneric).variance;
+  EXPECT_GT(mid, quarter);
+}
+
+TEST(CountEstimator, EllipticalProfile) {
+  // CI width ∝ sqrt(f(1-f)) — symmetric around f = 0.5.
+  StreamStats stats = MakeStats(1.0, 1.0, 0.0, 1.0);
+  double v_03 = EstimateSubWindowCount(100, 0.3, stats, ArrivalModel::kGeneric).variance;
+  double v_07 = EstimateSubWindowCount(100, 0.7, stats, ArrivalModel::kGeneric).variance;
+  EXPECT_NEAR(v_03, v_07, 1e-12);
+}
+
+TEST(SumEstimator, MatchesTheoremB3) {
+  // var = ((σt/µt)²µv² + σv²)·C·f(1-f).
+  double mu_t = 2.0, sigma_t = 3.0, mu_v = 5.0, sigma_v = 7.0;
+  StreamStats stats = MakeStats(mu_t, sigma_t, mu_v, sigma_v);
+  double c = 200, f = 0.4;
+  MeanVar est = EstimateSubWindowSum(1000.0, c, f, stats, ArrivalModel::kGeneric);
+  EXPECT_DOUBLE_EQ(est.mean, 400.0);
+  double cv2 = (sigma_t / mu_t) * (sigma_t / mu_t);
+  EXPECT_NEAR(est.variance, (cv2 * mu_v * mu_v + sigma_v * sigma_v) * c * f * (1 - f), 1e-9);
+}
+
+TEST(FrequencyEstimator, HypergeometricMoments) {
+  // Theorem B.5: mean = V·f; variance includes hypergeometric inner term
+  // plus count-posterior propagation.
+  double c = 1000, v = 50, f = 0.3;
+  MeanVar count_est{c * f, c * f * (1 - f)};
+  MeanVar est = EstimateSubWindowFrequency(c, v, f, count_est.variance);
+  EXPECT_DOUBLE_EQ(est.mean, 15.0);
+  double ct = c * f;
+  double inner = v * f * (1 - f) * (c - ct) / (c - 1);
+  double outer = (v / c) * (v / c) * count_est.variance;
+  EXPECT_NEAR(est.variance, inner + outer, 1e-9);
+}
+
+TEST(FrequencyEstimator, DegenerateCases) {
+  EXPECT_EQ(EstimateSubWindowFrequency(1, 1, 0.5, 0).variance, 0.0);
+  EXPECT_EQ(EstimateSubWindowFrequency(100, 0, 0.5, 10).mean, 0.0);
+}
+
+TEST(Membership, TheoremB4Probability) {
+  // Pr(v ∈ sub) = 1 − (1 − f)^V.
+  EXPECT_DOUBLE_EQ(MembershipProbability(0.25, 1), 0.25);
+  EXPECT_NEAR(MembershipProbability(0.25, 2), 1 - 0.75 * 0.75, 1e-12);
+  EXPECT_NEAR(MembershipProbability(0.01, 1000), 1.0, 1e-4);  // almost surely present
+  EXPECT_EQ(MembershipProbability(0.5, 0), 0.0);
+}
+
+TEST(Intervals, NormalIntervalCoversMean) {
+  Interval ci = NormalInterval(10.0, 20.0, 25.0, 0.95);
+  EXPECT_NEAR((ci.lo + ci.hi) / 2.0, 30.0, 1e-9);
+  EXPECT_NEAR(ci.hi - ci.lo, 2 * 1.959963984540054 * 5.0, 1e-6);
+  // Degenerate variance -> point interval.
+  Interval point = NormalInterval(10.0, 20.0, 0.0, 0.95);
+  EXPECT_EQ(point.lo, point.hi);
+}
+
+TEST(Intervals, BinomialIntervalExact) {
+  Interval ci = BinomialInterval(5.0, 100, 0.5, 0.95);
+  // Binomial(100, 0.5) 2.5% and 97.5% quantiles are 40 and 60.
+  EXPECT_DOUBLE_EQ(ci.lo, 5.0 + 40.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 5.0 + 60.0);
+}
+
+TEST(Intervals, WidthShrinksWithConfidence) {
+  Interval wide = NormalInterval(0, 0, 100.0, 0.99);
+  Interval narrow = NormalInterval(0, 0, 100.0, 0.80);
+  EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+}  // namespace
+}  // namespace ss

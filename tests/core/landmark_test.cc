@@ -1,0 +1,207 @@
+// Landmark-window semantics (§4.3 / Figure 4): landmark data is stored in
+// full, never decays, is hollowed out of the summarized windows' spans, and
+// queries weave both sources into one seamless answer.
+#include <gtest/gtest.h>
+
+#include "src/core/query.h"
+#include "src/core/stream.h"
+#include "src/storage/memory_backend.h"
+
+namespace ss {
+namespace {
+
+StreamConfig MakeConfig() {
+  StreamConfig config;
+  config.decay = std::make_shared<ExponentialDecay>(2.0, 1, 1);
+  config.operators = OperatorSet::AggregatesOnly();
+  config.raw_threshold = 0;  // materialize immediately: exercise estimation
+  config.seed = 11;
+  return config;
+}
+
+TEST(Landmark, BeginEndLifecycle) {
+  MemoryBackend kv;
+  Stream stream(1, MakeConfig(), &kv);
+  EXPECT_FALSE(stream.in_landmark());
+  ASSERT_TRUE(stream.BeginLandmark(10).ok());
+  EXPECT_TRUE(stream.in_landmark());
+  EXPECT_EQ(stream.BeginLandmark(11).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(stream.EndLandmark(20).ok());
+  EXPECT_FALSE(stream.in_landmark());
+  EXPECT_EQ(stream.EndLandmark(21).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(stream.landmark_window_count(), 1u);
+}
+
+TEST(Landmark, EventsRoutedToLandmarkNotSummaries) {
+  MemoryBackend kv;
+  Stream stream(1, MakeConfig(), &kv);
+  for (Timestamp t = 1; t <= 2; ++t) {
+    ASSERT_TRUE(stream.Append(t, static_cast<double>(t)).ok());
+  }
+  ASSERT_TRUE(stream.BeginLandmark(3).ok());
+  for (Timestamp t = 3; t <= 5; ++t) {
+    ASSERT_TRUE(stream.Append(t, static_cast<double>(t)).ok());
+  }
+  ASSERT_TRUE(stream.EndLandmark(5).ok());
+  for (Timestamp t = 6; t <= 8; ++t) {
+    ASSERT_TRUE(stream.Append(t, static_cast<double>(t)).ok());
+  }
+  // 5 summarized elements (1,2,6,7,8) + 3 landmark elements (3,4,5).
+  EXPECT_EQ(stream.element_count(), 5u);
+  EXPECT_EQ(stream.landmark_element_count(), 3u);
+
+  auto lm_events = stream.QueryLandmarks(0, 100);
+  ASSERT_EQ(lm_events.size(), 3u);
+  EXPECT_EQ(lm_events[0].value, 3.0);
+  EXPECT_EQ(lm_events[2].value, 5.0);
+}
+
+TEST(Landmark, Figure4FullRangeSumExact) {
+  // The Figure 4 setup: values 1..8, {3,4,5} as landmarks. A Sum over the
+  // whole span must still yield 36 — summaries (24) + landmarks (12).
+  MemoryBackend kv;
+  Stream stream(1, MakeConfig(), &kv);
+  for (Timestamp t = 1; t <= 2; ++t) {
+    ASSERT_TRUE(stream.Append(t, static_cast<double>(t)).ok());
+  }
+  ASSERT_TRUE(stream.BeginLandmark(3).ok());
+  for (Timestamp t = 3; t <= 5; ++t) {
+    ASSERT_TRUE(stream.Append(t, static_cast<double>(t)).ok());
+  }
+  ASSERT_TRUE(stream.EndLandmark(5).ok());
+  for (Timestamp t = 6; t <= 8; ++t) {
+    ASSERT_TRUE(stream.Append(t, static_cast<double>(t)).ok());
+  }
+
+  QuerySpec spec;
+  spec.t1 = 1;
+  spec.t2 = 8;
+  spec.op = QueryOp::kSum;
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 36.0, 1e-9);
+  EXPECT_TRUE(result->exact);
+
+  spec.op = QueryOp::kCount;
+  result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 8.0, 1e-9);
+}
+
+TEST(Landmark, QueryInsideLandmarkIsExact) {
+  MemoryBackend kv;
+  Stream stream(1, MakeConfig(), &kv);
+  for (Timestamp t = 1; t <= 10; ++t) {
+    ASSERT_TRUE(stream.Append(t, 1.0).ok());
+  }
+  ASSERT_TRUE(stream.BeginLandmark(11).ok());
+  for (Timestamp t = 11; t <= 15; ++t) {
+    ASSERT_TRUE(stream.Append(t, 100.0).ok());
+  }
+  ASSERT_TRUE(stream.EndLandmark(15).ok());
+  for (Timestamp t = 16; t <= 30; ++t) {
+    ASSERT_TRUE(stream.Append(t, 1.0).ok());
+  }
+
+  QuerySpec spec;
+  spec.t1 = 12;
+  spec.t2 = 14;
+  spec.op = QueryOp::kSum;
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 300.0, 1e-9);
+  EXPECT_EQ(result->landmark_events, 3u);
+}
+
+TEST(Landmark, HollowingExcludesLandmarkSpanFromProportionalShare) {
+  // One summarized window covering [0, 100) with count 50, with a landmark
+  // covering [40, 60). A sub-query over the landmark-only region should get
+  // nearly nothing from summaries; the proportional share applies only to
+  // the hollowed span.
+  MemoryBackend kv;
+  StreamConfig config = MakeConfig();
+  config.decay = std::make_shared<UniformDecay>(1000);  // one big window
+  config.raw_threshold = 0;
+  Stream stream(1, config, &kv);
+
+  for (Timestamp t = 0; t < 40; ++t) {
+    ASSERT_TRUE(stream.Append(t, 1.0).ok());
+  }
+  ASSERT_TRUE(stream.BeginLandmark(40).ok());
+  for (Timestamp t = 40; t < 60; ++t) {
+    ASSERT_TRUE(stream.Append(t, 2.0).ok());
+  }
+  ASSERT_TRUE(stream.EndLandmark(59).ok());
+  for (Timestamp t = 60; t < 100; ++t) {
+    ASSERT_TRUE(stream.Append(t, 1.0).ok());
+  }
+
+  // Query exactly the landmark interval: exact landmark enumeration (40
+  // events of value 2) and zero proportional leakage from summaries.
+  QuerySpec spec;
+  spec.t1 = 40;
+  spec.t2 = 59;
+  spec.op = QueryOp::kSum;
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 40.0, 1.0);
+
+  // Query half the summarized region plus the landmark: proportional share
+  // of the summarized span + exact landmarks.
+  spec.t1 = 20;
+  spec.t2 = 59;
+  auto mixed = RunQuery(stream, spec);
+  ASSERT_TRUE(mixed.ok());
+  // True answer: 20 summarized events (value 1) + 40 landmark = 60.
+  EXPECT_NEAR(mixed->estimate, 60.0, 8.0);
+  EXPECT_GE(mixed->ci_hi, mixed->estimate);
+}
+
+TEST(Landmark, PersistAndReload) {
+  MemoryBackend kv;
+  {
+    Stream stream(1, MakeConfig(), &kv);
+    ASSERT_TRUE(stream.Append(1, 1.0).ok());
+    ASSERT_TRUE(stream.BeginLandmark(2).ok());
+    ASSERT_TRUE(stream.Append(2, 99.0).ok());
+    ASSERT_TRUE(stream.EndLandmark(2).ok());
+    ASSERT_TRUE(stream.Append(3, 3.0).ok());
+    ASSERT_TRUE(stream.Flush().ok());
+  }
+  auto reloaded = Stream::Load(1, &kv);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)->landmark_window_count(), 1u);
+  EXPECT_EQ((*reloaded)->landmark_element_count(), 1u);
+  auto events = (*reloaded)->QueryLandmarks(0, 10);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].value, 99.0);
+}
+
+TEST(Landmark, OpenLandmarkSurvivesReload) {
+  MemoryBackend kv;
+  {
+    Stream stream(1, MakeConfig(), &kv);
+    ASSERT_TRUE(stream.Append(1, 1.0).ok());
+    ASSERT_TRUE(stream.BeginLandmark(2).ok());
+    ASSERT_TRUE(stream.Append(2, 50.0).ok());
+    ASSERT_TRUE(stream.Flush().ok());
+  }
+  auto reloaded = Stream::Load(1, &kv);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE((*reloaded)->in_landmark());
+  ASSERT_TRUE((*reloaded)->Append(3, 51.0).ok());
+  ASSERT_TRUE((*reloaded)->EndLandmark(3).ok());
+  EXPECT_EQ((*reloaded)->landmark_element_count(), 2u);
+
+  // Regression: events appended into a *reloaded* open landmark must be
+  // re-persisted on the next flush (the reloaded landmark is dirty).
+  ASSERT_TRUE((*reloaded)->Flush().ok());
+  auto reloaded_again = Stream::Load(1, &kv);
+  ASSERT_TRUE(reloaded_again.ok());
+  auto events = (*reloaded_again)->QueryLandmarks(0, 10);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].value, 51.0);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,129 @@
+// Query-engine invariants, checked over randomized streams and ranges:
+//   * the ML estimate lies inside its own confidence interval
+//   * counts are monotone in range inclusion
+//   * additivity: count[a,c] == count[a,b] + count[b+1,c] (approximately,
+//     exactly when window-aligned)
+//   * window-aligned queries are exact
+//   * query results are deterministic (same query twice == same answer)
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "src/core/query.h"
+#include "src/core/stream.h"
+#include "src/storage/memory_backend.h"
+#include "src/workload/generators.h"
+
+namespace ss {
+namespace {
+
+using bench::Oracle;
+
+class QueryProperty : public ::testing::TestWithParam<int> {
+ protected:
+  void Build(uint64_t seed) {
+    config_.decay = std::make_shared<PowerLawDecay>(1, 1, 2, 1);
+    config_.operators = OperatorSet::Microbench();
+    config_.operators.cms_width = 256;
+    config_.raw_threshold = 16;
+    stream_ = std::make_unique<Stream>(1, config_, &kv_);
+    SyntheticStreamSpec spec;
+    spec.arrival = ArrivalKind::kPoisson;
+    spec.mean_interarrival = 3.0;
+    spec.value_universe = 40;
+    spec.seed = seed;
+    SyntheticStream gen(spec);
+    for (int i = 0; i < 30000; ++i) {
+      Event e = gen.Next();
+      oracle_.Add(e);
+      ASSERT_TRUE(stream_->Append(e.ts, e.value).ok());
+    }
+  }
+
+  double Estimate(Timestamp t1, Timestamp t2, QueryOp op) {
+    QuerySpec spec{.t1 = t1, .t2 = t2, .op = op};
+    auto result = RunQuery(*stream_, spec);
+    EXPECT_TRUE(result.ok());
+    return result->estimate;
+  }
+
+  MemoryBackend kv_;
+  StreamConfig config_;
+  std::unique_ptr<Stream> stream_;
+  Oracle oracle_;
+};
+
+TEST_P(QueryProperty, EstimateInsideItsOwnInterval) {
+  Build(100 + static_cast<uint64_t>(GetParam()));
+  Rng rng(7 + static_cast<uint64_t>(GetParam()));
+  Timestamp span = oracle_.last_ts() - oracle_.first_ts();
+  for (int i = 0; i < 100; ++i) {
+    Timestamp t1 = oracle_.first_ts() +
+                   static_cast<Timestamp>(rng.NextBounded(static_cast<uint64_t>(span / 2)));
+    Timestamp t2 = t1 + 10 + static_cast<Timestamp>(
+                                 rng.NextBounded(static_cast<uint64_t>(span / 2)));
+    for (QueryOp op : {QueryOp::kCount, QueryOp::kSum}) {
+      QuerySpec spec{.t1 = t1, .t2 = t2, .op = op};
+      auto result = RunQuery(*stream_, spec);
+      ASSERT_TRUE(result.ok());
+      EXPECT_LE(result->ci_lo, result->estimate + 1e-9);
+      EXPECT_GE(result->ci_hi, result->estimate - 1e-9);
+    }
+  }
+}
+
+TEST_P(QueryProperty, CountMonotoneInRangeInclusion) {
+  Build(200 + static_cast<uint64_t>(GetParam()));
+  Rng rng(8 + static_cast<uint64_t>(GetParam()));
+  Timestamp span = oracle_.last_ts() - oracle_.first_ts();
+  for (int i = 0; i < 60; ++i) {
+    Timestamp t1 = oracle_.first_ts() +
+                   static_cast<Timestamp>(rng.NextBounded(static_cast<uint64_t>(span / 2)));
+    Timestamp t2 = t1 + 50 + static_cast<Timestamp>(rng.NextBounded(5000));
+    Timestamp t2_wider = t2 + 1000 + static_cast<Timestamp>(rng.NextBounded(5000));
+    double inner = Estimate(t1, t2, QueryOp::kCount);
+    double outer = Estimate(t1, t2_wider, QueryOp::kCount);
+    EXPECT_GE(outer, inner - inner * 0.02 - 2.0);  // statistical slack
+  }
+}
+
+TEST_P(QueryProperty, CountApproximatelyAdditive) {
+  Build(300 + static_cast<uint64_t>(GetParam()));
+  Rng rng(9 + static_cast<uint64_t>(GetParam()));
+  Timestamp span = oracle_.last_ts() - oracle_.first_ts();
+  for (int i = 0; i < 60; ++i) {
+    Timestamp a = oracle_.first_ts() +
+                  static_cast<Timestamp>(rng.NextBounded(static_cast<uint64_t>(span / 2)));
+    Timestamp c = a + 2000 + static_cast<Timestamp>(rng.NextBounded(20000));
+    Timestamp b = a + static_cast<Timestamp>(rng.NextBounded(static_cast<uint64_t>(c - a)));
+    double whole = Estimate(a, c, QueryOp::kCount);
+    double left = Estimate(a, b, QueryOp::kCount);
+    double right = Estimate(b + 1, c, QueryOp::kCount);
+    EXPECT_NEAR(left + right, whole, std::max(8.0, whole * 0.05));
+  }
+}
+
+TEST_P(QueryProperty, Deterministic) {
+  Build(400 + static_cast<uint64_t>(GetParam()));
+  Timestamp mid = (oracle_.first_ts() + oracle_.last_ts()) / 2;
+  QuerySpec spec{.t1 = oracle_.first_ts() + 7, .t2 = mid, .op = QueryOp::kSum};
+  auto a = RunQuery(*stream_, spec);
+  auto b = RunQuery(*stream_, spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->estimate, b->estimate);
+  EXPECT_EQ(a->ci_lo, b->ci_lo);
+  EXPECT_EQ(a->ci_hi, b->ci_hi);
+}
+
+TEST_P(QueryProperty, FullStreamQueriesExact) {
+  Build(500 + static_cast<uint64_t>(GetParam()));
+  double count = Estimate(oracle_.first_ts(), oracle_.last_ts(), QueryOp::kCount);
+  EXPECT_DOUBLE_EQ(count, oracle_.Count(oracle_.first_ts(), oracle_.last_ts()));
+  double sum = Estimate(oracle_.first_ts(), oracle_.last_ts(), QueryOp::kSum);
+  EXPECT_NEAR(sum, oracle_.Sum(oracle_.first_ts(), oracle_.last_ts()), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryProperty, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/query.h"
+#include "src/core/stream.h"
+#include "src/random/rng.h"
+#include "src/storage/memory_backend.h"
+
+namespace ss {
+namespace {
+
+StreamConfig FullConfig(uint64_t raw_threshold = 0) {
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  config.operators = OperatorSet::Full();
+  config.operators.bloom_bits = 1024;
+  config.operators.cms_width = 512;
+  config.operators.hist_lo = 0.0;
+  config.operators.hist_hi = 100.0;
+  config.raw_threshold = raw_threshold;
+  config.seed = 3;
+  return config;
+}
+
+// Stream of 1000 regular events, value = ts % 50.
+void FillRegular(Stream& stream, int n = 1000) {
+  for (int t = 1; t <= n; ++t) {
+    ASSERT_TRUE(stream.Append(t, static_cast<double>(t % 50)).ok());
+  }
+}
+
+TEST(Query, FullRangeCountIsExact) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillRegular(stream);
+  QuerySpec spec{.t1 = 1, .t2 = 1000, .op = QueryOp::kCount};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->estimate, 1000.0);
+  EXPECT_TRUE(result->exact);
+  EXPECT_EQ(result->ci_lo, result->ci_hi);
+}
+
+TEST(Query, FullRangeSumIsExact) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillRegular(stream);
+  double expected = 0;
+  for (int t = 1; t <= 1000; ++t) {
+    expected += t % 50;
+  }
+  QuerySpec spec{.t1 = 1, .t2 = 1000, .op = QueryOp::kSum};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->estimate, expected);
+}
+
+TEST(Query, SubWindowCountProportionalOnRegularArrivals) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillRegular(stream, 2000);
+  // A range covering roughly a quarter of old data.
+  QuerySpec spec{.t1 = 100, .t2 = 300, .op = QueryOp::kCount};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  // Regular arrivals: proportional estimate should be near-perfect.
+  EXPECT_NEAR(result->estimate, 201.0, 10.0);
+  EXPECT_LE(result->ci_lo, result->estimate);
+  EXPECT_GE(result->ci_hi, result->estimate);
+  // Regular arrivals have near-zero interarrival variance => tight CI.
+  EXPECT_LT(result->ci_hi - result->ci_lo, 20.0);
+}
+
+TEST(Query, ErrorDecreasesWithQueryLength) {
+  // §7.2.2: "Error is generally expected to decrease with length."
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  Rng rng(5);
+  Timestamp t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += 1 + static_cast<Timestamp>(rng.NextBounded(3));
+    ASSERT_TRUE(stream.Append(t, 1.0).ok());
+  }
+  QuerySpec small{.t1 = 100, .t2 = 140, .op = QueryOp::kCount};
+  QuerySpec large{.t1 = 100, .t2 = static_cast<Timestamp>(static_cast<double>(t) * 0.8),
+                  .op = QueryOp::kCount};
+  auto small_result = RunQuery(stream, small);
+  auto large_result = RunQuery(stream, large);
+  ASSERT_TRUE(small_result.ok());
+  ASSERT_TRUE(large_result.ok());
+  double small_rel = small_result->CiWidth() / std::max(1.0, small_result->estimate);
+  double large_rel = large_result->CiWidth() / std::max(1.0, large_result->estimate);
+  EXPECT_LT(large_rel, small_rel);
+}
+
+TEST(Query, PoissonCiCoversTruth) {
+  // Statistical check of the Appendix B machinery: on Poisson arrivals, the
+  // 95% CI should contain the true count for the vast majority of random
+  // sub-range queries.
+  MemoryBackend kv;
+  StreamConfig config = FullConfig();
+  config.arrival_model = ArrivalModel::kPoisson;
+  Stream stream(1, config, &kv);
+
+  Rng arrival_rng(17);
+  std::vector<Timestamp> arrivals;
+  double t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += arrival_rng.NextExponential(0.5);  // mean gap 2 units
+    arrivals.push_back(static_cast<Timestamp>(t));
+    ASSERT_TRUE(stream.Append(arrivals.back(), 1.0).ok());
+  }
+
+  Rng query_rng(18);
+  int covered = 0;
+  int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    Timestamp lo = static_cast<Timestamp>(query_rng.NextBounded(static_cast<uint64_t>(t * 0.8)));
+    Timestamp hi = lo + 50 + static_cast<Timestamp>(query_rng.NextBounded(2000));
+    QuerySpec spec{.t1 = lo, .t2 = hi, .op = QueryOp::kCount};
+    auto result = RunQuery(stream, spec);
+    ASSERT_TRUE(result.ok());
+    double truth = 0;
+    for (Timestamp a : arrivals) {
+      if (a >= lo && a <= hi) {
+        ++truth;
+      }
+    }
+    if (truth >= result->ci_lo - 1e-9 && truth <= result->ci_hi + 1e-9) {
+      ++covered;
+    }
+  }
+  // Allow slack for model mismatch at window boundaries; nominal is 95%.
+  EXPECT_GE(covered, trials * 80 / 100);
+}
+
+TEST(Query, FrequencyFullRangeTracksTruth) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  Rng rng(7);
+  std::map<int, int> truth;
+  for (int t = 1; t <= 5000; ++t) {
+    int v = static_cast<int>(rng.NextBounded(40));
+    ++truth[v];
+    ASSERT_TRUE(stream.Append(t, static_cast<double>(v)).ok());
+  }
+  QuerySpec spec{.t1 = 1, .t2 = 5000, .op = QueryOp::kFrequency, .value = 7.0};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  // Count-mean-min corrected estimate: small symmetric noise around truth.
+  EXPECT_NEAR(result->estimate, truth[7], truth[7] * 0.15 + 20);
+}
+
+TEST(Query, ExistenceFindsPresentValue) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillRegular(stream);  // values 0..49 everywhere
+  QuerySpec spec{.t1 = 1, .t2 = 1000, .op = QueryOp::kExistence, .value = 25.0};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->bool_answer);
+  EXPECT_GT(result->estimate, 0.5);
+}
+
+TEST(Query, ExistenceRejectsAbsentValue) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillRegular(stream);
+  QuerySpec spec{.t1 = 1, .t2 = 1000, .op = QueryOp::kExistence, .value = 777.0};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  // Bloom false positives possible per window but should not dominate.
+  EXPECT_FALSE(result->bool_answer);
+}
+
+TEST(Query, DistinctCountReasonable) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillRegular(stream);  // exactly 50 distinct values
+  QuerySpec spec{.t1 = 1, .t2 = 1000, .op = QueryOp::kDistinct};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 50.0, 5.0);
+}
+
+TEST(Query, QuantileMedianReasonable) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillRegular(stream, 5000);  // uniform over 0..49
+  QuerySpec spec{.t1 = 1, .t2 = 5000, .op = QueryOp::kQuantile, .quantile_q = 0.5};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 24.5, 5.0);
+}
+
+TEST(Query, MinMaxExactOverFullRange) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillRegular(stream);
+  QuerySpec spec{.t1 = 1, .t2 = 1000, .op = QueryOp::kMin};
+  auto min_result = RunQuery(stream, spec);
+  ASSERT_TRUE(min_result.ok());
+  EXPECT_DOUBLE_EQ(min_result->estimate, 0.0);
+  spec.op = QueryOp::kMax;
+  auto max_result = RunQuery(stream, spec);
+  EXPECT_DOUBLE_EQ(max_result->estimate, 49.0);
+}
+
+TEST(Query, MeanCombinesCountAndSum) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  for (int t = 1; t <= 1000; ++t) {
+    ASSERT_TRUE(stream.Append(t, 10.0).ok());
+  }
+  QuerySpec spec{.t1 = 1, .t2 = 1000, .op = QueryOp::kMean};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 10.0, 1e-9);
+}
+
+TEST(Query, ValueRangeCountViaHistogram) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillRegular(stream, 5000);  // values 0..49 uniform, hist range [0,100) x64
+  // Full time range: histogram interpolation over a uniform value mix.
+  QuerySpec spec{.t1 = 1, .t2 = 5000, .op = QueryOp::kValueRangeCount,
+                 .value_lo = 10.0, .value_hi = 20.0};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  // True selectivity: values 10..19 of 0..49 => 20% of 5000 = 1000; the
+  // 64-bucket histogram over [0,100) interpolates integer values with some
+  // bucket-edge smear.
+  EXPECT_NEAR(result->estimate, 1000.0, 120.0);
+
+  // Sub time range: proportional share with a CI.
+  QuerySpec partial = spec;
+  partial.t1 = 1000;
+  partial.t2 = 3000;
+  auto partial_result = RunQuery(stream, partial);
+  ASSERT_TRUE(partial_result.ok());
+  EXPECT_NEAR(partial_result->estimate, 400.0, 80.0);
+  EXPECT_LE(partial_result->ci_lo, partial_result->estimate);
+  EXPECT_GE(partial_result->ci_hi, partial_result->estimate);
+
+  // Empty and inverted value ranges are rejected.
+  QuerySpec empty = spec;
+  empty.value_lo = 5.0;
+  empty.value_hi = 5.0;
+  EXPECT_EQ(RunQuery(stream, empty).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Query, ValueRangeCountRequiresHistogram) {
+  MemoryBackend kv;
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  config.operators = OperatorSet::AggregatesOnly();
+  config.raw_threshold = 0;
+  Stream stream(1, config, &kv);
+  FillRegular(stream, 200);
+  QuerySpec spec{.t1 = 1, .t2 = 200, .op = QueryOp::kValueRangeCount,
+                 .value_lo = 0.0, .value_hi = 10.0};
+  EXPECT_EQ(RunQuery(stream, spec).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Query, MissingOperatorReportsFailedPrecondition) {
+  MemoryBackend kv;
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  config.operators = OperatorSet::AggregatesOnly();
+  config.raw_threshold = 0;
+  Stream stream(1, config, &kv);
+  FillRegular(stream);
+  QuerySpec spec{.t1 = 1, .t2 = 1000, .op = QueryOp::kExistence, .value = 1.0};
+  EXPECT_EQ(RunQuery(stream, spec).status().code(), StatusCode::kFailedPrecondition);
+  spec.op = QueryOp::kFrequency;
+  EXPECT_EQ(RunQuery(stream, spec).status().code(), StatusCode::kFailedPrecondition);
+  spec.op = QueryOp::kDistinct;
+  EXPECT_EQ(RunQuery(stream, spec).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Query, InvalidSpecsRejected) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillRegular(stream, 10);
+  QuerySpec backwards{.t1 = 100, .t2 = 50, .op = QueryOp::kCount};
+  EXPECT_EQ(RunQuery(stream, backwards).status().code(), StatusCode::kInvalidArgument);
+  QuerySpec bad_conf{.t1 = 1, .t2 = 10, .op = QueryOp::kCount, .confidence = 1.5};
+  EXPECT_EQ(RunQuery(stream, bad_conf).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Query, EmptyRangeOutsideDataIsZero) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillRegular(stream, 100);
+  QuerySpec spec{.t1 = 5000, .t2 = 6000, .op = QueryOp::kCount};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->estimate, 0.0);
+}
+
+TEST(Query, RawThresholdGivesExactRecentAnswers) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(/*raw_threshold=*/64), &kv);
+  FillRegular(stream, 1000);
+  // The newest windows are raw; a recent small query is answered exactly.
+  QuerySpec spec{.t1 = 995, .t2 = 1000, .op = QueryOp::kCount};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->estimate, 6.0);
+  EXPECT_TRUE(result->exact);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "src/core/summary_store.h"
+#include "src/storage/file_util.h"
+
+namespace ss {
+namespace {
+
+StreamConfig SmallConfig() {
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  config.operators = OperatorSet::Microbench();
+  config.operators.bloom_bits = 256;
+  config.operators.cms_width = 64;
+  config.raw_threshold = 8;
+  return config;
+}
+
+TEST(SummaryStoreApi, CreateAppendQueryInMemory) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  ASSERT_TRUE(store.ok());
+  auto sid = (*store)->CreateStream(SmallConfig());
+  ASSERT_TRUE(sid.ok());
+  for (int t = 1; t <= 500; ++t) {
+    ASSERT_TRUE((*store)->Append(*sid, t, static_cast<double>(t % 10)).ok());
+  }
+  QuerySpec spec{.t1 = 1, .t2 = 500, .op = QueryOp::kCount};
+  auto result = (*store)->Query(*sid, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->estimate, 500.0);
+}
+
+TEST(SummaryStoreApi, MultipleIndependentStreams) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  auto a = (*store)->CreateStream(SmallConfig());
+  auto b = (*store)->CreateStream(SmallConfig());
+  ASSERT_NE(*a, *b);
+  for (int t = 1; t <= 100; ++t) {
+    ASSERT_TRUE((*store)->Append(*a, t, 1.0).ok());
+  }
+  for (int t = 1; t <= 50; ++t) {
+    ASSERT_TRUE((*store)->Append(*b, t, 2.0).ok());
+  }
+  QuerySpec spec{.t1 = 1, .t2 = 1000, .op = QueryOp::kSum};
+  EXPECT_DOUBLE_EQ((*store)->Query(*a, spec)->estimate, 100.0);
+  EXPECT_DOUBLE_EQ((*store)->Query(*b, spec)->estimate, 100.0);
+  EXPECT_EQ((*store)->ListStreams().size(), 2u);
+}
+
+TEST(SummaryStoreApi, UnknownStreamErrors) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  EXPECT_EQ((*store)->Append(99, 1, 1.0).code(), StatusCode::kNotFound);
+  QuerySpec spec{.t1 = 0, .t2 = 1, .op = QueryOp::kCount};
+  EXPECT_EQ((*store)->Query(99, spec).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SummaryStoreApi, DeleteStreamRemovesData) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  auto sid = (*store)->CreateStream(SmallConfig());
+  for (int t = 1; t <= 100; ++t) {
+    ASSERT_TRUE((*store)->Append(*sid, t, 1.0).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->DeleteStream(*sid).ok());
+  EXPECT_TRUE((*store)->ListStreams().empty());
+  EXPECT_EQ((*store)->DeleteStream(*sid).code(), StatusCode::kNotFound);
+}
+
+TEST(SummaryStoreApi, QueryAggregateAcrossStreams) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  std::vector<StreamId> ids;
+  for (int s = 0; s < 3; ++s) {
+    ids.push_back(*(*store)->CreateStream(SmallConfig()));
+    for (int t = 1; t <= 400; ++t) {
+      ASSERT_TRUE((*store)->Append(ids.back(), t, static_cast<double>(s + 1)).ok());
+    }
+  }
+  QuerySpec count{.t1 = 1, .t2 = 400, .op = QueryOp::kCount};
+  auto total = (*store)->QueryAggregate(ids, count);
+  ASSERT_TRUE(total.ok());
+  EXPECT_DOUBLE_EQ(total->estimate, 1200.0);
+  EXPECT_TRUE(total->exact);
+
+  QuerySpec sum{.t1 = 1, .t2 = 400, .op = QueryOp::kSum};
+  auto sum_result = (*store)->QueryAggregate(ids, sum);
+  ASSERT_TRUE(sum_result.ok());
+  EXPECT_DOUBLE_EQ(sum_result->estimate, 400.0 * (1 + 2 + 3));
+
+  QuerySpec max{.t1 = 1, .t2 = 400, .op = QueryOp::kMax};
+  auto max_result = (*store)->QueryAggregate(ids, max);
+  ASSERT_TRUE(max_result.ok());
+  EXPECT_DOUBLE_EQ(max_result->estimate, 3.0);
+
+  // Partial ranges combine CIs in quadrature: interval must contain truth.
+  QuerySpec partial{.t1 = 100, .t2 = 250, .op = QueryOp::kCount};
+  auto partial_result = (*store)->QueryAggregate(ids, partial);
+  ASSERT_TRUE(partial_result.ok());
+  EXPECT_LE(partial_result->ci_lo, 453.0);
+  EXPECT_GE(partial_result->ci_hi, 453.0);
+
+  // Unsupported ops and empty stream lists are rejected.
+  QuerySpec mean{.t1 = 1, .t2 = 400, .op = QueryOp::kMean};
+  EXPECT_EQ((*store)->QueryAggregate(ids, mean).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*store)->QueryAggregate({}, count).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+class DurableStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ss_store_" + std::to_string(reinterpret_cast<uintptr_t>(this));
+    ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveDirRecursive(dir_).ok()); }
+
+  StoreOptions Options() {
+    StoreOptions options;
+    options.dir = dir_;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurableStoreTest, ReopenPreservesStreamsAndAnswers) {
+  StreamId sid;
+  double full_sum;
+  {
+    auto store = SummaryStore::Open(Options());
+    ASSERT_TRUE(store.ok());
+    auto created = (*store)->CreateStream(SmallConfig());
+    ASSERT_TRUE(created.ok());
+    sid = *created;
+    for (int t = 1; t <= 2000; ++t) {
+      ASSERT_TRUE((*store)->Append(sid, t, static_cast<double>(t % 7)).ok());
+    }
+    QuerySpec spec{.t1 = 1, .t2 = 2000, .op = QueryOp::kSum};
+    full_sum = (*store)->Query(sid, spec)->estimate;
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto reopened = SummaryStore::Open(Options());
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ((*reopened)->ListStreams().size(), 1u);
+  QuerySpec spec{.t1 = 1, .t2 = 2000, .op = QueryOp::kSum};
+  auto result = (*reopened)->Query(sid, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->estimate, full_sum);
+  // Partial-range queries agree too.
+  QuerySpec partial{.t1 = 500, .t2 = 1500, .op = QueryOp::kCount};
+  auto partial_result = (*reopened)->Query(sid, partial);
+  ASSERT_TRUE(partial_result.ok());
+  EXPECT_NEAR(partial_result->estimate, 1001.0, 25.0);
+}
+
+TEST_F(DurableStoreTest, IngestContinuesAfterReopen) {
+  StreamId sid;
+  {
+    auto store = SummaryStore::Open(Options());
+    sid = *(*store)->CreateStream(SmallConfig());
+    for (int t = 1; t <= 500; ++t) {
+      ASSERT_TRUE((*store)->Append(sid, t, 1.0).ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  {
+    auto store = SummaryStore::Open(Options());
+    for (int t = 501; t <= 1000; ++t) {
+      ASSERT_TRUE((*store)->Append(sid, t, 1.0).ok());
+    }
+    QuerySpec spec{.t1 = 1, .t2 = 1000, .op = QueryOp::kCount};
+    auto result = (*store)->Query(sid, spec);
+    ASSERT_TRUE(result.ok());
+    EXPECT_DOUBLE_EQ(result->estimate, 1000.0);
+    auto stream = (*store)->GetStream(sid);
+    ASSERT_TRUE(stream.ok());
+    EXPECT_EQ((*stream)->element_count(), 1000u);
+  }
+}
+
+TEST_F(DurableStoreTest, ColdCacheQueryAfterEviction) {
+  auto store = SummaryStore::Open(Options());
+  StreamId sid = *(*store)->CreateStream(SmallConfig());
+  for (int t = 1; t <= 3000; ++t) {
+    ASSERT_TRUE((*store)->Append(sid, t, 1.0).ok());
+  }
+  ASSERT_TRUE((*store)->EvictAll().ok());
+  (*store)->DropCaches();
+  QuerySpec spec{.t1 = 100, .t2 = 2500, .op = QueryOp::kCount};
+  auto result = (*store)->Query(sid, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 2401.0, 60.0);
+}
+
+TEST_F(DurableStoreTest, WindowCacheBudgetBoundsResidentMemory) {
+  auto store = SummaryStore::Open(Options());
+  StreamConfig config = SmallConfig();
+  config.window_cache_bytes = 16 << 10;  // keep only ~16 KiB of clean payloads
+  StreamId sid = *(*store)->CreateStream(std::move(config));
+  for (int t = 1; t <= 50000; ++t) {
+    ASSERT_TRUE((*store)->Append(sid, t, static_cast<double>(t % 5)).ok());
+  }
+  ASSERT_TRUE((*store)->EvictAll().ok());
+
+  auto* stream = (*store)->GetStream(sid).value();
+  // Repeated wide queries load many windows; the budget must keep resident
+  // clean payloads bounded while answers stay correct.
+  for (int i = 0; i < 5; ++i) {
+    QuerySpec spec{.t1 = 1, .t2 = 50000, .op = QueryOp::kCount};
+    auto result = (*store)->Query(sid, spec);
+    ASSERT_TRUE(result.ok());
+    EXPECT_DOUBLE_EQ(result->estimate, 50000.0);
+  }
+  // After the query returns, the budget enforcement must have dropped the
+  // bulk of the loaded payloads (allow one window of slack past the budget).
+  uint64_t resident = stream->ResidentWindowBytes();
+  EXPECT_LE(resident, (16u << 10) + 8192);
+  EXPECT_LT(resident, stream->SizeBytes());
+  // And answers stay correct afterwards.
+  QuerySpec partial{.t1 = 10000, .t2 = 40000, .op = QueryOp::kSum};
+  auto result = (*store)->Query(sid, partial);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->estimate, 0.0);
+}
+
+TEST_F(DurableStoreTest, TotalSizeGrowsSublinearly) {
+  auto store = SummaryStore::Open(Options());
+  StreamConfig config = SmallConfig();
+  config.operators = OperatorSet::AggregatesOnly();
+  config.raw_threshold = 4;
+  StreamId sid = *(*store)->CreateStream(std::move(config));
+  uint64_t size_at_10k = 0;
+  for (int t = 1; t <= 100000; ++t) {
+    ASSERT_TRUE((*store)->Append(sid, t, 1.0).ok());
+    if (t == 10000) {
+      size_at_10k = (*store)->TotalSizeBytes();
+    }
+  }
+  uint64_t size_at_100k = (*store)->TotalSizeBytes();
+  // Raw data grew 10x; a sqrt-decayed store should grow ~sqrt(10) ≈ 3.2x.
+  double growth = static_cast<double>(size_at_100k) / static_cast<double>(size_at_10k);
+  EXPECT_LT(growth, 5.0);
+  EXPECT_GT(growth, 2.0);
+}
+
+}  // namespace
+}  // namespace ss

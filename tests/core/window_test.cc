@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "src/core/window.h"
+#include "src/sketch/aggregates.h"
+#include "src/sketch/bloom.h"
+
+namespace ss {
+namespace {
+
+OperatorSet MicroOps() {
+  OperatorSet ops = OperatorSet::Microbench();
+  ops.bloom_bits = 256;
+  ops.cms_width = 64;
+  return ops;
+}
+
+TEST(SummaryWindow, SingleElementConstruction) {
+  SummaryWindow window(5, 1000, 3.5);
+  EXPECT_EQ(window.cs(), 5u);
+  EXPECT_EQ(window.ce(), 5u);
+  EXPECT_EQ(window.ts_start(), 1000);
+  EXPECT_EQ(window.ts_last(), 1000);
+  EXPECT_TRUE(window.is_raw());
+  EXPECT_EQ(window.element_count(), 1u);
+  ASSERT_EQ(window.raw().size(), 1u);
+  EXPECT_EQ(window.raw()[0].value, 3.5);
+}
+
+TEST(SummaryWindow, AppendExtends) {
+  SummaryWindow window(1, 10, 1.0);
+  window.Append(2, 20, 2.0);
+  window.Append(3, 30, 3.0);
+  EXPECT_EQ(window.ce(), 3u);
+  EXPECT_EQ(window.ts_last(), 30);
+  EXPECT_EQ(window.raw().size(), 3u);
+}
+
+TEST(SummaryWindow, MaterializeBuildsSummaries) {
+  SummaryWindow window(1, 10, 1.0);
+  window.Append(2, 20, 2.0);
+  window.Append(3, 30, 4.0);
+  window.Materialize(MicroOps(), 1);
+  EXPECT_FALSE(window.is_raw());
+  EXPECT_TRUE(window.raw().empty());
+  const auto* count = SummaryCast<CountSummary>(window.Find(SummaryKind::kCount));
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->count(), 3u);
+  const auto* sum = SummaryCast<SumSummary>(window.Find(SummaryKind::kSum));
+  EXPECT_DOUBLE_EQ(sum->sum(), 7.0);
+  const auto* bloom = SummaryCast<BloomFilter>(window.Find(SummaryKind::kBloom));
+  EXPECT_TRUE(bloom->MightContain(4.0));
+}
+
+TEST(SummaryWindow, MergeRawStaysRawUnderThreshold) {
+  SummaryWindow a(1, 10, 1.0);
+  SummaryWindow b(2, 20, 2.0);
+  ASSERT_TRUE(a.MergeFrom(std::move(b), MicroOps(), /*raw_threshold=*/4, 1).ok());
+  EXPECT_TRUE(a.is_raw());
+  EXPECT_EQ(a.ce(), 2u);
+  EXPECT_EQ(a.raw().size(), 2u);
+}
+
+TEST(SummaryWindow, MergeMaterializesPastThreshold) {
+  SummaryWindow a(1, 10, 1.0);
+  a.Append(2, 20, 2.0);
+  SummaryWindow b(3, 30, 3.0);
+  ASSERT_TRUE(a.MergeFrom(std::move(b), MicroOps(), /*raw_threshold=*/2, 1).ok());
+  EXPECT_FALSE(a.is_raw());
+  const auto* count = SummaryCast<CountSummary>(a.Find(SummaryKind::kCount));
+  EXPECT_EQ(count->count(), 3u);
+}
+
+TEST(SummaryWindow, MergeSketchWithRaw) {
+  SummaryWindow a(1, 10, 1.0);
+  a.Materialize(MicroOps(), 1);
+  SummaryWindow b(2, 20, 5.0);
+  ASSERT_TRUE(a.MergeFrom(std::move(b), MicroOps(), 100, 1).ok());
+  EXPECT_FALSE(a.is_raw());
+  const auto* sum = SummaryCast<SumSummary>(a.Find(SummaryKind::kSum));
+  EXPECT_DOUBLE_EQ(sum->sum(), 6.0);
+}
+
+TEST(SummaryWindow, MergeNonAdjacentRejected) {
+  SummaryWindow a(1, 10, 1.0);
+  SummaryWindow b(3, 30, 3.0);
+  EXPECT_EQ(a.MergeFrom(std::move(b), MicroOps(), 4, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SummaryWindow, SerdeRoundTripRaw) {
+  SummaryWindow window(10, 100, 1.5);
+  window.Append(11, 110, 2.5);
+  Writer w;
+  window.Serialize(w);
+  Reader r(w.data());
+  auto restored = SummaryWindow::Deserialize(r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->cs(), 10u);
+  EXPECT_EQ(restored->ce(), 11u);
+  EXPECT_TRUE(restored->is_raw());
+  ASSERT_EQ(restored->raw().size(), 2u);
+  EXPECT_EQ(restored->raw()[1].ts, 110);
+  EXPECT_EQ(restored->raw()[1].value, 2.5);
+}
+
+TEST(SummaryWindow, SerdeRoundTripMaterialized) {
+  SummaryWindow window(1, 10, 1.0);
+  for (uint64_t i = 2; i <= 20; ++i) {
+    window.Append(i, static_cast<Timestamp>(i * 10), static_cast<double>(i));
+  }
+  window.Materialize(MicroOps(), 99);
+  Writer w;
+  window.Serialize(w);
+  Reader r(w.data());
+  auto restored = SummaryWindow::Deserialize(r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored->is_raw());
+  const auto* count = SummaryCast<CountSummary>(restored->Find(SummaryKind::kCount));
+  EXPECT_EQ(count->count(), 20u);
+  const auto* sum = SummaryCast<SumSummary>(restored->Find(SummaryKind::kSum));
+  EXPECT_DOUBLE_EQ(sum->sum(), 210.0);
+}
+
+TEST(LandmarkWindow, SerdeRoundTrip) {
+  LandmarkWindow lm;
+  lm.id = 3;
+  lm.ts_start = 50;
+  lm.ts_end = 90;
+  lm.closed = true;
+  lm.events = {{55, 1.0}, {60, 2.0}, {90, 3.0}};
+  Writer w;
+  lm.Serialize(w);
+  Reader r(w.data());
+  auto restored = LandmarkWindow::Deserialize(r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->id, 3u);
+  EXPECT_EQ(restored->ts_start, 50);
+  EXPECT_EQ(restored->ts_end, 90);
+  EXPECT_TRUE(restored->closed);
+  ASSERT_EQ(restored->events.size(), 3u);
+  EXPECT_EQ(restored->events[2].ts, 90);
+}
+
+TEST(SummaryWindow, SizeBytesReflectsRepresentation) {
+  SummaryWindow raw(1, 10, 1.0);
+  size_t raw_size = raw.SizeBytes();
+  SummaryWindow big(1, 10, 1.0);
+  for (uint64_t i = 2; i <= 100; ++i) {
+    big.Append(i, static_cast<Timestamp>(i), 1.0);
+  }
+  EXPECT_GT(big.SizeBytes(), raw_size);
+  size_t before = big.SizeBytes();
+  OperatorSet aggregates = OperatorSet::AggregatesOnly();
+  big.Materialize(aggregates, 1);
+  // 100 raw events (1600B) collapse into three small aggregates.
+  EXPECT_LT(big.SizeBytes(), before);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,99 @@
+// The benchmark harness's own instruments must be trustworthy: the exact
+// oracle, percentile helper, and (age, length) query sampler.
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+
+namespace ss::bench {
+namespace {
+
+TEST(Oracle, CountSumFrequencyExistence) {
+  Oracle oracle;
+  // ts: 10, 20, 20, 30; values 1, 2, 2, 3.
+  oracle.Add({10, 1.0});
+  oracle.Add({20, 2.0});
+  oracle.Add({20, 2.0});
+  oracle.Add({30, 3.0});
+  EXPECT_DOUBLE_EQ(oracle.Count(10, 30), 4.0);
+  EXPECT_DOUBLE_EQ(oracle.Count(11, 29), 2.0);
+  EXPECT_DOUBLE_EQ(oracle.Count(20, 20), 2.0);  // inclusive, duplicates
+  EXPECT_DOUBLE_EQ(oracle.Count(31, 40), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.Sum(10, 30), 8.0);
+  EXPECT_DOUBLE_EQ(oracle.Sum(15, 25), 4.0);
+  EXPECT_DOUBLE_EQ(oracle.Frequency(2.0, 10, 30), 2.0);
+  EXPECT_DOUBLE_EQ(oracle.Frequency(2.0, 25, 30), 0.0);
+  EXPECT_TRUE(oracle.Exists(3.0, 30, 30));
+  EXPECT_FALSE(oracle.Exists(3.0, 10, 29));
+  EXPECT_FALSE(oracle.Exists(9.0, 0, 100));
+}
+
+TEST(Oracle, AgreesWithBruteForceOnRandomStream) {
+  Oracle oracle;
+  std::vector<Event> events;
+  Rng rng(3);
+  Timestamp t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += 1 + static_cast<Timestamp>(rng.NextBounded(5));
+    Event e{t, static_cast<double>(rng.NextBounded(20))};
+    events.push_back(e);
+    oracle.Add(e);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    Timestamp t1 = static_cast<Timestamp>(rng.NextBounded(static_cast<uint64_t>(t)));
+    Timestamp t2 = t1 + static_cast<Timestamp>(rng.NextBounded(3000));
+    double count = 0;
+    double sum = 0;
+    for (const Event& e : events) {
+      if (e.ts >= t1 && e.ts <= t2) {
+        ++count;
+        sum += e.value;
+      }
+    }
+    EXPECT_DOUBLE_EQ(oracle.Count(t1, t2), count);
+    EXPECT_DOUBLE_EQ(oracle.Sum(t1, t2), sum);
+  }
+}
+
+TEST(Percentile, InterpolatesAndHandlesEdges) {
+  std::vector<double> values = {4, 1, 3, 2, 5};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 12.5), 1.5);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 95), 7.0);
+}
+
+TEST(SampleQueryRange, RespectsClassGeometry) {
+  Rng rng(5);
+  Timestamp now = kYear;
+  for (int ai = 0; ai < 4; ++ai) {
+    for (int li = 0; li < 4; ++li) {
+      for (int trial = 0; trial < 50; ++trial) {
+        Timestamp t1;
+        Timestamp t2;
+        if (!SampleQueryRange(rng, now, 0, ai, li, &t1, &t2)) {
+          continue;
+        }
+        Timestamp age = now - t2;
+        Timestamp len = t2 - t1;
+        EXPECT_GE(age, kClassUnits[ai]);
+        EXPECT_LT(age, 2 * kClassUnits[ai]);
+        EXPECT_GE(len, kClassUnits[li]);
+        EXPECT_LT(len, 2 * kClassUnits[li]);
+        EXPECT_GE(t1, 0);
+      }
+    }
+  }
+}
+
+TEST(RelativeErrorMetric, ZeroTruthFallsBackToMagnitude) {
+  EXPECT_DOUBLE_EQ(RelativeError(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(7, 0), 7.0);
+  EXPECT_DOUBLE_EQ(RelativeError(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace ss::bench

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/random/arrival.h"
+#include "src/random/rng.h"
+#include "src/random/zipf.h"
+#include "src/stats/welford.h"
+
+namespace ss {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoundedRespectsBound) {
+  Rng rng(5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 60000; ++i) {
+    uint64_t v = rng.NextBounded(6);
+    ASSERT_LT(v, 6u);
+    ++counts[v];
+  }
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(c, 10000, 500);  // roughly uniform
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  WelfordAccumulator acc;
+  for (int i = 0; i < 100000; ++i) {
+    acc.Add(rng.NextExponential(4.0));
+  }
+  EXPECT_NEAR(acc.Mean(), 0.25, 0.005);
+  EXPECT_NEAR(acc.StdDev(), 0.25, 0.01);  // exponential: σ = mean
+}
+
+TEST(Rng, ParetoMeanMatchesFormula) {
+  Rng rng(12);
+  WelfordAccumulator acc;
+  double x_m = 1.0;
+  double alpha = 3.0;
+  for (int i = 0; i < 200000; ++i) {
+    acc.Add(rng.NextPareto(x_m, alpha));
+  }
+  EXPECT_NEAR(acc.Mean(), x_m * alpha / (alpha - 1), 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  WelfordAccumulator acc;
+  for (int i = 0; i < 100000; ++i) {
+    acc.Add(rng.NextGaussian());
+  }
+  EXPECT_NEAR(acc.Mean(), 0.0, 0.02);
+  EXPECT_NEAR(acc.StdDev(), 1.0, 0.02);
+}
+
+TEST(PoissonArrivals, RateMatches) {
+  PoissonArrivals arrivals(0.1, 77);  // one event per 10 time units
+  Timestamp last = 0;
+  WelfordAccumulator gaps;
+  for (int i = 0; i < 50000; ++i) {
+    Timestamp t = arrivals.Next();
+    EXPECT_GE(t, last);
+    if (i > 0) {
+      gaps.Add(static_cast<double>(t - last));
+    }
+    last = t;
+  }
+  EXPECT_NEAR(gaps.Mean(), 10.0, 0.3);
+}
+
+TEST(ParetoArrivals, MeanInterarrivalCalibrated) {
+  ParetoArrivals arrivals(10.0, 2.2, 88);
+  Timestamp last = 0;
+  WelfordAccumulator gaps;
+  for (int i = 0; i < 200000; ++i) {
+    Timestamp t = arrivals.Next();
+    if (i > 0) {
+      gaps.Add(static_cast<double>(t - last));
+    }
+    last = t;
+  }
+  EXPECT_NEAR(gaps.Mean(), 10.0, 1.0);
+}
+
+TEST(RegularArrivals, ExactPeriod) {
+  RegularArrivals arrivals(5, 100);
+  EXPECT_EQ(arrivals.Next(), 100);
+  EXPECT_EQ(arrivals.Next(), 105);
+  EXPECT_EQ(arrivals.Next(), 110);
+}
+
+TEST(ZipfSampler, RankOneDominates) {
+  ZipfSampler zipf(1000, 1.1);
+  Rng rng(3);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  // Rank 1 should be the most frequent, and heavy relative to rank 10.
+  EXPECT_GT(counts[1], counts[10] * 5);
+  EXPECT_GT(counts[1], 5000);
+}
+
+TEST(ZipfSampler, AllRanksInRange) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t rank = zipf.Sample(rng);
+    EXPECT_GE(rank, 1);
+    EXPECT_LE(rank, 50);
+  }
+}
+
+}  // namespace
+}  // namespace ss

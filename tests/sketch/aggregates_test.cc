@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "src/sketch/aggregates.h"
+
+namespace ss {
+namespace {
+
+TEST(CountSummary, CountsAndMerges) {
+  CountSummary a;
+  CountSummary b;
+  for (int i = 0; i < 5; ++i) {
+    a.Update(i, 1.0);
+  }
+  for (int i = 0; i < 3; ++i) {
+    b.Update(i, 2.0);
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.count(), 8u);
+}
+
+TEST(CountSummary, SerdeRoundTrip) {
+  CountSummary a(12345);
+  Writer w;
+  SerializeSummary(a, w);
+  Reader r(w.data());
+  auto restored = DeserializeSummary(r);
+  ASSERT_TRUE(restored.ok());
+  const auto* count = SummaryCast<CountSummary>(restored->get());
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->count(), 12345u);
+}
+
+TEST(SumSummary, SumsAndMerges) {
+  SumSummary a;
+  a.Update(0, 1.5);
+  a.Update(1, 2.5);
+  SumSummary b;
+  b.Update(2, -1.0);
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_DOUBLE_EQ(a.sum(), 3.0);
+}
+
+TEST(MinMaxSummary, TracksExtremes) {
+  MinMaxSummary a;
+  EXPECT_TRUE(a.empty());
+  a.Update(0, 5.0);
+  a.Update(1, -3.0);
+  a.Update(2, 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(MinMaxSummary, MergeWithEmpty) {
+  MinMaxSummary a;
+  a.Update(0, 1.0);
+  MinMaxSummary empty;
+  ASSERT_TRUE(a.MergeFrom(empty).ok());
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  ASSERT_TRUE(empty.MergeFrom(a).ok());
+  EXPECT_FALSE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.max(), 1.0);
+}
+
+TEST(MinMaxSummary, SerdeRoundTripPreservesEmptiness) {
+  MinMaxSummary empty;
+  Writer w;
+  SerializeSummary(empty, w);
+  Reader r(w.data());
+  auto restored = DeserializeSummary(r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(SummaryCast<MinMaxSummary>(restored->get())->empty());
+}
+
+TEST(Aggregates, KindMismatchRejected) {
+  CountSummary count;
+  SumSummary sum;
+  EXPECT_EQ(count.MergeFrom(sum).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(sum.MergeFrom(count).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Aggregates, CloneIsIndependent) {
+  SumSummary a;
+  a.Update(0, 10.0);
+  auto clone = a.Clone();
+  a.Update(1, 5.0);
+  EXPECT_DOUBLE_EQ(SummaryCast<SumSummary>(clone.get())->sum(), 10.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/random/rng.h"
+#include "src/sketch/bloom.h"
+
+namespace ss {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bloom(1024, 5);
+  for (int i = 0; i < 100; ++i) {
+    bloom.Update(i, static_cast<double>(i));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(bloom.MightContain(static_cast<double>(i))) << i;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateMatchesTheory) {
+  // Width 1024 bits / 5 hashes at 142 inserts: theoretical FP rate
+  // (1 − e^{−kn/m})^k = (1 − e^{−5·142/1024})^5 ≈ 3.1%.
+  BloomFilter bloom(1024, 5);
+  for (int i = 0; i < 142; ++i) {
+    bloom.Update(i, static_cast<double>(i));
+  }
+  int fp = 0;
+  int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (bloom.MightContain(static_cast<double>(100000 + i))) {
+      ++fp;
+    }
+  }
+  double rate = static_cast<double>(fp) / probes;
+  EXPECT_NEAR(rate, 0.031, 0.012);
+  EXPECT_NEAR(bloom.FalsePositiveRate(), rate, 0.01);
+}
+
+TEST(BloomFilter, UnionEqualsCombinedConstruction) {
+  BloomFilter a(512, 5);
+  BloomFilter b(512, 5);
+  BloomFilter both(512, 5);
+  for (int i = 0; i < 50; ++i) {
+    a.Update(i, static_cast<double>(i));
+    both.Update(i, static_cast<double>(i));
+  }
+  for (int i = 50; i < 100; ++i) {
+    b.Update(i, static_cast<double>(i));
+    both.Update(i, static_cast<double>(i));
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  // Bitwise-OR union: identical answers to the filter built on A∪B.
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.MightContain(static_cast<double>(i)),
+              both.MightContain(static_cast<double>(i)))
+        << i;
+  }
+  EXPECT_EQ(a.inserted_count(), 100u);
+}
+
+TEST(BloomFilter, ConfigMismatchRejected) {
+  BloomFilter a(512, 5);
+  BloomFilter b(1024, 5);
+  EXPECT_EQ(a.MergeFrom(b).code(), StatusCode::kInvalidArgument);
+  BloomFilter c(512, 4);
+  EXPECT_EQ(a.MergeFrom(c).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BloomFilter, SerdeRoundTrip) {
+  BloomFilter bloom(1024, 5);
+  for (int i = 0; i < 77; ++i) {
+    bloom.Update(i, static_cast<double>(i * 3));
+  }
+  Writer w;
+  SerializeSummary(bloom, w);
+  Reader r(w.data());
+  auto restored = DeserializeSummary(r);
+  ASSERT_TRUE(restored.ok());
+  const auto* copy = SummaryCast<BloomFilter>(restored->get());
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->inserted_count(), 77u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(copy->MightContain(static_cast<double>(i)),
+              bloom.MightContain(static_cast<double>(i)));
+  }
+}
+
+TEST(BloomFilter, BitWidthRoundedToWords) {
+  BloomFilter bloom(100, 3);
+  EXPECT_EQ(bloom.num_bits() % 64, 0u);
+  EXPECT_GE(bloom.num_bits(), 100u);
+}
+
+TEST(BloomFilter, EmptyFilterHasZeroFpRate) {
+  BloomFilter bloom(512, 5);
+  EXPECT_EQ(bloom.FalsePositiveRate(), 0.0);
+  EXPECT_FALSE(bloom.MightContain(1.0));
+}
+
+}  // namespace
+}  // namespace ss

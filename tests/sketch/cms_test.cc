@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/random/rng.h"
+#include "src/random/zipf.h"
+#include "src/sketch/cms.h"
+#include "src/sketch/counting_bloom.h"
+
+namespace ss {
+namespace {
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  CountMinSketch cms(1000, 5);
+  std::map<int, int> truth;
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    int v = static_cast<int>(rng.NextBounded(500));
+    ++truth[v];
+    cms.Update(i, static_cast<double>(v));
+  }
+  for (const auto& [v, count] : truth) {
+    EXPECT_GE(cms.EstimateCount(static_cast<double>(v)), static_cast<uint64_t>(count));
+  }
+  EXPECT_EQ(cms.total_count(), 20000u);
+}
+
+TEST(CountMinSketch, OverestimateBounded) {
+  CountMinSketch cms(1000, 5);
+  Rng rng(2);
+  std::map<int, int> truth;
+  int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    int v = static_cast<int>(rng.NextBounded(2000));
+    ++truth[v];
+    cms.Update(i, static_cast<double>(v));
+  }
+  // CMS error bound: overestimate <= e/width * N with prob 1-e^-depth.
+  double bound = 2.718281828 / 1000.0 * n;
+  int violations = 0;
+  for (const auto& [v, count] : truth) {
+    double err =
+        static_cast<double>(cms.EstimateCount(static_cast<double>(v))) - count;
+    if (err > bound) {
+      ++violations;
+    }
+  }
+  EXPECT_LE(violations, static_cast<int>(truth.size() / 100));
+}
+
+TEST(CountMinSketch, ZipfHeavyHittersAccurate) {
+  CountMinSketch cms(1000, 5);
+  ZipfSampler zipf(10000, 1.1);
+  Rng rng(3);
+  std::map<int64_t, int> truth;
+  for (int i = 0; i < 100000; ++i) {
+    int64_t v = zipf.Sample(rng);
+    ++truth[v];
+    cms.Update(i, static_cast<double>(v));
+  }
+  // Top ranks should be estimated within a few percent.
+  for (int64_t rank = 1; rank <= 5; ++rank) {
+    double est = static_cast<double>(cms.EstimateCount(static_cast<double>(rank)));
+    double actual = truth[rank];
+    EXPECT_NEAR(est, actual, actual * 0.05 + 300) << "rank " << rank;
+  }
+}
+
+TEST(CountMinSketch, CorrectedEstimateReducesBias) {
+  // With many small contributors the per-row collision mass concentrates
+  // around its mean, so subtracting it (count-mean-min) removes most of the
+  // raw min-estimate's systematic overcount.
+  CountMinSketch cms(128, 5);
+  Rng rng(11);
+  std::map<int64_t, int> truth;
+  for (int i = 0; i < 100000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.NextBounded(2000));
+    ++truth[v];
+    cms.Update(i, static_cast<double>(v));
+  }
+  double raw_err = 0;
+  double corrected_err = 0;
+  for (int64_t v = 0; v < 200; ++v) {
+    double actual = truth[v];
+    raw_err +=
+        std::abs(static_cast<double>(cms.EstimateCount(static_cast<double>(v))) - actual);
+    corrected_err += std::abs(cms.EstimateCountCorrected(static_cast<double>(v)) - actual);
+  }
+  EXPECT_LT(corrected_err, raw_err * 0.2);
+}
+
+TEST(CountMinSketch, CorrectedEstimateNearZeroForAbsentValues) {
+  CountMinSketch cms(256, 5);
+  Rng rng(12);
+  for (int i = 0; i < 50000; ++i) {
+    cms.Update(i, static_cast<double>(rng.NextBounded(1000)));
+  }
+  double total_absent = 0;
+  for (int v = 5000; v < 5050; ++v) {
+    total_absent += cms.EstimateCountCorrected(static_cast<double>(v));
+  }
+  // Average corrected estimate for absent values stays near the noise floor.
+  EXPECT_LT(total_absent / 50.0, 50000.0 / 256 * 0.5);
+  // And it never exceeds the conservative min-estimate.
+  for (int v = 5000; v < 5010; ++v) {
+    EXPECT_LE(cms.EstimateCountCorrected(static_cast<double>(v)),
+              static_cast<double>(cms.EstimateCount(static_cast<double>(v))));
+  }
+}
+
+TEST(CountMinSketch, UnionEqualsCombined) {
+  CountMinSketch a(256, 4);
+  CountMinSketch b(256, 4);
+  CountMinSketch both(256, 4);
+  for (int i = 0; i < 1000; ++i) {
+    double v = static_cast<double>(i % 50);
+    if (i % 2 == 0) {
+      a.Update(i, v);
+    } else {
+      b.Update(i, v);
+    }
+    both.Update(i, v);
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  for (int v = 0; v < 50; ++v) {
+    EXPECT_EQ(a.EstimateCount(v), both.EstimateCount(v)) << v;
+  }
+  EXPECT_EQ(a.total_count(), both.total_count());
+}
+
+TEST(CountMinSketch, SerdeRoundTrip) {
+  CountMinSketch cms(128, 3);
+  for (int i = 0; i < 500; ++i) {
+    cms.Update(i, static_cast<double>(i % 17));
+  }
+  Writer w;
+  SerializeSummary(cms, w);
+  Reader r(w.data());
+  auto restored = DeserializeSummary(r);
+  ASSERT_TRUE(restored.ok());
+  const auto* copy = SummaryCast<CountMinSketch>(restored->get());
+  ASSERT_NE(copy, nullptr);
+  for (int v = 0; v < 17; ++v) {
+    EXPECT_EQ(copy->EstimateCount(v), cms.EstimateCount(v));
+  }
+}
+
+TEST(CountingBloom, MembershipAndFrequency) {
+  CountingBloomFilter cbf(1024, 5);
+  for (int rep = 0; rep < 7; ++rep) {
+    cbf.Update(rep, 42.0);
+  }
+  cbf.Update(100, 43.0);
+  EXPECT_TRUE(cbf.MightContain(42.0));
+  EXPECT_TRUE(cbf.MightContain(43.0));
+  EXPECT_FALSE(cbf.MightContain(99999.0));
+  EXPECT_GE(cbf.EstimateCount(42.0), 7u);
+  EXPECT_GE(cbf.EstimateCount(43.0), 1u);
+}
+
+TEST(CountingBloom, UnionAddsCounters) {
+  CountingBloomFilter a(512, 4);
+  CountingBloomFilter b(512, 4);
+  for (int i = 0; i < 3; ++i) {
+    a.Update(i, 7.0);
+  }
+  for (int i = 0; i < 4; ++i) {
+    b.Update(i, 7.0);
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_GE(a.EstimateCount(7.0), 7u);
+  EXPECT_EQ(a.inserted_count(), 7u);
+}
+
+TEST(CountingBloom, SerdeRoundTrip) {
+  CountingBloomFilter cbf(256, 3);
+  for (int i = 0; i < 40; ++i) {
+    cbf.Update(i, static_cast<double>(i % 5));
+  }
+  Writer w;
+  SerializeSummary(cbf, w);
+  Reader r(w.data());
+  auto restored = DeserializeSummary(r);
+  ASSERT_TRUE(restored.ok());
+  const auto* copy = SummaryCast<CountingBloomFilter>(restored->get());
+  ASSERT_NE(copy, nullptr);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_EQ(copy->EstimateCount(v), cbf.EstimateCount(v));
+  }
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "src/random/rng.h"
+#include "src/sketch/histogram.h"
+
+namespace ss {
+namespace {
+
+TEST(Histogram, BucketsValuesCorrectly) {
+  Histogram hist(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) {
+    hist.Update(i, static_cast<double>(i) + 0.5);
+  }
+  for (uint32_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(hist.bucket_count(b), 1u) << b;
+  }
+  EXPECT_EQ(hist.total_count(), 10u);
+}
+
+TEST(Histogram, UnderflowOverflowTracked) {
+  Histogram hist(0.0, 1.0, 4);
+  hist.Update(0, -5.0);
+  hist.Update(1, 2.0);
+  hist.Update(2, 0.5);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.total_count(), 3u);
+}
+
+TEST(Histogram, BoundaryValueGoesToUpperBucketRules) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.Update(0, 0.0);   // first bucket
+  hist.Update(1, 10.0);  // == hi -> overflow
+  hist.Update(2, 9.999);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.bucket_count(9), 1u);
+}
+
+TEST(Histogram, RangeCountInterpolates) {
+  Histogram hist(0.0, 10.0, 10);
+  for (int i = 0; i < 1000; ++i) {
+    hist.Update(i, (i % 100) / 10.0);  // uniform over [0, 10)
+  }
+  EXPECT_NEAR(hist.EstimateRangeCount(0.0, 10.0), 1000.0, 1e-9);
+  EXPECT_NEAR(hist.EstimateRangeCount(0.0, 5.0), 500.0, 20.0);
+  EXPECT_NEAR(hist.EstimateRangeCount(2.5, 3.5), 100.0, 15.0);
+  EXPECT_EQ(hist.EstimateRangeCount(7.0, 7.0), 0.0);
+}
+
+TEST(Histogram, QuantileOnUniform) {
+  Histogram hist(0.0, 100.0, 100);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    hist.Update(i, rng.NextDouble() * 100.0);
+  }
+  EXPECT_NEAR(hist.EstimateQuantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(hist.EstimateQuantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(hist.EstimateQuantile(0.1), 10.0, 2.0);
+}
+
+TEST(Histogram, UnionEqualsCombined) {
+  Histogram a(0.0, 1.0, 16);
+  Histogram b(0.0, 1.0, 16);
+  Histogram both(0.0, 1.0, 16);
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    double v = rng.NextDouble() * 1.2 - 0.1;  // include under/overflow
+    if (i % 3 == 0) {
+      a.Update(i, v);
+    } else {
+      b.Update(i, v);
+    }
+    both.Update(i, v);
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.total_count(), both.total_count());
+  EXPECT_EQ(a.underflow(), both.underflow());
+  EXPECT_EQ(a.overflow(), both.overflow());
+  for (uint32_t bucket = 0; bucket < 16; ++bucket) {
+    EXPECT_EQ(a.bucket_count(bucket), both.bucket_count(bucket)) << bucket;
+  }
+}
+
+TEST(Histogram, ConfigMismatchRejected) {
+  Histogram a(0.0, 1.0, 16);
+  Histogram b(0.0, 2.0, 16);
+  EXPECT_EQ(a.MergeFrom(b).code(), StatusCode::kInvalidArgument);
+  Histogram c(0.0, 1.0, 32);
+  EXPECT_EQ(a.MergeFrom(c).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Histogram, SerdeRoundTrip) {
+  Histogram hist(-5.0, 5.0, 20);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    hist.Update(i, rng.NextGaussian() * 2);
+  }
+  Writer w;
+  SerializeSummary(hist, w);
+  Reader r(w.data());
+  auto restored = DeserializeSummary(r);
+  ASSERT_TRUE(restored.ok());
+  const auto* copy = SummaryCast<Histogram>(restored->get());
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->total_count(), hist.total_count());
+  for (uint32_t b = 0; b < 20; ++b) {
+    EXPECT_EQ(copy->bucket_count(b), hist.bucket_count(b));
+  }
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/random/rng.h"
+#include "src/sketch/hyperloglog.h"
+
+namespace ss {
+namespace {
+
+TEST(HyperLogLog, SmallCardinalityExact) {
+  HyperLogLog hll(12);
+  for (int i = 0; i < 100; ++i) {
+    hll.Update(i, static_cast<double>(i));
+  }
+  // Linear-counting regime: should be essentially exact.
+  EXPECT_NEAR(hll.EstimateCardinality(), 100.0, 3.0);
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int rep = 0; rep < 1000; ++rep) {
+    for (int i = 0; i < 10; ++i) {
+      hll.Update(rep, static_cast<double>(i));
+    }
+  }
+  EXPECT_NEAR(hll.EstimateCardinality(), 10.0, 1.0);
+}
+
+TEST(HyperLogLog, LargeCardinalityWithinErrorBound) {
+  HyperLogLog hll(12);  // σ ≈ 1.04/sqrt(4096) ≈ 1.6%
+  int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    hll.Update(i, static_cast<double>(i));
+  }
+  double est = hll.EstimateCardinality();
+  EXPECT_NEAR(est, n, n * 0.05);  // 3σ margin
+}
+
+TEST(HyperLogLog, UnionEqualsCombined) {
+  HyperLogLog a(10);
+  HyperLogLog b(10);
+  HyperLogLog both(10);
+  for (int i = 0; i < 5000; ++i) {
+    double v = static_cast<double>(i);
+    if (i % 2 == 0) {
+      a.Update(i, v);
+    } else {
+      b.Update(i, v);
+    }
+    both.Update(i, v);
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_DOUBLE_EQ(a.EstimateCardinality(), both.EstimateCardinality());
+}
+
+TEST(HyperLogLog, OverlappingUnionCountsDistinct) {
+  HyperLogLog a(12);
+  HyperLogLog b(12);
+  for (int i = 0; i < 1000; ++i) {
+    a.Update(i, static_cast<double>(i));  // 0..999
+  }
+  for (int i = 500; i < 1500; ++i) {
+    b.Update(i, static_cast<double>(i));  // 500..1499
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_NEAR(a.EstimateCardinality(), 1500.0, 75.0);
+}
+
+TEST(HyperLogLog, PrecisionMismatchRejected) {
+  HyperLogLog a(10);
+  HyperLogLog b(12);
+  EXPECT_EQ(a.MergeFrom(b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HyperLogLog, SerdeRoundTrip) {
+  HyperLogLog hll(11);
+  for (int i = 0; i < 3000; ++i) {
+    hll.Update(i, static_cast<double>(i * 7));
+  }
+  Writer w;
+  SerializeSummary(hll, w);
+  Reader r(w.data());
+  auto restored = DeserializeSummary(r);
+  ASSERT_TRUE(restored.ok());
+  const auto* copy = SummaryCast<HyperLogLog>(restored->get());
+  ASSERT_NE(copy, nullptr);
+  EXPECT_DOUBLE_EQ(copy->EstimateCardinality(), hll.EstimateCardinality());
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/random/rng.h"
+#include "src/sketch/quantile.h"
+
+namespace ss {
+namespace {
+
+TEST(QuantileSketch, ExactWhileSmall) {
+  QuantileSketch sketch(128, 1);
+  for (int i = 1; i <= 100; ++i) {
+    sketch.Update(i, static_cast<double>(i));
+  }
+  EXPECT_NEAR(sketch.EstimateQuantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(sketch.EstimateQuantile(0.0), 1.0, 1.0);
+  EXPECT_NEAR(sketch.EstimateQuantile(1.0), 100.0, 1.0);
+}
+
+TEST(QuantileSketch, LargeStreamRankError) {
+  QuantileSketch sketch(256, 2);
+  int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sketch.Update(i, static_cast<double>(i));
+  }
+  EXPECT_EQ(sketch.total_count(), static_cast<uint64_t>(n));
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    double est = sketch.EstimateQuantile(q);
+    double rank_error = std::abs(est / n - q);
+    EXPECT_LT(rank_error, 0.05) << "q=" << q << " est=" << est;
+  }
+}
+
+TEST(QuantileSketch, RankAndQuantileConsistent) {
+  QuantileSketch sketch(128, 3);
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    sketch.Update(i, rng.NextGaussian());
+  }
+  double median = sketch.EstimateQuantile(0.5);
+  EXPECT_NEAR(sketch.EstimateRank(median), 0.5, 0.06);
+  EXPECT_NEAR(median, 0.0, 0.1);
+}
+
+TEST(QuantileSketch, MergePreservesDistribution) {
+  QuantileSketch a(128, 4);
+  QuantileSketch b(128, 5);
+  // a holds low half, b holds high half.
+  for (int i = 0; i < 20000; ++i) {
+    a.Update(i, static_cast<double>(i % 500));
+    b.Update(i, static_cast<double>(500 + i % 500));
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.total_count(), 40000u);
+  EXPECT_NEAR(a.EstimateQuantile(0.5), 500.0, 50.0);
+  EXPECT_NEAR(a.EstimateQuantile(0.25), 250.0, 50.0);
+  EXPECT_NEAR(a.EstimateQuantile(0.75), 750.0, 50.0);
+}
+
+TEST(QuantileSketch, KMismatchRejected) {
+  QuantileSketch a(128, 1);
+  QuantileSketch b(64, 1);
+  EXPECT_EQ(a.MergeFrom(b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QuantileSketch, BoundedMemory) {
+  QuantileSketch sketch(64, 6);
+  for (int i = 0; i < 1000000; ++i) {
+    sketch.Update(i, static_cast<double>(i));
+  }
+  // Memory is O(k log(n/k)), far below raw storage.
+  EXPECT_LT(sketch.SizeBytes(), 64u * 24 * sizeof(double));
+}
+
+TEST(QuantileSketch, SerdeRoundTrip) {
+  QuantileSketch sketch(128, 7);
+  for (int i = 0; i < 5000; ++i) {
+    sketch.Update(i, static_cast<double>(i % 777));
+  }
+  Writer w;
+  SerializeSummary(sketch, w);
+  Reader r(w.data());
+  auto restored = DeserializeSummary(r);
+  ASSERT_TRUE(restored.ok());
+  const auto* copy = SummaryCast<QuantileSketch>(restored->get());
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->total_count(), sketch.total_count());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(copy->EstimateQuantile(q), sketch.EstimateQuantile(q));
+  }
+}
+
+TEST(QuantileSketch, EmptySketch) {
+  QuantileSketch sketch(128, 8);
+  EXPECT_EQ(sketch.EstimateQuantile(0.5), 0.0);
+  EXPECT_EQ(sketch.EstimateRank(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ss

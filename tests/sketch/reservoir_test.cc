@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/sketch/reservoir.h"
+
+namespace ss {
+namespace {
+
+TEST(ReservoirSample, KeepsAllWhileUnderCapacity) {
+  ReservoirSample sample(10, 1);
+  for (int i = 0; i < 7; ++i) {
+    sample.Update(i, static_cast<double>(i));
+  }
+  EXPECT_EQ(sample.items().size(), 7u);
+  EXPECT_EQ(sample.population(), 7u);
+}
+
+TEST(ReservoirSample, BoundedAtCapacity) {
+  ReservoirSample sample(16, 2);
+  for (int i = 0; i < 10000; ++i) {
+    sample.Update(i, static_cast<double>(i));
+  }
+  EXPECT_EQ(sample.items().size(), 16u);
+  EXPECT_EQ(sample.population(), 10000u);
+}
+
+TEST(ReservoirSample, RoughlyUniformInclusion) {
+  // Each of 1000 elements should appear with probability ~ k/n = 0.1.
+  std::map<int, int> inclusion;
+  for (uint64_t seed = 0; seed < 400; ++seed) {
+    ReservoirSample sample(100, seed);
+    for (int i = 0; i < 1000; ++i) {
+      sample.Update(i, static_cast<double>(i));
+    }
+    for (const auto& item : sample.items()) {
+      ++inclusion[static_cast<int>(item.value)];
+    }
+  }
+  // First and last deciles should be sampled at comparable rates.
+  int early = 0;
+  int late = 0;
+  for (int i = 0; i < 100; ++i) {
+    early += inclusion[i];
+  }
+  for (int i = 900; i < 1000; ++i) {
+    late += inclusion[i];
+  }
+  EXPECT_NEAR(static_cast<double>(early) / late, 1.0, 0.15);
+}
+
+TEST(ReservoirSample, MergePopulationWeighted) {
+  ReservoirSample a(50, 3);
+  ReservoirSample b(50, 4);
+  for (int i = 0; i < 9000; ++i) {
+    a.Update(i, 0.0);  // population A: value 0
+  }
+  for (int i = 0; i < 1000; ++i) {
+    b.Update(i, 1.0);  // population B: value 1
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.population(), 10000u);
+  EXPECT_EQ(a.items().size(), 50u);
+  // ~90% of merged samples should come from A.
+  int from_a = 0;
+  for (const auto& item : a.items()) {
+    from_a += item.value == 0.0 ? 1 : 0;
+  }
+  EXPECT_GT(from_a, 33);
+  EXPECT_LT(from_a, 50);
+}
+
+TEST(ReservoirSample, MergeWithEmpty) {
+  ReservoirSample a(10, 5);
+  a.Update(1, 1.0);
+  ReservoirSample empty(10, 6);
+  ASSERT_TRUE(a.MergeFrom(empty).ok());
+  EXPECT_EQ(a.items().size(), 1u);
+  ASSERT_TRUE(empty.MergeFrom(a).ok());
+  EXPECT_EQ(empty.items().size(), 1u);
+  EXPECT_EQ(empty.population(), 1u);
+}
+
+TEST(ReservoirSample, CapacityMismatchRejected) {
+  ReservoirSample a(10, 1);
+  ReservoirSample b(20, 1);
+  EXPECT_EQ(a.MergeFrom(b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReservoirSample, SerdeRoundTrip) {
+  ReservoirSample sample(32, 7);
+  for (int i = 0; i < 500; ++i) {
+    sample.Update(i * 10, static_cast<double>(i));
+  }
+  Writer w;
+  SerializeSummary(sample, w);
+  Reader r(w.data());
+  auto restored = DeserializeSummary(r);
+  ASSERT_TRUE(restored.ok());
+  const auto* copy = SummaryCast<ReservoirSample>(restored->get());
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->population(), sample.population());
+  ASSERT_EQ(copy->items().size(), sample.items().size());
+  for (size_t i = 0; i < copy->items().size(); ++i) {
+    EXPECT_EQ(copy->items()[i].ts, sample.items()[i].ts);
+    EXPECT_EQ(copy->items()[i].value, sample.items()[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,119 @@
+// Deserialization robustness: feeding arbitrary (random or bit-flipped)
+// bytes into every persistent decoder must produce a Status error or a
+// valid object — never a crash, hang, or unbounded allocation.
+#include <gtest/gtest.h>
+
+#include "src/core/stream.h"
+#include "src/core/window.h"
+#include "src/random/rng.h"
+#include "src/sketch/summary.h"
+
+namespace ss {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  std::string out;
+  size_t n = rng.NextBounded(max_len);
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>(rng.NextBounded(256)));
+  }
+  return out;
+}
+
+TEST(SerdeFuzz, RandomBytesIntoSummaryDecoder) {
+  Rng rng(0xf022);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string bytes = RandomBytes(rng, 256);
+    Reader reader(bytes);
+    auto result = DeserializeSummary(reader);  // must not crash
+    (void)result;
+  }
+}
+
+TEST(SerdeFuzz, RandomBytesIntoWindowDecoder) {
+  Rng rng(0xf023);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string bytes = RandomBytes(rng, 512);
+    Reader reader(bytes);
+    auto result = SummaryWindow::Deserialize(reader);
+    (void)result;
+  }
+}
+
+TEST(SerdeFuzz, RandomBytesIntoLandmarkDecoder) {
+  Rng rng(0xf024);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string bytes = RandomBytes(rng, 512);
+    Reader reader(bytes);
+    auto result = LandmarkWindow::Deserialize(reader);
+    (void)result;
+  }
+}
+
+TEST(SerdeFuzz, RandomBytesIntoConfigDecoders) {
+  Rng rng(0xf025);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string bytes = RandomBytes(rng, 128);
+    {
+      Reader reader(bytes);
+      (void)StreamConfig::Deserialize(reader);
+    }
+    {
+      Reader reader(bytes);
+      (void)OperatorSet::Deserialize(reader);
+    }
+    {
+      Reader reader(bytes);
+      (void)DeserializeDecay(reader);
+    }
+  }
+}
+
+TEST(SerdeFuzz, BitFlippedValidWindowsNeverCrash) {
+  // Start from a valid serialized window and flip one byte at a time:
+  // decoders must reject or decode, never crash. (Checksums live one layer
+  // down, in the storage engine — the object decoders must be safe on
+  // their own.)
+  SummaryWindow window(1, 100, 1.5);
+  for (uint64_t i = 2; i <= 40; ++i) {
+    window.Append(i, static_cast<Timestamp>(100 + i), static_cast<double>(i));
+  }
+  OperatorSet ops = OperatorSet::Microbench();
+  ops.cms_width = 32;
+  ops.bloom_bits = 128;
+  window.Materialize(ops, 7);
+  Writer writer;
+  window.Serialize(writer);
+  std::string valid = writer.data();
+
+  Rng rng(0xf026);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string corrupted = valid;
+    size_t pos = rng.NextBounded(corrupted.size());
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1 + rng.NextBounded(255)));
+    Reader reader(corrupted);
+    auto result = SummaryWindow::Deserialize(reader);
+    (void)result;
+  }
+}
+
+TEST(SerdeFuzz, TruncatedValidWindowsReportCorruption) {
+  SummaryWindow window(1, 100, 1.5);
+  for (uint64_t i = 2; i <= 20; ++i) {
+    window.Append(i, static_cast<Timestamp>(100 + i), 2.0);
+  }
+  Writer writer;
+  window.Serialize(writer);
+  std::string valid = writer.data();
+  for (size_t len = 0; len < valid.size(); ++len) {
+    Reader reader(std::string_view(valid).substr(0, len));
+    auto result = SummaryWindow::Deserialize(reader);
+    // Truncations either fail or decode a prefix-consistent object; most
+    // must fail. Just exercising them is the point: no crash, no hang.
+    (void)result;
+  }
+}
+
+}  // namespace
+}  // namespace ss

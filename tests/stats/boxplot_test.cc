@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/stats/boxplot.h"
+
+namespace ss {
+namespace {
+
+TEST(SortedQuantile, Interpolates) {
+  std::vector<double> data = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(SortedQuantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(data, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(data, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(data, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(data, 0.125), 1.5);
+}
+
+TEST(SortedQuantile, EdgeSizes) {
+  std::vector<double> empty;
+  EXPECT_EQ(SortedQuantile(empty, 0.5), 0.0);
+  std::vector<double> one = {7.0};
+  EXPECT_EQ(SortedQuantile(one, 0.99), 7.0);
+}
+
+TEST(BoxplotTest, NoOutlierInUniformData) {
+  std::vector<double> data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back(10.0 + (i % 10));
+  }
+  BoxplotStats stats = BoxplotTest(data);
+  EXPECT_FALSE(stats.has_outlier);
+}
+
+TEST(BoxplotTest, DetectsHighOutlier) {
+  std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8, 100};
+  BoxplotStats stats = BoxplotTest(data);
+  EXPECT_TRUE(stats.has_outlier);
+  EXPECT_GT(stats.upper_fence, 8.0);
+  EXPECT_LT(stats.upper_fence, 100.0);
+}
+
+TEST(BoxplotTest, DetectsLowOutlier) {
+  std::vector<double> data = {-100, 10, 11, 12, 13, 14, 15, 16};
+  BoxplotStats stats = BoxplotTest(data);
+  EXPECT_TRUE(stats.has_outlier);
+}
+
+TEST(BoxplotTest, FenceParameterWidens) {
+  std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8, 14};
+  EXPECT_TRUE(BoxplotTest(data, 1.0).has_outlier);
+  EXPECT_FALSE(BoxplotTest(data, 3.0).has_outlier);
+}
+
+TEST(BoxplotTest, QuartilesCorrect) {
+  std::vector<double> data = {7, 15, 36, 39, 40, 41};
+  BoxplotStats stats = BoxplotTest(data);
+  EXPECT_DOUBLE_EQ(stats.q1, 20.25);
+  EXPECT_DOUBLE_EQ(stats.median, 37.5);
+  EXPECT_DOUBLE_EQ(stats.q3, 39.75);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/distributions.h"
+
+namespace ss {
+namespace {
+
+TEST(NormalDist, CdfAndQuantile) {
+  NormalDist dist(10.0, 2.0);
+  EXPECT_NEAR(dist.Cdf(10.0), 0.5, 1e-12);
+  EXPECT_NEAR(dist.Cdf(12.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(dist.Quantile(0.975), 10.0 + 2.0 * 1.959963984540054, 1e-6);
+  EXPECT_NEAR(dist.Quantile(dist.Cdf(8.5)), 8.5, 1e-8);
+}
+
+TEST(NormalDist, DegenerateStddev) {
+  NormalDist dist(5.0, 0.0);
+  EXPECT_EQ(dist.Cdf(4.999), 0.0);
+  EXPECT_EQ(dist.Cdf(5.0), 1.0);
+  EXPECT_EQ(dist.Quantile(0.01), 5.0);
+  EXPECT_EQ(dist.Quantile(0.99), 5.0);
+}
+
+TEST(BinomialDist, PmfSumsToOne) {
+  BinomialDist dist(20, 0.3);
+  double total = 0;
+  for (int64_t k = 0; k <= 20; ++k) {
+    total += dist.Pmf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(BinomialDist, ReferenceCdf) {
+  // Binomial(10, 0.5): P(X<=4) = 0.376953125, P(X<=5) = 0.623046875.
+  BinomialDist dist(10, 0.5);
+  EXPECT_NEAR(dist.Cdf(4), 0.376953125, 1e-9);
+  EXPECT_NEAR(dist.Cdf(5), 0.623046875, 1e-9);
+  EXPECT_EQ(dist.Cdf(-1), 0.0);
+  EXPECT_EQ(dist.Cdf(10), 1.0);
+}
+
+TEST(BinomialDist, QuantileIsSmallestK) {
+  BinomialDist dist(10, 0.5);
+  EXPECT_EQ(dist.Quantile(0.376953125), 4);
+  EXPECT_EQ(dist.Quantile(0.38), 5);
+  EXPECT_EQ(dist.Quantile(1e-9), 0);
+  EXPECT_EQ(dist.Quantile(1.0), 10);
+}
+
+TEST(BinomialDist, LargeNMatchesNormalApprox) {
+  BinomialDist dist(1000000, 0.5);
+  // Median ~ mean; 97.5% quantile ~ mean + 1.96 sd.
+  double sd = std::sqrt(dist.Variance());
+  EXPECT_NEAR(static_cast<double>(dist.Quantile(0.5)), dist.Mean(), 2.0);
+  EXPECT_NEAR(static_cast<double>(dist.Quantile(0.975)), dist.Mean() + 1.96 * sd, 0.01 * sd);
+}
+
+TEST(BinomialDist, EdgeProbabilities) {
+  BinomialDist zero(10, 0.0);
+  EXPECT_EQ(zero.Pmf(0), 1.0);
+  EXPECT_EQ(zero.Quantile(0.99), 0);
+  BinomialDist one(10, 1.0);
+  EXPECT_EQ(one.Pmf(10), 1.0);
+  EXPECT_EQ(one.Quantile(0.5), 10);
+}
+
+TEST(PoissonDist, PmfAndCdf) {
+  PoissonDist dist(3.0);
+  EXPECT_NEAR(dist.Pmf(0), std::exp(-3.0), 1e-12);
+  EXPECT_NEAR(dist.Pmf(3), std::exp(-3.0) * 27.0 / 6.0, 1e-12);
+  // P(X<=2) for λ=3: e^-3 (1 + 3 + 4.5) = 0.42319008...
+  EXPECT_NEAR(dist.Cdf(2), 0.4231900811268436, 1e-10);
+}
+
+TEST(PoissonDist, QuantileInverse) {
+  PoissonDist dist(100.0);
+  for (double p : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    int64_t k = dist.Quantile(p);
+    EXPECT_GE(dist.Cdf(k), p);
+    if (k > 0) {
+      EXPECT_LT(dist.Cdf(k - 1), p);
+    }
+  }
+}
+
+TEST(HypergeomDist, PmfSumsToOne) {
+  HypergeomDist dist(50, 12, 20);
+  double total = 0;
+  for (int64_t k = dist.SupportMin(); k <= dist.SupportMax(); ++k) {
+    total += dist.Pmf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(HypergeomDist, ReferenceValues) {
+  // Hypergeom(N=10, K=4, n=5): P(X=2) = C(4,2)C(6,3)/C(10,5) = 6*20/252.
+  HypergeomDist dist(10, 4, 5);
+  EXPECT_NEAR(dist.Pmf(2), 6.0 * 20.0 / 252.0, 1e-12);
+  EXPECT_NEAR(dist.Mean(), 2.0, 1e-12);
+  // Var = n (K/N)(1-K/N)(N-n)/(N-1) = 5*0.4*0.6*5/9.
+  EXPECT_NEAR(dist.Variance(), 5.0 * 0.4 * 0.6 * 5.0 / 9.0, 1e-12);
+}
+
+TEST(HypergeomDist, SupportBounds) {
+  HypergeomDist dist(10, 8, 7);
+  EXPECT_EQ(dist.SupportMin(), 5);  // draws + successes - population
+  EXPECT_EQ(dist.SupportMax(), 7);
+  EXPECT_EQ(dist.Pmf(4), 0.0);
+  EXPECT_EQ(dist.Pmf(8), 0.0);
+}
+
+TEST(HypergeomDist, QuantileInverse) {
+  HypergeomDist dist(1000, 100, 50);
+  for (double p : {0.05, 0.5, 0.95}) {
+    int64_t k = dist.Quantile(p);
+    EXPECT_GE(dist.Cdf(k), p - 1e-9);
+    if (k > dist.SupportMin()) {
+      EXPECT_LT(dist.Cdf(k - 1), p);
+    }
+  }
+}
+
+TEST(HypergeomDist, DegenerateCases) {
+  HypergeomDist none(100, 0, 50);
+  EXPECT_EQ(none.SupportMax(), 0);
+  EXPECT_EQ(none.Cdf(0), 1.0);
+  HypergeomDist all(100, 100, 50);
+  EXPECT_EQ(all.SupportMin(), 50);
+  EXPECT_NEAR(all.Pmf(50), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/special_functions.h"
+
+namespace ss {
+namespace {
+
+TEST(StdNormalCdf, ReferenceValues) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(StdNormalCdf(1.959963984540054), 0.975, 1e-10);
+  EXPECT_NEAR(StdNormalCdf(-2.326347874040841), 0.01, 1e-10);
+  EXPECT_NEAR(StdNormalCdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(StdNormalQuantile, ReferenceValues) {
+  EXPECT_NEAR(StdNormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(StdNormalQuantile(0.975), 1.959963984540054, 1e-7);
+  EXPECT_NEAR(StdNormalQuantile(0.025), -1.959963984540054, 1e-7);
+  EXPECT_NEAR(StdNormalQuantile(0.01), -2.326347874040841, 1e-7);
+  EXPECT_NEAR(StdNormalQuantile(0.999), 3.090232306167813, 1e-6);
+}
+
+TEST(StdNormalQuantile, InverseOfCdf) {
+  for (double p = 0.001; p < 1.0; p += 0.013) {
+    EXPECT_NEAR(StdNormalCdf(StdNormalQuantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(StdNormalQuantile, ExtremeTails) {
+  EXPECT_NEAR(StdNormalCdf(StdNormalQuantile(1e-10)), 1e-10, 1e-13);
+  EXPECT_NEAR(StdNormalCdf(StdNormalQuantile(1.0 - 1e-10)), 1.0 - 1e-10, 1e-13);
+}
+
+TEST(RegularizedGammaP, ReferenceValues) {
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(RegularizedGammaP(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-12);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(RegularizedGammaP(0.5, 1.0), std::erf(1.0), 1e-10);
+  // Known: P(3, 2.5) ≈ 0.45618688.
+  EXPECT_NEAR(RegularizedGammaP(3.0, 2.5), 0.4561868841166724, 1e-8);
+  // Q(10,30) = e^-30 Σ_{k<10} 30^k/k! ≈ 7.12e-6.
+  EXPECT_NEAR(RegularizedGammaP(10.0, 30.0), 0.9999928782491372, 1e-9);
+}
+
+TEST(RegularizedGammaQ, ComplementsP) {
+  for (double a : {0.5, 1.0, 3.0, 17.0, 120.0}) {
+    for (double x : {0.1, 1.0, 5.0, 50.0, 200.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0, 1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedIncompleteBeta, ReferenceValues) {
+  // I_x(1,1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.3), 0.3, 1e-12);
+  // I_x(2,2) = x^2 (3 - 2x).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 2.0, 0.4), 0.4 * 0.4 * (3 - 0.8), 1e-10);
+  // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(RegularizedIncompleteBeta(3.5, 2.25, 0.6),
+              1.0 - RegularizedIncompleteBeta(2.25, 3.5, 0.4), 1e-10);
+  // Edges.
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(RegularizedIncompleteBeta, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    double v = RegularizedIncompleteBeta(4.0, 7.0, x);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/random/rng.h"
+#include "src/stats/welford.h"
+
+namespace ss {
+namespace {
+
+TEST(Welford, MatchesDirectComputation) {
+  std::vector<double> data = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  WelfordAccumulator acc;
+  for (double x : data) {
+    acc.Add(x);
+  }
+  EXPECT_EQ(acc.count(), 8);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.Variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(acc.StdDev(), 2.0);
+}
+
+TEST(Welford, EmptyAndSingle) {
+  WelfordAccumulator acc;
+  EXPECT_EQ(acc.Variance(), 0.0);
+  acc.Add(3.0);
+  EXPECT_EQ(acc.Mean(), 3.0);
+  EXPECT_EQ(acc.Variance(), 0.0);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  Rng rng(7);
+  WelfordAccumulator a;
+  WelfordAccumulator b;
+  WelfordAccumulator all;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextGaussian() * 3 + 10;
+    if (i % 2 == 0) {
+      a.Add(x);
+    } else {
+      b.Add(x);
+    }
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+}
+
+TEST(Welford, MergeWithEmpty) {
+  WelfordAccumulator a;
+  a.Add(1.0);
+  a.Add(3.0);
+  WelfordAccumulator empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 2.0);
+}
+
+TEST(Welford, NumericallyStableOnLargeOffsets) {
+  WelfordAccumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    acc.Add(1e9 + (i % 2));  // values 1e9 and 1e9+1
+  }
+  EXPECT_NEAR(acc.Variance(), 0.25, 1e-6);
+}
+
+TEST(Welford, FromPartsRoundTrip) {
+  WelfordAccumulator acc;
+  for (int i = 1; i <= 50; ++i) {
+    acc.Add(static_cast<double>(i));
+  }
+  WelfordAccumulator restored = WelfordAccumulator::FromParts(acc.count(), acc.Mean(), acc.m2());
+  EXPECT_EQ(restored.count(), acc.count());
+  EXPECT_DOUBLE_EQ(restored.Mean(), acc.Mean());
+  EXPECT_DOUBLE_EQ(restored.Variance(), acc.Variance());
+  // And it keeps accumulating correctly.
+  restored.Add(51.0);
+  acc.Add(51.0);
+  EXPECT_DOUBLE_EQ(restored.Variance(), acc.Variance());
+}
+
+}  // namespace
+}  // namespace ss

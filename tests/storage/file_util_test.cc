@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/storage/file_util.h"
+
+namespace ss {
+namespace {
+
+class FileUtilTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ss_file_util_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    ASSERT_TRUE(CreateDirIfMissing(dir_).ok());
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveDirRecursive(dir_).ok()); }
+
+  std::string dir_;
+};
+
+TEST_F(FileUtilTest, AppendAndReadBack) {
+  std::string path = dir_ + "/a.txt";
+  {
+    auto file = AppendFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->Append("hello ").ok());
+    ASSERT_TRUE(file->Append("world").ok());
+    ASSERT_TRUE(file->Sync().ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello world");
+}
+
+TEST_F(FileUtilTest, AppendModePreservesExisting) {
+  std::string path = dir_ + "/b.txt";
+  {
+    auto file = AppendFile::Open(path);
+    ASSERT_TRUE(file->Append("first").ok());
+  }
+  {
+    auto file = AppendFile::Open(path);
+    ASSERT_TRUE(file->Append("|second").ok());
+  }
+  EXPECT_EQ(*ReadFileToString(path), "first|second");
+}
+
+TEST_F(FileUtilTest, TruncateClears) {
+  std::string path = dir_ + "/c.txt";
+  {
+    auto file = AppendFile::Open(path);
+    ASSERT_TRUE(file->Append("old data").ok());
+  }
+  {
+    auto file = AppendFile::Open(path, /*truncate=*/true);
+    ASSERT_TRUE(file->Append("new").ok());
+  }
+  EXPECT_EQ(*ReadFileToString(path), "new");
+}
+
+TEST_F(FileUtilTest, RandomAccessRead) {
+  std::string path = dir_ + "/d.txt";
+  {
+    auto file = AppendFile::Open(path);
+    ASSERT_TRUE(file->Append("0123456789").ok());
+  }
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(*file->Size(), 10u);
+  std::string out;
+  ASSERT_TRUE(file->Read(3, 4, &out).ok());
+  EXPECT_EQ(out, "3456");
+  // Reading past EOF reports corruption.
+  EXPECT_FALSE(file->Read(8, 5, &out).ok());
+}
+
+TEST_F(FileUtilTest, WriteFileAtomicReplaces) {
+  std::string path = dir_ + "/e.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "v1").ok());
+  EXPECT_EQ(*ReadFileToString(path), "v1");
+  ASSERT_TRUE(WriteFileAtomic(path, "v2-longer-content").ok());
+  EXPECT_EQ(*ReadFileToString(path), "v2-longer-content");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST_F(FileUtilTest, ListDirAndRemove) {
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/x", "1").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/y", "2").ok());
+  auto names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 2u);
+  ASSERT_TRUE(RemoveFileIfExists(dir_ + "/x").ok());
+  ASSERT_TRUE(RemoveFileIfExists(dir_ + "/x").ok());  // idempotent
+  EXPECT_EQ(ListDir(dir_)->size(), 1u);
+}
+
+TEST_F(FileUtilTest, MissingFileErrors) {
+  EXPECT_FALSE(ReadFileToString(dir_ + "/nope").ok());
+  EXPECT_FALSE(RandomAccessFile::Open(dir_ + "/nope").ok());
+  EXPECT_FALSE(FileExists(dir_ + "/nope"));
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/storage/sstable.h"
+
+namespace ss {
+namespace {
+
+class SsTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ss_sst_" + std::to_string(reinterpret_cast<uintptr_t>(this));
+    ASSERT_TRUE(CreateDirIfMissing(dir_).ok());
+    path_ = dir_ + "/table.sst";
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveDirRecursive(dir_).ok()); }
+
+  static std::string Key(int i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key%06d", i);
+    return buf;
+  }
+
+  void BuildTable(int n, int stride = 1) {
+    auto builder = SstBuilder::Create(path_);
+    ASSERT_TRUE(builder.ok());
+    for (int i = 0; i < n; i += stride) {
+      ASSERT_TRUE(builder->Add(Key(i), false, "value" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(builder->Finish().ok());
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(SsTableTest, BuildAndGet) {
+  BuildTable(1000);
+  auto table = SsTable::Open(path_, 1);
+  ASSERT_TRUE(table.ok());
+  BlockCache cache(1 << 20);
+  for (int i : {0, 1, 499, 999}) {
+    auto result = (*table)->Get(Key(i), &cache);
+    ASSERT_TRUE(result.ok()) << i;
+    EXPECT_EQ(result->value, "value" + std::to_string(i));
+    EXPECT_FALSE(result->tombstone);
+  }
+  EXPECT_GT((*table)->block_count(), 1u);  // multi-block at 1000 entries
+}
+
+TEST_F(SsTableTest, MissingKeysNotFound) {
+  BuildTable(100, /*stride=*/2);  // only even keys
+  auto table = SsTable::Open(path_, 1);
+  ASSERT_TRUE(table.ok());
+  BlockCache cache(1 << 20);
+  EXPECT_EQ((*table)->Get(Key(1), &cache).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*table)->Get("aaaa", &cache).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*table)->Get("zzzz", &cache).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SsTableTest, TombstonesSurface) {
+  auto builder = SstBuilder::Create(path_);
+  ASSERT_TRUE(builder->Add("alive", false, "v").ok());
+  ASSERT_TRUE(builder->Add("dead", true, "").ok());
+  ASSERT_TRUE(builder->Finish().ok());
+  auto table = SsTable::Open(path_, 1);
+  BlockCache cache(1 << 20);
+  auto dead = (*table)->Get("dead", &cache);
+  ASSERT_TRUE(dead.ok());
+  EXPECT_TRUE(dead->tombstone);
+}
+
+TEST_F(SsTableTest, OutOfOrderKeysRejected) {
+  auto builder = SstBuilder::Create(path_);
+  ASSERT_TRUE(builder->Add("b", false, "1").ok());
+  EXPECT_FALSE(builder->Add("a", false, "2").ok());
+  EXPECT_FALSE(builder->Add("b", false, "3").ok());  // duplicates rejected too
+}
+
+TEST_F(SsTableTest, IteratorFullScan) {
+  BuildTable(500);
+  auto table = SsTable::Open(path_, 1);
+  BlockCache cache(1 << 20);
+  SsTable::Iterator iter(table->get(), &cache);
+  ASSERT_TRUE(iter.Seek("").ok());
+  int count = 0;
+  std::string prev;
+  while (iter.Valid()) {
+    EXPECT_GT(iter.entry().key, prev);
+    prev = iter.entry().key;
+    ++count;
+    ASSERT_TRUE(iter.Next().ok());
+  }
+  EXPECT_EQ(count, 500);
+}
+
+TEST_F(SsTableTest, IteratorSeekMidAndBetween) {
+  BuildTable(100, /*stride=*/2);  // keys 0,2,4,...
+  auto table = SsTable::Open(path_, 1);
+  BlockCache cache(1 << 20);
+  SsTable::Iterator iter(table->get(), &cache);
+  ASSERT_TRUE(iter.Seek(Key(50)).ok());
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(iter.entry().key, Key(50));
+  // Seek to a missing key lands on the successor.
+  ASSERT_TRUE(iter.Seek(Key(51)).ok());
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(iter.entry().key, Key(52));
+  // Seek past the end invalidates.
+  ASSERT_TRUE(iter.Seek("zzz").ok());
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST_F(SsTableTest, CorruptedBlockDetected) {
+  BuildTable(1000);
+  auto contents = ReadFileToString(path_);
+  ASSERT_TRUE(contents.ok());
+  std::string data = *contents;
+  data[100] ^= 0xff;  // flip a data-block byte
+  ASSERT_TRUE(WriteFileAtomic(path_, data).ok());
+  auto table = SsTable::Open(path_, 1);
+  ASSERT_TRUE(table.ok());  // index is intact
+  BlockCache cache(1 << 20);
+  auto result = (*table)->Get(Key(0), &cache);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(SsTableTest, BadMagicRejected) {
+  BuildTable(10);
+  auto contents = ReadFileToString(path_);
+  std::string data = *contents;
+  data[data.size() - 1] ^= 0xff;
+  ASSERT_TRUE(WriteFileAtomic(path_, data).ok());
+  EXPECT_EQ(SsTable::Open(path_, 1).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(SsTableTest, BlockCacheServesRepeatReads) {
+  BuildTable(1000);
+  auto table = SsTable::Open(path_, 1);
+  BlockCache cache(1 << 20);
+  ASSERT_TRUE((*table)->Get(Key(500), &cache).ok());
+  uint64_t misses_after_first = cache.misses();
+  ASSERT_TRUE((*table)->Get(Key(500), &cache).ok());
+  EXPECT_EQ(cache.misses(), misses_after_first);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "tools/cli.h"
+
+namespace ss {
+namespace {
+
+TEST(ParseDecaySpec, PowerLaw) {
+  auto decay = ParseDecaySpec("powerlaw(1,1,16,1)");
+  ASSERT_TRUE(decay.ok());
+  EXPECT_EQ((*decay)->Describe(), "PowerLaw(1,1,16,1)");
+  EXPECT_TRUE(ParseDecaySpec("PL(1, 2, 5, 1)").ok());  // alias + spaces
+}
+
+TEST(ParseDecaySpec, Exponential) {
+  auto decay = ParseDecaySpec("exponential(2,1,1)");
+  ASSERT_TRUE(decay.ok());
+  EXPECT_EQ((*decay)->WindowLength(3), 8u);
+  EXPECT_TRUE(ParseDecaySpec("exp(2.5,4,2)").ok());
+}
+
+TEST(ParseDecaySpec, Uniform) {
+  auto decay = ParseDecaySpec("uniform(64)");
+  ASSERT_TRUE(decay.ok());
+  EXPECT_EQ((*decay)->WindowLength(100), 64u);
+}
+
+TEST(ParseDecaySpec, Rejections) {
+  EXPECT_FALSE(ParseDecaySpec("powerlaw(0,1,1,1)").ok());   // p < 1
+  EXPECT_FALSE(ParseDecaySpec("powerlaw(1,1,1)").ok());     // arity
+  EXPECT_FALSE(ParseDecaySpec("exponential(1,1,1)").ok());  // b <= 1
+  EXPECT_FALSE(ParseDecaySpec("uniform(0)").ok());
+  EXPECT_FALSE(ParseDecaySpec("linear(1)").ok());
+  EXPECT_FALSE(ParseDecaySpec("powerlaw(1,1,1,1").ok());    // missing paren
+  EXPECT_FALSE(ParseDecaySpec("powerlaw(1,x,1,1)").ok());   // not a number
+}
+
+TEST(ParseOperatorSpec, AllNames) {
+  EXPECT_TRUE(ParseOperatorSpec("agg").ok());
+  EXPECT_TRUE(ParseOperatorSpec("micro").ok());
+  auto full = ParseOperatorSpec("FULL");
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full->bloom);
+  EXPECT_TRUE(full->reservoir);
+  EXPECT_FALSE(ParseOperatorSpec("everything").ok());
+}
+
+TEST(ParseQueryOp, AllNamesAndAliases) {
+  EXPECT_EQ(*ParseQueryOp("count"), QueryOp::kCount);
+  EXPECT_EQ(*ParseQueryOp("SUM"), QueryOp::kSum);
+  EXPECT_EQ(*ParseQueryOp("avg"), QueryOp::kMean);
+  EXPECT_EQ(*ParseQueryOp("exists"), QueryOp::kExistence);
+  EXPECT_EQ(*ParseQueryOp("freq"), QueryOp::kFrequency);
+  EXPECT_EQ(*ParseQueryOp("percentile"), QueryOp::kQuantile);
+  EXPECT_EQ(*ParseQueryOp("range"), QueryOp::kValueRangeCount);
+  EXPECT_FALSE(ParseQueryOp("median").ok());
+}
+
+TEST(ParseArgs, FlagsAndPositional) {
+  const char* argv[] = {"prog", "cmd", "--dir", "/tmp/x", "--stream", "3", "pos1",
+                        "--flag=inline"};
+  auto args = ParseArgs(8, argv, 2);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->flags.at("dir"), "/tmp/x");
+  EXPECT_EQ(args->flags.at("stream"), "3");
+  EXPECT_EQ(args->flags.at("flag"), "inline");
+  ASSERT_EQ(args->positional.size(), 1u);
+  EXPECT_EQ(args->positional[0], "pos1");
+  EXPECT_EQ(args->GetOr("missing", "fallback"), "fallback");
+}
+
+TEST(ParseArgs, FlagWithoutValueRejected) {
+  const char* argv[] = {"prog", "cmd", "--dir"};
+  EXPECT_FALSE(ParseArgs(3, argv, 2).ok());
+  const char* argv2[] = {"prog", "cmd", "--a", "--b", "1"};
+  EXPECT_FALSE(ParseArgs(5, argv2, 2).ok());
+}
+
+TEST(ParseCsvLine, ValidAndInvalid) {
+  auto event = ParseCsvLine("123, 4.5");
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(event->ts, 123);
+  EXPECT_DOUBLE_EQ(event->value, 4.5);
+  EXPECT_EQ(ParseCsvLine("# comment").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ParseCsvLine("").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(ParseCsvLine("123").ok());
+  EXPECT_FALSE(ParseCsvLine("abc,1").ok());
+  EXPECT_FALSE(ParseCsvLine("1,abc").ok());
+  auto negative = ParseCsvLine("-5,-2.5");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative->ts, -5);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,49 @@
+#!/bin/sh
+# End-to-end exercise of the sstool CLI against a throwaway durable store.
+# Usage: sstool_e2e.sh <path-to-sstool>
+set -eu
+
+SSTOOL="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$SSTOOL" create --dir "$DIR/store" --decay 'powerlaw(1,1,1,1)' --ops full --stream 7
+
+# Ingest 1000 events (ts = i, value = i % 10) from stdin.
+i=1
+while [ $i -le 1000 ]; do
+  echo "$i,$((i % 10))"
+  i=$((i + 1))
+done | "$SSTOOL" ingest --dir "$DIR/store" --stream 7
+
+OUT="$("$SSTOOL" query --dir "$DIR/store" --stream 7 --op count --t1 1 --t2 1000)"
+echo "$OUT"
+case "$OUT" in
+  *"estimate: 1000"*) ;;
+  *) echo "FAIL: expected exact count 1000"; exit 1 ;;
+esac
+
+OUT="$("$SSTOOL" query --dir "$DIR/store" --stream 7 --op exists --t1 1 --t2 1000 --value 3)"
+case "$OUT" in
+  *"answer: yes"*) ;;
+  *) echo "FAIL: expected membership yes"; exit 1 ;;
+esac
+
+# Landmark round trip.
+"$SSTOOL" landmark --dir "$DIR/store" --stream 7 --begin 1001
+echo "1001,999" | "$SSTOOL" ingest --dir "$DIR/store" --stream 7
+"$SSTOOL" landmark --dir "$DIR/store" --stream 7 --end 1001
+OUT="$("$SSTOOL" query --dir "$DIR/store" --stream 7 --op max --t1 1 --t2 1001)"
+case "$OUT" in
+  *"estimate: 999"*) ;;
+  *) echo "FAIL: expected landmark max 999"; exit 1 ;;
+esac
+
+"$SSTOOL" info --dir "$DIR/store" | grep -q "PowerLaw(1,1,1,1)"
+"$SSTOOL" delete --dir "$DIR/store" --stream 7
+if "$SSTOOL" info --dir "$DIR/store" | grep -q "^ *7 "; then
+  echo "FAIL: stream 7 still listed after delete"
+  exit 1
+fi
+
+echo "sstool e2e: OK"

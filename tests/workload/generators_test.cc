@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/analytics/outlier.h"
+#include "src/stats/welford.h"
+#include "src/workload/generators.h"
+
+namespace ss {
+namespace {
+
+TEST(SyntheticStream, DeterministicForSeed) {
+  SyntheticStreamSpec spec;
+  spec.seed = 5;
+  SyntheticStream a(spec);
+  SyntheticStream b(spec);
+  for (int i = 0; i < 1000; ++i) {
+    Event ea = a.Next();
+    Event eb = b.Next();
+    EXPECT_EQ(ea.ts, eb.ts);
+    EXPECT_EQ(ea.value, eb.value);
+  }
+}
+
+TEST(SyntheticStream, MonotoneTimestamps) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kParetoInfiniteVariance,
+                           ArrivalKind::kParetoFiniteVariance, ArrivalKind::kRegular}) {
+    SyntheticStreamSpec spec;
+    spec.arrival = kind;
+    spec.mean_interarrival = 3.0;
+    SyntheticStream stream(spec);
+    Timestamp last = -1;
+    for (int i = 0; i < 5000; ++i) {
+      Event e = stream.Next();
+      EXPECT_GE(e.ts, last);
+      last = e.ts;
+    }
+  }
+}
+
+TEST(SyntheticStream, ValuesInUniverse) {
+  SyntheticStreamSpec spec;
+  spec.value_universe = 100;
+  SyntheticStream stream(spec);
+  for (int i = 0; i < 2000; ++i) {
+    Event e = stream.Next();
+    EXPECT_GE(e.value, 0.0);
+    EXPECT_LT(e.value, 100.0);
+    EXPECT_EQ(e.value, static_cast<double>(static_cast<int64_t>(e.value)));  // integral
+  }
+}
+
+TEST(SyntheticStream, ParetoHeavierTailThanPoisson) {
+  SyntheticStreamSpec poisson_spec;
+  poisson_spec.arrival = ArrivalKind::kPoisson;
+  poisson_spec.mean_interarrival = 10.0;
+  SyntheticStreamSpec pareto_spec = poisson_spec;
+  pareto_spec.arrival = ArrivalKind::kParetoInfiniteVariance;
+
+  auto max_gap = [](SyntheticStream& s) {
+    Timestamp last = s.Next().ts;
+    Timestamp worst = 0;
+    for (int i = 0; i < 50000; ++i) {
+      Timestamp t = s.Next().ts;
+      worst = std::max(worst, t - last);
+      last = t;
+    }
+    return worst;
+  };
+  SyntheticStream poisson(poisson_spec);
+  SyntheticStream pareto(pareto_spec);
+  EXPECT_GT(max_gap(pareto), 3 * max_gap(poisson));
+}
+
+TEST(ClusterTrace, OutlierHeavyLikePaper) {
+  // The Google trace has outliers in ~60% of intervals (§7.1.2); the
+  // generator should land in that regime under the boxplot test.
+  ClusterTraceGenerator gen(60, 0.02, 42);  // sample every minute
+  std::vector<Event> events;
+  for (int i = 0; i < 24 * 60 * 14; ++i) {  // two weeks of minutes
+    events.push_back(gen.Next());
+  }
+  Timestamp t_end = events.back().ts + 1;
+  OutlierReport report = DetectOutliers(events, events.front().ts, t_end, 3600);
+  double frac =
+      static_cast<double>(report.flagged) / static_cast<double>(report.interval_has_outlier.size());
+  EXPECT_GT(frac, 0.35);
+  EXPECT_LT(frac, 0.85);
+}
+
+TEST(ClusterTrace, ValuesPlausible) {
+  ClusterTraceGenerator gen(60, 0.02, 1);
+  for (int i = 0; i < 10000; ++i) {
+    Event e = gen.Next();
+    EXPECT_GE(e.value, 0.0);
+    EXPECT_LE(e.value, 4.0);
+  }
+}
+
+TEST(MLabTrace, ZipfSkewInIps) {
+  MLabTraceGenerator gen(1.0, 10000, 1.1, 9);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[static_cast<int64_t>(gen.Next().value)];
+  }
+  // Rank-1 IP dominates rank-100 by a large factor.
+  EXPECT_GT(counts[1], counts[100] * 10);
+}
+
+TEST(TsmBackup, HourlyCadenceAndFailures) {
+  TsmBackupGenerator gen(3, 0.01, 100);
+  int failures = 0;
+  Timestamp last = 0;
+  WelfordAccumulator sizes;
+  for (int i = 0; i < 20000; ++i) {
+    Event e = gen.Next();
+    EXPECT_EQ(e.ts - last, 3600);
+    last = e.ts;
+    if (e.value == 0.0) {
+      ++failures;
+    } else {
+      sizes.Add(e.value);
+    }
+  }
+  EXPECT_NEAR(failures, 200, 80);  // ~1% failure rate
+  EXPECT_GT(sizes.Mean(), 0.0);
+}
+
+TEST(ForecastSeries, ShapesDiffer) {
+  auto econ = GenerateForecastSeries(ForecastDataset::kEcon, 1000, 1);
+  auto wiki = GenerateForecastSeries(ForecastDataset::kWiki, 1000, 1);
+  auto noaa = GenerateForecastSeries(ForecastDataset::kNoaa, 1000, 1);
+  ASSERT_EQ(econ.size(), 1000u);
+  ASSERT_EQ(wiki.size(), 1000u);
+  ASSERT_EQ(noaa.size(), 1000u);
+  // Econ trends upward strongly.
+  double econ_head = 0;
+  double econ_tail = 0;
+  for (int i = 0; i < 100; ++i) {
+    econ_head += econ[static_cast<size_t>(i)].value;
+    econ_tail += econ[static_cast<size_t>(900 + i)].value;
+  }
+  EXPECT_GT(econ_tail, econ_head + 1000.0);
+  // NOAA oscillates around a stable mean (no strong trend).
+  double noaa_head = 0;
+  double noaa_tail = 0;
+  for (int i = 0; i < 365; ++i) {
+    noaa_head += noaa[static_cast<size_t>(i)].value;
+    noaa_tail += noaa[static_cast<size_t>(635 - 365 + i + 365)].value;
+  }
+  EXPECT_NEAR(noaa_head / 365, noaa_tail / 365, 2.0);
+}
+
+TEST(ForecastSeries, Deterministic) {
+  auto a = GenerateForecastSeries(ForecastDataset::kWiki, 300, 7);
+  auto b = GenerateForecastSeries(ForecastDataset::kWiki, 300, 7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,198 @@
+#include "tools/cli.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace ss {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string StripSpaces(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Splits "name(a,b,c)" into name and numeric args.
+Status SplitCall(const std::string& spec, std::string* name, std::vector<double>* args) {
+  std::string s = StripSpaces(spec);
+  size_t open = s.find('(');
+  if (open == std::string::npos || s.back() != ')') {
+    return Status::InvalidArgument("expected name(args...): " + spec);
+  }
+  *name = Lower(s.substr(0, open));
+  std::string body = s.substr(open + 1, s.size() - open - 2);
+  args->clear();
+  if (body.empty()) {
+    return Status::Ok();
+  }
+  std::stringstream ss(body);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    try {
+      size_t used = 0;
+      double v = std::stod(token, &used);
+      if (used != token.size()) {
+        return Status::InvalidArgument("bad number '" + token + "' in " + spec);
+      }
+      args->push_back(v);
+    } catch (...) {
+      return Status::InvalidArgument("bad number '" + token + "' in " + spec);
+    }
+  }
+  return Status::Ok();
+}
+
+bool IsPositiveInteger(double v, uint64_t max = UINT32_MAX) {
+  return v >= 1 && v <= static_cast<double>(max) && v == static_cast<double>(static_cast<uint64_t>(v));
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const DecayFunction>> ParseDecaySpec(const std::string& spec) {
+  std::string name;
+  std::vector<double> args;
+  SS_RETURN_IF_ERROR(SplitCall(spec, &name, &args));
+  if (name == "powerlaw" || name == "power" || name == "pl") {
+    if (args.size() != 4 || !IsPositiveInteger(args[0]) || args[1] < 0 ||
+        !IsPositiveInteger(args[2]) || !IsPositiveInteger(args[3])) {
+      return Status::InvalidArgument("powerlaw needs (p>=1, q>=0, R>=1, S>=1): " + spec);
+    }
+    return std::shared_ptr<const DecayFunction>(std::make_shared<PowerLawDecay>(
+        static_cast<uint32_t>(args[0]), static_cast<uint32_t>(args[1]),
+        static_cast<uint32_t>(args[2]), static_cast<uint32_t>(args[3])));
+  }
+  if (name == "exponential" || name == "exp") {
+    if (args.size() != 3 || !(args[0] > 1.0) || !IsPositiveInteger(args[1]) ||
+        !IsPositiveInteger(args[2])) {
+      return Status::InvalidArgument("exponential needs (b>1, R>=1, S>=1): " + spec);
+    }
+    return std::shared_ptr<const DecayFunction>(std::make_shared<ExponentialDecay>(
+        args[0], static_cast<uint32_t>(args[1]), static_cast<uint32_t>(args[2])));
+  }
+  if (name == "uniform") {
+    if (args.size() != 1 || !IsPositiveInteger(args[0], UINT64_MAX >> 1)) {
+      return Status::InvalidArgument("uniform needs (window_length>=1): " + spec);
+    }
+    return std::shared_ptr<const DecayFunction>(
+        std::make_shared<UniformDecay>(static_cast<uint64_t>(args[0])));
+  }
+  return Status::InvalidArgument("unknown decay family: " + name);
+}
+
+StatusOr<OperatorSet> ParseOperatorSpec(const std::string& spec) {
+  std::string name = Lower(StripSpaces(spec));
+  if (name == "agg" || name == "aggregates") {
+    return OperatorSet::AggregatesOnly();
+  }
+  if (name == "micro" || name == "microbench") {
+    return OperatorSet::Microbench();
+  }
+  if (name == "full") {
+    return OperatorSet::Full();
+  }
+  return Status::InvalidArgument("unknown operator set (agg|micro|full): " + spec);
+}
+
+StatusOr<QueryOp> ParseQueryOp(const std::string& name) {
+  std::string op = Lower(StripSpaces(name));
+  if (op == "count") {
+    return QueryOp::kCount;
+  }
+  if (op == "sum") {
+    return QueryOp::kSum;
+  }
+  if (op == "mean" || op == "avg" || op == "average") {
+    return QueryOp::kMean;
+  }
+  if (op == "min") {
+    return QueryOp::kMin;
+  }
+  if (op == "max") {
+    return QueryOp::kMax;
+  }
+  if (op == "exists" || op == "existence" || op == "member") {
+    return QueryOp::kExistence;
+  }
+  if (op == "freq" || op == "frequency") {
+    return QueryOp::kFrequency;
+  }
+  if (op == "distinct" || op == "cardinality") {
+    return QueryOp::kDistinct;
+  }
+  if (op == "quantile" || op == "percentile") {
+    return QueryOp::kQuantile;
+  }
+  if (op == "range" || op == "valuerange" || op == "selection") {
+    return QueryOp::kValueRangeCount;
+  }
+  return Status::InvalidArgument("unknown query op: " + name);
+}
+
+StatusOr<ParsedArgs> ParseArgs(int argc, const char* const* argv, int begin) {
+  ParsedArgs out;
+  for (int i = begin; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string key = arg.substr(2);
+      if (key.empty()) {
+        return Status::InvalidArgument("empty flag name");
+      }
+      // --key=value form.
+      size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        out.flags[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        return Status::InvalidArgument("flag --" + key + " needs a value");
+      }
+      out.flags[key] = argv[++i];
+    } else {
+      out.positional.push_back(arg);
+    }
+  }
+  return out;
+}
+
+StatusOr<Event> ParseCsvLine(const std::string& line) {
+  std::string s = StripSpaces(line);
+  if (s.empty() || s[0] == '#') {
+    return Status::NotFound("comment or blank line");
+  }
+  size_t comma = s.find(',');
+  if (comma == std::string::npos) {
+    return Status::InvalidArgument("expected ts,value: " + line);
+  }
+  Event event;
+  try {
+    size_t used = 0;
+    event.ts = std::stoll(s.substr(0, comma), &used);
+    if (used != comma) {
+      return Status::InvalidArgument("bad timestamp: " + line);
+    }
+    std::string value_str = s.substr(comma + 1);
+    event.value = std::stod(value_str, &used);
+    if (used != value_str.size()) {
+      return Status::InvalidArgument("bad value: " + line);
+    }
+  } catch (...) {
+    return Status::InvalidArgument("bad ts,value line: " + line);
+  }
+  return event;
+}
+
+}  // namespace ss

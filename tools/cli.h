@@ -1,0 +1,48 @@
+// Parsing helpers for the sstool command-line client, split out so they can
+// be unit-tested: decay-function specs, operator-set names, query operators,
+// and a tiny --flag value argument parser.
+#ifndef SUMMARYSTORE_TOOLS_CLI_H_
+#define SUMMARYSTORE_TOOLS_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/core/stream.h"
+
+namespace ss {
+
+// "powerlaw(p,q,R,S)" | "exponential(b,R,S)" | "uniform(W)"
+// (case-insensitive, spaces allowed).
+StatusOr<std::shared_ptr<const DecayFunction>> ParseDecaySpec(const std::string& spec);
+
+// "agg" | "aggregates" | "micro" | "microbench" | "full"
+StatusOr<OperatorSet> ParseOperatorSpec(const std::string& spec);
+
+// "count" | "sum" | "mean" | "min" | "max" | "exists" | "existence" |
+// "freq" | "frequency" | "distinct" | "quantile"
+StatusOr<QueryOp> ParseQueryOp(const std::string& name);
+
+// Splits {"--a", "1", "--b", "2", "pos"} into flags {a:1, b:2} and
+// positional args. A flag without a following value (or followed by another
+// flag) is an error.
+struct ParsedArgs {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  bool Has(const std::string& key) const { return flags.contains(key); }
+  std::string GetOr(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+StatusOr<ParsedArgs> ParseArgs(int argc, const char* const* argv, int begin);
+
+// Parses one "ts,value" CSV line (ignores surrounding spaces; '#' comments
+// and blank lines yield nullopt-equivalent via kNotFound).
+StatusOr<Event> ParseCsvLine(const std::string& line);
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_TOOLS_CLI_H_

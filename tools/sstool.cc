@@ -1,0 +1,290 @@
+// sstool — command-line client for a durable SummaryStore directory.
+//
+//   sstool create  --dir D --decay "powerlaw(1,1,1,1)" [--ops agg|micro|full]
+//                  [--stream N] [--raw-threshold K] [--poisson]
+//                  [--time-windowing 1] [--reorder N]
+//   sstool ingest  --dir D --stream N [--csv FILE]       (default: stdin, "ts,value" lines)
+//   sstool query   --dir D --stream N --op count|sum|mean|min|max|exists|freq|distinct|
+//                  quantile|range --t1 T --t2 T [--value V] [--q Q]
+//                  [--vlo A --vhi B] [--confidence C]
+//   sstool landmark --dir D --stream N --begin T | --end T
+//   sstool info    --dir D [--stream N]
+//   sstool delete  --dir D --stream N
+//
+// Exit code 0 on success; errors go to stderr.
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "src/core/summary_store.h"
+#include "tools/cli.h"
+
+namespace ss {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "sstool: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sstool <create|ingest|query|landmark|info|delete> --dir DIR [flags]\n"
+               "run with a command and no flags for per-command help in the header comment\n");
+  return 2;
+}
+
+StatusOr<std::unique_ptr<SummaryStore>> OpenStore(const ParsedArgs& args) {
+  if (!args.Has("dir")) {
+    return Status::InvalidArgument("--dir is required");
+  }
+  StoreOptions options;
+  options.dir = args.flags.at("dir");
+  return SummaryStore::Open(options);
+}
+
+StatusOr<StreamId> RequiredStream(const ParsedArgs& args) {
+  if (!args.Has("stream")) {
+    return Status::InvalidArgument("--stream is required");
+  }
+  return static_cast<StreamId>(std::stoull(args.flags.at("stream")));
+}
+
+int CmdCreate(const ParsedArgs& args) {
+  auto store = OpenStore(args);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  if (!args.Has("decay")) {
+    return Fail(Status::InvalidArgument("--decay is required, e.g. --decay 'powerlaw(1,1,1,1)'"));
+  }
+  auto decay = ParseDecaySpec(args.flags.at("decay"));
+  if (!decay.ok()) {
+    return Fail(decay.status());
+  }
+  auto ops = ParseOperatorSpec(args.GetOr("ops", "full"));
+  if (!ops.ok()) {
+    return Fail(ops.status());
+  }
+  StreamConfig config;
+  config.decay = *decay;
+  config.operators = *ops;
+  config.raw_threshold = std::stoull(args.GetOr("raw-threshold", "64"));
+  config.arrival_model = args.Has("poisson") ? ArrivalModel::kPoisson : ArrivalModel::kGeneric;
+  if (args.Has("time-windowing")) {
+    config.windowing = WindowingMode::kTimeBased;
+  }
+  config.reorder_buffer = std::stoull(args.GetOr("reorder", "0"));
+
+  StatusOr<StreamId> sid = Status::Ok();
+  if (args.Has("stream")) {
+    StreamId id = static_cast<StreamId>(std::stoull(args.flags.at("stream")));
+    Status s = (*store)->CreateStreamWithId(id, std::move(config));
+    if (!s.ok()) {
+      return Fail(s);
+    }
+    sid = id;
+  } else {
+    sid = (*store)->CreateStream(std::move(config));
+    if (!sid.ok()) {
+      return Fail(sid.status());
+    }
+  }
+  if (Status s = (*store)->Flush(); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("created stream %" PRIu64 " (decay %s)\n", *sid, (*decay)->Describe().c_str());
+  return 0;
+}
+
+int CmdIngest(const ParsedArgs& args) {
+  auto store = OpenStore(args);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  auto sid = RequiredStream(args);
+  if (!sid.ok()) {
+    return Fail(sid.status());
+  }
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (args.Has("csv")) {
+    file.open(args.flags.at("csv"));
+    if (!file) {
+      return Fail(Status::IoError("cannot open " + args.flags.at("csv")));
+    }
+    in = &file;
+  }
+  uint64_t appended = 0;
+  uint64_t skipped = 0;
+  std::string line;
+  while (std::getline(*in, line)) {
+    auto event = ParseCsvLine(line);
+    if (!event.ok()) {
+      if (event.status().code() == StatusCode::kNotFound) {
+        continue;  // blank/comment
+      }
+      ++skipped;
+      std::fprintf(stderr, "skipping: %s\n", event.status().ToString().c_str());
+      continue;
+    }
+    if (Status s = (*store)->Append(*sid, event->ts, event->value); !s.ok()) {
+      ++skipped;
+      std::fprintf(stderr, "skipping: %s\n", s.ToString().c_str());
+      continue;
+    }
+    ++appended;
+  }
+  if (Status s = (*store)->Flush(); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("appended %" PRIu64 " events (%" PRIu64 " skipped)\n", appended, skipped);
+  return 0;
+}
+
+int CmdQuery(const ParsedArgs& args) {
+  auto store = OpenStore(args);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  auto sid = RequiredStream(args);
+  if (!sid.ok()) {
+    return Fail(sid.status());
+  }
+  if (!args.Has("op") || !args.Has("t1") || !args.Has("t2")) {
+    return Fail(Status::InvalidArgument("--op, --t1 and --t2 are required"));
+  }
+  auto op = ParseQueryOp(args.flags.at("op"));
+  if (!op.ok()) {
+    return Fail(op.status());
+  }
+  QuerySpec spec;
+  spec.op = *op;
+  spec.t1 = std::stoll(args.flags.at("t1"));
+  spec.t2 = std::stoll(args.flags.at("t2"));
+  spec.value = std::stod(args.GetOr("value", "0"));
+  spec.quantile_q = std::stod(args.GetOr("q", "0.5"));
+  spec.value_lo = std::stod(args.GetOr("vlo", "0"));
+  spec.value_hi = std::stod(args.GetOr("vhi", "0"));
+  spec.confidence = std::stod(args.GetOr("confidence", "0.95"));
+  auto result = (*store)->Query(*sid, spec);
+  if (!result.ok()) {
+    return Fail(result.status());
+  }
+  if (spec.op == QueryOp::kExistence) {
+    std::printf("answer: %s  (p=%.4f, ci=[%.4f, %.4f])\n",
+                result->bool_answer ? "yes" : "no", result->estimate, result->ci_lo,
+                result->ci_hi);
+  } else {
+    std::printf("estimate: %.6g  %.0f%% CI: [%.6g, %.6g]%s  (windows read: %zu, landmark "
+                "events: %zu)\n",
+                result->estimate, spec.confidence * 100, result->ci_lo, result->ci_hi,
+                result->exact ? "  [exact]" : "", result->windows_read,
+                result->landmark_events);
+  }
+  return 0;
+}
+
+int CmdLandmark(const ParsedArgs& args) {
+  auto store = OpenStore(args);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  auto sid = RequiredStream(args);
+  if (!sid.ok()) {
+    return Fail(sid.status());
+  }
+  Status s = Status::InvalidArgument("pass --begin T or --end T");
+  if (args.Has("begin")) {
+    s = (*store)->BeginLandmark(*sid, std::stoll(args.flags.at("begin")));
+  } else if (args.Has("end")) {
+    s = (*store)->EndLandmark(*sid, std::stoll(args.flags.at("end")));
+  }
+  if (!s.ok()) {
+    return Fail(s);
+  }
+  if (Status flush = (*store)->Flush(); !flush.ok()) {
+    return Fail(flush);
+  }
+  std::printf("ok\n");
+  return 0;
+}
+
+int CmdInfo(const ParsedArgs& args) {
+  auto store = OpenStore(args);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  std::vector<StreamId> ids = (*store)->ListStreams();
+  if (args.Has("stream")) {
+    ids = {static_cast<StreamId>(std::stoull(args.flags.at("stream")))};
+  }
+  std::printf("%8s %12s %10s %10s %12s %14s %s\n", "stream", "events", "windows", "landmarks",
+              "store bytes", "compaction", "decay");
+  for (StreamId id : ids) {
+    auto stream = (*store)->GetStream(id);
+    if (!stream.ok()) {
+      return Fail(stream.status());
+    }
+    uint64_t raw = ((*stream)->element_count() + (*stream)->landmark_element_count()) * 16;
+    uint64_t bytes = (*stream)->SizeBytes();
+    std::printf("%8" PRIu64 " %12" PRIu64 " %10zu %10zu %12" PRIu64 " %13.1fx %s\n", id,
+                (*stream)->element_count(), (*stream)->window_count(),
+                (*stream)->landmark_window_count(), bytes,
+                bytes > 0 ? static_cast<double>(raw) / static_cast<double>(bytes) : 0.0,
+                (*stream)->config().decay->Describe().c_str());
+  }
+  return 0;
+}
+
+int CmdDelete(const ParsedArgs& args) {
+  auto store = OpenStore(args);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  auto sid = RequiredStream(args);
+  if (!sid.ok()) {
+    return Fail(sid.status());
+  }
+  if (Status s = (*store)->DeleteStream(*sid); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("deleted stream %" PRIu64 "\n", *sid);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  auto args = ParseArgs(argc, argv, 2);
+  if (!args.ok()) {
+    return Fail(args.status());
+  }
+  if (command == "create") {
+    return CmdCreate(*args);
+  }
+  if (command == "ingest") {
+    return CmdIngest(*args);
+  }
+  if (command == "query") {
+    return CmdQuery(*args);
+  }
+  if (command == "landmark") {
+    return CmdLandmark(*args);
+  }
+  if (command == "info") {
+    return CmdInfo(*args);
+  }
+  if (command == "delete") {
+    return CmdDelete(*args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ss
+
+int main(int argc, char** argv) { return ss::Main(argc, argv); }
