@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12.dir/bench/bench_fig12.cc.o"
+  "CMakeFiles/bench_fig12.dir/bench/bench_fig12.cc.o.d"
+  "bench/bench_fig12"
+  "bench/bench_fig12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tsm.dir/bench/bench_tsm.cc.o"
+  "CMakeFiles/bench_tsm.dir/bench/bench_tsm.cc.o.d"
+  "bench/bench_tsm"
+  "bench/bench_tsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

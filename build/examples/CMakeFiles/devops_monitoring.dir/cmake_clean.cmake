@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devops_monitoring.dir/devops_monitoring.cpp.o"
+  "CMakeFiles/devops_monitoring.dir/devops_monitoring.cpp.o.d"
+  "devops_monitoring"
+  "devops_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devops_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fintime.dir/fintime.cpp.o"
+  "CMakeFiles/fintime.dir/fintime.cpp.o.d"
+  "fintime"
+  "fintime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fintime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecasting.dir/forecasting.cpp.o"
+  "CMakeFiles/forecasting.dir/forecasting.cpp.o.d"
+  "forecasting"
+  "forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

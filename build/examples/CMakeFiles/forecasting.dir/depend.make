@@ -1,0 +1,2 @@
+# Empty dependencies file for forecasting.
+# This may be replaced when dependencies are built.

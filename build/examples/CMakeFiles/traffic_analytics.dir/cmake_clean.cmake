@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_analytics.dir/traffic_analytics.cpp.o"
+  "CMakeFiles/traffic_analytics.dir/traffic_analytics.cpp.o.d"
+  "traffic_analytics"
+  "traffic_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

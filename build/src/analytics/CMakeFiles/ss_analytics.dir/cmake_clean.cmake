@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_analytics.dir/forecaster.cc.o"
+  "CMakeFiles/ss_analytics.dir/forecaster.cc.o.d"
+  "CMakeFiles/ss_analytics.dir/outlier.cc.o"
+  "CMakeFiles/ss_analytics.dir/outlier.cc.o.d"
+  "CMakeFiles/ss_analytics.dir/reconstruct.cc.o"
+  "CMakeFiles/ss_analytics.dir/reconstruct.cc.o.d"
+  "libss_analytics.a"
+  "libss_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_baseline.dir/enum_store.cc.o"
+  "CMakeFiles/ss_baseline.dir/enum_store.cc.o.d"
+  "CMakeFiles/ss_baseline.dir/exponential_histogram.cc.o"
+  "CMakeFiles/ss_baseline.dir/exponential_histogram.cc.o.d"
+  "libss_baseline.a"
+  "libss_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

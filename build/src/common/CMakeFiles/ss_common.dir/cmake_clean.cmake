@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_common.dir/logging.cc.o"
+  "CMakeFiles/ss_common.dir/logging.cc.o.d"
+  "CMakeFiles/ss_common.dir/serde.cc.o"
+  "CMakeFiles/ss_common.dir/serde.cc.o.d"
+  "libss_common.a"
+  "libss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decay.cc" "src/core/CMakeFiles/ss_core.dir/decay.cc.o" "gcc" "src/core/CMakeFiles/ss_core.dir/decay.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/ss_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/ss_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/operators.cc" "src/core/CMakeFiles/ss_core.dir/operators.cc.o" "gcc" "src/core/CMakeFiles/ss_core.dir/operators.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/ss_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/ss_core.dir/query.cc.o.d"
+  "/root/repo/src/core/stream.cc" "src/core/CMakeFiles/ss_core.dir/stream.cc.o" "gcc" "src/core/CMakeFiles/ss_core.dir/stream.cc.o.d"
+  "/root/repo/src/core/summary_store.cc" "src/core/CMakeFiles/ss_core.dir/summary_store.cc.o" "gcc" "src/core/CMakeFiles/ss_core.dir/summary_store.cc.o.d"
+  "/root/repo/src/core/window.cc" "src/core/CMakeFiles/ss_core.dir/window.cc.o" "gcc" "src/core/CMakeFiles/ss_core.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ss_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ss_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ss_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

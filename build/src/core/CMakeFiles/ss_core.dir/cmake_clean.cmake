@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_core.dir/decay.cc.o"
+  "CMakeFiles/ss_core.dir/decay.cc.o.d"
+  "CMakeFiles/ss_core.dir/estimator.cc.o"
+  "CMakeFiles/ss_core.dir/estimator.cc.o.d"
+  "CMakeFiles/ss_core.dir/operators.cc.o"
+  "CMakeFiles/ss_core.dir/operators.cc.o.d"
+  "CMakeFiles/ss_core.dir/query.cc.o"
+  "CMakeFiles/ss_core.dir/query.cc.o.d"
+  "CMakeFiles/ss_core.dir/stream.cc.o"
+  "CMakeFiles/ss_core.dir/stream.cc.o.d"
+  "CMakeFiles/ss_core.dir/summary_store.cc.o"
+  "CMakeFiles/ss_core.dir/summary_store.cc.o.d"
+  "CMakeFiles/ss_core.dir/window.cc.o"
+  "CMakeFiles/ss_core.dir/window.cc.o.d"
+  "libss_core.a"
+  "libss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

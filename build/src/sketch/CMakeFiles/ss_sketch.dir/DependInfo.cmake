@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/bloom.cc" "src/sketch/CMakeFiles/ss_sketch.dir/bloom.cc.o" "gcc" "src/sketch/CMakeFiles/ss_sketch.dir/bloom.cc.o.d"
+  "/root/repo/src/sketch/cms.cc" "src/sketch/CMakeFiles/ss_sketch.dir/cms.cc.o" "gcc" "src/sketch/CMakeFiles/ss_sketch.dir/cms.cc.o.d"
+  "/root/repo/src/sketch/counting_bloom.cc" "src/sketch/CMakeFiles/ss_sketch.dir/counting_bloom.cc.o" "gcc" "src/sketch/CMakeFiles/ss_sketch.dir/counting_bloom.cc.o.d"
+  "/root/repo/src/sketch/histogram.cc" "src/sketch/CMakeFiles/ss_sketch.dir/histogram.cc.o" "gcc" "src/sketch/CMakeFiles/ss_sketch.dir/histogram.cc.o.d"
+  "/root/repo/src/sketch/hyperloglog.cc" "src/sketch/CMakeFiles/ss_sketch.dir/hyperloglog.cc.o" "gcc" "src/sketch/CMakeFiles/ss_sketch.dir/hyperloglog.cc.o.d"
+  "/root/repo/src/sketch/quantile.cc" "src/sketch/CMakeFiles/ss_sketch.dir/quantile.cc.o" "gcc" "src/sketch/CMakeFiles/ss_sketch.dir/quantile.cc.o.d"
+  "/root/repo/src/sketch/registry.cc" "src/sketch/CMakeFiles/ss_sketch.dir/registry.cc.o" "gcc" "src/sketch/CMakeFiles/ss_sketch.dir/registry.cc.o.d"
+  "/root/repo/src/sketch/reservoir.cc" "src/sketch/CMakeFiles/ss_sketch.dir/reservoir.cc.o" "gcc" "src/sketch/CMakeFiles/ss_sketch.dir/reservoir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_sketch.dir/bloom.cc.o"
+  "CMakeFiles/ss_sketch.dir/bloom.cc.o.d"
+  "CMakeFiles/ss_sketch.dir/cms.cc.o"
+  "CMakeFiles/ss_sketch.dir/cms.cc.o.d"
+  "CMakeFiles/ss_sketch.dir/counting_bloom.cc.o"
+  "CMakeFiles/ss_sketch.dir/counting_bloom.cc.o.d"
+  "CMakeFiles/ss_sketch.dir/histogram.cc.o"
+  "CMakeFiles/ss_sketch.dir/histogram.cc.o.d"
+  "CMakeFiles/ss_sketch.dir/hyperloglog.cc.o"
+  "CMakeFiles/ss_sketch.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/ss_sketch.dir/quantile.cc.o"
+  "CMakeFiles/ss_sketch.dir/quantile.cc.o.d"
+  "CMakeFiles/ss_sketch.dir/registry.cc.o"
+  "CMakeFiles/ss_sketch.dir/registry.cc.o.d"
+  "CMakeFiles/ss_sketch.dir/reservoir.cc.o"
+  "CMakeFiles/ss_sketch.dir/reservoir.cc.o.d"
+  "libss_sketch.a"
+  "libss_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

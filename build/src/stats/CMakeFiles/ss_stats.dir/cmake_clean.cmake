@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_stats.dir/distributions.cc.o"
+  "CMakeFiles/ss_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/ss_stats.dir/special_functions.cc.o"
+  "CMakeFiles/ss_stats.dir/special_functions.cc.o.d"
+  "libss_stats.a"
+  "libss_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/file_util.cc" "src/storage/CMakeFiles/ss_storage.dir/file_util.cc.o" "gcc" "src/storage/CMakeFiles/ss_storage.dir/file_util.cc.o.d"
+  "/root/repo/src/storage/lsm_store.cc" "src/storage/CMakeFiles/ss_storage.dir/lsm_store.cc.o" "gcc" "src/storage/CMakeFiles/ss_storage.dir/lsm_store.cc.o.d"
+  "/root/repo/src/storage/sstable.cc" "src/storage/CMakeFiles/ss_storage.dir/sstable.cc.o" "gcc" "src/storage/CMakeFiles/ss_storage.dir/sstable.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/ss_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/ss_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

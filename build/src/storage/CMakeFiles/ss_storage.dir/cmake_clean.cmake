@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_storage.dir/file_util.cc.o"
+  "CMakeFiles/ss_storage.dir/file_util.cc.o.d"
+  "CMakeFiles/ss_storage.dir/lsm_store.cc.o"
+  "CMakeFiles/ss_storage.dir/lsm_store.cc.o.d"
+  "CMakeFiles/ss_storage.dir/sstable.cc.o"
+  "CMakeFiles/ss_storage.dir/sstable.cc.o.d"
+  "CMakeFiles/ss_storage.dir/wal.cc.o"
+  "CMakeFiles/ss_storage.dir/wal.cc.o.d"
+  "libss_storage.a"
+  "libss_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_workload.dir/generators.cc.o"
+  "CMakeFiles/ss_workload.dir/generators.cc.o.d"
+  "libss_workload.a"
+  "libss_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_util_test.dir/integration/bench_util_test.cc.o"
+  "CMakeFiles/bench_util_test.dir/integration/bench_util_test.cc.o.d"
+  "bench_util_test"
+  "bench_util_test.pdb"
+  "bench_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloom_test.dir/sketch/bloom_test.cc.o"
+  "CMakeFiles/bloom_test.dir/sketch/bloom_test.cc.o.d"
+  "bloom_test"
+  "bloom_test.pdb"
+  "bloom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

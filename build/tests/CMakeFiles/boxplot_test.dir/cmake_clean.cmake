@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boxplot_test.dir/stats/boxplot_test.cc.o"
+  "CMakeFiles/boxplot_test.dir/stats/boxplot_test.cc.o.d"
+  "boxplot_test"
+  "boxplot_test.pdb"
+  "boxplot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boxplot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

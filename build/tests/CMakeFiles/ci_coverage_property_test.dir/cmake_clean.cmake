@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ci_coverage_property_test.dir/core/ci_coverage_property_test.cc.o"
+  "CMakeFiles/ci_coverage_property_test.dir/core/ci_coverage_property_test.cc.o.d"
+  "ci_coverage_property_test"
+  "ci_coverage_property_test.pdb"
+  "ci_coverage_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ci_coverage_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

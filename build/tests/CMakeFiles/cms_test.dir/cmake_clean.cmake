@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cms_test.dir/sketch/cms_test.cc.o"
+  "CMakeFiles/cms_test.dir/sketch/cms_test.cc.o.d"
+  "cms_test"
+  "cms_test.pdb"
+  "cms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

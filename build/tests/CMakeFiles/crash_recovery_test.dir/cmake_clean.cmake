@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_recovery_test.dir/storage/crash_recovery_test.cc.o"
+  "CMakeFiles/crash_recovery_test.dir/storage/crash_recovery_test.cc.o.d"
+  "crash_recovery_test"
+  "crash_recovery_test.pdb"
+  "crash_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enum_store_test.dir/baseline/enum_store_test.cc.o"
+  "CMakeFiles/enum_store_test.dir/baseline/enum_store_test.cc.o.d"
+  "enum_store_test"
+  "enum_store_test.pdb"
+  "enum_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enum_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

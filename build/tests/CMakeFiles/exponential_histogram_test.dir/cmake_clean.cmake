@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exponential_histogram_test.dir/baseline/exponential_histogram_test.cc.o"
+  "CMakeFiles/exponential_histogram_test.dir/baseline/exponential_histogram_test.cc.o.d"
+  "exponential_histogram_test"
+  "exponential_histogram_test.pdb"
+  "exponential_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exponential_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

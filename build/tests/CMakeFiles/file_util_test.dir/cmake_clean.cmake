@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_util_test.dir/storage/file_util_test.cc.o"
+  "CMakeFiles/file_util_test.dir/storage/file_util_test.cc.o.d"
+  "file_util_test"
+  "file_util_test.pdb"
+  "file_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

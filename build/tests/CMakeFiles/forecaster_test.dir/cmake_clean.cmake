@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecaster_test.dir/analytics/forecaster_test.cc.o"
+  "CMakeFiles/forecaster_test.dir/analytics/forecaster_test.cc.o.d"
+  "forecaster_test"
+  "forecaster_test.pdb"
+  "forecaster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecaster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperloglog_test.dir/sketch/hyperloglog_test.cc.o"
+  "CMakeFiles/hyperloglog_test.dir/sketch/hyperloglog_test.cc.o.d"
+  "hyperloglog_test"
+  "hyperloglog_test.pdb"
+  "hyperloglog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperloglog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

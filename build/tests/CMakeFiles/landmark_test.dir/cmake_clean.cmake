@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landmark_test.dir/core/landmark_test.cc.o"
+  "CMakeFiles/landmark_test.dir/core/landmark_test.cc.o.d"
+  "landmark_test"
+  "landmark_test.pdb"
+  "landmark_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landmark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lru_cache_test.dir/common/lru_cache_test.cc.o"
+  "CMakeFiles/lru_cache_test.dir/common/lru_cache_test.cc.o.d"
+  "lru_cache_test"
+  "lru_cache_test.pdb"
+  "lru_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lru_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

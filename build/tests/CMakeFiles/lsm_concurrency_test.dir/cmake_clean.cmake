@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_concurrency_test.dir/storage/lsm_concurrency_test.cc.o"
+  "CMakeFiles/lsm_concurrency_test.dir/storage/lsm_concurrency_test.cc.o.d"
+  "lsm_concurrency_test"
+  "lsm_concurrency_test.pdb"
+  "lsm_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_store_test.dir/storage/lsm_store_test.cc.o"
+  "CMakeFiles/lsm_store_test.dir/storage/lsm_store_test.cc.o.d"
+  "lsm_store_test"
+  "lsm_store_test.pdb"
+  "lsm_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

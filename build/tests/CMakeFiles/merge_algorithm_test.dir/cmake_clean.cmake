@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_algorithm_test.dir/core/merge_algorithm_test.cc.o"
+  "CMakeFiles/merge_algorithm_test.dir/core/merge_algorithm_test.cc.o.d"
+  "merge_algorithm_test"
+  "merge_algorithm_test.pdb"
+  "merge_algorithm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

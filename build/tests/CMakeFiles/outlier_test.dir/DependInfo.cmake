@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytics/outlier_test.cc" "tests/CMakeFiles/outlier_test.dir/analytics/outlier_test.cc.o" "gcc" "tests/CMakeFiles/outlier_test.dir/analytics/outlier_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ss_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ss_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/ss_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ss_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ss_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ss_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantile_test.dir/sketch/quantile_test.cc.o"
+  "CMakeFiles/quantile_test.dir/sketch/quantile_test.cc.o.d"
+  "quantile_test"
+  "quantile_test.pdb"
+  "quantile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

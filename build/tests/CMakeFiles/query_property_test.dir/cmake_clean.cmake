@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_property_test.dir/core/query_property_test.cc.o"
+  "CMakeFiles/query_property_test.dir/core/query_property_test.cc.o.d"
+  "query_property_test"
+  "query_property_test.pdb"
+  "query_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_buffer_test.dir/core/reorder_buffer_test.cc.o"
+  "CMakeFiles/reorder_buffer_test.dir/core/reorder_buffer_test.cc.o.d"
+  "reorder_buffer_test"
+  "reorder_buffer_test.pdb"
+  "reorder_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservoir_test.dir/sketch/reservoir_test.cc.o"
+  "CMakeFiles/reservoir_test.dir/sketch/reservoir_test.cc.o.d"
+  "reservoir_test"
+  "reservoir_test.pdb"
+  "reservoir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservoir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serde_fuzz_test.dir/sketch/serde_fuzz_test.cc.o"
+  "CMakeFiles/serde_fuzz_test.dir/sketch/serde_fuzz_test.cc.o.d"
+  "serde_fuzz_test"
+  "serde_fuzz_test.pdb"
+  "serde_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serde_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

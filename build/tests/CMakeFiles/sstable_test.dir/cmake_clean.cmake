@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstable_test.dir/storage/sstable_test.cc.o"
+  "CMakeFiles/sstable_test.dir/storage/sstable_test.cc.o.d"
+  "sstable_test"
+  "sstable_test.pdb"
+  "sstable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

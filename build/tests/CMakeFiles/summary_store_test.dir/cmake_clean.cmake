@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_store_test.dir/core/summary_store_test.cc.o"
+  "CMakeFiles/summary_store_test.dir/core/summary_store_test.cc.o.d"
+  "summary_store_test"
+  "summary_store_test.pdb"
+  "summary_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

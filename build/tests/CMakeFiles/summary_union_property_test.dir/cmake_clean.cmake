@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_union_property_test.dir/sketch/summary_union_property_test.cc.o"
+  "CMakeFiles/summary_union_property_test.dir/sketch/summary_union_property_test.cc.o.d"
+  "summary_union_property_test"
+  "summary_union_property_test.pdb"
+  "summary_union_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_union_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_windowing_test.dir/core/time_windowing_test.cc.o"
+  "CMakeFiles/time_windowing_test.dir/core/time_windowing_test.cc.o.d"
+  "time_windowing_test"
+  "time_windowing_test.pdb"
+  "time_windowing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_windowing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for time_windowing_test.
+# This may be replaced when dependencies are built.

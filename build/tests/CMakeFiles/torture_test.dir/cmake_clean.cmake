@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torture_test.dir/integration/torture_test.cc.o"
+  "CMakeFiles/torture_test.dir/integration/torture_test.cc.o.d"
+  "torture_test"
+  "torture_test.pdb"
+  "torture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_test.dir/storage/wal_test.cc.o"
+  "CMakeFiles/wal_test.dir/storage/wal_test.cc.o.d"
+  "wal_test"
+  "wal_test.pdb"
+  "wal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/welford_test.dir/stats/welford_test.cc.o"
+  "CMakeFiles/welford_test.dir/stats/welford_test.cc.o.d"
+  "welford_test"
+  "welford_test.pdb"
+  "welford_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/welford_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

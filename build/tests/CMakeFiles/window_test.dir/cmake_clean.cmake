@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_test.dir/core/window_test.cc.o"
+  "CMakeFiles/window_test.dir/core/window_test.cc.o.d"
+  "window_test"
+  "window_test.pdb"
+  "window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

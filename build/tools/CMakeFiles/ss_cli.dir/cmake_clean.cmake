@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_cli.dir/cli.cc.o"
+  "CMakeFiles/ss_cli.dir/cli.cc.o.d"
+  "libss_cli.a"
+  "libss_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstool.dir/sstool.cc.o"
+  "CMakeFiles/sstool.dir/sstool.cc.o.d"
+  "sstool"
+  "sstool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
