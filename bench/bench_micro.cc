@@ -7,6 +7,7 @@
 
 #include "src/baseline/enum_store.h"
 #include "src/core/summary_store.h"
+#include "src/obs/metrics.h"
 #include "src/random/rng.h"
 #include "src/sketch/bloom.h"
 #include "src/sketch/cms.h"
@@ -93,6 +94,26 @@ void BM_StreamAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamAppend)->Arg(0)->Arg(1)->Name("BM_StreamAppend(0=powerlaw,1=exp)");
 
+// Append through the public SummaryStore API, which pays the ss_obs
+// instrumentation (one counter increment + one ScopedTimer histogram record).
+// Compare against BM_StreamAppend to bound the metrics overhead; the
+// acceptance budget is <= 5%.
+void BM_StoreAppend(benchmark::State& state) {
+  auto store = SummaryStore::Open(StoreOptions{}).value();
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  config.operators = OperatorSet::Microbench();
+  config.operators.cms_width = 128;
+  config.raw_threshold = 32;
+  StreamId sid = *store->CreateStream(std::move(config));
+  Timestamp t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Append(sid, ++t, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreAppend);
+
 void BM_EnumAppend(benchmark::State& state) {
   MemoryBackend kv;
   EnumStore store(1, &kv, 4096);
@@ -141,13 +162,70 @@ Timestamp QueryFixture::now_ = 0;
 BENCHMARK_DEFINE_F(QueryFixture, CountByLength)(benchmark::State& state) {
   Timestamp length = state.range(0);
   Rng rng(3);
+  uint64_t windows = 0;
+  uint64_t bytes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
   for (auto _ : state) {
     Timestamp t2 = now_ - 3600 - static_cast<Timestamp>(rng.NextBounded(1000000));
     QuerySpec spec{.t1 = t2 - length, .t2 = t2, .op = QueryOp::kCount};
-    benchmark::DoNotOptimize(store_->Query(sid_, spec));
+    spec.collect_trace = true;
+    auto result = store_->Query(sid_, spec);
+    benchmark::DoNotOptimize(result);
+    if (result.ok() && result->trace != nullptr) {
+      windows += result->trace->windows_scanned;
+      bytes += result->trace->bytes_fetched;
+      hits += result->trace->window_cache_hits;
+      misses += result->trace->window_cache_misses;
+    }
   }
+  auto rate = benchmark::Counter::kAvgIterations;
+  state.counters["windows"] = benchmark::Counter(static_cast<double>(windows), rate);
+  state.counters["bytes_read"] = benchmark::Counter(static_cast<double>(bytes), rate);
+  state.counters["cache_hits"] = benchmark::Counter(static_cast<double>(hits), rate);
+  state.counters["cache_misses"] = benchmark::Counter(static_cast<double>(misses), rate);
 }
 BENCHMARK_REGISTER_F(QueryFixture, CountByLength)->Arg(60)->Arg(3600)->Arg(86400)->Arg(2628000);
+
+// ----------------------------------------------------------------------- obs
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  static Counter& counter = MetricRegistry::Default().GetCounter("ss_bench_counter_total");
+  for (auto _ : state) {
+    counter.Inc();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  static LatencyHistogram& hist = MetricRegistry::Default().GetHistogram("ss_bench_hist_us");
+  uint64_t v = 0;
+  for (auto _ : state) {
+    hist.Record(v++ & 0xFFF);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsScopedTimer(benchmark::State& state) {
+  static LatencyHistogram& hist = MetricRegistry::Default().GetHistogram("ss_bench_timer_us");
+  for (auto _ : state) {
+    ScopedTimer timer(hist);
+    benchmark::DoNotOptimize(&timer);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopedTimer);
+
+// The cost a hot path avoids by caching the reference in a local static.
+void BM_ObsRegistryLookup(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&MetricRegistry::Default().GetCounter("ss_bench_lookup_total"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsRegistryLookup);
 
 // ------------------------------------------------------------------- storage
 

@@ -23,7 +23,7 @@ ss_bench(bench_tsm)
 
 add_executable(bench_micro bench/bench_micro.cc)
 target_link_libraries(bench_micro PRIVATE
-  ss_core ss_baseline ss_workload ss_analytics benchmark::benchmark Threads::Threads)
+  ss_core ss_baseline ss_workload ss_analytics ss_obs benchmark::benchmark Threads::Threads)
 set_target_properties(bench_micro PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 ss_bench(bench_ablation)
 ss_bench(bench_scale)

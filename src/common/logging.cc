@@ -1,10 +1,60 @@
 #include "src/common/logging.h"
 
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
 namespace ss {
+namespace {
+
+// Reads SS_LOG_LEVEL once at first use. Accepts level names (case-insensitive,
+// "warn" and "warning" both work) or the numeric enum values 0-4; anything
+// unrecognized falls back to the kInfo default.
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("SS_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return LogLevel::kInfo;
+  }
+  std::string name(env);
+  for (char& c : name) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (name == "debug" || name == "0") return LogLevel::kDebug;
+  if (name == "info" || name == "1") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning" || name == "2") return LogLevel::kWarning;
+  if (name == "error" || name == "3") return LogLevel::kError;
+  if (name == "fatal" || name == "4") return LogLevel::kFatal;
+  return LogLevel::kInfo;
+}
+
+}  // namespace
 
 LogLevel& MinLogLevel() {
-  static LogLevel level = LogLevel::kInfo;
+  static LogLevel level = InitialLogLevel();
   return level;
 }
 
+namespace log_internal {
+
+void EmitLogLine(const std::string& line) {
+  // One write(2) per message so lines from concurrent threads (or a parent
+  // and child sharing stderr) never interleave mid-line.
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::write(STDERR_FILENO, line.data() + off, line.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return;  // stderr is gone; nothing useful to do
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace log_internal
 }  // namespace ss

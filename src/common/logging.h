@@ -5,17 +5,23 @@
 #define SUMMARYSTORE_SRC_COMMON_LOGGING_H_
 
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
+#include <string>
 
 namespace ss {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
-// Process-wide minimum level; messages below it are dropped.
+// Process-wide minimum level; messages below it are dropped. Initialized from
+// the SS_LOG_LEVEL environment variable (a level name or digit 0-4) on first
+// use; defaults to kInfo.
 LogLevel& MinLogLevel();
 
 namespace log_internal {
+
+// Writes one fully-assembled message to stderr with a single write(2), so
+// concurrent log lines never interleave mid-line.
+void EmitLogLine(const std::string& line);
 
 class LogMessage {
  public:
@@ -26,7 +32,7 @@ class LogMessage {
   ~LogMessage() {
     if (level_ >= MinLogLevel()) {
       stream_ << "\n";
-      std::cerr << stream_.str();
+      EmitLogLine(stream_.str());
     }
     if (level_ == LogLevel::kFatal) {
       std::abort();

@@ -142,11 +142,11 @@ QueryResult FinishAdditive(const Accumulation& acc, const QuerySpec& spec, bool 
   return result;
 }
 
-StatusOr<QueryResult> RunCountOrSum(Stream& stream, const QuerySpec& spec) {
+StatusOr<QueryResult> RunCountOrSum(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
   const bool is_sum = spec.op == QueryOp::kSum;
   const bool poisson = stream.config().arrival_model == ArrivalModel::kPoisson;
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
-                      stream.WindowsOverlapping(spec.t1, spec.t2));
+                      stream.WindowsOverlapping(spec.t1, spec.t2, trace));
   Accumulation acc;
   for (const auto& view : views) {
     Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
@@ -205,10 +205,10 @@ StatusOr<QueryResult> RunCountOrSum(Stream& stream, const QuerySpec& spec) {
   return FinishAdditive(acc, spec, poisson && !is_sum, views.size(), lm_events.size());
 }
 
-StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec) {
+StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
   const bool is_min = spec.op == QueryOp::kMin;
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
-                      stream.WindowsOverlapping(spec.t1, spec.t2));
+                      stream.WindowsOverlapping(spec.t1, spec.t2, trace));
   QueryResult result;
   result.confidence = spec.confidence;
   result.windows_read = views.size();
@@ -258,9 +258,9 @@ StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec) {
   return result;
 }
 
-StatusOr<QueryResult> RunFrequency(Stream& stream, const QuerySpec& spec) {
+StatusOr<QueryResult> RunFrequency(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
-                      stream.WindowsOverlapping(spec.t1, spec.t2));
+                      stream.WindowsOverlapping(spec.t1, spec.t2, trace));
   Accumulation acc;
   for (const auto& view : views) {
     Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
@@ -305,9 +305,9 @@ StatusOr<QueryResult> RunFrequency(Stream& stream, const QuerySpec& spec) {
   return FinishAdditive(acc, spec, /*poisson=*/false, views.size(), lm_events.size());
 }
 
-StatusOr<QueryResult> RunExistence(Stream& stream, const QuerySpec& spec) {
+StatusOr<QueryResult> RunExistence(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
-                      stream.WindowsOverlapping(spec.t1, spec.t2));
+                      stream.WindowsOverlapping(spec.t1, spec.t2, trace));
   QueryResult result;
   result.confidence = spec.confidence;
   result.windows_read = views.size();
@@ -397,9 +397,9 @@ StatusOr<QueryResult> RunExistence(Stream& stream, const QuerySpec& spec) {
   return result;
 }
 
-StatusOr<QueryResult> RunDistinct(Stream& stream, const QuerySpec& spec) {
+StatusOr<QueryResult> RunDistinct(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
-                      stream.WindowsOverlapping(spec.t1, spec.t2));
+                      stream.WindowsOverlapping(spec.t1, spec.t2, trace));
   QueryResult result;
   result.confidence = spec.confidence;
   result.windows_read = views.size();
@@ -460,9 +460,9 @@ StatusOr<QueryResult> RunDistinct(Stream& stream, const QuerySpec& spec) {
   return result;
 }
 
-StatusOr<QueryResult> RunQuantile(Stream& stream, const QuerySpec& spec) {
+StatusOr<QueryResult> RunQuantile(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
-                      stream.WindowsOverlapping(spec.t1, spec.t2));
+                      stream.WindowsOverlapping(spec.t1, spec.t2, trace));
   QueryResult result;
   result.confidence = spec.confidence;
   result.windows_read = views.size();
@@ -515,12 +515,12 @@ StatusOr<QueryResult> RunQuantile(Stream& stream, const QuerySpec& spec) {
   return result;
 }
 
-StatusOr<QueryResult> RunValueRangeCount(Stream& stream, const QuerySpec& spec) {
+StatusOr<QueryResult> RunValueRangeCount(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
   if (!(spec.value_hi > spec.value_lo)) {
     return Status::InvalidArgument("value range [value_lo, value_hi) is empty");
   }
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
-                      stream.WindowsOverlapping(spec.t1, spec.t2));
+                      stream.WindowsOverlapping(spec.t1, spec.t2, trace));
   Accumulation acc;
   for (const auto& view : views) {
     Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
@@ -564,13 +564,15 @@ StatusOr<QueryResult> RunValueRangeCount(Stream& stream, const QuerySpec& spec) 
   return FinishAdditive(acc, spec, /*poisson=*/false, views.size(), lm_events.size());
 }
 
-StatusOr<QueryResult> RunMean(Stream& stream, const QuerySpec& spec) {
+StatusOr<QueryResult> RunMean(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
+  // Mean genuinely walks the windows twice (count + sum); the trace, when
+  // enabled, accumulates both passes.
   QuerySpec count_spec = spec;
   count_spec.op = QueryOp::kCount;
   QuerySpec sum_spec = spec;
   sum_spec.op = QueryOp::kSum;
-  SS_ASSIGN_OR_RETURN(QueryResult count, RunQuery(stream, count_spec));
-  SS_ASSIGN_OR_RETURN(QueryResult sum, RunQuery(stream, sum_spec));
+  SS_ASSIGN_OR_RETURN(QueryResult count, RunCountOrSum(stream, count_spec, trace));
+  SS_ASSIGN_OR_RETURN(QueryResult sum, RunCountOrSum(stream, sum_spec, trace));
   QueryResult result;
   result.confidence = spec.confidence;
   result.windows_read = count.windows_read;
@@ -619,6 +621,34 @@ const char* QueryOpName(QueryOp op) {
   return "unknown";
 }
 
+namespace {
+
+StatusOr<QueryResult> Dispatch(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
+  switch (spec.op) {
+    case QueryOp::kCount:
+    case QueryOp::kSum:
+      return RunCountOrSum(stream, spec, trace);
+    case QueryOp::kMean:
+      return RunMean(stream, spec, trace);
+    case QueryOp::kMin:
+    case QueryOp::kMax:
+      return RunMinMax(stream, spec, trace);
+    case QueryOp::kExistence:
+      return RunExistence(stream, spec, trace);
+    case QueryOp::kFrequency:
+      return RunFrequency(stream, spec, trace);
+    case QueryOp::kDistinct:
+      return RunDistinct(stream, spec, trace);
+    case QueryOp::kQuantile:
+      return RunQuantile(stream, spec, trace);
+    case QueryOp::kValueRangeCount:
+      return RunValueRangeCount(stream, spec, trace);
+  }
+  return Status::InvalidArgument("unknown query operator");
+}
+
+}  // namespace
+
 StatusOr<QueryResult> RunQuery(Stream& stream, const QuerySpec& spec) {
   if (spec.t2 < spec.t1) {
     return Status::InvalidArgument("query range end precedes start");
@@ -626,27 +656,28 @@ StatusOr<QueryResult> RunQuery(Stream& stream, const QuerySpec& spec) {
   if (spec.confidence <= 0.0 || spec.confidence >= 1.0) {
     return Status::InvalidArgument("confidence must be in (0,1)");
   }
-  switch (spec.op) {
-    case QueryOp::kCount:
-    case QueryOp::kSum:
-      return RunCountOrSum(stream, spec);
-    case QueryOp::kMean:
-      return RunMean(stream, spec);
-    case QueryOp::kMin:
-    case QueryOp::kMax:
-      return RunMinMax(stream, spec);
-    case QueryOp::kExistence:
-      return RunExistence(stream, spec);
-    case QueryOp::kFrequency:
-      return RunFrequency(stream, spec);
-    case QueryOp::kDistinct:
-      return RunDistinct(stream, spec);
-    case QueryOp::kQuantile:
-      return RunQuantile(stream, spec);
-    case QueryOp::kValueRangeCount:
-      return RunValueRangeCount(stream, spec);
+  if (!spec.collect_trace) {
+    return Dispatch(stream, spec, nullptr);
   }
-  return Status::InvalidArgument("unknown query operator");
+  auto trace = std::make_shared<QueryTrace>();
+  trace->op = QueryOpName(spec.op);
+  trace->t1 = spec.t1;
+  trace->t2 = spec.t2;
+  Stopwatch watch;
+  StatusOr<QueryResult> result = Dispatch(stream, spec, trace.get());
+  if (!result.ok()) {
+    return result;
+  }
+  trace->elapsed_micros = watch.ElapsedMicros();
+  trace->landmark_windows = stream.LandmarksOverlapping(spec.t1, spec.t2).size();
+  trace->landmark_events = result->landmark_events;
+  trace->estimate = result->estimate;
+  trace->ci_lo = result->ci_lo;
+  trace->ci_hi = result->ci_hi;
+  trace->ci_width = result->CiWidth();
+  trace->exact = result->exact;
+  result->trace = std::move(trace);
+  return result;
 }
 
 }  // namespace ss

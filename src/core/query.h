@@ -7,7 +7,10 @@
 #ifndef SUMMARYSTORE_SRC_CORE_QUERY_H_
 #define SUMMARYSTORE_SRC_CORE_QUERY_H_
 
+#include <memory>
+
 #include "src/core/stream.h"
+#include "src/obs/trace.h"
 
 namespace ss {
 
@@ -37,6 +40,9 @@ struct QuerySpec {
   double value_lo = 0.0;    // kValueRangeCount operands: [value_lo, value_hi)
   double value_hi = 0.0;
   double confidence = 0.95;
+  // Opt-in explain mode: the engine records a QueryTrace (windows scanned,
+  // bytes fetched, cache hits/misses, CI width) into QueryResult::trace.
+  bool collect_trace = false;
 };
 
 struct QueryResult {
@@ -53,6 +59,9 @@ struct QueryResult {
   bool exact = true;
   size_t windows_read = 0;
   size_t landmark_events = 0;
+  // Populated only when QuerySpec::collect_trace was set (shared so results
+  // stay cheap to copy).
+  std::shared_ptr<QueryTrace> trace;
 
   double CiWidth() const { return ci_hi - ci_lo; }
   // CI width relative to a baseline answer, the metric of §7.2.2.

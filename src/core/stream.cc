@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace ss {
 
@@ -245,6 +246,9 @@ Status Stream::MergePair(uint64_t left_cs, uint64_t right_cs) {
   }
   windows_.erase(right_it);
   ++merges_;
+  static Counter& merge_total =
+      MetricRegistry::Default().GetCounter("ss_core_window_merges_total");
+  merge_total.Inc();
 
   // Both neighbor pairs changed; queue fresh candidates.
   if (left_it != windows_.begin()) {
@@ -283,11 +287,20 @@ Status Stream::EndLandmark(Timestamp ts) {
   return Status::Ok();
 }
 
-StatusOr<std::shared_ptr<SummaryWindow>> Stream::LoadWindow(uint64_t cs, WindowSlot& slot) {
+StatusOr<std::shared_ptr<SummaryWindow>> Stream::LoadWindow(uint64_t cs, WindowSlot& slot,
+                                                            QueryTrace* trace) {
+  // Hit/miss attribution lives in WindowsOverlapping (the only caller that
+  // distinguishes query traffic); here we only account bytes actually read.
+  static Counter& bytes_loaded =
+      MetricRegistry::Default().GetCounter("ss_core_window_load_bytes_total");
   if (slot.window != nullptr) {
     return slot.window;
   }
   SS_ASSIGN_OR_RETURN(std::string payload, kv_->Get(WindowKey(id_, cs)));
+  bytes_loaded.Inc(payload.size());
+  if (trace != nullptr) {
+    trace->bytes_fetched += payload.size();
+  }
   Reader reader(payload);
   SS_ASSIGN_OR_RETURN(SummaryWindow window, SummaryWindow::Deserialize(reader));
   slot.window = std::make_shared<SummaryWindow>(std::move(window));
@@ -489,7 +502,9 @@ uint64_t Stream::SizeBytes() const {
   return bytes;
 }
 
-Status Stream::BulkLoadWindows(uint64_t cs_first, uint64_t cs_last) {
+Status Stream::BulkLoadWindows(uint64_t cs_first, uint64_t cs_last, QueryTrace* trace) {
+  static Counter& bytes_loaded =
+      MetricRegistry::Default().GetCounter("ss_core_window_load_bytes_total");
   Status decode_status = Status::Ok();
   SS_RETURN_IF_ERROR(kv_->Scan(
       WindowKey(id_, cs_first), WindowKey(id_, cs_last + 1),
@@ -505,13 +520,22 @@ Status Stream::BulkLoadWindows(uint64_t cs_first, uint64_t cs_last) {
           decode_status = window.status();
           return false;
         }
+        bytes_loaded.Inc(value.size());
+        if (trace != nullptr) {
+          trace->bytes_fetched += value.size();
+        }
         it->second.window = std::make_shared<SummaryWindow>(std::move(window).value());
         return true;
       }));
   return decode_status;
 }
 
-StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t1, Timestamp t2) {
+StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t1, Timestamp t2,
+                                                                    QueryTrace* trace) {
+  static Counter& cache_hits =
+      MetricRegistry::Default().GetCounter("ss_core_window_cache_hits_total");
+  static Counter& cache_misses =
+      MetricRegistry::Default().GetCounter("ss_core_window_cache_misses_total");
   std::vector<WindowView> views;
   if (windows_.empty() || t2 < t1) {
     return views;
@@ -523,24 +547,21 @@ StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t
   if (begin_idx != ts_index_.begin()) {
     --begin_idx;
   }
-  // Count evicted windows in range; past a handful, one range scan beats
-  // per-window point lookups by decoding each storage block only once.
-  size_t missing = 0;
-  uint64_t cs_first = 0;
-  uint64_t cs_last = 0;
+  // Collect evicted windows in range; past a handful, one range scan beats
+  // per-window point lookups by decoding each storage block only once. The
+  // evicted set also attributes per-window cache hits/misses below.
+  std::vector<uint64_t> evicted;
   for (auto idx = begin_idx; idx != ts_index_.end() && idx->first <= t2; ++idx) {
     auto slot_it = windows_.find(idx->second);
     SS_CHECK(slot_it != windows_.end()) << "ts_index out of sync";
     if (slot_it->second.window == nullptr) {
-      if (missing == 0) {
-        cs_first = idx->second;
-      }
-      cs_last = idx->second;
-      ++missing;
+      evicted.push_back(idx->second);
     }
   }
-  if (missing > 16) {
-    SS_RETURN_IF_ERROR(BulkLoadWindows(cs_first, cs_last));
+  std::sort(evicted.begin(), evicted.end());
+  const bool bulk = evicted.size() > 16;
+  if (bulk) {
+    SS_RETURN_IF_ERROR(BulkLoadWindows(evicted.front(), evicted.back(), trace));
   }
 
   for (auto idx = begin_idx; idx != ts_index_.end() && idx->first <= t2; ++idx) {
@@ -551,8 +572,15 @@ StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t
     if (cover_end <= t1 && slot_it->second.ts_start < t1) {
       continue;  // the stepped-back window ends before the query starts
     }
+    bool was_resident = !std::binary_search(evicted.begin(), evicted.end(), cs);
     SS_ASSIGN_OR_RETURN(std::shared_ptr<SummaryWindow> window,
-                        LoadWindow(cs, slot_it->second));
+                        LoadWindow(cs, slot_it->second, trace));
+    (was_resident ? cache_hits : cache_misses).Inc();
+    if (trace != nullptr) {
+      ++trace->windows_scanned;
+      (window->is_raw() ? trace->raw_windows : trace->summary_windows) += 1;
+      (was_resident ? trace->window_cache_hits : trace->window_cache_misses) += 1;
+    }
     slot_it->second.last_access = ++access_clock_;
     views.push_back(WindowView{std::move(window), slot_it->second.ts_start, cover_end});
   }

@@ -22,6 +22,7 @@
 #include "src/core/decay.h"
 #include "src/core/keys.h"
 #include "src/core/window.h"
+#include "src/obs/trace.h"
 #include "src/stats/welford.h"
 #include "src/storage/kv_backend.h"
 
@@ -142,7 +143,10 @@ class Stream {
     Timestamp cover_start;
     Timestamp cover_end;  // exclusive
   };
-  StatusOr<std::vector<WindowView>> WindowsOverlapping(Timestamp t1, Timestamp t2);
+  // `trace`, when non-null, accumulates window-scan and payload-load
+  // accounting (explain mode).
+  StatusOr<std::vector<WindowView>> WindowsOverlapping(Timestamp t1, Timestamp t2,
+                                                       QueryTrace* trace = nullptr);
 
   // Landmark windows intersecting [t1, t2].
   std::vector<const LandmarkWindow*> LandmarksOverlapping(Timestamp t1, Timestamp t2) const;
@@ -172,11 +176,12 @@ class Stream {
   void PushCandidate(uint64_t left_cs);  // candidate for (left, successor(left))
   Status DrainMerges();
   Status MergePair(uint64_t left_cs, uint64_t right_cs);
-  StatusOr<std::shared_ptr<SummaryWindow>> LoadWindow(uint64_t cs, WindowSlot& slot);
+  StatusOr<std::shared_ptr<SummaryWindow>> LoadWindow(uint64_t cs, WindowSlot& slot,
+                                                      QueryTrace* trace = nullptr);
   // Loads every evicted window with cs in [cs_first, cs_last] through one
   // backend range scan — decoding each storage block once instead of once
   // per window (large range queries touch thousands of adjacent windows).
-  Status BulkLoadWindows(uint64_t cs_first, uint64_t cs_last);
+  Status BulkLoadWindows(uint64_t cs_first, uint64_t cs_last, QueryTrace* trace = nullptr);
   // Drops least-recently-used clean payloads until resident clean bytes fit
   // the configured window_cache_bytes budget. No-op when the budget is 0.
   void EnforceWindowCacheBudget();

@@ -1,0 +1,210 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ss {
+
+namespace {
+
+std::string MakeKey(std::string_view name, std::string_view label) {
+  std::string key(name);
+  if (!label.empty()) {
+    key += '{';
+    key += label;
+    key += '}';
+  }
+  return key;
+}
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    out.append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+// "name{labels}" -> name + label body ("" when bare).
+void SplitKey(const std::string& key, std::string* name, std::string* label) {
+  size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    *name = key;
+    label->clear();
+  } else {
+    *name = key.substr(0, brace);
+    *label = key.substr(brace + 1, key.size() - brace - 2);
+  }
+}
+
+// Merges an extra label into a key's label set: name{a="b"} + q -> name{a="b",q}.
+std::string WithLabel(const std::string& name, const std::string& label,
+                      const std::string& extra) {
+  std::string out = name;
+  out += '{';
+  out += label;
+  if (!label.empty() && !extra.empty()) {
+    out += ',';
+  }
+  out += extra;
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+double LatencyHistogram::Mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+uint64_t LatencyHistogram::Quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) {
+    return 0;
+  }
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Rank of the target order statistic, 1-based, ceil(q * total).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t cum = 0;
+  for (size_t k = 0; k < kNumBuckets; ++k) {
+    cum += buckets_[k].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      // Upper bound of bucket k: 0 for k == 0, else 2^k - 1 (clamped to the
+      // recorded max so a sparse top bucket doesn't overstate by 2x).
+      uint64_t upper = k == 0 ? 0 : (k >= 64 ? UINT64_MAX : (uint64_t{1} << k) - 1);
+      uint64_t m = max();
+      return m != 0 && m < upper ? m : upper;
+    }
+  }
+  return max();
+}
+
+void LatencyHistogram::ResetForTest() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[MakeKey(name, label)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[MakeKey(name, label)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+LatencyHistogram& MetricRegistry::GetHistogram(std::string_view name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[MakeKey(name, label)];
+  if (slot == nullptr) {
+    slot = std::make_unique<LatencyHistogram>();
+  }
+  return *slot;
+}
+
+std::string MetricRegistry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string name;
+  std::string label;
+  for (const auto& [key, counter] : counters_) {
+    SplitKey(key, &name, &label);
+    AppendF(out, "# TYPE %s counter\n", name.c_str());
+    AppendF(out, "%s %" PRIu64 "\n", key.c_str(), counter->value());
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    SplitKey(key, &name, &label);
+    AppendF(out, "# TYPE %s gauge\n", name.c_str());
+    AppendF(out, "%s %" PRId64 "\n", key.c_str(), gauge->value());
+  }
+  for (const auto& [key, hist] : histograms_) {
+    SplitKey(key, &name, &label);
+    AppendF(out, "# TYPE %s summary\n", name.c_str());
+    AppendF(out, "%s %" PRIu64 "\n",
+            WithLabel(name, label, "quantile=\"0.5\"").c_str(), hist->P50());
+    AppendF(out, "%s %" PRIu64 "\n",
+            WithLabel(name, label, "quantile=\"0.95\"").c_str(), hist->P95());
+    AppendF(out, "%s %" PRIu64 "\n",
+            WithLabel(name, label, "quantile=\"0.99\"").c_str(), hist->P99());
+    AppendF(out, "%s_sum%s %" PRIu64 "\n", name.c_str(),
+            label.empty() ? "" : ("{" + label + "}").c_str(), hist->sum());
+    AppendF(out, "%s_count%s %" PRIu64 "\n", name.c_str(),
+            label.empty() ? "" : ("{" + label + "}").c_str(), hist->count());
+    AppendF(out, "%s_max%s %" PRIu64 "\n", name.c_str(),
+            label.empty() ? "" : ("{" + label + "}").c_str(), hist->max());
+  }
+  return out;
+}
+
+std::string MetricRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [key, counter] : counters_) {
+    AppendF(out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",", key.c_str(), counter->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [key, gauge] : gauges_) {
+    AppendF(out, "%s\n    \"%s\": %" PRId64, first ? "" : ",", key.c_str(), gauge->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [key, hist] : histograms_) {
+    AppendF(out,
+            "%s\n    \"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+            ", \"mean\": %.3f, \"p50\": %" PRIu64 ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64
+            ", \"max\": %" PRIu64 "}",
+            first ? "" : ",", key.c_str(), hist->count(), hist->sum(), hist->Mean(),
+            hist->P50(), hist->P95(), hist->P99(), hist->max());
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void MetricRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, counter] : counters_) {
+    counter->ResetForTest();
+  }
+  for (auto& [key, gauge] : gauges_) {
+    gauge->ResetForTest();
+  }
+  for (auto& [key, hist] : histograms_) {
+    hist->ResetForTest();
+  }
+}
+
+}  // namespace ss

@@ -1,0 +1,147 @@
+// Process-wide metrics registry (`ss_obs`): cheap thread-safe instruments for
+// the hot paths the paper's evaluation cares about — ingest/query latency,
+// merge and flush counts, cache hit ratios.
+//
+// Instruments are registered once by (name, label) in MetricRegistry and live
+// for the rest of the process; hot paths hold a reference obtained via a
+// function-local static, so the steady-state cost is one relaxed atomic RMW:
+//
+//   static Counter& appends =
+//       MetricRegistry::Default().GetCounter("ss_core_append_total");
+//   appends.Inc();
+//
+// Naming convention: ss_<module>_<name>[_total|_us|_bytes]. Histograms record
+// in microseconds unless the name says otherwise.
+//
+// The registry renders as Prometheus-style text (counters/gauges as their
+// native types, histograms as summaries with quantile labels) and as JSON.
+#ifndef SUMMARYSTORE_SRC_OBS_METRICS_H_
+#define SUMMARYSTORE_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/common/clock.h"
+
+namespace ss {
+
+// Monotonically increasing counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins signed gauge (resident bytes, table counts, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket log-scale histogram: bucket k holds values v with
+// bit_width(v) == k, i.e. [2^(k-1), 2^k) for k >= 1 and {0} for k == 0.
+// Quantile estimates return the upper bound of the covering bucket, so any
+// estimate is within one power-of-two bucket of the exact order statistic.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;  // bit_width(uint64) in [0, 64]
+
+  void Record(uint64_t v) {
+    buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < v && !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  // Upper bound of the bucket containing the q-quantile (q in [0, 1]).
+  uint64_t Quantile(double q) const;
+  uint64_t P50() const { return Quantile(0.50); }
+  uint64_t P95() const { return Quantile(0.95); }
+  uint64_t P99() const { return Quantile(0.99); }
+  uint64_t BucketCount(size_t k) const { return buckets_[k].load(std::memory_order_relaxed); }
+  void ResetForTest();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// RAII timer: records elapsed wall-clock microseconds into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram& hist) : hist_(&hist) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->Record(static_cast<uint64_t>(watch_.ElapsedMicros()));
+    }
+  }
+  // Stops the timer without recording (error paths a caller wants excluded).
+  void Cancel() { hist_ = nullptr; }
+
+ private:
+  LatencyHistogram* hist_;
+  Stopwatch watch_;
+};
+
+// Name + label registry of instruments. Get* registers on first use and
+// returns a reference that stays valid for the life of the process (the
+// registry never deletes instruments; ResetForTest zeroes values in place).
+class MetricRegistry {
+ public:
+  static MetricRegistry& Default();
+
+  // `label` is an optional Prometheus-style label body, e.g. `op="count"`.
+  // The exposition key is name{label} (or bare name when label is empty).
+  Counter& GetCounter(std::string_view name, std::string_view label = "");
+  Gauge& GetGauge(std::string_view name, std::string_view label = "");
+  LatencyHistogram& GetHistogram(std::string_view name, std::string_view label = "");
+
+  // Prometheus text exposition: `# TYPE` comments, counters/gauges as bare
+  // samples, histograms as summaries (quantile label + _sum/_count/_max).
+  std::string RenderPrometheusText() const;
+  // One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+  // {name: {count, sum, mean, p50, p95, p99, max}}}.
+  std::string RenderJson() const;
+
+  // Zeroes every registered instrument (benchmarks and tests isolate runs).
+  void ResetForTest();
+
+ private:
+  MetricRegistry() = default;
+
+  mutable std::mutex mu_;
+  // Node-based maps keep instrument addresses stable across registration.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_OBS_METRICS_H_

@@ -1,0 +1,29 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace ss {
+
+std::string QueryTrace::Render() const {
+  char buf[1024];
+  int n = snprintf(
+      buf, sizeof(buf),
+      "query trace: op=%s range=[%" PRId64 ", %" PRId64 "]\n"
+      "  windows scanned:    %" PRIu64 " (%" PRIu64 " raw, %" PRIu64 " summary)\n"
+      "  window cache:       %" PRIu64 " hits, %" PRIu64 " misses\n"
+      "  bytes read:         %" PRIu64 "\n"
+      "  landmarks:          %" PRIu64 " windows, %" PRIu64 " events\n"
+      "  block cache:        %" PRIu64 " hits, %" PRIu64 " misses\n"
+      "  estimate:           %.6g  ci=[%.6g, %.6g] width=%.6g%s\n"
+      "  elapsed:            %.1f us\n",
+      op.c_str(), t1, t2, windows_scanned, raw_windows, summary_windows, window_cache_hits,
+      window_cache_misses, bytes_fetched, landmark_windows, landmark_events, block_cache_hits,
+      block_cache_misses, estimate, ci_lo, ci_hi, ci_width, exact ? " [exact]" : "",
+      elapsed_micros);
+  return n > 0 ? std::string(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1))
+               : std::string();
+}
+
+}  // namespace ss

@@ -1,0 +1,53 @@
+// Per-query "explain" trace: what a single range query actually touched —
+// the window/byte/cache accounting that dominates SummaryStore latency
+// (Figures 5-13 of the paper). Opt-in: set QuerySpec::collect_trace and the
+// engine threads a QueryTrace through window and storage reads, attaching it
+// to the QueryResult.
+#ifndef SUMMARYSTORE_SRC_OBS_TRACE_H_
+#define SUMMARYSTORE_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace ss {
+
+struct QueryTrace {
+  // What was asked.
+  std::string op;
+  Timestamp t1 = 0;
+  Timestamp t2 = 0;
+
+  // Window scan accounting (from Stream::WindowsOverlapping).
+  uint64_t windows_scanned = 0;   // window views visited by the query walk
+  uint64_t raw_windows = 0;       // of those, raw-event (exact) windows
+  uint64_t summary_windows = 0;   // of those, materialized summary windows
+  uint64_t window_cache_hits = 0;    // payload already resident in memory
+  uint64_t window_cache_misses = 0;  // payload loaded from the KV backend
+  uint64_t bytes_fetched = 0;        // serialized bytes read from the backend
+
+  // Landmark accounting.
+  uint64_t landmark_windows = 0;
+  uint64_t landmark_events = 0;
+
+  // Storage block cache delta over the query (durable backends only).
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+
+  // Estimator outcome.
+  double estimate = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  double ci_width = 0.0;
+  bool exact = false;
+
+  double elapsed_micros = 0.0;
+
+  // Multi-line human-readable rendering (sstool query --explain).
+  std::string Render() const;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_OBS_TRACE_H_

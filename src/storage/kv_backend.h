@@ -42,6 +42,15 @@ class KvBackend {
   // Empties internal read caches so subsequent reads hit storage — used by
   // the cold-cache latency benchmarks (§7.2.1 drops all caches per query).
   virtual void DropCaches() {}
+
+  // Cumulative read-cache effectiveness (block cache for the LSM store).
+  // Backends without a cache report zeros; per-query deltas of these counts
+  // feed QueryTrace's block-cache accounting.
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  virtual CacheStats GetCacheStats() const { return {}; }
 };
 
 }  // namespace ss

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/serde.h"
+#include "src/obs/metrics.h"
 
 namespace ss {
 
@@ -223,6 +224,12 @@ Status LsmStore::FlushMemtableLocked() {
   if (memtable_.empty()) {
     return Status::Ok();
   }
+  static Counter& flush_total =
+      MetricRegistry::Default().GetCounter("ss_storage_memtable_flush_total");
+  static LatencyHistogram& flush_us =
+      MetricRegistry::Default().GetHistogram("ss_storage_memtable_flush_us");
+  flush_total.Inc();
+  ScopedTimer timer(flush_us);
   uint32_t file_id = next_file_id_++;
   SS_ASSIGN_OR_RETURN(SstBuilder builder, SstBuilder::Create(TablePath(file_id)));
   for (const auto& [key, value] : memtable_) {
@@ -246,6 +253,12 @@ Status LsmStore::CompactLocked() {
   if (tables_.size() <= 1) {
     return Status::Ok();
   }
+  static Counter& compaction_total =
+      MetricRegistry::Default().GetCounter("ss_storage_compaction_total");
+  static LatencyHistogram& compaction_us =
+      MetricRegistry::Default().GetHistogram("ss_storage_compaction_us");
+  compaction_total.Inc();
+  ScopedTimer timer(compaction_us);
   uint32_t file_id = next_file_id_++;
   SS_ASSIGN_OR_RETURN(SstBuilder builder, SstBuilder::Create(TablePath(file_id)));
 
@@ -346,6 +359,11 @@ uint64_t LsmStore::cache_hits() const {
 uint64_t LsmStore::cache_misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return block_cache_.misses();
+}
+
+KvBackend::CacheStats LsmStore::GetCacheStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {block_cache_.hits(), block_cache_.misses()};
 }
 
 }  // namespace ss

@@ -45,6 +45,7 @@ class LsmStore : public KvBackend {
   Status Flush() override;
   uint64_t ApproximateSizeBytes() const override;
   void DropCaches() override;
+  CacheStats GetCacheStats() const override;
 
   // Introspection for tests and benches.
   size_t sstable_count() const;

@@ -1,5 +1,7 @@
 #include "src/storage/sstable.h"
 
+#include "src/obs/metrics.h"
+
 #include <algorithm>
 
 namespace ss {
@@ -131,15 +133,24 @@ size_t SsTable::FindBlock(std::string_view key) const {
 
 StatusOr<std::shared_ptr<std::string>> SsTable::ReadBlock(size_t block_idx,
                                                           BlockCache* cache) const {
+  static Counter& cache_hits =
+      MetricRegistry::Default().GetCounter("ss_storage_block_cache_hits_total");
+  static Counter& cache_misses =
+      MetricRegistry::Default().GetCounter("ss_storage_block_cache_misses_total");
+  static Counter& read_bytes =
+      MetricRegistry::Default().GetCounter("ss_storage_block_read_bytes_total");
   uint64_t cache_key = (static_cast<uint64_t>(file_id_) << 32) | block_idx;
   if (cache != nullptr) {
     if (auto hit = cache->Get(cache_key)) {
+      cache_hits.Inc();
       return *hit;
     }
   }
+  cache_misses.Inc();
   const IndexEntry& e = index_[block_idx];
   auto block = std::make_shared<std::string>();
   SS_RETURN_IF_ERROR(file_.Read(e.offset, e.size, block.get()));
+  read_bytes.Inc(block->size());
   if (Crc32c(*block) != e.crc) {
     return Status::Corruption("SsTable: block checksum mismatch: " + path_);
   }

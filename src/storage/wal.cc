@@ -1,6 +1,7 @@
 #include "src/storage/wal.h"
 
 #include "src/common/serde.h"
+#include "src/obs/metrics.h"
 
 namespace ss {
 
@@ -10,6 +11,8 @@ StatusOr<WalWriter> WalWriter::Open(const std::string& path, bool truncate) {
 }
 
 Status WalWriter::Append(std::string_view key, std::optional<std::string_view> value) {
+  static Counter& appends = MetricRegistry::Default().GetCounter("ss_storage_wal_appends_total");
+  static Counter& bytes = MetricRegistry::Default().GetCounter("ss_storage_wal_bytes_total");
   Writer payload;
   payload.PutString(key);
   payload.PutU8(value.has_value() ? 1 : 0);
@@ -20,10 +23,19 @@ Status WalWriter::Append(std::string_view key, std::optional<std::string_view> v
   record.PutFixed32(Crc32c(payload.data()));
   record.PutFixed32(static_cast<uint32_t>(payload.size()));
   record.PutRaw(payload.data().data(), payload.size());
+  appends.Inc();
+  bytes.Inc(record.size());
   return file_.Append(record.data());
 }
 
-Status WalWriter::Sync() { return file_.Sync(); }
+Status WalWriter::Sync() {
+  static Counter& fsyncs = MetricRegistry::Default().GetCounter("ss_storage_wal_fsync_total");
+  static LatencyHistogram& fsync_us =
+      MetricRegistry::Default().GetHistogram("ss_storage_wal_fsync_us");
+  fsyncs.Inc();
+  ScopedTimer timer(fsync_us);
+  return file_.Sync();
+}
 
 StatusOr<uint64_t> WalReplay(const std::string& path, const WalReplayVisitor& visit) {
   if (!FileExists(path)) {

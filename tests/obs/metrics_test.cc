@@ -1,0 +1,183 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ss {
+namespace {
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&counter] {
+      for (uint64_t j = 0; j < kPerThread; ++j) {
+        counter.Inc();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, IncByDelta) {
+  Counter counter;
+  counter.Inc(10);
+  counter.Inc(32);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(100);
+  gauge.Add(-30);
+  EXPECT_EQ(gauge.value(), 70);
+  gauge.Set(-5);
+  EXPECT_EQ(gauge.value(), -5);
+}
+
+// The histogram promises: Quantile(q) is the upper bound of the log-scale
+// bucket containing the exact order statistic, clamped to the recorded max.
+// So exact <= Quantile(q) <= max(2 * exact - 1, exact).
+TEST(LatencyHistogram, QuantileWithinOneBucketOfExact) {
+  LatencyHistogram hist;
+  std::vector<uint64_t> values;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    values.push_back(v);
+    hist.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    size_t rank = static_cast<size_t>(q * static_cast<double>(values.size()));
+    rank = std::min(rank, values.size() - 1);
+    uint64_t exact = values[rank];
+    uint64_t est = hist.Quantile(q);
+    EXPECT_GE(est, exact) << "q=" << q;
+    EXPECT_LE(est, std::max(2 * exact - 1, exact)) << "q=" << q;
+  }
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_EQ(hist.sum(), 1000u * 1001u / 2);
+  EXPECT_EQ(hist.max(), 1000u);
+  // The top quantile clamps to the true max rather than the bucket bound.
+  EXPECT_EQ(hist.Quantile(1.0), 1000u);
+}
+
+TEST(LatencyHistogram, ZeroAndSingleValue) {
+  LatencyHistogram hist;
+  hist.Record(0);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.Quantile(0.5), 0u);
+  hist.Record(7);
+  EXPECT_EQ(hist.Quantile(1.0), 7u);
+}
+
+TEST(LatencyHistogram, BucketAssignmentIsBitWidth) {
+  LatencyHistogram hist;
+  hist.Record(0);    // bucket 0
+  hist.Record(1);    // bucket 1
+  hist.Record(2);    // bucket 2
+  hist.Record(3);    // bucket 2
+  hist.Record(512);  // bucket 10
+  EXPECT_EQ(hist.BucketCount(0), 1u);
+  EXPECT_EQ(hist.BucketCount(1), 1u);
+  EXPECT_EQ(hist.BucketCount(2), 2u);
+  EXPECT_EQ(hist.BucketCount(10), 1u);
+}
+
+TEST(ScopedTimer, RecordsOnceOnDestruction) {
+  LatencyHistogram hist;
+  {
+    ScopedTimer timer(hist);
+  }
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(ScopedTimer, CancelSuppressesRecording) {
+  LatencyHistogram hist;
+  {
+    ScopedTimer timer(hist);
+    timer.Cancel();
+  }
+  EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(MetricRegistry, SameKeyReturnsSameInstrument) {
+  MetricRegistry& registry = MetricRegistry::Default();
+  registry.ResetForTest();
+  Counter& a = registry.GetCounter("ss_test_reg_total");
+  Counter& b = registry.GetCounter("ss_test_reg_total");
+  EXPECT_EQ(&a, &b);
+  Counter& labeled = registry.GetCounter("ss_test_reg_total", "op=\"count\"");
+  EXPECT_NE(&a, &labeled);
+}
+
+TEST(MetricRegistry, PrometheusTextRoundTripsValues) {
+  MetricRegistry& registry = MetricRegistry::Default();
+  registry.ResetForTest();
+  registry.GetCounter("ss_test_expo_total").Inc(42);
+  registry.GetCounter("ss_test_expo_labeled_total", "op=\"sum\"").Inc(7);
+  registry.GetGauge("ss_test_expo_gauge").Set(-3);
+  LatencyHistogram& hist = registry.GetHistogram("ss_test_expo_us");
+  hist.Record(100);
+  hist.Record(200);
+
+  std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE ss_test_expo_total counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("ss_test_expo_total 42"), std::string::npos) << text;
+  EXPECT_NE(text.find("ss_test_expo_labeled_total{op=\"sum\"} 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("ss_test_expo_gauge -3"), std::string::npos) << text;
+  EXPECT_NE(text.find("ss_test_expo_us_count 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("ss_test_expo_us_sum 300"), std::string::npos) << text;
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos) << text;
+}
+
+TEST(MetricRegistry, JsonRoundTripsValues) {
+  MetricRegistry& registry = MetricRegistry::Default();
+  registry.ResetForTest();
+  registry.GetCounter("ss_test_json_total").Inc(13);
+  registry.GetGauge("ss_test_json_gauge").Set(99);
+  LatencyHistogram& hist = registry.GetHistogram("ss_test_json_us");
+  hist.Record(64);
+
+  std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"ss_test_json_total\": 13"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ss_test_json_gauge\": 99"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ss_test_json_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+}
+
+TEST(MetricRegistry, ConcurrentRegistrationAndUse) {
+  MetricRegistry& registry = MetricRegistry::Default();
+  registry.ResetForTest();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&registry] {
+      // Every thread races the first-use registration path on purpose.
+      Counter& c = registry.GetCounter("ss_test_race_total");
+      for (uint64_t j = 0; j < kPerThread; ++j) {
+        c.Inc();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(registry.GetCounter("ss_test_race_total").value(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace ss

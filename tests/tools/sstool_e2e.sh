@@ -29,6 +29,32 @@ case "$OUT" in
   *) echo "FAIL: expected membership yes"; exit 1 ;;
 esac
 
+# --explain prints the per-query trace with its accounting lines.
+OUT="$("$SSTOOL" query --dir "$DIR/store" --stream 7 --op count --t1 1 --t2 1000 --explain)"
+echo "$OUT"
+for want in "windows scanned" "bytes read" "window cache" "block cache"; do
+  case "$OUT" in
+    *"$want"*) ;;
+    *) echo "FAIL: --explain output missing '$want'"; exit 1 ;;
+  esac
+done
+
+# stats dumps the metric registry plus store-level gauges, in both formats.
+OUT="$("$SSTOOL" stats --dir "$DIR/store")"
+case "$OUT" in
+  *"ss_store_streams 1"*) ;;
+  *) echo "FAIL: stats missing ss_store_streams gauge"; echo "$OUT"; exit 1 ;;
+esac
+case "$OUT" in
+  *"# TYPE"*) ;;
+  *) echo "FAIL: stats not in Prometheus text format"; exit 1 ;;
+esac
+OUT="$("$SSTOOL" stats --dir "$DIR/store" --format json)"
+case "$OUT" in
+  *'"gauges"'*) ;;
+  *) echo "FAIL: stats --format json missing gauges object"; exit 1 ;;
+esac
+
 # Landmark round trip.
 "$SSTOOL" landmark --dir "$DIR/store" --stream 7 --begin 1001
 echo "1001,999" | "$SSTOOL" ingest --dir "$DIR/store" --stream 7

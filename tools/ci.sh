@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + full test suite, then an ASan+UBSan build
+# of the obs and storage tests (the layers with the most concurrency and
+# raw-pointer traffic).
+#
+#   tools/ci.sh [build-dir-prefix]    (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build}"
+
+echo "=== tier-1: configure + build + ctest (${prefix}) ==="
+cmake -B "${prefix}" -S .
+cmake --build "${prefix}" -j"$(nproc)"
+ctest --test-dir "${prefix}" --output-on-failure -j"$(nproc)"
+
+san_dir="${prefix}-asan"
+echo "=== sanitizers: ASan+UBSan build of obs + storage tests (${san_dir}) ==="
+cmake -B "${san_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DSS_SANITIZE=address,undefined
+cmake --build "${san_dir}" -j"$(nproc)" --target \
+  metrics_test trace_test \
+  wal_test sstable_test lsm_store_test crash_recovery_test lsm_concurrency_test
+for t in metrics_test trace_test wal_test sstable_test lsm_store_test \
+         crash_recovery_test lsm_concurrency_test; do
+  echo "--- ${t} (asan+ubsan)"
+  if [ "${t}" = crash_recovery_test ]; then
+    # Simulates hard kills by deliberately leaking un-flushed stores; leak
+    # detection would report exactly those, so keep ASan but mute LSan here.
+    ASAN_OPTIONS=detect_leaks=0 "${san_dir}/tests/${t}"
+  else
+    "${san_dir}/tests/${t}"
+  fi
+done
+
+echo "=== ci.sh: all green ==="

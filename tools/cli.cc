@@ -142,7 +142,8 @@ StatusOr<QueryOp> ParseQueryOp(const std::string& name) {
   return Status::InvalidArgument("unknown query op: " + name);
 }
 
-StatusOr<ParsedArgs> ParseArgs(int argc, const char* const* argv, int begin) {
+StatusOr<ParsedArgs> ParseArgs(int argc, const char* const* argv, int begin,
+                               const std::set<std::string>& bool_flags) {
   ParsedArgs out;
   for (int i = begin; i < argc; ++i) {
     std::string arg = argv[i];
@@ -155,6 +156,11 @@ StatusOr<ParsedArgs> ParseArgs(int argc, const char* const* argv, int begin) {
       size_t eq = key.find('=');
       if (eq != std::string::npos) {
         out.flags[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
+      // Declared boolean flags take no value; their presence means "1".
+      if (bool_flags.contains(key)) {
+        out.flags[key] = "1";
         continue;
       }
       if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {

@@ -5,6 +5,7 @@
 #define SUMMARYSTORE_TOOLS_CLI_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,8 @@ StatusOr<QueryOp> ParseQueryOp(const std::string& name);
 
 // Splits {"--a", "1", "--b", "2", "pos"} into flags {a:1, b:2} and
 // positional args. A flag without a following value (or followed by another
-// flag) is an error.
+// flag) is an error, unless it is listed in `bool_flags` — those take no
+// value and parse as "1" when present.
 struct ParsedArgs {
   std::map<std::string, std::string> flags;
   std::vector<std::string> positional;
@@ -37,7 +39,8 @@ struct ParsedArgs {
     return it == flags.end() ? fallback : it->second;
   }
 };
-StatusOr<ParsedArgs> ParseArgs(int argc, const char* const* argv, int begin);
+StatusOr<ParsedArgs> ParseArgs(int argc, const char* const* argv, int begin,
+                               const std::set<std::string>& bool_flags = {});
 
 // Parses one "ts,value" CSV line (ignores surrounding spaces; '#' comments
 // and blank lines yield nullopt-equivalent via kNotFound).

@@ -6,10 +6,16 @@
 //   sstool ingest  --dir D --stream N [--csv FILE]       (default: stdin, "ts,value" lines)
 //   sstool query   --dir D --stream N --op count|sum|mean|min|max|exists|freq|distinct|
 //                  quantile|range --t1 T --t2 T [--value V] [--q Q]
-//                  [--vlo A --vhi B] [--confidence C]
+//                  [--vlo A --vhi B] [--confidence C] [--explain]
 //   sstool landmark --dir D --stream N --begin T | --end T
 //   sstool info    --dir D [--stream N]
+//   sstool stats   --dir D [--format prom|json]
 //   sstool delete  --dir D --stream N
+//
+// `query --explain` additionally prints the per-query trace: windows scanned,
+// bytes read, window/block cache hits and misses, and the estimator's CI.
+// `stats` dumps the process metric registry (plus store-level gauges) in
+// Prometheus text format or JSON.
 //
 // Exit code 0 on success; errors go to stderr.
 #include <cinttypes>
@@ -18,6 +24,7 @@
 #include <iostream>
 
 #include "src/core/summary_store.h"
+#include "src/obs/metrics.h"
 #include "tools/cli.h"
 
 namespace ss {
@@ -30,7 +37,7 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: sstool <create|ingest|query|landmark|info|delete> --dir DIR [flags]\n"
+               "usage: sstool <create|ingest|query|landmark|info|stats|delete> --dir DIR [flags]\n"
                "run with a command and no flags for per-command help in the header comment\n");
   return 2;
 }
@@ -168,6 +175,7 @@ int CmdQuery(const ParsedArgs& args) {
   spec.value_lo = std::stod(args.GetOr("vlo", "0"));
   spec.value_hi = std::stod(args.GetOr("vhi", "0"));
   spec.confidence = std::stod(args.GetOr("confidence", "0.95"));
+  spec.collect_trace = args.Has("explain");
   auto result = (*store)->Query(*sid, spec);
   if (!result.ok()) {
     return Fail(result.status());
@@ -182,6 +190,45 @@ int CmdQuery(const ParsedArgs& args) {
                 result->estimate, spec.confidence * 100, result->ci_lo, result->ci_hi,
                 result->exact ? "  [exact]" : "", result->windows_read,
                 result->landmark_events);
+  }
+  if (spec.collect_trace && result->trace != nullptr) {
+    std::printf("%s", result->trace->Render().c_str());
+  }
+  return 0;
+}
+
+int CmdStats(const ParsedArgs& args) {
+  auto store = OpenStore(args);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  MetricRegistry& registry = MetricRegistry::Default();
+  registry.GetGauge("ss_store_streams").Set((*store)->ListStreams().size());
+  registry.GetGauge("ss_store_size_bytes").Set((*store)->TotalSizeBytes());
+  registry.GetGauge("ss_store_backend_bytes").Set((*store)->backend().ApproximateSizeBytes());
+  uint64_t windows = 0;
+  uint64_t events = 0;
+  uint64_t landmarks = 0;
+  for (StreamId id : (*store)->ListStreams()) {
+    auto stream = (*store)->GetStream(id);
+    if (!stream.ok()) {
+      return Fail(stream.status());
+    }
+    windows += (*stream)->window_count();
+    events += (*stream)->element_count();
+    landmarks += (*stream)->landmark_window_count();
+  }
+  registry.GetGauge("ss_store_windows").Set(windows);
+  registry.GetGauge("ss_store_events").Set(events);
+  registry.GetGauge("ss_store_landmark_windows").Set(landmarks);
+
+  const std::string format = args.GetOr("format", "prom");
+  if (format == "json") {
+    std::printf("%s\n", registry.RenderJson().c_str());
+  } else if (format == "prom") {
+    std::printf("%s", registry.RenderPrometheusText().c_str());
+  } else {
+    return Fail(Status::InvalidArgument("--format must be prom or json"));
   }
   return 0;
 }
@@ -259,7 +306,7 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   std::string command = argv[1];
-  auto args = ParseArgs(argc, argv, 2);
+  auto args = ParseArgs(argc, argv, 2, {"explain", "poisson"});
   if (!args.ok()) {
     return Fail(args.status());
   }
@@ -277,6 +324,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "info") {
     return CmdInfo(*args);
+  }
+  if (command == "stats") {
+    return CmdStats(*args);
   }
   if (command == "delete") {
     return CmdDelete(*args);
