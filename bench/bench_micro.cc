@@ -187,6 +187,108 @@ BENCHMARK_DEFINE_F(QueryFixture, CountByLength)(benchmark::State& state) {
 }
 BENCHMARK_REGISTER_F(QueryFixture, CountByLength)->Arg(60)->Arg(3600)->Arg(86400)->Arg(2628000);
 
+// ---------------------------------------------------------------- concurrency
+
+// Multi-threaded ingest through the public API: one stream per thread, so
+// the registry shared lock is the only shared state on the hot path. Scaling
+// vs ->Threads(1) bounds the cost of the concurrency layer.
+void BM_StoreAppendMultiThread(benchmark::State& state) {
+  static SummaryStore* store = nullptr;
+  static std::vector<StreamId> sids;
+  if (state.thread_index() == 0) {
+    store = SummaryStore::Open(StoreOptions{}).value().release();
+    sids.clear();
+    for (int s = 0; s < state.threads(); ++s) {
+      StreamConfig config;
+      config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+      config.operators = OperatorSet::AggregatesOnly();
+      config.raw_threshold = 32;
+      sids.push_back(*store->CreateStream(std::move(config)));
+    }
+  }
+  // The state loop's entry barrier guarantees thread 0's setup is visible.
+  StreamId sid = 0;
+  Timestamp t = 0;
+  for (auto _ : state) {
+    if (sid == 0) {
+      sid = sids[state.thread_index()];
+    }
+    benchmark::DoNotOptimize(store->Append(sid, ++t, 1.0));
+  }
+  if (state.thread_index() == 0) {
+    delete store;
+    store = nullptr;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreAppendMultiThread)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+// Concurrent queries against ONE stream: readers share the stream lock and
+// serialize only on the window-payload cache scan.
+void BM_StoreQueryMultiThread(benchmark::State& state) {
+  static SummaryStore* store = nullptr;
+  static StreamId sid = 0;
+  if (state.thread_index() == 0 && store == nullptr) {
+    store = SummaryStore::Open(StoreOptions{}).value().release();
+    StreamConfig config;
+    config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+    config.operators = OperatorSet::AggregatesOnly();
+    config.raw_threshold = 32;
+    sid = *store->CreateStream(std::move(config));
+    for (Timestamp t = 1; t <= 200000; ++t) {
+      (void)store->Append(sid, t, 1.0);
+    }
+  }
+  Rng rng(17 + state.thread_index());
+  for (auto _ : state) {
+    Timestamp t1 = 1 + static_cast<Timestamp>(rng.NextBounded(100000));
+    QuerySpec spec{.t1 = t1, .t2 = t1 + 50000, .op = QueryOp::kCount};
+    benchmark::DoNotOptimize(store->Query(sid, spec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreQueryMultiThread)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+// Fleet query fan-out: serial baseline (fleet_query_threads = 1) vs the
+// worker pool, same data. The parallel run must beat serial wall-clock on
+// >= 8 streams (PR acceptance); both merge in id order, so answers match
+// bitwise.
+constexpr int kFleetStreams = 8;
+constexpr Timestamp kFleetAppends = 100000;
+
+SummaryStore* BuildFleetStore(size_t fleet_query_threads) {
+  StoreOptions options;
+  options.fleet_query_threads = fleet_query_threads;
+  SummaryStore* store = SummaryStore::Open(options).value().release();
+  for (int s = 0; s < kFleetStreams; ++s) {
+    StreamConfig config;
+    config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+    config.operators = OperatorSet::AggregatesOnly();
+    config.raw_threshold = 32;
+    StreamId sid = *store->CreateStream(std::move(config));
+    for (Timestamp t = 1; t <= kFleetAppends; ++t) {
+      (void)store->Append(sid, t, static_cast<double>(t % 7));
+    }
+  }
+  return store;
+}
+
+void BM_FleetQuery(benchmark::State& state) {
+  const bool parallel = state.range(0) != 0;
+  // Built once and leaked deliberately: ~1.6M appends of setup shared by
+  // every repetition of both variants.
+  static SummaryStore* serial_store = BuildFleetStore(1);
+  static SummaryStore* parallel_store = BuildFleetStore(0);
+  SummaryStore* store = parallel ? parallel_store : serial_store;
+  std::vector<StreamId> ids = store->ListStreams();
+  for (auto _ : state) {
+    QuerySpec spec{.t1 = 1, .t2 = kFleetAppends, .op = QueryOp::kSum};
+    benchmark::DoNotOptimize(store->QueryAggregate(ids, spec));
+  }
+  state.SetItemsProcessed(state.iterations() * kFleetStreams);
+}
+BENCHMARK(BM_FleetQuery)->Arg(0)->Arg(1)->Name("BM_FleetQuery(0=serial,1=parallel)");
+
 // ----------------------------------------------------------------------- obs
 
 void BM_ObsCounterInc(benchmark::State& state) {

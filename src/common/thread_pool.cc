@@ -1,0 +1,68 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace ss {
+
+ThreadPool::ThreadPool(size_t num_threads, Observer observer)
+    : observer_(std::move(observer)) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<size_t>(hw, 2, 8);
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Tasks submitted during shutdown still run: workers drain the queue
+    // before exiting, preserving the no-broken-promise guarantee.
+    queue_.push_back(Task{std::move(fn), Stopwatch()});
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    size_t depth;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to drain
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      depth = queue_.size();
+    }
+    if (observer_ != nullptr) {
+      observer_(static_cast<uint64_t>(task.queued.ElapsedMicros()), depth);
+    }
+    task.fn();
+  }
+}
+
+}  // namespace ss

@@ -1,0 +1,80 @@
+// Fixed-size worker pool for CPU-bound fan-out (fleet queries, parallel
+// benchmarks). Tasks are queued FIFO; Submit returns a std::future for the
+// task's result. The pool is deliberately dependency-free (ss_common sits
+// below ss_obs): callers that want queue telemetry install an Observer,
+// which SummaryStore wires to the metrics registry.
+//
+// Shutdown drains the queue: the destructor stops accepting new work, runs
+// everything already queued, then joins — so futures handed out before
+// destruction never throw broken_promise.
+#ifndef SUMMARYSTORE_SRC_COMMON_THREAD_POOL_H_
+#define SUMMARYSTORE_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace ss {
+
+class ThreadPool {
+ public:
+  // Called by a worker as it dequeues a task: time the task spent queued and
+  // the queue depth left behind. Runs on worker threads; must be thread-safe.
+  using Observer = std::function<void(uint64_t queue_wait_us, size_t queue_depth)>;
+
+  explicit ThreadPool(size_t num_threads, Observer observer = nullptr);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues fn and returns a future for its result. Safe to call from any
+  // thread, including pool workers (tasks never block on sibling tasks here,
+  // so submit-from-worker cannot deadlock the queue).
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  size_t thread_count() const { return workers_.size(); }
+  size_t QueueDepth() const;
+
+  // Pool size heuristic for query fan-out: enough to cover one NUMA node's
+  // worth of parallel per-stream scans without oversubscribing small hosts.
+  static size_t DefaultThreadCount();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    Stopwatch queued;  // started at enqueue; read by the dequeuing worker
+  };
+
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stop_ = false;
+  Observer observer_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_COMMON_THREAD_POOL_H_

@@ -214,9 +214,18 @@ StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrac
   result.windows_read = views.size();
   bool found = false;
   double best = 0.0;
+  // Best value *witnessed inside the query range* (raw events, landmark
+  // events, fully covered windows). The conservative whole-window bound and
+  // the witness bracket the true range-restricted extremum from both sides.
+  bool witnessed = false;
+  double witness = 0.0;
   auto consider = [&](double v) {
     best = found ? (is_min ? std::min(best, v) : std::max(best, v)) : v;
     found = true;
+  };
+  auto consider_witness = [&](double v) {
+    witness = witnessed ? (is_min ? std::min(witness, v) : std::max(witness, v)) : v;
+    witnessed = true;
   };
   for (const auto& view : views) {
     Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
@@ -228,6 +237,7 @@ StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrac
       for (const Event& event : window.raw()) {
         if (event.ts >= spec.t1 && event.ts <= spec.t2) {
           consider(event.value);
+          consider_witness(event.value);
         }
       }
       continue;
@@ -240,7 +250,9 @@ StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrac
       // Partial windows cannot localize the extremum; include the whole
       // window's bound (conservative) and mark the answer inexact.
       consider(is_min ? minmax->min() : minmax->max());
-      if (!o.full) {
+      if (o.full) {
+        consider_witness(is_min ? minmax->min() : minmax->max());
+      } else {
         result.exact = false;
       }
     }
@@ -249,12 +261,23 @@ StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrac
   result.landmark_events = lm_events.size();
   for (const Event& event : lm_events) {
     consider(event.value);
+    consider_witness(event.value);
   }
   if (!found) {
     return Status::NotFound("no data in query range");
   }
   result.estimate = best;
-  result.ci_lo = result.ci_hi = best;
+  if (result.exact) {
+    result.ci_lo = result.ci_hi = best;
+  } else if (is_min) {
+    // True min lies between the conservative bound and the best value known
+    // to occur in range (min: [bound, witness]; max: mirrored below).
+    result.ci_lo = best;
+    result.ci_hi = witnessed ? witness : best;
+  } else {
+    result.ci_hi = best;
+    result.ci_lo = witnessed ? witness : best;
+  }
   return result;
 }
 

@@ -366,6 +366,7 @@ Status Stream::Flush() {
 
 Status Stream::EvictAllWindows() {
   SS_RETURN_IF_ERROR(Flush());
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
   for (auto& [cs, slot] : windows_) {
     if (slot.window != nullptr) {
       slot.size_bytes = slot.window->SizeBytes();
@@ -376,6 +377,7 @@ Status Stream::EvictAllWindows() {
 }
 
 void Stream::DropCleanWindowPayloads() {
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
   for (auto& [cs, slot] : windows_) {
     if (slot.window != nullptr && !slot.dirty) {
       slot.size_bytes = slot.window->SizeBytes();
@@ -482,6 +484,7 @@ StatusOr<std::unique_ptr<Stream>> Stream::Load(StreamId id, KvBackend* kv) {
 }
 
 uint64_t Stream::ResidentWindowBytes() const {
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
   uint64_t bytes = 0;
   for (const auto& [cs, slot] : windows_) {
     if (slot.window != nullptr) {
@@ -492,6 +495,7 @@ uint64_t Stream::ResidentWindowBytes() const {
 }
 
 uint64_t Stream::SizeBytes() const {
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
   uint64_t bytes = 0;
   for (const auto& [cs, slot] : windows_) {
     bytes += slot.window != nullptr ? slot.window->SizeBytes() : slot.size_bytes;
@@ -540,6 +544,10 @@ StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t
   if (windows_.empty() || t2 < t1) {
     return views;
   }
+  // Queries run under a shared stream lock; payload loads, LRU stamps and
+  // budget eviction are the read path's only writes, so serialize just this
+  // scan (the caller's aggregation over the returned views stays parallel).
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
   // Start from the first window with ts_start >= t1, plus one predecessor
   // whose cover may extend past t1. (All duplicates at ts_start == t1 must
   // be visited: with quantized clocks several windows can share a start.)

@@ -14,9 +14,11 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <queue>
 #include <set>
+#include <shared_mutex>
 #include <vector>
 
 #include "src/core/decay.h"
@@ -116,6 +118,17 @@ class Stream {
   // Removes every persisted key for this stream (DeleteStream).
   Status Erase();
 
+  // --- concurrency --------------------------------------------------------
+  // Stream-level reader/writer lock, acquired by SummaryStore (lock order:
+  // registry -> stream -> window cache -> backend). Mutating calls (Append,
+  // landmarks, Flush, Evict*, Erase) require exclusive ownership; the query
+  // surface (WindowsOverlapping, Landmarks*, SizeBytes, getters) is safe
+  // under shared ownership — the window payload cache, the only state the
+  // read path mutates, is internally guarded by cache_mu_. Code that drives
+  // a Stream directly (tools, benches, single-threaded tests) may skip
+  // locking entirely.
+  std::shared_mutex& mutex() const { return mu_; }
+
   // --- introspection ------------------------------------------------------
   StreamId id() const { return id_; }
   const StreamConfig& config() const { return config_; }
@@ -193,6 +206,13 @@ class Stream {
   StreamConfig config_;
   KvBackend* kv_;
   DecaySequence seq_;
+
+  // See mutex() above. cache_mu_ serializes the query path's only mutations
+  // — window payload loads/evictions and LRU stamps — so concurrent queries
+  // holding mu_ shared stay race-free; the expensive aggregation over the
+  // returned WindowViews still runs fully in parallel.
+  mutable std::shared_mutex mu_;
+  mutable std::mutex cache_mu_;
 
   uint64_t n_ = 0;  // summarized (non-landmark) elements ingested
   uint64_t landmark_elements_ = 0;

@@ -1,6 +1,8 @@
 #include "src/core/summary_store.h"
 
+#include <algorithm>
 #include <cmath>
+#include <future>
 
 #include "src/common/logging.h"
 #include "src/obs/metrics.h"
@@ -15,9 +17,11 @@ StatusOr<std::unique_ptr<SummaryStore>> SummaryStore::Open(const StoreOptions& o
     SS_ASSIGN_OR_RETURN(std::unique_ptr<LsmStore> lsm, LsmStore::Open(options.dir, options.lsm));
     kv = std::move(lsm);
   }
-  std::unique_ptr<SummaryStore> store(new SummaryStore(std::move(kv)));
+  std::unique_ptr<SummaryStore> store(
+      new SummaryStore(std::move(kv), options.fleet_query_threads));
 
-  // Store meta: varint next_id, varint count, then stream ids.
+  // Store meta: varint next_id, varint count, then stream ids. No locking:
+  // the store is not published to other threads until Open returns.
   auto meta = store->kv_->Get(StoreMetaKey());
   if (meta.ok()) {
     Reader reader(*meta);
@@ -44,13 +48,29 @@ Status SummaryStore::PersistStreamList() {
   return kv_->Put(StoreMetaKey(), writer.data());
 }
 
+StatusOr<Stream*> SummaryStore::FindStreamLocked(StreamId id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("stream " + std::to_string(id) + " not found");
+  }
+  return it->second.get();
+}
+
 StatusOr<StreamId> SummaryStore::CreateStream(StreamConfig config) {
-  StreamId id = next_stream_id_++;
-  SS_RETURN_IF_ERROR(CreateStreamWithId(id, std::move(config)));
+  std::unique_lock<std::shared_mutex> registry(registry_mu_);
+  // The id is committed only if creation succeeds (CreateStreamWithIdLocked
+  // bumps next_stream_id_ past it); a rejected config leaks nothing.
+  const StreamId id = next_stream_id_;
+  SS_RETURN_IF_ERROR(CreateStreamWithIdLocked(id, std::move(config)));
   return id;
 }
 
 Status SummaryStore::CreateStreamWithId(StreamId id, StreamConfig config) {
+  std::unique_lock<std::shared_mutex> registry(registry_mu_);
+  return CreateStreamWithIdLocked(id, std::move(config));
+}
+
+Status SummaryStore::CreateStreamWithIdLocked(StreamId id, StreamConfig config) {
   if (streams_.contains(id)) {
     return Status::AlreadyExists("stream " + std::to_string(id) + " exists");
   }
@@ -64,6 +84,7 @@ Status SummaryStore::CreateStreamWithId(StreamId id, StreamConfig config) {
 }
 
 Status SummaryStore::DeleteStream(StreamId id) {
+  std::unique_lock<std::shared_mutex> registry(registry_mu_);
   auto it = streams_.find(id);
   if (it == streams_.end()) {
     return Status::NotFound("stream " + std::to_string(id) + " not found");
@@ -74,6 +95,7 @@ Status SummaryStore::DeleteStream(StreamId id) {
 }
 
 std::vector<StreamId> SummaryStore::ListStreams() const {
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
   std::vector<StreamId> ids;
   ids.reserve(streams_.size());
   for (const auto& [id, stream] : streams_) {
@@ -83,38 +105,46 @@ std::vector<StreamId> SummaryStore::ListStreams() const {
 }
 
 StatusOr<Stream*> SummaryStore::GetStream(StreamId id) {
-  auto it = streams_.find(id);
-  if (it == streams_.end()) {
-    return Status::NotFound("stream " + std::to_string(id) + " not found");
-  }
-  return it->second.get();
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
+  return FindStreamLocked(id);
 }
 
 Status SummaryStore::Append(StreamId id, Timestamp ts, double value) {
   static Counter& appends = MetricRegistry::Default().GetCounter("ss_core_append_total");
   static LatencyHistogram& append_us =
       MetricRegistry::Default().GetHistogram("ss_core_append_us");
-  SS_ASSIGN_OR_RETURN(Stream * stream, GetStream(id));
+  static LatencyHistogram& lock_wait_us = MetricRegistry::Default().GetHistogram(
+      "ss_core_stream_lock_wait_us", "op=\"append\"");
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
+  SS_ASSIGN_OR_RETURN(Stream * stream, FindStreamLocked(id));
   appends.Inc();
-  // Latency is sampled 1-in-64: the two clock reads of a ScopedTimer cost
+  // Latency and lock wait are sampled 1-in-64: the extra clock reads cost
   // ~8% of a raw append, well past the 5% instrumentation budget, while a
-  // 1/64 sample keeps the histogram honest at any realistic ingest rate.
+  // 1/64 sample keeps the histograms honest at any realistic ingest rate.
   if ((appends.value() & 63) == 0) {
+    Stopwatch wait;
+    std::unique_lock<std::shared_mutex> stream_lock(stream->mutex());
+    lock_wait_us.Record(static_cast<uint64_t>(wait.ElapsedMicros()));
     ScopedTimer timer(append_us);
     return stream->Append(ts, value);
   }
+  std::unique_lock<std::shared_mutex> stream_lock(stream->mutex());
   return stream->Append(ts, value);
 }
 
 Status SummaryStore::Append(StreamId id, double value) { return Append(id, NowMicros(), value); }
 
 Status SummaryStore::BeginLandmark(StreamId id, Timestamp ts) {
-  SS_ASSIGN_OR_RETURN(Stream * stream, GetStream(id));
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
+  SS_ASSIGN_OR_RETURN(Stream * stream, FindStreamLocked(id));
+  std::unique_lock<std::shared_mutex> stream_lock(stream->mutex());
   return stream->BeginLandmark(ts);
 }
 
 Status SummaryStore::EndLandmark(StreamId id, Timestamp ts) {
-  SS_ASSIGN_OR_RETURN(Stream * stream, GetStream(id));
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
+  SS_ASSIGN_OR_RETURN(Stream * stream, FindStreamLocked(id));
+  std::unique_lock<std::shared_mutex> stream_lock(stream->mutex());
   return stream->EndLandmark(ts);
 }
 
@@ -122,14 +152,24 @@ StatusOr<QueryResult> SummaryStore::Query(StreamId id, const QuerySpec& spec) {
   static Counter& queries = MetricRegistry::Default().GetCounter("ss_core_query_total");
   static LatencyHistogram& query_us =
       MetricRegistry::Default().GetHistogram("ss_core_query_us");
-  SS_ASSIGN_OR_RETURN(Stream * stream, GetStream(id));
+  static LatencyHistogram& lock_wait_us = MetricRegistry::Default().GetHistogram(
+      "ss_core_stream_lock_wait_us", "op=\"query\"");
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
+  SS_ASSIGN_OR_RETURN(Stream * stream, FindStreamLocked(id));
   queries.Inc();
   ScopedTimer timer(query_us);
+  // Shared ownership for the whole query: concurrent queries overlap freely,
+  // appends to this stream wait (and vice versa — see stream.h).
+  Stopwatch wait;
+  std::shared_lock<std::shared_mutex> stream_lock(stream->mutex());
+  lock_wait_us.Record(static_cast<uint64_t>(wait.ElapsedMicros()));
   if (!spec.collect_trace) {
     return RunQuery(*stream, spec);
   }
   // Explain mode: bracket the query with backend cache counters so the trace
-  // reports the block-cache traffic this query caused.
+  // reports the block-cache traffic this query caused. (Counters are global:
+  // concurrent queries bleed into each other's deltas; explain is a
+  // diagnostic, not an isolation domain.)
   KvBackend::CacheStats before = kv_->GetCacheStats();
   StatusOr<QueryResult> result = RunQuery(*stream, spec);
   if (result.ok() && result->trace != nullptr) {
@@ -142,9 +182,34 @@ StatusOr<QueryResult> SummaryStore::Query(StreamId id, const QuerySpec& spec) {
 
 StatusOr<std::vector<Event>> SummaryStore::QueryLandmark(StreamId id, Timestamp t1, Timestamp t2) {
   static Counter& queries = MetricRegistry::Default().GetCounter("ss_core_query_landmark_total");
-  SS_ASSIGN_OR_RETURN(Stream * stream, GetStream(id));
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
+  SS_ASSIGN_OR_RETURN(Stream * stream, FindStreamLocked(id));
   queries.Inc();
+  std::shared_lock<std::shared_mutex> stream_lock(stream->mutex());
   return stream->QueryLandmarks(t1, t2);
+}
+
+ThreadPool* SummaryStore::FleetPool() {
+  if (fleet_query_threads_ == 1) {
+    return nullptr;  // explicit serial configuration
+  }
+  std::call_once(pool_once_, [this] {
+    size_t threads = fleet_query_threads_ == 0 ? ThreadPool::DefaultThreadCount()
+                                               : fleet_query_threads_;
+    static Gauge& queue_depth =
+        MetricRegistry::Default().GetGauge("ss_core_fleet_pool_queue_depth");
+    static LatencyHistogram& queue_us =
+        MetricRegistry::Default().GetHistogram("ss_core_fleet_task_queue_us");
+    fleet_pool_ = std::make_unique<ThreadPool>(
+        threads, [](uint64_t queue_wait_us, size_t depth) {
+          queue_us.Record(queue_wait_us);
+          queue_depth.Set(static_cast<int64_t>(depth));
+        });
+    MetricRegistry::Default()
+        .GetGauge("ss_core_fleet_pool_threads")
+        .Set(static_cast<int64_t>(threads));
+  });
+  return fleet_pool_.get();
 }
 
 StatusOr<QueryResult> SummaryStore::QueryAggregate(std::span<const StreamId> ids,
@@ -164,63 +229,130 @@ StatusOr<QueryResult> SummaryStore::QueryAggregate(std::span<const StreamId> ids
   fleet_queries.Inc();
   fleet_streams.Record(ids.size());
 
+  // Ascending stream-id order makes the floating-point merge deterministic
+  // regardless of the caller's id order or worker scheduling.
+  std::vector<StreamId> ordered(ids.begin(), ids.end());
+  std::sort(ordered.begin(), ordered.end());
+
+  // Fan the per-stream queries out on the worker pool. Each sub-query takes
+  // the registry and stream locks itself; no lock is held while waiting on
+  // the futures, so lifecycle writers can never deadlock against a fleet
+  // query (a stream deleted mid-flight surfaces as its NotFound status).
+  std::vector<StatusOr<QueryResult>> results;
+  results.reserve(ordered.size());
+  ThreadPool* pool = ordered.size() > 1 ? FleetPool() : nullptr;
+  if (pool == nullptr) {
+    for (StreamId id : ordered) {
+      results.push_back(Query(id, spec));
+    }
+  } else {
+    static Counter& fleet_tasks =
+        MetricRegistry::Default().GetCounter("ss_core_fleet_tasks_total");
+    std::vector<std::future<StatusOr<QueryResult>>> futures;
+    futures.reserve(ordered.size());
+    for (StreamId id : ordered) {
+      fleet_tasks.Inc();
+      futures.push_back(pool->Submit([this, id, &spec] { return Query(id, spec); }));
+    }
+    for (auto& future : futures) {
+      results.push_back(future.get());
+    }
+  }
+
   QueryResult combined;
   combined.confidence = spec.confidence;
   combined.exact = true;
   double variance = 0.0;  // from per-stream CI half-widths, quadrature
-  bool first = true;
-  for (StreamId id : ids) {
-    SS_ASSIGN_OR_RETURN(QueryResult result, Query(id, spec));
-    combined.windows_read += result.windows_read;
-    combined.landmark_events += result.landmark_events;
-    combined.exact = combined.exact && result.exact;
+  struct Candidate {
+    double estimate;
+    double ci_lo;
+    double ci_hi;
+  };
+  std::vector<Candidate> candidates;  // extremum path only
+  for (const StatusOr<QueryResult>& result : results) {
+    SS_RETURN_IF_ERROR(result.status());
+    combined.windows_read += result->windows_read;
+    combined.landmark_events += result->landmark_events;
+    combined.exact = combined.exact && result->exact;
     if (additive) {
-      combined.estimate += result.estimate;
-      double hw = result.CiWidth() / 2.0;
+      combined.estimate += result->estimate;
+      double hw = result->CiWidth() / 2.0;
       variance += hw * hw;
     } else {
-      bool better = first || (spec.op == QueryOp::kMin ? result.estimate < combined.estimate
-                                                       : result.estimate > combined.estimate);
-      if (better) {
-        combined.estimate = result.estimate;
-      }
+      candidates.push_back(Candidate{result->estimate, result->ci_lo, result->ci_hi});
     }
-    first = false;
   }
   if (additive) {
     double hw = std::sqrt(variance);
-    combined.ci_lo = std::max(0.0, combined.estimate - hw);
+    combined.ci_lo = combined.estimate - hw;
     combined.ci_hi = combined.estimate + hw;
+    // Counts cannot go negative; sums over negative-valued streams can, so
+    // only the count CI clamps its lower bound at zero.
+    if (spec.op == QueryOp::kCount) {
+      combined.ci_lo = std::max(0.0, combined.ci_lo);
+    }
   } else {
-    combined.ci_lo = combined.ci_hi = combined.estimate;
+    const bool is_min = spec.op == QueryOp::kMin;
+    size_t win = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      bool better = is_min ? candidates[i].estimate < candidates[win].estimate
+                           : candidates[i].estimate > candidates[win].estimate;
+      if (better) {
+        win = i;
+      }
+    }
+    combined.estimate = candidates[win].estimate;
+    // Any stream whose interval overlaps the winner's could hold the true
+    // extremum; the combined CI is the envelope of those candidates. With
+    // all sub-answers exact this degenerates to the point estimate.
+    combined.ci_lo = candidates[win].ci_lo;
+    combined.ci_hi = candidates[win].ci_hi;
+    for (const Candidate& c : candidates) {
+      bool contender = is_min ? c.ci_lo <= candidates[win].ci_hi
+                              : c.ci_hi >= candidates[win].ci_lo;
+      if (contender) {
+        combined.ci_lo = std::min(combined.ci_lo, c.ci_lo);
+        combined.ci_hi = std::max(combined.ci_hi, c.ci_hi);
+      }
+    }
   }
   return combined;
 }
 
 Status SummaryStore::Flush() {
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
   for (auto& [id, stream] : streams_) {
+    std::unique_lock<std::shared_mutex> stream_lock(stream->mutex());
     SS_RETURN_IF_ERROR(stream->Flush());
   }
   return kv_->Flush();
 }
 
 Status SummaryStore::EvictAll() {
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
   for (auto& [id, stream] : streams_) {
+    std::unique_lock<std::shared_mutex> stream_lock(stream->mutex());
     SS_RETURN_IF_ERROR(stream->EvictAllWindows());
   }
   return kv_->Flush();
 }
 
 void SummaryStore::DropCaches() {
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
   for (auto& [id, stream] : streams_) {
+    // Shared suffices: payload drops are guarded by the stream's internal
+    // cache mutex, and clean/dirty flags only change under exclusive locks.
+    std::shared_lock<std::shared_mutex> stream_lock(stream->mutex());
     stream->DropCleanWindowPayloads();
   }
   kv_->DropCaches();
 }
 
 uint64_t SummaryStore::TotalSizeBytes() const {
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
   uint64_t bytes = 0;
   for (const auto& [id, stream] : streams_) {
+    std::shared_lock<std::shared_mutex> stream_lock(stream->mutex());
     bytes += stream->SizeBytes();
   }
   return bytes;

@@ -14,10 +14,13 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/core/query.h"
 #include "src/core/stream.h"
 #include "src/storage/lsm_store.h"
@@ -30,8 +33,21 @@ struct StoreOptions {
   // backend (tests, ephemeral analysis).
   std::string dir;
   LsmOptions lsm;
+  // Worker threads for QueryAggregate's per-stream fan-out: 0 picks
+  // ThreadPool::DefaultThreadCount(), 1 forces the serial in-line path (no
+  // pool; benchmark baseline), N > 1 sizes the pool explicitly. The pool is
+  // spawned lazily on the first multi-stream QueryAggregate.
+  size_t fleet_query_threads = 0;
 };
 
+// Thread-safety: all public methods are safe to call concurrently. A
+// shared_mutex guards the stream registry (exclusive for Create/Delete,
+// shared elsewhere) and each Stream carries its own reader/writer lock, so
+// appends to different streams and queries against any stream — including
+// one being appended to from another thread — proceed in parallel. Lock
+// order is registry -> stream -> window cache -> backend; see DESIGN.md
+// "Threading model". GetStream() hands out a raw Stream* for tools and
+// benchmarks: driving it while other threads use the store is on the caller.
 class SummaryStore {
  public:
   // Opens (or creates) a store and reloads every registered stream's index.
@@ -57,7 +73,12 @@ class SummaryStore {
   // Fleet query: one additive aggregate (count / sum) or extremum
   // (min / max) over several streams at once. Additive estimates sum and
   // their CI half-widths combine in quadrature (streams are independent);
-  // extrema take the min/max of the per-stream answers.
+  // extrema take the min/max of the per-stream answers, with the combined
+  // CI spanning every stream whose interval overlaps the winner's (any of
+  // them could hold the true extremum). Per-stream queries fan out on the
+  // worker pool (StoreOptions::fleet_query_threads) and merge in ascending
+  // stream-id order, so the result is deterministic for a given id set
+  // regardless of scheduling or the order ids were passed in.
   StatusOr<QueryResult> QueryAggregate(std::span<const StreamId> ids, const QuerySpec& spec);
 
   // --- maintenance ---------------------------------------------------------
@@ -75,13 +96,30 @@ class SummaryStore {
   KvBackend& backend() { return *kv_; }
 
  private:
-  explicit SummaryStore(std::unique_ptr<KvBackend> kv) : kv_(std::move(kv)) {}
+  SummaryStore(std::unique_ptr<KvBackend> kv, size_t fleet_query_threads)
+      : kv_(std::move(kv)), fleet_query_threads_(fleet_query_threads) {}
 
+  // Callers must hold registry_mu_ (shared suffices for Find, exclusive for
+  // Create); the returned pointer stays valid only while the lock is held.
+  StatusOr<Stream*> FindStreamLocked(StreamId id);
+  Status CreateStreamWithIdLocked(StreamId id, StreamConfig config);
   Status PersistStreamList();
+  // Lazily spawns the fleet-query pool; returns null when configured serial.
+  ThreadPool* FleetPool();
 
   std::unique_ptr<KvBackend> kv_;
+
+  // Guards streams_ and next_stream_id_. Stream lifecycle (create/delete,
+  // flush-all, reload) takes it exclusive; per-stream traffic takes it
+  // shared and then the stream's own lock, so the registry is never a
+  // bottleneck on the append/query hot paths.
+  mutable std::shared_mutex registry_mu_;
   std::map<StreamId, std::unique_ptr<Stream>> streams_;
   StreamId next_stream_id_ = 1;
+
+  const size_t fleet_query_threads_;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> fleet_pool_;
 };
 
 }  // namespace ss

@@ -1,9 +1,15 @@
 // In-memory KvBackend: an ordered map. Used by unit tests and by benchmark
 // configurations that isolate algorithmic behavior from disk effects.
+//
+// Thread-safe behind a single mutex, matching the LsmStore contract so the
+// core layer's concurrent paths (parallel fleet queries, multi-threaded
+// appends) behave identically on both backends. Scan holds the mutex across
+// the whole visit — visitors must not call back into the backend.
 #ifndef SUMMARYSTORE_SRC_STORAGE_MEMORY_BACKEND_H_
 #define SUMMARYSTORE_SRC_STORAGE_MEMORY_BACKEND_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "src/storage/kv_backend.h"
@@ -13,13 +19,13 @@ namespace ss {
 class MemoryBackend : public KvBackend {
  public:
   Status Put(std::string_view key, std::string_view value) override {
-    auto [it, inserted] = map_.insert_or_assign(std::string(key), std::string(value));
-    (void)it;
-    (void)inserted;
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.insert_or_assign(std::string(key), std::string(value));
     return Status::Ok();
   }
 
   StatusOr<std::string> Get(std::string_view key) override {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(std::string(key));
     if (it == map_.end()) {
       return Status::NotFound("key not present");
@@ -28,11 +34,13 @@ class MemoryBackend : public KvBackend {
   }
 
   Status Delete(std::string_view key) override {
+    std::lock_guard<std::mutex> lock(mu_);
     map_.erase(std::string(key));
     return Status::Ok();
   }
 
   Status Scan(std::string_view start, std::string_view end, const ScanVisitor& visit) override {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.lower_bound(std::string(start));
     auto stop = end.empty() ? map_.end() : map_.lower_bound(std::string(end));
     for (; it != stop; ++it) {
@@ -46,6 +54,7 @@ class MemoryBackend : public KvBackend {
   Status Flush() override { return Status::Ok(); }
 
   uint64_t ApproximateSizeBytes() const override {
+    std::lock_guard<std::mutex> lock(mu_);
     uint64_t bytes = 0;
     for (const auto& [k, v] : map_) {
       bytes += k.size() + v.size();
@@ -53,9 +62,13 @@ class MemoryBackend : public KvBackend {
     return bytes;
   }
 
-  size_t entry_count() const { return map_.size(); }
+  size_t entry_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   // std::less<> enables heterogeneous lookup; keys stay owned strings.
   std::map<std::string, std::string, std::less<>> map_;
 };

@@ -1,0 +1,96 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace ss {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  int total = 0;
+  for (auto& f : futures) {
+    total += f.get();
+  }
+  // Σ i² for i in [0, 100)
+  EXPECT_EQ(total, 99 * 100 * 199 / 6);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&] {
+      int now = running.fetch_add(1, std::memory_order_relaxed) + 1;
+      int prev = peak.load(std::memory_order_relaxed);
+      while (prev < now && !peak.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      running.fetch_sub(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_GT(peak.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destruction joins after running everything already queued: no task is
+    // dropped and no future is broken.
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ObserverSeesQueueWaitAndDepth) {
+  std::atomic<uint64_t> observations{0};
+  {
+    ThreadPool pool(2, [&](uint64_t /*wait_us*/, size_t /*depth*/) {
+      observations.fetch_add(1, std::memory_order_relaxed);
+    });
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 20; ++i) {
+      futures.push_back(pool.Submit([] {}));
+    }
+    for (auto& f : futures) {
+      f.get();
+    }
+  }
+  EXPECT_EQ(observations.load(), 20u);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsBounded) {
+  size_t n = ThreadPool::DefaultThreadCount();
+  EXPECT_GE(n, 2u);
+  EXPECT_LE(n, 8u);
+}
+
+}  // namespace
+}  // namespace ss

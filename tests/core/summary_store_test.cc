@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/core/summary_store.h"
 #include "src/storage/file_util.h"
 
@@ -241,6 +243,116 @@ TEST_F(DurableStoreTest, TotalSizeGrowsSublinearly) {
   double growth = static_cast<double>(size_at_100k) / static_cast<double>(size_at_10k);
   EXPECT_LT(growth, 5.0);
   EXPECT_GT(growth, 2.0);
+}
+
+// --- fleet-query CI regression coverage (PR 2 bugfixes) ---------------------
+
+TEST(QueryAggregateCi, NegativeSumLowerBoundNotClampedAtZero) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  std::vector<StreamId> ids;
+  for (int s = 0; s < 2; ++s) {
+    ids.push_back(*(*store)->CreateStream(SmallConfig()));
+    for (int t = 1; t <= 2000; ++t) {
+      ASSERT_TRUE((*store)->Append(ids.back(), t, -1.0).ok());
+    }
+  }
+  // Unaligned sub-range: old windows are summarized, so partial coverage
+  // forces estimation and a non-degenerate CI.
+  QuerySpec spec{.t1 = 137, .t2 = 1721, .op = QueryOp::kSum};
+  auto result = (*store)->QueryAggregate(ids, spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->exact);
+  const double truth = 2.0 * -(1721 - 137 + 1);
+  EXPECT_LT(result->estimate, 0.0);
+  EXPECT_NEAR(result->estimate, truth, 0.05 * std::abs(truth));
+  EXPECT_LE(result->ci_lo, result->estimate);
+  EXPECT_GE(result->ci_hi, result->estimate);
+  // The old clamp pinned ci_lo at 0, above the (negative) estimate.
+  EXPECT_LT(result->ci_lo, 0.0);
+
+  // Counts cannot be negative: their lower bound still clamps at zero.
+  QuerySpec count{.t1 = 137, .t2 = 1721, .op = QueryOp::kCount};
+  auto count_result = (*store)->QueryAggregate(ids, count);
+  ASSERT_TRUE(count_result.ok());
+  EXPECT_GE(count_result->ci_lo, 0.0);
+}
+
+TEST(QueryAggregateCi, InexactExtremumKeepsCandidateIntervals) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  std::vector<StreamId> ids;
+  for (int s = 0; s < 2; ++s) {
+    ids.push_back(*(*store)->CreateStream(SmallConfig()));
+    for (int t = 1; t <= 2000; ++t) {
+      // A deep negative spike early in the stream, positive sawtooth after:
+      // an old summarized window straddling the query start carries the
+      // spike in its whole-window bound without witnessing it in range.
+      double v = (t >= 140 && t <= 170) ? -1000.0 - s : (t % 10) + 1.0;
+      ASSERT_TRUE((*store)->Append(ids.back(), t, v).ok());
+    }
+  }
+  QuerySpec spec{.t1 = 171 + 4, .t2 = 1900, .op = QueryOp::kMin};
+  auto result = (*store)->QueryAggregate(ids, spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->exact);
+  // The old code collapsed the fleet CI to the estimate even when inexact.
+  EXPECT_LT(result->ci_lo, result->ci_hi);
+  EXPECT_LE(result->ci_lo, result->estimate);
+  // True in-range min is 1.0 (sawtooth floor); the interval must contain it.
+  EXPECT_LE(result->ci_lo, 1.0);
+  EXPECT_GE(result->ci_hi, 1.0);
+
+  // Mirrored for kMax over a negated query range.
+  QuerySpec max_spec{.t1 = 171 + 4, .t2 = 1900, .op = QueryOp::kMax};
+  auto max_result = (*store)->QueryAggregate(ids, max_spec);
+  ASSERT_TRUE(max_result.ok());
+  EXPECT_GE(max_result->ci_hi, max_result->ci_lo);
+  EXPECT_GE(max_result->ci_hi, max_result->estimate - 1e-12);
+}
+
+TEST(QueryAggregateParallel, MatchesSerialBitwiseAnyIdOrder) {
+  StoreOptions serial_options;
+  serial_options.fleet_query_threads = 1;  // in-line, no pool
+  StoreOptions parallel_options;
+  parallel_options.fleet_query_threads = 4;
+  auto serial = SummaryStore::Open(serial_options);
+  auto parallel = SummaryStore::Open(parallel_options);
+  std::vector<StreamId> ids;
+  for (int s = 0; s < 9; ++s) {
+    StreamId a = *(*serial)->CreateStream(SmallConfig());
+    StreamId b = *(*parallel)->CreateStream(SmallConfig());
+    ASSERT_EQ(a, b);
+    ids.push_back(a);
+    for (int t = 1; t <= 600; ++t) {
+      double v = std::sin(0.1 * t) * (s + 1);
+      ASSERT_TRUE((*serial)->Append(a, t, v).ok());
+      ASSERT_TRUE((*parallel)->Append(b, t, v).ok());
+    }
+  }
+  std::vector<StreamId> shuffled(ids.rbegin(), ids.rend());
+  for (QueryOp op : {QueryOp::kCount, QueryOp::kSum, QueryOp::kMin, QueryOp::kMax}) {
+    QuerySpec spec{.t1 = 50, .t2 = 487, .op = op};
+    auto a = (*serial)->QueryAggregate(ids, spec);
+    auto b = (*parallel)->QueryAggregate(shuffled, spec);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    // Merges happen in ascending stream-id order on both paths, so the
+    // floating-point results are bitwise identical.
+    EXPECT_EQ(a->estimate, b->estimate) << QueryOpName(op);
+    EXPECT_EQ(a->ci_lo, b->ci_lo) << QueryOpName(op);
+    EXPECT_EQ(a->ci_hi, b->ci_hi) << QueryOpName(op);
+    EXPECT_EQ(a->exact, b->exact) << QueryOpName(op);
+  }
+}
+
+TEST(SummaryStoreApi, FailedCreateDoesNotLeakStreamIds) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  StreamId a = *(*store)->CreateStream(SmallConfig());
+  StreamConfig bad;  // null decay: rejected by CreateStream
+  EXPECT_EQ((*store)->CreateStream(std::move(bad)).status().code(),
+            StatusCode::kInvalidArgument);
+  StreamId b = *(*store)->CreateStream(SmallConfig());
+  // The id probed by the failed create is reused, not leaked.
+  EXPECT_EQ(b, a + 1);
 }
 
 }  // namespace

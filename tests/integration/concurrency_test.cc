@@ -1,0 +1,203 @@
+// Concurrency stress: N writer threads × M reader threads × fleet queries
+// against one SummaryStore, exercising the registry shared_mutex, the
+// per-stream reader/writer locks, the window-payload cache mutex, and the
+// QueryAggregate worker pool. Run under TSan by tools/ci.sh
+// (SS_SANITIZE=thread); must be clean — any data race is a bug, not flake.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/core/summary_store.h"
+
+namespace ss {
+namespace {
+
+StreamConfig TinyConfig() {
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  config.operators = OperatorSet::AggregatesOnly();
+  config.raw_threshold = 8;
+  return config;
+}
+
+constexpr int kWriters = 4;
+constexpr int kReaders = 4;
+constexpr int kAppendsPerWriter = 8000;
+
+TEST(Concurrency, WritersReadersAndFleetQueries) {
+  StoreOptions options;
+  options.fleet_query_threads = 4;
+  auto store_or = SummaryStore::Open(options);
+  ASSERT_TRUE(store_or.ok());
+  SummaryStore& store = **store_or;
+
+  std::vector<StreamId> ids;
+  for (int w = 0; w < kWriters; ++w) {
+    auto sid = store.CreateStream(TinyConfig());
+    ASSERT_TRUE(sid.ok());
+    ids.push_back(*sid);
+  }
+
+  std::atomic<int> writers_done{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+
+  // One writer per stream: appends must stay monotone within a stream.
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int t = 1; t <= kAppendsPerWriter; ++t) {
+        if (!store.Append(ids[w], t, static_cast<double>(t % 100)).ok()) {
+          failed.store(true);
+          break;
+        }
+      }
+      writers_done.fetch_add(1);
+    });
+  }
+
+  // Readers mix single-stream queries with fleet queries while writes land.
+  // Estimates race the writers, so only invariants are checked here; exact
+  // answers are verified after the join below.
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      int iter = 0;
+      while (writers_done.load() < kWriters && !failed.load()) {
+        QuerySpec spec{.t1 = 1, .t2 = kAppendsPerWriter, .op = QueryOp::kCount};
+        auto single = store.Query(ids[(r + iter) % kWriters], spec);
+        if (single.ok() && (single->estimate < 0.0 || single->ci_hi < single->ci_lo)) {
+          failed.store(true);
+        }
+        spec.op = QueryOp::kSum;
+        auto fleet = store.QueryAggregate(ids, spec);
+        if (fleet.ok() && fleet->ci_hi < fleet->ci_lo) {
+          failed.store(true);
+        }
+        ++iter;
+      }
+    });
+  }
+
+  // Maintenance thread: flushes and size probes interleave with traffic.
+  threads.emplace_back([&] {
+    while (writers_done.load() < kWriters && !failed.load()) {
+      ASSERT_TRUE(store.Flush().ok());
+      (void)store.TotalSizeBytes();
+      (void)store.ListStreams();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  ASSERT_FALSE(failed.load());
+
+  // Quiesced: every append must be visible and exactly countable.
+  QuerySpec all{.t1 = 1, .t2 = kAppendsPerWriter, .op = QueryOp::kCount};
+  for (StreamId id : ids) {
+    auto result = store.Query(id, all);
+    ASSERT_TRUE(result.ok());
+    EXPECT_DOUBLE_EQ(result->estimate, kAppendsPerWriter);
+  }
+  auto fleet = store.QueryAggregate(ids, all);
+  ASSERT_TRUE(fleet.ok());
+  EXPECT_DOUBLE_EQ(fleet->estimate, static_cast<double>(kWriters) * kAppendsPerWriter);
+}
+
+TEST(Concurrency, ParallelQueriesReloadEvictedWindows) {
+  // A small window-cache budget plus EvictAll forces concurrent queries to
+  // load payloads through the stream's cache mutex — the shared-lock
+  // read path's only mutation.
+  StoreOptions options;
+  options.fleet_query_threads = 4;
+  auto store_or = SummaryStore::Open(options);
+  ASSERT_TRUE(store_or.ok());
+  SummaryStore& store = **store_or;
+
+  StreamConfig config = TinyConfig();
+  config.window_cache_bytes = 1024;
+  auto sid = store.CreateStream(std::move(config));
+  ASSERT_TRUE(sid.ok());
+  for (int t = 1; t <= 20000; ++t) {
+    ASSERT_TRUE(store.Append(*sid, t, 1.0).ok());
+  }
+  ASSERT_TRUE(store.EvictAll().ok());
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 8; ++r) {
+    threads.emplace_back([&, r] {
+      for (int i = 0; i < 20; ++i) {
+        QuerySpec spec{.t1 = 1 + 97 * r + i, .t2 = 19000 - 31 * i, .op = QueryOp::kCount};
+        auto result = store.Query(*sid, spec);
+        if (!result.ok() || result->estimate <= 0.0) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(Concurrency, StreamLifecycleChurnUnderTraffic) {
+  // Create/delete churn takes the registry lock exclusive while appends,
+  // queries and fleet queries hammer the shared path on stable streams.
+  StoreOptions options;
+  options.fleet_query_threads = 2;
+  auto store_or = SummaryStore::Open(options);
+  ASSERT_TRUE(store_or.ok());
+  SummaryStore& store = **store_or;
+
+  std::vector<StreamId> stable;
+  for (int s = 0; s < 2; ++s) {
+    stable.push_back(*store.CreateStream(TinyConfig()));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < stable.size(); ++w) {
+    threads.emplace_back([&, w] {
+      for (int t = 1; t <= 4000 && !failed.load(); ++t) {
+        if (!store.Append(stable[w], t, 1.0).ok()) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      QuerySpec spec{.t1 = 1, .t2 = 4000, .op = QueryOp::kCount};
+      auto fleet = store.QueryAggregate(stable, spec);
+      if (!fleet.ok()) {
+        failed.store(true);  // stable streams are never deleted
+      }
+    }
+  });
+  threads.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) {
+      auto sid = store.CreateStream(TinyConfig());
+      if (!sid.ok() || !store.Append(*sid, 1, 1.0).ok() ||
+          !store.DeleteStream(*sid).ok()) {
+        failed.store(true);
+        break;
+      }
+    }
+    stop.store(true);
+  });
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(store.ListStreams().size(), stable.size());
+}
+
+}  // namespace
+}  // namespace ss

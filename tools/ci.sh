@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 build + full test suite, then an ASan+UBSan build
 # of the obs and storage tests (the layers with the most concurrency and
-# raw-pointer traffic).
+# raw-pointer traffic), then a TSan build of the core locking and worker-pool
+# tests (SS_SANITIZE=thread).
 #
 #   tools/ci.sh [build-dir-prefix]    (default: build)
 set -euo pipefail
@@ -30,6 +31,17 @@ for t in metrics_test trace_test wal_test sstable_test lsm_store_test \
   else
     "${san_dir}/tests/${t}"
   fi
+done
+
+tsan_dir="${prefix}-tsan"
+echo "=== sanitizers: TSan build of core + concurrency tests (${tsan_dir}) ==="
+cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSS_SANITIZE=thread
+cmake --build "${tsan_dir}" -j"$(nproc)" --target \
+  thread_pool_test summary_store_test lsm_concurrency_test concurrency_test
+for t in thread_pool_test summary_store_test lsm_concurrency_test \
+         concurrency_test; do
+  echo "--- ${t} (tsan)"
+  TSAN_OPTIONS=halt_on_error=1 "${tsan_dir}/tests/${t}"
 done
 
 echo "=== ci.sh: all green ==="
