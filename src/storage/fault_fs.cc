@@ -1,0 +1,441 @@
+#include "src/storage/fault_fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+
+namespace ss {
+
+namespace {
+
+// Raw helpers that bypass fault accounting: ApplyPowerLoss rewinds the real
+// filesystem with these after the simulated machine is already "dead".
+bool RawExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+uint64_t RawSize(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size) : 0;
+}
+
+Status RawWriteFile(const std::string& path, std::string_view contents) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("power-loss restore: open " + path);
+  }
+  const char* p = contents.data();
+  size_t left = contents.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IoError("power-loss restore: write " + path);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+StatusOr<std::string> RawReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("snapshot: open " + path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      ::close(fd);
+      return Status::IoError("snapshot: read " + path);
+    }
+    if (n == 0) {
+      break;
+    }
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Counter& InjectedFaultsCounter() {
+  static Counter& counter =
+      MetricRegistry::Default().GetCounter("ss_storage_fault_injected_total");
+  return counter;
+}
+
+}  // namespace
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kOpen:
+      return "open";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kFsync:
+      return "fsync";
+    case FaultOp::kRename:
+      return "rename";
+    case FaultOp::kUnlink:
+      return "unlink";
+    case FaultOp::kMkdir:
+      return "mkdir";
+    case FaultOp::kFsyncDir:
+      return "fsyncdir";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------- configuration
+
+void FaultFs::FailAt(FaultOp op, uint64_t nth, int error_code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_[op][nth] = error_code;
+}
+
+void FaultFs::CrashAtOpIndex(uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_op_ = nth;
+}
+
+void FaultFs::SetTornWriteBytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  torn_write_bytes_ = bytes;
+}
+
+void FaultFs::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+  crash_at_op_ = 0;
+  torn_write_bytes_ = 0;
+  total_ops_ = 0;
+  injected_ = 0;
+  op_counts_.clear();
+  fail_at_.clear();
+  files_.clear();
+  fds_.clear();
+  rollbacks_.clear();
+  rollback_order_.clear();
+}
+
+bool FaultFs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultFs::mutating_op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ops_;
+}
+
+uint64_t FaultFs::op_count(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = op_counts_.find(op);
+  return it != op_counts_.end() ? it->second : 0;
+}
+
+uint64_t FaultFs::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+bool FaultFs::BeginMutatingOpLocked(FaultOp op, int* error_code, bool* just_crashed) {
+  *just_crashed = false;
+  if (crashed_) {
+    *error_code = EIO;
+    return false;
+  }
+  ++total_ops_;
+  ++op_counts_[op];
+  if (crash_at_op_ != 0 && total_ops_ == crash_at_op_) {
+    crashed_ = true;
+    ++injected_;
+    InjectedFaultsCounter().Inc();
+    *error_code = EIO;
+    *just_crashed = true;
+    return false;
+  }
+  auto per_op = fail_at_.find(op);
+  if (per_op != fail_at_.end()) {
+    auto hit = per_op->second.find(op_counts_[op]);
+    if (hit != per_op->second.end()) {
+      ++injected_;
+      InjectedFaultsCounter().Inc();
+      *error_code = hit->second;
+      return false;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------- FileOps
+
+int FaultFs::Open(const std::string& path, int flags, int mode) {
+  if ((flags & O_ACCMODE) == O_RDONLY) {
+    return ::open(path.c_str(), flags, mode);  // reads survive the "crash"
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  int err;
+  bool just_crashed;
+  if (!BeginMutatingOpLocked(FaultOp::kOpen, &err, &just_crashed)) {
+    errno = err;
+    return -1;
+  }
+  struct stat st;
+  bool existed = ::stat(path.c_str(), &st) == 0;
+  int fd = ::open(path.c_str(), flags, mode);
+  if (fd < 0) {
+    return fd;
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    FileState state;
+    if (existed) {
+      // Pre-existing, never written through us: assume it was durable.
+      state.size = static_cast<uint64_t>(st.st_size);
+      state.synced = state.size;
+      state.entry_durable = true;
+    } else {
+      state.entry_durable = false;
+    }
+    it = files_.emplace(path, state).first;
+  }
+  if (!existed) {
+    it->second = FileState{};
+    it->second.entry_durable = false;
+  } else if ((flags & O_TRUNC) != 0) {
+    // In-place truncation destroys the old bytes at once; model it as
+    // immediately durable — the strictest reading for the caller.
+    it->second.size = 0;
+    it->second.synced = 0;
+  }
+  fds_[fd] = path;
+  return fd;
+}
+
+ssize_t FaultFs::Write(int fd, const void* buf, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int err;
+  bool just_crashed;
+  if (!BeginMutatingOpLocked(FaultOp::kWrite, &err, &just_crashed)) {
+    if (just_crashed && torn_write_bytes_ > 0 && n > 0) {
+      // Persist a torn prefix of the dying write. The prefix — and any
+      // earlier unsynced bytes of the same file, which a page-granular disk
+      // would have carried along — counts as durable.
+      size_t torn = std::min<size_t>(torn_write_bytes_, n);
+      ssize_t wrote = ::write(fd, buf, torn);
+      auto fd_it = fds_.find(fd);
+      if (wrote > 0 && fd_it != fds_.end()) {
+        FileState& state = files_[fd_it->second];
+        state.size += static_cast<uint64_t>(wrote);
+        state.synced = state.size;
+      }
+    }
+    errno = err;
+    return -1;
+  }
+  ssize_t wrote = ::write(fd, buf, n);
+  if (wrote > 0) {
+    auto fd_it = fds_.find(fd);
+    if (fd_it != fds_.end()) {
+      files_[fd_it->second].size += static_cast<uint64_t>(wrote);
+    }
+  }
+  return wrote;
+}
+
+ssize_t FaultFs::Pread(int fd, void* buf, size_t n, uint64_t offset) {
+  return ::pread(fd, buf, n, static_cast<off_t>(offset));
+}
+
+int FaultFs::Fsync(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int err;
+  bool just_crashed;
+  if (!BeginMutatingOpLocked(FaultOp::kFsync, &err, &just_crashed)) {
+    errno = err;
+    return -1;
+  }
+  auto fd_it = fds_.find(fd);
+  if (fd_it != fds_.end()) {
+    FileState& state = files_[fd_it->second];
+    state.synced = state.size;
+  }
+  // Durability is simulated; skipping the real fsync keeps matrix runs fast.
+  return 0;
+}
+
+int FaultFs::Close(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fds_.erase(fd);  // file state (keyed by path) persists until power loss
+  return ::close(fd);
+}
+
+int FaultFs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int err;
+  bool just_crashed;
+  if (!BeginMutatingOpLocked(FaultOp::kRename, &err, &just_crashed)) {
+    errno = err;
+    return -1;
+  }
+  if (rollbacks_.find(to) == rollbacks_.end()) {
+    // First uncommitted rename onto `to`: snapshot its durable contents.
+    RenameRollback rb;
+    rb.from = from;
+    rb.to = to;
+    if (RawExists(to)) {
+      auto contents = RawReadFile(to);
+      if (contents.ok()) {
+        rb.had_old = true;
+        rb.old_contents = std::move(contents).value();
+        auto old_state = files_.find(to);
+        if (old_state != files_.end() &&
+            rb.old_contents.size() > old_state->second.synced) {
+          rb.old_contents.resize(old_state->second.synced);
+        }
+      }
+    }
+    auto from_state = files_.find(from);
+    rb.from_entry_durable =
+        from_state != files_.end() ? from_state->second.entry_durable : RawExists(from);
+    rollbacks_.emplace(to, std::move(rb));
+    rollback_order_.push_back(to);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return -1;
+  }
+  FileState moved;
+  auto from_state = files_.find(from);
+  if (from_state != files_.end()) {
+    moved = from_state->second;
+    files_.erase(from_state);
+  } else {
+    moved.size = RawSize(to);
+    moved.synced = moved.size;
+  }
+  moved.entry_durable = false;  // the new entry needs a dir fsync
+  files_[to] = moved;
+  for (auto& [open_fd, path] : fds_) {
+    (void)open_fd;
+    if (path == from) {
+      path = to;
+    }
+  }
+  return 0;
+}
+
+int FaultFs::Unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int err;
+  bool just_crashed;
+  if (!BeginMutatingOpLocked(FaultOp::kUnlink, &err, &just_crashed)) {
+    errno = err;
+    return -1;
+  }
+  int rc = ::unlink(path.c_str());
+  if (rc == 0) {
+    // Unlinked files do not resurrect: treated as immediately durable.
+    files_.erase(path);
+  }
+  return rc;
+}
+
+int FaultFs::Mkdir(const std::string& path, int mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int err;
+  bool just_crashed;
+  if (!BeginMutatingOpLocked(FaultOp::kMkdir, &err, &just_crashed)) {
+    errno = err;
+    return -1;
+  }
+  return ::mkdir(path.c_str(), mode);
+}
+
+int FaultFs::FsyncDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int err;
+  bool just_crashed;
+  if (!BeginMutatingOpLocked(FaultOp::kFsyncDir, &err, &just_crashed)) {
+    errno = err;
+    return -1;
+  }
+  for (auto& [file_path, state] : files_) {
+    if (DirName(file_path) == path) {
+      state.entry_durable = true;
+    }
+  }
+  for (auto it = rollback_order_.begin(); it != rollback_order_.end();) {
+    if (DirName(*it) == path) {
+      rollbacks_.erase(*it);  // rename committed
+      it = rollback_order_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Durability is simulated; no real directory fsync needed.
+  return 0;
+}
+
+// ---------------------------------------------------------------- power loss
+
+Status FaultFs::ApplyPowerLoss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // 1. Roll back uncommitted renames, newest first, so chained renames onto
+  //    the same target unwind to the oldest durable contents.
+  for (auto it = rollback_order_.rbegin(); it != rollback_order_.rend(); ++it) {
+    auto rb_it = rollbacks_.find(*it);
+    if (rb_it == rollbacks_.end()) {
+      continue;
+    }
+    const RenameRollback& rb = rb_it->second;
+    if (RawExists(rb.to)) {
+      if (rb.from_entry_durable) {
+        // The source entry was durable, so after the lost rename it is still
+        // there holding the new contents.
+        ::rename(rb.to.c_str(), rb.from.c_str());
+        FileState resurrected;
+        resurrected.size = RawSize(rb.from);
+        resurrected.synced = files_.count(rb.to) ? files_[rb.to].synced : resurrected.size;
+        resurrected.entry_durable = true;
+        files_[rb.from] = resurrected;
+      } else {
+        ::unlink(rb.to.c_str());
+      }
+    }
+    if (rb.had_old) {
+      SS_RETURN_IF_ERROR(RawWriteFile(rb.to, rb.old_contents));
+    }
+    files_.erase(rb.to);
+  }
+  rollbacks_.clear();
+  rollback_order_.clear();
+  // 2. Drop never-dir-synced entries and truncate unsynced tails.
+  for (const auto& [path, state] : files_) {
+    if (!RawExists(path)) {
+      continue;
+    }
+    if (!state.entry_durable) {
+      ::unlink(path.c_str());
+    } else if (RawSize(path) > state.synced) {
+      if (::truncate(path.c_str(), static_cast<off_t>(state.synced)) != 0) {
+        return Status::IoError("power-loss truncate " + path);
+      }
+    }
+  }
+  files_.clear();
+  fds_.clear();
+  return Status::Ok();
+}
+
+}  // namespace ss

@@ -1,0 +1,118 @@
+// Deterministic fault-injection FileOps for crash-consistency tests.
+//
+// FaultFs interposes on the mutating syscall surface of file_util (open for
+// write, write, fsync, rename, unlink, mkdir, directory fsync) and supports
+// two schedule kinds:
+//
+//  * FailAt(op, nth, err): the nth (1-based) call of `op` fails once with
+//    errno `err`; all other calls proceed normally. Models a transient
+//    syscall error (EIO, ENOSPC) that the process survives.
+//
+//  * CrashAtOpIndex(n): the nth mutating syscall across ALL kinds "loses
+//    power": that call and every later mutating call fail with EIO.
+//    ApplyPowerLoss() then rewinds the real filesystem to what a disk would
+//    have kept under strict POSIX durability rules:
+//      - file bytes written after the last fsync of that file are dropped
+//        (the file is truncated back to its synced length);
+//      - files created since the last fsync of their parent directory lose
+//        their directory entry entirely and vanish;
+//      - renames not yet followed by a parent-directory fsync roll back:
+//        the target regains its previous durable contents (or disappears if
+//        it did not exist) and a never-dir-synced source vanishes.
+//    SetTornWriteBytes(k) additionally persists the first k bytes of the
+//    crashing write's buffer (a torn tail); those bytes — and everything
+//    written to that file before them — count as persisted.
+//
+// Reads (pread, O_RDONLY opens) and close always pass through, even after a
+// crash, so a dying store can tear itself down without leaking descriptors.
+// Fsync calls are tracked but NOT forwarded to the kernel: durability is
+// simulated, which keeps crash-matrix runs fast and deterministic.
+//
+// All methods are thread-safe behind one mutex; schedules are configured
+// before the store under test starts issuing I/O.
+#ifndef SUMMARYSTORE_SRC_STORAGE_FAULT_FS_H_
+#define SUMMARYSTORE_SRC_STORAGE_FAULT_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/file_util.h"
+
+namespace ss {
+
+enum class FaultOp { kOpen, kWrite, kFsync, kRename, kUnlink, kMkdir, kFsyncDir };
+
+const char* FaultOpName(FaultOp op);
+
+class FaultFs : public FileOps {
+ public:
+  FaultFs() = default;
+
+  // --- schedule configuration -------------------------------------------
+  void FailAt(FaultOp op, uint64_t nth, int error_code);
+  void CrashAtOpIndex(uint64_t nth);
+  void SetTornWriteBytes(uint64_t bytes);
+  // Clears schedules, counters, and durability tracking (not the real fs).
+  void Reset();
+
+  // --- introspection ----------------------------------------------------
+  bool crashed() const;
+  uint64_t mutating_op_count() const;
+  uint64_t op_count(FaultOp op) const;
+  uint64_t injected_faults() const;
+
+  // Applies simulated power loss to the real filesystem (see file comment).
+  // Call after the store under test has been destroyed.
+  Status ApplyPowerLoss();
+
+  // --- FileOps ----------------------------------------------------------
+  int Open(const std::string& path, int flags, int mode) override;
+  ssize_t Write(int fd, const void* buf, size_t n) override;
+  ssize_t Pread(int fd, void* buf, size_t n, uint64_t offset) override;
+  int Fsync(int fd) override;
+  int Close(int fd) override;
+  int Rename(const std::string& from, const std::string& to) override;
+  int Unlink(const std::string& path) override;
+  int Mkdir(const std::string& path, int mode) override;
+  int FsyncDir(const std::string& path) override;
+
+ private:
+  struct FileState {
+    uint64_t size = 0;          // bytes written through us (current length)
+    uint64_t synced = 0;        // bytes guaranteed durable (covered by fsync)
+    bool entry_durable = true;  // parent-directory entry fsync'd
+  };
+  struct RenameRollback {
+    std::string from;
+    std::string to;
+    bool had_old = false;       // `to` existed with durable contents
+    std::string old_contents;   // durable contents of `to` before the rename
+    bool from_entry_durable = false;
+  };
+
+  // Returns false when the op must fail, with *error_code set. Fires crash
+  // and fail-at schedules. `just_crashed` reports whether THIS call tripped
+  // the crash point (torn-write handling). mu_ must be held.
+  bool BeginMutatingOpLocked(FaultOp op, int* error_code, bool* just_crashed);
+
+  mutable std::mutex mu_;
+  bool crashed_ = false;
+  uint64_t crash_at_op_ = 0;      // 0 = no crash scheduled
+  uint64_t torn_write_bytes_ = 0;
+  uint64_t total_ops_ = 0;
+  uint64_t injected_ = 0;
+  std::map<FaultOp, uint64_t> op_counts_;
+  std::map<FaultOp, std::map<uint64_t, int>> fail_at_;
+
+  std::map<std::string, FileState> files_;   // tracked write-opened paths
+  std::map<int, std::string> fds_;           // write fd -> path
+  std::map<std::string, RenameRollback> rollbacks_;  // keyed by rename target
+  std::vector<std::string> rollback_order_;  // targets, oldest first
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_STORAGE_FAULT_FS_H_

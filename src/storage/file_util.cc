@@ -6,8 +6,11 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
+
+#include "src/obs/metrics.h"
 
 namespace ss {
 
@@ -17,13 +20,59 @@ Status ErrnoStatus(const std::string& context) {
   return Status::IoError(context + ": " + std::strerror(errno));
 }
 
+std::atomic<FileOps*> g_file_ops{nullptr};
+
 }  // namespace
+
+// -------------------------------------------------------------------- FileOps
+
+int FileOps::Open(const std::string& path, int flags, int mode) {
+  return ::open(path.c_str(), flags, mode);
+}
+
+ssize_t FileOps::Write(int fd, const void* buf, size_t n) { return ::write(fd, buf, n); }
+
+ssize_t FileOps::Pread(int fd, void* buf, size_t n, uint64_t offset) {
+  return ::pread(fd, buf, n, static_cast<off_t>(offset));
+}
+
+int FileOps::Fsync(int fd) { return ::fsync(fd); }
+
+int FileOps::Close(int fd) { return ::close(fd); }
+
+int FileOps::Rename(const std::string& from, const std::string& to) {
+  return ::rename(from.c_str(), to.c_str());
+}
+
+int FileOps::Unlink(const std::string& path) { return ::unlink(path.c_str()); }
+
+int FileOps::Mkdir(const std::string& path, int mode) { return ::mkdir(path.c_str(), mode); }
+
+int FileOps::FsyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return -1;
+  }
+  int rc = ::fsync(fd);
+  int saved_errno = errno;
+  ::close(fd);
+  errno = saved_errno;
+  return rc;
+}
+
+FileOps& GetFileOps() {
+  static FileOps default_ops;
+  FileOps* ops = g_file_ops.load(std::memory_order_acquire);
+  return ops != nullptr ? *ops : default_ops;
+}
+
+void SetFileOpsForTest(FileOps* ops) { g_file_ops.store(ops, std::memory_order_release); }
 
 // ----------------------------------------------------------------- AppendFile
 
 AppendFile::~AppendFile() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    GetFileOps().Close(fd_);
   }
 }
 
@@ -35,7 +84,7 @@ AppendFile::AppendFile(AppendFile&& other) noexcept
 AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) {
-      ::close(fd_);
+      GetFileOps().Close(fd_);
     }
     fd_ = other.fd_;
     bytes_written_ = other.bytes_written_;
@@ -46,7 +95,7 @@ AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
 
 StatusOr<AppendFile> AppendFile::Open(const std::string& path, bool truncate) {
   int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
-  int fd = ::open(path.c_str(), flags, 0644);
+  int fd = GetFileOps().Open(path, flags, 0644);
   if (fd < 0) {
     return ErrnoStatus("open " + path);
   }
@@ -57,7 +106,7 @@ Status AppendFile::Append(std::string_view data) {
   const char* p = data.data();
   size_t left = data.size();
   while (left > 0) {
-    ssize_t n = ::write(fd_, p, left);
+    ssize_t n = GetFileOps().Write(fd_, p, left);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -72,7 +121,7 @@ Status AppendFile::Append(std::string_view data) {
 }
 
 Status AppendFile::Sync() {
-  if (::fsync(fd_) != 0) {
+  if (GetFileOps().Fsync(fd_) != 0) {
     return ErrnoStatus("fsync");
   }
   return Status::Ok();
@@ -82,7 +131,7 @@ Status AppendFile::Close() {
   if (fd_ >= 0) {
     int fd = fd_;
     fd_ = -1;
-    if (::close(fd) != 0) {
+    if (GetFileOps().Close(fd) != 0) {
       return ErrnoStatus("close");
     }
   }
@@ -93,7 +142,7 @@ Status AppendFile::Close() {
 
 RandomAccessFile::~RandomAccessFile() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    GetFileOps().Close(fd_);
   }
 }
 
@@ -104,7 +153,7 @@ RandomAccessFile::RandomAccessFile(RandomAccessFile&& other) noexcept : fd_(othe
 RandomAccessFile& RandomAccessFile::operator=(RandomAccessFile&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) {
-      ::close(fd_);
+      GetFileOps().Close(fd_);
     }
     fd_ = other.fd_;
     other.fd_ = -1;
@@ -113,7 +162,7 @@ RandomAccessFile& RandomAccessFile::operator=(RandomAccessFile&& other) noexcept
 }
 
 StatusOr<RandomAccessFile> RandomAccessFile::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
+  int fd = GetFileOps().Open(path, O_RDONLY, 0);
   if (fd < 0) {
     return ErrnoStatus("open " + path);
   }
@@ -125,7 +174,7 @@ Status RandomAccessFile::Read(uint64_t offset, uint64_t n, std::string* out) con
   char* p = out->data();
   uint64_t done = 0;
   while (done < n) {
-    ssize_t got = ::pread(fd_, p + done, n - done, static_cast<off_t>(offset + done));
+    ssize_t got = GetFileOps().Pread(fd_, p + done, n - done, offset + done);
     if (got < 0) {
       if (errno == EINTR) {
         continue;
@@ -158,7 +207,7 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   return out;
 }
 
-Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+Status WriteFileAtomic(const std::string& path, std::string_view contents, bool sync_dir) {
   std::string tmp = path + ".tmp";
   {
     SS_ASSIGN_OR_RETURN(AppendFile file, AppendFile::Open(tmp, /*truncate=*/true));
@@ -166,14 +215,15 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents) {
     SS_RETURN_IF_ERROR(file.Sync());
     SS_RETURN_IF_ERROR(file.Close());
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    return ErrnoStatus("rename " + tmp);
+  SS_RETURN_IF_ERROR(RenameFile(tmp, path));
+  if (sync_dir) {
+    SS_RETURN_IF_ERROR(SyncDir(DirName(path)));
   }
   return Status::Ok();
 }
 
 Status CreateDirIfMissing(const std::string& path) {
-  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+  if (GetFileOps().Mkdir(path, 0755) != 0 && errno != EEXIST) {
     return ErrnoStatus("mkdir " + path);
   }
   return Status::Ok();
@@ -196,10 +246,38 @@ StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
 }
 
 Status RemoveFileIfExists(const std::string& path) {
-  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+  if (GetFileOps().Unlink(path) != 0 && errno != ENOENT) {
     return ErrnoStatus("unlink " + path);
   }
   return Status::Ok();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (GetFileOps().Rename(from, to) != 0) {
+    return ErrnoStatus("rename " + from + " -> " + to);
+  }
+  return Status::Ok();
+}
+
+Status SyncDir(const std::string& path) {
+  static Counter& dir_fsyncs =
+      MetricRegistry::Default().GetCounter("ss_storage_dir_fsync_total");
+  if (GetFileOps().FsyncDir(path) != 0) {
+    return ErrnoStatus("fsync dir " + path);
+  }
+  dir_fsyncs.Inc();
+  return Status::Ok();
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
 }
 
 bool FileExists(const std::string& path) {

@@ -1,8 +1,15 @@
 // Thin POSIX file wrappers used by the LSM store: append-only writers with
 // fsync, positional readers (pread), atomic whole-file replacement via
-// rename, and directory listing. RAII owns every descriptor.
+// rename, directory fsync, and directory listing. RAII owns every
+// descriptor.
+//
+// Every mutating syscall (and pread) is routed through a process-pluggable
+// FileOps instance so tests can interpose deterministic fault schedules and
+// simulated power loss (see src/storage/fault_fs.h).
 #ifndef SUMMARYSTORE_SRC_STORAGE_FILE_UTIL_H_
 #define SUMMARYSTORE_SRC_STORAGE_FILE_UTIL_H_
+
+#include <sys/types.h>
 
 #include <cstdint>
 #include <string>
@@ -12,6 +19,37 @@
 #include "src/common/status.h"
 
 namespace ss {
+
+// Raw syscall surface beneath the file classes below. The base class passes
+// straight through to POSIX; FaultFs overrides individual calls to inject
+// errors or simulate crashes. Return conventions mirror the syscalls: -1 on
+// failure with errno set.
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  virtual int Open(const std::string& path, int flags, int mode);
+  virtual ssize_t Write(int fd, const void* buf, size_t n);
+  virtual ssize_t Pread(int fd, void* buf, size_t n, uint64_t offset);
+  virtual int Fsync(int fd);
+  virtual int Close(int fd);
+  virtual int Rename(const std::string& from, const std::string& to);
+  virtual int Unlink(const std::string& path);
+  virtual int Mkdir(const std::string& path, int mode);
+  // fsync of the directory itself; required to make created/renamed/removed
+  // entries durable across power loss.
+  virtual int FsyncDir(const std::string& path);
+};
+
+// Returns the active FileOps (the POSIX passthrough unless a test installed
+// an override).
+FileOps& GetFileOps();
+
+// Installs `ops` process-wide; nullptr restores the POSIX default. Callers
+// must not swap implementations while files opened through the old one are
+// still in flight (tests install before opening a store and uninstall after
+// closing it).
+void SetFileOpsForTest(FileOps* ops);
 
 // Append-only file handle; created if missing.
 class AppendFile {
@@ -65,12 +103,20 @@ class RandomAccessFile {
 
 StatusOr<std::string> ReadFileToString(const std::string& path);
 
-// Writes `contents` to `path` atomically: temp file + fsync + rename.
-Status WriteFileAtomic(const std::string& path, std::string_view contents);
+// Writes `contents` to `path` atomically: temp file + fsync + rename. With
+// `sync_dir`, also fsyncs the parent directory so the rename survives power
+// loss (required for anything that must be durable, e.g. the MANIFEST).
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       bool sync_dir = false);
 
 Status CreateDirIfMissing(const std::string& path);
 StatusOr<std::vector<std::string>> ListDir(const std::string& path);
 Status RemoveFileIfExists(const std::string& path);
+Status RenameFile(const std::string& from, const std::string& to);
+// Fsyncs a directory, making entry creations/renames/removals durable.
+Status SyncDir(const std::string& path);
+// Parent directory of `path` ("a/b/c" -> "a/b", "c" -> ".").
+std::string DirName(const std::string& path);
 bool FileExists(const std::string& path);
 // Recursively removes a directory tree (used by tests / bench cleanup).
 Status RemoveDirRecursive(const std::string& path);

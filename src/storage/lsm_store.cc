@@ -1,7 +1,9 @@
 #include "src/storage/lsm_store.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <queue>
+#include <set>
 
 #include "src/common/logging.h"
 #include "src/common/serde.h"
@@ -14,6 +16,59 @@ namespace {
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kWalName[] = "wal.log";
 
+// MANIFEST format v1: [fixed32 magic "MSSF"][body][fixed32 crc32c(body)],
+// body = [u8 version][varint table_count][varint file_id]*. The legacy
+// format (bare varint count + ids) is still read for pre-existing dirs.
+constexpr uint32_t kManifestMagic = 0x4653534d;  // "MSSF" little-endian
+constexpr uint8_t kManifestVersion = 1;
+
+StatusOr<std::vector<uint32_t>> ParseManifest(const std::string& contents) {
+  std::vector<uint32_t> ids;
+  bool new_format = false;
+  if (contents.size() >= 4) {
+    Reader probe(contents);
+    auto magic = probe.ReadFixed32();
+    new_format = magic.ok() && *magic == kManifestMagic;
+  }
+  std::string_view body = contents;
+  if (new_format) {
+    if (contents.size() < 4 + 1 + 4) {
+      return Status::Corruption("manifest truncated");
+    }
+    body = std::string_view(contents).substr(4, contents.size() - 8);
+    Reader crc_reader(std::string_view(contents).substr(contents.size() - 4));
+    uint32_t stored_crc = *crc_reader.ReadFixed32();
+    if (Crc32c(body) != stored_crc) {
+      return Status::Corruption("manifest checksum mismatch");
+    }
+  }
+  Reader reader(body);
+  if (new_format) {
+    SS_ASSIGN_OR_RETURN(uint8_t version, reader.ReadU8());
+    if (version > kManifestVersion) {
+      return Status::Corruption("unsupported manifest version " + std::to_string(version));
+    }
+  }
+  SS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  for (uint64_t i = 0; i < count; ++i) {
+    SS_ASSIGN_OR_RETURN(uint64_t file_id, reader.ReadVarint());
+    ids.push_back(static_cast<uint32_t>(file_id));
+  }
+  return ids;
+}
+
+// file_id of a "<digits>.sst" directory entry, or nullopt for anything else.
+std::optional<uint32_t> SstFileId(const std::string& name) {
+  if (name.size() <= 4 || name.substr(name.size() - 4) != ".sst") {
+    return std::nullopt;
+  }
+  std::string stem = name.substr(0, name.size() - 4);
+  if (stem.empty() || stem.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return static_cast<uint32_t>(std::strtoul(stem.c_str(), nullptr, 10));
+}
+
 }  // namespace
 
 LsmStore::LsmStore(std::string dir, const LsmOptions& options)
@@ -24,7 +79,7 @@ LsmStore::~LsmStore() {
   // reopen even without an explicit Flush(); WAL replay would recover it
   // anyway.
   std::lock_guard<std::mutex> lock(mu_);
-  if (!memtable_.empty()) {
+  if (!memtable_.empty() && !wal_poisoned_) {
     Status s = FlushMemtableLocked();
     if (!s.ok()) {
       SS_LOG(Warning) << "LsmStore shutdown flush failed: " << s;
@@ -45,20 +100,55 @@ std::string LsmStore::TablePath(uint32_t file_id) const {
 }
 
 Status LsmStore::Recover() {
+  static Counter& orphan_gc =
+      MetricRegistry::Default().GetCounter("ss_storage_orphan_gc_total");
+  static Counter& salvage_skipped =
+      MetricRegistry::Default().GetCounter("ss_storage_salvage_skipped_tables_total");
+  static Counter& recovery_flush =
+      MetricRegistry::Default().GetCounter("ss_storage_recovery_flush_total");
   std::lock_guard<std::mutex> lock(mu_);
-  // MANIFEST format: varint count, then per table varint file_id.
   std::string manifest_path = dir_ + "/" + kManifestName;
+  std::vector<uint32_t> live_ids;
   if (FileExists(manifest_path)) {
     SS_ASSIGN_OR_RETURN(std::string manifest, ReadFileToString(manifest_path));
-    Reader reader(manifest);
-    SS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
-    for (uint64_t i = 0; i < count; ++i) {
-      SS_ASSIGN_OR_RETURN(uint64_t file_id, reader.ReadVarint());
-      SS_ASSIGN_OR_RETURN(std::shared_ptr<SsTable> table,
-                          SsTable::Open(TablePath(static_cast<uint32_t>(file_id)),
-                                        static_cast<uint32_t>(file_id)));
-      tables_.push_back(std::move(table));
-      next_file_id_ = std::max(next_file_id_, static_cast<uint32_t>(file_id) + 1);
+    SS_ASSIGN_OR_RETURN(live_ids, ParseManifest(manifest));
+  }
+  std::set<uint32_t> live(live_ids.begin(), live_ids.end());
+  for (uint32_t file_id : live_ids) {
+    next_file_id_ = std::max(next_file_id_, file_id + 1);
+    auto table = SsTable::Open(TablePath(file_id), file_id);
+    if (!table.ok()) {
+      if (!options_.salvage) {
+        return table.status();
+      }
+      salvage_skipped.Inc();
+      // Keep the damaged file on disk for forensics; it stays GC-protected
+      // until the next manifest rewrite drops it from the live set.
+      SS_LOG(Warning) << "LsmStore salvage: skipping unreadable table " << TablePath(file_id)
+                      << ": " << table.status();
+      continue;
+    }
+    tables_.push_back(std::move(table).value());
+  }
+  // Scan the directory: garbage-collect .sst files a crash orphaned before
+  // they reached the MANIFEST, stray atomic-write temps, and half-finished
+  // WAL rotations. Advance next_file_id_ past every id ever seen on disk so
+  // a new table can never collide with (and silently shadow) a leftover.
+  SS_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
+  for (const std::string& name : names) {
+    if (std::optional<uint32_t> file_id = SstFileId(name)) {
+      next_file_id_ = std::max(next_file_id_, *file_id + 1);
+      if (live.find(*file_id) == live.end()) {
+        SS_RETURN_IF_ERROR(RemoveFileIfExists(dir_ + "/" + name));
+        orphan_gc.Inc();
+        SS_LOG(Warning) << "LsmStore recovery: removed orphaned table " << name;
+      }
+    } else if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      SS_RETURN_IF_ERROR(RemoveFileIfExists(dir_ + "/" + name));
+      orphan_gc.Inc();
+    } else if (name == std::string(kWalName) + ".new") {
+      SS_RETURN_IF_ERROR(RemoveFileIfExists(dir_ + "/" + name));
+      orphan_gc.Inc();
     }
   }
   // Replay the WAL into the memtable, then keep appending to the same log.
@@ -76,15 +166,43 @@ Status LsmStore::Recover() {
   if (recovered > 0) {
     SS_LOG(Debug) << "LsmStore recovered " << recovered << " WAL records";
   }
-  SS_ASSIGN_OR_RETURN(wal_, WalWriter::Open(wal_path, /*truncate=*/false));
+  if (memtable_bytes_ >= options_.memtable_bytes && !memtable_.empty()) {
+    // A replayed memtable already over threshold would otherwise sit
+    // unflushed until the next write; flush now (this also rotates the WAL
+    // and leaves wal_ open on the fresh log).
+    recovery_flush.Inc();
+    SS_RETURN_IF_ERROR(FlushMemtableLocked());
+  } else {
+    SS_ASSIGN_OR_RETURN(wal_, WalWriter::Open(wal_path, /*truncate=*/false));
+    // Open may have just created the log: persist its directory entry, or a
+    // power loss could drop the whole file along with fsynced records in it.
+    SS_RETURN_IF_ERROR(SyncDir(dir_));
+  }
   return Status::Ok();
 }
 
 Status LsmStore::Write(std::string_view key, std::optional<std::string_view> value) {
+  static Counter& poison_total =
+      MetricRegistry::Default().GetCounter("ss_storage_wal_poison_total");
   std::lock_guard<std::mutex> lock(mu_);
-  SS_RETURN_IF_ERROR(wal_->Append(key, value));
-  if (options_.sync_wal) {
-    SS_RETURN_IF_ERROR(wal_->Sync());
+  if (wal_poisoned_) {
+    return Status::IoError("LsmStore: WAL poisoned by an earlier write failure");
+  }
+  // Apply to the memtable only after the full log step succeeds. A failed
+  // append may have left a torn record; a failed fsync leaves the record on
+  // disk while the caller is told it failed. Either way the log can no
+  // longer be trusted to match what we acknowledged, so poison it: every
+  // subsequent write fails fast instead of acknowledging data that might
+  // replay inconsistently.
+  Status log_status = wal_->Append(key, value);
+  if (log_status.ok() && options_.sync_wal) {
+    log_status = wal_->Sync();
+  }
+  if (!log_status.ok()) {
+    wal_poisoned_ = true;
+    poison_total.Inc();
+    SS_LOG(Warning) << "LsmStore: WAL write failed, store is now read-only: " << log_status;
+    return log_status;
   }
   memtable_bytes_ += key.size() + (value ? value->size() : 0) + 32;
   if (value.has_value()) {
@@ -220,6 +338,24 @@ Status LsmStore::Scan(std::string_view start, std::string_view end, const ScanVi
   return Status::Ok();
 }
 
+Status LsmStore::RotateWalLocked() {
+  static Counter& poison_total =
+      MetricRegistry::Default().GetCounter("ss_storage_wal_poison_total");
+  auto rotated = WalWriter::RotateAndOpen(dir_ + "/" + kWalName);
+  if (!rotated.ok()) {
+    // The rename may have committed before a later step failed, in which
+    // case the old writer's fd points at an unlinked inode and its appends
+    // would silently vanish. Poison rather than guess.
+    wal_poisoned_ = true;
+    poison_total.Inc();
+    SS_LOG(Warning) << "LsmStore: WAL rotation failed, store is now read-only: "
+                    << rotated.status();
+    return rotated.status();
+  }
+  wal_ = std::move(rotated).value();
+  return Status::Ok();
+}
+
 Status LsmStore::FlushMemtableLocked() {
   if (memtable_.empty()) {
     return Status::Ok();
@@ -230,19 +366,26 @@ Status LsmStore::FlushMemtableLocked() {
       MetricRegistry::Default().GetHistogram("ss_storage_memtable_flush_us");
   flush_total.Inc();
   ScopedTimer timer(flush_us);
+  // Write ordering (each step durable before the next): (1) SST data +
+  // fsync, (2) directory entry, (3) MANIFEST referencing it (atomic replace
+  // + dir fsync inside WriteManifestLocked), (4) WAL restart via
+  // rotate-then-swap. A crash between any two steps leaves either the old
+  // manifest + full WAL, or the new manifest + a WAL whose replay is
+  // idempotent over the new table.
   uint32_t file_id = next_file_id_++;
   SS_ASSIGN_OR_RETURN(SstBuilder builder, SstBuilder::Create(TablePath(file_id)));
   for (const auto& [key, value] : memtable_) {
     SS_RETURN_IF_ERROR(builder.Add(key, !value.has_value(), value ? *value : std::string_view()));
   }
   SS_RETURN_IF_ERROR(builder.Finish().status());
+  SS_RETURN_IF_ERROR(SyncDir(dir_));
   SS_ASSIGN_OR_RETURN(std::shared_ptr<SsTable> table, SsTable::Open(TablePath(file_id), file_id));
   tables_.push_back(std::move(table));
+  SS_RETURN_IF_ERROR(WriteManifestLocked());
   memtable_.clear();
   memtable_bytes_ = 0;
-  SS_RETURN_IF_ERROR(WriteManifestLocked());
   // The memtable is durable in the table now; restart the WAL.
-  SS_ASSIGN_OR_RETURN(wal_, WalWriter::Open(dir_ + "/" + kWalName, /*truncate=*/true));
+  SS_RETURN_IF_ERROR(RotateWalLocked());
   if (tables_.size() >= options_.compaction_trigger) {
     SS_RETURN_IF_ERROR(CompactLocked());
   }
@@ -300,6 +443,7 @@ Status LsmStore::CompactLocked() {
     }
   }
   SS_RETURN_IF_ERROR(builder.Finish().status());
+  SS_RETURN_IF_ERROR(SyncDir(dir_));
 
   std::vector<std::shared_ptr<SsTable>> old_tables = std::move(tables_);
   tables_.clear();
@@ -314,16 +458,24 @@ Status LsmStore::CompactLocked() {
 }
 
 Status LsmStore::WriteManifestLocked() {
-  Writer manifest;
-  manifest.PutVarint(tables_.size());
+  Writer body;
+  body.PutU8(kManifestVersion);
+  body.PutVarint(tables_.size());
   for (const auto& table : tables_) {
-    manifest.PutVarint(table->file_id());
+    body.PutVarint(table->file_id());
   }
-  return WriteFileAtomic(dir_ + "/" + kManifestName, manifest.data());
+  Writer manifest;
+  manifest.PutFixed32(kManifestMagic);
+  manifest.PutRaw(body.data().data(), body.size());
+  manifest.PutFixed32(Crc32c(body.data()));
+  return WriteFileAtomic(dir_ + "/" + kManifestName, manifest.data(), /*sync_dir=*/true);
 }
 
 Status LsmStore::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (wal_poisoned_) {
+    return Status::IoError("LsmStore: WAL poisoned by an earlier write failure");
+  }
   return FlushMemtableLocked();
 }
 

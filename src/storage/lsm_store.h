@@ -5,8 +5,17 @@
 //              compaction into one table, dropping tombstones.
 // Read path:   memtable, then SSTables newest-to-oldest, through a shared
 //              block LRU cache.
-// Recovery:    MANIFEST lists live tables (atomically replaced); the WAL
-//              replays into a fresh memtable on open.
+// Recovery:    MANIFEST (magic + version + CRC, atomically replaced and
+//              dir-fsynced) lists live tables; orphaned .sst/.tmp files and
+//              half-rotated WALs are garbage-collected; the WAL replays into
+//              a fresh memtable (flushed immediately if over threshold).
+//
+// Durability:  every acknowledged write under sync_wal=true survives power
+//              loss. SST creation and MANIFEST renames are followed by
+//              parent-directory fsyncs; the WAL restarts via rotate-then-
+//              swap (never in-place truncation); a failed WAL append or
+//              fsync poisons the store (writes fail fast) rather than
+//              letting the log run ahead of the memtable. See DESIGN.md §8.
 //
 // All public methods are thread-safe behind a single mutex; SummaryStore's
 // ingest batches writes, so lock granularity is not the bottleneck here.
@@ -30,6 +39,10 @@ struct LsmOptions {
   size_t block_cache_bytes = 32 << 20;  // shared data-block cache
   size_t compaction_trigger = 8;        // full-compact when #tables reaches this
   bool sync_wal = false;                // fsync the WAL on every write
+  // Salvage mode: a missing or unreadable SSTable listed in the MANIFEST is
+  // skipped with a logged warning instead of failing Open. Data in the
+  // skipped table is lost; use only to bring a damaged store back online.
+  bool salvage = false;
 };
 
 class LsmStore : public KvBackend {
@@ -58,6 +71,7 @@ class LsmStore : public KvBackend {
 
   Status Recover();
   Status Write(std::string_view key, std::optional<std::string_view> value);
+  Status RotateWalLocked();
   Status FlushMemtableLocked();
   Status CompactLocked();
   Status WriteManifestLocked();
@@ -71,6 +85,10 @@ class LsmStore : public KvBackend {
   std::map<std::string, std::optional<std::string>, std::less<>> memtable_;
   size_t memtable_bytes_ = 0;
   std::optional<WalWriter> wal_;
+  // Set when a WAL append/fsync/rotation fails: the log may be ahead of (or
+  // torn relative to) the memtable, so further writes fail fast instead of
+  // acknowledging data that might not replay.
+  bool wal_poisoned_ = false;
   std::vector<std::shared_ptr<SsTable>> tables_;  // oldest first
   uint32_t next_file_id_ = 1;
   mutable BlockCache block_cache_;

@@ -1,12 +1,73 @@
 #include "src/storage/wal.h"
 
+#include <algorithm>
+
+#include "src/common/logging.h"
 #include "src/common/serde.h"
 #include "src/obs/metrics.h"
 
 namespace ss {
 
+namespace {
+
+constexpr uint64_t kReplayChunkBytes = 64 << 10;
+constexpr uint64_t kRecordHeaderBytes = 8;  // crc fixed32 + len fixed32
+
+// Bounded-memory forward reader over the log file: serves byte ranges out of
+// a sliding chunk, falling back to a direct read for records larger than
+// one chunk.
+class ChunkedLogReader {
+ public:
+  ChunkedLogReader(const RandomAccessFile* file, uint64_t file_size)
+      : file_(file), file_size_(file_size) {}
+
+  // Points `out` at `n` bytes starting at absolute offset `off`. The view is
+  // valid until the next ReadAt call.
+  Status ReadAt(uint64_t off, uint64_t n, std::string_view* out) {
+    if (off + n > file_size_) {
+      return Status::Corruption("wal read past EOF");
+    }
+    if (off >= buf_start_ && off + n <= buf_start_ + buf_.size()) {
+      *out = std::string_view(buf_).substr(off - buf_start_, n);
+      return Status::Ok();
+    }
+    uint64_t len = std::max(n, std::min(kReplayChunkBytes, file_size_ - off));
+    SS_RETURN_IF_ERROR(file_->Read(off, len, &buf_));
+    buf_start_ = off;
+    *out = std::string_view(buf_).substr(0, n);
+    return Status::Ok();
+  }
+
+ private:
+  const RandomAccessFile* file_;
+  uint64_t file_size_;
+  std::string buf_;
+  uint64_t buf_start_ = 0;
+};
+
+void CountTornTail(const std::string& path, uint64_t offset, const char* what) {
+  static Counter& torn_tails =
+      MetricRegistry::Default().GetCounter("ss_storage_wal_torn_tail_total");
+  torn_tails.Inc();
+  SS_LOG(Warning) << "WAL " << path << ": discarding torn/corrupt tail at offset " << offset
+                  << " (" << what << ")";
+}
+
+}  // namespace
+
 StatusOr<WalWriter> WalWriter::Open(const std::string& path, bool truncate) {
   SS_ASSIGN_OR_RETURN(AppendFile file, AppendFile::Open(path, truncate));
+  return WalWriter(std::move(file));
+}
+
+StatusOr<WalWriter> WalWriter::RotateAndOpen(const std::string& path) {
+  std::string fresh = path + ".new";
+  SS_ASSIGN_OR_RETURN(AppendFile file, AppendFile::Open(fresh, /*truncate=*/true));
+  SS_RETURN_IF_ERROR(file.Sync());
+  SS_RETURN_IF_ERROR(RenameFile(fresh, path));
+  SS_RETURN_IF_ERROR(SyncDir(DirName(path)));
+  // The fd follows the inode through the rename, so appends land in the new
+  // log now living at `path`.
   return WalWriter(std::move(file));
 }
 
@@ -41,34 +102,46 @@ StatusOr<uint64_t> WalReplay(const std::string& path, const WalReplayVisitor& vi
   if (!FileExists(path)) {
     return uint64_t{0};
   }
-  SS_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
-  Reader reader(contents);
+  SS_ASSIGN_OR_RETURN(RandomAccessFile file, RandomAccessFile::Open(path));
+  SS_ASSIGN_OR_RETURN(uint64_t file_size, file.Size());
+  ChunkedLogReader chunks(&file, file_size);
+  uint64_t consumed = 0;
   uint64_t recovered = 0;
-  while (!reader.AtEnd()) {
-    auto crc = reader.ReadFixed32();
-    if (!crc.ok()) {
-      break;  // torn tail
-    }
-    auto len = reader.ReadFixed32();
-    if (!len.ok() || reader.remaining() < *len) {
+  while (consumed < file_size) {
+    if (file_size - consumed < kRecordHeaderBytes) {
+      CountTornTail(path, consumed, "truncated header");
       break;
     }
-    auto payload = reader.ReadRaw(*len);
-    if (!payload.ok() || Crc32c(*payload) != *crc) {
-      break;  // corrupt record; discard it and everything after
+    std::string_view header;
+    SS_RETURN_IF_ERROR(chunks.ReadAt(consumed, kRecordHeaderBytes, &header));
+    Reader header_reader(header);
+    uint32_t crc = *header_reader.ReadFixed32();
+    uint32_t len = *header_reader.ReadFixed32();
+    if (len > file_size - consumed - kRecordHeaderBytes) {
+      CountTornTail(path, consumed, "truncated payload");
+      break;
     }
-    Reader body(*payload);
+    std::string_view payload;
+    SS_RETURN_IF_ERROR(chunks.ReadAt(consumed + kRecordHeaderBytes, len, &payload));
+    if (Crc32c(payload) != crc) {
+      CountTornTail(path, consumed, "checksum mismatch");
+      break;
+    }
+    Reader body(payload);
     auto key = body.ReadString();
     if (!key.ok()) {
+      CountTornTail(path, consumed, "bad record body");
       break;
     }
     auto has_value = body.ReadU8();
     if (!has_value.ok()) {
+      CountTornTail(path, consumed, "bad record body");
       break;
     }
     if (*has_value != 0) {
       auto value = body.ReadString();
       if (!value.ok()) {
+        CountTornTail(path, consumed, "bad record body");
         break;
       }
       visit(*key, *value);
@@ -76,6 +149,7 @@ StatusOr<uint64_t> WalReplay(const std::string& path, const WalReplayVisitor& vi
       visit(*key, std::nullopt);
     }
     ++recovered;
+    consumed += kRecordHeaderBytes + len;
   }
   return recovered;
 }

@@ -2,7 +2,8 @@
 //   [crc32c(payload) : fixed32][payload_len : fixed32][payload]
 // where the payload encodes one Put or Delete. Replay stops cleanly at the
 // first truncated or corrupt record (standard crash semantics: a torn tail
-// write loses only the unacknowledged suffix).
+// write loses only the unacknowledged suffix); torn tails are counted in
+// ss_storage_wal_torn_tail_total and logged.
 #ifndef SUMMARYSTORE_SRC_STORAGE_WAL_H_
 #define SUMMARYSTORE_SRC_STORAGE_WAL_H_
 
@@ -20,6 +21,13 @@ class WalWriter {
   // Opens (appending) or creates the log at `path`; `truncate` starts fresh.
   static StatusOr<WalWriter> Open(const std::string& path, bool truncate);
 
+  // Crash-safe log restart: writes an empty `path.new`, fsyncs it, renames
+  // it over `path`, and fsyncs the parent directory. The returned writer
+  // appends to the new log. Unlike opening with O_TRUNC, the old log's
+  // bytes stay intact on disk until the rename commits, so power loss at
+  // any point leaves either the full old log or the fresh empty one.
+  static StatusOr<WalWriter> RotateAndOpen(const std::string& path);
+
   // Appends one record; value == nullopt encodes a tombstone.
   Status Append(std::string_view key, std::optional<std::string_view> value);
 
@@ -33,8 +41,9 @@ class WalWriter {
 };
 
 // Replays all intact records in `path`, invoking the visitor in log order.
-// A missing file is not an error (fresh database). Returns the number of
-// records recovered.
+// The log is streamed in bounded chunks (memory stays O(chunk + one
+// record), not O(file)). A missing file is not an error (fresh database).
+// Returns the number of records recovered.
 using WalReplayVisitor =
     std::function<void(std::string_view key, std::optional<std::string_view> value)>;
 StatusOr<uint64_t> WalReplay(const std::string& path, const WalReplayVisitor& visit);

@@ -1,0 +1,128 @@
+// FaultFs unit tests: schedules must fire deterministically, and simulated
+// power loss must implement strict POSIX durability — unsynced bytes drop,
+// never-dir-synced entries vanish, uncommitted renames roll back.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+
+#include "src/storage/fault_fs.h"
+
+namespace ss {
+namespace {
+
+class FaultFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ss_faultfs_" + std::to_string(reinterpret_cast<uintptr_t>(this));
+    ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
+    ASSERT_TRUE(CreateDirIfMissing(dir_).ok());
+    SetFileOpsForTest(&fs_);
+  }
+  void TearDown() override {
+    SetFileOpsForTest(nullptr);
+    ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
+  }
+
+  std::string dir_;
+  FaultFs fs_;
+};
+
+TEST_F(FaultFsTest, FailAtFiresOnExactNthCall) {
+  fs_.FailAt(FaultOp::kWrite, 2, EIO);
+  auto file = AppendFile::Open(dir_ + "/f");
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file->Append("one").ok());
+  Status second = file->Append("two");
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kIoError);
+  EXPECT_TRUE(file->Append("three").ok());
+  EXPECT_EQ(fs_.injected_faults(), 1u);
+  EXPECT_EQ(fs_.op_count(FaultOp::kWrite), 3u);
+}
+
+TEST_F(FaultFsTest, PowerLossDropsUnsyncedBytes) {
+  {
+    auto file = AppendFile::Open(dir_ + "/f");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->Append("durable!").ok());
+    ASSERT_TRUE(file->Sync().ok());
+    ASSERT_TRUE(file->Append("volatile").ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  ASSERT_TRUE(SyncDir(dir_).ok());  // the entry itself must survive
+  ASSERT_TRUE(fs_.ApplyPowerLoss().ok());
+  auto contents = ReadFileToString(dir_ + "/f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "durable!");
+}
+
+TEST_F(FaultFsTest, PowerLossDropsEntriesCreatedAfterDirSync) {
+  {
+    auto file = AppendFile::Open(dir_ + "/kept");
+    ASSERT_TRUE(file->Append("a").ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  ASSERT_TRUE(SyncDir(dir_).ok());
+  {
+    auto file = AppendFile::Open(dir_ + "/dropped");
+    ASSERT_TRUE(file->Append("b").ok());
+    ASSERT_TRUE(file->Sync().ok());  // data synced, but the entry is not
+  }
+  ASSERT_TRUE(fs_.ApplyPowerLoss().ok());
+  EXPECT_TRUE(FileExists(dir_ + "/kept"));
+  EXPECT_FALSE(FileExists(dir_ + "/dropped"));
+}
+
+TEST_F(FaultFsTest, PowerLossRollsBackUncommittedRename) {
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/f", "v1", /*sync_dir=*/true).ok());
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/f", "v2", /*sync_dir=*/false).ok());
+  EXPECT_EQ(*ReadFileToString(dir_ + "/f"), "v2");
+  ASSERT_TRUE(fs_.ApplyPowerLoss().ok());
+  // The second replace never reached a directory fsync: v1 comes back.
+  EXPECT_EQ(*ReadFileToString(dir_ + "/f"), "v1");
+}
+
+TEST_F(FaultFsTest, CrashAtOpIndexIsDeterministicAndSticky) {
+  fs_.CrashAtOpIndex(3);
+  auto file = AppendFile::Open(dir_ + "/f");  // op 1: open
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file->Append("x").ok());        // op 2: write
+  EXPECT_FALSE(file->Append("y").ok());       // op 3: crash fires here
+  EXPECT_TRUE(fs_.crashed());
+  EXPECT_FALSE(file->Append("z").ok());       // dead machine: everything fails
+  EXPECT_FALSE(file->Sync().ok());
+  EXPECT_FALSE(AppendFile::Open(dir_ + "/g").ok());
+  EXPECT_EQ(fs_.mutating_op_count(), 3u);     // post-crash calls are not counted
+}
+
+TEST_F(FaultFsTest, TornWritePersistsPrefixOfCrashingWrite) {
+  {
+    auto file = AppendFile::Open(dir_ + "/f");
+    ASSERT_TRUE(file->Append("head").ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  ASSERT_TRUE(SyncDir(dir_).ok());
+  fs_.SetTornWriteBytes(2);
+  fs_.CrashAtOpIndex(fs_.mutating_op_count() + 2);  // the write after reopen
+  {
+    auto file = AppendFile::Open(dir_ + "/f");
+    ASSERT_TRUE(file.ok());
+    EXPECT_FALSE(file->Append("tail").ok());
+  }
+  ASSERT_TRUE(fs_.ApplyPowerLoss().ok());
+  EXPECT_EQ(*ReadFileToString(dir_ + "/f"), "headta");
+}
+
+TEST_F(FaultFsTest, ReadsPassThroughAfterCrash) {
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/f", "visible", /*sync_dir=*/true).ok());
+  fs_.CrashAtOpIndex(fs_.mutating_op_count() + 1);
+  EXPECT_FALSE(AppendFile::Open(dir_ + "/g").ok());  // trips the crash
+  ASSERT_TRUE(fs_.crashed());
+  auto contents = ReadFileToString(dir_ + "/f");     // reads still work
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "visible");
+}
+
+}  // namespace
+}  // namespace ss

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
 #include "src/storage/wal.h"
 
 namespace ss {
@@ -61,7 +63,7 @@ TEST_F(WalTest, RoundTripPutsAndDeletes) {
   EXPECT_EQ(*records[2].value, "v3");
 }
 
-TEST_F(WalTest, TornTailDiscardedCleanly) {
+TEST_F(WalTest, TornTailDiscardedCleanlyAndCounted) {
   {
     auto wal = WalWriter::Open(path_, true);
     ASSERT_TRUE(wal->Append("complete", "record").ok());
@@ -72,9 +74,50 @@ TEST_F(WalTest, TornTailDiscardedCleanly) {
   ASSERT_TRUE(contents.ok());
   ASSERT_TRUE(WriteFileAtomic(path_, contents->substr(0, contents->size() - 3)).ok());
 
+  Counter& torn = MetricRegistry::Default().GetCounter("ss_storage_wal_torn_tail_total");
+  uint64_t torn_before = torn.value();
+  LogLevel saved = MinLogLevel();
+  MinLogLevel() = LogLevel::kError;  // the torn tail warns by design
   auto records = Replay();
+  MinLogLevel() = saved;
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].key, "complete");
+  // A torn tail is a diagnosable event, not a silent skip.
+  EXPECT_EQ(torn.value(), torn_before + 1);
+}
+
+TEST_F(WalTest, RotateAndOpenStartsFreshLog) {
+  {
+    auto wal = WalWriter::Open(path_, true);
+    ASSERT_TRUE(wal->Append("old", "gone-after-rotation").ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  auto rotated = WalWriter::RotateAndOpen(path_);
+  ASSERT_TRUE(rotated.ok());
+  // The swap is atomic: no intermediate .new file survives, and the old
+  // records are gone the instant the rename lands.
+  EXPECT_FALSE(FileExists(path_ + ".new"));
+  ASSERT_TRUE(rotated->Append("new", "record").ok());
+  ASSERT_TRUE(rotated->Sync().ok());
+  auto records = Replay();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "new");
+}
+
+TEST_F(WalTest, ChunkedReplayHandlesLogsLargerThanOneChunk) {
+  // Several hundred KiB of small records: replay must stream them through
+  // the bounded chunk buffer without loading the whole log.
+  const int n = 8000;
+  {
+    auto wal = WalWriter::Open(path_, true);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(wal->Append("key" + std::to_string(i), std::string(40, 'v')).ok());
+    }
+  }
+  auto records = Replay();
+  ASSERT_EQ(records.size(), static_cast<size_t>(n));
+  EXPECT_EQ(records[0].key, "key0");
+  EXPECT_EQ(records[n - 1].key, "key" + std::to_string(n - 1));
 }
 
 TEST_F(WalTest, CorruptRecordStopsReplay) {
