@@ -369,6 +369,69 @@ void BM_LsmGetWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_LsmGetWarm);
 
+// Contended durable writes: with sync_wal every acked Put is a durability
+// promise, and concurrent writers amortize the promise through group
+// commit. fsyncs_per_write must fall below 1.0 once writers queue (at 1
+// thread it is exactly 1.0 plus rotation noise).
+void BM_LsmSyncPutContended(benchmark::State& state) {
+  static LsmStore* store = nullptr;
+  static uint64_t fsyncs_before = 0;
+  const std::string dir = "/tmp/ss_bench_micro_lsm_sync";
+  Counter& fsyncs = MetricRegistry::Default().GetCounter("ss_storage_wal_fsync_total");
+  if (state.thread_index() == 0) {
+    (void)RemoveDirRecursive(dir);
+    LsmOptions options;
+    options.sync_wal = true;
+    store = LsmStore::Open(dir, options).value().release();
+    fsyncs_before = fsyncs.value();
+  }
+  std::string value(128, 'v');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    std::string key = "t" + std::to_string(state.thread_index()) + "k" + std::to_string(i++);
+    benchmark::DoNotOptimize(store->Put(key, value));
+  }
+  // The loop-exit barrier guarantees every thread's writes (and their
+  // fsyncs) completed before thread 0 reads the counter.
+  if (state.thread_index() == 0) {
+    const double total_writes =
+        static_cast<double>(state.iterations()) * state.threads();
+    state.counters["fsyncs_per_write"] =
+        benchmark::Counter((fsyncs.value() - fsyncs_before) /
+                           (total_writes > 0 ? total_writes : 1.0));
+    delete store;
+    store = nullptr;
+    (void)RemoveDirRecursive(dir);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LsmSyncPutContended)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+// Durable batched writes: one WriteBatch of range(0) records per commit,
+// so the fsync cost is amortized range(0)-fold. Items are records.
+void BM_LsmPutBatchSync(benchmark::State& state) {
+  const std::string dir = "/tmp/ss_bench_micro_lsm_batch";
+  (void)RemoveDirRecursive(dir);
+  {
+    LsmOptions options;
+    options.sync_wal = true;
+    auto store = LsmStore::Open(dir, options);
+    const int records = static_cast<int>(state.range(0));
+    std::string value(128, 'v');
+    uint64_t i = 0;
+    for (auto _ : state) {
+      WriteBatch batch;
+      for (int r = 0; r < records; ++r) {
+        batch.Put("key" + std::to_string(i++), value);
+      }
+      benchmark::DoNotOptimize((*store)->PutBatch(batch));
+    }
+    state.SetItemsProcessed(state.iterations() * records);
+  }
+  (void)RemoveDirRecursive(dir);
+}
+BENCHMARK(BM_LsmPutBatchSync)->Arg(1)->Arg(8)->Arg(64);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -59,17 +59,25 @@ MeanVar EstimateSubWindowFrequency(double count, double value_freq, double frac,
   frac = std::clamp(frac, 0.0, 1.0);
   MeanVar out;
   out.mean = value_freq * frac;
-  if (count <= 1 || value_freq <= 0) {
-    out.variance = 0.0;
-    return out;
+  if (value_freq <= 0) {
+    return out;  // no occurrences in the whole window: the sub-window has none
   }
-  // Hypergeometric variance at the expected draw count C_t = C·f:
-  //   V·(Ct/C)·(1−Ct/C)·(C−Ct)/(C−1)
-  double ct = count * frac;
-  double inner = value_freq * frac * (1.0 - frac) * (count - ct) / (count - 1.0);
-  // Plus variance of the conditional mean (V/C)·C_t over the count posterior.
-  double ratio = value_freq / count;
-  out.variance = std::max(0.0, inner) + ratio * ratio * count_variance;
+  if (count > 1) {
+    // Hypergeometric variance at the expected draw count C_t = C·f:
+    //   V·(Ct/C)·(1−Ct/C)·(C−Ct)/(C−1)
+    double ct = count * frac;
+    double inner = value_freq * frac * (1.0 - frac) * (count - ct) / (count - 1.0);
+    // Plus variance of the conditional mean (V/C)·C_t over the count posterior.
+    double ratio = value_freq / count;
+    out.variance = std::max(0.0, inner) + ratio * ratio * count_variance;
+  }
+  // Boundary-discretization floor (see EstimateSubWindowCount): the value's
+  // occurrences land on whole events, so a partial overlap always carries at
+  // least Bernoulli uncertainty about the boundary event. Without it,
+  // single-element windows (count <= 1, where the hypergeometric term
+  // degenerates) emit zero-variance point intervals that systematically miss
+  // whenever 0 < frac < 1.
+  out.variance = std::max(out.variance, frac * (1.0 - frac));
   return out;
 }
 
@@ -81,18 +89,35 @@ double MembershipProbability(double frac, double occurrences) {
   return 1.0 - std::pow(1.0 - frac, occurrences);
 }
 
-Interval NormalInterval(double exact, double mean, double variance, double confidence) {
+Interval NormalInterval(double exact, double mean, double variance, double confidence,
+                        bool floor_at_zero) {
   double total = exact + mean;
   if (variance <= 0) {
     return Interval{total, total};
   }
   NormalDist dist(total, std::sqrt(variance));
   double alpha = (1.0 - confidence) / 2.0;
-  return Interval{dist.Quantile(alpha), dist.Quantile(1.0 - alpha)};
+  Interval out{dist.Quantile(alpha), dist.Quantile(1.0 - alpha)};
+  if (floor_at_zero) {
+    // The estimated part is a non-negative quantity: its contribution to the
+    // lower bound cannot go below zero, so lo never undercuts the exact part.
+    out.lo = std::max(out.lo, exact);
+    out.hi = std::max(out.hi, out.lo);
+  }
+  return out;
 }
 
 Interval BinomialInterval(double exact, int64_t n, double p, double confidence) {
-  BinomialDist dist(n, std::clamp(p, 0.0, 1.0));
+  p = std::clamp(p, 0.0, 1.0);
+  // Degenerate parameters make the Binomial a point mass; short-circuit them
+  // rather than trusting quantile search at the support's edges.
+  if (n <= 0 || p <= 0.0) {
+    return Interval{exact, exact};
+  }
+  if (p >= 1.0) {
+    return Interval{exact + static_cast<double>(n), exact + static_cast<double>(n)};
+  }
+  BinomialDist dist(n, p);
   double alpha = (1.0 - confidence) / 2.0;
   return Interval{exact + static_cast<double>(dist.Quantile(alpha)),
                   exact + static_cast<double>(dist.Quantile(1.0 - alpha))};

@@ -47,16 +47,22 @@ double MembershipProbability(double frac, double occurrences);
 
 // Confidence interval [lo, hi] at `confidence` for a posterior composed of
 // an exact part plus a normal(mean, variance) part; degenerates to the point
-// when variance is 0. `floor_at_zero` clamps lo at 0 (counts, sums of
-// non-negative streams keep their natural floor through the exact part).
+// when variance is 0. `floor_at_zero` clamps the estimated part's
+// contribution at zero, so lo never drops below `exact` — counts and sums of
+// non-negative streams keep their natural floor through the exact part
+// (whatever the estimators guessed about the partial windows, the fully
+// covered windows alone already guarantee at least `exact`).
 struct Interval {
   double lo;
   double hi;
 };
-Interval NormalInterval(double exact, double mean, double variance, double confidence);
+Interval NormalInterval(double exact, double mean, double variance, double confidence,
+                        bool floor_at_zero = false);
 
 // Exact Binomial interval for the single-partial-window Poisson case:
-// exact + Binom(n, p) quantiles at (1±confidence)/2.
+// exact + Binom(n, p) quantiles at (1±confidence)/2. Degenerate inputs
+// collapse to the certain outcome: n <= 0 or p <= 0 yields [exact, exact],
+// p >= 1 yields [exact + n, exact + n].
 Interval BinomialInterval(double exact, int64_t n, double p, double confidence);
 
 }  // namespace ss

@@ -118,8 +118,16 @@ struct Accumulation {
   double binom_p = 0.0;
 };
 
+// `floor_estimated_at_zero`: the estimated (partial-window) part of the
+// answer is a provably non-negative quantity — counts, frequencies, sums over
+// windows whose minima are >= 0 — so the interval's lower bound is floored at
+// the exact part (NormalInterval's floor_at_zero). Signed quantities (general
+// sums) must NOT pass it: clamping a genuinely negative lower bound would
+// push lo above the true value (the bug this replaces clamped every op at 0,
+// which even placed lo above the estimate for negative-valued sum queries).
 QueryResult FinishAdditive(const Accumulation& acc, const QuerySpec& spec, bool poisson,
-                           size_t windows_read, size_t landmark_events) {
+                           size_t windows_read, size_t landmark_events,
+                           bool floor_estimated_at_zero) {
   QueryResult result;
   result.confidence = spec.confidence;
   result.windows_read = windows_read;
@@ -133,12 +141,15 @@ QueryResult FinishAdditive(const Accumulation& acc, const QuerySpec& spec, bool 
   }
   Interval interval;
   if (poisson && acc.partials == 1 && acc.binom_n > 0) {
+    // Binom(n, p) quantiles are already >= 0, so lo >= exact holds by
+    // construction here (counts are the only op on this path).
     interval = BinomialInterval(acc.exact, acc.binom_n, acc.binom_p, spec.confidence);
   } else {
-    interval = NormalInterval(acc.exact, acc.mean, total_variance, spec.confidence);
+    interval = NormalInterval(acc.exact, acc.mean, total_variance, spec.confidence,
+                              floor_estimated_at_zero);
   }
-  result.ci_lo = std::max(0.0, interval.lo);
-  result.ci_hi = std::max(result.ci_lo, interval.hi);
+  result.ci_lo = interval.lo;
+  result.ci_hi = std::max(interval.lo, interval.hi);
   return result;
 }
 
@@ -148,6 +159,9 @@ StatusOr<QueryResult> RunCountOrSum(Stream& stream, const QuerySpec& spec, Query
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
                       stream.WindowsOverlapping(spec.t1, spec.t2, trace));
   Accumulation acc;
+  // Sums keep the exact-part floor only when every partially covered window
+  // is provably non-negative (its MinMax minimum >= 0); counts always do.
+  bool sum_floor = true;
   for (const auto& view : views) {
     Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
     if (o.b <= o.a) {
@@ -191,6 +205,12 @@ StatusOr<QueryResult> RunCountOrSum(Stream& stream, const QuerySpec& spec, Query
     acc.mean += est.mean;
     acc.variance += est.variance;
     ++acc.partials;
+    if (is_sum) {
+      const auto* minmax = SummaryCast<MinMaxSummary>(window.Find(SummaryKind::kMinMax));
+      if (minmax == nullptr || minmax->empty() || minmax->min() < 0) {
+        sum_floor = false;
+      }
+    }
     if (!is_sum) {
       acc.binom_n = count->count() <= static_cast<uint64_t>(INT64_MAX)
                         ? static_cast<int64_t>(count->count())
@@ -202,7 +222,8 @@ StatusOr<QueryResult> RunCountOrSum(Stream& stream, const QuerySpec& spec, Query
   for (const Event& event : lm_events) {
     acc.exact += is_sum ? event.value : 1.0;
   }
-  return FinishAdditive(acc, spec, poisson && !is_sum, views.size(), lm_events.size());
+  return FinishAdditive(acc, spec, poisson && !is_sum, views.size(), lm_events.size(),
+                        /*floor_estimated_at_zero=*/!is_sum || sum_floor);
 }
 
 StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
@@ -325,7 +346,9 @@ StatusOr<QueryResult> RunFrequency(Stream& stream, const QuerySpec& spec, QueryT
       acc.exact += 1.0;
     }
   }
-  return FinishAdditive(acc, spec, /*poisson=*/false, views.size(), lm_events.size());
+  // Frequencies are counts of occurrences: the estimated part is >= 0.
+  return FinishAdditive(acc, spec, /*poisson=*/false, views.size(), lm_events.size(),
+                        /*floor_estimated_at_zero=*/true);
 }
 
 StatusOr<QueryResult> RunExistence(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
@@ -584,7 +607,9 @@ StatusOr<QueryResult> RunValueRangeCount(Stream& stream, const QuerySpec& spec, 
       acc.exact += 1.0;
     }
   }
-  return FinishAdditive(acc, spec, /*poisson=*/false, views.size(), lm_events.size());
+  // Range-restricted counts: the estimated part is >= 0.
+  return FinishAdditive(acc, spec, /*poisson=*/false, views.size(), lm_events.size(),
+                        /*floor_estimated_at_zero=*/true);
 }
 
 StatusOr<QueryResult> RunMean(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {

@@ -19,6 +19,7 @@
 #include <queue>
 #include <set>
 #include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "src/core/decay.h"
@@ -100,6 +101,17 @@ class Stream {
 
   // --- ingest -----------------------------------------------------------
   Status Append(Timestamp ts, double value);
+  // Ingests `events` with the same ordering rules — and byte-identical
+  // final window state — as repeated Append. Merges deliberately drain per
+  // event, not per batch: ComputeMergeAt picks a decay bucket from the
+  // *current* stream position, so deferring the drain ages candidates into
+  // deeper buckets and changes the final window partition (covered by
+  // reorder_buffer_test BatchedAppendsMatchSingleAppends). The batch win is
+  // upstream: one registry lookup + one stream lock per span at the
+  // SummaryStore layer, and one group commit per Flush at the KV layer. On
+  // error the prefix before the failing event is ingested (same as a failed
+  // Append mid-loop).
+  Status AppendBatch(std::span<const Event> events);
   Status BeginLandmark(Timestamp ts);
   Status EndLandmark(Timestamp ts);
   bool in_landmark() const { return in_landmark_; }
@@ -175,8 +187,9 @@ class Stream {
     bool operator>(const MergeCandidate& other) const { return merge_at > other.merge_at; }
   };
 
-  // Earliest stream length N >= n_ at which windows [left, right] fit inside
-  // a single target bucket; nullopt if they never will.
+  // Shared body of Append/AppendBatch: reorder-buffer staging, then ordered
+  // ingest (merge drain included — see the AppendBatch contract above).
+  Status AppendOne(Timestamp ts, double value);
   // The monotone ingest path Append delegates to (after reorder staging).
   Status AppendOrdered(Timestamp ts, double value);
   // Current position along the decay axis: element count (count-based) or
@@ -198,9 +211,7 @@ class Stream {
   // Drops least-recently-used clean payloads until resident clean bytes fit
   // the configured window_cache_bytes budget. No-op when the budget is 0.
   void EnforceWindowCacheBudget();
-  Status PersistWindow(uint64_t cs, WindowSlot& slot);
-  Status PersistMeta();
-  Status PersistLandmark(const LandmarkWindow& lm);
+  void SerializeMeta(Writer& writer) const;
 
   StreamId id_;
   StreamConfig config_;

@@ -134,6 +134,24 @@ Status SummaryStore::Append(StreamId id, Timestamp ts, double value) {
 
 Status SummaryStore::Append(StreamId id, double value) { return Append(id, NowMicros(), value); }
 
+Status SummaryStore::AppendBatch(StreamId id, std::span<const Event> events) {
+  static Counter& appends = MetricRegistry::Default().GetCounter("ss_core_append_total");
+  static Counter& batches =
+      MetricRegistry::Default().GetCounter("ss_core_append_batch_total");
+  static LatencyHistogram& batch_events =
+      MetricRegistry::Default().GetHistogram("ss_core_append_batch_events");
+  if (events.empty()) {
+    return Status::Ok();
+  }
+  std::shared_lock<std::shared_mutex> registry(registry_mu_);
+  SS_ASSIGN_OR_RETURN(Stream * stream, FindStreamLocked(id));
+  appends.Inc(events.size());
+  batches.Inc();
+  batch_events.Record(events.size());
+  std::unique_lock<std::shared_mutex> stream_lock(stream->mutex());
+  return stream->AppendBatch(events);
+}
+
 Status SummaryStore::BeginLandmark(StreamId id, Timestamp ts) {
   std::shared_lock<std::shared_mutex> registry(registry_mu_);
   SS_ASSIGN_OR_RETURN(Stream * stream, FindStreamLocked(id));

@@ -63,6 +63,13 @@ class SummaryStore {
   Status Append(StreamId id, Timestamp ts, double value);
   // Timestamp-less variant: stamps with the system clock (µs since epoch).
   Status Append(StreamId id, double value);
+  // Batched ingest: one registry lookup and one stream-lock acquisition for
+  // the whole span (Stream::AppendBatch), amortizing per-event overhead for
+  // callers that already buffer arrivals. Window state is identical to
+  // appending each event in order (merges drain per event — see
+  // Stream::AppendBatch); on error the prefix before the failing event is
+  // ingested.
+  Status AppendBatch(StreamId id, std::span<const Event> events);
   Status BeginLandmark(StreamId id, Timestamp ts);
   Status EndLandmark(StreamId id, Timestamp ts);
 

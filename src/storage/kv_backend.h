@@ -12,12 +12,53 @@
 #define SUMMARYSTORE_SRC_STORAGE_KV_BACKEND_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/common/status.h"
 
 namespace ss {
+
+// An ordered list of put/delete operations applied through one PutBatch call.
+// Batches exist to amortize per-write costs (WAL fsync, lock round-trips):
+// a backend acknowledging a batch promises the same durability it promises
+// for the equivalent sequence of individual writes, for the whole batch at
+// once. Later operations shadow earlier ones on the same key, exactly as if
+// they had been issued back to back.
+class WriteBatch {
+ public:
+  // nullopt value = tombstone.
+  struct Op {
+    std::string key;
+    std::optional<std::string> value;
+  };
+
+  void Put(std::string_view key, std::string_view value) {
+    bytes_ += key.size() + value.size();
+    ops_.push_back(Op{std::string(key), std::string(value)});
+  }
+  void Delete(std::string_view key) {
+    bytes_ += key.size();
+    ops_.push_back(Op{std::string(key), std::nullopt});
+  }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  // Payload bytes (keys + values), for batch-size tuning by callers.
+  size_t ApproximateBytes() const { return bytes_; }
+  void Clear() {
+    ops_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  std::vector<Op> ops_;
+  size_t bytes_ = 0;
+};
 
 class KvBackend {
  public:
@@ -26,6 +67,22 @@ class KvBackend {
   virtual Status Put(std::string_view key, std::string_view value) = 0;
   virtual StatusOr<std::string> Get(std::string_view key) = 0;
   virtual Status Delete(std::string_view key) = 0;
+
+  // Applies every operation in `batch`, in order. The default implementation
+  // degrades to one write per op; backends with a write-ahead log override
+  // this to log and fsync the group once. On error the batch may have been
+  // partially applied (callers treat the whole batch as indeterminate, the
+  // same contract a failed Put has).
+  virtual Status PutBatch(const WriteBatch& batch) {
+    for (const WriteBatch::Op& op : batch.ops()) {
+      if (op.value.has_value()) {
+        SS_RETURN_IF_ERROR(Put(op.key, *op.value));
+      } else {
+        SS_RETURN_IF_ERROR(Delete(op.key));
+      }
+    }
+    return Status::Ok();
+  }
 
   // Visits all live entries with start <= key < end in ascending key order;
   // stops early if the visitor returns false.

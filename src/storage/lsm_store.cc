@@ -77,8 +77,13 @@ LsmStore::LsmStore(std::string dir, const LsmOptions& options)
 LsmStore::~LsmStore() {
   // Make a best effort to persist the memtable so short-lived stores survive
   // reopen even without an explicit Flush(); WAL replay would recover it
-  // anyway.
-  std::lock_guard<std::mutex> lock(mu_);
+  // anyway. Destroying the store while writers are still calling into it is
+  // a caller bug, but an in-flight group commit from a writer that has
+  // already been acknowledged cannot happen (the leader acks only after
+  // reacquiring mu_), so waiting for the flag is enough to keep the WAL
+  // rotation in FlushMemtableLocked exclusive.
+  std::unique_lock<std::mutex> lock(mu_);
+  write_cv_.wait(lock, [this] { return !commit_in_flight_; });
   if (!memtable_.empty() && !wal_poisoned_) {
     Status s = FlushMemtableLocked();
     if (!s.ok()) {
@@ -181,44 +186,121 @@ Status LsmStore::Recover() {
   return Status::Ok();
 }
 
-Status LsmStore::Write(std::string_view key, std::optional<std::string_view> value) {
-  static Counter& poison_total =
-      MetricRegistry::Default().GetCounter("ss_storage_wal_poison_total");
-  std::lock_guard<std::mutex> lock(mu_);
-  if (wal_poisoned_) {
-    return Status::IoError("LsmStore: WAL poisoned by an earlier write failure");
+Status LsmStore::PutBatch(const WriteBatch& batch) {
+  if (batch.empty()) {
+    return Status::Ok();
   }
-  // Apply to the memtable only after the full log step succeeds. A failed
-  // append may have left a torn record; a failed fsync leaves the record on
-  // disk while the caller is told it failed. Either way the log can no
-  // longer be trusted to match what we acknowledged, so poison it: every
-  // subsequent write fails fast instead of acknowledging data that might
-  // replay inconsistently.
-  Status log_status = wal_->Append(key, value);
-  if (log_status.ok() && options_.sync_wal) {
-    log_status = wal_->Sync();
+  PendingWrite self;
+  self.batch = &batch;
+  std::unique_lock<std::mutex> lock(mu_);
+  write_queue_.push_back(&self);
+  // Park until a leader commits us, or we reach the front of the queue and
+  // become the leader ourselves. Group members stay in the queue until their
+  // commit completes, so "front of queue" alone means no commit is running.
+  write_cv_.wait(lock, [this, &self] { return self.done || write_queue_.front() == &self; });
+  if (self.done) {
+    return self.status;
   }
-  if (!log_status.ok()) {
-    wal_poisoned_ = true;
-    poison_total.Inc();
-    SS_LOG(Warning) << "LsmStore: WAL write failed, store is now read-only: " << log_status;
-    return log_status;
-  }
-  memtable_bytes_ += key.size() + (value ? value->size() : 0) + 32;
-  if (value.has_value()) {
-    memtable_.insert_or_assign(std::string(key), std::string(*value));
-  } else {
-    memtable_.insert_or_assign(std::string(key), std::nullopt);
-  }
-  if (memtable_bytes_ >= options_.memtable_bytes) {
-    SS_RETURN_IF_ERROR(FlushMemtableLocked());
-  }
-  return Status::Ok();
+  return CommitGroupLocked(lock);
 }
 
-Status LsmStore::Put(std::string_view key, std::string_view value) { return Write(key, value); }
+Status LsmStore::Put(std::string_view key, std::string_view value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return PutBatch(batch);
+}
 
-Status LsmStore::Delete(std::string_view key) { return Write(key, std::nullopt); }
+Status LsmStore::Delete(std::string_view key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return PutBatch(batch);
+}
+
+Status LsmStore::CommitGroupLocked(std::unique_lock<std::mutex>& lock) {
+  static Counter& poison_total =
+      MetricRegistry::Default().GetCounter("ss_storage_wal_poison_total");
+  static Counter& group_commits =
+      MetricRegistry::Default().GetCounter("ss_storage_group_commit_total");
+  static LatencyHistogram& group_size =
+      MetricRegistry::Default().GetHistogram("ss_storage_group_commit_size");
+  static LatencyHistogram& apply_us =
+      MetricRegistry::Default().GetHistogram("ss_storage_batch_apply_us");
+  // Adopt every writer queued so far as one commit group. Writers arriving
+  // after this point stay queued behind us and form the next group.
+  std::vector<PendingWrite*> group(write_queue_.begin(), write_queue_.end());
+  Status log_status;
+  if (wal_poisoned_) {
+    log_status = Status::IoError("LsmStore: WAL poisoned by an earlier write failure");
+  } else {
+    // Log the whole group with mu_ released: one WAL append pass, one fsync.
+    // Exclusive WAL access without the lock is guaranteed by queue position
+    // (only the front writer commits) plus commit_in_flight_, which blocks
+    // WAL rotation until we reacquire mu_. Readers proceed during the fsync.
+    commit_in_flight_ = true;
+    size_t records = 0;
+    lock.unlock();
+    for (PendingWrite* writer : group) {
+      for (const WriteBatch::Op& op : writer->batch->ops()) {
+        log_status = wal_->Append(
+            op.key, op.value ? std::optional<std::string_view>(*op.value) : std::nullopt);
+        if (!log_status.ok()) {
+          break;
+        }
+        ++records;
+      }
+      if (!log_status.ok()) {
+        break;
+      }
+    }
+    if (log_status.ok() && options_.sync_wal) {
+      log_status = wal_->Sync();
+    }
+    lock.lock();
+    commit_in_flight_ = false;
+    group_commits.Inc();
+    group_size.Record(records);
+  }
+  if (!log_status.ok()) {
+    // A failed append may have left a torn record; a failed fsync leaves
+    // records on disk while their writers are told they failed. Either way
+    // the log can no longer be trusted to match what we acknowledged, so
+    // poison it: the whole group fails, and every subsequent write fails
+    // fast instead of acknowledging data that might replay inconsistently.
+    if (!wal_poisoned_) {
+      wal_poisoned_ = true;
+      poison_total.Inc();
+      SS_LOG(Warning) << "LsmStore: WAL write failed, store is now read-only: " << log_status;
+    }
+  } else {
+    // Apply to the memtable only after the full log step succeeded, in queue
+    // order so later writes to the same key shadow earlier ones.
+    ScopedTimer apply_timer(apply_us);
+    for (PendingWrite* writer : group) {
+      for (const WriteBatch::Op& op : writer->batch->ops()) {
+        memtable_bytes_ += op.key.size() + (op.value ? op.value->size() : 0) + 32;
+        memtable_.insert_or_assign(op.key, op.value);
+      }
+    }
+  }
+  // Acknowledge the group (we are its first member) and hand leadership to
+  // the next queued writer, if any.
+  for (PendingWrite* writer : group) {
+    write_queue_.pop_front();
+    writer->status = log_status;
+    writer->done = true;
+  }
+  Status result = log_status;
+  if (log_status.ok() && memtable_bytes_ >= options_.memtable_bytes) {
+    // Only the leader flushes; group members were already acknowledged (their
+    // data is durable in the WAL), so a flush failure surfaces on the leader.
+    Status flush_status = FlushMemtableLocked();
+    if (!flush_status.ok()) {
+      result = flush_status;
+    }
+  }
+  write_cv_.notify_all();
+  return result;
+}
 
 StatusOr<std::string> LsmStore::Get(std::string_view key) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -472,7 +554,11 @@ Status LsmStore::WriteManifestLocked() {
 }
 
 Status LsmStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // FlushMemtableLocked rotates the WAL; wait until no leader is appending
+  // to it outside the lock. Queued-but-uncommitted writers are fine: they
+  // have not touched the log yet and will append to the rotated one.
+  write_cv_.wait(lock, [this] { return !commit_in_flight_; });
   if (wal_poisoned_) {
     return Status::IoError("LsmStore: WAL poisoned by an earlier write failure");
   }

@@ -17,11 +17,18 @@
 //              fsync poisons the store (writes fail fast) rather than
 //              letting the log run ahead of the memtable. See DESIGN.md §8.
 //
-// All public methods are thread-safe behind a single mutex; SummaryStore's
-// ingest batches writes, so lock granularity is not the bottleneck here.
+// All public methods are thread-safe behind a single mutex, but writes use a
+// leader/follower group commit (DESIGN.md §9): concurrent writers queue their
+// batches, the writer at the front of the queue drains the queue into one
+// group, releases the mutex, appends the whole group to the WAL and fsyncs it
+// once, then relocks to apply the group to the memtable and acknowledge every
+// member. The mutex is never held across the fsync, so reads proceed while a
+// commit is in flight, and N contended sync_wal writers share one fsync.
 #ifndef SUMMARYSTORE_SRC_STORAGE_LSM_STORE_H_
 #define SUMMARYSTORE_SRC_STORAGE_LSM_STORE_H_
 
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -54,6 +61,7 @@ class LsmStore : public KvBackend {
   Status Put(std::string_view key, std::string_view value) override;
   StatusOr<std::string> Get(std::string_view key) override;
   Status Delete(std::string_view key) override;
+  Status PutBatch(const WriteBatch& batch) override;
   Status Scan(std::string_view start, std::string_view end, const ScanVisitor& visit) override;
   Status Flush() override;
   uint64_t ApproximateSizeBytes() const override;
@@ -67,10 +75,23 @@ class LsmStore : public KvBackend {
   uint64_t cache_misses() const;
 
  private:
+  // One writer waiting in the group-commit queue. Enqueued under mu_ and only
+  // touched by its owner (while holding mu_) or by the group leader (which
+  // reads `batch` outside mu_ — safe because the owner blocks on `done`, and
+  // the enqueue/adopt handoff through mu_ establishes happens-before).
+  struct PendingWrite {
+    const WriteBatch* batch = nullptr;
+    Status status;
+    bool done = false;
+  };
+
   LsmStore(std::string dir, const LsmOptions& options);
 
   Status Recover();
-  Status Write(std::string_view key, std::optional<std::string_view> value);
+  // The leader path: called by the writer at the front of write_queue_ with
+  // mu_ held; commits the whole queued group, acks every member, and returns
+  // the caller's (= the group's) status.
+  Status CommitGroupLocked(std::unique_lock<std::mutex>& lock);
   Status RotateWalLocked();
   Status FlushMemtableLocked();
   Status CompactLocked();
@@ -89,6 +110,13 @@ class LsmStore : public KvBackend {
   // torn relative to) the memtable, so further writes fail fast instead of
   // acknowledging data that might not replay.
   bool wal_poisoned_ = false;
+  // Group-commit state (DESIGN.md §9). Writers park here in arrival order;
+  // the front entry is the leader. True while the leader has dropped mu_ to
+  // append/fsync the WAL: code that replaces or rotates the WAL (memtable
+  // flush, shutdown) must first wait for it to clear via write_cv_.
+  std::deque<PendingWrite*> write_queue_;
+  std::condition_variable write_cv_;
+  bool commit_in_flight_ = false;
   std::vector<std::shared_ptr<SsTable>> tables_;  // oldest first
   uint32_t next_file_id_ = 1;
   mutable BlockCache block_cache_;

@@ -39,6 +39,20 @@ class MemoryBackend : public KvBackend {
     return Status::Ok();
   }
 
+  // The whole batch lands under one lock acquisition, so concurrent readers
+  // observe either none or all of it.
+  Status PutBatch(const WriteBatch& batch) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const WriteBatch::Op& op : batch.ops()) {
+      if (op.value.has_value()) {
+        map_.insert_or_assign(op.key, *op.value);
+      } else {
+        map_.erase(op.key);
+      }
+    }
+    return Status::Ok();
+  }
+
   Status Scan(std::string_view start, std::string_view end, const ScanVisitor& visit) override {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.lower_bound(std::string(start));

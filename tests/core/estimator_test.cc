@@ -85,8 +85,27 @@ TEST(FrequencyEstimator, HypergeometricMoments) {
 }
 
 TEST(FrequencyEstimator, DegenerateCases) {
-  EXPECT_EQ(EstimateSubWindowFrequency(1, 1, 0.5, 0).variance, 0.0);
+  // A value absent from the whole window is certainly absent from the
+  // sub-window: point mass at 0.
   EXPECT_EQ(EstimateSubWindowFrequency(100, 0, 0.5, 10).mean, 0.0);
+  EXPECT_EQ(EstimateSubWindowFrequency(100, 0, 0.5, 10).variance, 0.0);
+  // At the overlap edges there is no boundary to be uncertain about.
+  EXPECT_EQ(EstimateSubWindowFrequency(1, 1, 0.0, 0).variance, 0.0);
+  EXPECT_EQ(EstimateSubWindowFrequency(1, 1, 1.0, 0).variance, 0.0);
+}
+
+TEST(FrequencyEstimator, SingleElementWindowKeepsBoundaryFloor) {
+  // count <= 1 degenerates the hypergeometric term, but a partial overlap
+  // still cannot pin down whether the single occurrence falls inside: the
+  // posterior keeps at least Bernoulli(f) variance instead of emitting a
+  // zero-variance point interval that misses half the time.
+  MeanVar est = EstimateSubWindowFrequency(1, 1, 0.5, 0);
+  EXPECT_DOUBLE_EQ(est.mean, 0.5);
+  EXPECT_DOUBLE_EQ(est.variance, 0.5 * 0.5);
+  // The floor also backstops multi-element windows whose propagated count
+  // variance is tiny.
+  MeanVar multi = EstimateSubWindowFrequency(100, 1, 0.3, 0.0);
+  EXPECT_GE(multi.variance, 0.3 * 0.7);
 }
 
 TEST(Membership, TheoremB4Probability) {
@@ -106,11 +125,60 @@ TEST(Intervals, NormalIntervalCoversMean) {
   EXPECT_EQ(point.lo, point.hi);
 }
 
+TEST(Intervals, NormalIntervalFloorAtZeroKeepsExactPart) {
+  // Unfloored: lo = 12 - 1.96*10 ≈ -7.6, well below the exact part.
+  Interval unfloored = NormalInterval(10.0, 2.0, 100.0, 0.95);
+  EXPECT_LT(unfloored.lo, 10.0);
+  // Floored: the estimated part contributes >= 0, so lo snaps to exact and
+  // the upper bound is untouched.
+  Interval floored = NormalInterval(10.0, 2.0, 100.0, 0.95, /*floor_at_zero=*/true);
+  EXPECT_DOUBLE_EQ(floored.lo, 10.0);
+  EXPECT_DOUBLE_EQ(floored.hi, unfloored.hi);
+  // A lower bound already above exact is left alone.
+  Interval slack = NormalInterval(10.0, 50.0, 1.0, 0.95, /*floor_at_zero=*/true);
+  EXPECT_GT(slack.lo, 10.0);
+}
+
 TEST(Intervals, BinomialIntervalExact) {
   Interval ci = BinomialInterval(5.0, 100, 0.5, 0.95);
   // Binomial(100, 0.5) 2.5% and 97.5% quantiles are 40 and 60.
   EXPECT_DOUBLE_EQ(ci.lo, 5.0 + 40.0);
   EXPECT_DOUBLE_EQ(ci.hi, 5.0 + 60.0);
+}
+
+TEST(Intervals, BinomialIntervalHandComputedQuantiles) {
+  // Binomial(4, 0.5), 90% CI -> quantiles at 0.05 and 0.95.
+  // CDF: P(X<=0)=1/16=0.0625, P(X<=3)=15/16=0.9375.
+  // Q(0.05): smallest k with CDF >= 0.05 is 0; Q(0.95): smallest k with
+  // CDF >= 0.95 is 4.
+  Interval ci = BinomialInterval(2.0, 4, 0.5, 0.90);
+  EXPECT_DOUBLE_EQ(ci.lo, 2.0 + 0.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 2.0 + 4.0);
+  // Binomial(2, 0.5), 50% CI -> quantiles at 0.25 and 0.75.
+  // CDF: P(X<=0)=0.25, P(X<=1)=0.75 -> Q(0.25)=0, Q(0.75)=1.
+  Interval ci2 = BinomialInterval(0.0, 2, 0.5, 0.50);
+  EXPECT_DOUBLE_EQ(ci2.lo, 0.0);
+  EXPECT_DOUBLE_EQ(ci2.hi, 1.0);
+}
+
+TEST(Intervals, BinomialIntervalDegenerateInputs) {
+  // n == 0: no draws, the estimated part is certainly 0.
+  Interval none = BinomialInterval(7.0, 0, 0.5, 0.95);
+  EXPECT_DOUBLE_EQ(none.lo, 7.0);
+  EXPECT_DOUBLE_EQ(none.hi, 7.0);
+  // p == 0: every draw misses.
+  Interval never = BinomialInterval(7.0, 50, 0.0, 0.95);
+  EXPECT_DOUBLE_EQ(never.lo, 7.0);
+  EXPECT_DOUBLE_EQ(never.hi, 7.0);
+  // p == 1: every draw hits.
+  Interval always = BinomialInterval(7.0, 50, 1.0, 0.95);
+  EXPECT_DOUBLE_EQ(always.lo, 57.0);
+  EXPECT_DOUBLE_EQ(always.hi, 57.0);
+  // Out-of-range p is clamped, not trusted.
+  Interval clamped_hi = BinomialInterval(0.0, 10, 1.5, 0.95);
+  EXPECT_DOUBLE_EQ(clamped_hi.lo, 10.0);
+  Interval clamped_lo = BinomialInterval(0.0, 10, -0.5, 0.95);
+  EXPECT_DOUBLE_EQ(clamped_lo.hi, 0.0);
 }
 
 TEST(Intervals, WidthShrinksWithConfidence) {

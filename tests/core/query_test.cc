@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "src/core/query.h"
 #include "src/core/stream.h"
@@ -70,6 +71,65 @@ TEST(Query, SubWindowCountProportionalOnRegularArrivals) {
   EXPECT_GE(result->ci_hi, result->estimate);
   // Regular arrivals have near-zero interarrival variance => tight CI.
   EXPECT_LT(result->ci_hi - result->ci_lo, 20.0);
+}
+
+TEST(Query, NegativeSumCiNotClampedAtZero) {
+  // A sum over negative values must keep a fully negative interval; the old
+  // unconditional max(0, lo) clamp inverted it (lo = 0 > hi < 0).
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  for (int t = 1; t <= 1000; ++t) {
+    ASSERT_TRUE(stream.Append(t, -10.0 - (t % 50)).ok());
+  }
+  QuerySpec spec{.t1 = 333, .t2 = 1000, .op = QueryOp::kSum};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->estimate, 0.0);
+  EXPECT_LE(result->ci_lo, result->estimate);
+  EXPECT_GE(result->ci_hi, result->estimate);
+  // The whole interval sits below zero.
+  EXPECT_LT(result->ci_hi, 0.0);
+}
+
+TEST(Query, BurstyCountCiLowerBoundKeepsExactPart) {
+  // With extremely bursty interarrivals (cv^2 ~ 1000) the normal interval
+  // for the partial window is much wider than its mean; the lower bound
+  // must still never drop below the exactly-counted suffix of the range.
+  // (Previously it was only clamped at zero.)
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  const int n = 1200;
+  std::vector<Timestamp> ts(n + 1);
+  Timestamp t = 0;
+  for (int i = 1; i <= n; ++i) {
+    t += (i % 100 == 0) ? 1000000 : 1;
+    ts[i] = t;
+    ASSERT_TRUE(stream.Append(t, 1.0).ok());
+  }
+  // Furthest-back boundary from which the suffix query is still exact.
+  int k_exact = 0;
+  for (int k = n; k >= 1; --k) {
+    QuerySpec probe{.t1 = ts[k], .t2 = ts[n], .op = QueryOp::kCount};
+    auto r = RunQuery(stream, probe);
+    ASSERT_TRUE(r.ok());
+    if (!r->exact) {
+      break;
+    }
+    k_exact = k;
+  }
+  ASSERT_GT(k_exact, 1);
+  const double exact_suffix = n - k_exact + 1;
+
+  QuerySpec spec{.t1 = ts[311], .t2 = ts[n], .op = QueryOp::kCount};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->exact);
+  // Every window fully inside [ts[k_exact], ts[n]] is also fully inside the
+  // wider range, so its exact part — and hence the floored lower bound —
+  // is at least the exact suffix count.
+  EXPECT_GE(result->ci_lo, exact_suffix);
+  EXPECT_LE(result->ci_lo, result->estimate);
+  EXPECT_GE(result->ci_hi, result->estimate);
 }
 
 TEST(Query, ErrorDecreasesWithQueryLength) {

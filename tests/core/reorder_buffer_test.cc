@@ -72,6 +72,137 @@ TEST(ReorderBuffer, ShuffledStreamMatchesSortedIngest) {
   }
 }
 
+TEST(ReorderBuffer, DuplicateAndInterleavedTimestampsMatchSortedIngest) {
+  // Ties are legal (ts == watermark is not out-of-order); a shuffled stream
+  // with heavy timestamp duplication must agree with its sorted twin on all
+  // order-insensitive state.
+  std::vector<Event> events;
+  Rng rng(41);
+  for (int i = 0; i < 3000; ++i) {
+    // ~4 events per distinct timestamp, interleaved blockwise below.
+    events.push_back({static_cast<Timestamp>(i / 4 + 1), static_cast<double>(rng.NextBounded(9))});
+  }
+  for (size_t start = 0; start < events.size(); start += 24) {
+    size_t end = std::min(start + 24, events.size());
+    for (size_t i = start; i + 1 < end; ++i) {
+      size_t j = i + rng.NextBounded(end - i);
+      std::swap(events[i], events[j]);
+    }
+  }
+
+  MemoryBackend kv_sorted;
+  Stream sorted_stream(1, MakeConfig(0), &kv_sorted);
+  std::vector<Event> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  for (const Event& e : sorted) {
+    ASSERT_TRUE(sorted_stream.Append(e.ts, e.value).ok());
+  }
+
+  MemoryBackend kv_reorder;
+  Stream reorder_stream(2, MakeConfig(48), &kv_reorder);
+  for (const Event& e : events) {
+    ASSERT_TRUE(reorder_stream.Append(e.ts, e.value).ok());
+  }
+  ASSERT_TRUE(reorder_stream.DrainReorderBuffer().ok());
+
+  EXPECT_EQ(reorder_stream.element_count(), sorted_stream.element_count());
+  EXPECT_EQ(reorder_stream.window_count(), sorted_stream.window_count());
+  EXPECT_EQ(reorder_stream.watermark(), sorted_stream.watermark());
+  for (QueryOp op : {QueryOp::kCount, QueryOp::kSum}) {
+    QuerySpec spec{.t1 = 0, .t2 = 3000, .op = op};
+    auto a = RunQuery(sorted_stream, spec);
+    auto b = RunQuery(reorder_stream, spec);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a->estimate, b->estimate);
+  }
+}
+
+TEST(ReorderBuffer, BatchedAppendsMatchSingleAppends) {
+  // AppendBatch defers merge work until the end of the batch; the resulting
+  // window state must be byte-for-byte equivalent to per-event ingestion,
+  // including when batches interleave with single appends.
+  const int n = 4000;
+  std::vector<Event> events;
+  Rng rng(17);
+  for (int i = 1; i <= n; ++i) {
+    events.push_back({static_cast<Timestamp>(i * 2), static_cast<double>(rng.NextBounded(100))});
+  }
+
+  MemoryBackend kv_single;
+  Stream single_stream(1, MakeConfig(0), &kv_single);
+  for (const Event& e : events) {
+    ASSERT_TRUE(single_stream.Append(e.ts, e.value).ok());
+  }
+
+  MemoryBackend kv_batched;
+  Stream batched_stream(2, MakeConfig(0), &kv_batched);
+  size_t pos = 0;
+  bool use_batch = true;
+  while (pos < events.size()) {
+    if (use_batch) {
+      size_t len = std::min<size_t>(1 + rng.NextBounded(96), events.size() - pos);
+      ASSERT_TRUE(batched_stream.AppendBatch(std::span(events).subspan(pos, len)).ok());
+      pos += len;
+    } else {
+      ASSERT_TRUE(batched_stream.Append(events[pos].ts, events[pos].value).ok());
+      ++pos;
+    }
+    use_batch = !use_batch;
+  }
+
+  EXPECT_EQ(batched_stream.element_count(), single_stream.element_count());
+  EXPECT_EQ(batched_stream.window_count(), single_stream.window_count());
+  EXPECT_EQ(batched_stream.merge_count(), single_stream.merge_count());
+  EXPECT_EQ(batched_stream.watermark(), single_stream.watermark());
+  for (Timestamp t1 : {0, 1000, 5000}) {
+    for (QueryOp op : {QueryOp::kCount, QueryOp::kSum}) {
+      QuerySpec spec{.t1 = t1, .t2 = 2 * n + 1, .op = op};
+      auto a = RunQuery(single_stream, spec);
+      auto b = RunQuery(batched_stream, spec);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_DOUBLE_EQ(a->estimate, b->estimate) << "t1=" << t1;
+      EXPECT_DOUBLE_EQ(a->ci_lo, b->ci_lo) << "t1=" << t1;
+      EXPECT_DOUBLE_EQ(a->ci_hi, b->ci_hi) << "t1=" << t1;
+    }
+  }
+}
+
+TEST(ReorderBuffer, BatchedAppendsThroughReorderBufferMatchSorted) {
+  // Batched out-of-order ingest: AppendBatch events staged through the
+  // reorder heap drain to the same state as sorted per-event ingest.
+  const int n = 2000;
+  std::vector<Event> shuffled = ShuffledEvents(n, 16, 23);
+
+  MemoryBackend kv_sorted;
+  Stream sorted_stream(1, MakeConfig(0), &kv_sorted);
+  std::vector<Event> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  for (const Event& e : sorted) {
+    ASSERT_TRUE(sorted_stream.Append(e.ts, e.value).ok());
+  }
+
+  MemoryBackend kv_batched;
+  Stream batched_stream(2, MakeConfig(32), &kv_batched);
+  for (size_t pos = 0; pos < shuffled.size(); pos += 50) {
+    size_t len = std::min<size_t>(50, shuffled.size() - pos);
+    ASSERT_TRUE(batched_stream.AppendBatch(std::span(shuffled).subspan(pos, len)).ok());
+  }
+  ASSERT_TRUE(batched_stream.DrainReorderBuffer().ok());
+
+  EXPECT_EQ(batched_stream.element_count(), sorted_stream.element_count());
+  EXPECT_EQ(batched_stream.window_count(), sorted_stream.window_count());
+  QuerySpec spec{.t1 = 0, .t2 = n * 3 + 1, .op = QueryOp::kSum};
+  auto a = RunQuery(sorted_stream, spec);
+  auto b = RunQuery(batched_stream, spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->estimate, b->estimate);
+}
+
 TEST(ReorderBuffer, StagedEventsNotYetVisible) {
   MemoryBackend kv;
   Stream stream(1, MakeConfig(16), &kv);

@@ -46,13 +46,28 @@ TEST(Concurrency, WritersReadersAndFleetQueries) {
   std::vector<std::thread> threads;
 
   // One writer per stream: appends must stay monotone within a stream.
+  // Writers alternate batched spans (AppendBatch) with single appends so
+  // both ingest paths race the readers; total event count is unchanged.
   for (int w = 0; w < kWriters; ++w) {
     threads.emplace_back([&, w] {
-      for (int t = 1; t <= kAppendsPerWriter; ++t) {
-        if (!store.Append(ids[w], t, static_cast<double>(t % 100)).ok()) {
-          failed.store(true);
-          break;
+      int t = 1;
+      bool use_batch = (w % 2 == 0);
+      while (t <= kAppendsPerWriter && !failed.load()) {
+        if (use_batch) {
+          std::vector<Event> span;
+          for (int i = 0; i < 16 && t <= kAppendsPerWriter; ++i, ++t) {
+            span.push_back({static_cast<Timestamp>(t), static_cast<double>(t % 100)});
+          }
+          if (!store.AppendBatch(ids[w], span).ok()) {
+            failed.store(true);
+          }
+        } else {
+          if (!store.Append(ids[w], t, static_cast<double>(t % 100)).ok()) {
+            failed.store(true);
+          }
+          ++t;
         }
+        use_batch = !use_batch;
       }
       writers_done.fetch_add(1);
     });

@@ -59,11 +59,21 @@ class FaultInjectionTest : public ::testing::Test {
     return buf;
   }
 
+  static std::string BatchKey(int i, int j) {
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "bat%05d_%d", i, j);
+    return buf;
+  }
+
+  static constexpr int kBatchRecords = 3;
+
   // Runs the standard workload. Keys that were acknowledged land in `acked`
-  // (nullopt = acknowledged tombstone); the single in-flight op at the
-  // crash, whose fate is legitimately indeterminate, lands in
-  // `indeterminate`. Stops at the first failure (the store poisons itself).
-  // Returns the number of ops attempted.
+  // (nullopt = acknowledged tombstone); the in-flight op at the crash, whose
+  // fate is legitimately indeterminate, lands in `indeterminate` — for a
+  // batch op, every record in the batch (a crash at a group boundary may
+  // replay any prefix of it; each record must be exact-or-absent). Stops at
+  // the first failure (the store poisons itself). Returns the number of ops
+  // attempted.
   static int RunWorkload(const std::string& dir, int num_ops, Model* acked,
                          Model* indeterminate) {
     auto store = LsmStore::Open(dir, MatrixOptions());
@@ -71,7 +81,35 @@ class FaultInjectionTest : public ::testing::Test {
       return 0;  // crash hit during open; nothing was acknowledged
     }
     for (int i = 0; i < num_ops; ++i) {
-      if (i % 7 == 6) {
+      if (i % 5 == 4) {
+        // Multi-record group: puts plus (past the first few) a tombstone for
+        // an earlier batch key, acknowledged as one unit.
+        std::string value = "batch-" + std::to_string(i) + "-" + std::string(30, 'b');
+        WriteBatch batch;
+        for (int j = 0; j < kBatchRecords; ++j) {
+          batch.Put(BatchKey(i, j), value);
+        }
+        const bool with_delete = i >= 10;
+        if (with_delete) {
+          batch.Delete(BatchKey(i - 5, 0));
+        }
+        Status s = (*store)->PutBatch(batch);
+        if (!s.ok()) {
+          for (int j = 0; j < kBatchRecords; ++j) {
+            (*indeterminate)[BatchKey(i, j)] = value;
+          }
+          if (with_delete) {
+            (*indeterminate)[BatchKey(i - 5, 0)] = std::nullopt;
+          }
+          return i + 1;
+        }
+        for (int j = 0; j < kBatchRecords; ++j) {
+          (*acked)[BatchKey(i, j)] = value;
+        }
+        if (with_delete) {
+          (*acked)[BatchKey(i - 5, 0)] = std::nullopt;
+        }
+      } else if (i % 7 == 6) {
         std::string victim = Key(i - 3);
         Status s = (*store)->Delete(victim);
         if (!s.ok()) {
@@ -128,6 +166,15 @@ class FaultInjectionTest : public ::testing::Test {
     }
     // Put keys past the failure point were never attempted: must be absent.
     for (int i = ops_attempted; i < num_ops; ++i) {
+      if (i % 5 == 4) {
+        // Unattempted batch: none of its records may surface.
+        for (int j = 0; j < kBatchRecords; ++j) {
+          auto got = (*store)->Get(BatchKey(i, j));
+          EXPECT_EQ(got.status().code(), StatusCode::kNotFound)
+              << "phantom batch write " << BatchKey(i, j) << " (crash at op " << crash_at << ")";
+        }
+        continue;
+      }
       if (i % 7 == 6) {
         continue;  // delete op: its victim key legitimately exists
       }

@@ -103,6 +103,78 @@ TEST_F(LsmConcurrencyTest, ReadersRaceWritersWithoutTornValues) {
   EXPECT_EQ(torn.load(), 0);
 }
 
+TEST_F(LsmConcurrencyTest, BatchedAndSingleWritersShareGroupCommit) {
+  // Batched writers, single-op writers, and readers all race; group commit
+  // must coalesce them without losing or tearing anything. Runs under TSan
+  // via tools/ci.sh to validate the leader/follower handoff.
+  LsmOptions options;
+  options.memtable_bytes = 8 << 10;  // rotations interleave with commits
+  auto store = LsmStore::Open(dir_, options);
+  ASSERT_TRUE(store.ok());
+
+  constexpr int kBatchThreads = 3;
+  constexpr int kBatchesPerThread = 100;
+  constexpr int kRecordsPerBatch = 6;
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kBatchThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int b = 0; b < kBatchesPerThread; ++b) {
+        WriteBatch batch;
+        for (int r = 0; r < kRecordsPerBatch; ++r) {
+          batch.Put("g" + std::to_string(tid) + "b" + std::to_string(b) + "r" + std::to_string(r),
+                    std::string(24, 'a' + (r % 26)));
+        }
+        if (b > 0) {
+          batch.Delete("g" + std::to_string(tid) + "b" + std::to_string(b - 1) + "r0");
+        }
+        if (!(*store)->PutBatch(batch).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 600; ++i) {
+      if (!(*store)->Put("single" + std::to_string(i), "s").ok()) {
+        ++failures;
+      }
+    }
+  });
+  threads.emplace_back([&] {
+    Rng rng(7);
+    while (!stop.load()) {
+      std::string key = "g0b" + std::to_string(rng.NextBounded(kBatchesPerThread)) + "r1";
+      auto got = (*store)->Get(key);
+      if (got.ok() && got->size() != 24) {
+        ++failures;  // torn value
+      }
+    }
+  });
+  for (size_t i = 0; i + 1 < threads.size(); ++i) {
+    threads[i].join();
+  }
+  stop = true;
+  threads.back().join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Final state: last batch of each thread fully present, deletes applied.
+  for (int tid = 0; tid < kBatchThreads; ++tid) {
+    for (int r = 0; r < kRecordsPerBatch; ++r) {
+      EXPECT_TRUE((*store)
+                      ->Get("g" + std::to_string(tid) + "b" +
+                            std::to_string(kBatchesPerThread - 1) + "r" + std::to_string(r))
+                      .ok());
+    }
+    EXPECT_EQ((*store)->Get("g" + std::to_string(tid) + "b0r0").status().code(),
+              StatusCode::kNotFound);
+  }
+  for (int i = 0; i < 600; i += 37) {
+    EXPECT_TRUE((*store)->Get("single" + std::to_string(i)).ok());
+  }
+}
+
 TEST_F(LsmConcurrencyTest, ScanWhileWriting) {
   auto store = LsmStore::Open(dir_);
   ASSERT_TRUE(store.ok());

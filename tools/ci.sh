@@ -20,10 +20,10 @@ echo "=== sanitizers: ASan+UBSan build of obs + storage tests (${san_dir}) ==="
 cmake -B "${san_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DSS_SANITIZE=address,undefined
 cmake --build "${san_dir}" -j"$(nproc)" --target \
   metrics_test trace_test \
-  wal_test sstable_test lsm_store_test crash_recovery_test lsm_concurrency_test \
-  fault_fs_test fault_injection_test
+  wal_test sstable_test lsm_store_test group_commit_test crash_recovery_test \
+  lsm_concurrency_test fault_fs_test fault_injection_test
 for t in metrics_test trace_test wal_test sstable_test lsm_store_test \
-         crash_recovery_test lsm_concurrency_test fault_fs_test; do
+         group_commit_test crash_recovery_test lsm_concurrency_test fault_fs_test; do
   echo "--- ${t} (asan+ubsan)"
   if [ "${t}" = crash_recovery_test ]; then
     # Simulates hard kills by deliberately leaking un-flushed stores; leak
@@ -35,17 +35,21 @@ for t in metrics_test trace_test wal_test sstable_test lsm_store_test \
 done
 
 echo "=== fault injection: full crash matrix under ASan (SS_FAULT_INJECT=1) ==="
-# Every mutating-syscall boundary in the write/flush/compact path gets a
-# simulated power loss + reopen; the enlarged matrix runs only in CI.
+# Every mutating-syscall boundary in the write/flush/compact path — including
+# crashes at group-commit boundaries mid-batch — gets a simulated power loss
+# + reopen; the enlarged matrix runs only in CI.
 SS_FAULT_INJECT=1 "${san_dir}/tests/fault_injection_test"
 
 tsan_dir="${prefix}-tsan"
 echo "=== sanitizers: TSan build of core + concurrency tests (${tsan_dir}) ==="
+# group_commit_test and the batched writers in lsm_concurrency_test /
+# concurrency_test exercise the leader/follower commit handoff under TSan.
 cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSS_SANITIZE=thread
 cmake --build "${tsan_dir}" -j"$(nproc)" --target \
-  thread_pool_test summary_store_test lsm_concurrency_test concurrency_test
-for t in thread_pool_test summary_store_test lsm_concurrency_test \
-         concurrency_test; do
+  thread_pool_test summary_store_test group_commit_test lsm_concurrency_test \
+  concurrency_test
+for t in thread_pool_test summary_store_test group_commit_test \
+         lsm_concurrency_test concurrency_test; do
   echo "--- ${t} (tsan)"
   TSAN_OPTIONS=halt_on_error=1 "${tsan_dir}/tests/${t}"
 done
