@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/core/estimator.h"
+#include "src/obs/metrics.h"
 #include "src/sketch/aggregates.h"
 #include "src/sketch/bloom.h"
 #include "src/sketch/cms.h"
@@ -77,6 +78,67 @@ Overlap ComputeOverlap(const Stream& stream, const Stream::WindowView& view, Tim
 
 const CountSummary* GetCount(const SummaryWindow& window) {
   return SummaryCast<CountSummary>(window.Find(SummaryKind::kCount));
+}
+
+// One span of missing data inside the query range: a quarantined window
+// (view.window == nullptr) or the lost-element remnant a scrub repair folded
+// into a surviving window. The element count is known exactly from the
+// window index even though the data is gone; what's unknown is where inside
+// [a, b) those elements sit and what their values were.
+struct MissingPart {
+  Timestamp a;     // query∩span start (inclusive)
+  Timestamp b;     // query∩span end (exclusive)
+  uint64_t count;  // lost elements attributed to this span
+  double frac;     // estimated share of the span inside the query
+  bool full;       // the query covers the entire span: all `count` elements
+                   // are certainly inside the range (values still unknown)
+};
+
+std::vector<MissingPart> CollectMissing(const Stream& stream,
+                                        const std::vector<Stream::WindowView>& views,
+                                        Timestamp t1, Timestamp t2) {
+  std::vector<MissingPart> parts;
+  for (const auto& view : views) {
+    uint64_t count = view.window != nullptr ? view.window->lost_count() : view.missing_count;
+    if (count == 0) {
+      continue;
+    }
+    Overlap o = ComputeOverlap(stream, view, t1, t2);
+    if (o.b <= o.a) {
+      continue;
+    }
+    // A fully covered span contributes all of its lost elements. A partial
+    // overlap keeps its proportional share for the point estimate, but the
+    // interval still brackets every possible placement ([0, count]) below —
+    // even at frac == 0, where the elements merely *probably* aren't here.
+    double frac = o.full ? 1.0 : std::max(0.0, o.frac);
+    parts.push_back(MissingPart{o.a, o.b, count, frac, o.full});
+  }
+  return parts;
+}
+
+// Aggregate view of the missing parts, applied per-op as an interval-level
+// adjustment after the healthy-window answer is computed.
+struct Degradation {
+  bool any = false;
+  std::vector<std::pair<Timestamp, Timestamp>> spans;  // inclusive, per part
+  uint64_t full_count = 0;   // lost elements certainly inside the range
+  uint64_t total_count = 0;  // lost elements possibly inside the range
+  double expected = 0.0;     // Σ frac·count — maximum-likelihood occupancy
+};
+
+Degradation Degrade(const std::vector<MissingPart>& parts) {
+  Degradation d;
+  for (const MissingPart& p : parts) {
+    d.any = true;
+    d.spans.emplace_back(p.a, p.b - 1);
+    d.total_count += p.count;
+    if (p.full) {
+      d.full_count += p.count;
+    }
+    d.expected += p.frac * static_cast<double>(p.count);
+  }
+  return d;
 }
 
 // Whole-window frequency of `value` from whichever frequency operator the
@@ -163,6 +225,9 @@ StatusOr<QueryResult> RunCountOrSum(Stream& stream, const QuerySpec& spec, Query
   // is provably non-negative (its MinMax minimum >= 0); counts always do.
   bool sum_floor = true;
   for (const auto& view : views) {
+    if (view.window == nullptr) {
+      continue;  // quarantined span: folded into the interval below
+    }
     Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
     if (o.b <= o.a) {
       continue;
@@ -222,8 +287,40 @@ StatusOr<QueryResult> RunCountOrSum(Stream& stream, const QuerySpec& spec, Query
   for (const Event& event : lm_events) {
     acc.exact += is_sum ? event.value : 1.0;
   }
-  return FinishAdditive(acc, spec, poisson && !is_sum, views.size(), lm_events.size(),
-                        /*floor_estimated_at_zero=*/!is_sum || sum_floor);
+  QueryResult result = FinishAdditive(acc, spec, poisson && !is_sum, views.size(),
+                                      lm_events.size(),
+                                      /*floor_estimated_at_zero=*/!is_sum || sum_floor);
+  Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
+  if (d.any) {
+    result.degraded = true;
+    result.skipped_spans = std::move(d.spans);
+    if (is_sum) {
+      // A lost element's value is only known to lie inside the stream's
+      // observed extremes; without them no sound bound exists.
+      auto bounds = stream.value_bounds();
+      if (!bounds.has_value()) {
+        return Status::Corruption(
+            "degraded sum: stream has no recorded value bounds to price the lost elements");
+      }
+      auto [vmin, vmax] = *bounds;
+      uint64_t partial = d.total_count - d.full_count;
+      double full = static_cast<double>(d.full_count);
+      result.ci_lo += full * vmin + static_cast<double>(partial) * std::min(0.0, vmin);
+      result.ci_hi += full * vmax + static_cast<double>(partial) * std::max(0.0, vmax);
+      result.estimate += d.expected * stream.stats().MeanValue();
+      result.exact = false;
+    } else {
+      // The lost element *count* is exact from the window index: elements in
+      // fully covered spans are certainly in range; the rest lie in [0, n].
+      result.estimate += d.expected;
+      result.ci_lo += static_cast<double>(d.full_count);
+      result.ci_hi += static_cast<double>(d.total_count);
+      if (d.full_count != d.total_count) {
+        result.exact = false;
+      }
+    }
+  }
+  return result;
 }
 
 StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
@@ -249,6 +346,9 @@ StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrac
     witnessed = true;
   };
   for (const auto& view : views) {
+    if (view.window == nullptr) {
+      continue;  // quarantined span: handled after the landmark pass
+    }
     Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
     if (o.b <= o.a) {
       continue;
@@ -284,6 +384,19 @@ StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrac
     consider(event.value);
     consider_witness(event.value);
   }
+  Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
+  std::optional<std::pair<double, double>> bounds;
+  if (d.any) {
+    // A lost element might have been the extremum: the stream-wide value
+    // bound joins the bracket, and the answer can no longer be exact.
+    bounds = stream.value_bounds();
+    if (!bounds.has_value()) {
+      return Status::Corruption(
+          "degraded min/max: stream has no recorded value bounds to price the lost elements");
+    }
+    consider(is_min ? bounds->first : bounds->second);
+    result.exact = false;
+  }
   if (!found) {
     return Status::NotFound("no data in query range");
   }
@@ -299,6 +412,15 @@ StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrac
     result.ci_hi = best;
     result.ci_lo = witnessed ? witness : best;
   }
+  if (d.any) {
+    result.degraded = true;
+    result.skipped_spans = std::move(d.spans);
+    if (!witnessed) {
+      // Nothing is known to be inside the range, so the true extremum (if
+      // any element exists) can sit anywhere within the stream bounds.
+      (is_min ? result.ci_hi : result.ci_lo) = is_min ? bounds->second : bounds->first;
+    }
+  }
   return result;
 }
 
@@ -307,6 +429,9 @@ StatusOr<QueryResult> RunFrequency(Stream& stream, const QuerySpec& spec, QueryT
                       stream.WindowsOverlapping(spec.t1, spec.t2, trace));
   Accumulation acc;
   for (const auto& view : views) {
+    if (view.window == nullptr) {
+      continue;  // quarantined span: folded into the interval below
+    }
     Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
     if (o.b <= o.a) {
       continue;
@@ -347,8 +472,19 @@ StatusOr<QueryResult> RunFrequency(Stream& stream, const QuerySpec& spec, QueryT
     }
   }
   // Frequencies are counts of occurrences: the estimated part is >= 0.
-  return FinishAdditive(acc, spec, /*poisson=*/false, views.size(), lm_events.size(),
-                        /*floor_estimated_at_zero=*/true);
+  QueryResult result = FinishAdditive(acc, spec, /*poisson=*/false, views.size(),
+                                      lm_events.size(),
+                                      /*floor_estimated_at_zero=*/true);
+  Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
+  if (d.any) {
+    // Any subset of the lost elements could equal `value`: [0, n] more
+    // occurrences are possible; none are certain.
+    result.degraded = true;
+    result.skipped_spans = std::move(d.spans);
+    result.ci_hi += static_cast<double>(d.total_count);
+    result.exact = false;
+  }
+  return result;
 }
 
 StatusOr<QueryResult> RunExistence(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
@@ -369,6 +505,9 @@ StatusOr<QueryResult> RunExistence(Stream& stream, const QuerySpec& spec, QueryT
   bool any_estimate = false;
 
   for (const auto& view : views) {
+    if (view.window == nullptr) {
+      continue;  // quarantined span: widens the interval below
+    }
     Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
     if (o.b <= o.a) {
       continue;
@@ -428,7 +567,13 @@ StatusOr<QueryResult> RunExistence(Stream& stream, const QuerySpec& spec, QueryT
     }
   }
 
+  Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
+  if (d.any) {
+    result.degraded = true;
+    result.skipped_spans = std::move(d.spans);
+  }
   if (certain_hit) {
+    // A witnessed occurrence stays certain no matter what was lost.
     result.estimate = 1.0;
     result.bool_answer = true;
     result.ci_lo = result.ci_hi = 1.0;
@@ -440,6 +585,12 @@ StatusOr<QueryResult> RunExistence(Stream& stream, const QuerySpec& spec, QueryT
   result.ci_lo = 1.0 - std::exp(log_not_present_lo);
   result.ci_hi = 1.0 - std::exp(log_not_present_hi);
   result.bool_answer = result.estimate >= 0.5;
+  if (d.any) {
+    // A lost element might have carried `value`: presence can no longer be
+    // ruled out, so the interval's upper end opens to 1.
+    result.ci_hi = 1.0;
+    result.exact = false;
+  }
   return result;
 }
 
@@ -451,6 +602,9 @@ StatusOr<QueryResult> RunDistinct(Stream& stream, const QuerySpec& spec, QueryTr
   result.windows_read = views.size();
   std::unique_ptr<HyperLogLog> merged;
   for (const auto& view : views) {
+    if (view.window == nullptr) {
+      continue;  // quarantined span: widens the interval below
+    }
     Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
     if (o.b <= o.a) {
       continue;
@@ -489,9 +643,17 @@ StatusOr<QueryResult> RunDistinct(Stream& stream, const QuerySpec& spec, QueryTr
   for (const Event& event : lm_events) {
     merged->AddHash(HashValue(event.value));
   }
+  Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
   if (merged == nullptr) {
     result.estimate = 0.0;
     result.ci_lo = result.ci_hi = 0.0;
+    if (d.any) {
+      // Only lost data overlaps the range: up to n distinct values possible.
+      result.degraded = true;
+      result.skipped_spans = std::move(d.spans);
+      result.ci_hi = static_cast<double>(d.total_count);
+      result.exact = false;
+    }
     return result;
   }
   result.estimate = merged->EstimateCardinality();
@@ -503,6 +665,12 @@ StatusOr<QueryResult> RunDistinct(Stream& stream, const QuerySpec& spec, QueryTr
   double alpha = (1.0 - spec.confidence) / 2.0;
   result.ci_lo = std::max(0.0, dist.Quantile(alpha));
   result.ci_hi = dist.Quantile(1.0 - alpha);
+  if (d.any) {
+    // Every lost element could have carried a previously unseen value.
+    result.degraded = true;
+    result.skipped_spans = std::move(d.spans);
+    result.ci_hi += static_cast<double>(d.total_count);
+  }
   return result;
 }
 
@@ -521,6 +689,9 @@ StatusOr<QueryResult> RunQuantile(Stream& stream, const QuerySpec& spec, QueryTr
     }
   };
   for (const auto& view : views) {
+    if (view.window == nullptr) {
+      continue;  // quarantined span: widens the rank interval below
+    }
     Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
     if (o.b <= o.a) {
       continue;
@@ -556,8 +727,32 @@ StatusOr<QueryResult> RunQuantile(Stream& stream, const QuerySpec& spec, QueryTr
   double q = std::clamp(spec.quantile_q, 0.0, 1.0);
   result.estimate = merged->EstimateQuantile(q);
   double rank_err = 2.0 / static_cast<double>(stream.config().operators.quantile_k);
-  result.ci_lo = merged->EstimateQuantile(std::max(0.0, q - rank_err));
-  result.ci_hi = merged->EstimateQuantile(std::min(1.0, q + rank_err));
+  Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
+  if (!d.any) {
+    result.ci_lo = merged->EstimateQuantile(std::max(0.0, q - rank_err));
+    result.ci_hi = merged->EstimateQuantile(std::min(1.0, q + rank_err));
+    return result;
+  }
+  // Up to n lost elements may belong to the range. The true q-quantile of
+  // the full population (T observed + up to M lost) sits at rank q·(T+M);
+  // among the observed values that rank shifts by at most M in either
+  // direction, depending on where the lost values fall. When the widened
+  // rank leaves [0, 1], the quantile escapes the observed sample entirely
+  // and only the stream-wide value bounds contain it.
+  result.degraded = true;
+  result.skipped_spans = std::move(d.spans);
+  double total = static_cast<double>(merged->total_count());
+  double m_lost = static_cast<double>(d.total_count);
+  double q_hi = (q * (total + m_lost)) / total + rank_err;
+  double q_lo = (q * (total + m_lost) - m_lost) / total - rank_err;
+  auto bounds = stream.value_bounds();
+  if ((q_lo < 0.0 || q_hi > 1.0) && !bounds.has_value()) {
+    return Status::Corruption(
+        "degraded quantile: stream has no recorded value bounds to price the lost elements");
+  }
+  result.ci_lo = q_lo < 0.0 ? bounds->first : merged->EstimateQuantile(q_lo);
+  result.ci_hi = q_hi > 1.0 ? bounds->second : merged->EstimateQuantile(q_hi);
+  result.estimate = std::clamp(result.estimate, result.ci_lo, result.ci_hi);
   return result;
 }
 
@@ -569,6 +764,9 @@ StatusOr<QueryResult> RunValueRangeCount(Stream& stream, const QuerySpec& spec, 
                       stream.WindowsOverlapping(spec.t1, spec.t2, trace));
   Accumulation acc;
   for (const auto& view : views) {
+    if (view.window == nullptr) {
+      continue;  // quarantined span: folded into the interval below
+    }
     Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
     if (o.b <= o.a) {
       continue;
@@ -608,8 +806,18 @@ StatusOr<QueryResult> RunValueRangeCount(Stream& stream, const QuerySpec& spec, 
     }
   }
   // Range-restricted counts: the estimated part is >= 0.
-  return FinishAdditive(acc, spec, /*poisson=*/false, views.size(), lm_events.size(),
-                        /*floor_estimated_at_zero=*/true);
+  QueryResult result = FinishAdditive(acc, spec, /*poisson=*/false, views.size(),
+                                      lm_events.size(),
+                                      /*floor_estimated_at_zero=*/true);
+  Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
+  if (d.any) {
+    // Any subset of the lost elements could fall inside [value_lo, value_hi).
+    result.degraded = true;
+    result.skipped_spans = std::move(d.spans);
+    result.ci_hi += static_cast<double>(d.total_count);
+    result.exact = false;
+  }
+  return result;
 }
 
 StatusOr<QueryResult> RunMean(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
@@ -626,6 +834,9 @@ StatusOr<QueryResult> RunMean(Stream& stream, const QuerySpec& spec, QueryTrace*
   result.windows_read = count.windows_read;
   result.landmark_events = count.landmark_events;
   result.exact = count.exact && sum.exact;
+  result.degraded = count.degraded || sum.degraded;
+  result.skipped_spans =
+      count.skipped_spans.empty() ? std::move(sum.skipped_spans) : std::move(count.skipped_spans);
   if (count.estimate <= 0) {
     return Status::NotFound("no data in query range");
   }
@@ -698,14 +909,26 @@ StatusOr<QueryResult> Dispatch(Stream& stream, const QuerySpec& spec, QueryTrace
 }  // namespace
 
 StatusOr<QueryResult> RunQuery(Stream& stream, const QuerySpec& spec) {
+  static Counter& degraded_total =
+      MetricRegistry::Default().GetCounter("ss_core_query_degraded_total");
   if (spec.t2 < spec.t1) {
     return Status::InvalidArgument("query range end precedes start");
   }
   if (spec.confidence <= 0.0 || spec.confidence >= 1.0) {
     return Status::InvalidArgument("confidence must be in (0,1)");
   }
+  // Landmarks are lossless by contract; answering around a corrupt one
+  // would silently drop raw data every op weaves in exactly. Hard error.
+  if (!stream.landmark_status().ok()) {
+    return Status::Corruption("landmark window corrupt: " +
+                              stream.landmark_status().ToString());
+  }
   if (!spec.collect_trace) {
-    return Dispatch(stream, spec, nullptr);
+    StatusOr<QueryResult> result = Dispatch(stream, spec, nullptr);
+    if (result.ok() && result->degraded) {
+      degraded_total.Inc();
+    }
+    return result;
   }
   auto trace = std::make_shared<QueryTrace>();
   trace->op = QueryOpName(spec.op);
@@ -715,6 +938,9 @@ StatusOr<QueryResult> RunQuery(Stream& stream, const QuerySpec& spec) {
   StatusOr<QueryResult> result = Dispatch(stream, spec, trace.get());
   if (!result.ok()) {
     return result;
+  }
+  if (result->degraded) {
+    degraded_total.Inc();
   }
   trace->elapsed_micros = watch.ElapsedMicros();
   trace->landmark_windows = stream.LandmarksOverlapping(spec.t1, spec.t2).size();

@@ -8,6 +8,8 @@
 #define SUMMARYSTORE_SRC_CORE_QUERY_H_
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/core/stream.h"
 #include "src/obs/trace.h"
@@ -57,6 +59,14 @@ struct QueryResult {
   // True when no statistical estimation was involved (query was answered
   // entirely from raw windows, landmarks, and exact whole-window unions).
   bool exact = true;
+  // True when part of the query range was answered without its data —
+  // quarantined (checksum-failed) windows or scrub-recorded lost elements.
+  // The answer is still sound: the missing spans are folded into [ci_lo,
+  // ci_hi] as fully-uncertain sub-ranges, never silently ignored.
+  bool degraded = false;
+  // Inclusive [start, end] time spans whose data was missing (one entry per
+  // affected window, clamped to the query range). Empty unless degraded.
+  std::vector<std::pair<Timestamp, Timestamp>> skipped_spans;
   size_t windows_read = 0;
   size_t landmark_events = 0;
   // Populated only when QuerySpec::collect_trace was set (shared so results

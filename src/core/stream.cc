@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/obs/metrics.h"
+#include "src/storage/checksum_envelope.h"
 
 namespace ss {
 
@@ -112,6 +113,13 @@ Status Stream::AppendOrdered(Timestamp ts, double value) {
     stats_.interarrival.Add(static_cast<double>(ts - last_ts_));
   }
   stats_.values.Add(value);
+  if (!has_value_bounds_) {
+    value_min_ = value_max_ = value;
+    has_value_bounds_ = true;
+  } else {
+    value_min_ = std::min(value_min_, value);
+    value_max_ = std::max(value_max_, value);
+  }
   first_ts_ = std::min(first_ts_, ts);
   last_ts_ = ts;
   meta_dirty_ = true;
@@ -197,6 +205,9 @@ void Stream::PushCandidate(uint64_t left_cs) {
   if (succ == windows_.end()) {
     return;
   }
+  if (it->second.quarantined || succ->second.quarantined) {
+    return;  // corrupt payloads can't merge; scrub repair handles them
+  }
   std::optional<uint64_t> merge_at =
       ComputeMergeAt(StartPos(it->second, left_cs), EndPos(succ->second));
   if (merge_at.has_value()) {
@@ -215,6 +226,9 @@ Status Stream::DrainMerges() {
     auto succ = std::next(it);
     if (succ == windows_.end() || succ->first != candidate.right_cs) {
       continue;  // pair changed since this entry was queued
+    }
+    if (it->second.quarantined || succ->second.quarantined) {
+      continue;  // a side was quarantined after queuing; leave it for scrub
     }
     std::optional<uint64_t> merge_at =
         ComputeMergeAt(StartPos(it->second, candidate.left_cs), EndPos(succ->second));
@@ -237,8 +251,17 @@ Status Stream::MergePair(uint64_t left_cs, uint64_t right_cs) {
   WindowSlot& left = left_it->second;
   WindowSlot& right = right_it->second;
 
-  SS_RETURN_IF_ERROR(LoadWindow(left_cs, left).status());
-  SS_RETURN_IF_ERROR(LoadWindow(right_cs, right).status());
+  Status load = LoadWindow(left_cs, left).status();
+  if (load.ok()) {
+    load = LoadWindow(right_cs, right).status();
+  }
+  if (!load.ok()) {
+    if (left.quarantined || right.quarantined) {
+      return Status::Ok();  // side turned out corrupt: drop the candidate,
+                            // keep ingesting; scrub repair owns the cleanup
+    }
+    return load;
+  }
 
   SS_RETURN_IF_ERROR(left.window->MergeFrom(std::move(*right.window), config_.operators,
                                             config_.raw_threshold, config_.seed));
@@ -302,17 +325,55 @@ StatusOr<std::shared_ptr<SummaryWindow>> Stream::LoadWindow(uint64_t cs, WindowS
   // distinguishes query traffic); here we only account bytes actually read.
   static Counter& bytes_loaded =
       MetricRegistry::Default().GetCounter("ss_core_window_load_bytes_total");
+  static Counter& read_retries =
+      MetricRegistry::Default().GetCounter("ss_storage_read_retry_total");
+  static Counter& quarantine_total =
+      MetricRegistry::Default().GetCounter("ss_core_window_quarantine_total");
   if (slot.window != nullptr) {
     return slot.window;
   }
-  SS_ASSIGN_OR_RETURN(std::string payload, kv_->Get(WindowKey(id_, cs)));
-  bytes_loaded.Inc(payload.size());
-  if (trace != nullptr) {
-    trace->bytes_fetched += payload.size();
+  if (slot.quarantined) {
+    return Status::Corruption("window " + std::to_string(cs) + " quarantined");
   }
-  Reader reader(payload);
-  SS_ASSIGN_OR_RETURN(SummaryWindow window, SummaryWindow::Deserialize(reader));
-  slot.window = std::make_shared<SummaryWindow>(std::move(window));
+  auto fetch = [&]() -> StatusOr<SummaryWindow> {
+    SS_ASSIGN_OR_RETURN(std::string stored, kv_->Get(WindowKey(id_, cs)));
+    SS_ASSIGN_OR_RETURN(std::string_view payload, OpenEnvelope(stored));
+    Reader reader(payload);
+    SS_ASSIGN_OR_RETURN(SummaryWindow window, SummaryWindow::Deserialize(reader));
+    // Identity cross-check closes the envelope's blind spot: a flipped magic
+    // byte demotes the value to "legacy unchecked", but a decode that then
+    // happens to succeed still has to produce *this* window.
+    if (window.cs() != cs) {
+      return Status::Corruption("window identity mismatch: key cs " + std::to_string(cs) +
+                                " decoded cs " + std::to_string(window.cs()));
+    }
+    bytes_loaded.Inc(payload.size());
+    if (trace != nullptr) {
+      trace->bytes_fetched += payload.size();
+    }
+    return window;
+  };
+  StatusOr<SummaryWindow> window = fetch();
+  if (!window.ok()) {
+    // One immediate retry: a transient backend hiccup (or a repair racing
+    // this read) should not quarantine a healthy window.
+    read_retries.Inc();
+    window = fetch();
+  }
+  if (!window.ok()) {
+    const Status& status = window.status();
+    if (status.code() == StatusCode::kCorruption || status.code() == StatusCode::kNotFound) {
+      // Checksum/decode failure — or outright loss — of the only remaining
+      // copy. Quarantine the slot so queries degrade instead of erroring.
+      slot.quarantined = true;
+      slot.dirty = false;
+      quarantine_total.Inc();
+      return Status::Corruption("window " + std::to_string(cs) +
+                                " quarantined: " + status.ToString());
+    }
+    return status;
+  }
+  slot.window = std::make_shared<SummaryWindow>(std::move(window).value());
   return slot.window;
 }
 
@@ -327,6 +388,11 @@ void Stream::SerializeMeta(Writer& writer) const {
   writer.PutVarint(merges_);
   SerializeWelford(writer, stats_.interarrival);
   SerializeWelford(writer, stats_.values);
+  // Trailing optional fields — metas written before this release simply end
+  // above, so Load only reads these when bytes remain.
+  writer.PutU8(has_value_bounds_ ? 1 : 0);
+  writer.PutDouble(value_min_);
+  writer.PutDouble(value_max_);
 }
 
 Status Stream::Flush() {
@@ -366,7 +432,7 @@ Status Stream::Flush() {
     SS_CHECK(slot.window != nullptr) << "persisting evicted window";
     Writer writer;
     slot.window->Serialize(writer);
-    batch.Put(WindowKey(id_, cs), writer.data());
+    batch.Put(WindowKey(id_, cs), SealEnvelope(writer.data()));
     chunk_cs.push_back(cs);
     if (batch.ApproximateBytes() >= kFlushChunkBytes) {
       SS_RETURN_IF_ERROR(commit_chunk());
@@ -378,12 +444,12 @@ Status Stream::Flush() {
   for (size_t i = first_dirty_landmark_; i < landmarks_.size(); ++i) {
     Writer writer;
     landmarks_[i].Serialize(writer);
-    batch.Put(LandmarkKey(id_, landmarks_[i].id), writer.data());
+    batch.Put(LandmarkKey(id_, landmarks_[i].id), SealEnvelope(writer.data()));
   }
   if (meta_dirty_) {
     Writer writer;
     SerializeMeta(writer);
-    batch.Put(StreamMetaKey(id_), writer.data());
+    batch.Put(StreamMetaKey(id_), SealEnvelope(writer.data()));
   }
   SS_RETURN_IF_ERROR(commit_chunk());
   pending_deletes_.clear();
@@ -442,7 +508,10 @@ Status Stream::Erase() {
 
 StatusOr<std::unique_ptr<Stream>> Stream::Load(StreamId id, KvBackend* kv) {
   SS_ASSIGN_OR_RETURN(std::string meta, kv->Get(StreamMetaKey(id)));
-  Reader reader(meta);
+  // Stream meta has no redundant copy to degrade to: a corrupt meta fails
+  // the whole load (and Open), by design.
+  SS_ASSIGN_OR_RETURN(std::string_view meta_payload, OpenEnvelope(meta));
+  Reader reader(meta_payload);
   SS_ASSIGN_OR_RETURN(StreamConfig config, StreamConfig::Deserialize(reader));
   auto stream = std::make_unique<Stream>(id, std::move(config), kv);
   SS_ASSIGN_OR_RETURN(stream->n_, reader.ReadVarint());
@@ -455,15 +524,29 @@ StatusOr<std::unique_ptr<Stream>> Stream::Load(StreamId id, KvBackend* kv) {
   SS_ASSIGN_OR_RETURN(stream->merges_, reader.ReadVarint());
   SS_ASSIGN_OR_RETURN(stream->stats_.interarrival, DeserializeWelford(reader));
   SS_ASSIGN_OR_RETURN(stream->stats_.values, DeserializeWelford(reader));
+  if (!reader.AtEnd()) {  // trailing optional fields (absent in legacy metas)
+    SS_ASSIGN_OR_RETURN(uint8_t has_bounds, reader.ReadU8());
+    SS_ASSIGN_OR_RETURN(stream->value_min_, reader.ReadDouble());
+    SS_ASSIGN_OR_RETURN(stream->value_max_, reader.ReadDouble());
+    stream->has_value_bounds_ = has_bounds != 0;
+  }
 
   // Rebuild the window index from the persisted windows; payloads stay
-  // evicted until queried.
-  Status scan_status = Status::Ok();
+  // evicted until queried. Pass 1: index every verifiable header, remember
+  // the cs of windows whose stored value fails envelope/decode/identity.
+  static Counter& quarantine_total =
+      MetricRegistry::Default().GetCounter("ss_core_window_quarantine_total");
+  std::vector<uint64_t> corrupt_cs;
   SS_RETURN_IF_ERROR(kv->Scan(
       WindowKeyPrefix(id), PrefixEnd(WindowKeyPrefix(id)),
       [&](std::string_view key, std::string_view value) {
         uint64_t cs = ReadBigEndian64(key.substr(9));
-        Reader header(value);
+        auto payload = OpenEnvelope(value);
+        if (!payload.ok()) {
+          corrupt_cs.push_back(cs);
+          return true;
+        }
+        Reader header(*payload);
         WindowSlot slot;
         // Header layout: cs, ce, ts_start, ts_last (see SummaryWindow serde).
         auto cs_field = header.ReadVarint();
@@ -471,33 +554,78 @@ StatusOr<std::unique_ptr<Stream>> Stream::Load(StreamId id, KvBackend* kv) {
         auto ts_start = header.ReadSignedVarint();
         auto ts_last = header.ReadSignedVarint();
         if (!cs_field.ok() || !ce_field.ok() || !ts_start.ok() || !ts_last.ok() ||
-            *cs_field != cs) {
-          scan_status = Status::Corruption("bad window header for stream " + std::to_string(id));
-          return false;
+            *cs_field != cs || *ce_field < cs) {
+          // Legacy (unenveloped) value with a mangled header, or an envelope
+          // whose payload lies about its identity: quarantine, don't fail
+          // the whole stream.
+          corrupt_cs.push_back(cs);
+          return true;
         }
         slot.ce = *ce_field;
         slot.ts_start = *ts_start;
         slot.ts_last = *ts_last;
-        slot.size_bytes = value.size();
+        slot.size_bytes = payload->size();
         slot.persisted = true;
         stream->windows_.emplace(cs, std::move(slot));
         stream->ts_index_.insert({*ts_start, cs});
         return true;
       }));
-  SS_RETURN_IF_ERROR(scan_status);
+  // Pass 2: give each corrupt window a quarantined index slot whose span is
+  // reconstructed from its intact neighbors, so window covers still tile
+  // stream time and queries can price the loss into their intervals.
+  // Conservative time span: start at the predecessor's last event (events
+  // may share timestamps, so ts_last — not ts_last + 1 — keeps the span a
+  // superset of the truth) and end at the successor's first.
+  std::sort(corrupt_cs.begin(), corrupt_cs.end());
+  for (size_t i = 0; i < corrupt_cs.size(); ++i) {
+    uint64_t cs = corrupt_cs[i];
+    WindowSlot slot;
+    slot.persisted = true;
+    slot.quarantined = true;
+    // Processing ascending means earlier corrupt windows are already in the
+    // map, so lower_bound past them lands on the next *intact* window; the
+    // element range must still stop before the next corrupt key.
+    auto succ = stream->windows_.lower_bound(cs + 1);
+    uint64_t next_cs = succ != stream->windows_.end() ? succ->first : UINT64_MAX;
+    if (i + 1 < corrupt_cs.size()) {
+      next_cs = std::min(next_cs, corrupt_cs[i + 1]);
+    }
+    slot.ce = next_cs != UINT64_MAX ? next_cs - 1 : stream->n_;
+    slot.ts_last = succ != stream->windows_.end() ? succ->second.ts_start : stream->last_ts_;
+    // Nearest intact predecessor: a run of adjacent corrupt windows shares
+    // one [pred.ts_last, succ.ts_start] span, each member carrying its own
+    // lost-element count.
+    slot.ts_start = stream->first_ts_ == kMaxTimestamp ? 0 : stream->first_ts_;
+    for (auto pred = stream->windows_.lower_bound(cs);
+         pred != stream->windows_.begin();) {
+      --pred;
+      if (!pred->second.quarantined) {
+        slot.ts_start = pred->second.ts_last;
+        break;
+      }
+    }
+    slot.size_bytes = 0;
+    stream->windows_.emplace(cs, slot);
+    stream->ts_index_.insert({slot.ts_start, cs});
+    quarantine_total.Inc();
+  }
 
   SS_RETURN_IF_ERROR(kv->Scan(LandmarkKeyPrefix(id), PrefixEnd(LandmarkKeyPrefix(id)),
                               [&](std::string_view, std::string_view value) {
-                                Reader lm_reader(value);
+                                auto payload = OpenEnvelope(value);
+                                if (!payload.ok()) {
+                                  stream->landmark_status_ = payload.status();
+                                  return true;  // keep loading the others
+                                }
+                                Reader lm_reader(*payload);
                                 auto lm = LandmarkWindow::Deserialize(lm_reader);
                                 if (!lm.ok()) {
-                                  scan_status = lm.status();
-                                  return false;
+                                  stream->landmark_status_ = lm.status();
+                                  return true;
                                 }
                                 stream->landmarks_.push_back(std::move(lm).value());
                                 return true;
                               }));
-  SS_RETURN_IF_ERROR(scan_status);
   std::sort(stream->landmarks_.begin(), stream->landmarks_.end(),
             [](const LandmarkWindow& a, const LandmarkWindow& b) {
               return a.ts_start != b.ts_start ? a.ts_start < b.ts_start : a.id < b.id;
@@ -542,29 +670,37 @@ uint64_t Stream::SizeBytes() const {
 Status Stream::BulkLoadWindows(uint64_t cs_first, uint64_t cs_last, QueryTrace* trace) {
   static Counter& bytes_loaded =
       MetricRegistry::Default().GetCounter("ss_core_window_load_bytes_total");
-  Status decode_status = Status::Ok();
-  SS_RETURN_IF_ERROR(kv_->Scan(
+  Status scan = kv_->Scan(
       WindowKey(id_, cs_first), WindowKey(id_, cs_last + 1),
       [&](std::string_view key, std::string_view value) {
         uint64_t cs = ReadBigEndian64(key.substr(9));
         auto it = windows_.find(cs);
-        if (it == windows_.end() || it->second.window != nullptr) {
-          return true;  // merged away since persisted, or already resident
+        if (it == windows_.end() || it->second.window != nullptr ||
+            it->second.quarantined) {
+          return true;  // merged away, already resident, or known-corrupt
         }
-        Reader reader(value);
+        auto payload = OpenEnvelope(value);
+        if (!payload.ok()) {
+          return true;  // leave evicted; the per-window load quarantines it
+        }
+        Reader reader(*payload);
         auto window = SummaryWindow::Deserialize(reader);
-        if (!window.ok()) {
-          decode_status = window.status();
-          return false;
+        if (!window.ok() || window->cs() != cs) {
+          return true;  // same: precise handling happens in LoadWindow
         }
-        bytes_loaded.Inc(value.size());
+        bytes_loaded.Inc(payload->size());
         if (trace != nullptr) {
-          trace->bytes_fetched += value.size();
+          trace->bytes_fetched += payload->size();
         }
         it->second.window = std::make_shared<SummaryWindow>(std::move(window).value());
         return true;
-      }));
-  return decode_status;
+      });
+  if (!scan.ok() && scan.code() == StatusCode::kCorruption) {
+    // A corrupt backend block can fail the whole range scan; fall back to
+    // per-window point loads, which detect and quarantine precisely.
+    return Status::Ok();
+  }
+  return scan;
 }
 
 StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t1, Timestamp t2,
@@ -587,6 +723,13 @@ StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t
   auto begin_idx = ts_index_.lower_bound({t1, 0});
   if (begin_idx != ts_index_.begin()) {
     --begin_idx;
+    // A quarantined predecessor's uncertainty span can reach past its cover
+    // (adjacent corrupt windows share one reconstructed span); cross the
+    // whole run so none of the loss is silently skipped.
+    while (begin_idx != ts_index_.begin() &&
+           windows_.find(begin_idx->second)->second.quarantined) {
+      --begin_idx;
+    }
   }
   // Collect evicted windows in range; past a handful, one range scan beats
   // per-window point lookups by decoding each storage block only once. The
@@ -595,7 +738,7 @@ StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t
   for (auto idx = begin_idx; idx != ts_index_.end() && idx->first <= t2; ++idx) {
     auto slot_it = windows_.find(idx->second);
     SS_CHECK(slot_it != windows_.end()) << "ts_index out of sync";
-    if (slot_it->second.window == nullptr) {
+    if (slot_it->second.window == nullptr && !slot_it->second.quarantined) {
       evicted.push_back(idx->second);
     }
   }
@@ -608,22 +751,46 @@ StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t
   for (auto idx = begin_idx; idx != ts_index_.end() && idx->first <= t2; ++idx) {
     uint64_t cs = idx->second;
     auto slot_it = windows_.find(cs);
+    WindowSlot& slot = slot_it->second;
     auto next_idx = std::next(idx);
     Timestamp cover_end = next_idx != ts_index_.end() ? next_idx->first : last_ts_ + 1;
-    if (cover_end <= t1 && slot_it->second.ts_start < t1) {
+    if (slot.quarantined) {
+      // The slot's reconstructed span can extend past the ts_index cover
+      // (adjacent corrupt windows share a span); the missing view must blame
+      // the whole span so the query prices in every possible position of the
+      // lost elements.
+      Timestamp missing_end = std::max(cover_end, slot.ts_last);
+      if (missing_end <= t1 && slot.ts_start < t1) {
+        continue;
+      }
+      views.push_back(WindowView{nullptr, slot.ts_start, missing_end, slot.ce - cs + 1});
+      continue;
+    }
+    if (cover_end <= t1 && slot.ts_start < t1) {
       continue;  // the stepped-back window ends before the query starts
     }
     bool was_resident = !std::binary_search(evicted.begin(), evicted.end(), cs);
-    SS_ASSIGN_OR_RETURN(std::shared_ptr<SummaryWindow> window,
-                        LoadWindow(cs, slot_it->second, trace));
+    auto loaded = LoadWindow(cs, slot, trace);
+    if (!loaded.ok()) {
+      if (!slot.quarantined) {
+        return loaded.status();  // transient backend failure: real error
+      }
+      // LoadWindow just quarantined this window (corrupt payload, retried
+      // once): degrade instead of failing the query. The in-memory metadata
+      // is still exact, so the missing span is the true cover.
+      cache_misses.Inc();
+      views.push_back(WindowView{nullptr, slot.ts_start, cover_end, slot.ce - cs + 1});
+      continue;
+    }
+    std::shared_ptr<SummaryWindow> window = std::move(loaded).value();
     (was_resident ? cache_hits : cache_misses).Inc();
     if (trace != nullptr) {
       ++trace->windows_scanned;
       (window->is_raw() ? trace->raw_windows : trace->summary_windows) += 1;
       (was_resident ? trace->window_cache_hits : trace->window_cache_misses) += 1;
     }
-    slot_it->second.last_access = ++access_clock_;
-    views.push_back(WindowView{std::move(window), slot_it->second.ts_start, cover_end});
+    slot.last_access = ++access_clock_;
+    views.push_back(WindowView{std::move(window), slot.ts_start, cover_end});
   }
   EnforceWindowCacheBudget();
   return views;
@@ -660,6 +827,197 @@ void Stream::EnforceWindowCacheBudget() {
     slot.size_bytes = slot.window->SizeBytes();
     slot.window = nullptr;
   }
+}
+
+size_t Stream::quarantined_window_count() const {
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  size_t count = 0;
+  for (const auto& [cs, slot] : windows_) {
+    count += slot.quarantined ? 1 : 0;
+  }
+  return count;
+}
+
+Status Stream::VerifyWindowKv(uint64_t cs) const {
+  SS_ASSIGN_OR_RETURN(std::string stored, kv_->Get(WindowKey(id_, cs)));
+  SS_ASSIGN_OR_RETURN(std::string_view payload, OpenEnvelope(stored));
+  Reader reader(payload);
+  SS_ASSIGN_OR_RETURN(SummaryWindow window, SummaryWindow::Deserialize(reader));
+  if (window.cs() != cs) {
+    return Status::Corruption("window identity mismatch: key cs " + std::to_string(cs) +
+                              " decoded cs " + std::to_string(window.cs()));
+  }
+  return Status::Ok();
+}
+
+Status Stream::Scrub(bool repair, ScrubReport* report) {
+  static Counter& scrub_windows =
+      MetricRegistry::Default().GetCounter("ss_core_scrub_windows_total");
+  static Counter& scrub_errors =
+      MetricRegistry::Default().GetCounter("ss_core_scrub_errors_total");
+  static Counter& scrub_repaired =
+      MetricRegistry::Default().GetCounter("ss_core_scrub_repaired_total");
+  static Counter& quarantine_total =
+      MetricRegistry::Default().GetCounter("ss_core_window_quarantine_total");
+
+  // Pass 1: verify every persisted window's KV copy end to end.
+  for (auto& [cs, slot] : windows_) {
+    if (!slot.persisted) {
+      continue;  // only copy is in memory; nothing on disk to verify
+    }
+    ++report->windows_checked;
+    scrub_windows.Inc();
+    Status verify = VerifyWindowKv(cs);
+    if (verify.ok()) {
+      if (slot.quarantined) {
+        // The stored copy verifies again (e.g. a transient read fault, or an
+        // external restore): lift the quarantine. Span metadata from a
+        // load-time reconstruction stays conservative, which is safe.
+        slot.quarantined = false;
+        ++report->healed;
+      }
+      continue;
+    }
+    ++report->errors;
+    scrub_errors.Inc();
+    if (slot.window != nullptr) {
+      // Memory still holds a clean copy: re-flushing rewrites the bad KV
+      // value. Only mutate when repairing (dry runs just report).
+      if (repair) {
+        slot.dirty = true;
+        ++report->repaired;
+        scrub_repaired.Inc();
+      }
+    } else if (!slot.quarantined) {
+      slot.quarantined = true;
+      slot.dirty = false;
+      ++report->quarantined;
+      quarantine_total.Inc();
+    }
+  }
+
+  // Verify landmark KV copies. Landmarks are lossless and fully resident, so
+  // a corrupt stored copy is always repairable by re-persisting from memory.
+  for (size_t i = 0; i < landmarks_.size(); ++i) {
+    ++report->landmarks_checked;
+    auto verify = [&]() -> Status {
+      SS_ASSIGN_OR_RETURN(std::string stored, kv_->Get(LandmarkKey(id_, landmarks_[i].id)));
+      SS_ASSIGN_OR_RETURN(std::string_view payload, OpenEnvelope(stored));
+      Reader lm_reader(payload);
+      SS_ASSIGN_OR_RETURN(LandmarkWindow lm, LandmarkWindow::Deserialize(lm_reader));
+      if (lm.id != landmarks_[i].id) {
+        return Status::Corruption("landmark identity mismatch");
+      }
+      return Status::Ok();
+    }();
+    if (!verify.ok()) {
+      ++report->errors;
+      scrub_errors.Inc();
+      if (repair) {
+        first_dirty_landmark_ = std::min(first_dirty_landmark_, i);
+        ++report->repaired;
+        scrub_repaired.Inc();
+      }
+    }
+  }
+
+  if (!repair) {
+    return Status::Ok();
+  }
+
+  // Repair pass: a quarantined window's data is gone, but its *span* is
+  // known. Merging it into its left neighbor as an explicit lost-element
+  // range keeps covers tiling with one fewer degraded slot and survives
+  // restarts (lost_count is serialized). Left is preferred — the merged
+  // window keeps its key, so no KV key dance is needed; a quarantined run
+  // at the stream head merges rightward instead.
+  std::vector<uint64_t> quarantined_cs;
+  for (auto& [cs, slot] : windows_) {
+    if (slot.quarantined) {
+      quarantined_cs.push_back(cs);
+    }
+  }
+  for (uint64_t cs : quarantined_cs) {
+    auto it = windows_.find(cs);
+    if (it == windows_.end()) {
+      continue;  // already absorbed as part of an earlier head run
+    }
+    if (it == windows_.begin()) {
+      // No left neighbor: absorb the whole quarantined head run into the
+      // first intact window to its right. That survivor's cs changes, so it
+      // moves to a new KV key (tombstones for every old key in the run) —
+      // the key dance is only worth it at the stream head.
+      auto right_it = std::next(it);
+      while (right_it != windows_.end() && right_it->second.quarantined) {
+        ++right_it;
+      }
+      if (right_it == windows_.end()) {
+        continue;  // nothing intact to absorb the span; stays quarantined
+      }
+      auto right_window = LoadWindow(right_it->first, right_it->second);
+      if (!right_window.ok()) {
+        continue;  // survivor went bad too; a later scrub pass will retry
+      }
+      uint64_t right_cs = right_it->first;
+      uint64_t lost = right_cs - cs;  // head-run element counts tile [cs, right_cs)
+      (*right_window)->AbsorbLostLeft(cs, it->second.ts_start, lost);
+      WindowSlot moved = std::move(right_it->second);
+      ts_index_.erase({moved.ts_start, right_cs});
+      if (moved.persisted) {
+        pending_deletes_.push_back(right_cs);
+        moved.persisted = false;
+      }
+      moved.ts_start = it->second.ts_start;
+      moved.dirty = true;
+      moved.size_bytes = (*right_window)->SizeBytes();
+      uint64_t absorbed = 0;
+      for (auto run = it; run != right_it;) {
+        ts_index_.erase({run->second.ts_start, run->first});
+        // No tombstone for `cs` itself: the survivor is re-put at that key,
+        // and batch deletes land after puts.
+        if (run->second.persisted && run->first != cs) {
+          pending_deletes_.push_back(run->first);
+        }
+        run = windows_.erase(run);
+        ++absorbed;
+      }
+      windows_.erase(right_it);
+      ts_index_.insert({moved.ts_start, cs});
+      windows_.emplace(cs, std::move(moved));
+      report->repaired += absorbed;
+      scrub_repaired.Inc(absorbed);
+      PushCandidate(cs);  // re-arm the merge pair with the new right neighbor
+      continue;
+    }
+    auto left_it = std::prev(it);
+    WindowSlot& left = left_it->second;
+    if (left.quarantined) {
+      continue;
+    }
+    auto left_window = LoadWindow(left_it->first, left);
+    if (!left_window.ok()) {
+      continue;  // left went bad too; a later scrub pass will retry
+    }
+    uint64_t lost = it->second.ce - cs + 1;
+    (*left_window)->AbsorbLost(it->second.ce, it->second.ts_last, lost);
+    left.ce = it->second.ce;
+    left.ts_last = std::max(left.ts_last, it->second.ts_last);
+    left.dirty = true;
+    left.size_bytes = (*left_window)->SizeBytes();
+    ts_index_.erase({it->second.ts_start, cs});
+    if (it->second.persisted) {
+      pending_deletes_.push_back(cs);
+    }
+    windows_.erase(it);
+    ++report->repaired;
+    scrub_repaired.Inc();
+    // Neighbor pairs changed; re-arm merge candidates around the survivor.
+    if (left_it != windows_.begin()) {
+      PushCandidate(std::prev(left_it)->first);
+    }
+    PushCandidate(left_it->first);
+  }
+  return Flush();
 }
 
 std::vector<const LandmarkWindow*> Stream::LandmarksOverlapping(Timestamp t1,

@@ -80,6 +80,17 @@ struct StreamStats {
   double StdDevValue() const { return values.StdDev(); }
 };
 
+// Tally of one scrub pass (Stream::Scrub / SummaryStore::Scrub): how much was
+// verified, what failed, and what the repair pass did about it.
+struct ScrubReport {
+  uint64_t windows_checked = 0;
+  uint64_t landmarks_checked = 0;
+  uint64_t errors = 0;       // KV copies that failed envelope/decode/identity
+  uint64_t quarantined = 0;  // newly quarantined (no in-memory copy to repair)
+  uint64_t repaired = 0;     // re-flushed from memory or merged into a neighbor
+  uint64_t healed = 0;       // previously quarantined windows that verify again
+};
+
 class Stream {
  public:
   // Index entry + (possibly evicted) payload for one summary window.
@@ -90,6 +101,11 @@ class Stream {
     size_t size_bytes = 0;  // last known logical size (valid when evicted)
     bool dirty = false;
     bool persisted = false;  // a KV entry exists; merging it away needs a delete
+    // The persisted payload failed its checksum/decode and there is no clean
+    // in-memory copy: the slot keeps its index entry (so covers still tile
+    // stream time) but window stays null and queries treat the span as
+    // fully uncertain. Cleared when scrub re-verifies or repairs it.
+    bool quarantined = false;
     uint64_t last_access = 0;  // LRU stamp for the window-cache budget
     std::shared_ptr<SummaryWindow> window;  // null when evicted to the KV store
   };
@@ -130,6 +146,15 @@ class Stream {
   // Removes every persisted key for this stream (DeleteStream).
   Status Erase();
 
+  // Verifies every persisted window/landmark KV copy against its checksum
+  // envelope and decoder (forcing real backend reads), quarantines windows
+  // whose only copy is corrupt, un-quarantines windows that verify again,
+  // and — with `repair` — re-flushes corrupt-on-disk windows still resident
+  // in memory and merges unrepairable quarantined windows into their left
+  // neighbor as an explicit lost-element span. Requires exclusive ownership
+  // of mutex(). Tallies into `report` (never null).
+  Status Scrub(bool repair, ScrubReport* report);
+
   // --- concurrency --------------------------------------------------------
   // Stream-level reader/writer lock, acquired by SummaryStore (lock order:
   // registry -> stream -> window cache -> backend). Mutating calls (Append,
@@ -152,6 +177,21 @@ class Stream {
   Timestamp start_time() const { return first_ts_; }
   Timestamp watermark() const { return last_ts_; }
   uint64_t merge_count() const { return merges_; }
+  // Observed [min, max] over every ingested value (landmarks included), or
+  // nullopt for an empty or legacy-loaded stream. Degraded queries use these
+  // as worst-case bounds for corruption-lost elements.
+  std::optional<std::pair<double, double>> value_bounds() const {
+    if (!has_value_bounds_) {
+      return std::nullopt;
+    }
+    return std::make_pair(value_min_, value_max_);
+  }
+  // Non-OK when Load skipped a landmark window whose persisted copy was
+  // corrupt. Landmarks are lossless by contract, so queries over them must
+  // fail hard rather than degrade.
+  const Status& landmark_status() const { return landmark_status_; }
+  // Windows currently quarantined (persisted copy corrupt, no clean copy).
+  size_t quarantined_window_count() const;
   // Logical decayed size: Σ window SizeBytes + landmark bytes (the "s" in
   // the paper's compaction factor S/s, measured pre-serialization like §7).
   uint64_t SizeBytes() const;
@@ -164,9 +204,13 @@ class Stream {
   // cover_start = window ts_start, cover_end = next window's ts_start (or
   // watermark+1 for the tail) so that windows tile stream time contiguously.
   struct WindowView {
-    std::shared_ptr<SummaryWindow> window;
+    std::shared_ptr<SummaryWindow> window;  // null iff the span is quarantined
     Timestamp cover_start;
     Timestamp cover_end;  // exclusive
+    // Elements in this cover whose data is unavailable (quarantined window).
+    // 0 for a healthy view; when non-zero, window is null and the query
+    // layer must fold the span into the answer's uncertainty.
+    uint64_t missing_count = 0;
   };
   // `trace`, when non-null, accumulates window-scan and payload-load
   // accounting (explain mode).
@@ -212,6 +256,9 @@ class Stream {
   // the configured window_cache_bytes budget. No-op when the budget is 0.
   void EnforceWindowCacheBudget();
   void SerializeMeta(Writer& writer) const;
+  // Fetches the persisted copy of window `cs` and fully verifies it:
+  // envelope CRC, deserialization, and identity (decoded cs == key cs).
+  Status VerifyWindowKv(uint64_t cs) const;
 
   StreamId id_;
   StreamConfig config_;
@@ -230,6 +277,13 @@ class Stream {
   Timestamp first_ts_ = kMaxTimestamp;
   Timestamp last_ts_ = kMinTimestamp;
   StreamStats stats_;
+  // Observed value extremes (see value_bounds()); persisted as trailing
+  // optional meta fields, so streams written before the corruption-defense
+  // release load with has_value_bounds_ == false.
+  double value_min_ = 0;
+  double value_max_ = 0;
+  bool has_value_bounds_ = false;
+  Status landmark_status_ = Status::Ok();  // see landmark_status()
   bool in_landmark_ = false;
   uint64_t next_landmark_id_ = 0;
   uint64_t merges_ = 0;

@@ -12,12 +12,14 @@
 #ifndef SUMMARYSTORE_SRC_CORE_SUMMARY_STORE_H_
 #define SUMMARYSTORE_SRC_CORE_SUMMARY_STORE_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -38,6 +40,14 @@ struct StoreOptions {
   // pool; benchmark baseline), N > 1 sizes the pool explicitly. The pool is
   // spawned lazily on the first multi-stream QueryAggregate.
   size_t fleet_query_threads = 0;
+  // Background scrub cadence in milliseconds; 0 (the default) disables the
+  // scrub thread. Each cycle drops caches and re-verifies every persisted
+  // window and landmark checksum (see Scrub below).
+  uint64_t scrub_interval_ms = 0;
+  // Whether background scrub cycles repair what they find (merge quarantined
+  // windows into their left neighbors, rewrite corrupt-but-resident windows)
+  // or only detect and quarantine.
+  bool scrub_repair = true;
 };
 
 // Thread-safety: all public methods are safe to call concurrently. A
@@ -52,6 +62,9 @@ class SummaryStore {
  public:
   // Opens (or creates) a store and reloads every registered stream's index.
   static StatusOr<std::unique_ptr<SummaryStore>> Open(const StoreOptions& options);
+
+  // Stops and joins the background scrub thread, if one is running.
+  ~SummaryStore();
 
   // --- stream lifecycle --------------------------------------------------
   StatusOr<StreamId> CreateStream(StreamConfig config);
@@ -95,6 +108,16 @@ class SummaryStore {
   Status EvictAll();
   // Simulates a cold cache: drops window payloads and backend block caches.
   void DropCaches();
+  // Integrity scrub: drops caches, then re-reads and checksum-verifies every
+  // persisted window and landmark across all streams. Corrupt windows are
+  // quarantined; with repair=true, quarantined windows are merged into their
+  // intact left neighbors (element counts survive as lost_count, priced into
+  // future CIs) and corrupt-but-resident payloads are rewritten. `report`
+  // accumulates across streams and may be null. Landmark corruption is
+  // reported (and re-persisted from memory when repair=true and the events
+  // are resident) but never dropped. Runs with each stream exclusively
+  // locked, one stream at a time; queries on other streams proceed.
+  Status Scrub(bool repair, ScrubReport* report);
 
   // --- introspection -------------------------------------------------------
   StatusOr<Stream*> GetStream(StreamId id);
@@ -105,6 +128,10 @@ class SummaryStore {
  private:
   SummaryStore(std::unique_ptr<KvBackend> kv, size_t fleet_query_threads)
       : kv_(std::move(kv)), fleet_query_threads_(fleet_query_threads) {}
+
+  // Starts the background scrub loop (Open calls this when
+  // StoreOptions::scrub_interval_ms > 0).
+  void StartScrubThread(uint64_t interval_ms, bool repair);
 
   // Callers must hold registry_mu_ (shared suffices for Find, exclusive for
   // Create); the returned pointer stays valid only while the lock is held.
@@ -127,6 +154,13 @@ class SummaryStore {
   const size_t fleet_query_threads_;
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> fleet_pool_;
+
+  // Background scrub thread: sleeps on scrub_cv_ between cycles so shutdown
+  // is prompt regardless of the configured interval.
+  std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;
+  std::thread scrub_thread_;
 };
 
 }  // namespace ss

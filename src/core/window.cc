@@ -63,7 +63,26 @@ Status SummaryWindow::MergeFrom(SummaryWindow&& other, const OperatorSet& ops,
   }
   ce_ = other.ce_;
   ts_last_ = other.ts_last_;
+  lost_count_ += other.lost_count_;
   return Status::Ok();
+}
+
+void SummaryWindow::AbsorbLost(uint64_t ce, Timestamp ts_last, uint64_t lost) {
+  SS_DCHECK(ce > ce_) << "AbsorbLost must extend rightward";
+  ce_ = ce;
+  if (ts_last > ts_last_) {
+    ts_last_ = ts_last;
+  }
+  lost_count_ += lost;
+}
+
+void SummaryWindow::AbsorbLostLeft(uint64_t cs, Timestamp ts_start, uint64_t lost) {
+  SS_DCHECK(cs < cs_) << "AbsorbLostLeft must extend leftward";
+  cs_ = cs;
+  if (ts_start < ts_start_) {
+    ts_start_ = ts_start;
+  }
+  lost_count_ += lost;
 }
 
 const Summary* SummaryWindow::Find(SummaryKind kind) const {
@@ -100,6 +119,7 @@ void SummaryWindow::Serialize(Writer& writer) const {
   for (const auto& summary : summaries_) {
     SerializeSummary(*summary, writer);
   }
+  writer.PutVarint(lost_count_);  // trailing: absent in legacy payloads
 }
 
 StatusOr<SummaryWindow> SummaryWindow::Deserialize(Reader& reader) {
@@ -131,6 +151,9 @@ StatusOr<SummaryWindow> SummaryWindow::Deserialize(Reader& reader) {
   for (uint64_t i = 0; i < summary_count; ++i) {
     SS_ASSIGN_OR_RETURN(std::unique_ptr<Summary> summary, DeserializeSummary(reader));
     window.summaries_.push_back(std::move(summary));
+  }
+  if (reader.remaining() > 0) {  // legacy payloads end at the summaries
+    SS_ASSIGN_OR_RETURN(window.lost_count_, reader.ReadVarint());
   }
   return window;
 }

@@ -39,6 +39,11 @@ class SummaryWindow {
   Timestamp ts_start() const { return ts_start_; }
   Timestamp ts_last() const { return ts_last_; }
   uint64_t element_count() const { return ce_ - cs_ + 1; }
+  // Elements inside [cs, ce] whose data was lost to corruption and absorbed
+  // from a quarantined neighbor during scrub repair. They count toward
+  // element_count() but contributed nothing to raw_/summaries_; queries must
+  // treat them as a fully-uncertain sub-range.
+  uint64_t lost_count() const { return lost_count_; }
   bool is_raw() const { return !raw_.empty() || summaries_.empty(); }
   const std::vector<Event>& raw() const { return raw_; }
   const std::vector<std::unique_ptr<Summary>>& summaries() const { return summaries_; }
@@ -54,6 +59,15 @@ class SummaryWindow {
 
   // Converts a raw window into summary form (idempotent).
   void Materialize(const OperatorSet& ops, uint64_t seed);
+
+  // Extends the window rightward over a quarantined neighbor's span whose
+  // data is gone: [cs, ce] grows to end at `ce`, the time span to `ts_last`,
+  // and `lost` elements are recorded as unrecoverable (scrub repair).
+  void AbsorbLost(uint64_t ce, Timestamp ts_last, uint64_t lost);
+
+  // Leftward mirror of AbsorbLost, for a quarantined run at the stream head
+  // (no intact left neighbor exists): [cs, ce] grows to start at `cs`.
+  void AbsorbLostLeft(uint64_t cs, Timestamp ts_start, uint64_t lost);
 
   // First summary of the given kind, or nullptr.
   const Summary* Find(SummaryKind kind) const;
@@ -71,6 +85,7 @@ class SummaryWindow {
   Timestamp ts_last_ = 0;
   std::vector<Event> raw_;  // populated iff not materialized
   std::vector<std::unique_ptr<Summary>> summaries_;
+  uint64_t lost_count_ = 0;  // corruption-lost elements inside [cs, ce]
 };
 
 // Raw events spanning an annotated interval of interest (§4.3). Landmark

@@ -1,0 +1,46 @@
+// End-to-end per-value checksum envelope for persisted payloads.
+//
+// The storage engine already checksums SST blocks, but that guard sits below
+// the block cache and only covers one backend: a bit flipped in the block
+// cache, in the memtable, in a memory backend, or by a buggy writer reaches
+// the deserializer unchecked. Stream::Flush therefore seals every
+// window/landmark/meta payload in a small envelope:
+//
+//   [magic:2][version:1][crc32c:4][payload...]
+//
+// The CRC32C covers the version byte and the payload, so a flip anywhere past
+// the magic is detected. Values that do not start with the magic are treated
+// as legacy (pre-envelope) payloads and returned unchecked — stores written
+// before this format keep working, they just lack the end-to-end guard.
+// (A flip inside the magic itself demotes the value to "legacy"; the callers
+// close that hole by cross-checking decoded identity fields — e.g. a window's
+// cs against its key — after deserializing.)
+#ifndef SUMMARYSTORE_SRC_STORAGE_CHECKSUM_ENVELOPE_H_
+#define SUMMARYSTORE_SRC_STORAGE_CHECKSUM_ENVELOPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace ss {
+
+inline constexpr char kEnvelopeMagic0 = '\xc5';
+inline constexpr char kEnvelopeMagic1 = '\x1e';
+inline constexpr uint8_t kEnvelopeVersion = 1;
+inline constexpr size_t kEnvelopeHeaderSize = 7;  // magic(2) + version(1) + crc(4)
+
+// Wraps `payload` in a checksum envelope.
+std::string SealEnvelope(std::string_view payload);
+
+// Unwraps `stored`: returns a view of the payload bytes (into `stored`).
+// Values without the magic prefix pass through unchecked (legacy format);
+// enveloped values fail with kCorruption on version or checksum mismatch.
+StatusOr<std::string_view> OpenEnvelope(std::string_view stored);
+
+// True when `stored` carries the envelope magic (useful for tools/tests).
+bool IsEnveloped(std::string_view stored);
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_STORAGE_CHECKSUM_ENVELOPE_H_

@@ -113,6 +113,17 @@ void FaultFs::SetTornWriteBytes(uint64_t bytes) {
   torn_write_bytes_ = bytes;
 }
 
+void FaultFs::CorruptRange(const std::string& path, uint64_t offset, uint64_t length,
+                           uint8_t xor_mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  corrupt_[path].push_back(CorruptSpan{offset, length, xor_mask});
+}
+
+void FaultFs::ClearCorruption(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  corrupt_.erase(path);
+}
+
 void FaultFs::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   crashed_ = false;
@@ -124,6 +135,8 @@ void FaultFs::Reset() {
   fail_at_.clear();
   files_.clear();
   fds_.clear();
+  read_fds_.clear();
+  corrupt_.clear();
   rollbacks_.clear();
   rollback_order_.clear();
 }
@@ -182,7 +195,12 @@ bool FaultFs::BeginMutatingOpLocked(FaultOp op, int* error_code, bool* just_cras
 
 int FaultFs::Open(const std::string& path, int flags, int mode) {
   if ((flags & O_ACCMODE) == O_RDONLY) {
-    return ::open(path.c_str(), flags, mode);  // reads survive the "crash"
+    int fd = ::open(path.c_str(), flags, mode);  // reads survive the "crash"
+    if (fd >= 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      read_fds_[fd] = path;  // so Pread can apply sticky corruption spans
+    }
+    return fd;
   }
   std::lock_guard<std::mutex> lock(mu_);
   int err;
@@ -255,7 +273,35 @@ ssize_t FaultFs::Write(int fd, const void* buf, size_t n) {
 }
 
 ssize_t FaultFs::Pread(int fd, void* buf, size_t n, uint64_t offset) {
-  return ::pread(fd, buf, n, static_cast<off_t>(offset));
+  ssize_t got = ::pread(fd, buf, n, static_cast<off_t>(offset));
+  if (got <= 0) {
+    return got;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto fd_it = read_fds_.find(fd);
+  if (fd_it == read_fds_.end()) {
+    fd_it = fds_.find(fd);  // write-opened files can be pread too
+    if (fd_it == fds_.end()) {
+      return got;
+    }
+  }
+  auto spans_it = corrupt_.find(fd_it->second);
+  if (spans_it == corrupt_.end()) {
+    return got;
+  }
+  // Deterministic sticky corruption: XOR the mask into every byte of the
+  // read that falls inside a configured span. Repeated reads see identical
+  // garbage, exactly like a bad sector.
+  char* bytes = static_cast<char*>(buf);
+  uint64_t read_end = offset + static_cast<uint64_t>(got);
+  for (const CorruptSpan& span : spans_it->second) {
+    uint64_t begin = std::max(offset, span.offset);
+    uint64_t end = std::min(read_end, span.offset + span.length);
+    for (uint64_t pos = begin; pos < end; ++pos) {
+      bytes[pos - offset] ^= static_cast<char>(span.xor_mask);
+    }
+  }
+  return got;
 }
 
 int FaultFs::Fsync(int fd) {
@@ -278,6 +324,7 @@ int FaultFs::Fsync(int fd) {
 int FaultFs::Close(int fd) {
   std::lock_guard<std::mutex> lock(mu_);
   fds_.erase(fd);  // file state (keyed by path) persists until power loss
+  read_fds_.erase(fd);
   return ::close(fd);
 }
 

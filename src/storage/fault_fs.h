@@ -55,6 +55,14 @@ class FaultFs : public FileOps {
   void FailAt(FaultOp op, uint64_t nth, int error_code);
   void CrashAtOpIndex(uint64_t nth);
   void SetTornWriteBytes(uint64_t bytes);
+  // Deterministic sticky read corruption: every Pread of `path` XORs
+  // `xor_mask` into the bytes of [offset, offset + length) it overlaps. The
+  // file on disk is untouched — the corruption models a bad sector / bit rot
+  // seen by the read path, and "repairing" is just ClearCorruption. The path
+  // must match the one the store opens (same string). A zero mask is a no-op.
+  void CorruptRange(const std::string& path, uint64_t offset, uint64_t length,
+                    uint8_t xor_mask);
+  void ClearCorruption(const std::string& path);
   // Clears schedules, counters, and durability tracking (not the real fs).
   void Reset();
 
@@ -92,6 +100,11 @@ class FaultFs : public FileOps {
     std::string old_contents;   // durable contents of `to` before the rename
     bool from_entry_durable = false;
   };
+  struct CorruptSpan {
+    uint64_t offset;
+    uint64_t length;
+    uint8_t xor_mask;
+  };
 
   // Returns false when the op must fail, with *error_code set. Fires crash
   // and fail-at schedules. `just_crashed` reports whether THIS call tripped
@@ -109,6 +122,8 @@ class FaultFs : public FileOps {
 
   std::map<std::string, FileState> files_;   // tracked write-opened paths
   std::map<int, std::string> fds_;           // write fd -> path
+  std::map<int, std::string> read_fds_;      // read-only fd -> path (corruption)
+  std::map<std::string, std::vector<CorruptSpan>> corrupt_;  // sticky read faults
   std::map<std::string, RenameRollback> rollbacks_;  // keyed by rename target
   std::vector<std::string> rollback_order_;  // targets, oldest first
 };

@@ -22,7 +22,29 @@ Status ErrnoStatus(const std::string& context) {
 
 std::atomic<FileOps*> g_file_ops{nullptr};
 
+Counter& ReadRetryCounter() {
+  static Counter& counter =
+      MetricRegistry::Default().GetCounter("ss_storage_read_retry_total");
+  return counter;
+}
+
+// Transient errors are retried at most this often per call; a descriptor
+// stuck returning EAGAIN must surface as an error, not a spin.
+constexpr int kMaxTransientRetries = 100;
+
 }  // namespace
+
+bool IsTransientIoError(int err) {
+  if (err == EINTR || err == EAGAIN) {
+    return true;
+  }
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+  if (err == EWOULDBLOCK) {
+    return true;
+  }
+#endif
+  return false;
+}
 
 // -------------------------------------------------------------------- FileOps
 
@@ -105,10 +127,11 @@ StatusOr<AppendFile> AppendFile::Open(const std::string& path, bool truncate) {
 Status AppendFile::Append(std::string_view data) {
   const char* p = data.data();
   size_t left = data.size();
+  int retries = 0;
   while (left > 0) {
     ssize_t n = GetFileOps().Write(fd_, p, left);
     if (n < 0) {
-      if (errno == EINTR) {
+      if (IsTransientIoError(errno) && ++retries <= kMaxTransientRetries) {
         continue;
       }
       return ErrnoStatus("write");
@@ -173,10 +196,12 @@ Status RandomAccessFile::Read(uint64_t offset, uint64_t n, std::string* out) con
   out->resize(n);
   char* p = out->data();
   uint64_t done = 0;
+  int retries = 0;
   while (done < n) {
     ssize_t got = GetFileOps().Pread(fd_, p + done, n - done, offset + done);
     if (got < 0) {
-      if (errno == EINTR) {
+      if (IsTransientIoError(errno) && ++retries <= kMaxTransientRetries) {
+        ReadRetryCounter().Inc();
         continue;
       }
       return ErrnoStatus("pread");

@@ -45,6 +45,13 @@ class FileOps {
 // an override).
 FileOps& GetFileOps();
 
+// Classifies an errno as transient (worth an immediate retry: interrupted or
+// momentarily unavailable I/O) vs permanent. Shared by the file wrappers'
+// retry loops and the higher-level one-retry read paths; every retry taken
+// because of it is counted in ss_storage_read_retry_total (reads) so retry
+// storms are visible.
+bool IsTransientIoError(int err);
+
 // Installs `ops` process-wide; nullptr restores the POSIX default. Callers
 // must not swap implementations while files opened through the old one are
 // still in flight (tests install before opening a store and uninstall after

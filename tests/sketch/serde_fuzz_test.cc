@@ -98,6 +98,76 @@ TEST(SerdeFuzz, BitFlippedValidWindowsNeverCrash) {
   }
 }
 
+// Per-sketch adversarial coverage: every persistent operator kind is
+// serialized populated, then attacked with (a) every truncation length and
+// (b) a single-byte mutation at every offset. The decoder must return a
+// clean Status error or a valid object — never crash, hang, or trip a
+// sanitizer. (The checksum envelope catches these flips in production; the
+// decoders must still be safe on their own for legacy/unenveloped values.)
+TEST(SerdeFuzz, EverySketchKindSurvivesTruncationAndMutation) {
+  OperatorSet ops = OperatorSet::Full();
+  ops.bloom_bits = 128;
+  ops.cbf_counters = 64;
+  ops.cms_width = 32;
+  ops.cms_depth = 3;
+  ops.hll_precision = 6;
+  ops.hist_buckets = 16;
+  ops.hist_hi = 8.0;
+  ops.quantile_k = 32;
+  ops.reservoir_capacity = 16;
+  std::vector<std::unique_ptr<Summary>> summaries = ops.CreateAll(11);
+  ASSERT_EQ(summaries.size(), 10u);  // all ten SummaryKinds
+  for (auto& summary : summaries) {
+    for (uint64_t i = 0; i < 200; ++i) {
+      summary->Update(static_cast<Timestamp>(i), static_cast<double>(i % 13) * 0.5);
+    }
+  }
+  for (const auto& summary : summaries) {
+    SCOPED_TRACE(SummaryKindName(summary->kind()));
+    Writer writer;
+    SerializeSummary(*summary, writer);
+    const std::string valid = writer.data();
+    {
+      Reader reader(valid);
+      auto roundtrip = DeserializeSummary(reader);
+      ASSERT_TRUE(roundtrip.ok()) << roundtrip.status().ToString();
+      EXPECT_EQ((*roundtrip)->kind(), summary->kind());
+    }
+    // Truncations: a cut anywhere must fail cleanly (prefixes of a sketch
+    // payload are never a complete sketch).
+    for (size_t len = 0; len < valid.size(); ++len) {
+      Reader reader(std::string_view(valid).substr(0, len));
+      auto result = DeserializeSummary(reader);
+      EXPECT_FALSE(result.ok()) << "truncation at " << len << " decoded";
+    }
+    // Single-byte mutations at every offset: error or valid decode, and the
+    // error must be a Status (the harness catches crashes/sanitizer trips).
+    for (size_t pos = 0; pos < valid.size(); ++pos) {
+      for (uint8_t mask : {0x01, 0x80, 0xff}) {
+        std::string mutated = valid;
+        mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
+        Reader reader(mutated);
+        auto result = DeserializeSummary(reader);
+        (void)result;
+      }
+    }
+  }
+}
+
+TEST(SerdeFuzz, UnknownSummaryKindFailsCleanly) {
+  // A kind tag outside the registry must be rejected, not dispatched.
+  for (int kind : {0, 11, 42, 255}) {
+    Writer writer;
+    writer.PutU8(static_cast<uint8_t>(kind));
+    writer.PutVarint(4);
+    writer.PutVarint(7);
+    std::string bytes = writer.data();
+    Reader reader(bytes);
+    auto result = DeserializeSummary(reader);
+    EXPECT_FALSE(result.ok()) << "kind " << kind;
+  }
+}
+
 TEST(SerdeFuzz, TruncatedValidWindowsReportCorruption) {
   SummaryWindow window(1, 100, 1.5);
   for (uint64_t i = 2; i <= 20; ++i) {

@@ -55,6 +55,23 @@ case "$OUT" in
   *) echo "FAIL: stats --format json missing gauges object"; exit 1 ;;
 esac
 
+# Scrub: a clean store reports zero errors in both dry-run and repair mode.
+OUT="$("$SSTOOL" scrub --dir "$DIR/store" --dry-run)"
+echo "$OUT"
+case "$OUT" in
+  *"scrub (dry-run):"*) ;;
+  *) echo "FAIL: scrub --dry-run missing report line"; exit 1 ;;
+esac
+case "$OUT" in
+  *"0 errors, 0 quarantined"*) ;;
+  *) echo "FAIL: scrub of a clean store reported errors"; exit 1 ;;
+esac
+OUT="$("$SSTOOL" scrub --dir "$DIR/store")"
+case "$OUT" in
+  *"scrub:"*"0 errors"*) ;;
+  *) echo "FAIL: scrub repair pass on clean store"; exit 1 ;;
+esac
+
 # Landmark round trip.
 "$SSTOOL" landmark --dir "$DIR/store" --stream 7 --begin 1001
 echo "1001,999" | "$SSTOOL" ingest --dir "$DIR/store" --stream 7

@@ -21,9 +21,11 @@ cmake -B "${san_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DSS_SANITIZE=address,undefi
 cmake --build "${san_dir}" -j"$(nproc)" --target \
   metrics_test trace_test \
   wal_test sstable_test lsm_store_test group_commit_test crash_recovery_test \
-  lsm_concurrency_test fault_fs_test fault_injection_test
+  lsm_concurrency_test fault_fs_test fault_injection_test \
+  corruption_test serde_fuzz_test
 for t in metrics_test trace_test wal_test sstable_test lsm_store_test \
-         group_commit_test crash_recovery_test lsm_concurrency_test fault_fs_test; do
+         group_commit_test crash_recovery_test lsm_concurrency_test fault_fs_test \
+         corruption_test serde_fuzz_test; do
   echo "--- ${t} (asan+ubsan)"
   if [ "${t}" = crash_recovery_test ]; then
     # Simulates hard kills by deliberately leaking un-flushed stores; leak
@@ -40,16 +42,24 @@ echo "=== fault injection: full crash matrix under ASan (SS_FAULT_INJECT=1) ==="
 # + reopen; the enlarged matrix runs only in CI.
 SS_FAULT_INJECT=1 "${san_dir}/tests/fault_injection_test"
 
+echo "=== corruption matrix: byte-flip sweep under ASan (SS_FAULT_INJECT=1) ==="
+# Flips bytes at every payload offset class of persisted windows and asserts
+# every query either fails cleanly or returns a degraded answer whose CI
+# covers the oracle truth — never a silent wrong point estimate. The full
+# offset sweep runs only in CI; the dev build uses a strided subset.
+SS_FAULT_INJECT=1 "${san_dir}/tests/corruption_test"
+
 tsan_dir="${prefix}-tsan"
 echo "=== sanitizers: TSan build of core + concurrency tests (${tsan_dir}) ==="
 # group_commit_test and the batched writers in lsm_concurrency_test /
 # concurrency_test exercise the leader/follower commit handoff under TSan.
 cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSS_SANITIZE=thread
+# corruption_test rides along for its background-scrub-thread coverage.
 cmake --build "${tsan_dir}" -j"$(nproc)" --target \
   thread_pool_test summary_store_test group_commit_test lsm_concurrency_test \
-  concurrency_test
+  concurrency_test corruption_test
 for t in thread_pool_test summary_store_test group_commit_test \
-         lsm_concurrency_test concurrency_test; do
+         lsm_concurrency_test concurrency_test corruption_test; do
   echo "--- ${t} (tsan)"
   TSAN_OPTIONS=halt_on_error=1 "${tsan_dir}/tests/${t}"
 done

@@ -10,12 +10,16 @@
 //   sstool landmark --dir D --stream N --begin T | --end T
 //   sstool info    --dir D [--stream N]
 //   sstool stats   --dir D [--format prom|json]
+//   sstool scrub   --dir D [--dry-run]
 //   sstool delete  --dir D --stream N
 //
 // `query --explain` additionally prints the per-query trace: windows scanned,
 // bytes read, window/block cache hits and misses, and the estimator's CI.
-// `stats` dumps the process metric registry (plus store-level gauges) in
-// Prometheus text format or JSON.
+// Degraded answers (quarantined windows in range) are flagged with the
+// missing time spans. `stats` dumps the process metric registry (plus
+// store-level gauges) in Prometheus text format or JSON. `scrub` re-verifies
+// every persisted checksum, quarantining and (without --dry-run) repairing
+// corrupt windows by folding them into their intact left neighbors.
 //
 // Exit code 0 on success; errors go to stderr.
 #include <cinttypes>
@@ -37,7 +41,7 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: sstool <create|ingest|query|landmark|info|stats|delete> --dir DIR [flags]\n"
+               "usage: sstool <create|ingest|query|landmark|info|stats|scrub|delete> --dir DIR [flags]\n"
                "run with a command and no flags for per-command help in the header comment\n");
   return 2;
 }
@@ -181,15 +185,21 @@ int CmdQuery(const ParsedArgs& args) {
     return Fail(result.status());
   }
   if (spec.op == QueryOp::kExistence) {
-    std::printf("answer: %s  (p=%.4f, ci=[%.4f, %.4f])\n",
+    std::printf("answer: %s  (p=%.4f, ci=[%.4f, %.4f])%s\n",
                 result->bool_answer ? "yes" : "no", result->estimate, result->ci_lo,
-                result->ci_hi);
+                result->ci_hi, result->degraded ? "  [degraded]" : "");
   } else {
-    std::printf("estimate: %.6g  %.0f%% CI: [%.6g, %.6g]%s  (windows read: %zu, landmark "
+    std::printf("estimate: %.6g  %.0f%% CI: [%.6g, %.6g]%s%s  (windows read: %zu, landmark "
                 "events: %zu)\n",
                 result->estimate, spec.confidence * 100, result->ci_lo, result->ci_hi,
-                result->exact ? "  [exact]" : "", result->windows_read,
-                result->landmark_events);
+                result->exact ? "  [exact]" : "", result->degraded ? "  [degraded]" : "",
+                result->windows_read, result->landmark_events);
+  }
+  if (result->degraded) {
+    for (const auto& [a, b] : result->skipped_spans) {
+      std::printf("degraded: missing data in [%" PRId64 ", %" PRId64 "]\n",
+                  static_cast<int64_t>(a), static_cast<int64_t>(b));
+    }
   }
   if (spec.collect_trace && result->trace != nullptr) {
     std::printf("%s", result->trace->Render().c_str());
@@ -285,6 +295,24 @@ int CmdInfo(const ParsedArgs& args) {
   return 0;
 }
 
+int CmdScrub(const ParsedArgs& args) {
+  auto store = OpenStore(args);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  const bool repair = !args.Has("dry-run");
+  ScrubReport report;
+  Status status = (*store)->Scrub(repair, &report);
+  std::printf("scrub%s: %" PRIu64 " windows, %" PRIu64 " landmarks checked; %" PRIu64
+              " errors, %" PRIu64 " quarantined, %" PRIu64 " repaired, %" PRIu64 " healed\n",
+              repair ? "" : " (dry-run)", report.windows_checked, report.landmarks_checked,
+              report.errors, report.quarantined, report.repaired, report.healed);
+  if (!status.ok()) {
+    return Fail(status);
+  }
+  return 0;
+}
+
 int CmdDelete(const ParsedArgs& args) {
   auto store = OpenStore(args);
   if (!store.ok()) {
@@ -306,7 +334,7 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   std::string command = argv[1];
-  auto args = ParseArgs(argc, argv, 2, {"explain", "poisson"});
+  auto args = ParseArgs(argc, argv, 2, {"explain", "poisson", "dry-run"});
   if (!args.ok()) {
     return Fail(args.status());
   }
@@ -327,6 +355,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "stats") {
     return CmdStats(*args);
+  }
+  if (command == "scrub") {
+    return CmdScrub(*args);
   }
   if (command == "delete") {
     return CmdDelete(*args);
