@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -155,6 +156,170 @@ inline double RelativeError(double estimate, double truth) {
   }
   return std::abs(estimate - truth) / std::abs(truth);
 }
+
+// ------------------------------------------------------------- bench reports
+// Machine-readable benchmark telemetry: each harness fills a BenchReport and
+// writes BENCH_<name>.json so tools/bench_compare can diff runs against the
+// committed baselines. `direction` says which way is better ("higher" for
+// throughput, "lower" for latency/overhead); `meta` records the run profile
+// (stream/event counts, filters) so only like-for-like runs are compared.
+class BenchReport {
+ public:
+  struct Metric {
+    double value = 0.0;
+    std::string unit;
+    std::string direction;  // "higher" | "lower"
+  };
+
+  explicit BenchReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void AddMeta(const std::string& key, const std::string& value) { meta_[key] = value; }
+
+  void Add(const std::string& name, double value, const std::string& unit,
+           const std::string& direction) {
+    metrics_[name] = Metric{value, unit, direction};
+  }
+
+  const std::string& bench() const { return bench_; }
+  const std::map<std::string, std::string>& meta() const { return meta_; }
+  const std::map<std::string, Metric>& metrics() const { return metrics_; }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": \"" + bench_ + "\",\n  \"meta\": {";
+    bool first = true;
+    for (const auto& [k, v] : meta_) {
+      out += first ? "\n" : ",\n";
+      out += "    \"" + k + "\": \"" + v + "\"";
+      first = false;
+    }
+    out += "\n  },\n  \"metrics\": {";
+    first = true;
+    for (const auto& [name, m] : metrics_) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "    \"%s\": {\"value\": %.17g, \"unit\": \"%s\", \"direction\": \"%s\"}",
+                    name.c_str(), m.value, m.unit.c_str(), m.direction.c_str());
+      out += first ? "\n" : ",\n";
+      out += buf;
+      first = false;
+    }
+    out += "\n  }\n}\n";
+    return out;
+  }
+
+  // Best-effort write; benches report the path (or failure) on stdout.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::string json = ToJson();
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return written == json.size();
+  }
+
+  // Minimal parser for the exact shape ToJson writes (plus insignificant
+  // whitespace). Not a general JSON parser; bench_compare only ever reads
+  // files this emitter produced.
+  static bool ParseJson(const std::string& json, BenchReport* out) {
+    auto find_string = [&](const std::string& key, size_t from, std::string* value,
+                           size_t* end_pos) {
+      size_t k = json.find("\"" + key + "\"", from);
+      if (k == std::string::npos) {
+        return false;
+      }
+      size_t colon = json.find(':', k);
+      size_t open = json.find('"', colon + 1);
+      size_t close = json.find('"', open + 1);
+      if (colon == std::string::npos || open == std::string::npos ||
+          close == std::string::npos) {
+        return false;
+      }
+      *value = json.substr(open + 1, close - open - 1);
+      if (end_pos != nullptr) {
+        *end_pos = close + 1;
+      }
+      return true;
+    };
+    std::string bench_name;
+    if (!find_string("bench", 0, &bench_name, nullptr)) {
+      return false;
+    }
+    *out = BenchReport(bench_name);
+    // Sections: "meta": { ... }, "metrics": { ... }
+    size_t meta_start = json.find("\"meta\"");
+    size_t metrics_start = json.find("\"metrics\"");
+    if (meta_start == std::string::npos || metrics_start == std::string::npos) {
+      return false;
+    }
+    // Meta: flat string->string pairs.
+    size_t pos = json.find('{', meta_start);
+    size_t meta_end = json.find('}', pos);
+    while (pos != std::string::npos && pos < meta_end) {
+      size_t k_open = json.find('"', pos + 1);
+      if (k_open == std::string::npos || k_open >= meta_end) {
+        break;
+      }
+      size_t k_close = json.find('"', k_open + 1);
+      size_t v_open = json.find('"', json.find(':', k_close) + 1);
+      size_t v_close = json.find('"', v_open + 1);
+      if (k_close == std::string::npos || v_open == std::string::npos ||
+          v_close == std::string::npos || v_close > meta_end) {
+        break;
+      }
+      out->AddMeta(json.substr(k_open + 1, k_close - k_open - 1),
+                   json.substr(v_open + 1, v_close - v_open - 1));
+      pos = v_close + 1;
+    }
+    // Metrics: name -> {value, unit, direction} objects.
+    pos = json.find('{', metrics_start);
+    while (true) {
+      size_t k_open = json.find('"', pos + 1);
+      if (k_open == std::string::npos) {
+        break;
+      }
+      size_t k_close = json.find('"', k_open + 1);
+      size_t obj_open = json.find('{', k_close);
+      size_t obj_close = json.find('}', obj_open);
+      if (k_close == std::string::npos || obj_open == std::string::npos ||
+          obj_close == std::string::npos) {
+        break;
+      }
+      std::string name = json.substr(k_open + 1, k_close - k_open - 1);
+      std::string obj = json.substr(obj_open, obj_close - obj_open + 1);
+      size_t v = obj.find("\"value\"");
+      if (v == std::string::npos) {
+        break;
+      }
+      double value = std::strtod(obj.c_str() + obj.find(':', v) + 1, nullptr);
+      std::string unit, direction;
+      size_t ignored;
+      auto section = [&](const std::string& key, std::string* val) {
+        size_t k = obj.find("\"" + key + "\"");
+        if (k == std::string::npos) {
+          return;
+        }
+        size_t open = obj.find('"', obj.find(':', k) + 1);
+        size_t close = obj.find('"', open + 1);
+        if (open != std::string::npos && close != std::string::npos) {
+          *val = obj.substr(open + 1, close - open - 1);
+        }
+      };
+      (void)ignored;
+      section("unit", &unit);
+      section("direction", &direction);
+      out->Add(name, value, unit, direction);
+      pos = obj_close + 1;
+    }
+    return !out->metrics().empty();
+  }
+
+ private:
+  std::string bench_;
+  std::map<std::string, std::string> meta_;
+  std::map<std::string, Metric> metrics_;
+};
 
 // ------------------------------------------------------------------ tempdirs
 class ScopedTempDir {

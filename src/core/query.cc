@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/core/estimator.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/sketch/aggregates.h"
 #include "src/sketch/bloom.h"
@@ -220,6 +221,7 @@ StatusOr<QueryResult> RunCountOrSum(Stream& stream, const QuerySpec& spec, Query
   const bool poisson = stream.config().arrival_model == ArrivalModel::kPoisson;
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
                       stream.WindowsOverlapping(spec.t1, spec.t2, trace));
+  QueryPhaseSpan merge_span(QueryPhase::kSketchMerge, trace);
   Accumulation acc;
   // Sums keep the exact-part floor only when every partially covered window
   // is provably non-negative (its MinMax minimum >= 0); counts always do.
@@ -287,9 +289,13 @@ StatusOr<QueryResult> RunCountOrSum(Stream& stream, const QuerySpec& spec, Query
   for (const Event& event : lm_events) {
     acc.exact += is_sum ? event.value : 1.0;
   }
+  merge_span.End();
+  QueryPhaseSpan ci_span(QueryPhase::kCiCombine, trace);
   QueryResult result = FinishAdditive(acc, spec, poisson && !is_sum, views.size(),
                                       lm_events.size(),
                                       /*floor_estimated_at_zero=*/!is_sum || sum_floor);
+  ci_span.End();
+  QueryPhaseSpan degrade_span(QueryPhase::kDegrade, trace);
   Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
   if (d.any) {
     result.degraded = true;
@@ -327,6 +333,7 @@ StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrac
   const bool is_min = spec.op == QueryOp::kMin;
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
                       stream.WindowsOverlapping(spec.t1, spec.t2, trace));
+  QueryPhaseSpan merge_span(QueryPhase::kSketchMerge, trace);
   QueryResult result;
   result.confidence = spec.confidence;
   result.windows_read = views.size();
@@ -384,7 +391,11 @@ StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrac
     consider(event.value);
     consider_witness(event.value);
   }
+  merge_span.End();
+  QueryPhaseSpan degrade_span(QueryPhase::kDegrade, trace);
   Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
+  degrade_span.End();
+  QueryPhaseSpan ci_span(QueryPhase::kCiCombine, trace);
   std::optional<std::pair<double, double>> bounds;
   if (d.any) {
     // A lost element might have been the extremum: the stream-wide value
@@ -427,6 +438,7 @@ StatusOr<QueryResult> RunMinMax(Stream& stream, const QuerySpec& spec, QueryTrac
 StatusOr<QueryResult> RunFrequency(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
                       stream.WindowsOverlapping(spec.t1, spec.t2, trace));
+  QueryPhaseSpan merge_span(QueryPhase::kSketchMerge, trace);
   Accumulation acc;
   for (const auto& view : views) {
     if (view.window == nullptr) {
@@ -471,10 +483,14 @@ StatusOr<QueryResult> RunFrequency(Stream& stream, const QuerySpec& spec, QueryT
       acc.exact += 1.0;
     }
   }
+  merge_span.End();
+  QueryPhaseSpan ci_span(QueryPhase::kCiCombine, trace);
   // Frequencies are counts of occurrences: the estimated part is >= 0.
   QueryResult result = FinishAdditive(acc, spec, /*poisson=*/false, views.size(),
                                       lm_events.size(),
                                       /*floor_estimated_at_zero=*/true);
+  ci_span.End();
+  QueryPhaseSpan degrade_span(QueryPhase::kDegrade, trace);
   Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
   if (d.any) {
     // Any subset of the lost elements could equal `value`: [0, n] more
@@ -490,6 +506,7 @@ StatusOr<QueryResult> RunFrequency(Stream& stream, const QuerySpec& spec, QueryT
 StatusOr<QueryResult> RunExistence(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
                       stream.WindowsOverlapping(spec.t1, spec.t2, trace));
+  QueryPhaseSpan merge_span(QueryPhase::kSketchMerge, trace);
   QueryResult result;
   result.confidence = spec.confidence;
   result.windows_read = views.size();
@@ -566,12 +583,16 @@ StatusOr<QueryResult> RunExistence(Stream& stream, const QuerySpec& spec, QueryT
       certain_hit = true;
     }
   }
+  merge_span.End();
 
+  QueryPhaseSpan degrade_span(QueryPhase::kDegrade, trace);
   Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
   if (d.any) {
     result.degraded = true;
     result.skipped_spans = std::move(d.spans);
   }
+  degrade_span.End();
+  QueryPhaseSpan ci_span(QueryPhase::kCiCombine, trace);
   if (certain_hit) {
     // A witnessed occurrence stays certain no matter what was lost.
     result.estimate = 1.0;
@@ -597,6 +618,7 @@ StatusOr<QueryResult> RunExistence(Stream& stream, const QuerySpec& spec, QueryT
 StatusOr<QueryResult> RunDistinct(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
                       stream.WindowsOverlapping(spec.t1, spec.t2, trace));
+  QueryPhaseSpan merge_span(QueryPhase::kSketchMerge, trace);
   QueryResult result;
   result.confidence = spec.confidence;
   result.windows_read = views.size();
@@ -643,7 +665,11 @@ StatusOr<QueryResult> RunDistinct(Stream& stream, const QuerySpec& spec, QueryTr
   for (const Event& event : lm_events) {
     merged->AddHash(HashValue(event.value));
   }
+  merge_span.End();
+  QueryPhaseSpan degrade_span(QueryPhase::kDegrade, trace);
   Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
+  degrade_span.End();
+  QueryPhaseSpan ci_span(QueryPhase::kCiCombine, trace);
   if (merged == nullptr) {
     result.estimate = 0.0;
     result.ci_lo = result.ci_hi = 0.0;
@@ -677,6 +703,7 @@ StatusOr<QueryResult> RunDistinct(Stream& stream, const QuerySpec& spec, QueryTr
 StatusOr<QueryResult> RunQuantile(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
                       stream.WindowsOverlapping(spec.t1, spec.t2, trace));
+  QueryPhaseSpan merge_span(QueryPhase::kSketchMerge, trace);
   QueryResult result;
   result.confidence = spec.confidence;
   result.windows_read = views.size();
@@ -724,9 +751,13 @@ StatusOr<QueryResult> RunQuantile(Stream& stream, const QuerySpec& spec, QueryTr
   if (merged == nullptr || merged->total_count() == 0) {
     return Status::NotFound("no data in query range");
   }
+  merge_span.End();
+  QueryPhaseSpan ci_span(QueryPhase::kCiCombine, trace);
   double q = std::clamp(spec.quantile_q, 0.0, 1.0);
   result.estimate = merged->EstimateQuantile(q);
   double rank_err = 2.0 / static_cast<double>(stream.config().operators.quantile_k);
+  ci_span.End();
+  QueryPhaseSpan degrade_span(QueryPhase::kDegrade, trace);
   Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
   if (!d.any) {
     result.ci_lo = merged->EstimateQuantile(std::max(0.0, q - rank_err));
@@ -762,6 +793,7 @@ StatusOr<QueryResult> RunValueRangeCount(Stream& stream, const QuerySpec& spec, 
   }
   SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
                       stream.WindowsOverlapping(spec.t1, spec.t2, trace));
+  QueryPhaseSpan merge_span(QueryPhase::kSketchMerge, trace);
   Accumulation acc;
   for (const auto& view : views) {
     if (view.window == nullptr) {
@@ -805,10 +837,14 @@ StatusOr<QueryResult> RunValueRangeCount(Stream& stream, const QuerySpec& spec, 
       acc.exact += 1.0;
     }
   }
+  merge_span.End();
+  QueryPhaseSpan ci_span(QueryPhase::kCiCombine, trace);
   // Range-restricted counts: the estimated part is >= 0.
   QueryResult result = FinishAdditive(acc, spec, /*poisson=*/false, views.size(),
                                       lm_events.size(),
                                       /*floor_estimated_at_zero=*/true);
+  ci_span.End();
+  QueryPhaseSpan degrade_span(QueryPhase::kDegrade, trace);
   Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
   if (d.any) {
     // Any subset of the lost elements could fall inside [value_lo, value_hi).
@@ -911,6 +947,14 @@ StatusOr<QueryResult> Dispatch(Stream& stream, const QuerySpec& spec, QueryTrace
 StatusOr<QueryResult> RunQuery(Stream& stream, const QuerySpec& spec) {
   static Counter& degraded_total =
       MetricRegistry::Default().GetCounter("ss_core_query_degraded_total");
+  std::shared_ptr<QueryTrace> trace;
+  if (spec.collect_trace) {
+    trace = std::make_shared<QueryTrace>();
+    trace->op = QueryOpName(spec.op);
+    trace->t1 = spec.t1;
+    trace->t2 = spec.t2;
+  }
+  QueryPhaseSpan plan_span(QueryPhase::kPlan, trace.get());
   if (spec.t2 < spec.t1) {
     return Status::InvalidArgument("query range end precedes start");
   }
@@ -923,17 +967,7 @@ StatusOr<QueryResult> RunQuery(Stream& stream, const QuerySpec& spec) {
     return Status::Corruption("landmark window corrupt: " +
                               stream.landmark_status().ToString());
   }
-  if (!spec.collect_trace) {
-    StatusOr<QueryResult> result = Dispatch(stream, spec, nullptr);
-    if (result.ok() && result->degraded) {
-      degraded_total.Inc();
-    }
-    return result;
-  }
-  auto trace = std::make_shared<QueryTrace>();
-  trace->op = QueryOpName(spec.op);
-  trace->t1 = spec.t1;
-  trace->t2 = spec.t2;
+  plan_span.End();
   Stopwatch watch;
   StatusOr<QueryResult> result = Dispatch(stream, spec, trace.get());
   if (!result.ok()) {
@@ -941,10 +975,18 @@ StatusOr<QueryResult> RunQuery(Stream& stream, const QuerySpec& spec) {
   }
   if (result->degraded) {
     degraded_total.Inc();
+    FlightRecorder::Default().Record(FlightEventType::kDegradedQuery,
+                                     static_cast<uint64_t>(spec.op),
+                                     result->skipped_spans.size());
+  }
+  if (trace == nullptr) {
+    return result;
   }
   trace->elapsed_micros = watch.ElapsedMicros();
   trace->landmark_windows = stream.LandmarksOverlapping(spec.t1, spec.t2).size();
   trace->landmark_events = result->landmark_events;
+  trace->degraded = result->degraded;
+  trace->skipped_spans = result->skipped_spans.size();
   trace->estimate = result->estimate;
   trace->ci_lo = result->ci_lo;
   trace->ci_hi = result->ci_hi;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/storage/checksum_envelope.h"
 
@@ -368,6 +369,7 @@ StatusOr<std::shared_ptr<SummaryWindow>> Stream::LoadWindow(uint64_t cs, WindowS
       slot.quarantined = true;
       slot.dirty = false;
       quarantine_total.Inc();
+      FlightRecorder::Default().Record(FlightEventType::kWindowQuarantine, id_, cs);
       return Status::Corruption("window " + std::to_string(cs) +
                                 " quarantined: " + status.ToString());
     }
@@ -409,11 +411,15 @@ Status Stream::Flush() {
   WriteBatch batch;
   std::vector<uint64_t> chunk_cs;
   size_t records = 0;
+  static LatencyHistogram& chunk_us =
+      MetricRegistry::Default().GetHistogram("ss_core_flush_chunk_us");
   auto commit_chunk = [&]() -> Status {
     if (batch.empty()) {
       return Status::Ok();
     }
     records += batch.size();
+    FlightRecorder::Default().Record(FlightEventType::kFlushChunk, id_, batch.size());
+    ScopedTimer chunk_timer(chunk_us);
     SS_RETURN_IF_ERROR(kv_->PutBatch(batch));
     for (uint64_t cs : chunk_cs) {
       WindowSlot& slot = windows_.find(cs)->second;
@@ -608,6 +614,7 @@ StatusOr<std::unique_ptr<Stream>> Stream::Load(StreamId id, KvBackend* kv) {
     stream->windows_.emplace(cs, slot);
     stream->ts_index_.insert({slot.ts_start, cs});
     quarantine_total.Inc();
+    FlightRecorder::Default().Record(FlightEventType::kWindowQuarantine, id, cs);
   }
 
   SS_RETURN_IF_ERROR(kv->Scan(LandmarkKeyPrefix(id), PrefixEnd(LandmarkKeyPrefix(id)),
@@ -713,6 +720,7 @@ StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t
   if (windows_.empty() || t2 < t1) {
     return views;
   }
+  QueryPhaseSpan scan_span(QueryPhase::kWindowScan, trace);
   // Queries run under a shared stream lock; payload loads, LRU stamps and
   // budget eviction are the read path's only writes, so serialize just this
   // scan (the caller's aggregation over the returned views stays parallel).
@@ -763,6 +771,9 @@ StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t
       if (missing_end <= t1 && slot.ts_start < t1) {
         continue;
       }
+      if (trace != nullptr) {
+        ++trace->quarantined_windows;
+      }
       views.push_back(WindowView{nullptr, slot.ts_start, missing_end, slot.ce - cs + 1});
       continue;
     }
@@ -779,6 +790,9 @@ StatusOr<std::vector<Stream::WindowView>> Stream::WindowsOverlapping(Timestamp t
       // once): degrade instead of failing the query. The in-memory metadata
       // is still exact, so the missing span is the true cover.
       cache_misses.Inc();
+      if (trace != nullptr) {
+        ++trace->quarantined_windows;
+      }
       views.push_back(WindowView{nullptr, slot.ts_start, cover_end, slot.ce - cs + 1});
       continue;
     }
@@ -893,6 +907,7 @@ Status Stream::Scrub(bool repair, ScrubReport* report) {
       slot.dirty = false;
       ++report->quarantined;
       quarantine_total.Inc();
+      FlightRecorder::Default().Record(FlightEventType::kWindowQuarantine, id_, cs);
     }
   }
 
@@ -986,6 +1001,7 @@ Status Stream::Scrub(bool repair, ScrubReport* report) {
       windows_.emplace(cs, std::move(moved));
       report->repaired += absorbed;
       scrub_repaired.Inc(absorbed);
+      FlightRecorder::Default().Record(FlightEventType::kScrubRepair, id_, absorbed);
       PushCandidate(cs);  // re-arm the merge pair with the new right neighbor
       continue;
     }
@@ -1011,6 +1027,7 @@ Status Stream::Scrub(bool repair, ScrubReport* report) {
     windows_.erase(it);
     ++report->repaired;
     scrub_repaired.Inc();
+    FlightRecorder::Default().Record(FlightEventType::kScrubRepair, id_, 1);
     // Neighbor pairs changed; re-arm merge candidates around the survivor.
     if (left_it != windows_.begin()) {
       PushCandidate(std::prev(left_it)->first);

@@ -6,9 +6,21 @@
 #include <future>
 
 #include "src/common/logging.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 
 namespace ss {
+
+namespace {
+
+// Maintained across create/delete/open so a flight-bundle metrics snapshot
+// always carries the store's stream population.
+Gauge& StreamCountGauge() {
+  static Gauge& gauge = MetricRegistry::Default().GetGauge("ss_store_stream_count");
+  return gauge;
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<SummaryStore>> SummaryStore::Open(const StoreOptions& options) {
   std::unique_ptr<KvBackend> kv;
@@ -36,6 +48,7 @@ StatusOr<std::unique_ptr<SummaryStore>> SummaryStore::Open(const StoreOptions& o
   } else if (meta.status().code() != StatusCode::kNotFound) {
     return meta.status();
   }
+  StreamCountGauge().Set(static_cast<int64_t>(store->streams_.size()));
   if (options.scrub_interval_ms > 0) {
     store->StartScrubThread(options.scrub_interval_ms, options.scrub_repair);
   }
@@ -82,6 +95,12 @@ Status SummaryStore::Scrub(bool repair, ScrubReport* report) {
   // fetches the KV copy regardless, and the resident clean copies are
   // exactly what the repair pass re-flushes from.
   kv_->DropCaches();
+  ScrubReport local;
+  if (report == nullptr) {
+    report = &local;
+  }
+  uint64_t checked_before = report->windows_checked;
+  uint64_t errors_before = report->errors;
   std::shared_lock<std::shared_mutex> registry(registry_mu_);
   Status first_error = Status::Ok();
   for (auto& [id, stream] : streams_) {
@@ -91,6 +110,9 @@ Status SummaryStore::Scrub(bool repair, ScrubReport* report) {
       first_error = status;
     }
   }
+  FlightRecorder::Default().Record(FlightEventType::kScrubCycle,
+                                   report->windows_checked - checked_before,
+                                   report->errors - errors_before);
   return first_error;
 }
 
@@ -136,6 +158,7 @@ Status SummaryStore::CreateStreamWithIdLocked(StreamId id, StreamConfig config) 
   next_stream_id_ = std::max(next_stream_id_, id + 1);
   auto stream = std::make_unique<Stream>(id, std::move(config), kv_.get());
   streams_.emplace(id, std::move(stream));
+  StreamCountGauge().Set(static_cast<int64_t>(streams_.size()));
   return PersistStreamList();
 }
 
@@ -147,6 +170,7 @@ Status SummaryStore::DeleteStream(StreamId id) {
   }
   SS_RETURN_IF_ERROR(it->second->Erase());
   streams_.erase(it);
+  StreamCountGauge().Set(static_cast<int64_t>(streams_.size()));
   return PersistStreamList();
 }
 
@@ -178,6 +202,9 @@ Status SummaryStore::Append(StreamId id, Timestamp ts, double value) {
   // ~8% of a raw append, well past the 5% instrumentation budget, while a
   // 1/64 sample keeps the histograms honest at any realistic ingest rate.
   if ((appends.value() & 63) == 0) {
+    // The flight-recorder append event rides the same 1-in-64 sample so the
+    // journal stays inside the <1% append-path overhead budget.
+    FlightRecorder::Default().Record(FlightEventType::kAppend, id, 1);
     Stopwatch wait;
     std::unique_lock<std::shared_mutex> stream_lock(stream->mutex());
     lock_wait_us.Record(static_cast<uint64_t>(wait.ElapsedMicros()));
@@ -204,6 +231,7 @@ Status SummaryStore::AppendBatch(StreamId id, std::span<const Event> events) {
   appends.Inc(events.size());
   batches.Inc();
   batch_events.Record(events.size());
+  FlightRecorder::Default().Record(FlightEventType::kAppendBatch, id, events.size());
   std::unique_lock<std::shared_mutex> stream_lock(stream->mutex());
   return stream->AppendBatch(events);
 }

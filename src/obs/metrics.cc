@@ -30,6 +30,19 @@ void AppendF(std::string& out, const char* fmt, ...) {
   }
 }
 
+// Labeled keys embed quotes (name{phase="plan"}); JSON keys need them escaped.
+std::string JsonKey(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
 // "name{labels}" -> name + label body ("" when bare).
 void SplitKey(const std::string& key, std::string* name, std::string* label) {
   size_t brace = key.find('{');
@@ -168,14 +181,16 @@ std::string MetricRegistry::RenderJson() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [key, counter] : counters_) {
-    AppendF(out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",", key.c_str(), counter->value());
+    AppendF(out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",", JsonKey(key).c_str(),
+            counter->value());
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";
   out += "  \"gauges\": {";
   first = true;
   for (const auto& [key, gauge] : gauges_) {
-    AppendF(out, "%s\n    \"%s\": %" PRId64, first ? "" : ",", key.c_str(), gauge->value());
+    AppendF(out, "%s\n    \"%s\": %" PRId64, first ? "" : ",", JsonKey(key).c_str(),
+            gauge->value());
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";
@@ -186,7 +201,7 @@ std::string MetricRegistry::RenderJson() const {
             "%s\n    \"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
             ", \"mean\": %.3f, \"p50\": %" PRIu64 ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64
             ", \"max\": %" PRIu64 "}",
-            first ? "" : ",", key.c_str(), hist->count(), hist->sum(), hist->Mean(),
+            first ? "" : ",", JsonKey(key).c_str(), hist->count(), hist->sum(), hist->Mean(),
             hist->P50(), hist->P95(), hist->P99(), hist->max());
     first = false;
   }

@@ -4,10 +4,60 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "src/obs/metrics.h"
+
 namespace ss {
 
+const char* QueryPhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kPlan:
+      return "plan";
+    case QueryPhase::kWindowScan:
+      return "window_scan";
+    case QueryPhase::kSketchMerge:
+      return "sketch_merge";
+    case QueryPhase::kCiCombine:
+      return "ci_combine";
+    case QueryPhase::kDegrade:
+      return "degrade";
+  }
+  return "unknown";
+}
+
+namespace {
+
+LatencyHistogram& PhaseHistogram(QueryPhase phase) {
+  // One function-local static per phase: the span destructor on the query
+  // hot path must not take the registry lock.
+  static LatencyHistogram* histograms[kNumQueryPhases] = {
+      &MetricRegistry::Default().GetHistogram("ss_core_query_phase_us", "phase=\"plan\""),
+      &MetricRegistry::Default().GetHistogram("ss_core_query_phase_us", "phase=\"window_scan\""),
+      &MetricRegistry::Default().GetHistogram("ss_core_query_phase_us", "phase=\"sketch_merge\""),
+      &MetricRegistry::Default().GetHistogram("ss_core_query_phase_us", "phase=\"ci_combine\""),
+      &MetricRegistry::Default().GetHistogram("ss_core_query_phase_us", "phase=\"degrade\""),
+  };
+  return *histograms[static_cast<int>(phase)];
+}
+
+}  // namespace
+
+QueryPhaseSpan::QueryPhaseSpan(QueryPhase phase, QueryTrace* trace)
+    : phase_(phase), trace_(trace) {}
+
+void QueryPhaseSpan::End() {
+  if (done_) {
+    return;
+  }
+  done_ = true;
+  double us = stopwatch_.ElapsedMicros();
+  PhaseHistogram(phase_).Record(us);
+  if (trace_ != nullptr) {
+    trace_->phase_us[static_cast<int>(phase_)] += us;
+  }
+}
+
 std::string QueryTrace::Render() const {
-  char buf[1024];
+  char buf[1536];
   int n = snprintf(
       buf, sizeof(buf),
       "query trace: op=%s range=[%" PRId64 ", %" PRId64 "]\n"
@@ -16,12 +66,20 @@ std::string QueryTrace::Render() const {
       "  bytes read:         %" PRIu64 "\n"
       "  landmarks:          %" PRIu64 " windows, %" PRIu64 " events\n"
       "  block cache:        %" PRIu64 " hits, %" PRIu64 " misses\n"
+      "  degraded:           %s (%" PRIu64 " quarantined windows, %" PRIu64 " skipped spans)\n"
       "  estimate:           %.6g  ci=[%.6g, %.6g] width=%.6g%s\n"
-      "  elapsed:            %.1f us\n",
+      "  elapsed:            %.1f us\n"
+      "  phases:             plan=%.1fus window_scan=%.1fus sketch_merge=%.1fus "
+      "ci_combine=%.1fus degrade=%.1fus\n",
       op.c_str(), t1, t2, windows_scanned, raw_windows, summary_windows, window_cache_hits,
       window_cache_misses, bytes_fetched, landmark_windows, landmark_events, block_cache_hits,
-      block_cache_misses, estimate, ci_lo, ci_hi, ci_width, exact ? " [exact]" : "",
-      elapsed_micros);
+      block_cache_misses, degraded ? "yes" : "no", quarantined_windows, skipped_spans, estimate,
+      ci_lo, ci_hi, ci_width, exact ? " [exact]" : "", elapsed_micros,
+      phase_us[static_cast<int>(QueryPhase::kPlan)],
+      phase_us[static_cast<int>(QueryPhase::kWindowScan)],
+      phase_us[static_cast<int>(QueryPhase::kSketchMerge)],
+      phase_us[static_cast<int>(QueryPhase::kCiCombine)],
+      phase_us[static_cast<int>(QueryPhase::kDegrade)]);
   return n > 0 ? std::string(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1))
                : std::string();
 }

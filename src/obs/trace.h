@@ -13,6 +13,21 @@
 
 namespace ss {
 
+// Query pipeline phases, in execution order. Each query attributes its
+// latency across these via QueryPhaseSpan; the breakdown lands both in the
+// per-phase histogram ss_core_query_phase_us{phase=...} and (when tracing)
+// in QueryTrace::phase_us.
+enum class QueryPhase : int {
+  kPlan = 0,        // validation, stream lookup, landmark gate
+  kWindowScan = 1,  // WindowsOverlapping: decayed-window walk + payload loads
+  kSketchMerge = 2, // merging per-window summaries / raw scans
+  kCiCombine = 3,   // interval arithmetic: CI combine + normal/binomial tails
+  kDegrade = 4,     // widening the CI over quarantined (missing) spans
+};
+inline constexpr int kNumQueryPhases = 5;
+
+const char* QueryPhaseName(QueryPhase phase);
+
 struct QueryTrace {
   // What was asked.
   std::string op;
@@ -35,6 +50,13 @@ struct QueryTrace {
   uint64_t block_cache_hits = 0;
   uint64_t block_cache_misses = 0;
 
+  // Degradation accounting (PR 5 corruption defense): quarantined windows
+  // the scan could not read, and the spans the estimator had to skip (the CI
+  // is widened to cover them).
+  bool degraded = false;
+  uint64_t quarantined_windows = 0;
+  uint64_t skipped_spans = 0;
+
   // Estimator outcome.
   double estimate = 0.0;
   double ci_lo = 0.0;
@@ -44,8 +66,34 @@ struct QueryTrace {
 
   double elapsed_micros = 0.0;
 
+  // Per-phase latency attribution, indexed by QueryPhase.
+  double phase_us[kNumQueryPhases] = {0, 0, 0, 0, 0};
+
   // Multi-line human-readable rendering (sstool query --explain).
   std::string Render() const;
+};
+
+// RAII phase span: times a section of the query pipeline and attributes it
+// to `phase` — always into ss_core_query_phase_us{phase=...}, and into
+// trace->phase_us when a trace is being collected (trace may be null).
+// Phases can run more than once per query (e.g. per-stream scans in a fleet
+// aggregate); contributions accumulate.
+class QueryPhaseSpan {
+ public:
+  QueryPhaseSpan(QueryPhase phase, QueryTrace* trace);
+  ~QueryPhaseSpan() { End(); }
+
+  // Ends the span early (idempotent).
+  void End();
+
+  QueryPhaseSpan(const QueryPhaseSpan&) = delete;
+  QueryPhaseSpan& operator=(const QueryPhaseSpan&) = delete;
+
+ private:
+  QueryPhase phase_;
+  QueryTrace* trace_;
+  Stopwatch stopwatch_;
+  bool done_ = false;
 };
 
 }  // namespace ss

@@ -8,6 +8,7 @@
 #include <cerrno>
 
 #include "src/common/logging.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 
 namespace ss {
@@ -174,6 +175,8 @@ bool FaultFs::BeginMutatingOpLocked(FaultOp op, int* error_code, bool* just_cras
     crashed_ = true;
     ++injected_;
     InjectedFaultsCounter().Inc();
+    FlightRecorder::Default().Record(FlightEventType::kFaultInjected,
+                                     static_cast<uint64_t>(op), total_ops_);
     *error_code = EIO;
     *just_crashed = true;
     return false;
@@ -184,6 +187,8 @@ bool FaultFs::BeginMutatingOpLocked(FaultOp op, int* error_code, bool* just_cras
     if (hit != per_op->second.end()) {
       ++injected_;
       InjectedFaultsCounter().Inc();
+      FlightRecorder::Default().Record(FlightEventType::kFaultInjected,
+                                       static_cast<uint64_t>(op), total_ops_);
       *error_code = hit->second;
       return false;
     }

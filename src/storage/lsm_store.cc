@@ -7,6 +7,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/serde.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 
 namespace ss {
@@ -187,6 +188,10 @@ Status LsmStore::Recover() {
 }
 
 Status LsmStore::PutBatch(const WriteBatch& batch) {
+  static LatencyHistogram& follower_wait_us = MetricRegistry::Default().GetHistogram(
+      "ss_storage_group_commit_wait_us", "role=\"follower\"");
+  static LatencyHistogram& leader_wait_us = MetricRegistry::Default().GetHistogram(
+      "ss_storage_group_commit_wait_us", "role=\"leader\"");
   if (batch.empty()) {
     return Status::Ok();
   }
@@ -194,12 +199,22 @@ Status LsmStore::PutBatch(const WriteBatch& batch) {
   self.batch = &batch;
   std::unique_lock<std::mutex> lock(mu_);
   write_queue_.push_back(&self);
+  bool waited = write_queue_.front() != &self;
+  Stopwatch wait;
   // Park until a leader commits us, or we reach the front of the queue and
   // become the leader ourselves. Group members stay in the queue until their
   // commit completes, so "front of queue" alone means no commit is running.
   write_cv_.wait(lock, [this, &self] { return self.done || write_queue_.front() == &self; });
   if (self.done) {
+    double us = wait.ElapsedMicros();
+    follower_wait_us.Record(us);
+    FlightRecorder::Default().Record(FlightEventType::kGroupCommitFollow,
+                                     static_cast<uint64_t>(us));
     return self.status;
+  }
+  if (waited) {
+    // Queued behind an in-flight commit, then promoted to lead the next group.
+    leader_wait_us.Record(wait.ElapsedMicros());
   }
   return CommitGroupLocked(lock);
 }
@@ -225,10 +240,17 @@ Status LsmStore::CommitGroupLocked(std::unique_lock<std::mutex>& lock) {
       MetricRegistry::Default().GetHistogram("ss_storage_group_commit_size");
   static LatencyHistogram& apply_us =
       MetricRegistry::Default().GetHistogram("ss_storage_batch_apply_us");
+  static LatencyHistogram& wal_append_phase_us = MetricRegistry::Default().GetHistogram(
+      "ss_storage_write_phase_us", "phase=\"wal_append\"");
+  static LatencyHistogram& wal_fsync_phase_us = MetricRegistry::Default().GetHistogram(
+      "ss_storage_write_phase_us", "phase=\"wal_fsync\"");
+  static LatencyHistogram& apply_phase_us = MetricRegistry::Default().GetHistogram(
+      "ss_storage_write_phase_us", "phase=\"memtable_apply\"");
   // Adopt every writer queued so far as one commit group. Writers arriving
   // after this point stay queued behind us and form the next group.
   std::vector<PendingWrite*> group(write_queue_.begin(), write_queue_.end());
   Status log_status;
+  size_t records = 0;
   if (wal_poisoned_) {
     log_status = Status::IoError("LsmStore: WAL poisoned by an earlier write failure");
   } else {
@@ -237,8 +259,8 @@ Status LsmStore::CommitGroupLocked(std::unique_lock<std::mutex>& lock) {
     // (only the front writer commits) plus commit_in_flight_, which blocks
     // WAL rotation until we reacquire mu_. Readers proceed during the fsync.
     commit_in_flight_ = true;
-    size_t records = 0;
     lock.unlock();
+    Stopwatch append_phase;
     for (PendingWrite* writer : group) {
       for (const WriteBatch::Op& op : writer->batch->ops()) {
         log_status = wal_->Append(
@@ -252,13 +274,18 @@ Status LsmStore::CommitGroupLocked(std::unique_lock<std::mutex>& lock) {
         break;
       }
     }
+    wal_append_phase_us.Record(append_phase.ElapsedMicros());
+    FlightRecorder::Default().Record(FlightEventType::kWalAppend, records);
     if (log_status.ok() && options_.sync_wal) {
+      Stopwatch fsync_phase;
       log_status = wal_->Sync();
+      wal_fsync_phase_us.Record(fsync_phase.ElapsedMicros());
     }
     lock.lock();
     commit_in_flight_ = false;
     group_commits.Inc();
     group_size.Record(records);
+    FlightRecorder::Default().Record(FlightEventType::kGroupCommitLead, group.size(), records);
   }
   if (!log_status.ok()) {
     // A failed append may have left a torn record; a failed fsync leaves
@@ -270,10 +297,12 @@ Status LsmStore::CommitGroupLocked(std::unique_lock<std::mutex>& lock) {
       wal_poisoned_ = true;
       poison_total.Inc();
       SS_LOG(Warning) << "LsmStore: WAL write failed, store is now read-only: " << log_status;
+      PoisonDumpLocked("wal-commit-poison", 0);
     }
   } else {
     // Apply to the memtable only after the full log step succeeded, in queue
     // order so later writes to the same key shadow earlier ones.
+    Stopwatch apply_phase;
     ScopedTimer apply_timer(apply_us);
     for (PendingWrite* writer : group) {
       for (const WriteBatch::Op& op : writer->batch->ops()) {
@@ -281,6 +310,8 @@ Status LsmStore::CommitGroupLocked(std::unique_lock<std::mutex>& lock) {
         memtable_.insert_or_assign(op.key, op.value);
       }
     }
+    apply_phase_us.Record(apply_phase.ElapsedMicros());
+    FlightRecorder::Default().Record(FlightEventType::kMemtableApply, records);
   }
   // Acknowledge the group (we are its first member) and hand leadership to
   // the next queued writer, if any.
@@ -423,6 +454,7 @@ Status LsmStore::Scan(std::string_view start, std::string_view end, const ScanVi
 Status LsmStore::RotateWalLocked() {
   static Counter& poison_total =
       MetricRegistry::Default().GetCounter("ss_storage_wal_poison_total");
+  FlightRecorder::Default().Record(FlightEventType::kWalRotate);
   auto rotated = WalWriter::RotateAndOpen(dir_ + "/" + kWalName);
   if (!rotated.ok()) {
     // The rename may have committed before a later step failed, in which
@@ -432,10 +464,37 @@ Status LsmStore::RotateWalLocked() {
     poison_total.Inc();
     SS_LOG(Warning) << "LsmStore: WAL rotation failed, store is now read-only: "
                     << rotated.status();
+    PoisonDumpLocked("wal-rotate-poison", 1);
     return rotated.status();
   }
   wal_ = std::move(rotated).value();
   return Status::Ok();
+}
+
+std::string LsmStore::StateTextLocked() const {
+  std::string state;
+  state += "dir=" + dir_ + "\n";
+  state += "wal=" + dir_ + "/" + kWalName + (wal_poisoned_ ? " (poisoned)\n" : "\n");
+  state += "memtable_entries=" + std::to_string(memtable_.size()) +
+           " memtable_bytes=" + std::to_string(memtable_bytes_) + "\n";
+  state += "next_file_id=" + std::to_string(next_file_id_) + "\n";
+  state += "tables=";
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    state += (i == 0 ? "" : ",") + std::to_string(tables_[i]->file_id());
+  }
+  state += "\n";
+  state += "write_queue_depth=" + std::to_string(write_queue_.size()) + "\n";
+  return state;
+}
+
+void LsmStore::PoisonDumpLocked(const char* reason, uint64_t site) {
+  FlightRecorder::Default().Record(FlightEventType::kStorePoison, site);
+  auto path = FlightRecorder::Default().Dump(dir_ + "/debug", reason, StateTextLocked());
+  if (path.ok()) {
+    SS_LOG(Warning) << "LsmStore: flight bundle dumped to " << *path;
+  } else {
+    SS_LOG(Warning) << "LsmStore: flight dump failed: " << path.status();
+  }
 }
 
 Status LsmStore::FlushMemtableLocked() {
@@ -448,6 +507,8 @@ Status LsmStore::FlushMemtableLocked() {
       MetricRegistry::Default().GetHistogram("ss_storage_memtable_flush_us");
   flush_total.Inc();
   ScopedTimer timer(flush_us);
+  FlightRecorder::Default().Record(FlightEventType::kMemtableFlush, memtable_.size(),
+                                   next_file_id_);
   // Write ordering (each step durable before the next): (1) SST data +
   // fsync, (2) directory entry, (3) MANIFEST referencing it (atomic replace
   // + dir fsync inside WriteManifestLocked), (4) WAL restart via
@@ -484,6 +545,7 @@ Status LsmStore::CompactLocked() {
       MetricRegistry::Default().GetHistogram("ss_storage_compaction_us");
   compaction_total.Inc();
   ScopedTimer timer(compaction_us);
+  FlightRecorder::Default().Record(FlightEventType::kCompaction, tables_.size(), next_file_id_);
   uint32_t file_id = next_file_id_++;
   SS_ASSIGN_OR_RETURN(SstBuilder builder, SstBuilder::Create(TablePath(file_id)));
 

@@ -92,6 +92,11 @@ class LsmStore : public KvBackend {
   // mu_ held; commits the whole queued group, acks every member, and returns
   // the caller's (= the group's) status.
   Status CommitGroupLocked(std::unique_lock<std::mutex>& lock);
+  // Called at the two poison sites with mu_ held: records the store-poison
+  // flight event and best-effort dumps a flight bundle (with the store's
+  // state text) to <dir>/debug so the moments before the poison survive.
+  void PoisonDumpLocked(const char* reason, uint64_t site);
+  std::string StateTextLocked() const;
   Status RotateWalLocked();
   Status FlushMemtableLocked();
   Status CompactLocked();

@@ -1,5 +1,6 @@
 #include "src/storage/sstable.h"
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 
 #include <algorithm>
@@ -147,6 +148,7 @@ StatusOr<std::shared_ptr<std::string>> SsTable::ReadBlock(size_t block_idx,
     }
   }
   cache_misses.Inc();
+  FlightRecorder::Default().Record(FlightEventType::kBlockCacheMiss, file_id_, block_idx);
   const IndexEntry& e = index_[block_idx];
   auto block = std::make_shared<std::string>();
   SS_RETURN_IF_ERROR(file_.Read(e.offset, e.size, block.get()));

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/serde.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 
 namespace ss {
@@ -94,8 +95,13 @@ Status WalWriter::Sync() {
   static LatencyHistogram& fsync_us =
       MetricRegistry::Default().GetHistogram("ss_storage_wal_fsync_us");
   fsyncs.Inc();
-  ScopedTimer timer(fsync_us);
-  return file_.Sync();
+  Stopwatch stopwatch;
+  Status status = file_.Sync();
+  double us = stopwatch.ElapsedMicros();
+  fsync_us.Record(us);
+  FlightRecorder::Default().Record(FlightEventType::kWalFsync, static_cast<uint64_t>(us),
+                                   status.ok() ? 0 : 1);
+  return status;
 }
 
 StatusOr<uint64_t> WalReplay(const std::string& path, const WalReplayVisitor& visit) {

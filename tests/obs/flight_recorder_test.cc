@@ -1,0 +1,222 @@
+// Flight recorder: ring wraparound keeps the newest events, concurrent
+// writers and snapshotters race cleanly (run under TSan in CI), the dump /
+// decode / render pipeline round-trips, and poisoning a store under fault
+// injection leaves a decodable bundle behind whose timeline contains the
+// poisoning syscall's event.
+#include "src/obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/storage/fault_fs.h"
+#include "src/storage/file_util.h"
+#include "src/storage/lsm_store.h"
+
+namespace ss {
+namespace {
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Bundles must land where the test points them, not where CI points
+    // every other process's dumps.
+    ::unsetenv("SS_FLIGHT_DIR");
+    FlightRecorder::Default().set_enabled(true);
+    FlightRecorder::Default().ResetForTest();
+    dir_ = ::testing::TempDir() + "flight_recorder_test";
+    (void)RemoveDirRecursive(dir_);
+    ASSERT_TRUE(CreateDirIfMissing(dir_).ok());
+  }
+
+  void TearDown() override { (void)RemoveDirRecursive(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(FlightRecorderTest, RingWraparoundKeepsNewestEvents) {
+  FlightRecorder& recorder = FlightRecorder::Default();
+  const size_t total = FlightRecorder::kRingEvents + 100;
+  for (size_t i = 0; i < total; ++i) {
+    recorder.Record(FlightEventType::kFlushChunk, i, /*arg1=*/777);
+  }
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  size_t ours = 0;
+  uint64_t min_arg0 = UINT64_MAX;
+  for (const FlightEvent& e : events) {
+    if (e.type == static_cast<uint16_t>(FlightEventType::kFlushChunk) && e.arg1 == 777) {
+      ++ours;
+      min_arg0 = std::min(min_arg0, e.arg0);
+    }
+  }
+  // The ring holds exactly kRingEvents; the 100 oldest were overwritten.
+  EXPECT_EQ(ours, FlightRecorder::kRingEvents);
+  EXPECT_EQ(min_arg0, 100u);
+}
+
+TEST_F(FlightRecorderTest, SnapshotIsAscendingAndTrimsToNewest) {
+  FlightRecorder& recorder = FlightRecorder::Default();
+  for (uint64_t i = 0; i < 10; ++i) {
+    recorder.Record(FlightEventType::kCompaction, i);
+  }
+  std::vector<FlightEvent> all = recorder.Snapshot();
+  ASSERT_EQ(all.size(), 10u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i].ts_nanos, all[i - 1].ts_nanos);
+  }
+  std::vector<FlightEvent> newest = recorder.Snapshot(/*max_events=*/3);
+  ASSERT_EQ(newest.size(), 3u);
+  EXPECT_EQ(newest.back().arg0, 9u);
+  EXPECT_EQ(newest.front().arg0, 7u);
+}
+
+TEST_F(FlightRecorderTest, DisabledRecorderDropsEvents) {
+  FlightRecorder& recorder = FlightRecorder::Default();
+  recorder.set_enabled(false);
+  recorder.Record(FlightEventType::kCompaction, 1);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  recorder.set_enabled(true);
+  recorder.Record(FlightEventType::kCompaction, 2);
+  ASSERT_EQ(recorder.Snapshot().size(), 1u);
+  EXPECT_EQ(recorder.Snapshot()[0].arg0, 2u);
+}
+
+// Eight writer threads hammer their rings while the main thread snapshots
+// concurrently; the drain is lock-free by design, so TSan (CI runs this
+// binary under it) is the real assertion. Post-join, each thread's ring
+// retains exactly its newest kRingEvents events.
+TEST_F(FlightRecorderTest, ConcurrentWritersWithConcurrentSnapshots) {
+  FlightRecorder& recorder = FlightRecorder::Default();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 3 * FlightRecorder::kRingEvents;
+  // Writers park after recording instead of exiting: an exited thread's ring
+  // is reused by the next thread (by design), which would overwrite the
+  // events this test wants to count.
+  std::atomic<int> done{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        recorder.Record(FlightEventType::kBlockCacheMiss, static_cast<uint64_t>(w), i);
+      }
+      done.fetch_add(1);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  while (done.load() < kThreads) {
+    std::vector<FlightEvent> racing = recorder.Snapshot();
+    EXPECT_LE(racing.size(), kThreads * FlightRecorder::kRingEvents);
+  }
+  release.store(true, std::memory_order_release);
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  std::vector<FlightEvent> final_events = recorder.Snapshot();
+  size_t ours = 0;
+  for (const FlightEvent& e : final_events) {
+    ours += e.type == static_cast<uint16_t>(FlightEventType::kBlockCacheMiss) ? 1 : 0;
+  }
+  EXPECT_EQ(ours, static_cast<size_t>(kThreads) * FlightRecorder::kRingEvents);
+}
+
+TEST_F(FlightRecorderTest, DumpReadRenderRoundtrip) {
+  FlightRecorder& recorder = FlightRecorder::Default();
+  recorder.Record(FlightEventType::kScrubCycle, 42, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  recorder.Record(FlightEventType::kWindowQuarantine, 7, 123456);
+
+  auto path = recorder.Dump(dir_, "unit-test", "streams=1\nwal=00000001.wal\n");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(path->rfind(dir_ + "/flight-", 0), 0u) << *path;
+
+  auto bundle = ReadFlightBundle(*path);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle->reason, "unit-test");
+  EXPECT_NE(bundle->store_state.find("wal=00000001.wal"), std::string::npos);
+  // The embedded metrics snapshot is valid RenderJson output.
+  EXPECT_NE(bundle->metrics_json.find("\"counters\""), std::string::npos);
+  ASSERT_GE(bundle->events.size(), 3u);  // two markers + the dump event itself
+  EXPECT_EQ(bundle->events.back().type, static_cast<uint16_t>(FlightEventType::kDump));
+
+  std::string timeline = RenderFlightTimeline(*bundle);
+  EXPECT_NE(timeline.find("unit-test"), std::string::npos) << timeline;
+  EXPECT_NE(timeline.find("scrub_cycle"), std::string::npos) << timeline;
+  EXPECT_NE(timeline.find("window_quarantine"), std::string::npos) << timeline;
+
+  // --since drops events before the offset: the 5 ms gap separates the two
+  // markers, so filtering at 1000 us keeps the quarantine but not the scrub.
+  std::string filtered = RenderFlightTimeline(*bundle, /*since_micros=*/1000.0);
+  EXPECT_EQ(filtered.find("scrub_cycle"), std::string::npos) << filtered;
+  EXPECT_NE(filtered.find("window_quarantine"), std::string::npos) << filtered;
+}
+
+TEST_F(FlightRecorderTest, SsFlightDirOverridesDumpDirectory) {
+  const std::string override_dir = dir_ + "/override";
+  ASSERT_EQ(::setenv("SS_FLIGHT_DIR", override_dir.c_str(), 1), 0);
+  auto path = FlightRecorder::Default().Dump(dir_, "env-test", "");
+  ::unsetenv("SS_FLIGHT_DIR");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(path->rfind(override_dir + "/flight-", 0), 0u) << *path;
+  EXPECT_TRUE(ReadFlightBundle(*path).ok());
+}
+
+// The acceptance path: a WAL fsync fault poisons the store, which dumps a
+// bundle to <dir>/debug; the decoded timeline must contain the injected
+// fault's event and the poison marker.
+TEST_F(FlightRecorderTest, PoisonUnderFaultInjectionDumpsDecodableBundle) {
+  LsmOptions options;
+  options.sync_wal = true;
+  FaultFs fs;
+  SetFileOpsForTest(&fs);
+  {
+    auto store = LsmStore::Open(dir_ + "/store", options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("before", "ok").ok());
+    fs.FailAt(FaultOp::kFsync, fs.op_count(FaultOp::kFsync) + 1, EIO);
+    ASSERT_FALSE((*store)->Put("doomed", "value").ok());
+  }
+  SetFileOpsForTest(nullptr);
+
+  auto entries = ListDir(dir_ + "/store/debug");
+  ASSERT_TRUE(entries.ok()) << "poison did not produce a debug/ bundle";
+  std::string bundle_path;
+  for (const std::string& name : *entries) {
+    if (name.rfind("flight-", 0) == 0) {
+      bundle_path = dir_ + "/store/debug/" + name;
+    }
+  }
+  ASSERT_FALSE(bundle_path.empty());
+
+  auto bundle = ReadFlightBundle(bundle_path);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle->reason, "wal-commit-poison");
+  EXPECT_NE(bundle->store_state.find("(poisoned)"), std::string::npos) << bundle->store_state;
+
+  bool saw_fault = false;
+  bool saw_poison = false;
+  for (const FlightEvent& e : bundle->events) {
+    if (e.type == static_cast<uint16_t>(FlightEventType::kFaultInjected) &&
+        e.arg0 == static_cast<uint64_t>(FaultOp::kFsync)) {
+      saw_fault = true;
+    }
+    saw_poison |= e.type == static_cast<uint16_t>(FlightEventType::kStorePoison);
+  }
+  EXPECT_TRUE(saw_fault) << "bundle missing the injected-fsync event";
+  EXPECT_TRUE(saw_poison) << "bundle missing the store-poison event";
+
+  std::string timeline = RenderFlightTimeline(*bundle);
+  EXPECT_NE(timeline.find("fault_injected"), std::string::npos) << timeline;
+  EXPECT_NE(timeline.find("store_poison"), std::string::npos) << timeline;
+  EXPECT_NE(timeline.find("wal_fsync"), std::string::npos) << timeline;
+}
+
+}  // namespace
+}  // namespace ss

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/keys.h"
+#include "src/core/query.h"
 #include "src/core/summary_store.h"
+#include "src/storage/memory_backend.h"
 
 namespace ss {
 namespace {
@@ -122,6 +125,76 @@ TEST_F(TraceFixture, RenderMentionsEveryAccountingLine) {
   EXPECT_NE(text.find("window cache"), std::string::npos) << text;
   EXPECT_NE(text.find("block cache"), std::string::npos) << text;
   EXPECT_NE(text.find("estimate"), std::string::npos) << text;
+  // Phase attribution rides every traced query.
+  EXPECT_NE(text.find("phases:"), std::string::npos) << text;
+  EXPECT_NE(text.find("plan="), std::string::npos) << text;
+  EXPECT_NE(text.find("window_scan="), std::string::npos) << text;
+  EXPECT_NE(text.find("degraded:"), std::string::npos) << text;
+  EXPECT_NE(text.find("no (0 quarantined windows"), std::string::npos) << text;
+}
+
+TEST_F(TraceFixture, PhaseSpansPopulateTheTrace) {
+  auto result = TracedQuery(QueryOp::kCount, 1, 500);
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->trace, nullptr);
+  const QueryTrace& trace = *result->trace;
+  // Plan and window-scan always run for a count; every phase is non-negative
+  // and the parts cannot exceed the whole.
+  double total_phase_us = 0.0;
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    EXPECT_GE(trace.phase_us[i], 0.0) << QueryPhaseName(static_cast<QueryPhase>(i));
+    total_phase_us += trace.phase_us[i];
+  }
+  EXPECT_GT(trace.phase_us[static_cast<size_t>(QueryPhase::kWindowScan)], 0.0);
+  EXPECT_FALSE(trace.degraded);
+  EXPECT_EQ(trace.quarantined_windows, 0u);
+  EXPECT_EQ(trace.skipped_spans, 0u);
+  // Spans are non-overlapping pieces of the traced query.
+  EXPECT_LE(total_phase_us, trace.elapsed_micros * 1.5 + 100.0);
+}
+
+// A corrupt window quarantines at load time; the trace of the degraded query
+// must say so — degraded flag, quarantined-window count, skipped spans — and
+// Render() must surface it for `sstool query --explain`.
+TEST(TraceDegraded, QuarantineShowsUpInTraceAndRender) {
+  MemoryBackend kv;
+  Stream stream(1, SmallConfig(), &kv);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(stream.Append(static_cast<Timestamp>(10 * i), 1.0).ok());
+  }
+  ASSERT_TRUE(stream.EvictAllWindows().ok());
+  // Byte-flip one persisted window payload.
+  std::vector<std::pair<std::string, std::string>> entries;
+  ASSERT_TRUE(kv.Scan(WindowKeyPrefix(1), PrefixEnd(WindowKeyPrefix(1)),
+                      [&](std::string_view key, std::string_view value) {
+                        entries.emplace_back(std::string(key), std::string(value));
+                        return true;
+                      })
+                  .ok());
+  ASSERT_GE(entries.size(), 3u);
+  std::string bad = entries[entries.size() / 2].second;
+  bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x40);
+  ASSERT_TRUE(kv.Put(entries[entries.size() / 2].first, bad).ok());
+
+  QuerySpec spec{.t1 = 0, .t2 = 20000, .op = QueryOp::kCount};
+  spec.collect_trace = true;
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->degraded);
+  ASSERT_NE(result->trace, nullptr);
+  EXPECT_TRUE(result->trace->degraded);
+  EXPECT_GE(result->trace->quarantined_windows, 1u);
+  EXPECT_EQ(result->trace->skipped_spans, result->skipped_spans.size());
+  std::string text = result->trace->Render();
+  EXPECT_NE(text.find("yes (1 quarantined windows"), std::string::npos) << text;
+  EXPECT_NE(text.find("skipped"), std::string::npos) << text;
+}
+
+TEST(QueryPhaseNames, EveryPhaseHasAName) {
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    EXPECT_NE(QueryPhaseName(static_cast<QueryPhase>(i)), nullptr);
+    EXPECT_GT(std::string(QueryPhaseName(static_cast<QueryPhase>(i))).size(), 0u);
+  }
 }
 
 TEST(TraceLandmarks, LandmarkWindowAndEventCounts) {

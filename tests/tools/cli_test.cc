@@ -91,5 +91,35 @@ TEST(ParseCsvLine, ValidAndInvalid) {
   EXPECT_EQ(negative->ts, -5);
 }
 
+TEST(ParseMetricsJson, FlattensRegistryDocument) {
+  // Exactly the shape MetricRegistry::RenderJson emits, including an escaped
+  // labeled key and a histogram object to flatten.
+  const std::string json =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"ss_core_append_total\": 42,\n"
+      "    \"ss_obs_flight_dump_total\": 1\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"ss_store_stream_count\": 3\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"ss_core_query_phase_us{phase=\\\"plan\\\"}\": {\"count\": 7, \"sum\": 70, "
+      "\"mean\": 10.000, \"p50\": 9, \"p95\": 15, \"p99\": 15, \"max\": 16}\n"
+      "  }\n"
+      "}\n";
+  auto parsed = ParseMetricsJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->at("ss_core_append_total"), 42.0);
+  EXPECT_DOUBLE_EQ(parsed->at("ss_obs_flight_dump_total"), 1.0);
+  EXPECT_DOUBLE_EQ(parsed->at("ss_store_stream_count"), 3.0);
+  EXPECT_DOUBLE_EQ(parsed->at("ss_core_query_phase_us{phase=\"plan\"}.count"), 7.0);
+  EXPECT_DOUBLE_EQ(parsed->at("ss_core_query_phase_us{phase=\"plan\"}.mean"), 10.0);
+  EXPECT_DOUBLE_EQ(parsed->at("ss_core_query_phase_us{phase=\"plan\"}.max"), 16.0);
+
+  EXPECT_FALSE(ParseMetricsJson("not json at all").ok());
+  EXPECT_FALSE(ParseMetricsJson("{}").ok());
+}
+
 }  // namespace
 }  // namespace ss

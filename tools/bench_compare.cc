@@ -1,0 +1,105 @@
+// Perf-trajectory gate: diff a current bench report against a committed
+// baseline and fail when a metric regresses past the threshold in its own
+// "better" direction. tools/ci.sh runs this after the CI-profile bench runs
+// so order-of-magnitude regressions land red instead of silently shipping.
+//
+//   bench_compare <baseline.json> <current.json> [--threshold-pct N]
+//
+// Exit 0: comparable and within threshold (or incomparable -> skipped with a
+// note, so a deliberate profile change doesn't wedge CI). Exit 1: at least
+// one regression beyond the threshold. Exit 2: usage / unreadable input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/storage/file_util.h"
+
+namespace {
+
+using ss::bench::BenchReport;
+
+bool LoadReport(const char* path, BenchReport* out) {
+  auto text = ss::ReadFileToString(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "bench_compare: cannot read %s: %s\n", path,
+                 text.status().ToString().c_str());
+    return false;
+  }
+  if (!BenchReport::ParseJson(*text, out)) {
+    std::fprintf(stderr, "bench_compare: %s is not a bench report\n", path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold_pct = 50.0;
+  const char* paths[2] = {nullptr, nullptr};
+  int npaths = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold-pct") == 0 && i + 1 < argc) {
+      threshold_pct = std::strtod(argv[++i], nullptr);
+    } else if (npaths < 2) {
+      paths[npaths++] = argv[i];
+    }
+  }
+  if (npaths != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <current.json> [--threshold-pct N]\n");
+    return 2;
+  }
+
+  BenchReport base(""), cur("");
+  if (!LoadReport(paths[0], &base) || !LoadReport(paths[1], &cur)) {
+    return 2;
+  }
+  if (base.bench() != cur.bench() || base.meta() != cur.meta()) {
+    std::printf("bench_compare: run profiles differ (baseline '%s' vs current '%s'); "
+                "skipping comparison.\n",
+                base.bench().c_str(), cur.bench().c_str());
+    for (const auto& [k, v] : base.meta()) {
+      auto it = cur.meta().find(k);
+      std::printf("  meta %s: baseline=%s current=%s\n", k.c_str(), v.c_str(),
+                  it != cur.meta().end() ? it->second.c_str() : "(missing)");
+    }
+    return 0;
+  }
+
+  std::printf("bench '%s' vs baseline (regression threshold %.0f%%):\n", cur.bench().c_str(),
+              threshold_pct);
+  int regressions = 0;
+  for (const auto& [name, m] : cur.metrics()) {
+    auto it = base.metrics().find(name);
+    if (it == base.metrics().end()) {
+      std::printf("  %-52s %14.4g %-9s (new, no baseline)\n", name.c_str(), m.value,
+                  m.unit.c_str());
+      continue;
+    }
+    const double b = it->second.value;
+    const double delta_pct = b != 0.0 ? (m.value - b) / b * 100.0 : 0.0;
+    // Regression is movement against the metric's better-direction.
+    const bool lower_better = m.direction != "higher";
+    const bool regressed = lower_better ? delta_pct > threshold_pct
+                                        : delta_pct < -threshold_pct;
+    std::printf("  %-52s %14.4g -> %14.4g %-9s %+8.1f%%%s\n", name.c_str(), b, m.value,
+                m.unit.c_str(), delta_pct, regressed ? "  REGRESSION" : "");
+    regressions += regressed ? 1 : 0;
+  }
+  for (const auto& [name, m] : base.metrics()) {
+    if (cur.metrics().find(name) == cur.metrics().end()) {
+      std::printf("  %-52s %14.4g %-9s (missing from current run)\n", name.c_str(), m.value,
+                  m.unit.c_str());
+    }
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr, "bench_compare: %d metric(s) regressed beyond %.0f%%\n", regressions,
+                 threshold_pct);
+    return 1;
+  }
+  std::printf("bench_compare: OK, no regressions beyond %.0f%%\n", threshold_pct);
+  return 0;
+}

@@ -2,13 +2,33 @@
 # CI entry point: tier-1 build + full test suite, then an ASan+UBSan build
 # of the obs and storage tests (the layers with the most concurrency and
 # raw-pointer traffic), then a TSan build of the core locking and worker-pool
-# tests (SS_SANITIZE=thread).
+# tests (SS_SANITIZE=thread), then the perf-trajectory leg (CI-profile bench
+# runs diffed against the committed BENCH_*.json baselines).
+#
+# Any test failure dumps + decodes the newest flight-recorder bundle from
+# SS_FLIGHT_DIR so the events leading up to the failure land in the CI log.
 #
 #   tools/ci.sh [build-dir-prefix]    (default: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 prefix="${1:-build}"
+
+# Every store poison / fatal signal in any test process dumps its flight
+# bundle here; on failure the EXIT trap decodes the newest one into the log.
+export SS_FLIGHT_DIR="${PWD}/${prefix}-flight"
+rm -rf "${SS_FLIGHT_DIR}"
+mkdir -p "${SS_FLIGHT_DIR}"
+
+decode_flight_on_failure() {
+  local rc=$?
+  if [ "${rc}" -ne 0 ] && ls "${SS_FLIGHT_DIR}"/flight-*.bin >/dev/null 2>&1; then
+    echo "=== ci.sh FAILED (rc=${rc}): decoding newest flight bundle ==="
+    "${prefix}/tools/sstool" flight "${SS_FLIGHT_DIR}" || true
+  fi
+  return "${rc}"
+}
+trap decode_flight_on_failure EXIT
 
 echo "=== tier-1: configure + build + ctest (${prefix}) ==="
 cmake -B "${prefix}" -S .
@@ -19,13 +39,13 @@ san_dir="${prefix}-asan"
 echo "=== sanitizers: ASan+UBSan build of obs + storage tests (${san_dir}) ==="
 cmake -B "${san_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DSS_SANITIZE=address,undefined
 cmake --build "${san_dir}" -j"$(nproc)" --target \
-  metrics_test trace_test \
+  metrics_test trace_test flight_recorder_test \
   wal_test sstable_test lsm_store_test group_commit_test crash_recovery_test \
   lsm_concurrency_test fault_fs_test fault_injection_test \
   corruption_test serde_fuzz_test
-for t in metrics_test trace_test wal_test sstable_test lsm_store_test \
-         group_commit_test crash_recovery_test lsm_concurrency_test fault_fs_test \
-         corruption_test serde_fuzz_test; do
+for t in metrics_test trace_test flight_recorder_test wal_test sstable_test \
+         lsm_store_test group_commit_test crash_recovery_test lsm_concurrency_test \
+         fault_fs_test corruption_test serde_fuzz_test; do
   echo "--- ${t} (asan+ubsan)"
   if [ "${t}" = crash_recovery_test ]; then
     # Simulates hard kills by deliberately leaking un-flushed stores; leak
@@ -52,16 +72,35 @@ SS_FAULT_INJECT=1 "${san_dir}/tests/corruption_test"
 tsan_dir="${prefix}-tsan"
 echo "=== sanitizers: TSan build of core + concurrency tests (${tsan_dir}) ==="
 # group_commit_test and the batched writers in lsm_concurrency_test /
-# concurrency_test exercise the leader/follower commit handoff under TSan.
+# concurrency_test exercise the leader/follower commit handoff under TSan;
+# flight_recorder_test races 8 ring writers against concurrent snapshots.
 cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSS_SANITIZE=thread
 # corruption_test rides along for its background-scrub-thread coverage.
 cmake --build "${tsan_dir}" -j"$(nproc)" --target \
   thread_pool_test summary_store_test group_commit_test lsm_concurrency_test \
-  concurrency_test corruption_test
+  concurrency_test corruption_test flight_recorder_test
 for t in thread_pool_test summary_store_test group_commit_test \
-         lsm_concurrency_test concurrency_test corruption_test; do
+         lsm_concurrency_test concurrency_test corruption_test flight_recorder_test; do
   echo "--- ${t} (tsan)"
   TSAN_OPTIONS=halt_on_error=1 "${tsan_dir}/tests/${t}"
 done
 
+echo "=== perf trajectory: CI-profile bench runs vs committed baselines ==="
+# Machine-readable bench telemetry: bench_micro (a fast subset + the
+# flight-recorder overhead gate) and bench_scale (shrunk via env knobs) each
+# write a BenchReport; bench_compare fails the build on direction-aware
+# regressions beyond the threshold. The 75% bar only catches order-of-
+# magnitude cliffs — CI machines are too noisy for anything tighter.
+bench_out="${prefix}-bench"
+mkdir -p "${bench_out}"
+SS_BENCH_PROFILE=ci SS_BENCH_OUT="${bench_out}/BENCH_micro.json" \
+  "${prefix}/bench/bench_micro" \
+  --benchmark_filter='BM_StreamAppend|BM_StoreAppend$|BM_ObsCounterInc|BM_ObsScopedTimer|BM_LsmPut$' \
+  --benchmark_min_time=0.05
+"${prefix}/tools/bench_compare" BENCH_micro.json "${bench_out}/BENCH_micro.json" \
+  --threshold-pct 75
+SS_BENCH_PROFILE=ci SS_SCALE_STREAMS=8 SS_SCALE_EVENTS=50000 \
+  SS_BENCH_OUT="${bench_out}/BENCH_scale.json" "${prefix}/bench/bench_scale"
+"${prefix}/tools/bench_compare" BENCH_scale.json "${bench_out}/BENCH_scale.json" \
+  --threshold-pct 75
 echo "=== ci.sh: all green ==="

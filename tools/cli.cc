@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cstdlib>
 #include <sstream>
 
 namespace ss {
@@ -199,6 +200,77 @@ StatusOr<Event> ParseCsvLine(const std::string& line) {
     return Status::InvalidArgument("bad ts,value line: " + line);
   }
   return event;
+}
+
+StatusOr<std::map<std::string, double>> ParseMetricsJson(const std::string& json) {
+  // Line-oriented scanner for the exact shape RenderJson emits: one entry
+  // per line, 4-space indented, `"key": <number>` (counters/gauges) or
+  // `"key": {"count": n, ...}` (histograms). Not a general JSON parser.
+  std::map<std::string, double> out;
+  size_t pos = 0;
+  while (pos <= json.size()) {
+    size_t eol = json.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = json.size();
+    }
+    const std::string line = json.substr(pos, eol - pos);
+    pos = eol + 1;
+    size_t q = line.find('"');
+    if (q == std::string::npos) {
+      continue;
+    }
+    // Extract the key, honoring the \" escapes labeled keys carry.
+    std::string key;
+    size_t i = q + 1;
+    bool closed = false;
+    for (; i < line.size(); ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        key += line[++i];
+        continue;
+      }
+      if (line[i] == '"') {
+        closed = true;
+        break;
+      }
+      key += line[i];
+    }
+    if (!closed || i + 1 >= line.size() || line[i + 1] != ':') {
+      continue;
+    }
+    std::string rest = line.substr(i + 2);
+    size_t start = rest.find_first_not_of(' ');
+    if (start == std::string::npos) {
+      continue;
+    }
+    if (rest[start] == '{') {
+      // Histogram object — flatten, or a section header ("counters": {) when
+      // the brace has no fields on the same line.
+      size_t p = start;
+      while (true) {
+        size_t k1 = rest.find('"', p);
+        if (k1 == std::string::npos) {
+          break;
+        }
+        size_t k2 = rest.find('"', k1 + 1);
+        if (k2 == std::string::npos) {
+          break;
+        }
+        size_t colon = rest.find(':', k2);
+        if (colon == std::string::npos) {
+          break;
+        }
+        out[key + "." + rest.substr(k1 + 1, k2 - k1 - 1)] =
+            std::strtod(rest.c_str() + colon + 1, nullptr);
+        p = colon + 1;
+      }
+    } else if (rest[start] == '-' || (rest[start] >= '0' && rest[start] <= '9')) {
+      out[key] = std::strtod(rest.c_str() + start, nullptr);
+    }
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("no metrics found (expected sstool stats --format json)");
+  }
+  return out;
 }
 
 }  // namespace ss

@@ -46,6 +46,13 @@ StatusOr<ParsedArgs> ParseArgs(int argc, const char* const* argv, int begin,
 // and blank lines yield nullopt-equivalent via kNotFound).
 StatusOr<Event> ParseCsvLine(const std::string& line);
 
+// Flattens a MetricRegistry::RenderJson() document (what `sstool stats
+// --format json` prints and what flight bundles embed) into metric -> value.
+// Counters and gauges keep their key; histogram fields become "key.count",
+// "key.p50", etc. Labeled keys round-trip through the \" escapes RenderJson
+// emits. Used by `sstool stats --diff` and `sstool flight --metrics`.
+StatusOr<std::map<std::string, double>> ParseMetricsJson(const std::string& json);
+
 }  // namespace ss
 
 #endif  // SUMMARYSTORE_TOOLS_CLI_H_

@@ -10,16 +10,23 @@
 //   sstool landmark --dir D --stream N --begin T | --end T
 //   sstool info    --dir D [--stream N]
 //   sstool stats   --dir D [--format prom|json]
+//   sstool stats   --diff A.json B.json            (offline; no --dir needed)
 //   sstool scrub   --dir D [--dry-run]
 //   sstool delete  --dir D --stream N
+//   sstool flight  <bundle.bin|dir> [--since US] [--metrics]
 //
 // `query --explain` additionally prints the per-query trace: windows scanned,
-// bytes read, window/block cache hits and misses, and the estimator's CI.
-// Degraded answers (quarantined windows in range) are flagged with the
-// missing time spans. `stats` dumps the process metric registry (plus
-// store-level gauges) in Prometheus text format or JSON. `scrub` re-verifies
-// every persisted checksum, quarantining and (without --dry-run) repairing
-// corrupt windows by folding them into their intact left neighbors.
+// bytes read, window/block cache hits and misses, per-phase latency, and the
+// estimator's CI. Degraded answers (quarantined windows in range) are flagged
+// with the missing time spans. `stats` dumps the process metric registry
+// (plus store-level gauges) in Prometheus text format or JSON; `stats --diff`
+// compares two saved `--format json` snapshots and prints the metric deltas.
+// `scrub` re-verifies every persisted checksum, quarantining and (without
+// --dry-run) repairing corrupt windows by folding them into their intact left
+// neighbors. `flight` decodes a flight-recorder bundle (written to
+// <store>/debug/ when a store poisons or the process takes a fatal signal)
+// into a human-readable event timeline; given a directory it picks the
+// newest flight-*.bin under it (or its debug/ subdirectory).
 //
 // Exit code 0 on success; errors go to stderr.
 #include <cinttypes>
@@ -28,7 +35,9 @@
 #include <iostream>
 
 #include "src/core/summary_store.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/storage/file_util.h"
 #include "tools/cli.h"
 
 namespace ss {
@@ -42,6 +51,8 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: sstool <create|ingest|query|landmark|info|stats|scrub|delete> --dir DIR [flags]\n"
+               "       sstool stats --diff A.json B.json\n"
+               "       sstool flight <bundle.bin|dir> [--since US] [--metrics]\n"
                "run with a command and no flags for per-command help in the header comment\n");
   return 2;
 }
@@ -207,7 +218,47 @@ int CmdQuery(const ParsedArgs& args) {
   return 0;
 }
 
+// Offline diff of two saved `stats --format json` snapshots.
+int CmdStatsDiff(const ParsedArgs& args) {
+  if (args.positional.size() != 2) {
+    return Fail(Status::InvalidArgument("stats --diff takes two metrics-JSON files"));
+  }
+  std::map<std::string, double> maps[2];
+  for (int i = 0; i < 2; ++i) {
+    auto text = ReadFileToString(args.positional[static_cast<size_t>(i)]);
+    if (!text.ok()) {
+      return Fail(text.status());
+    }
+    auto parsed = ParseMetricsJson(*text);
+    if (!parsed.ok()) {
+      return Fail(parsed.status());
+    }
+    maps[i] = std::move(*parsed);
+  }
+  std::map<std::string, double> all;
+  all.insert(maps[0].begin(), maps[0].end());
+  all.insert(maps[1].begin(), maps[1].end());
+  uint64_t changed = 0;
+  for (const auto& [key, unused] : all) {
+    (void)unused;
+    auto a = maps[0].find(key);
+    auto b = maps[1].find(key);
+    const double va = a != maps[0].end() ? a->second : 0.0;
+    const double vb = b != maps[1].end() ? b->second : 0.0;
+    if (va == vb) {
+      continue;
+    }
+    ++changed;
+    std::printf("%-64s %14.6g -> %-14.6g (%+.6g)\n", key.c_str(), va, vb, vb - va);
+  }
+  std::printf("%" PRIu64 " of %zu metrics changed\n", changed, all.size());
+  return 0;
+}
+
 int CmdStats(const ParsedArgs& args) {
+  if (args.Has("diff")) {
+    return CmdStatsDiff(args);
+  }
   auto store = OpenStore(args);
   if (!store.ok()) {
     return Fail(store.status());
@@ -329,12 +380,59 @@ int CmdDelete(const ParsedArgs& args) {
   return 0;
 }
 
+// Decode a flight-recorder bundle (or the newest one under a directory).
+int CmdFlight(const ParsedArgs& args) {
+  if (args.positional.empty()) {
+    return Fail(Status::InvalidArgument("usage: sstool flight <bundle.bin|dir> [--since US] [--metrics]"));
+  }
+  std::string path = args.positional[0];
+  if (ListDir(path).ok()) {
+    // Directory: pick the newest flight-<wall-us>.bin in it or its debug/.
+    std::string best;
+    uint64_t best_ts = 0;
+    for (const std::string& dir : {path, path + "/debug"}) {
+      auto entries = ListDir(dir);
+      if (!entries.ok()) {
+        continue;
+      }
+      for (const std::string& name : *entries) {
+        if (name.rfind("flight-", 0) != 0 || name.size() < 12 ||
+            name.compare(name.size() - 4, 4, ".bin") != 0) {
+          continue;
+        }
+        uint64_t ts = std::strtoull(name.c_str() + 7, nullptr, 10);
+        if (best.empty() || ts > best_ts) {
+          best = dir + "/" + name;
+          best_ts = ts;
+        }
+      }
+    }
+    if (best.empty()) {
+      return Fail(Status::NotFound("no flight-*.bin bundles under " + path));
+    }
+    path = best;
+  }
+  auto bundle = ReadFlightBundle(path);
+  if (!bundle.ok()) {
+    return Fail(bundle.status());
+  }
+  double since = std::stod(args.GetOr("since", "0"));
+  std::printf("bundle: %s\n", path.c_str());
+  std::printf("%s", RenderFlightTimeline(*bundle, since).c_str());
+  if (args.Has("metrics")) {
+    std::printf("\nmetrics snapshot at dump time:\n%s", bundle->metrics_json.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
   }
+  // So a crash inside sstool itself leaves a decodable bundle behind.
+  FlightRecorder::Default().InstallCrashHandler();
   std::string command = argv[1];
-  auto args = ParseArgs(argc, argv, 2, {"explain", "poisson", "dry-run"});
+  auto args = ParseArgs(argc, argv, 2, {"explain", "poisson", "dry-run", "diff", "metrics"});
   if (!args.ok()) {
     return Fail(args.status());
   }
@@ -361,6 +459,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "delete") {
     return CmdDelete(*args);
+  }
+  if (command == "flight") {
+    return CmdFlight(*args);
   }
   return Usage();
 }
