@@ -1,0 +1,400 @@
+// Multi-connection load driver for sserver's service core (src/net/server.h),
+// run in-process against a loopback listener. Four phases:
+//
+//   1. load        — N pipelined connections (default 32), each appending to
+//                    its own stream with a bounded in-flight window; reports
+//                    aggregate appends/s and durable-ack latency percentiles.
+//   2. shed        — tiny admission budget + kShed: pipelined batches must be
+//                    rejected with kFailedPrecondition, never queued; the
+//                    ss_net_backpressure_shed_total delta proves the policy.
+//   3. block       — tiny admission budget + kBlock: the server stops reading
+//                    saturating connections (TCP pushback) instead of
+//                    shedding; every append is eventually acked, and the
+//                    ss_net_backpressure_blocked_total delta proves it.
+//   4. kill        — sync-WAL store, pipelined appends, Server::Abort() mid
+//                    stream (store leaked: no destructor flush); the store is
+//                    reopened and every acked append must have survived via
+//                    WAL replay. acked_lost must be 0.
+//
+// SS_NET_CONNS / SS_NET_EVENTS override the shape; SS_BENCH_PROFILE=ci
+// shrinks the per-connection event count for the CI perf-trajectory leg.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/obs/metrics.h"
+
+namespace {
+
+using namespace ss;
+using namespace ss::bench;
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  return std::strtoull(v, nullptr, 10);
+}
+
+StreamConfig BenchConfig() {
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  return config;
+}
+
+StatusOr<std::unique_ptr<SummaryStore>> OpenStore(const std::string& dir, bool sync_wal) {
+  StoreOptions options;
+  options.dir = dir;
+  options.lsm.sync_wal = sync_wal;
+  return SummaryStore::Open(options);
+}
+
+Counter& ShedCounter() {
+  return MetricRegistry::Default().GetCounter("ss_net_backpressure_shed_total");
+}
+Counter& BlockedCounter() {
+  return MetricRegistry::Default().GetCounter("ss_net_backpressure_blocked_total");
+}
+
+// One connection's worth of windowed pipelined appends: keeps up to `window`
+// requests in flight, records per-request ack latency, and returns the
+// number of successfully acked appends.
+struct ConnResult {
+  uint64_t acked = 0;
+  uint64_t rejected = 0;  // non-OK acks (sheds)
+  std::vector<double> ack_ms;
+  bool io_error = false;
+};
+
+ConnResult DriveConnection(uint16_t port, StreamId sid, uint64_t events, size_t window,
+                           const Stopwatch& epoch) {
+  ConnResult out;
+  auto client = net::Client::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    out.io_error = true;
+    return out;
+  }
+  net::Client& c = **client;
+  if (!c.CreateStream(sid, BenchConfig()).ok()) {
+    out.io_error = true;
+    return out;
+  }
+  out.ack_ms.reserve(events);
+  std::unordered_map<uint64_t, double> sent_us;
+  sent_us.reserve(window * 2);
+  uint64_t sent = 0;
+  Timestamp ts = 0;
+  while (sent < events || c.inflight() > 0) {
+    while (sent < events && c.inflight() < window) {
+      auto id = c.SendAppend(sid, ++ts, 1.0);
+      if (!id.ok()) {
+        out.io_error = true;
+        return out;
+      }
+      sent_us[*id] = epoch.ElapsedMicros();
+      ++sent;
+    }
+    auto ack = c.ReceiveAck();
+    if (!ack.ok()) {
+      out.io_error = true;  // server gone (kill phase) — acks so far stand
+      return out;
+    }
+    auto it = sent_us.find(ack->request_id);
+    if (it != sent_us.end()) {
+      out.ack_ms.push_back((epoch.ElapsedMicros() - it->second) / 1000.0);
+      sent_us.erase(it);
+    }
+    if (ack->status.ok()) {
+      ++out.acked;
+    } else {
+      ++out.rejected;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const char* profile_env = std::getenv("SS_BENCH_PROFILE");
+  const bool ci = profile_env != nullptr && std::strcmp(profile_env, "ci") == 0;
+  const int kConns = static_cast<int>(EnvU64("SS_NET_CONNS", 32));
+  const uint64_t kEvents = EnvU64("SS_NET_EVENTS", ci ? 2000 : 20000);
+  const size_t kWindow = 128;
+
+  BenchReport report("net");
+  report.AddMeta("profile", profile_env != nullptr ? profile_env : "default");
+  report.AddMeta("connections", std::to_string(kConns));
+  report.AddMeta("events_per_conn", std::to_string(kEvents));
+
+  // ------------------------------------------------------------ phase 1: load
+  std::printf("=== net: %d pipelined connections x %llu appends (window %zu) ===\n", kConns,
+              static_cast<unsigned long long>(kEvents), kWindow);
+  {
+    ScopedTempDir dir("net_load");
+    auto store = OpenStore(dir.path(), /*sync_wal=*/false);
+    if (!store.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
+      return 1;
+    }
+    auto server = net::Server::Start(store->get(), net::ServerOptions{});
+    if (!server.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", server.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch epoch;
+    std::vector<ConnResult> results(kConns);
+    std::vector<std::thread> threads;
+    threads.reserve(kConns);
+    for (int t = 0; t < kConns; ++t) {
+      threads.emplace_back([&, t] {
+        results[t] =
+            DriveConnection((*server)->port(), static_cast<StreamId>(t + 1), kEvents, kWindow, epoch);
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    const double wall_s = epoch.ElapsedSeconds();
+    uint64_t acked = 0;
+    std::vector<double> ack_ms;
+    for (const auto& r : results) {
+      if (r.io_error) {
+        std::fprintf(stderr, "load phase: connection hit an I/O error\n");
+        return 1;
+      }
+      acked += r.acked;
+      ack_ms.insert(ack_ms.end(), r.ack_ms.begin(), r.ack_ms.end());
+    }
+    const uint64_t expected = static_cast<uint64_t>(kConns) * kEvents;
+    if (acked != expected) {
+      std::fprintf(stderr, "load phase: acked %llu of %llu appends\n",
+                   static_cast<unsigned long long>(acked),
+                   static_cast<unsigned long long>(expected));
+      return 1;
+    }
+    const double rate = static_cast<double>(acked) / wall_s;
+    std::printf("load: %llu appends acked in %.2f s -> %.0f appends/s\n",
+                static_cast<unsigned long long>(acked), wall_s, rate);
+    std::printf("ack latency: p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n", Percentile(ack_ms, 50),
+                Percentile(ack_ms, 95), Percentile(ack_ms, 99));
+    report.Add("load_appends_per_sec", rate, "appends/s", "higher");
+    report.Add("ack_p50_ms", Percentile(ack_ms, 50), "ms", "lower");
+    report.Add("ack_p95_ms", Percentile(ack_ms, 95), "ms", "lower");
+    report.Add("ack_p99_ms", Percentile(ack_ms, 99), "ms", "lower");
+    (*server)->Stop();
+  }
+
+  // ------------------------------------------------------------ phase 2: shed
+  {
+    ScopedTempDir dir("net_shed");
+    auto store = OpenStore(dir.path(), /*sync_wal=*/false);
+    net::ServerOptions options;
+    options.ingest_queue_events = 512;
+    options.backpressure = net::ServerOptions::Backpressure::kShed;
+    auto server = net::Server::Start(store->get(), options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "shed server start failed\n");
+      return 1;
+    }
+    const uint64_t shed_before = ShedCounter().value();
+    const uint64_t shed_events = std::min<uint64_t>(kEvents, 4096);
+    Stopwatch epoch;
+    std::vector<ConnResult> results(kConns);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kConns; ++t) {
+      threads.emplace_back([&, t] {
+        // Window far beyond the global budget: most in-flight appends must
+        // be shed, and the connection must survive every rejection.
+        results[t] = DriveConnection((*server)->port(), static_cast<StreamId>(t + 1), shed_events,
+                                     /*window=*/1024, epoch);
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    uint64_t acked = 0, rejected = 0;
+    for (const auto& r : results) {
+      if (r.io_error) {
+        std::fprintf(stderr, "shed phase: connection hit an I/O error\n");
+        return 1;
+      }
+      acked += r.acked;
+      rejected += r.rejected;
+    }
+    const uint64_t shed_delta = ShedCounter().value() - shed_before;
+    std::printf("shed: %llu acked, %llu shed (metric delta %llu) with budget 512\n",
+                static_cast<unsigned long long>(acked), static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(shed_delta));
+    if (shed_delta == 0 || rejected == 0) {
+      std::fprintf(stderr, "shed phase: backpressure never engaged\n");
+      return 1;
+    }
+    report.Add("shed_rejected_requests", static_cast<double>(rejected), "requests", "higher");
+    (*server)->Stop();
+  }
+
+  // ----------------------------------------------------------- phase 3: block
+  {
+    ScopedTempDir dir("net_block");
+    auto store = OpenStore(dir.path(), /*sync_wal=*/false);
+    net::ServerOptions options;
+    options.ingest_queue_events = 512;
+    options.backpressure = net::ServerOptions::Backpressure::kBlock;
+    auto server = net::Server::Start(store->get(), options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "block server start failed\n");
+      return 1;
+    }
+    const uint64_t blocked_before = BlockedCounter().value();
+    const uint64_t block_events = std::min<uint64_t>(kEvents, 4096);
+    Stopwatch epoch;
+    std::vector<ConnResult> results(kConns);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kConns; ++t) {
+      threads.emplace_back([&, t] {
+        results[t] = DriveConnection((*server)->port(), static_cast<StreamId>(t + 1), block_events,
+                                     /*window=*/256, epoch);
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    const double wall_s = epoch.ElapsedSeconds();
+    uint64_t acked = 0;
+    for (const auto& r : results) {
+      if (r.io_error || r.rejected != 0) {
+        std::fprintf(stderr, "block phase: lost or rejected appends under kBlock\n");
+        return 1;
+      }
+      acked += r.acked;
+    }
+    const uint64_t blocked_delta = BlockedCounter().value() - blocked_before;
+    const double rate = static_cast<double>(acked) / wall_s;
+    std::printf("block: all %llu appends acked at %.0f appends/s; %llu block events\n",
+                static_cast<unsigned long long>(acked), rate,
+                static_cast<unsigned long long>(blocked_delta));
+    if (blocked_delta == 0) {
+      std::fprintf(stderr, "block phase: backpressure never engaged\n");
+      return 1;
+    }
+    report.Add("block_throttled_appends_per_sec", rate, "appends/s", "higher");
+    (*server)->Stop();
+  }
+
+  // ------------------------------------------------------------ phase 4: kill
+  {
+    ScopedTempDir dir("net_kill");
+    const uint64_t kill_events = std::min<uint64_t>(kEvents, 2000);
+    std::vector<ConnResult> results(kConns);
+    std::atomic<uint64_t> acks_seen{0};
+    {
+      auto store = OpenStore(dir.path(), /*sync_wal=*/true);
+      if (!store.ok()) {
+        std::fprintf(stderr, "kill store open failed\n");
+        return 1;
+      }
+      auto server = net::Server::Start(store->get(), net::ServerOptions{});
+      if (!server.ok()) {
+        std::fprintf(stderr, "kill server start failed\n");
+        return 1;
+      }
+      Stopwatch epoch;
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kConns; ++t) {
+        threads.emplace_back([&, t] {
+          auto client = net::Client::Connect("127.0.0.1", (*server)->port());
+          if (!client.ok()) {
+            results[t].io_error = true;
+            return;
+          }
+          net::Client& c = **client;
+          if (!c.CreateStream(static_cast<StreamId>(t + 1), BenchConfig()).ok()) {
+            results[t].io_error = true;
+            return;
+          }
+          Timestamp ts = 0;
+          uint64_t sent = 0;
+          while (sent < kill_events || c.inflight() > 0) {
+            while (sent < kill_events && c.inflight() < 64) {
+              if (!c.SendAppend(static_cast<StreamId>(t + 1), ++ts, 1.0).ok()) {
+                return;  // server killed mid-send: acks so far stand
+              }
+              ++sent;
+            }
+            auto ack = c.ReceiveAck();
+            if (!ack.ok()) {
+              return;  // reset/EOF: the kill
+            }
+            if (ack->status.ok()) {
+              ++results[t].acked;
+              acks_seen.fetch_add(1);
+            }
+          }
+        });
+      }
+      // Kill the server once a quarter of the fleet's appends are acked:
+      // enough traffic that acks are genuinely in flight everywhere.
+      const uint64_t kill_at = static_cast<uint64_t>(kConns) * kill_events / 4;
+      while (acks_seen.load() < kill_at) {
+        std::this_thread::yield();
+      }
+      (*server)->Abort();
+      for (auto& th : threads) {
+        th.join();
+      }
+      // Hard kill: leak the store so no destructor flush cleans up after us.
+      // WAL replay alone must account for every acked append.
+      (void)store->release();
+    }
+
+    auto reopened = OpenStore(dir.path(), /*sync_wal=*/true);
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "kill phase: reopen failed: %s\n",
+                   reopened.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t total_acked = 0, total_recovered = 0, lost = 0;
+    for (int t = 0; t < kConns; ++t) {
+      total_acked += results[t].acked;
+      auto stream = (*reopened)->GetStream(static_cast<StreamId>(t + 1));
+      const uint64_t recovered = stream.ok() ? (*stream)->element_count() : 0;
+      total_recovered += recovered;
+      if (recovered < results[t].acked) {
+        lost += results[t].acked - recovered;
+      }
+    }
+    std::printf("kill: %llu acked before abort, %llu recovered after replay, %llu lost\n",
+                static_cast<unsigned long long>(total_acked),
+                static_cast<unsigned long long>(total_recovered),
+                static_cast<unsigned long long>(lost));
+    if (lost != 0) {
+      std::fprintf(stderr, "kill phase: acked appends lost across kill+replay\n");
+      return 1;
+    }
+    report.Add("kill_acked_appends", static_cast<double>(total_acked), "appends", "higher");
+    report.Add("kill_acked_lost", static_cast<double>(lost), "appends", "lower");
+  }
+
+  std::printf("\nshape check: pipelining sustains the fleet, backpressure engages under "
+              "overload, and no acked append is lost to a hard kill.\n");
+  const char* out = std::getenv("SS_BENCH_OUT");
+  std::string report_path = out != nullptr ? out : "BENCH_net.json";
+  if (report.WriteFile(report_path)) {
+    std::printf("bench report written to %s\n", report_path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write bench report to %s\n", report_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -27,3 +27,5 @@ target_link_libraries(bench_micro PRIVATE
 set_target_properties(bench_micro PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 ss_bench(bench_ablation)
 ss_bench(bench_scale)
+ss_bench(bench_net)
+target_link_libraries(bench_net PRIVATE ss_net ss_obs)

@@ -109,6 +109,11 @@ class Reader {
         return Truncated("varint");
       }
       uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      // The 10th byte holds only bit 63: any higher payload bit encodes a
+      // value >= 2^64, which must fail rather than silently truncate.
+      if (shift == 63 && (byte & 0x7f) > 1) {
+        return Status::Corruption("varint overflows uint64");
+      }
       result |= static_cast<uint64_t>(byte & 0x7f) << shift;
       if ((byte & 0x80) == 0) {
         return result;
@@ -131,7 +136,9 @@ class Reader {
 
   StatusOr<std::string_view> ReadString() {
     SS_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
-    if (pos_ + n > data_.size()) {
+    // Compare against remaining() — `pos_ + n` wraps for attacker-controlled
+    // lengths near UINT64_MAX, passing the bounds check with a corrupted pos_.
+    if (n > remaining()) {
       return Truncated("string body");
     }
     std::string_view out = data_.substr(pos_, n);
@@ -140,7 +147,7 @@ class Reader {
   }
 
   StatusOr<std::string_view> ReadRaw(size_t n) {
-    if (pos_ + n > data_.size()) {
+    if (n > remaining()) {  // overflow-safe: never compute pos_ + n
       return Truncated("raw bytes");
     }
     std::string_view out = data_.substr(pos_, n);

@@ -37,11 +37,17 @@ size_t ThreadPool::DefaultThreadCount() {
 void ThreadPool::Enqueue(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    // Tasks submitted during shutdown still run: workers drain the queue
-    // before exiting, preserving the no-broken-promise guarantee.
-    queue_.push_back(Task{std::move(fn), Stopwatch()});
+    if (!stop_) {
+      queue_.push_back(Task{std::move(fn), Stopwatch()});
+      cv_.notify_one();
+      return;
+    }
+    // stop_ is set: a worker may already have observed an empty queue and
+    // exited, so a task pushed now could sit in the queue forever and break
+    // its promise. Fall through and run it on the submitting thread instead
+    // — every future handed out by Submit is still satisfied.
   }
-  cv_.notify_one();
+  fn();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -6,7 +6,10 @@
 //
 // Shutdown drains the queue: the destructor stops accepting new work, runs
 // everything already queued, then joins — so futures handed out before
-// destruction never throw broken_promise.
+// destruction never throw broken_promise. A Submit that races shutdown (e.g.
+// a running task submitting a follow-up while the destructor has already set
+// stop_) runs the task inline on the submitting thread rather than leaving
+// it stranded in a queue no worker will drain.
 #ifndef SUMMARYSTORE_SRC_COMMON_THREAD_POOL_H_
 #define SUMMARYSTORE_SRC_COMMON_THREAD_POOL_H_
 

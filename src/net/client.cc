@@ -1,0 +1,218 @@
+#include "src/net/client.h"
+
+#include <cstring>
+
+namespace ss::net {
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host, uint16_t port) {
+  std::unique_ptr<Client> client(new Client());
+  SS_ASSIGN_OR_RETURN(client->fd_, ConnectTcp(host, port));
+  return client;
+}
+
+StatusOr<uint64_t> Client::SendRequest(Opcode op, const Writer& body) {
+  const uint64_t id = next_id_++;
+  Writer payload;
+  EncodeRequestHeader(RequestHeader{id, op}, payload);
+  payload.PutRaw(body.data().data(), body.data().size());
+  std::string frame;
+  SS_RETURN_IF_ERROR(AppendFrame(payload.data(), &frame));
+  SS_RETURN_IF_ERROR(WriteFully(fd_.get(), frame));
+  ++inflight_;
+  return id;
+}
+
+Status Client::ReceiveFrame(std::string* payload) {
+  char prefix[4];
+  SS_RETURN_IF_ERROR(ReadFully(fd_.get(), prefix, sizeof(prefix)));
+  uint32_t len;
+  std::memcpy(&len, prefix, sizeof(len));
+  // The server is trusted more than the wild internet, but a corrupt length
+  // still must not drive a giant allocation.
+  if (len == 0 || len > kMaxFrameBytes) {
+    return Status::Corruption("response frame length out of range: " + std::to_string(len));
+  }
+  payload->resize(len);
+  SS_RETURN_IF_ERROR(ReadFully(fd_.get(), payload->data(), len));
+  if (inflight_ > 0) {
+    --inflight_;
+  }
+  return Status::Ok();
+}
+
+Status Client::Transact(Opcode op, const Writer& body, std::string* resp_body) {
+  SS_ASSIGN_OR_RETURN(uint64_t id, SendRequest(op, body));
+  std::string payload;
+  SS_RETURN_IF_ERROR(ReceiveFrame(&payload));
+  Reader reader(payload);
+  SS_ASSIGN_OR_RETURN(uint64_t echoed, reader.ReadVarint());
+  if (echoed != id) {
+    return Status::Internal("response id " + std::to_string(echoed) +
+                            " does not match request id " + std::to_string(id) +
+                            " (pipelined acks outstanding?)");
+  }
+  Status remote = Status::Ok();
+  SS_RETURN_IF_ERROR(DecodeStatus(reader, &remote));
+  SS_RETURN_IF_ERROR(remote);
+  if (resp_body != nullptr) {
+    SS_ASSIGN_OR_RETURN(std::string_view rest, reader.ReadRaw(reader.remaining()));
+    resp_body->assign(rest);
+  }
+  return Status::Ok();
+}
+
+Status Client::Ping() { return Transact(Opcode::kPing, Writer(), nullptr); }
+
+StatusOr<StreamId> Client::CreateStream(StreamId id, const StreamConfig& config) {
+  Writer body;
+  body.PutVarint(id);
+  config.Serialize(body);
+  std::string resp;
+  SS_RETURN_IF_ERROR(Transact(Opcode::kCreateStream, body, &resp));
+  Reader reader(resp);
+  SS_ASSIGN_OR_RETURN(uint64_t created, reader.ReadVarint());
+  return StreamId{created};
+}
+
+Status Client::DeleteStream(StreamId id) {
+  Writer body;
+  body.PutVarint(id);
+  return Transact(Opcode::kDeleteStream, body, nullptr);
+}
+
+StatusOr<std::vector<StreamId>> Client::ListStreams() {
+  std::string resp;
+  SS_RETURN_IF_ERROR(Transact(Opcode::kListStreams, Writer(), &resp));
+  Reader reader(resp);
+  SS_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+  if (n > reader.remaining()) {  // >= 1 byte per id
+    return Status::Corruption("stream-id count exceeds payload");
+  }
+  std::vector<StreamId> ids;
+  ids.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    SS_ASSIGN_OR_RETURN(uint64_t id, reader.ReadVarint());
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Status Client::Append(StreamId id, Timestamp ts, double value) {
+  Writer body;
+  body.PutVarint(id);
+  body.PutSignedVarint(ts);
+  body.PutDouble(value);
+  return Transact(Opcode::kAppend, body, nullptr);
+}
+
+Status Client::AppendBatch(StreamId id, std::span<const Event> events) {
+  Writer body;
+  body.PutVarint(id);
+  EncodeEventBatch(events, body);
+  return Transact(Opcode::kAppendBatch, body, nullptr);
+}
+
+StatusOr<WireQueryResult> Client::Query(StreamId id, const QuerySpec& spec) {
+  Writer body;
+  body.PutVarint(id);
+  EncodeQuerySpec(spec, body);
+  std::string resp;
+  SS_RETURN_IF_ERROR(Transact(Opcode::kQuery, body, &resp));
+  Reader reader(resp);
+  return DecodeQueryResult(reader);
+}
+
+StatusOr<WireQueryResult> Client::QueryAggregate(std::span<const StreamId> ids,
+                                                 const QuerySpec& spec) {
+  Writer body;
+  body.PutVarint(ids.size());
+  for (StreamId id : ids) {
+    body.PutVarint(id);
+  }
+  EncodeQuerySpec(spec, body);
+  std::string resp;
+  SS_RETURN_IF_ERROR(Transact(Opcode::kQueryAggregate, body, &resp));
+  Reader reader(resp);
+  return DecodeQueryResult(reader);
+}
+
+Status Client::BeginLandmark(StreamId id, Timestamp ts) {
+  Writer body;
+  body.PutVarint(id);
+  body.PutSignedVarint(ts);
+  return Transact(Opcode::kBeginLandmark, body, nullptr);
+}
+
+Status Client::EndLandmark(StreamId id, Timestamp ts) {
+  Writer body;
+  body.PutVarint(id);
+  body.PutSignedVarint(ts);
+  return Transact(Opcode::kEndLandmark, body, nullptr);
+}
+
+Status Client::Flush() { return Transact(Opcode::kFlush, Writer(), nullptr); }
+
+StatusOr<ScrubReport> Client::Scrub(bool repair) {
+  Writer body;
+  body.PutU8(repair ? 1 : 0);
+  std::string resp;
+  SS_RETURN_IF_ERROR(Transact(Opcode::kScrub, body, &resp));
+  Reader reader(resp);
+  return DecodeScrubReport(reader);
+}
+
+StatusOr<std::string> Client::Stats(bool prometheus) {
+  Writer body;
+  body.PutU8(prometheus ? 1 : 0);
+  std::string resp;
+  SS_RETURN_IF_ERROR(Transact(Opcode::kStats, body, &resp));
+  Reader reader(resp);
+  SS_ASSIGN_OR_RETURN(std::string_view text, reader.ReadString());
+  return std::string(text);
+}
+
+StatusOr<std::vector<StreamInfo>> Client::StreamInfos(StreamId id) {
+  Writer body;
+  body.PutVarint(id);
+  std::string resp;
+  SS_RETURN_IF_ERROR(Transact(Opcode::kStreamInfo, body, &resp));
+  Reader reader(resp);
+  SS_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+  if (n > reader.remaining()) {
+    return Status::Corruption("stream-info count exceeds payload");
+  }
+  std::vector<StreamInfo> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    SS_ASSIGN_OR_RETURN(StreamInfo info, DecodeStreamInfo(reader));
+    rows.push_back(std::move(info));
+  }
+  return rows;
+}
+
+StatusOr<uint64_t> Client::SendAppend(StreamId id, Timestamp ts, double value) {
+  Writer body;
+  body.PutVarint(id);
+  body.PutSignedVarint(ts);
+  body.PutDouble(value);
+  return SendRequest(Opcode::kAppend, body);
+}
+
+StatusOr<uint64_t> Client::SendAppendBatch(StreamId id, std::span<const Event> events) {
+  Writer body;
+  body.PutVarint(id);
+  EncodeEventBatch(events, body);
+  return SendRequest(Opcode::kAppendBatch, body);
+}
+
+StatusOr<Client::Ack> Client::ReceiveAck() {
+  std::string payload;
+  SS_RETURN_IF_ERROR(ReceiveFrame(&payload));
+  Reader reader(payload);
+  Ack ack;
+  SS_ASSIGN_OR_RETURN(ack.request_id, reader.ReadVarint());
+  SS_RETURN_IF_ERROR(DecodeStatus(reader, &ack.status));
+  return ack;
+}
+
+}  // namespace ss::net

@@ -1,0 +1,86 @@
+// Blocking client for the sserver wire protocol (src/net/protocol.h). One
+// Client owns one TCP connection and is NOT thread-safe; open one per thread.
+//
+// Two usage styles:
+//   - Synchronous RPCs (Ping/CreateStream/Append/Query/...): one frame out,
+//     one frame back. This is what sstool --connect uses.
+//   - Pipelined ingest (SendAppend/SendAppendBatch + ReceiveAck): queue many
+//     requests without waiting, then drain acks and match them by the echoed
+//     request_id. bench_net drives the server this way.
+#ifndef SUMMARYSTORE_SRC_NET_CLIENT_H_
+#define SUMMARYSTORE_SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/stream.h"
+#include "src/net/protocol.h"
+#include "src/net/socket.h"
+
+namespace ss::net {
+
+class Client {
+ public:
+  static StatusOr<std::unique_ptr<Client>> Connect(const std::string& host, uint16_t port);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- synchronous RPCs ----------------------------------------------------
+  Status Ping();
+  // id 0 asks the server to assign one; returns the created id.
+  StatusOr<StreamId> CreateStream(StreamId id, const StreamConfig& config);
+  Status DeleteStream(StreamId id);
+  StatusOr<std::vector<StreamId>> ListStreams();
+  Status Append(StreamId id, Timestamp ts, double value);
+  Status AppendBatch(StreamId id, std::span<const Event> events);
+  StatusOr<WireQueryResult> Query(StreamId id, const QuerySpec& spec);
+  StatusOr<WireQueryResult> QueryAggregate(std::span<const StreamId> ids, const QuerySpec& spec);
+  Status BeginLandmark(StreamId id, Timestamp ts);
+  Status EndLandmark(StreamId id, Timestamp ts);
+  Status Flush();
+  StatusOr<ScrubReport> Scrub(bool repair);
+  // format: true = Prometheus text, false = JSON.
+  StatusOr<std::string> Stats(bool prometheus);
+  // id 0 = all streams.
+  StatusOr<std::vector<StreamInfo>> StreamInfos(StreamId id);
+
+  // --- pipelined ingest ----------------------------------------------------
+  // Queue an ingest request without waiting for its ack; returns the
+  // request_id to match against ReceiveAck. Must not be interleaved with the
+  // synchronous RPCs above while acks are outstanding.
+  StatusOr<uint64_t> SendAppend(StreamId id, Timestamp ts, double value);
+  StatusOr<uint64_t> SendAppendBatch(StreamId id, std::span<const Event> events);
+
+  struct Ack {
+    uint64_t request_id = 0;
+    Status status = Status::Ok();
+  };
+  // Blocks for the next response frame. IoError on disconnect (e.g. the
+  // server was killed with acks outstanding).
+  StatusOr<Ack> ReceiveAck();
+  size_t inflight() const { return inflight_; }
+
+ private:
+  Client() = default;
+
+  // Sends one request frame (header + body) and returns its request_id.
+  StatusOr<uint64_t> SendRequest(Opcode op, const Writer& body);
+  // Reads one whole response frame into `payload`.
+  Status ReceiveFrame(std::string* payload);
+  // Synchronous round trip: send, await the matching response, decode the
+  // status; on success `resp_body` holds the bytes after the status.
+  Status Transact(Opcode op, const Writer& body, std::string* resp_body);
+
+  Fd fd_;
+  uint64_t next_id_ = 1;
+  size_t inflight_ = 0;
+};
+
+}  // namespace ss::net
+
+#endif  // SUMMARYSTORE_SRC_NET_CLIENT_H_

@@ -1,0 +1,278 @@
+#include "src/net/protocol.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace ss::net {
+namespace {
+
+// Smallest possible wire size of one event: 1-byte ts varint + 8-byte double.
+constexpr size_t kMinEventBytes = 9;
+
+Status CheckFinite(double v, const char* what) {
+  if (!std::isfinite(v)) {
+    return Status::Corruption(std::string("non-finite ") + what + " in query spec");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kPing:
+      return "ping";
+    case Opcode::kCreateStream:
+      return "create_stream";
+    case Opcode::kDeleteStream:
+      return "delete_stream";
+    case Opcode::kListStreams:
+      return "list_streams";
+    case Opcode::kAppend:
+      return "append";
+    case Opcode::kAppendBatch:
+      return "append_batch";
+    case Opcode::kQuery:
+      return "query";
+    case Opcode::kQueryAggregate:
+      return "query_aggregate";
+    case Opcode::kBeginLandmark:
+      return "begin_landmark";
+    case Opcode::kEndLandmark:
+      return "end_landmark";
+    case Opcode::kFlush:
+      return "flush";
+    case Opcode::kScrub:
+      return "scrub";
+    case Opcode::kStats:
+      return "stats";
+    case Opcode::kStreamInfo:
+      return "stream_info";
+  }
+  return "unknown";
+}
+
+Status AppendFrame(std::string_view payload, std::string* out) {
+  if (payload.empty() || payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload size out of range: " +
+                                   std::to_string(payload.size()));
+  }
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  char prefix[4];
+  std::memcpy(prefix, &len, sizeof(len));
+  out->append(prefix, sizeof(prefix));
+  out->append(payload.data(), payload.size());
+  return Status::Ok();
+}
+
+StatusOr<FrameScan> ScanFrame(std::string_view buf, size_t max_frame_bytes) {
+  FrameScan scan;
+  if (buf.size() < 4) {
+    scan.frame_end = 4;
+    return scan;
+  }
+  uint32_t len;
+  std::memcpy(&len, buf.data(), sizeof(len));
+  if (len == 0 || len > max_frame_bytes) {
+    return Status::Corruption("frame length out of range: " + std::to_string(len));
+  }
+  if (buf.size() < 4 + static_cast<size_t>(len)) {
+    scan.frame_end = 4 + static_cast<size_t>(len);
+    return scan;
+  }
+  scan.complete = true;
+  scan.frame_end = 4 + static_cast<size_t>(len);
+  scan.payload = buf.substr(4, len);
+  return scan;
+}
+
+void EncodeRequestHeader(const RequestHeader& header, Writer& writer) {
+  writer.PutVarint(header.request_id);
+  writer.PutU8(static_cast<uint8_t>(header.op));
+}
+
+StatusOr<RequestHeader> DecodeRequestHeader(Reader& reader) {
+  RequestHeader header;
+  SS_ASSIGN_OR_RETURN(header.request_id, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint8_t op, reader.ReadU8());
+  if (op > static_cast<uint8_t>(Opcode::kMaxOpcode)) {
+    return Status::Corruption("unknown opcode: " + std::to_string(op));
+  }
+  header.op = static_cast<Opcode>(op);
+  return header;
+}
+
+void EncodeQuerySpec(const QuerySpec& spec, Writer& writer) {
+  writer.PutSignedVarint(spec.t1);
+  writer.PutSignedVarint(spec.t2);
+  writer.PutU8(static_cast<uint8_t>(spec.op));
+  writer.PutDouble(spec.value);
+  writer.PutDouble(spec.quantile_q);
+  writer.PutDouble(spec.value_lo);
+  writer.PutDouble(spec.value_hi);
+  writer.PutDouble(spec.confidence);
+  writer.PutU8(spec.collect_trace ? 1 : 0);
+}
+
+StatusOr<QuerySpec> DecodeQuerySpec(Reader& reader) {
+  QuerySpec spec;
+  SS_ASSIGN_OR_RETURN(spec.t1, reader.ReadSignedVarint());
+  SS_ASSIGN_OR_RETURN(spec.t2, reader.ReadSignedVarint());
+  SS_ASSIGN_OR_RETURN(uint8_t op, reader.ReadU8());
+  if (op > static_cast<uint8_t>(QueryOp::kValueRangeCount)) {
+    return Status::Corruption("unknown query op: " + std::to_string(op));
+  }
+  spec.op = static_cast<QueryOp>(op);
+  SS_ASSIGN_OR_RETURN(spec.value, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(spec.quantile_q, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(spec.value_lo, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(spec.value_hi, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(spec.confidence, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(uint8_t trace, reader.ReadU8());
+  spec.collect_trace = trace != 0;
+  // The estimator layer assumes sane parameters; NaN/Inf from a hostile
+  // frame must not reach it.
+  SS_RETURN_IF_ERROR(CheckFinite(spec.quantile_q, "quantile"));
+  SS_RETURN_IF_ERROR(CheckFinite(spec.confidence, "confidence"));
+  if (spec.confidence <= 0.0 || spec.confidence >= 1.0) {
+    return Status::Corruption("confidence outside (0, 1)");
+  }
+  return spec;
+}
+
+void EncodeQueryResult(const QueryResult& result, std::string_view trace_text, Writer& writer) {
+  writer.PutDouble(result.estimate);
+  writer.PutU8(result.bool_answer ? 1 : 0);
+  writer.PutDouble(result.ci_lo);
+  writer.PutDouble(result.ci_hi);
+  writer.PutDouble(result.confidence);
+  writer.PutU8(result.exact ? 1 : 0);
+  writer.PutU8(result.degraded ? 1 : 0);
+  writer.PutVarint(result.windows_read);
+  writer.PutVarint(result.landmark_events);
+  writer.PutVarint(result.skipped_spans.size());
+  for (const auto& [a, b] : result.skipped_spans) {
+    writer.PutSignedVarint(a);
+    writer.PutSignedVarint(b);
+  }
+  writer.PutString(trace_text);
+}
+
+StatusOr<WireQueryResult> DecodeQueryResult(Reader& reader) {
+  WireQueryResult out;
+  QueryResult& r = out.result;
+  SS_ASSIGN_OR_RETURN(r.estimate, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(uint8_t bool_answer, reader.ReadU8());
+  r.bool_answer = bool_answer != 0;
+  SS_ASSIGN_OR_RETURN(r.ci_lo, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(r.ci_hi, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(r.confidence, reader.ReadDouble());
+  SS_ASSIGN_OR_RETURN(uint8_t exact, reader.ReadU8());
+  r.exact = exact != 0;
+  SS_ASSIGN_OR_RETURN(uint8_t degraded, reader.ReadU8());
+  r.degraded = degraded != 0;
+  SS_ASSIGN_OR_RETURN(uint64_t windows_read, reader.ReadVarint());
+  r.windows_read = static_cast<size_t>(windows_read);
+  SS_ASSIGN_OR_RETURN(uint64_t landmark_events, reader.ReadVarint());
+  r.landmark_events = static_cast<size_t>(landmark_events);
+  SS_ASSIGN_OR_RETURN(uint64_t n_spans, reader.ReadVarint());
+  // Two 1-byte svarints minimum per span: cross-check before the loop so a
+  // hostile count cannot drive a long bounded-only-by-overflow loop.
+  if (n_spans > reader.remaining() / 2) {
+    return Status::Corruption("skipped-span count exceeds payload");
+  }
+  for (uint64_t i = 0; i < n_spans; ++i) {
+    SS_ASSIGN_OR_RETURN(int64_t a, reader.ReadSignedVarint());
+    SS_ASSIGN_OR_RETURN(int64_t b, reader.ReadSignedVarint());
+    r.skipped_spans.emplace_back(a, b);
+  }
+  SS_ASSIGN_OR_RETURN(std::string_view trace, reader.ReadString());
+  out.trace_text.assign(trace);
+  return out;
+}
+
+void EncodeScrubReport(const ScrubReport& report, Writer& writer) {
+  writer.PutVarint(report.windows_checked);
+  writer.PutVarint(report.landmarks_checked);
+  writer.PutVarint(report.errors);
+  writer.PutVarint(report.quarantined);
+  writer.PutVarint(report.repaired);
+  writer.PutVarint(report.healed);
+}
+
+StatusOr<ScrubReport> DecodeScrubReport(Reader& reader) {
+  ScrubReport report;
+  SS_ASSIGN_OR_RETURN(report.windows_checked, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(report.landmarks_checked, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(report.errors, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(report.quarantined, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(report.repaired, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(report.healed, reader.ReadVarint());
+  return report;
+}
+
+void EncodeStreamInfo(const StreamInfo& info, Writer& writer) {
+  writer.PutVarint(info.id);
+  writer.PutVarint(info.element_count);
+  writer.PutVarint(info.landmark_element_count);
+  writer.PutVarint(info.window_count);
+  writer.PutVarint(info.landmark_window_count);
+  writer.PutVarint(info.size_bytes);
+  writer.PutString(info.decay);
+}
+
+StatusOr<StreamInfo> DecodeStreamInfo(Reader& reader) {
+  StreamInfo info;
+  SS_ASSIGN_OR_RETURN(info.id, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(info.element_count, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(info.landmark_element_count, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(info.window_count, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(info.landmark_window_count, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(info.size_bytes, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(std::string_view decay, reader.ReadString());
+  info.decay.assign(decay);
+  return info;
+}
+
+void EncodeStatus(const Status& status, Writer& writer) {
+  writer.PutU8(static_cast<uint8_t>(status.code()));
+  writer.PutString(status.ok() ? std::string_view() : std::string_view(status.message()));
+}
+
+Status DecodeStatus(Reader& reader, Status* out) {
+  SS_ASSIGN_OR_RETURN(uint8_t code, reader.ReadU8());
+  if (code > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+    return Status::Corruption("unknown status code: " + std::to_string(code));
+  }
+  SS_ASSIGN_OR_RETURN(std::string_view message, reader.ReadString());
+  *out = Status(static_cast<StatusCode>(code), std::string(message));
+  return Status::Ok();
+}
+
+void EncodeEventBatch(std::span<const Event> events, Writer& writer) {
+  writer.PutVarint(events.size());
+  for (const Event& e : events) {
+    writer.PutSignedVarint(e.ts);
+    writer.PutDouble(e.value);
+  }
+}
+
+StatusOr<std::vector<Event>> DecodeEventBatch(Reader& reader) {
+  SS_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+  // The count is advisory; the bytes are the ground truth. Reject a count
+  // the remaining payload cannot possibly hold before allocating anything.
+  if (n > reader.remaining() / kMinEventBytes) {
+    return Status::Corruption("event-batch count exceeds payload: " + std::to_string(n));
+  }
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Event e;
+    SS_ASSIGN_OR_RETURN(e.ts, reader.ReadSignedVarint());
+    SS_ASSIGN_OR_RETURN(e.value, reader.ReadDouble());
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace ss::net

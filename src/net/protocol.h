@@ -1,0 +1,119 @@
+// Wire protocol for sserver (DESIGN.md §12): length-prefixed binary frames
+// whose payloads are encoded with the ss_common serde Writer/Reader.
+//
+//   frame    := u32-LE payload_length | payload          (length excludes the prefix)
+//   request  := varint request_id | u8 opcode | body
+//   response := varint request_id | u8 status_code | string message | body
+//
+// request_id is chosen by the client and echoed verbatim, so clients may
+// pipeline many requests per connection and match responses by id (the
+// server may complete them out of order). Every decoder here treats its
+// input as hostile: lengths are checked against what is actually present
+// (never trusted for allocation), enums are range-checked, and any
+// malformed byte yields kCorruption — the server then fails the connection
+// closed instead of crashing.
+#ifndef SUMMARYSTORE_SRC_NET_PROTOCOL_H_
+#define SUMMARYSTORE_SRC_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/status.h"
+#include "src/core/query.h"
+#include "src/core/stream.h"
+
+namespace ss::net {
+
+// Hard ceiling on one frame's payload; a length field above this is treated
+// as protocol corruption and fails the connection (16 MiB comfortably holds
+// the largest sanctioned request, a ~64k-event append batch).
+inline constexpr size_t kMaxFrameBytes = 16u << 20;
+
+enum class Opcode : uint8_t {
+  kPing = 0,
+  kCreateStream = 1,    // body: varint id (0 = auto) | StreamConfig       -> varint id
+  kDeleteStream = 2,    // body: varint id                                 -> (empty)
+  kListStreams = 3,     // body: (empty)                                   -> varint n | n×varint id
+  kAppend = 4,          // body: varint id | svarint ts | double value     -> (empty)
+  kAppendBatch = 5,     // body: varint id | varint n | n×(svarint,double) -> (empty)
+  kQuery = 6,           // body: varint id | QuerySpec                     -> WireQueryResult
+  kQueryAggregate = 7,  // body: varint n | n×varint id | QuerySpec        -> WireQueryResult
+  kBeginLandmark = 8,   // body: varint id | svarint ts                    -> (empty)
+  kEndLandmark = 9,     // body: varint id | svarint ts                    -> (empty)
+  kFlush = 10,          // body: (empty)                                   -> (empty)
+  kScrub = 11,          // body: u8 repair                                 -> ScrubReport
+  kStats = 12,          // body: u8 format (0 json, 1 prom)                -> string
+  kStreamInfo = 13,     // body: varint id (0 = all)                       -> varint n | n×StreamInfo
+  kMaxOpcode = kStreamInfo,
+};
+
+// Human-readable opcode label (metric label values; fuzz-test diagnostics).
+const char* OpcodeName(Opcode op);
+
+// --------------------------------------------------------------- framing
+// Appends one frame (length prefix + payload) to `out`. Fails if the
+// payload exceeds kMaxFrameBytes.
+Status AppendFrame(std::string_view payload, std::string* out);
+
+// Scans a receive buffer for one complete frame.
+struct FrameScan {
+  bool complete = false;        // false: need more bytes (frame_end = total needed so far)
+  size_t frame_end = 0;         // bytes consumed by this frame once complete
+  std::string_view payload;     // valid only when complete
+};
+// kCorruption on a length field of 0 or > max_frame_bytes; such a
+// connection cannot be resynchronized and must be closed.
+StatusOr<FrameScan> ScanFrame(std::string_view buf, size_t max_frame_bytes = kMaxFrameBytes);
+
+// ------------------------------------------------------------ body codecs
+struct RequestHeader {
+  uint64_t request_id = 0;
+  Opcode op = Opcode::kPing;
+};
+void EncodeRequestHeader(const RequestHeader& header, Writer& writer);
+StatusOr<RequestHeader> DecodeRequestHeader(Reader& reader);
+
+void EncodeQuerySpec(const QuerySpec& spec, Writer& writer);
+StatusOr<QuerySpec> DecodeQuerySpec(Reader& reader);
+
+// QueryResult plus the server-rendered trace text (remote `--explain`).
+struct WireQueryResult {
+  QueryResult result;
+  std::string trace_text;
+};
+void EncodeQueryResult(const QueryResult& result, std::string_view trace_text, Writer& writer);
+StatusOr<WireQueryResult> DecodeQueryResult(Reader& reader);
+
+void EncodeScrubReport(const ScrubReport& report, Writer& writer);
+StatusOr<ScrubReport> DecodeScrubReport(Reader& reader);
+
+// Per-stream row of `sstool info`, as served by kStreamInfo.
+struct StreamInfo {
+  StreamId id = 0;
+  uint64_t element_count = 0;
+  uint64_t landmark_element_count = 0;
+  uint64_t window_count = 0;
+  uint64_t landmark_window_count = 0;
+  uint64_t size_bytes = 0;
+  std::string decay;  // DecayFunction::Describe()
+};
+void EncodeStreamInfo(const StreamInfo& info, Writer& writer);
+StatusOr<StreamInfo> DecodeStreamInfo(Reader& reader);
+
+// Response status: u8 code | string message. (Out-param rather than
+// StatusOr<Status>: the decoded status is a value here, not an error.)
+void EncodeStatus(const Status& status, Writer& writer);
+Status DecodeStatus(Reader& reader, Status* out);
+
+// Decoded events of a kAppendBatch body (count field is cross-checked
+// against the bytes actually present, never used to size an allocation).
+StatusOr<std::vector<Event>> DecodeEventBatch(Reader& reader);
+void EncodeEventBatch(std::span<const Event> events, Writer& writer);
+
+}  // namespace ss::net
+
+#endif  // SUMMARYSTORE_SRC_NET_PROTOCOL_H_

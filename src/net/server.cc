@@ -1,0 +1,978 @@
+#include "src/net/server.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace ss::net {
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+Counter& AcceptTotal() {
+  static Counter& c = MetricRegistry::Default().GetCounter("ss_net_accept_total");
+  return c;
+}
+Gauge& ConnActive() {
+  static Gauge& g = MetricRegistry::Default().GetGauge("ss_net_conn_active");
+  return g;
+}
+Counter& FrameErrors() {
+  static Counter& c = MetricRegistry::Default().GetCounter("ss_net_frame_errors_total");
+  return c;
+}
+Counter& RequestErrors() {
+  static Counter& c = MetricRegistry::Default().GetCounter("ss_net_request_errors_total");
+  return c;
+}
+Counter& ShedTotal() {
+  static Counter& c = MetricRegistry::Default().GetCounter("ss_net_backpressure_shed_total");
+  return c;
+}
+Counter& BlockedTotal() {
+  static Counter& c = MetricRegistry::Default().GetCounter("ss_net_backpressure_blocked_total");
+  return c;
+}
+Counter& BytesRead() {
+  static Counter& c = MetricRegistry::Default().GetCounter("ss_net_bytes_read_total");
+  return c;
+}
+Counter& BytesWritten() {
+  static Counter& c = MetricRegistry::Default().GetCounter("ss_net_bytes_written_total");
+  return c;
+}
+Gauge& IngestPending() {
+  static Gauge& g = MetricRegistry::Default().GetGauge("ss_net_ingest_pending_events");
+  return g;
+}
+LatencyHistogram& AckFlushUs() {
+  static LatencyHistogram& h = MetricRegistry::Default().GetHistogram("ss_net_ack_flush_us");
+  return h;
+}
+LatencyHistogram& AckBatch() {
+  static LatencyHistogram& h =
+      MetricRegistry::Default().GetHistogram("ss_net_ack_batch_requests");
+  return h;
+}
+
+Counter& RequestsFor(Opcode op) {
+  return MetricRegistry::Default().GetCounter(
+      "ss_net_requests_total", std::string("op=\"") + OpcodeName(op) + "\"");
+}
+LatencyHistogram& RequestUsFor(Opcode op) {
+  return MetricRegistry::Default().GetHistogram(
+      "ss_net_request_us", std::string("op=\"") + OpcodeName(op) + "\"");
+}
+
+// Refreshes the store-level gauges `sstool stats` documents, then renders.
+std::string RenderStats(SummaryStore* store, bool json) {
+  MetricRegistry& registry = MetricRegistry::Default();
+  std::vector<StreamId> ids = store->ListStreams();
+  registry.GetGauge("ss_store_streams").Set(static_cast<int64_t>(ids.size()));
+  registry.GetGauge("ss_store_size_bytes").Set(static_cast<int64_t>(store->TotalSizeBytes()));
+  registry.GetGauge("ss_store_backend_bytes")
+      .Set(static_cast<int64_t>(store->backend().ApproximateSizeBytes()));
+  uint64_t windows = 0;
+  uint64_t events = 0;
+  uint64_t landmarks = 0;
+  for (StreamId id : ids) {
+    auto stream = store->GetStream(id);
+    if (!stream.ok()) {
+      continue;  // deleted concurrently
+    }
+    windows += (*stream)->window_count();
+    events += (*stream)->element_count();
+    landmarks += (*stream)->landmark_window_count();
+  }
+  registry.GetGauge("ss_store_windows").Set(static_cast<int64_t>(windows));
+  registry.GetGauge("ss_store_events").Set(static_cast<int64_t>(events));
+  registry.GetGauge("ss_store_landmark_windows").Set(static_cast<int64_t>(landmarks));
+  return json ? registry.RenderJson() : registry.RenderPrometheusText();
+}
+
+}  // namespace
+
+// Per-connection state. The loop thread owns `in` and the epoll interest;
+// `out` is shared with workers under out_mu, the request queue under exec_mu.
+struct Server::Connection {
+  explicit Connection(Fd sock) : fd(std::move(sock)) {}
+
+  Fd fd;
+  std::string in;        // loop thread only: bytes read, not yet framed
+  bool blocked = false;  // loop thread only: EPOLLIN disarmed (backpressure)
+
+  std::mutex out_mu;
+  std::string out;          // response bytes not yet written to the socket
+  bool want_write = false;  // EPOLLOUT armed
+  bool want_read = true;    // current EPOLLIN interest (mirrors !blocked)
+  bool closed = false;      // fd closed; drop any late responses
+
+  // FIFO of dispatched-but-unexecuted requests. At most one pool worker
+  // drains it at a time (exec_running), so pipelined requests from this
+  // connection execute strictly in arrival order while distinct connections
+  // still fan out across the pool.
+  struct PendingExec {
+    std::string payload;
+    uint64_t admitted = 0;  // ingest events admitted for this request
+  };
+  std::mutex exec_mu;
+  std::deque<PendingExec> exec_queue;
+  bool exec_running = false;
+};
+
+StatusOr<std::unique_ptr<Server>> Server::Start(SummaryStore* store, ServerOptions options) {
+  std::unique_ptr<Server> server(new Server(store, std::move(options)));
+  SS_RETURN_IF_ERROR(server->Init());
+  return server;
+}
+
+Server::Server(SummaryStore* store, ServerOptions options)
+    : store_(store), options_(std::move(options)) {}
+
+Status Server::Init() {
+  SS_ASSIGN_OR_RETURN(listener_, ListenTcp(options_.host, options_.port));
+  SS_RETURN_IF_ERROR(SetNonBlocking(listener_.get(), true));
+  SS_ASSIGN_OR_RETURN(port_, LocalPort(listener_.get()));
+
+  epoll_ = Fd(::epoll_create1(0));
+  if (!epoll_.valid()) {
+    return Status::IoError(std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  wake_ = Fd(::eventfd(0, EFD_NONBLOCK));
+  if (!wake_.valid()) {
+    return Status::IoError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_.get();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.get(), &ev) < 0) {
+    return Status::IoError(std::string("epoll_ctl(listener): ") + std::strerror(errno));
+  }
+  ev.data.fd = wake_.get();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_.get(), &ev) < 0) {
+    return Status::IoError(std::string("epoll_ctl(wake): ") + std::strerror(errno));
+  }
+
+  size_t workers =
+      options_.worker_threads > 0 ? options_.worker_threads : ThreadPool::DefaultThreadCount();
+  pool_ = std::make_unique<ThreadPool>(workers);
+  ack_thread_ = std::thread([this] { AckThread(); });
+  loop_thread_ = std::thread([this] { LoopThread(); });
+  return Status::Ok();
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Wake() {
+  uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; short writes cannot happen.
+  [[maybe_unused]] ssize_t n = ::write(wake_.get(), &one, sizeof(one));
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  Wake();
+  // Drain in-flight requests; responses land in per-connection buffers and
+  // the still-running loop writes them out.
+  pool_.reset();
+  // Flush + ack the ingest tail, then retire the batcher.
+  {
+    std::lock_guard<std::mutex> lock(ack_mu_);
+    ack_stop_ = true;
+  }
+  ack_cv_.notify_all();
+  if (ack_thread_.joinable()) {
+    ack_thread_.join();
+  }
+  // Final write-out + close.
+  loop_stop_.store(true, std::memory_order_release);
+  Wake();
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+}
+
+void Server::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+  }
+  abort_.store(true, std::memory_order_release);
+  stopping_.store(true, std::memory_order_release);
+  loop_stop_.store(true, std::memory_order_release);
+  Wake();
+  // Sockets die first — clients see a reset, unacked requests stay unacked.
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+  pool_.reset();
+  {
+    std::lock_guard<std::mutex> lock(ack_mu_);
+    ack_stop_ = true;
+  }
+  ack_cv_.notify_all();
+  if (ack_thread_.joinable()) {
+    ack_thread_.join();
+  }
+}
+
+size_t Server::active_connections() const {
+  return conn_count_.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- event loop
+
+void Server::LoopThread() {
+  std::vector<struct epoll_event> events(64);
+  bool listener_closed = false;
+  for (;;) {
+    int n = ::epoll_wait(epoll_.get(), events.data(), static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // epoll fd gone; shutting down
+    }
+    for (int i = 0; i < n; ++i) {
+      const struct epoll_event& ev = events[static_cast<size_t>(i)];
+      if (ev.data.fd == wake_.get()) {
+        uint64_t drain;
+        while (::read(wake_.get(), &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (ev.data.fd == listener_.get()) {
+        if (!stopping_.load(std::memory_order_acquire)) {
+          AcceptAll();
+        }
+        continue;
+      }
+      auto it = conns_.find(ev.data.fd);
+      if (it == conns_.end()) {
+        continue;  // closed earlier in this batch
+      }
+      std::shared_ptr<Connection> conn = it->second;
+      if ((ev.events & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConnection(conn);
+        continue;
+      }
+      if ((ev.events & EPOLLOUT) != 0) {
+        FlushOutput(conn);
+      }
+      if ((ev.events & EPOLLIN) != 0) {
+        ReadInput(conn);
+      }
+    }
+
+    if (stopping_.load(std::memory_order_acquire) && !listener_closed) {
+      (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, listener_.get(), nullptr);
+      listener_.Reset();
+      listener_closed = true;
+    }
+    if (recheck_blocked_.exchange(false, std::memory_order_acq_rel)) {
+      RetryBlocked();
+    }
+    {
+      std::vector<std::shared_ptr<Connection>> pending;
+      {
+        std::lock_guard<std::mutex> lock(pending_writes_mu_);
+        pending.swap(pending_writes_);
+      }
+      for (const auto& conn : pending) {
+        FlushOutput(conn);
+      }
+    }
+    if (loop_stop_.load(std::memory_order_acquire)) {
+      const bool hard = abort_.load(std::memory_order_acquire);
+      std::vector<std::shared_ptr<Connection>> all;
+      all.reserve(conns_.size());
+      for (auto& [fd, conn] : conns_) {
+        (void)fd;
+        all.push_back(conn);
+      }
+      for (const auto& conn : all) {
+        if (!hard) {
+          // Graceful: push out whatever is queued before closing. The fd is
+          // non-blocking; WriteFully polls out EAGAIN.
+          std::lock_guard<std::mutex> lock(conn->out_mu);
+          if (!conn->out.empty() && !conn->closed) {
+            if (WriteFully(conn->fd.get(), conn->out).ok()) {
+              BytesWritten().Inc(conn->out.size());
+            }
+            conn->out.clear();
+          }
+        }
+        CloseConnection(conn);
+      }
+      break;
+    }
+  }
+}
+
+void Server::AcceptAll() {
+  for (;;) {
+    int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // EAGAIN or transient error; epoll will re-notify
+    }
+    Fd sock(fd);
+    if (!SetNonBlocking(fd, true).ok()) {
+      continue;  // drops the connection (Fd closes it)
+    }
+    SetNoDelay(fd);
+    auto conn = std::make_shared<Connection>(std::move(sock));
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_[fd] = std::move(conn);
+    }
+    conn_count_.fetch_add(1, std::memory_order_relaxed);
+    AcceptTotal().Inc();
+    ConnActive().Add(1);
+  }
+}
+
+void Server::ReadInput(const std::shared_ptr<Connection>& conn) {
+  char buf[kReadChunk];
+  for (;;) {
+    ssize_t r = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (r > 0) {
+      BytesRead().Inc(static_cast<uint64_t>(r));
+      conn->in.append(buf, static_cast<size_t>(r));
+      if (static_cast<size_t>(r) < sizeof(buf)) {
+        break;  // drained the socket
+      }
+      continue;
+    }
+    if (r == 0) {
+      // Peer closed. Process what is already buffered (a complete final
+      // frame deserves its response even if the client half-closed), then
+      // close our side.
+      ProcessInput(conn);
+      CloseConnection(conn);
+      return;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    CloseConnection(conn);
+    return;
+  }
+  ProcessInput(conn);
+}
+
+// Cheap pre-decode of an ingest frame's event count for admission control.
+// Malformed bodies admit a nominal 1 event; the worker rejects them properly
+// and releases the admission.
+static uint64_t PeekIngestEvents(Opcode op, Reader reader) {
+  if (op == Opcode::kAppend) {
+    return 1;
+  }
+  if (op != Opcode::kAppendBatch) {
+    return 0;
+  }
+  if (!reader.ReadVarint().ok()) {  // stream id
+    return 1;
+  }
+  auto count = reader.ReadVarint();
+  if (!count.ok()) {
+    return 1;
+  }
+  // Clamp to what the payload could physically hold (9 bytes/event min), so
+  // a garbage count cannot wedge the admission budget.
+  uint64_t cap = reader.remaining() / 9;
+  return std::max<uint64_t>(1, std::min(*count, cap));
+}
+
+void Server::ProcessInput(const std::shared_ptr<Connection>& conn) {
+  if (stopping_.load(std::memory_order_acquire) || conn->blocked) {
+    return;
+  }
+  size_t consumed = 0;
+  bool close = false;
+  while (true) {
+    std::string_view rest = std::string_view(conn->in).substr(consumed);
+    auto scan = ScanFrame(rest, options_.max_frame_bytes);
+    if (!scan.ok()) {
+      FrameErrors().Inc();
+      close = true;  // framing is unrecoverable: fail the connection closed
+      break;
+    }
+    if (!scan->complete) {
+      break;
+    }
+    Reader peek(scan->payload);
+    auto header = DecodeRequestHeader(peek);
+    if (!header.ok()) {
+      FrameErrors().Inc();
+      close = true;
+      break;
+    }
+    uint64_t admitted = 0;
+    const Opcode op = header->op;
+    if (op == Opcode::kAppend || op == Opcode::kAppendBatch) {
+      uint64_t events = PeekIngestEvents(op, peek);
+      uint64_t pending = ingest_pending_.load(std::memory_order_acquire);
+      if (pending + events > options_.ingest_queue_events &&
+          !(pending == 0 && options_.backpressure == ServerOptions::Backpressure::kBlock)) {
+        if (options_.backpressure == ServerOptions::Backpressure::kShed) {
+          ShedTotal().Inc();
+          Writer w;
+          w.PutVarint(header->request_id);
+          EncodeStatus(Status::FailedPrecondition(
+                           "backpressure: ingest queue full (shed policy)"),
+                       w);
+          std::string frame;
+          (void)AppendFrame(w.data(), &frame);
+          SendResponse(conn, std::move(frame));
+          consumed += scan->frame_end;
+          continue;
+        }
+        // kBlock: leave this frame (and everything behind it) buffered and
+        // stop reading; TCP pushes back on the client until capacity frees.
+        BlockedTotal().Inc();
+        conn->blocked = true;
+        UpdateEpoll(conn, /*want_read=*/false, /*want_write=*/false);
+        break;
+      }
+      admitted = events;
+      ingest_pending_.fetch_add(events, std::memory_order_acq_rel);
+      IngestPending().Add(static_cast<int64_t>(events));
+    }
+    bool start_worker = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->exec_mu);
+      conn->exec_queue.push_back(
+          Connection::PendingExec{std::string(scan->payload), admitted});
+      if (!conn->exec_running) {
+        conn->exec_running = true;
+        start_worker = true;
+      }
+    }
+    consumed += scan->frame_end;
+    if (start_worker) {
+      pool_->Submit([this, conn] { RunRequests(conn); });
+    }
+  }
+  if (consumed > 0) {
+    conn->in.erase(0, consumed);
+  }
+  if (close) {
+    CloseConnection(conn);
+  }
+}
+
+void Server::RetryBlocked() {
+  // Collect first: ProcessInput can re-block and mutate epoll state.
+  std::vector<std::shared_ptr<Connection>> blocked;
+  for (auto& [fd, conn] : conns_) {
+    (void)fd;
+    if (conn->blocked) {
+      blocked.push_back(conn);
+    }
+  }
+  for (const auto& conn : blocked) {
+    conn->blocked = false;
+    ProcessInput(conn);
+    if (!conn->blocked) {
+      UpdateEpoll(conn, /*want_read=*/true, /*want_write=*/false);
+      ReadInput(conn);  // pick up bytes that arrived while paused
+    }
+  }
+}
+
+void Server::UpdateEpoll(const std::shared_ptr<Connection>& conn, bool want_read,
+                         bool want_write) {
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  if (conn->closed) {
+    return;
+  }
+  conn->want_read = want_read;
+  conn->want_write = conn->want_write || want_write;
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = (conn->want_read ? EPOLLIN : 0u) | (conn->want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd.get();
+  (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev);
+}
+
+void Server::FlushOutput(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  if (conn->closed) {
+    return;
+  }
+  size_t off = 0;
+  while (off < conn->out.size()) {
+    ssize_t n = ::send(conn->fd.get(), conn->out.data() + off, conn->out.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      BytesWritten().Inc(static_cast<uint64_t>(n));
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    break;  // EAGAIN (retry on EPOLLOUT) or a dead peer (EPOLLERR follows)
+  }
+  conn->out.erase(0, off);
+  const bool need_out = !conn->out.empty();
+  if (need_out != conn->want_write) {
+    conn->want_write = need_out;
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = (conn->want_read ? EPOLLIN : 0u) | (need_out ? EPOLLOUT : 0u);
+    ev.data.fd = conn->fd.get();
+    (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev);
+  }
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->closed) {
+      return;
+    }
+    conn->closed = true;
+    (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
+    {
+      std::lock_guard<std::mutex> conns_lock(conns_mu_);
+      conns_.erase(conn->fd.get());
+    }
+    conn->fd.Reset();
+  }
+  conn_count_.fetch_sub(1, std::memory_order_relaxed);
+  ConnActive().Add(-1);
+}
+
+// --------------------------------------------------------- request execution
+
+void Server::SendResponse(const std::shared_ptr<Connection>& conn, std::string frame) {
+  bool need_loop = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->closed) {
+      return;
+    }
+    const bool was_empty = conn->out.empty();
+    conn->out += frame;
+    if (was_empty) {
+      // Opportunistic non-blocking write; leftovers go through the loop.
+      size_t off = 0;
+      while (off < conn->out.size()) {
+        ssize_t n = ::send(conn->fd.get(), conn->out.data() + off, conn->out.size() - off,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+          BytesWritten().Inc(static_cast<uint64_t>(n));
+          off += static_cast<size_t>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        break;
+      }
+      conn->out.erase(0, off);
+    }
+    need_loop = !conn->out.empty() && !conn->want_write;
+  }
+  if (need_loop) {
+    {
+      std::lock_guard<std::mutex> lock(pending_writes_mu_);
+      pending_writes_.push_back(conn);
+    }
+    Wake();
+  }
+}
+
+void Server::ReleaseIngest(uint64_t events) {
+  if (events == 0) {
+    return;
+  }
+  ingest_pending_.fetch_sub(events, std::memory_order_acq_rel);
+  IngestPending().Add(-static_cast<int64_t>(events));
+  recheck_blocked_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void Server::RunRequests(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    Connection::PendingExec task;
+    {
+      std::lock_guard<std::mutex> lock(conn->exec_mu);
+      if (conn->exec_queue.empty()) {
+        conn->exec_running = false;
+        return;
+      }
+      task = std::move(conn->exec_queue.front());
+      conn->exec_queue.pop_front();
+    }
+    ExecuteRequest(conn, std::move(task.payload), task.admitted);
+  }
+}
+
+void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn, std::string payload,
+                            uint64_t admitted_events) {
+  Reader reader(payload);
+  auto header = DecodeRequestHeader(reader);
+  if (!header.ok()) {
+    // The loop validated the header already; a failure here means the
+    // connection was already failed closed. Release and drop.
+    ReleaseIngest(admitted_events);
+    return;
+  }
+  RequestsFor(header->op).Inc();
+  ScopedTimer timer(RequestUsFor(header->op));
+  bool defer_ack = false;
+  Status ingest_status = Status::Ok();
+  std::string response = HandleRequest(*header, reader, &defer_ack, &ingest_status);
+  if (defer_ack && ingest_status.ok() && options_.durable_acks &&
+      !abort_.load(std::memory_order_acquire)) {
+    // Ingest succeeded in memory: the ack waits for a covering Flush.
+    {
+      std::lock_guard<std::mutex> lock(ack_mu_);
+      pending_acks_.push_back(PendingAck{conn, header->request_id, admitted_events});
+    }
+    ack_cv_.notify_one();
+    return;
+  }
+  if (!response.empty()) {
+    std::string frame;
+    if (AppendFrame(response, &frame).ok()) {
+      SendResponse(conn, std::move(frame));
+    }
+  }
+  ReleaseIngest(admitted_events);
+}
+
+std::string Server::HandleRequest(const RequestHeader& header, Reader& body, bool* defer_ack,
+                                  Status* ingest_status) {
+  Writer resp;
+  resp.PutVarint(header.request_id);
+  auto fail = [&](const Status& status) {
+    RequestErrors().Inc();
+    Writer err;
+    err.PutVarint(header.request_id);
+    EncodeStatus(status, err);
+    return err.Release();
+  };
+
+  switch (header.op) {
+    case Opcode::kPing: {
+      EncodeStatus(Status::Ok(), resp);
+      return resp.Release();
+    }
+    case Opcode::kCreateStream: {
+      auto id = body.ReadVarint();
+      if (!id.ok()) {
+        return fail(id.status());
+      }
+      auto config = StreamConfig::Deserialize(body);
+      if (!config.ok()) {
+        return fail(config.status());
+      }
+      StreamId created = 0;
+      if (*id == 0) {
+        auto sid = store_->CreateStream(std::move(*config));
+        if (!sid.ok()) {
+          return fail(sid.status());
+        }
+        created = *sid;
+      } else {
+        Status s = store_->CreateStreamWithId(*id, std::move(*config));
+        if (!s.ok()) {
+          return fail(s);
+        }
+        created = *id;
+      }
+      if (Status s = store_->Flush(); !s.ok()) {
+        return fail(s);
+      }
+      EncodeStatus(Status::Ok(), resp);
+      resp.PutVarint(created);
+      return resp.Release();
+    }
+    case Opcode::kDeleteStream: {
+      auto id = body.ReadVarint();
+      if (!id.ok()) {
+        return fail(id.status());
+      }
+      if (Status s = store_->DeleteStream(*id); !s.ok()) {
+        return fail(s);
+      }
+      EncodeStatus(Status::Ok(), resp);
+      return resp.Release();
+    }
+    case Opcode::kListStreams: {
+      std::vector<StreamId> ids = store_->ListStreams();
+      EncodeStatus(Status::Ok(), resp);
+      resp.PutVarint(ids.size());
+      for (StreamId id : ids) {
+        resp.PutVarint(id);
+      }
+      return resp.Release();
+    }
+    case Opcode::kAppend: {
+      *defer_ack = true;
+      auto id = body.ReadVarint();
+      if (!id.ok()) {
+        *ingest_status = id.status();
+        return fail(id.status());
+      }
+      auto ts = body.ReadSignedVarint();
+      if (!ts.ok()) {
+        *ingest_status = ts.status();
+        return fail(ts.status());
+      }
+      auto value = body.ReadDouble();
+      if (!value.ok()) {
+        *ingest_status = value.status();
+        return fail(value.status());
+      }
+      Status s = store_->Append(*id, *ts, *value);
+      *ingest_status = s;
+      if (!s.ok()) {
+        return fail(s);
+      }
+      EncodeStatus(Status::Ok(), resp);
+      return resp.Release();
+    }
+    case Opcode::kAppendBatch: {
+      *defer_ack = true;
+      auto id = body.ReadVarint();
+      if (!id.ok()) {
+        *ingest_status = id.status();
+        return fail(id.status());
+      }
+      auto events = DecodeEventBatch(body);
+      if (!events.ok()) {
+        *ingest_status = events.status();
+        return fail(events.status());
+      }
+      Status s = store_->AppendBatch(*id, *events);
+      *ingest_status = s;
+      if (!s.ok()) {
+        return fail(s);
+      }
+      EncodeStatus(Status::Ok(), resp);
+      return resp.Release();
+    }
+    case Opcode::kQuery: {
+      auto id = body.ReadVarint();
+      if (!id.ok()) {
+        return fail(id.status());
+      }
+      auto spec = DecodeQuerySpec(body);
+      if (!spec.ok()) {
+        return fail(spec.status());
+      }
+      auto result = store_->Query(*id, *spec);
+      if (!result.ok()) {
+        return fail(result.status());
+      }
+      EncodeStatus(Status::Ok(), resp);
+      std::string trace;
+      if (spec->collect_trace && result->trace != nullptr) {
+        trace = result->trace->Render();
+      }
+      EncodeQueryResult(*result, trace, resp);
+      return resp.Release();
+    }
+    case Opcode::kQueryAggregate: {
+      auto n = body.ReadVarint();
+      if (!n.ok()) {
+        return fail(n.status());
+      }
+      if (*n > body.remaining()) {  // >= 1 byte per id on the wire
+        return fail(Status::Corruption("stream-id count exceeds payload"));
+      }
+      std::vector<StreamId> ids;
+      ids.reserve(static_cast<size_t>(*n));
+      for (uint64_t i = 0; i < *n; ++i) {
+        auto id = body.ReadVarint();
+        if (!id.ok()) {
+          return fail(id.status());
+        }
+        ids.push_back(*id);
+      }
+      auto spec = DecodeQuerySpec(body);
+      if (!spec.ok()) {
+        return fail(spec.status());
+      }
+      auto result = store_->QueryAggregate(ids, *spec);
+      if (!result.ok()) {
+        return fail(result.status());
+      }
+      EncodeStatus(Status::Ok(), resp);
+      std::string trace;
+      if (spec->collect_trace && result->trace != nullptr) {
+        trace = result->trace->Render();
+      }
+      EncodeQueryResult(*result, trace, resp);
+      return resp.Release();
+    }
+    case Opcode::kBeginLandmark:
+    case Opcode::kEndLandmark: {
+      auto id = body.ReadVarint();
+      if (!id.ok()) {
+        return fail(id.status());
+      }
+      auto ts = body.ReadSignedVarint();
+      if (!ts.ok()) {
+        return fail(ts.status());
+      }
+      Status s = header.op == Opcode::kBeginLandmark ? store_->BeginLandmark(*id, *ts)
+                                                     : store_->EndLandmark(*id, *ts);
+      if (!s.ok()) {
+        return fail(s);
+      }
+      if (Status flush = store_->Flush(); !flush.ok()) {
+        return fail(flush);
+      }
+      EncodeStatus(Status::Ok(), resp);
+      return resp.Release();
+    }
+    case Opcode::kFlush: {
+      if (Status s = store_->Flush(); !s.ok()) {
+        return fail(s);
+      }
+      EncodeStatus(Status::Ok(), resp);
+      return resp.Release();
+    }
+    case Opcode::kScrub: {
+      auto repair = body.ReadU8();
+      if (!repair.ok()) {
+        return fail(repair.status());
+      }
+      ScrubReport report;
+      Status s = store_->Scrub(*repair != 0, &report);
+      if (!s.ok()) {
+        return fail(s);
+      }
+      EncodeStatus(Status::Ok(), resp);
+      EncodeScrubReport(report, resp);
+      return resp.Release();
+    }
+    case Opcode::kStats: {
+      auto format = body.ReadU8();
+      if (!format.ok()) {
+        return fail(format.status());
+      }
+      if (*format > 1) {
+        return fail(Status::Corruption("unknown stats format"));
+      }
+      EncodeStatus(Status::Ok(), resp);
+      resp.PutString(RenderStats(store_, /*json=*/*format == 0));
+      return resp.Release();
+    }
+    case Opcode::kStreamInfo: {
+      auto want = body.ReadVarint();
+      if (!want.ok()) {
+        return fail(want.status());
+      }
+      std::vector<StreamId> ids;
+      if (*want != 0) {
+        ids.push_back(*want);
+      } else {
+        ids = store_->ListStreams();
+      }
+      std::vector<StreamInfo> rows;
+      for (StreamId id : ids) {
+        auto stream = store_->GetStream(id);
+        if (!stream.ok()) {
+          return fail(stream.status());
+        }
+        StreamInfo info;
+        info.id = id;
+        info.element_count = (*stream)->element_count();
+        info.landmark_element_count = (*stream)->landmark_element_count();
+        info.window_count = (*stream)->window_count();
+        info.landmark_window_count = (*stream)->landmark_window_count();
+        info.size_bytes = (*stream)->SizeBytes();
+        info.decay = (*stream)->config().decay->Describe();
+        rows.push_back(std::move(info));
+      }
+      EncodeStatus(Status::Ok(), resp);
+      resp.PutVarint(rows.size());
+      for (const StreamInfo& row : rows) {
+        EncodeStreamInfo(row, resp);
+      }
+      return resp.Release();
+    }
+  }
+  return fail(Status::Unimplemented("unhandled opcode"));
+}
+
+// ----------------------------------------------------------- durability acks
+
+void Server::AckThread() {
+  for (;;) {
+    std::vector<PendingAck> batch;
+    {
+      std::unique_lock<std::mutex> lock(ack_mu_);
+      ack_cv_.wait(lock, [this] { return ack_stop_ || !pending_acks_.empty(); });
+      if (pending_acks_.empty() && ack_stop_) {
+        return;
+      }
+      batch.swap(pending_acks_);
+    }
+    if (abort_.load(std::memory_order_acquire)) {
+      // Hard kill: never acked, allowed to be lost. Release the budget so
+      // teardown doesn't hinge on it.
+      for (const PendingAck& ack : batch) {
+        ReleaseIngest(ack.events);
+      }
+      continue;
+    }
+    Status flush;
+    {
+      ScopedTimer timer(AckFlushUs());
+      flush = store_->Flush();
+    }
+    AckBatch().Record(batch.size());
+    for (PendingAck& ack : batch) {
+      Writer w;
+      w.PutVarint(ack.request_id);
+      EncodeStatus(flush, w);
+      std::string frame;
+      if (AppendFrame(w.data(), &frame).ok()) {
+        SendResponse(ack.conn, std::move(frame));
+      }
+      ReleaseIngest(ack.events);
+    }
+  }
+}
+
+}  // namespace ss::net

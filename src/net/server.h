@@ -1,0 +1,172 @@
+// sserver's service core: a TCP daemon serving the SummaryStore API over the
+// length-prefixed binary protocol of src/net/protocol.h (DESIGN.md §12).
+//
+// Architecture:
+//   - One epoll event-loop thread owns all sockets: it accepts, reads,
+//     frames, and performs admission control; request execution fans out to
+//     a ThreadPool (src/common/thread_pool) so slow queries never stall the
+//     loop. Responses are queued per connection and written by the loop
+//     (workers attempt an opportunistic non-blocking send first).
+//   - Per-connection pipelining: clients may send many requests without
+//     waiting. Requests from one connection EXECUTE in arrival order (a
+//     pipelined create-then-append is safe, and appends keep a monotone
+//     stream monotone); responses still carry the echoed request_id because
+//     durable ingest acks complete out of band and may interleave with later
+//     non-ingest responses.
+//   - Admission control / backpressure: ingest requests (append and
+//     append-batch) are admitted against a bounded budget of
+//     not-yet-acknowledged events. At the bound, policy kShed answers
+//     kFailedPrecondition immediately, while kBlock simply stops reading
+//     that connection (frames stay in the kernel/receive buffer and TCP
+//     flow control pushes back on the client) until capacity frees up.
+//   - Durable acks: ingest responses are withheld until a store Flush
+//     covering the request completes (group-flush: one Flush acks every
+//     append admitted before it began — the network-facing analogue of the
+//     PR 4 WAL group commit). An acked append therefore survives a hard
+//     server kill; WAL replay covers the tail. Disable via
+//     ServerOptions::durable_acks for throughput experiments.
+//
+// Every frame decoder treats input as hostile (see protocol.h); a frame that
+// cannot be parsed closes the connection, a valid frame with a malformed
+// body earns an error response, and neither can crash or wedge the server.
+#ifndef SUMMARYSTORE_SRC_NET_SERVER_H_
+#define SUMMARYSTORE_SRC_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/core/summary_store.h"
+#include "src/net/protocol.h"
+#include "src/net/socket.h"
+
+namespace ss::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;        // 0 = ephemeral; read back via Server::port()
+  size_t worker_threads = 0;  // 0 = ThreadPool::DefaultThreadCount()
+  size_t max_frame_bytes = kMaxFrameBytes;
+  // Ingest admission budget: events admitted but not yet acknowledged. A
+  // single batch larger than the whole budget is admitted when the queue is
+  // empty (it could never run otherwise) under kBlock, and shed under kShed.
+  size_t ingest_queue_events = 1u << 16;
+  enum class Backpressure { kBlock = 0, kShed = 1 };
+  Backpressure backpressure = Backpressure::kBlock;
+  // Withhold ingest acks until a covering SummaryStore::Flush completes.
+  bool durable_acks = true;
+};
+
+class Server {
+ public:
+  // Binds, registers the listener, and spawns the loop/worker/ack threads.
+  // `store` must outlive the server (the caller owns it — bench harnesses
+  // deliberately leak it to simulate kills).
+  static StatusOr<std::unique_ptr<Server>> Start(SummaryStore* store, ServerOptions options);
+  ~Server();  // graceful Stop() unless already stopped
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  // Graceful shutdown: stop accepting, drain in-flight requests, flush and
+  // ack the ingest tail, write out queued responses, close. Idempotent.
+  void Stop();
+
+  // Hard shutdown (kill simulation): close every socket immediately, drop
+  // pending acks un-flushed and un-answered. Clients see a reset; appends
+  // they never got an ack for are allowed to be lost. Idempotent.
+  void Abort();
+
+  // Introspection for tests.
+  size_t active_connections() const;
+
+ private:
+  struct Connection;
+  struct PendingAck {
+    std::shared_ptr<Connection> conn;
+    uint64_t request_id = 0;
+    uint64_t events = 0;  // admission budget to release once acked
+  };
+
+  Server(SummaryStore* store, ServerOptions options);
+  Status Init();
+
+  // --- event-loop thread ---------------------------------------------------
+  void LoopThread();
+  void AcceptAll();
+  void ReadInput(const std::shared_ptr<Connection>& conn);
+  // Parses and dispatches every complete frame buffered on `conn`; applies
+  // admission control; may mark the connection blocked.
+  void ProcessInput(const std::shared_ptr<Connection>& conn);
+  void RetryBlocked();
+  void FlushOutput(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  void UpdateEpoll(const std::shared_ptr<Connection>& conn, bool want_read, bool want_write);
+  void Wake();
+
+  // --- request execution (worker threads) ----------------------------------
+  // Drains the connection's FIFO request queue; at most one worker runs this
+  // per connection at a time, so pipelined requests execute in arrival order.
+  void RunRequests(const std::shared_ptr<Connection>& conn);
+  void ExecuteRequest(const std::shared_ptr<Connection>& conn, std::string payload,
+                      uint64_t admitted_events);
+  std::string HandleRequest(const RequestHeader& header, Reader& body, bool* defer_ack,
+                            Status* ingest_status);
+  void SendResponse(const std::shared_ptr<Connection>& conn, std::string frame);
+  void ReleaseIngest(uint64_t events);
+
+  // --- durability ack thread ----------------------------------------------
+  void AckThread();
+
+  SummaryStore* const store_;
+  const ServerOptions options_;
+  uint16_t port_ = 0;
+
+  Fd epoll_;
+  Fd listener_;
+  Fd wake_;  // eventfd: workers/Stop wake the loop
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread loop_thread_;
+  std::thread ack_thread_;
+
+  // Loop-thread-owned connection registry (fd -> connection). Only the loop
+  // thread touches the map; workers hold shared_ptrs handed out at dispatch.
+  std::map<int, std::shared_ptr<Connection>> conns_;
+  mutable std::mutex conns_mu_;  // guards size() for active_connections()
+  std::atomic<size_t> conn_count_{0};
+
+  // Connections with queued output that need the loop to arm EPOLLOUT.
+  std::mutex pending_writes_mu_;
+  std::vector<std::shared_ptr<Connection>> pending_writes_;
+
+  // Ingest admission budget (events admitted, ack not yet sent).
+  std::atomic<uint64_t> ingest_pending_{0};
+  std::atomic<bool> recheck_blocked_{false};
+
+  // Durable-ack batcher state.
+  std::mutex ack_mu_;
+  std::condition_variable ack_cv_;
+  std::vector<PendingAck> pending_acks_;
+  bool ack_stop_ = false;
+
+  std::atomic<bool> stopping_{false};   // stop accepting + dispatching
+  std::atomic<bool> loop_stop_{false};  // loop should flush/close and exit
+  std::atomic<bool> abort_{false};      // hard kill: no final flush, no acks
+  std::mutex state_mu_;
+  bool stopped_ = false;  // Stop()/Abort() already ran
+};
+
+}  // namespace ss::net
+
+#endif  // SUMMARYSTORE_SRC_NET_SERVER_H_

@@ -1,0 +1,184 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace ss::net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+// Waits (indefinitely) until `fd` is ready for the given poll events,
+// retrying EINTR.
+Status PollFor(int fd, short events) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    int rc = ::poll(&pfd, 1, -1);
+    if (rc > 0) {
+      return Status::Ok();
+    }
+    if (rc < 0 && errno != EINTR) {
+      return Errno("poll");
+    }
+  }
+}
+
+}  // namespace
+
+void Fd::Reset() {
+  if (fd_ >= 0) {
+    // POSIX leaves the fd state unspecified after EINTR from close; retrying
+    // on Linux is harmless (the fd is gone either way) and EBADF is ignored.
+    while (::close(fd_) < 0 && errno == EINTR) {
+    }
+    fd_ = -1;
+  }
+}
+
+StatusOr<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Errno("socket");
+  }
+  int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    return Errno("listen");
+  }
+  return fd;
+}
+
+StatusOr<uint16_t> LocalPort(int fd) {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Fall back to resolution for non-numeric hosts ("localhost").
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 || res == nullptr) {
+      return Status::InvalidArgument("cannot resolve host: " + host);
+    }
+    addr.sin_addr = reinterpret_cast<struct sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Errno("socket");
+  }
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;  // retry the whole connect; Linux completes it either way
+    }
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  SetNoDelay(fd.get());
+  return fd;
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return Errno("fcntl(F_GETFL)");
+  }
+  flags = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Status WriteFully(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      SS_RETURN_IF_ERROR(PollFor(fd, POLLOUT));
+      continue;
+    }
+    return Errno("send");
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> ReadSome(int fd, char* buf, size_t n) {
+  for (;;) {
+    ssize_t r = ::recv(fd, buf, n, 0);
+    if (r >= 0) {
+      return static_cast<size_t>(r);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      SS_RETURN_IF_ERROR(PollFor(fd, POLLIN));
+      continue;
+    }
+    return Errno("recv");
+  }
+}
+
+Status ReadFully(int fd, char* buf, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    SS_ASSIGN_OR_RETURN(size_t r, ReadSome(fd, buf + off, n - off));
+    if (r == 0) {
+      return Status::IoError("connection closed mid-read (eof)");
+    }
+    off += r;
+  }
+  return Status::Ok();
+}
+
+}  // namespace ss::net

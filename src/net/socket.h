@@ -1,0 +1,76 @@
+// Thin POSIX TCP helpers shared by the server, the client, and the tests:
+// fd lifetime (RAII), listen/connect, and read/write loops that retry EINTR
+// and handle partial transfers — every byte of socket I/O in src/net goes
+// through these so the retry discipline lives in exactly one place.
+#ifndef SUMMARYSTORE_SRC_NET_SOCKET_H_
+#define SUMMARYSTORE_SRC_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace ss::net {
+
+// Owns a file descriptor; closes (retrying EINTR) on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds and listens on host:port (port 0 picks an ephemeral port; read it
+// back with LocalPort). SO_REUSEADDR is set so restart-after-kill tests can
+// rebind immediately.
+StatusOr<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog = 128);
+
+// The locally bound port of a listening/connected socket.
+StatusOr<uint16_t> LocalPort(int fd);
+
+// Blocking connect to host:port (numeric IPv4 or a resolvable name).
+StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port);
+
+Status SetNonBlocking(int fd, bool nonblocking);
+
+// Disables Nagle so small request/response frames don't stall on ACKs.
+void SetNoDelay(int fd);
+
+// Writes all of `data`, retrying EINTR and polling out short/EAGAIN writes.
+// Works for blocking and non-blocking fds alike.
+Status WriteFully(int fd, std::string_view data);
+
+// Blocking read of up to `n` bytes (at least 1 unless EOF), retrying EINTR
+// and polling out EAGAIN. Returns 0 on clean EOF.
+StatusOr<size_t> ReadSome(int fd, char* buf, size_t n);
+
+// Blocking read of exactly `n` bytes; kIoError{"eof"} on a short stream.
+Status ReadFully(int fd, char* buf, size_t n);
+
+}  // namespace ss::net
+
+#endif  // SUMMARYSTORE_SRC_NET_SOCKET_H_

@@ -84,6 +84,82 @@ TEST(Reader, OverlongVarintRejected) {
   ASSERT_FALSE(result.ok());
 }
 
+// A hostile length field near UINT64_MAX must not wrap `pos_ + n` past the
+// bounds check: ReadString fails with kCorruption and the reader's position
+// is untouched, so callers can keep reporting cleanly.
+TEST(Reader, HugeStringLengthFailsClosed) {
+  for (uint64_t n : {UINT64_MAX, UINT64_MAX - 1, UINT64_MAX - 7,
+                     static_cast<uint64_t>(SIZE_MAX), static_cast<uint64_t>(SIZE_MAX) - 3}) {
+    Writer w;
+    w.PutVarint(n);
+    w.PutRaw("body", 4);
+    Reader r(w.data());
+    auto result = r.ReadString();
+    ASSERT_FALSE(result.ok()) << "n=" << n;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(Reader, HugeRawLengthFailsClosed) {
+  std::string data = "tiny";
+  for (size_t n : {SIZE_MAX, SIZE_MAX - 1, SIZE_MAX - 3, SIZE_MAX - 4}) {
+    Reader r(data);
+    auto result = r.ReadRaw(n);
+    ASSERT_FALSE(result.ok()) << "n=" << n;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+    EXPECT_EQ(r.position(), 0u);  // failed read must not corrupt the cursor
+  }
+  // Mid-buffer: with pos_ = 2, the old `pos_ + n` check wraps to 1 <= size
+  // and passes; the remaining()-based check must fail.
+  Reader r(data);
+  ASSERT_TRUE(r.ReadRaw(2).ok());
+  auto wrapped = r.ReadRaw(SIZE_MAX - 1);
+  ASSERT_FALSE(wrapped.ok());
+  EXPECT_EQ(wrapped.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.position(), 2u);
+}
+
+// 10-byte varints whose final byte carries payload above bit 63 encode values
+// >= 2^64; they used to decode to silently-truncated results.
+TEST(Reader, VarintOverflowBitsRejected) {
+  // Canonical UINT64_MAX: nine 0xff continuation bytes, final byte 0x01.
+  std::string max_enc(9, static_cast<char>(0xff));
+  max_enc.push_back(0x01);
+  {
+    Reader r(max_enc);
+    EXPECT_EQ(*r.ReadVarint(), UINT64_MAX);
+    EXPECT_TRUE(r.AtEnd());
+  }
+  // Exact boundary: same prefix, final byte 0x02 = 2^64 + (2^64 - 1).
+  for (uint8_t last : {uint8_t{0x02}, uint8_t{0x03}, uint8_t{0x7f}}) {
+    std::string enc(9, static_cast<char>(0xff));
+    enc.push_back(static_cast<char>(last));
+    Reader r(enc);
+    auto result = r.ReadVarint();
+    ASSERT_FALSE(result.ok()) << "last=" << int{last};
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  }
+  // Overflowing 10th byte that still has the continuation bit set fails too
+  // (overflow detected before the too-long check).
+  {
+    std::string enc(10, static_cast<char>(0xff));
+    Reader r(enc);
+    auto result = r.ReadVarint();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  }
+  // A string length encoded as an overflowing varint also fails closed.
+  {
+    std::string enc(9, static_cast<char>(0xff));
+    enc.push_back(0x04);
+    enc += "payload";
+    Reader r(enc);
+    auto result = r.ReadString();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  }
+}
+
 class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(VarintRoundTrip, Value) {

@@ -86,6 +86,72 @@ TEST(ThreadPool, ObserverSeesQueueWaitAndDepth) {
   EXPECT_EQ(observations.load(), 20u);
 }
 
+// Regression: a task submitted while the destructor is stopping the pool
+// (here: from inside a running task, after stop_ may already be set and the
+// workers may have observed an empty queue and exited) used to be pushed
+// onto a queue nobody drains, breaking its promise. It must run somewhere.
+TEST(ThreadPool, SubmitDuringShutdownStillRunsTask) {
+  for (int iter = 0; iter < 200; ++iter) {
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> followups;
+    std::mutex followups_mu;
+    {
+      ThreadPool pool(2);
+      std::vector<std::future<void>> roots;
+      for (int i = 0; i < 8; ++i) {
+        roots.push_back(pool.Submit([&, i] {
+          // Race the follow-up submission against pool destruction.
+          auto f = pool.Submit([&ran, i] {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            return i;
+          });
+          std::lock_guard<std::mutex> lock(followups_mu);
+          followups.push_back(std::move(f));
+        }));
+      }
+      // Destructor sets stop_ while root tasks are still submitting.
+    }
+    ASSERT_EQ(followups.size(), 8u);
+    for (auto& f : followups) {
+      EXPECT_NO_THROW(f.get());  // no std::future_error{broken_promise}
+    }
+    EXPECT_EQ(ran.load(), 8);
+  }
+}
+
+TEST(ThreadPool, SubmitStormDuringDestruction) {
+  // Heavier stress: chains of tasks that re-submit until a generation budget
+  // runs out, destroyed mid-flight. Every future must resolve.
+  std::atomic<uint64_t> executed{0};
+  std::vector<std::future<void>> futures;
+  std::mutex futures_mu;
+  {
+    // Declared before the pool so tasks draining during ~ThreadPool can
+    // still call it.
+    std::function<void(int)> chain;
+    ThreadPool pool(4);
+    chain = [&](int depth) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      if (depth <= 0) {
+        return;
+      }
+      auto f = pool.Submit([&chain, depth] { chain(depth - 1); });
+      std::lock_guard<std::mutex> lock(futures_mu);
+      futures.push_back(std::move(f));
+    };
+    for (int i = 0; i < 16; ++i) {
+      auto f = pool.Submit([&chain] { chain(8); });
+      std::lock_guard<std::mutex> lock(futures_mu);
+      futures.push_back(std::move(f));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& f : futures) {
+    EXPECT_NO_THROW(f.get());
+  }
+  EXPECT_EQ(executed.load(), 16u * 9u);
+}
+
 TEST(ThreadPool, DefaultThreadCountIsBounded) {
   size_t n = ThreadPool::DefaultThreadCount();
   EXPECT_GE(n, 2u);

@@ -1,0 +1,446 @@
+// Adversarial wire-protocol tests: every decoder and the live server must
+// fail closed on hostile bytes — kCorruption (and a clean disconnect at the
+// server), never a crash, hang, or oversized allocation. Runs under the ASan
+// ci.sh leg; keep every input here allocation-bounded.
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/summary_store.h"
+#include "src/net/client.h"
+#include "src/net/protocol.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+#include "src/random/rng.h"
+#include "src/storage/file_util.h"
+
+namespace ss::net {
+namespace {
+
+std::string FrameWithLength(uint32_t len, std::string_view payload) {
+  std::string out;
+  out.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.append(payload);
+  return out;
+}
+
+std::string ValidFrame(std::string_view payload) {
+  std::string out;
+  EXPECT_TRUE(AppendFrame(payload, &out).ok());
+  return out;
+}
+
+std::string AppendRequestPayload(uint64_t request_id, StreamId sid, Timestamp ts, double value) {
+  Writer w;
+  EncodeRequestHeader(RequestHeader{request_id, Opcode::kAppend}, w);
+  w.PutVarint(sid);
+  w.PutSignedVarint(ts);
+  w.PutDouble(value);
+  return w.Release();
+}
+
+// ------------------------------------------------------------ pure decoders
+
+TEST(FrameScanTest, RejectsHostileLengths) {
+  // Zero length: never valid, cannot be resynchronized.
+  auto zero = ScanFrame(FrameWithLength(0, ""));
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kCorruption);
+
+  // Length beyond the cap: reject before buffering gigabytes.
+  auto huge = ScanFrame(FrameWithLength(0xffffffffu, "x"));
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), StatusCode::kCorruption);
+
+  auto over = ScanFrame(FrameWithLength(kMaxFrameBytes + 1, "x"));
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameScanTest, IncompleteFramesAskForMore) {
+  std::string frame = ValidFrame("hello");
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    auto scan = ScanFrame(std::string_view(frame).substr(0, cut));
+    ASSERT_TRUE(scan.ok()) << "cut=" << cut;
+    EXPECT_FALSE(scan->complete) << "cut=" << cut;
+  }
+  auto whole = ScanFrame(frame);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_TRUE(whole->complete);
+  EXPECT_EQ(whole->payload, "hello");
+  EXPECT_EQ(whole->frame_end, frame.size());
+}
+
+TEST(FrameScanTest, AppendFrameRejectsOutOfRangePayloads) {
+  std::string out;
+  EXPECT_FALSE(AppendFrame("", &out).ok());
+  std::string big(kMaxFrameBytes + 1, 'x');
+  EXPECT_FALSE(AppendFrame(big, &out).ok());
+}
+
+TEST(ProtocolDecodeTest, RequestHeaderRejectsUnknownOpcode) {
+  Writer w;
+  w.PutVarint(1);
+  w.PutU8(static_cast<uint8_t>(Opcode::kMaxOpcode) + 1);
+  Reader r(w.data());
+  auto header = DecodeRequestHeader(r);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolDecodeTest, QuerySpecRejectsHostileValues) {
+  QuerySpec spec;
+  spec.t1 = -100;
+  spec.t2 = 100;
+  spec.op = QueryOp::kQuantile;
+  spec.quantile_q = 0.9;
+
+  {  // baseline round-trips
+    Writer w;
+    EncodeQuerySpec(spec, w);
+    Reader r(w.data());
+    auto decoded = DecodeQuerySpec(r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->t1, spec.t1);
+    EXPECT_EQ(decoded->op, spec.op);
+    EXPECT_DOUBLE_EQ(decoded->quantile_q, 0.9);
+  }
+  {  // unknown query op
+    QuerySpec bad = spec;
+    Writer w;
+    EncodeQuerySpec(bad, w);
+    std::string bytes = w.Release();
+    // The op byte sits after the two svarint timestamps; patch it directly.
+    Reader probe(bytes);
+    ASSERT_TRUE(probe.ReadSignedVarint().ok());
+    ASSERT_TRUE(probe.ReadSignedVarint().ok());
+    bytes[probe.position()] = 0x7f;
+    Reader r(bytes);
+    EXPECT_EQ(DecodeQuerySpec(r).status().code(), StatusCode::kCorruption);
+  }
+  {  // NaN quantile
+    QuerySpec bad = spec;
+    bad.quantile_q = std::numeric_limits<double>::quiet_NaN();
+    Writer w;
+    EncodeQuerySpec(bad, w);
+    Reader r(w.data());
+    EXPECT_EQ(DecodeQuerySpec(r).status().code(), StatusCode::kCorruption);
+  }
+  {  // confidence outside (0, 1)
+    for (double confidence : {0.0, 1.0, -3.0, 17.0,
+                              std::numeric_limits<double>::infinity()}) {
+      QuerySpec bad = spec;
+      bad.confidence = confidence;
+      Writer w;
+      EncodeQuerySpec(bad, w);
+      Reader r(w.data());
+      EXPECT_EQ(DecodeQuerySpec(r).status().code(), StatusCode::kCorruption)
+          << "confidence=" << confidence;
+    }
+  }
+}
+
+TEST(ProtocolDecodeTest, EventBatchCountCrossCheckedAgainstPayload) {
+  {  // count claims far more events than the bytes can hold: no allocation
+    Writer w;
+    w.PutVarint(1u << 30);
+    w.PutSignedVarint(1);
+    w.PutDouble(1.0);
+    Reader r(w.data());
+    auto batch = DecodeEventBatch(r);
+    ASSERT_FALSE(batch.ok());
+    EXPECT_EQ(batch.status().code(), StatusCode::kCorruption);
+  }
+  {  // UINT64_MAX count: the division-based check must not overflow
+    Writer w;
+    w.PutVarint(UINT64_MAX);
+    Reader r(w.data());
+    EXPECT_EQ(DecodeEventBatch(r).status().code(), StatusCode::kCorruption);
+  }
+  {  // truncated mid-event
+    Writer w;
+    EncodeEventBatch(std::vector<Event>{{1, 1.0}, {2, 2.0}}, w);
+    std::string bytes = w.Release();
+    bytes.resize(bytes.size() - 4);
+    Reader r(bytes);
+    EXPECT_EQ(DecodeEventBatch(r).status().code(), StatusCode::kCorruption);
+  }
+  {  // honest batch round-trips
+    std::vector<Event> events = {{-5, 1.5}, {7, -2.5}, {9, 0.0}};
+    Writer w;
+    EncodeEventBatch(events, w);
+    Reader r(w.data());
+    auto decoded = DecodeEventBatch(r);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->size(), 3u);
+    EXPECT_EQ((*decoded)[0].ts, -5);
+    EXPECT_DOUBLE_EQ((*decoded)[1].value, -2.5);
+  }
+}
+
+TEST(ProtocolDecodeTest, QueryResultSpanCountCrossChecked) {
+  QueryResult result;
+  result.estimate = 42.0;
+  result.skipped_spans = {{1, 2}, {3, 4}};
+  Writer w;
+  EncodeQueryResult(result, "trace", w);
+  {  // round-trip
+    Reader r(w.data());
+    auto decoded = DecodeQueryResult(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_DOUBLE_EQ(decoded->result.estimate, 42.0);
+    ASSERT_EQ(decoded->result.skipped_spans.size(), 2u);
+    EXPECT_EQ(decoded->trace_text, "trace");
+  }
+  {  // hostile span count
+    Writer bad;
+    bad.PutDouble(0.0);
+    bad.PutU8(0);
+    bad.PutDouble(0.0);
+    bad.PutDouble(0.0);
+    bad.PutDouble(0.0);
+    bad.PutU8(0);
+    bad.PutU8(0);
+    bad.PutVarint(0);
+    bad.PutVarint(0);
+    bad.PutVarint(UINT64_MAX);  // span count
+    Reader r(bad.data());
+    EXPECT_EQ(DecodeQueryResult(r).status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(ProtocolDecodeTest, StatusAndScrubAndInfoRoundTrip) {
+  {
+    Writer w;
+    EncodeStatus(Status::FailedPrecondition("queue full"), w);
+    Reader r(w.data());
+    Status decoded = Status::Ok();
+    ASSERT_TRUE(DecodeStatus(r, &decoded).ok());
+    EXPECT_EQ(decoded.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(decoded.message(), "queue full");
+  }
+  {  // unknown status code fails closed
+    Writer w;
+    w.PutU8(200);
+    w.PutString("");
+    Reader r(w.data());
+    Status decoded = Status::Ok();
+    EXPECT_EQ(DecodeStatus(r, &decoded).code(), StatusCode::kCorruption);
+  }
+  {
+    ScrubReport report;
+    report.windows_checked = 7;
+    report.quarantined = 2;
+    Writer w;
+    EncodeScrubReport(report, w);
+    Reader r(w.data());
+    auto decoded = DecodeScrubReport(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->windows_checked, 7u);
+    EXPECT_EQ(decoded->quarantined, 2u);
+  }
+  {
+    StreamInfo info;
+    info.id = 3;
+    info.element_count = 100;
+    info.decay = "PowerLaw(1,1,1,1)";
+    Writer w;
+    EncodeStreamInfo(info, w);
+    Reader r(w.data());
+    auto decoded = DecodeStreamInfo(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->id, 3u);
+    EXPECT_EQ(decoded->decay, "PowerLaw(1,1,1,1)");
+  }
+}
+
+// --------------------------------------------------------------- live server
+
+class FrameFuzzServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static std::atomic<int> counter{0};
+    dir_ = ::testing::TempDir() + "/ss_fuzz_" + std::to_string(counter.fetch_add(1));
+    (void)RemoveDirRecursive(dir_);  // stale store from a previous run
+    StoreOptions options;
+    options.dir = dir_;
+    auto store = SummaryStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status();
+    store_ = std::move(*store);
+    auto server = Server::Start(store_.get(), ServerOptions{});
+    ASSERT_TRUE(server.ok()) << server.status();
+    server_ = std::move(*server);
+
+    StreamConfig config;
+    config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->CreateStream(1, std::move(config)).ok());
+  }
+
+  // Writes `bytes`, then waits for the server to close the connection. The
+  // deadline bounds the "never hang" guarantee; any response bytes the
+  // server sends first are drained and discarded.
+  void SendExpectClose(const std::string& bytes, const char* what) {
+    auto fd = ConnectTcp("127.0.0.1", server_->port());
+    ASSERT_TRUE(fd.ok()) << fd.status();
+    ASSERT_TRUE(WriteFully(fd->get(), bytes).ok()) << what;
+    char buf[4096];
+    for (int spins = 0; spins < 100; ++spins) {
+      auto r = ReadSome(fd->get(), buf, sizeof(buf));
+      ASSERT_TRUE(r.ok()) << what << ": " << r.status();
+      if (*r == 0) {
+        return;  // clean close
+      }
+    }
+    FAIL() << what << ": server kept the connection open past the deadline";
+  }
+
+  // Writes `bytes` and disconnects immediately (mid-frame hangup).
+  void SendAndHangUp(const std::string& bytes) {
+    auto fd = ConnectTcp("127.0.0.1", server_->port());
+    ASSERT_TRUE(fd.ok()) << fd.status();
+    ASSERT_TRUE(WriteFully(fd->get(), bytes).ok());
+  }
+
+  // The liveness probe: after every attack the server must still answer.
+  void AssertServerHealthy() {
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    ASSERT_TRUE((*client)->Ping().ok());
+  }
+
+  std::string dir_;
+  std::unique_ptr<SummaryStore> store_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(FrameFuzzServerTest, HostileLengthPrefixesCloseCleanly) {
+  SendExpectClose(FrameWithLength(0, ""), "zero length");
+  SendExpectClose(FrameWithLength(0xffffffffu, "xxxx"), "max-u32 length");
+  SendExpectClose(FrameWithLength(kMaxFrameBytes + 1, "xxxx"), "just over cap");
+  AssertServerHealthy();
+}
+
+TEST_F(FrameFuzzServerTest, GarbageOpcodesCloseCleanly) {
+  for (uint8_t op : {static_cast<uint8_t>(Opcode::kMaxOpcode) + 1, 0x7f, 0xff}) {
+    Writer w;
+    w.PutVarint(1);
+    w.PutU8(op);
+    SendExpectClose(ValidFrame(w.data()), "garbage opcode");
+  }
+  // An unterminated 11-byte varint as the request id.
+  SendExpectClose(ValidFrame(std::string(11, '\xff')), "overlong varint request id");
+  AssertServerHealthy();
+}
+
+TEST_F(FrameFuzzServerTest, TruncationAtEveryByteNeverCrashes) {
+  const std::string frame = ValidFrame(AppendRequestPayload(1, 1, 100, 1.0));
+  for (size_t cut = 0; cut <= frame.size(); ++cut) {
+    SendAndHangUp(frame.substr(0, cut));
+  }
+  AssertServerHealthy();
+}
+
+TEST_F(FrameFuzzServerTest, MalformedBodyGetsErrorResponseNotDisconnect) {
+  // Valid frame + valid header, body truncated: the stream is still framed,
+  // so the server answers with kCorruption and keeps the connection.
+  Writer w;
+  EncodeRequestHeader(RequestHeader{42, Opcode::kAppend}, w);
+  w.PutVarint(1);  // stream id, then nothing: ts/value missing
+  auto fd = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(WriteFully(fd->get(), ValidFrame(w.data())).ok());
+
+  char prefix[4];
+  ASSERT_TRUE(ReadFully(fd->get(), prefix, sizeof(prefix)).ok());
+  uint32_t len;
+  std::memcpy(&len, prefix, sizeof(len));
+  ASSERT_GT(len, 0u);
+  ASSERT_LE(len, kMaxFrameBytes);
+  std::string payload(len, '\0');
+  ASSERT_TRUE(ReadFully(fd->get(), payload.data(), len).ok());
+  Reader reader(payload);
+  auto id = reader.ReadVarint();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 42u);
+  Status remote = Status::Ok();
+  ASSERT_TRUE(DecodeStatus(reader, &remote).ok());
+  EXPECT_EQ(remote.code(), StatusCode::kCorruption);
+
+  // Same connection still serves a healthy request.
+  std::string ping = ValidFrame([] {
+    Writer p;
+    EncodeRequestHeader(RequestHeader{43, Opcode::kPing}, p);
+    return p.Release();
+  }());
+  ASSERT_TRUE(WriteFully(fd->get(), ping).ok());
+  ASSERT_TRUE(ReadFully(fd->get(), prefix, sizeof(prefix)).ok());
+  AssertServerHealthy();
+}
+
+TEST_F(FrameFuzzServerTest, HugeBatchCountRejectedWithoutAllocation) {
+  Writer w;
+  EncodeRequestHeader(RequestHeader{7, Opcode::kAppendBatch}, w);
+  w.PutVarint(1);           // stream id
+  w.PutVarint(UINT64_MAX);  // event count: payload holds none of them
+  auto fd = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(WriteFully(fd->get(), ValidFrame(w.data())).ok());
+  char prefix[4];
+  ASSERT_TRUE(ReadFully(fd->get(), prefix, sizeof(prefix)).ok());
+  uint32_t len;
+  std::memcpy(&len, prefix, sizeof(len));
+  ASSERT_LE(len, kMaxFrameBytes);
+  std::string payload(len, '\0');
+  ASSERT_TRUE(ReadFully(fd->get(), payload.data(), len).ok());
+  Reader reader(payload);
+  ASSERT_TRUE(reader.ReadVarint().ok());
+  Status remote = Status::Ok();
+  ASSERT_TRUE(DecodeStatus(reader, &remote).ok());
+  EXPECT_EQ(remote.code(), StatusCode::kCorruption);
+  AssertServerHealthy();
+}
+
+TEST_F(FrameFuzzServerTest, RandomBytesNeverCrashOrHang) {
+  Rng rng(20260808);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 1 + static_cast<size_t>(rng.NextU64() % 256);
+    std::string bytes;
+    bytes.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      bytes.push_back(static_cast<char>(rng.NextU64() & 0xff));
+    }
+    // Random prefixes usually decode as absurd lengths (close) or partial
+    // frames (hang up on our side); both paths must leave the server alive.
+    SendAndHangUp(bytes);
+  }
+  AssertServerHealthy();
+  EXPECT_EQ(store_->ListStreams().size(), 1u);  // no hostile writes landed
+}
+
+TEST_F(FrameFuzzServerTest, PipelinedValidThenGarbageExecutesPrefix) {
+  // A valid append followed in the same write by frame garbage: the valid
+  // request executes and is acked; the garbage closes the connection.
+  std::string bytes = ValidFrame(AppendRequestPayload(9, 1, 50, 2.0));
+  bytes += FrameWithLength(0xffffffffu, "");
+  SendExpectClose(bytes, "valid-then-garbage");
+  AssertServerHealthy();
+
+  auto client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  QuerySpec spec;
+  spec.op = QueryOp::kCount;
+  spec.t1 = 0;
+  spec.t2 = 1000;
+  auto result = (*client)->Query(1, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->result.estimate, 1.0);
+}
+
+}  // namespace
+}  // namespace ss::net

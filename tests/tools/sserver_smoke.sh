@@ -1,0 +1,106 @@
+#!/bin/sh
+# Server smoke test: boot sserver on a loopback ephemeral port, drive it
+# end-to-end with sstool --connect, then verify a clean SIGTERM shutdown and
+# that the ingested data is durable in the store directory afterwards.
+# Usage: sserver_smoke.sh <path-to-sserver> <path-to-sstool>
+set -eu
+
+SSERVER="$1"
+SSTOOL="$2"
+DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+"$SSERVER" --dir "$DIR/store" --port 0 > "$DIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listen banner (the port is ephemeral, so parse it back out).
+i=0
+while ! grep -q "listening on" "$DIR/server.log" 2>/dev/null; do
+  i=$((i + 1))
+  if [ $i -gt 100 ]; then
+    echo "FAIL: sserver never reported listening"; cat "$DIR/server.log"; exit 1
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: sserver exited during startup"; cat "$DIR/server.log"; exit 1
+  fi
+  sleep 0.1
+done
+ADDR="$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$DIR/server.log" | head -1)"
+echo "sserver up at $ADDR (pid $SERVER_PID)"
+
+# Every store subcommand over the wire.
+"$SSTOOL" create --connect "$ADDR" --decay 'powerlaw(1,1,1,1)' --ops full --stream 7
+
+i=1
+while [ $i -le 500 ]; do
+  echo "$i,$((i % 10))"
+  i=$((i + 1))
+done | "$SSTOOL" ingest --connect "$ADDR" --stream 7
+
+OUT="$("$SSTOOL" query --connect "$ADDR" --stream 7 --op count --t1 1 --t2 500)"
+echo "$OUT"
+case "$OUT" in
+  *"estimate: 500"*) ;;
+  *) echo "FAIL: expected exact remote count 500"; exit 1 ;;
+esac
+
+# Remote --explain ships the server-rendered query trace.
+OUT="$("$SSTOOL" query --connect "$ADDR" --stream 7 --op count --t1 1 --t2 500 --explain)"
+case "$OUT" in
+  *"windows scanned"*) ;;
+  *) echo "FAIL: remote --explain missing trace"; echo "$OUT"; exit 1 ;;
+esac
+
+"$SSTOOL" info --connect "$ADDR" | grep -q "PowerLaw(1,1,1,1)" || {
+  echo "FAIL: remote info missing stream row"; exit 1
+}
+
+OUT="$("$SSTOOL" stats --connect "$ADDR")"
+case "$OUT" in
+  *"ss_net_requests_total"*) ;;
+  *) echo "FAIL: remote stats missing ss_net metrics"; echo "$OUT"; exit 1 ;;
+esac
+
+OUT="$("$SSTOOL" scrub --connect "$ADDR" --dry-run)"
+case "$OUT" in
+  *"0 errors, 0 quarantined"*) ;;
+  *) echo "FAIL: remote scrub on a clean store reported errors"; echo "$OUT"; exit 1 ;;
+esac
+
+# Landmark round trip over the wire.
+"$SSTOOL" landmark --connect "$ADDR" --stream 7 --begin 501
+echo "501,999" | "$SSTOOL" ingest --connect "$ADDR" --stream 7
+"$SSTOOL" landmark --connect "$ADDR" --stream 7 --end 501
+OUT="$("$SSTOOL" query --connect "$ADDR" --stream 7 --op max --t1 1 --t2 501)"
+case "$OUT" in
+  *"estimate: 999"*) ;;
+  *) echo "FAIL: expected remote landmark max 999"; exit 1 ;;
+esac
+
+# Clean shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$SERVER_PID"
+rc=0
+wait "$SERVER_PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: sserver exited rc=$rc on SIGTERM"; cat "$DIR/server.log"; exit 1
+fi
+grep -q "draining" "$DIR/server.log" || {
+  echo "FAIL: no drain message in server log"; cat "$DIR/server.log"; exit 1
+}
+SERVER_PID=""
+
+# The data the server ingested must be durable in the store directory.
+OUT="$("$SSTOOL" query --dir "$DIR/store" --stream 7 --op count --t1 1 --t2 501)"
+case "$OUT" in
+  *"estimate: 501"*) ;;
+  *) echo "FAIL: store not durable after server shutdown"; echo "$OUT"; exit 1 ;;
+esac
+
+echo "sserver smoke: OK"

@@ -42,10 +42,10 @@ cmake --build "${san_dir}" -j"$(nproc)" --target \
   metrics_test trace_test flight_recorder_test \
   wal_test sstable_test lsm_store_test group_commit_test crash_recovery_test \
   lsm_concurrency_test fault_fs_test fault_injection_test \
-  corruption_test serde_fuzz_test
+  corruption_test serde_fuzz_test frame_fuzz_test
 for t in metrics_test trace_test flight_recorder_test wal_test sstable_test \
          lsm_store_test group_commit_test crash_recovery_test lsm_concurrency_test \
-         fault_fs_test corruption_test serde_fuzz_test; do
+         fault_fs_test corruption_test serde_fuzz_test frame_fuzz_test; do
   echo "--- ${t} (asan+ubsan)"
   if [ "${t}" = crash_recovery_test ]; then
     # Simulates hard kills by deliberately leaking un-flushed stores; leak
@@ -69,6 +69,12 @@ echo "=== corruption matrix: byte-flip sweep under ASan (SS_FAULT_INJECT=1) ==="
 # offset sweep runs only in CI; the dev build uses a strided subset.
 SS_FAULT_INJECT=1 "${san_dir}/tests/corruption_test"
 
+echo "=== server smoke: sserver on loopback + sstool --connect e2e ==="
+# Boots the real daemon, drives every store subcommand over the wire, and
+# asserts a clean SIGTERM drain + durable store. ctest runs this too; the
+# explicit leg keeps the wire path visible in the CI log.
+tests/tools/sserver_smoke.sh "${prefix}/tools/sserver" "${prefix}/tools/sstool"
+
 tsan_dir="${prefix}-tsan"
 echo "=== sanitizers: TSan build of core + concurrency tests (${tsan_dir}) ==="
 # group_commit_test and the batched writers in lsm_concurrency_test /
@@ -78,9 +84,10 @@ cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSS_SANITIZE=thre
 # corruption_test rides along for its background-scrub-thread coverage.
 cmake --build "${tsan_dir}" -j"$(nproc)" --target \
   thread_pool_test summary_store_test group_commit_test lsm_concurrency_test \
-  concurrency_test corruption_test flight_recorder_test
+  concurrency_test corruption_test flight_recorder_test net_server_test
 for t in thread_pool_test summary_store_test group_commit_test \
-         lsm_concurrency_test concurrency_test corruption_test flight_recorder_test; do
+         lsm_concurrency_test concurrency_test corruption_test flight_recorder_test \
+         net_server_test; do
   echo "--- ${t} (tsan)"
   TSAN_OPTIONS=halt_on_error=1 "${tsan_dir}/tests/${t}"
 done
@@ -102,5 +109,10 @@ SS_BENCH_PROFILE=ci SS_BENCH_OUT="${bench_out}/BENCH_micro.json" \
 SS_BENCH_PROFILE=ci SS_SCALE_STREAMS=8 SS_SCALE_EVENTS=50000 \
   SS_BENCH_OUT="${bench_out}/BENCH_scale.json" "${prefix}/bench/bench_scale"
 "${prefix}/tools/bench_compare" BENCH_scale.json "${bench_out}/BENCH_scale.json" \
+  --threshold-pct 75
+# bench_net doubles as a correctness gate: it exits non-zero if backpressure
+# never engages or any acked append is lost across the in-bench kill+replay.
+SS_BENCH_PROFILE=ci SS_BENCH_OUT="${bench_out}/BENCH_net.json" "${prefix}/bench/bench_net"
+"${prefix}/tools/bench_compare" BENCH_net.json "${bench_out}/BENCH_net.json" \
   --threshold-pct 75
 echo "=== ci.sh: all green ==="

@@ -1,0 +1,116 @@
+// sserver — the SummaryStore TCP daemon (DESIGN.md §12). Opens a durable
+// store directory and serves the full sstool surface over the length-prefixed
+// binary protocol; any sstool subcommand works against it via
+// `sstool <cmd> --connect host:port`.
+//
+//   sserver --dir D [--host H] [--port P] [--workers N]
+//           [--ingest-bound EVENTS] [--backpressure block|shed]
+//           [--no-durable-acks] [--sync-wal]
+//           [--scrub-interval MS] [--scrub-no-repair]
+//
+//   --port 0 (default) binds an ephemeral port; the chosen one is printed.
+//   --ingest-bound caps events admitted but not yet acknowledged; at the
+//     bound, `block` stops reading the offending connections (TCP pushes
+//     back) while `shed` answers FAILED_PRECONDITION immediately.
+//   --no-durable-acks acks ingest before the covering flush (throughput
+//     experiments; an acked append may be lost on a hard kill).
+//   --sync-wal makes every acknowledged write survive power loss, not just
+//     process death.
+//
+// Prints exactly one `listening on HOST:PORT` line to stdout once serving
+// (smoke tests and bench harnesses key off it), then runs until SIGINT or
+// SIGTERM, which trigger a graceful drain: stop accepting, finish in-flight
+// requests, flush + ack the ingest tail, close.
+#include <signal.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/summary_store.h"
+#include "src/net/server.h"
+#include "src/obs/flight_recorder.h"
+#include "tools/cli.h"
+
+namespace ss {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "sserver: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sserver --dir DIR [--host H] [--port P] [--workers N]\n"
+               "               [--ingest-bound EVENTS] [--backpressure block|shed]\n"
+               "               [--no-durable-acks] [--sync-wal]\n"
+               "               [--scrub-interval MS] [--scrub-no-repair]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  FlightRecorder::Default().InstallCrashHandler();
+  auto args = ParseArgs(argc, argv, 1, {"no-durable-acks", "sync-wal", "scrub-no-repair"});
+  if (!args.ok()) {
+    return Fail(args.status());
+  }
+  if (!args->Has("dir")) {
+    return Usage();
+  }
+
+  // Block the shutdown signals before any thread spawns, so every server
+  // thread inherits the mask and only the sigwait below receives them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  StoreOptions store_options;
+  store_options.dir = args->flags.at("dir");
+  store_options.lsm.sync_wal = args->Has("sync-wal");
+  store_options.scrub_interval_ms = std::stoull(args->GetOr("scrub-interval", "0"));
+  store_options.scrub_repair = !args->Has("scrub-no-repair");
+  auto store = SummaryStore::Open(store_options);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+
+  net::ServerOptions options;
+  options.host = args->GetOr("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(std::stoul(args->GetOr("port", "0")));
+  options.worker_threads = std::stoull(args->GetOr("workers", "0"));
+  options.ingest_queue_events = std::stoull(args->GetOr("ingest-bound", "65536"));
+  options.durable_acks = !args->Has("no-durable-acks");
+  const std::string policy = args->GetOr("backpressure", "block");
+  if (policy == "shed") {
+    options.backpressure = net::ServerOptions::Backpressure::kShed;
+  } else if (policy == "block") {
+    options.backpressure = net::ServerOptions::Backpressure::kBlock;
+  } else {
+    return Fail(Status::InvalidArgument("--backpressure must be block or shed"));
+  }
+
+  auto server = net::Server::Start(store->get(), options);
+  if (!server.ok()) {
+    return Fail(server.status());
+  }
+  std::printf("listening on %s:%u\n", options.host.c_str(), (*server)->port());
+  std::fflush(stdout);
+
+  int sig = 0;
+  while (sigwait(&sigs, &sig) != 0) {
+  }
+  std::fprintf(stderr, "sserver: received %s, draining\n", sig == SIGINT ? "SIGINT" : "SIGTERM");
+  (*server)->Stop();
+  server->reset();
+  if (Status s = (*store)->Flush(); !s.ok()) {
+    return Fail(s);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ss
+
+int main(int argc, char** argv) { return ss::Main(argc, argv); }

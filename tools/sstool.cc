@@ -1,9 +1,15 @@
-// sstool — command-line client for a durable SummaryStore directory.
+// sstool — command-line client for a SummaryStore, either a local durable
+// directory (--dir D) or a live sserver over TCP (--connect host:port).
+// Every subcommand below except the offline ones (`stats --diff`, `flight`)
+// accepts either flag and behaves identically in both modes.
 //
 //   sstool create  --dir D --decay "powerlaw(1,1,1,1)" [--ops agg|micro|full]
 //                  [--stream N] [--raw-threshold K] [--poisson]
 //                  [--time-windowing 1] [--reorder N]
-//   sstool ingest  --dir D --stream N [--csv FILE]       (default: stdin, "ts,value" lines)
+//   sstool ingest  --dir D --stream N [--csv FILE] [--batch K]
+//                  (default: stdin, "ts,value" lines; events are batched K
+//                  at a time — one AppendBatch per chunk locally, one
+//                  append-batch frame per chunk over the wire)
 //   sstool query   --dir D --stream N --op count|sum|mean|min|max|exists|freq|distinct|
 //                  quantile|range --t1 T --t2 T [--value V] [--q Q]
 //                  [--vlo A --vhi B] [--confidence C] [--explain]
@@ -17,9 +23,11 @@
 //
 // `query --explain` additionally prints the per-query trace: windows scanned,
 // bytes read, window/block cache hits and misses, per-phase latency, and the
-// estimator's CI. Degraded answers (quarantined windows in range) are flagged
-// with the missing time spans. `stats` dumps the process metric registry
-// (plus store-level gauges) in Prometheus text format or JSON; `stats --diff`
+// estimator's CI (in remote mode the server renders the trace and ships the
+// text). Degraded answers (quarantined windows in range) are flagged with the
+// missing time spans. `stats` dumps the process metric registry (plus
+// store-level gauges) in Prometheus text format or JSON — in remote mode the
+// *server's* registry, where the store's counters live; `stats --diff`
 // compares two saved `--format json` snapshots and prints the metric deltas.
 // `scrub` re-verifies every persisted checksum, quarantining and (without
 // --dry-run) repairing corrupt windows by folding them into their intact left
@@ -34,11 +42,10 @@
 #include <fstream>
 #include <iostream>
 
-#include "src/core/summary_store.h"
 #include "src/obs/flight_recorder.h"
-#include "src/obs/metrics.h"
 #include "src/storage/file_util.h"
 #include "tools/cli.h"
+#include "tools/store_handle.h"
 
 namespace ss {
 namespace {
@@ -50,20 +57,12 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: sstool <create|ingest|query|landmark|info|stats|scrub|delete> --dir DIR [flags]\n"
+               "usage: sstool <create|ingest|query|landmark|info|stats|scrub|delete> "
+               "(--dir DIR | --connect HOST:PORT) [flags]\n"
                "       sstool stats --diff A.json B.json\n"
                "       sstool flight <bundle.bin|dir> [--since US] [--metrics]\n"
                "run with a command and no flags for per-command help in the header comment\n");
   return 2;
-}
-
-StatusOr<std::unique_ptr<SummaryStore>> OpenStore(const ParsedArgs& args) {
-  if (!args.Has("dir")) {
-    return Status::InvalidArgument("--dir is required");
-  }
-  StoreOptions options;
-  options.dir = args.flags.at("dir");
-  return SummaryStore::Open(options);
 }
 
 StatusOr<StreamId> RequiredStream(const ParsedArgs& args) {
@@ -74,9 +73,9 @@ StatusOr<StreamId> RequiredStream(const ParsedArgs& args) {
 }
 
 int CmdCreate(const ParsedArgs& args) {
-  auto store = OpenStore(args);
-  if (!store.ok()) {
-    return Fail(store.status());
+  auto handle = StoreHandle::Open(args);
+  if (!handle.ok()) {
+    return Fail(handle.status());
   }
   if (!args.Has("decay")) {
     return Fail(Status::InvalidArgument("--decay is required, e.g. --decay 'powerlaw(1,1,1,1)'"));
@@ -99,31 +98,22 @@ int CmdCreate(const ParsedArgs& args) {
   }
   config.reorder_buffer = std::stoull(args.GetOr("reorder", "0"));
 
-  StatusOr<StreamId> sid = Status::Ok();
+  StreamId want = 0;  // 0 = auto-assign
   if (args.Has("stream")) {
-    StreamId id = static_cast<StreamId>(std::stoull(args.flags.at("stream")));
-    Status s = (*store)->CreateStreamWithId(id, std::move(config));
-    if (!s.ok()) {
-      return Fail(s);
-    }
-    sid = id;
-  } else {
-    sid = (*store)->CreateStream(std::move(config));
-    if (!sid.ok()) {
-      return Fail(sid.status());
-    }
+    want = static_cast<StreamId>(std::stoull(args.flags.at("stream")));
   }
-  if (Status s = (*store)->Flush(); !s.ok()) {
-    return Fail(s);
+  auto sid = (*handle)->CreateStream(want, std::move(config));
+  if (!sid.ok()) {
+    return Fail(sid.status());
   }
   std::printf("created stream %" PRIu64 " (decay %s)\n", *sid, (*decay)->Describe().c_str());
   return 0;
 }
 
 int CmdIngest(const ParsedArgs& args) {
-  auto store = OpenStore(args);
-  if (!store.ok()) {
-    return Fail(store.status());
+  auto handle = StoreHandle::Open(args);
+  if (!handle.ok()) {
+    return Fail(handle.status());
   }
   auto sid = RequiredStream(args);
   if (!sid.ok()) {
@@ -138,8 +128,26 @@ int CmdIngest(const ParsedArgs& args) {
     }
     in = &file;
   }
+  const size_t chunk = std::stoull(args.GetOr("batch", "1024"));
+  if (chunk == 0) {
+    return Fail(Status::InvalidArgument("--batch must be positive"));
+  }
   uint64_t appended = 0;
   uint64_t skipped = 0;
+  std::vector<Event> batch;
+  batch.reserve(chunk);
+  auto drain = [&]() {
+    if (batch.empty()) {
+      return;
+    }
+    if (Status s = (*handle)->AppendBatch(*sid, batch); !s.ok()) {
+      skipped += batch.size();
+      std::fprintf(stderr, "skipping batch of %zu: %s\n", batch.size(), s.ToString().c_str());
+    } else {
+      appended += batch.size();
+    }
+    batch.clear();
+  };
   std::string line;
   while (std::getline(*in, line)) {
     auto event = ParseCsvLine(line);
@@ -151,14 +159,13 @@ int CmdIngest(const ParsedArgs& args) {
       std::fprintf(stderr, "skipping: %s\n", event.status().ToString().c_str());
       continue;
     }
-    if (Status s = (*store)->Append(*sid, event->ts, event->value); !s.ok()) {
-      ++skipped;
-      std::fprintf(stderr, "skipping: %s\n", s.ToString().c_str());
-      continue;
+    batch.push_back(*event);
+    if (batch.size() >= chunk) {
+      drain();
     }
-    ++appended;
   }
-  if (Status s = (*store)->Flush(); !s.ok()) {
+  drain();
+  if (Status s = (*handle)->Flush(); !s.ok()) {
     return Fail(s);
   }
   std::printf("appended %" PRIu64 " events (%" PRIu64 " skipped)\n", appended, skipped);
@@ -166,9 +173,9 @@ int CmdIngest(const ParsedArgs& args) {
 }
 
 int CmdQuery(const ParsedArgs& args) {
-  auto store = OpenStore(args);
-  if (!store.ok()) {
-    return Fail(store.status());
+  auto handle = StoreHandle::Open(args);
+  if (!handle.ok()) {
+    return Fail(handle.status());
   }
   auto sid = RequiredStream(args);
   if (!sid.ok()) {
@@ -191,29 +198,30 @@ int CmdQuery(const ParsedArgs& args) {
   spec.value_hi = std::stod(args.GetOr("vhi", "0"));
   spec.confidence = std::stod(args.GetOr("confidence", "0.95"));
   spec.collect_trace = args.Has("explain");
-  auto result = (*store)->Query(*sid, spec);
-  if (!result.ok()) {
-    return Fail(result.status());
+  auto wire = (*handle)->Query(*sid, spec);
+  if (!wire.ok()) {
+    return Fail(wire.status());
   }
+  const QueryResult& result = wire->result;
   if (spec.op == QueryOp::kExistence) {
     std::printf("answer: %s  (p=%.4f, ci=[%.4f, %.4f])%s\n",
-                result->bool_answer ? "yes" : "no", result->estimate, result->ci_lo,
-                result->ci_hi, result->degraded ? "  [degraded]" : "");
+                result.bool_answer ? "yes" : "no", result.estimate, result.ci_lo,
+                result.ci_hi, result.degraded ? "  [degraded]" : "");
   } else {
     std::printf("estimate: %.6g  %.0f%% CI: [%.6g, %.6g]%s%s  (windows read: %zu, landmark "
                 "events: %zu)\n",
-                result->estimate, spec.confidence * 100, result->ci_lo, result->ci_hi,
-                result->exact ? "  [exact]" : "", result->degraded ? "  [degraded]" : "",
-                result->windows_read, result->landmark_events);
+                result.estimate, spec.confidence * 100, result.ci_lo, result.ci_hi,
+                result.exact ? "  [exact]" : "", result.degraded ? "  [degraded]" : "",
+                result.windows_read, result.landmark_events);
   }
-  if (result->degraded) {
-    for (const auto& [a, b] : result->skipped_spans) {
+  if (result.degraded) {
+    for (const auto& [a, b] : result.skipped_spans) {
       std::printf("degraded: missing data in [%" PRId64 ", %" PRId64 "]\n",
                   static_cast<int64_t>(a), static_cast<int64_t>(b));
     }
   }
-  if (spec.collect_trace && result->trace != nullptr) {
-    std::printf("%s", result->trace->Render().c_str());
+  if (spec.collect_trace && !wire->trace_text.empty()) {
+    std::printf("%s", wire->trace_text.c_str());
   }
   return 0;
 }
@@ -259,45 +267,30 @@ int CmdStats(const ParsedArgs& args) {
   if (args.Has("diff")) {
     return CmdStatsDiff(args);
   }
-  auto store = OpenStore(args);
-  if (!store.ok()) {
-    return Fail(store.status());
+  auto handle = StoreHandle::Open(args);
+  if (!handle.ok()) {
+    return Fail(handle.status());
   }
-  MetricRegistry& registry = MetricRegistry::Default();
-  registry.GetGauge("ss_store_streams").Set((*store)->ListStreams().size());
-  registry.GetGauge("ss_store_size_bytes").Set((*store)->TotalSizeBytes());
-  registry.GetGauge("ss_store_backend_bytes").Set((*store)->backend().ApproximateSizeBytes());
-  uint64_t windows = 0;
-  uint64_t events = 0;
-  uint64_t landmarks = 0;
-  for (StreamId id : (*store)->ListStreams()) {
-    auto stream = (*store)->GetStream(id);
-    if (!stream.ok()) {
-      return Fail(stream.status());
-    }
-    windows += (*stream)->window_count();
-    events += (*stream)->element_count();
-    landmarks += (*stream)->landmark_window_count();
-  }
-  registry.GetGauge("ss_store_windows").Set(windows);
-  registry.GetGauge("ss_store_events").Set(events);
-  registry.GetGauge("ss_store_landmark_windows").Set(landmarks);
-
   const std::string format = args.GetOr("format", "prom");
-  if (format == "json") {
-    std::printf("%s\n", registry.RenderJson().c_str());
-  } else if (format == "prom") {
-    std::printf("%s", registry.RenderPrometheusText().c_str());
-  } else {
+  if (format != "prom" && format != "json") {
     return Fail(Status::InvalidArgument("--format must be prom or json"));
+  }
+  auto text = (*handle)->Stats(/*prometheus=*/format == "prom");
+  if (!text.ok()) {
+    return Fail(text.status());
+  }
+  if (format == "json") {
+    std::printf("%s\n", text->c_str());
+  } else {
+    std::printf("%s", text->c_str());
   }
   return 0;
 }
 
 int CmdLandmark(const ParsedArgs& args) {
-  auto store = OpenStore(args);
-  if (!store.ok()) {
-    return Fail(store.status());
+  auto handle = StoreHandle::Open(args);
+  if (!handle.ok()) {
+    return Fail(handle.status());
   }
   auto sid = RequiredStream(args);
   if (!sid.ok()) {
@@ -305,55 +298,54 @@ int CmdLandmark(const ParsedArgs& args) {
   }
   Status s = Status::InvalidArgument("pass --begin T or --end T");
   if (args.Has("begin")) {
-    s = (*store)->BeginLandmark(*sid, std::stoll(args.flags.at("begin")));
+    s = (*handle)->BeginLandmark(*sid, std::stoll(args.flags.at("begin")));
   } else if (args.Has("end")) {
-    s = (*store)->EndLandmark(*sid, std::stoll(args.flags.at("end")));
+    s = (*handle)->EndLandmark(*sid, std::stoll(args.flags.at("end")));
   }
   if (!s.ok()) {
     return Fail(s);
-  }
-  if (Status flush = (*store)->Flush(); !flush.ok()) {
-    return Fail(flush);
   }
   std::printf("ok\n");
   return 0;
 }
 
 int CmdInfo(const ParsedArgs& args) {
-  auto store = OpenStore(args);
-  if (!store.ok()) {
-    return Fail(store.status());
+  auto handle = StoreHandle::Open(args);
+  if (!handle.ok()) {
+    return Fail(handle.status());
   }
-  std::vector<StreamId> ids = (*store)->ListStreams();
+  StreamId want = 0;  // 0 = all
   if (args.Has("stream")) {
-    ids = {static_cast<StreamId>(std::stoull(args.flags.at("stream")))};
+    want = static_cast<StreamId>(std::stoull(args.flags.at("stream")));
+  }
+  auto rows = (*handle)->StreamInfos(want);
+  if (!rows.ok()) {
+    return Fail(rows.status());
   }
   std::printf("%8s %12s %10s %10s %12s %14s %s\n", "stream", "events", "windows", "landmarks",
               "store bytes", "compaction", "decay");
-  for (StreamId id : ids) {
-    auto stream = (*store)->GetStream(id);
-    if (!stream.ok()) {
-      return Fail(stream.status());
-    }
-    uint64_t raw = ((*stream)->element_count() + (*stream)->landmark_element_count()) * 16;
-    uint64_t bytes = (*stream)->SizeBytes();
-    std::printf("%8" PRIu64 " %12" PRIu64 " %10zu %10zu %12" PRIu64 " %13.1fx %s\n", id,
-                (*stream)->element_count(), (*stream)->window_count(),
-                (*stream)->landmark_window_count(), bytes,
-                bytes > 0 ? static_cast<double>(raw) / static_cast<double>(bytes) : 0.0,
-                (*stream)->config().decay->Describe().c_str());
+  for (const net::StreamInfo& row : *rows) {
+    uint64_t raw = (row.element_count + row.landmark_element_count) * 16;
+    std::printf("%8" PRIu64 " %12" PRIu64 " %10" PRIu64 " %10" PRIu64 " %12" PRIu64
+                " %13.1fx %s\n",
+                row.id, row.element_count, row.window_count, row.landmark_window_count,
+                row.size_bytes,
+                row.size_bytes > 0
+                    ? static_cast<double>(raw) / static_cast<double>(row.size_bytes)
+                    : 0.0,
+                row.decay.c_str());
   }
   return 0;
 }
 
 int CmdScrub(const ParsedArgs& args) {
-  auto store = OpenStore(args);
-  if (!store.ok()) {
-    return Fail(store.status());
+  auto handle = StoreHandle::Open(args);
+  if (!handle.ok()) {
+    return Fail(handle.status());
   }
   const bool repair = !args.Has("dry-run");
   ScrubReport report;
-  Status status = (*store)->Scrub(repair, &report);
+  Status status = (*handle)->Scrub(repair, &report);
   std::printf("scrub%s: %" PRIu64 " windows, %" PRIu64 " landmarks checked; %" PRIu64
               " errors, %" PRIu64 " quarantined, %" PRIu64 " repaired, %" PRIu64 " healed\n",
               repair ? "" : " (dry-run)", report.windows_checked, report.landmarks_checked,
@@ -365,15 +357,15 @@ int CmdScrub(const ParsedArgs& args) {
 }
 
 int CmdDelete(const ParsedArgs& args) {
-  auto store = OpenStore(args);
-  if (!store.ok()) {
-    return Fail(store.status());
+  auto handle = StoreHandle::Open(args);
+  if (!handle.ok()) {
+    return Fail(handle.status());
   }
   auto sid = RequiredStream(args);
   if (!sid.ok()) {
     return Fail(sid.status());
   }
-  if (Status s = (*store)->DeleteStream(*sid); !s.ok()) {
+  if (Status s = (*handle)->DeleteStream(*sid); !s.ok()) {
     return Fail(s);
   }
   std::printf("deleted stream %" PRIu64 "\n", *sid);

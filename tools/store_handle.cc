@@ -1,0 +1,176 @@
+#include "tools/store_handle.h"
+
+#include "src/obs/metrics.h"
+
+namespace ss {
+namespace {
+
+class LocalStoreHandle : public StoreHandle {
+ public:
+  explicit LocalStoreHandle(std::unique_ptr<SummaryStore> store) : store_(std::move(store)) {}
+
+  StatusOr<StreamId> CreateStream(StreamId id, StreamConfig config) override {
+    StreamId created = id;
+    if (id == 0) {
+      SS_ASSIGN_OR_RETURN(created, store_->CreateStream(std::move(config)));
+    } else {
+      SS_RETURN_IF_ERROR(store_->CreateStreamWithId(id, std::move(config)));
+    }
+    SS_RETURN_IF_ERROR(store_->Flush());
+    return created;
+  }
+
+  Status DeleteStream(StreamId id) override { return store_->DeleteStream(id); }
+
+  StatusOr<std::vector<StreamId>> ListStreams() override { return store_->ListStreams(); }
+
+  Status Append(StreamId id, Timestamp ts, double value) override {
+    return store_->Append(id, ts, value);
+  }
+
+  Status AppendBatch(StreamId id, std::span<const Event> events) override {
+    return store_->AppendBatch(id, events);
+  }
+
+  Status BeginLandmark(StreamId id, Timestamp ts) override {
+    SS_RETURN_IF_ERROR(store_->BeginLandmark(id, ts));
+    return store_->Flush();
+  }
+
+  Status EndLandmark(StreamId id, Timestamp ts) override {
+    SS_RETURN_IF_ERROR(store_->EndLandmark(id, ts));
+    return store_->Flush();
+  }
+
+  StatusOr<net::WireQueryResult> Query(StreamId id, const QuerySpec& spec) override {
+    SS_ASSIGN_OR_RETURN(QueryResult result, store_->Query(id, spec));
+    net::WireQueryResult out;
+    if (spec.collect_trace && result.trace != nullptr) {
+      out.trace_text = result.trace->Render();
+    }
+    out.result = std::move(result);
+    return out;
+  }
+
+  Status Flush() override { return store_->Flush(); }
+
+  Status Scrub(bool repair, ScrubReport* report) override {
+    return store_->Scrub(repair, report);
+  }
+
+  StatusOr<std::string> Stats(bool prometheus) override {
+    MetricRegistry& registry = MetricRegistry::Default();
+    std::vector<StreamId> ids = store_->ListStreams();
+    registry.GetGauge("ss_store_streams").Set(static_cast<int64_t>(ids.size()));
+    registry.GetGauge("ss_store_size_bytes").Set(static_cast<int64_t>(store_->TotalSizeBytes()));
+    registry.GetGauge("ss_store_backend_bytes")
+        .Set(static_cast<int64_t>(store_->backend().ApproximateSizeBytes()));
+    uint64_t windows = 0;
+    uint64_t events = 0;
+    uint64_t landmarks = 0;
+    for (StreamId id : ids) {
+      SS_ASSIGN_OR_RETURN(Stream * stream, store_->GetStream(id));
+      windows += stream->window_count();
+      events += stream->element_count();
+      landmarks += stream->landmark_window_count();
+    }
+    registry.GetGauge("ss_store_windows").Set(static_cast<int64_t>(windows));
+    registry.GetGauge("ss_store_events").Set(static_cast<int64_t>(events));
+    registry.GetGauge("ss_store_landmark_windows").Set(static_cast<int64_t>(landmarks));
+    return prometheus ? registry.RenderPrometheusText() : registry.RenderJson();
+  }
+
+  StatusOr<std::vector<net::StreamInfo>> StreamInfos(StreamId id) override {
+    std::vector<StreamId> ids;
+    if (id != 0) {
+      ids.push_back(id);
+    } else {
+      ids = store_->ListStreams();
+    }
+    std::vector<net::StreamInfo> rows;
+    rows.reserve(ids.size());
+    for (StreamId sid : ids) {
+      SS_ASSIGN_OR_RETURN(Stream * stream, store_->GetStream(sid));
+      net::StreamInfo info;
+      info.id = sid;
+      info.element_count = stream->element_count();
+      info.landmark_element_count = stream->landmark_element_count();
+      info.window_count = stream->window_count();
+      info.landmark_window_count = stream->landmark_window_count();
+      info.size_bytes = stream->SizeBytes();
+      info.decay = stream->config().decay->Describe();
+      rows.push_back(std::move(info));
+    }
+    return rows;
+  }
+
+ private:
+  std::unique_ptr<SummaryStore> store_;
+};
+
+class RemoteStoreHandle : public StoreHandle {
+ public:
+  explicit RemoteStoreHandle(std::unique_ptr<net::Client> client) : client_(std::move(client)) {}
+
+  StatusOr<StreamId> CreateStream(StreamId id, StreamConfig config) override {
+    return client_->CreateStream(id, config);
+  }
+  Status DeleteStream(StreamId id) override { return client_->DeleteStream(id); }
+  StatusOr<std::vector<StreamId>> ListStreams() override { return client_->ListStreams(); }
+  Status Append(StreamId id, Timestamp ts, double value) override {
+    return client_->Append(id, ts, value);
+  }
+  Status AppendBatch(StreamId id, std::span<const Event> events) override {
+    return client_->AppendBatch(id, events);
+  }
+  Status BeginLandmark(StreamId id, Timestamp ts) override {
+    return client_->BeginLandmark(id, ts);
+  }
+  Status EndLandmark(StreamId id, Timestamp ts) override {
+    return client_->EndLandmark(id, ts);
+  }
+  StatusOr<net::WireQueryResult> Query(StreamId id, const QuerySpec& spec) override {
+    return client_->Query(id, spec);
+  }
+  Status Flush() override { return client_->Flush(); }
+  Status Scrub(bool repair, ScrubReport* report) override {
+    SS_ASSIGN_OR_RETURN(*report, client_->Scrub(repair));
+    return Status::Ok();
+  }
+  StatusOr<std::string> Stats(bool prometheus) override { return client_->Stats(prometheus); }
+  StatusOr<std::vector<net::StreamInfo>> StreamInfos(StreamId id) override {
+    return client_->StreamInfos(id);
+  }
+
+ private:
+  std::unique_ptr<net::Client> client_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<StoreHandle>> StoreHandle::Open(const ParsedArgs& args) {
+  if (args.Has("connect")) {
+    const std::string& target = args.flags.at("connect");
+    size_t colon = target.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= target.size()) {
+      return Status::InvalidArgument("--connect expects host:port, got " + target);
+    }
+    unsigned long port = std::stoul(target.substr(colon + 1));
+    if (port == 0 || port > 65535) {
+      return Status::InvalidArgument("--connect port out of range: " + target);
+    }
+    SS_ASSIGN_OR_RETURN(std::unique_ptr<net::Client> client,
+                        net::Client::Connect(target.substr(0, colon),
+                                             static_cast<uint16_t>(port)));
+    return std::unique_ptr<StoreHandle>(new RemoteStoreHandle(std::move(client)));
+  }
+  if (!args.Has("dir")) {
+    return Status::InvalidArgument("--dir DIR or --connect host:port is required");
+  }
+  StoreOptions options;
+  options.dir = args.flags.at("dir");
+  SS_ASSIGN_OR_RETURN(std::unique_ptr<SummaryStore> store, SummaryStore::Open(options));
+  return std::unique_ptr<StoreHandle>(new LocalStoreHandle(std::move(store)));
+}
+
+}  // namespace ss

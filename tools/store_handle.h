@@ -1,0 +1,52 @@
+// StoreHandle: the uniform store surface sstool's subcommands run against,
+// with two backends — a local durable directory (--dir, the historical mode)
+// and a live sserver over TCP (--connect host:port). Commands are written
+// once against this interface and work identically in both modes; results
+// that the server computes remotely (rendered query traces, the metrics
+// registry text, per-stream info rows) come back as wire types.
+#ifndef SUMMARYSTORE_TOOLS_STORE_HANDLE_H_
+#define SUMMARYSTORE_TOOLS_STORE_HANDLE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/summary_store.h"
+#include "src/net/client.h"
+#include "tools/cli.h"
+
+namespace ss {
+
+class StoreHandle {
+ public:
+  // Picks the backend from the parsed flags: --connect host:port dials a
+  // server, otherwise --dir opens the directory in-process. Exactly one of
+  // the two must be present.
+  static StatusOr<std::unique_ptr<StoreHandle>> Open(const ParsedArgs& args);
+
+  virtual ~StoreHandle() = default;
+
+  // id 0 = auto-assign; returns the created id. Durable on return.
+  virtual StatusOr<StreamId> CreateStream(StreamId id, StreamConfig config) = 0;
+  virtual Status DeleteStream(StreamId id) = 0;
+  virtual StatusOr<std::vector<StreamId>> ListStreams() = 0;
+  virtual Status Append(StreamId id, Timestamp ts, double value) = 0;
+  virtual Status AppendBatch(StreamId id, std::span<const Event> events) = 0;
+  // Durable on return (local: append + flush; remote: server flushes).
+  virtual Status BeginLandmark(StreamId id, Timestamp ts) = 0;
+  virtual Status EndLandmark(StreamId id, Timestamp ts) = 0;
+  // trace_text is populated when spec.collect_trace is set.
+  virtual StatusOr<net::WireQueryResult> Query(StreamId id, const QuerySpec& spec) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Scrub(bool repair, ScrubReport* report) = 0;
+  // Metrics registry rendering (remote: the *server* process's registry,
+  // which is where the store's counters live).
+  virtual StatusOr<std::string> Stats(bool prometheus) = 0;
+  // id 0 = all streams.
+  virtual StatusOr<std::vector<net::StreamInfo>> StreamInfos(StreamId id) = 0;
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_TOOLS_STORE_HANDLE_H_
