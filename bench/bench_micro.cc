@@ -15,6 +15,7 @@
 #include "src/sketch/bloom.h"
 #include "src/sketch/cms.h"
 #include "src/sketch/hyperloglog.h"
+#include "src/sketch/kernels.h"
 #include "src/sketch/quantile.h"
 #include "src/storage/lsm_store.h"
 #include "src/storage/memory_backend.h"
@@ -74,6 +75,86 @@ void BM_QuantileUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QuantileUpdate);
+
+// ------------------------------------------------------------ batch kernels
+
+// Dispatched batch kernels vs the per-element scalar loops (AddHash is the
+// exact scalar reference the kernels must match bit-for-bit). Items are
+// hashes, so items/s ratios between the *Batch and *Sequential variants are
+// the kernel speedup; main() emits them to the report as kernel_*_speedup_x.
+constexpr size_t kKernelBatch = 4096;
+
+const std::vector<uint64_t>& KernelHashes() {
+  static const std::vector<uint64_t> hashes = [] {
+    std::vector<uint64_t> h(kKernelBatch);
+    Rng rng(0x5eed);
+    for (auto& v : h) {
+      v = rng.NextU64();
+    }
+    return h;
+  }();
+  return hashes;
+}
+
+void BM_KernelCmsBatch(benchmark::State& state) {
+  CountMinSketch cms(static_cast<uint32_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    cms.AddHashes(KernelHashes());
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelBatch);
+}
+BENCHMARK(BM_KernelCmsBatch)->Arg(1000)->Arg(1024);
+
+void BM_KernelCmsSequential(benchmark::State& state) {
+  CountMinSketch cms(static_cast<uint32_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    for (uint64_t h : KernelHashes()) {
+      cms.AddHash(h);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelBatch);
+}
+BENCHMARK(BM_KernelCmsSequential)->Arg(1000)->Arg(1024);
+
+void BM_KernelBloomBatch(benchmark::State& state) {
+  BloomFilter bloom(static_cast<uint32_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    bloom.AddHashes(KernelHashes());
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelBatch);
+}
+BENCHMARK(BM_KernelBloomBatch)->Arg(4099)->Arg(4096);
+
+void BM_KernelBloomSequential(benchmark::State& state) {
+  BloomFilter bloom(static_cast<uint32_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    for (uint64_t h : KernelHashes()) {
+      bloom.AddHash(h);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelBatch);
+}
+BENCHMARK(BM_KernelBloomSequential)->Arg(4099)->Arg(4096);
+
+void BM_KernelHllBatch(benchmark::State& state) {
+  HyperLogLog hll(12);
+  for (auto _ : state) {
+    hll.AddHashes(KernelHashes());
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelBatch);
+}
+BENCHMARK(BM_KernelHllBatch);
+
+void BM_KernelHllSequential(benchmark::State& state) {
+  HyperLogLog hll(12);
+  for (auto _ : state) {
+    for (uint64_t h : KernelHashes()) {
+      hll.AddHash(h);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelBatch);
+}
+BENCHMARK(BM_KernelHllSequential);
 
 // -------------------------------------------------------------------- ingest
 
@@ -512,6 +593,7 @@ int main(int argc, char** argv) {
   const char* profile_env = std::getenv("SS_BENCH_PROFILE");
   ss::bench::BenchReport report("micro");
   report.AddMeta("profile", profile_env != nullptr ? profile_env : "default");
+  report.AddMeta("kernel_impl", kernels::ImplName(kernels::ActiveImpl()));
   for (const auto& run : reporter.captured()) {
     const std::string name = run.benchmark_name();
     report.Add(name + ":ns_per_iter", run.GetAdjustedRealTime(), "ns", "lower");
@@ -519,6 +601,39 @@ int main(int argc, char** argv) {
     if (items != run.counters.end()) {
       report.Add(name + ":items_per_sec", static_cast<double>(items->second),
                  "items/s", "higher");
+    }
+  }
+
+  // Kernel speedups: dispatched batch vs the sequential scalar reference,
+  // from the captured items/s of the paired benchmarks above.
+  auto items_per_sec = [&](const std::string& name) -> double {
+    for (const auto& run : reporter.captured()) {
+      if (run.benchmark_name() == name) {
+        auto it = run.counters.find("items_per_second");
+        if (it != run.counters.end()) {
+          return static_cast<double>(it->second);
+        }
+      }
+    }
+    return 0.0;
+  };
+  const struct {
+    const char* metric;
+    const char* batch;
+    const char* sequential;
+  } kKernelPairs[] = {
+      {"kernel_cms_speedup_x", "BM_KernelCmsBatch/1000", "BM_KernelCmsSequential/1000"},
+      {"kernel_bloom_speedup_x", "BM_KernelBloomBatch/4099", "BM_KernelBloomSequential/4099"},
+      {"kernel_hll_speedup_x", "BM_KernelHllBatch", "BM_KernelHllSequential"},
+  };
+  for (const auto& pair : kKernelPairs) {
+    double batch = items_per_sec(pair.batch);
+    double sequential = items_per_sec(pair.sequential);
+    if (batch > 0 && sequential > 0) {
+      double speedup = batch / sequential;
+      std::printf("%s: %.2fx (%s impl)\n", pair.metric, speedup,
+                  kernels::ImplName(kernels::ActiveImpl()));
+      report.Add(pair.metric, speedup, "x", "higher");
     }
   }
 

@@ -1,0 +1,237 @@
+#include "src/core/ingest_ring.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+
+namespace ss {
+
+namespace {
+
+struct RingMetrics {
+  Counter& enqueued = MetricRegistry::Default().GetCounter("ss_core_ingest_ring_enqueued_total");
+  Counter& drained = MetricRegistry::Default().GetCounter("ss_core_ingest_ring_drained_total");
+  Counter& shed = MetricRegistry::Default().GetCounter("ss_core_ingest_ring_shed_total");
+  Counter& stalls = MetricRegistry::Default().GetCounter("ss_core_ingest_ring_stall_total");
+  Counter& sweeps = MetricRegistry::Default().GetCounter("ss_core_ingest_ring_sweeps_total");
+  Gauge& depth = MetricRegistry::Default().GetGauge("ss_core_ingest_ring_depth");
+};
+
+RingMetrics& Metrics() {
+  static RingMetrics m;
+  return m;
+}
+
+}  // namespace
+
+SpscRing::SpscRing(size_t capacity) {
+  size_t cap = std::bit_ceil(std::max<size_t>(capacity, 2));
+  slots_.resize(cap);
+  mask_ = cap - 1;
+}
+
+bool SpscRing::TryPush(const Event& event) {
+  uint64_t tail = tail_.load(std::memory_order_relaxed);
+  uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail - head > mask_) {
+    return false;  // full
+  }
+  slots_[tail & mask_] = event;
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+size_t SpscRing::PopBatch(Event* out, size_t max) {
+  uint64_t head = head_.load(std::memory_order_relaxed);
+  uint64_t tail = tail_.load(std::memory_order_acquire);
+  size_t n = std::min<uint64_t>(tail - head, max);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = slots_[(head + i) & mask_];
+  }
+  head_.store(head + n, std::memory_order_release);
+  return n;
+}
+
+size_t SpscRing::SizeApprox() const {
+  return static_cast<size_t>(tail_.load(std::memory_order_relaxed) -
+                             head_.load(std::memory_order_relaxed));
+}
+
+IngestFront::IngestFront(SummaryStore& store, StreamId stream, IngestRingOptions options)
+    : store_(store), stream_(stream), options_(options) {
+  size_t producers = std::max<size_t>(1, options_.max_producers);
+  rings_.reserve(producers);
+  for (size_t i = 0; i < producers; ++i) {
+    rings_.push_back(std::make_unique<SpscRing>(options_.ring_capacity));
+  }
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+IngestFront::~IngestFront() { Stop(); }
+
+IngestFront::Producer* IngestFront::RegisterProducer() {
+  std::lock_guard<std::mutex> lock(register_mu_);
+  size_t slot = producer_count_.load(std::memory_order_relaxed);
+  if (slot >= rings_.size()) {
+    return nullptr;
+  }
+  producers_.push_back(std::unique_ptr<Producer>(new Producer(this, slot)));
+  // Publish after the handle exists: the worker sweeps [0, producer_count_).
+  producer_count_.store(slot + 1, std::memory_order_release);
+  return producers_.back().get();
+}
+
+Status IngestFront::Producer::Offer(Timestamp ts, double value) {
+  IngestFront* front = front_;
+  if (front->stop_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("ingest front stopped");
+  }
+  Event event{ts, value};
+  if (front->rings_[slot_]->TryPush(event)) {
+    front->enqueued_.fetch_add(1, std::memory_order_release);
+    Metrics().enqueued.Inc();
+    return Status::Ok();
+  }
+  if (front->options_.policy == IngestRingOptions::Policy::kShed) {
+    front->shed_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().shed.Inc();
+    FlightRecorder::Default().Record(FlightEventType::kIngestShed,
+                                     static_cast<uint64_t>(front->stream_), 1);
+    return Status::FailedPrecondition("ingest ring full (shed policy)");
+  }
+  if (!front->PushBlocking(slot_, event)) {
+    return Status::FailedPrecondition("ingest front stopped");
+  }
+  front->enqueued_.fetch_add(1, std::memory_order_release);
+  Metrics().enqueued.Inc();
+  return Status::Ok();
+}
+
+bool IngestFront::PushBlocking(size_t slot, const Event& event) {
+  Metrics().stalls.Inc();
+  Stopwatch watch;
+  SpscRing& ring = *rings_[slot];
+  uint32_t spins = 0;
+  while (!ring.TryPush(event)) {
+    if (stop_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    // Spin briefly (the worker usually frees space within microseconds on a
+    // loaded ring), then fall back to yielding so a descheduled worker can
+    // run — essential on few-core machines.
+    if (++spins < 64) {
+      #if defined(__x86_64__)
+      __builtin_ia32_pause();
+      #endif
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  FlightRecorder::Default().Record(FlightEventType::kIngestStall,
+                                   static_cast<uint64_t>(stream_), watch.ElapsedMicros());
+  return true;
+}
+
+size_t IngestFront::DrainOnce() {
+  size_t producers = producer_count_.load(std::memory_order_acquire);
+  if (producers == 0) {
+    return 0;
+  }
+  std::vector<Event> batch;
+  batch.reserve(std::min(options_.drain_batch, options_.ring_capacity * producers));
+  std::vector<Event> chunk(options_.drain_batch);
+  size_t depth = 0;
+  for (size_t i = 0; i < producers && batch.size() < options_.drain_batch; ++i) {
+    size_t want = options_.drain_batch - batch.size();
+    size_t got = rings_[i]->PopBatch(chunk.data(), std::min(want, chunk.size()));
+    batch.insert(batch.end(), chunk.begin(), chunk.begin() + static_cast<ptrdiff_t>(got));
+    depth += rings_[i]->SizeApprox();
+  }
+  Metrics().depth.Set(static_cast<int64_t>(depth));
+  if (batch.empty()) {
+    return 0;
+  }
+  // Restore cross-producer timestamp order; each producer's own sequence is
+  // already FIFO, so a stable sort keeps per-producer arrival order for
+  // equal timestamps.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  if (!failed_.load(std::memory_order_acquire)) {
+    Status s = store_.AppendBatch(stream_, batch);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(status_mu_);
+      status_ = s;
+      failed_.store(true, std::memory_order_release);
+    }
+  } else {
+    // Post-failure events are consumed (so producers never wedge) but
+    // dropped; account for them as shed.
+    shed_.fetch_add(batch.size(), std::memory_order_relaxed);
+    Metrics().shed.Inc(batch.size());
+  }
+  Metrics().drained.Inc(batch.size());
+  Metrics().sweeps.Inc();
+  FlightRecorder::Default().Record(FlightEventType::kIngestDrain,
+                                   static_cast<uint64_t>(stream_), batch.size());
+  consumed_.fetch_add(batch.size(), std::memory_order_release);
+  return batch.size();
+}
+
+void IngestFront::WorkerLoop() {
+  uint32_t idle = 0;
+  for (;;) {
+    size_t drained = DrainOnce();
+    if (drained > 0) {
+      idle = 0;
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire) &&
+        consumed_.load(std::memory_order_acquire) >= enqueued_.load(std::memory_order_acquire)) {
+      return;
+    }
+    // Idle backoff: yield first, then sleep — keeps drain latency low under
+    // load without burning a core when the stream goes quiet.
+    if (++idle < 16) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
+Status IngestFront::Drain() {
+  uint64_t target = enqueued_.load(std::memory_order_acquire);
+  while (consumed_.load(std::memory_order_acquire) < target) {
+    if (stop_.load(std::memory_order_acquire) && !worker_.joinable()) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  return status();
+}
+
+void IngestFront::Stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) {
+    if (worker_.joinable()) {
+      worker_.join();
+    }
+    return;
+  }
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+Status IngestFront::status() const {
+  if (!failed_.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return status_;
+}
+
+}  // namespace ss

@@ -1,0 +1,158 @@
+// Striped lock-free ingest front (§7.1 "write throughput"): producer threads
+// enqueue (ts, value) pairs into private SPSC rings without ever touching the
+// stream's shared_mutex; one merge worker per front drains every ring,
+// restores timestamp order across producers, and owns all window mutation by
+// handing sorted batches to SummaryStore::AppendBatch. The stream lock is
+// therefore taken by exactly one thread, turning N producers × per-append
+// lock traffic into wait-free ring pushes plus one batched consumer.
+//
+// Backpressure mirrors the sserver admission modes (ss::net::Server::
+// Backpressure): a full ring either blocks the producer (kBlock, lossless)
+// or sheds the event (kShed, counted and reported to the caller).
+//
+// Ordering contract: each drain sweep is sorted before it is appended, so
+// events are in timestamp order *within* a sweep, but an event can linger in
+// a slow producer's ring while newer timestamps from other rings are drained.
+// With multiple producers the target stream must therefore be configured
+// with StreamConfig::reorder_buffer at least the worst-case cross-ring skew.
+// Note the skew is NOT bounded by ring capacity alone: a producer
+// descheduled between obtaining a timestamp and pushing it can be overtaken
+// by arbitrarily many newer stamps, so callers must either bound producer
+// lag themselves (e.g. re-sync producers every K events, capping the skew
+// at (P-1)*K) or size the slack to the peers' remaining event budget. A
+// skew overrun makes the stream's monotone-watermark check reject the late
+// batch; the failure is sticky and reported through Drain()/status().
+#ifndef SUMMARYSTORE_SRC_CORE_INGEST_RING_H_
+#define SUMMARYSTORE_SRC_CORE_INGEST_RING_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/summary_store.h"
+
+namespace ss {
+
+struct IngestRingOptions {
+  // Events per producer ring; rounded up to a power of two.
+  size_t ring_capacity = 4096;
+  // Full-ring policy, mirroring ss::net::Server::Backpressure.
+  enum class Policy : uint8_t { kBlock = 0, kShed = 1 };
+  Policy policy = Policy::kBlock;
+  // Hard cap on RegisterProducer calls (rings are allocated eagerly so the
+  // drain loop never takes a lock).
+  size_t max_producers = 16;
+  // Max events the worker hands to AppendBatch per drain sweep.
+  size_t drain_batch = 4096;
+};
+
+// Single-producer single-consumer bounded event queue. Push and pop are
+// wait-free: one relaxed load of the opposing cursor (refreshed on apparent
+// full/empty), acquire/release publication, no CAS.
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity);
+
+  // Producer side. Returns false when the ring is full.
+  bool TryPush(const Event& event);
+
+  // Consumer side: pops up to `max` events into `out`, returns the count.
+  size_t PopBatch(Event* out, size_t max);
+
+  size_t capacity() const { return mask_ + 1; }
+  // Approximate occupancy (racy by design; used for depth telemetry).
+  size_t SizeApprox() const;
+
+ private:
+  std::vector<Event> slots_;
+  size_t mask_;
+  // Producer and consumer cursors on separate cache lines, each with a local
+  // cache of the opposing cursor to keep the hot path single-load.
+  alignas(64) std::atomic<uint64_t> tail_{0};  // next write (producer-owned)
+  alignas(64) std::atomic<uint64_t> head_{0};  // next read (consumer-owned)
+};
+
+// One stream's striped ingest front. Typical use:
+//
+//   IngestFront front(store, stream_id);
+//   // per producer thread:
+//   IngestFront::Producer* p = front.RegisterProducer();
+//   while (...) SS_RETURN_IF_ERROR(p->Offer(ts, value));
+//   // when done:
+//   front.Drain();   // rings empty, appends applied
+//   front.Stop();    // joins the worker; further Offers fail
+class IngestFront {
+ public:
+  // A registered producer's handle; owned by the front, valid until Stop().
+  // Each handle is single-threaded (SPSC contract); distinct producers may
+  // run on distinct threads concurrently.
+  class Producer {
+   public:
+    // Enqueues one event. kBlock: waits (spin + yield) for ring space, so Ok
+    // is the only non-shutdown outcome. kShed: drops the event and returns
+    // FailedPrecondition when the ring is full (the sserver shed-status
+    // convention). FailedPrecondition after Stop().
+    Status Offer(Timestamp ts, double value);
+
+   private:
+    friend class IngestFront;
+    Producer(IngestFront* front, size_t slot) : front_(front), slot_(slot) {}
+    IngestFront* front_;
+    size_t slot_;
+  };
+
+  IngestFront(SummaryStore& store, StreamId stream, IngestRingOptions options = {});
+  ~IngestFront();
+
+  // Registers (or re-uses) the next producer ring. Null once max_producers
+  // handles are out. Thread-safe.
+  Producer* RegisterProducer();
+
+  // Blocks until everything enqueued before the call has been appended.
+  // Returns the sticky ingest status (first append failure, if any).
+  Status Drain();
+
+  // Drain + join the worker. Idempotent; Offers after Stop fail.
+  void Stop();
+
+  // First append error the worker hit, sticky. Events offered after a
+  // failure are still consumed but dropped (counted as shed).
+  Status status() const;
+
+  uint64_t shed_count() const { return shed_.load(std::memory_order_relaxed); }
+
+ private:
+  bool PushBlocking(size_t slot, const Event& event);
+  void WorkerLoop();
+  // One sweep over all rings: drain, sort by timestamp, append. Returns the
+  // number of events consumed.
+  size_t DrainOnce();
+
+  SummaryStore& store_;
+  const StreamId stream_;
+  const IngestRingOptions options_;
+
+  std::vector<std::unique_ptr<SpscRing>> rings_;  // sized max_producers up front
+  std::vector<std::unique_ptr<Producer>> producers_;
+  std::atomic<size_t> producer_count_{0};
+  std::mutex register_mu_;
+
+  std::thread worker_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> shed_{0};
+
+  // Sticky first failure, published by the worker.
+  mutable std::mutex status_mu_;
+  Status status_;
+  std::atomic<bool> failed_{false};
+
+  // Drain handshake: producers count enqueues, the worker counts consumed
+  // events; Drain waits for consumed >= enqueued-at-call while rings empty.
+  std::atomic<uint64_t> enqueued_{0};
+  std::atomic<uint64_t> consumed_{0};
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_CORE_INGEST_RING_H_

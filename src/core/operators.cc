@@ -8,6 +8,7 @@
 #include "src/sketch/hyperloglog.h"
 #include "src/sketch/quantile.h"
 #include "src/sketch/reservoir.h"
+#include "src/sketch/spacesaving.h"
 
 namespace ss {
 
@@ -43,6 +44,9 @@ std::vector<std::unique_ptr<Summary>> OperatorSet::CreateAll(uint64_t seed) cons
   if (reservoir) {
     out.push_back(std::make_unique<ReservoirSample>(reservoir_capacity, Mix64(seed ^ 0x52)));
   }
+  if (spacesaving) {
+    out.push_back(std::make_unique<SpaceSavingSketch>(spacesaving_capacity));
+  }
   return out;
 }
 
@@ -58,6 +62,7 @@ void OperatorSet::Serialize(Writer& writer) const {
   flags |= histogram ? 1u << 7 : 0;
   flags |= quantile ? 1u << 8 : 0;
   flags |= reservoir ? 1u << 9 : 0;
+  flags |= spacesaving ? 1u << 10 : 0;
   writer.PutVarint(flags);
   writer.PutVarint(bloom_bits);
   writer.PutVarint(bloom_hashes);
@@ -71,6 +76,12 @@ void OperatorSet::Serialize(Writer& writer) const {
   writer.PutVarint(hist_buckets);
   writer.PutVarint(quantile_k);
   writer.PutVarint(reservoir_capacity);
+  // Written only when the operator is enabled: OperatorSet is embedded
+  // mid-stream (StreamConfig), so an unconditional new field would break the
+  // framing of payloads written before the operator existed.
+  if (spacesaving) {
+    writer.PutVarint(spacesaving_capacity);
+  }
 }
 
 StatusOr<OperatorSet> OperatorSet::Deserialize(Reader& reader) {
@@ -86,6 +97,7 @@ StatusOr<OperatorSet> OperatorSet::Deserialize(Reader& reader) {
   ops.histogram = (flags & (1u << 7)) != 0;
   ops.quantile = (flags & (1u << 8)) != 0;
   ops.reservoir = (flags & (1u << 9)) != 0;
+  ops.spacesaving = (flags & (1u << 10)) != 0;
   SS_ASSIGN_OR_RETURN(uint64_t v, reader.ReadVarint());
   ops.bloom_bits = static_cast<uint32_t>(v);
   SS_ASSIGN_OR_RETURN(v, reader.ReadVarint());
@@ -108,6 +120,10 @@ StatusOr<OperatorSet> OperatorSet::Deserialize(Reader& reader) {
   ops.quantile_k = static_cast<uint32_t>(v);
   SS_ASSIGN_OR_RETURN(v, reader.ReadVarint());
   ops.reservoir_capacity = static_cast<uint32_t>(v);
+  if (ops.spacesaving) {  // flag-conditional field; absent in legacy payloads
+    SS_ASSIGN_OR_RETURN(v, reader.ReadVarint());
+    ops.spacesaving_capacity = static_cast<uint32_t>(v);
+  }
 
   // Validate every enabled operator's configuration so CreateAll can never
   // trip an invariant check on corrupt input.
@@ -135,6 +151,10 @@ StatusOr<OperatorSet> OperatorSet::Deserialize(Reader& reader) {
     return bad();
   }
   if (ops.reservoir && (ops.reservoir_capacity == 0 || ops.reservoir_capacity > (1u << 28))) {
+    return bad();
+  }
+  if (ops.spacesaving &&
+      (ops.spacesaving_capacity == 0 || ops.spacesaving_capacity > (1u << 24))) {
     return bad();
   }
   return ops;

@@ -46,6 +46,9 @@ struct OperatorSet {
   bool reservoir = false;
   uint32_t reservoir_capacity = 64;
 
+  bool spacesaving = false;
+  uint32_t spacesaving_capacity = 64;  // tracked heavy-hitter candidates
+
   // Aggregates only (the cheap default).
   static OperatorSet AggregatesOnly() { return OperatorSet{}; }
 
@@ -59,6 +62,7 @@ struct OperatorSet {
     ops.histogram = true;
     ops.quantile = true;
     ops.reservoir = true;
+    ops.spacesaving = true;
     return ops;
   }
 

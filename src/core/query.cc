@@ -13,6 +13,7 @@
 #include "src/sketch/histogram.h"
 #include "src/sketch/hyperloglog.h"
 #include "src/sketch/quantile.h"
+#include "src/sketch/spacesaving.h"
 
 namespace ss {
 
@@ -856,6 +857,144 @@ StatusOr<QueryResult> RunValueRangeCount(Stream& stream, const QuerySpec& spec, 
   return result;
 }
 
+StatusOr<QueryResult> RunTopK(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
+  if (spec.top_k == 0) {
+    return Status::InvalidArgument("top_k must be positive");
+  }
+  SS_ASSIGN_OR_RETURN(std::vector<Stream::WindowView> views,
+                      stream.WindowsOverlapping(spec.t1, spec.t2, trace));
+  QueryPhaseSpan merge_span(QueryPhase::kSketchMerge, trace);
+  QueryResult result;
+  result.confidence = spec.confidence;
+  result.windows_read = views.size();
+  const OperatorSet& ops = stream.config().operators;
+  std::unique_ptr<SpaceSavingSketch> merged;
+  // Optional bracket tightener: the merged CMS min-estimate is an independent
+  // upper bound on any value's occurrence count, and its noise-corrected
+  // estimate a better point answer than the space-saving count.
+  std::unique_ptr<CountMinSketch> cms;
+  bool cms_ok = ops.cms;
+  auto ensure = [&]() {
+    if (merged == nullptr) {
+      merged = std::make_unique<SpaceSavingSketch>(ops.spacesaving_capacity);
+    }
+    if (cms_ok && cms == nullptr) {
+      cms = std::make_unique<CountMinSketch>(ops.cms_width, ops.cms_depth);
+    }
+  };
+  // Partially covered windows contribute their whole-window candidates (the
+  // summary cannot restrict to a sub-window). Their counts stay in the upper
+  // bound, but each candidate's lower bound must shed everything those
+  // windows might have contributed outside the query range.
+  std::vector<const SpaceSavingSketch*> partial_sketches;
+  for (const auto& view : views) {
+    if (view.window == nullptr) {
+      continue;  // quarantined span: widens the interval below
+    }
+    Overlap o = ComputeOverlap(stream, view, spec.t1, spec.t2);
+    if (o.b <= o.a) {
+      continue;
+    }
+    const SummaryWindow& window = *view.window;
+    if (window.is_raw()) {
+      ensure();
+      for (const Event& event : window.raw()) {
+        if (event.ts >= spec.t1 && event.ts <= spec.t2) {
+          merged->Add(event.value);
+          if (cms != nullptr) {
+            cms->Update(event.ts, event.value);
+          }
+        }
+      }
+      continue;
+    }
+    const auto* sketch = SummaryCast<SpaceSavingSketch>(window.Find(SummaryKind::kSpaceSaving));
+    if (sketch == nullptr) {
+      return Status::FailedPrecondition("stream has no spacesaving operator");
+    }
+    ensure();
+    SS_RETURN_IF_ERROR(merged->MergeFrom(*sketch));
+    if (cms != nullptr) {
+      const auto* wcms = SummaryCast<CountMinSketch>(window.Find(SummaryKind::kCountMin));
+      if (wcms != nullptr) {
+        SS_RETURN_IF_ERROR(cms->MergeFrom(*wcms));
+      } else {
+        cms.reset();  // mixed configuration: drop the tightener entirely
+        cms_ok = false;
+      }
+    }
+    if (!o.full) {
+      partial_sketches.push_back(sketch);
+      result.exact = false;
+    }
+  }
+  std::vector<Event> lm_events = stream.QueryLandmarks(spec.t1, spec.t2);
+  result.landmark_events = lm_events.size();
+  if (!lm_events.empty()) {
+    ensure();
+  }
+  for (const Event& event : lm_events) {
+    merged->Add(event.value);
+    if (cms != nullptr) {
+      cms->Update(event.ts, event.value);
+    }
+  }
+  merge_span.End();
+  QueryPhaseSpan degrade_span(QueryPhase::kDegrade, trace);
+  Degradation d = Degrade(CollectMissing(stream, views, spec.t1, spec.t2));
+  degrade_span.End();
+  QueryPhaseSpan ci_span(QueryPhase::kCiCombine, trace);
+  if (merged == nullptr || merged->total_count() == 0) {
+    if (d.any) {
+      // Only lost data overlaps the range: no candidate is known, but the
+      // lost elements could hide up to n occurrences of anything.
+      result.degraded = true;
+      result.skipped_spans = std::move(d.spans);
+      result.exact = false;
+      result.ci_hi = static_cast<double>(d.total_count);
+      return result;
+    }
+    return Status::NotFound("no data in query range");
+  }
+  for (const SpaceSavingSketch::Candidate& cand : merged->TopK(spec.top_k)) {
+    TopKEntry entry;
+    entry.value = cand.value;
+    double hi = static_cast<double>(cand.count);
+    double lo = static_cast<double>(cand.count - cand.error);
+    if (cms != nullptr) {
+      hi = std::min(hi, static_cast<double>(cms->EstimateCount(cand.value)));
+    }
+    // Shed the partial windows' possible out-of-range contribution from the
+    // lower bound: within each such window the candidate occurred at most
+    // Bracket(v).count times, all of which might lie outside the range.
+    for (const SpaceSavingSketch* partial : partial_sketches) {
+      lo -= static_cast<double>(partial->Bracket(cand.value).count);
+    }
+    lo = std::clamp(lo, 0.0, hi);
+    entry.estimate =
+        cms != nullptr ? std::clamp(cms->EstimateCountCorrected(cand.value), lo, hi) : hi;
+    entry.ci_lo = lo;
+    // Any subset of the lost elements could also equal this value.
+    entry.ci_hi = hi + (d.any ? static_cast<double>(d.total_count) : 0.0);
+    if (cand.error != 0) {
+      result.exact = false;
+    }
+    result.topk.push_back(entry);
+  }
+  if (d.any) {
+    result.degraded = true;
+    result.skipped_spans = std::move(d.spans);
+    result.exact = false;
+  }
+  if (!result.topk.empty()) {
+    // Headline answer: the strongest heavy hitter's frequency bracket.
+    result.estimate = result.topk.front().estimate;
+    result.ci_lo = result.topk.front().ci_lo;
+    result.ci_hi = result.topk.front().ci_hi;
+  }
+  return result;
+}
+
 StatusOr<QueryResult> RunMean(Stream& stream, const QuerySpec& spec, QueryTrace* trace) {
   // Mean genuinely walks the windows twice (count + sum); the trace, when
   // enabled, accumulates both passes.
@@ -912,6 +1051,8 @@ const char* QueryOpName(QueryOp op) {
       return "quantile";
     case QueryOp::kValueRangeCount:
       return "value_range_count";
+    case QueryOp::kTopK:
+      return "topk";
   }
   return "unknown";
 }
@@ -938,6 +1079,8 @@ StatusOr<QueryResult> Dispatch(Stream& stream, const QuerySpec& spec, QueryTrace
       return RunQuantile(stream, spec, trace);
     case QueryOp::kValueRangeCount:
       return RunValueRangeCount(stream, spec, trace);
+    case QueryOp::kTopK:
+      return RunTopK(stream, spec, trace);
   }
   return Status::InvalidArgument("unknown query operator");
 }

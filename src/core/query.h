@@ -29,6 +29,10 @@ enum class QueryOp : uint8_t {
   // Count of events whose value lies in [value_lo, value_hi) — a SQL-style
   // selection answered from the Histogram operator.
   kValueRangeCount = 9,
+  // Heavy hitters: the `top_k` most frequent values in range, answered from
+  // the space-saving operator with per-candidate frequency brackets
+  // (tightened by the CMS when the stream maintains one).
+  kTopK = 10,
 };
 
 const char* QueryOpName(QueryOp op);
@@ -42,9 +46,19 @@ struct QuerySpec {
   double value_lo = 0.0;    // kValueRangeCount operands: [value_lo, value_hi)
   double value_hi = 0.0;
   double confidence = 0.95;
+  uint32_t top_k = 10;  // kTopK operand: number of candidates to return
   // Opt-in explain mode: the engine records a QueryTrace (windows scanned,
   // bytes fetched, cache hits/misses, CI width) into QueryResult::trace.
   bool collect_trace = false;
+};
+
+// One heavy-hitter candidate of a kTopK answer. [ci_lo, ci_hi] brackets the
+// candidate's true in-range occurrence count.
+struct TopKEntry {
+  double value = 0.0;
+  double estimate = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
 };
 
 struct QueryResult {
@@ -69,6 +83,8 @@ struct QueryResult {
   std::vector<std::pair<Timestamp, Timestamp>> skipped_spans;
   size_t windows_read = 0;
   size_t landmark_events = 0;
+  // kTopK only: candidates ordered by descending count upper bound.
+  std::vector<TopKEntry> topk;
   // Populated only when QuerySpec::collect_trace was set (shared so results
   // stay cheap to copy).
   std::shared_ptr<QueryTrace> trace;

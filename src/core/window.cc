@@ -1,8 +1,67 @@
 #include "src/core/window.h"
 
+#include <span>
+
 #include "src/common/logging.h"
+#include "src/sketch/bloom.h"
+#include "src/sketch/cms.h"
+#include "src/sketch/hyperloglog.h"
+#include "src/sketch/kernels.h"
 
 namespace ss {
+
+namespace {
+
+// Replays a run of raw events into a summary set, routing the hashing
+// sketches through the batch kernels (one HashValues pass shared by CMS,
+// Bloom and HLL) and everything else through the per-event Update path. Each
+// summary sees the same update sequence as the naive per-event loop, so the
+// resulting state is identical — only the iteration order across summaries
+// changes, and summaries are mutually independent.
+void UpdateSummariesBatch(std::vector<std::unique_ptr<Summary>>& summaries,
+                          std::span<const Event> events) {
+  if (events.empty() || summaries.empty()) {
+    return;
+  }
+  bool any_hashing = false;
+  for (const auto& summary : summaries) {
+    SummaryKind kind = summary->kind();
+    if (kind == SummaryKind::kCountMin || kind == SummaryKind::kBloom ||
+        kind == SummaryKind::kHyperLogLog) {
+      any_hashing = true;
+      break;
+    }
+  }
+  std::vector<uint64_t> hashes;
+  if (any_hashing) {
+    std::vector<double> values(events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+      values[i] = events[i].value;
+    }
+    hashes.resize(events.size());
+    kernels::HashValues(values.data(), values.size(), hashes.data());
+  }
+  for (auto& summary : summaries) {
+    switch (summary->kind()) {
+      case SummaryKind::kCountMin:
+        static_cast<CountMinSketch*>(summary.get())->AddHashes(hashes);
+        break;
+      case SummaryKind::kBloom:
+        static_cast<BloomFilter*>(summary.get())->AddHashes(hashes);
+        break;
+      case SummaryKind::kHyperLogLog:
+        static_cast<HyperLogLog*>(summary.get())->AddHashes(hashes);
+        break;
+      default:
+        for (const Event& event : events) {
+          summary->Update(event.ts, event.value);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
 
 SummaryWindow::SummaryWindow(uint64_t c, Timestamp ts, double value)
     : cs_(c), ce_(c), ts_start_(ts), ts_last_(ts) {
@@ -27,11 +86,7 @@ void SummaryWindow::Materialize(const OperatorSet& ops, uint64_t seed) {
     return;
   }
   summaries_ = ops.CreateAll(seed ^ cs_);
-  for (const Event& event : raw_) {
-    for (auto& summary : summaries_) {
-      summary->Update(event.ts, event.value);
-    }
-  }
+  UpdateSummariesBatch(summaries_, raw_);
   raw_.clear();
   raw_.shrink_to_fit();
 }
@@ -47,11 +102,7 @@ Status SummaryWindow::MergeFrom(SummaryWindow&& other, const OperatorSet& ops,
   } else {
     Materialize(ops, seed);
     if (other.summaries_.empty()) {
-      for (const Event& event : other.raw_) {
-        for (auto& summary : summaries_) {
-          summary->Update(event.ts, event.value);
-        }
-      }
+      UpdateSummariesBatch(summaries_, other.raw_);
     } else {
       if (other.summaries_.size() != summaries_.size()) {
         return Status::InvalidArgument("MergeFrom: operator set mismatch");

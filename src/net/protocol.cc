@@ -112,6 +112,9 @@ void EncodeQuerySpec(const QuerySpec& spec, Writer& writer) {
   writer.PutDouble(spec.value_hi);
   writer.PutDouble(spec.confidence);
   writer.PutU8(spec.collect_trace ? 1 : 0);
+  // Trailing extension (spec is always the last element of its request
+  // payload): old decoders ignore it, new decoders read it if present.
+  writer.PutVarint(spec.top_k);
 }
 
 StatusOr<QuerySpec> DecodeQuerySpec(Reader& reader) {
@@ -119,7 +122,7 @@ StatusOr<QuerySpec> DecodeQuerySpec(Reader& reader) {
   SS_ASSIGN_OR_RETURN(spec.t1, reader.ReadSignedVarint());
   SS_ASSIGN_OR_RETURN(spec.t2, reader.ReadSignedVarint());
   SS_ASSIGN_OR_RETURN(uint8_t op, reader.ReadU8());
-  if (op > static_cast<uint8_t>(QueryOp::kValueRangeCount)) {
+  if (op > static_cast<uint8_t>(QueryOp::kTopK)) {
     return Status::Corruption("unknown query op: " + std::to_string(op));
   }
   spec.op = static_cast<QueryOp>(op);
@@ -130,6 +133,13 @@ StatusOr<QuerySpec> DecodeQuerySpec(Reader& reader) {
   SS_ASSIGN_OR_RETURN(spec.confidence, reader.ReadDouble());
   SS_ASSIGN_OR_RETURN(uint8_t trace, reader.ReadU8());
   spec.collect_trace = trace != 0;
+  if (reader.remaining() > 0) {  // trailing field; absent in legacy frames
+    SS_ASSIGN_OR_RETURN(uint64_t top_k, reader.ReadVarint());
+    if (top_k == 0 || top_k > (1u << 20)) {
+      return Status::Corruption("top_k out of range: " + std::to_string(top_k));
+    }
+    spec.top_k = static_cast<uint32_t>(top_k);
+  }
   // The estimator layer assumes sane parameters; NaN/Inf from a hostile
   // frame must not reach it.
   SS_RETURN_IF_ERROR(CheckFinite(spec.quantile_q, "quantile"));
@@ -156,6 +166,15 @@ void EncodeQueryResult(const QueryResult& result, std::string_view trace_text, W
     writer.PutSignedVarint(b);
   }
   writer.PutString(trace_text);
+  // Trailing extension (the result is the whole response payload): top-k
+  // entries, absent-tolerated by old decoders and on legacy frames.
+  writer.PutVarint(result.topk.size());
+  for (const TopKEntry& entry : result.topk) {
+    writer.PutDouble(entry.value);
+    writer.PutDouble(entry.estimate);
+    writer.PutDouble(entry.ci_lo);
+    writer.PutDouble(entry.ci_hi);
+  }
 }
 
 StatusOr<WireQueryResult> DecodeQueryResult(Reader& reader) {
@@ -188,6 +207,23 @@ StatusOr<WireQueryResult> DecodeQueryResult(Reader& reader) {
   }
   SS_ASSIGN_OR_RETURN(std::string_view trace, reader.ReadString());
   out.trace_text.assign(trace);
+  if (reader.remaining() > 0) {  // trailing field; absent in legacy frames
+    SS_ASSIGN_OR_RETURN(uint64_t n_topk, reader.ReadVarint());
+    // Four 8-byte doubles per entry: cross-check before the loop so a
+    // hostile count cannot drive a huge reserve or a long loop.
+    if (n_topk > reader.remaining() / 32) {
+      return Status::Corruption("top-k entry count exceeds payload");
+    }
+    r.topk.reserve(static_cast<size_t>(n_topk));
+    for (uint64_t i = 0; i < n_topk; ++i) {
+      TopKEntry entry;
+      SS_ASSIGN_OR_RETURN(entry.value, reader.ReadDouble());
+      SS_ASSIGN_OR_RETURN(entry.estimate, reader.ReadDouble());
+      SS_ASSIGN_OR_RETURN(entry.ci_lo, reader.ReadDouble());
+      SS_ASSIGN_OR_RETURN(entry.ci_hi, reader.ReadDouble());
+      r.topk.push_back(entry);
+    }
+  }
   return out;
 }
 

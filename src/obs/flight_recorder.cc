@@ -94,6 +94,12 @@ const char* FlightEventTypeName(FlightEventType type) {
       return "flush_chunk";
     case FlightEventType::kDump:
       return "dump";
+    case FlightEventType::kIngestStall:
+      return "ingest_stall";
+    case FlightEventType::kIngestShed:
+      return "ingest_shed";
+    case FlightEventType::kIngestDrain:
+      return "ingest_drain";
   }
   return "unknown";
 }

@@ -46,6 +46,9 @@ enum class FlightEventType : uint16_t {
   kFaultInjected = 17,   // arg0 = FaultOp enum, arg1 = op index
   kFlushChunk = 18,      // arg0 = stream id, arg1 = records in chunk
   kDump = 19,            // arg0 = events captured in the bundle
+  kIngestStall = 20,     // arg0 = stream id, arg1 = producer wait us (block policy)
+  kIngestShed = 21,      // arg0 = stream id, arg1 = events shed (shed policy)
+  kIngestDrain = 22,     // arg0 = stream id, arg1 = events drained this sweep
 };
 
 const char* FlightEventTypeName(FlightEventType type);

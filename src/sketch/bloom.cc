@@ -3,6 +3,8 @@
 #include <bit>
 #include <cmath>
 
+#include "src/sketch/kernels.h"
+
 namespace ss {
 
 BloomFilter::BloomFilter(uint32_t num_bits, uint32_t num_hashes)
@@ -19,6 +21,16 @@ void BloomFilter::AddHash(uint64_t hash) {
     bits_[bit / 64] |= uint64_t{1} << (bit % 64);
   }
   ++inserted_;
+}
+
+void BloomFilter::AddHashes(std::span<const uint64_t> hashes) {
+  kernels::BloomAddHashes(bits_.data(), num_bits_, num_hashes_, hashes.data(), hashes.size());
+  inserted_ += hashes.size();
+}
+
+void BloomFilter::TestHashes(std::span<const uint64_t> hashes, uint8_t* out) const {
+  kernels::BloomTestHashes(bits_.data(), num_bits_, num_hashes_, hashes.data(), hashes.size(),
+                           out);
 }
 
 bool BloomFilter::MightContain(double value) const { return MightContainHash(HashValue(value)); }

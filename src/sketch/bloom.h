@@ -7,6 +7,7 @@
 #define SUMMARYSTORE_SRC_SKETCH_BLOOM_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/sketch/summary.h"
@@ -29,6 +30,11 @@ class BloomFilter : public Summary {
 
   void Update(Timestamp ts, double value) override;
   void AddHash(uint64_t hash);
+  // Batch insert/probe through the dispatched SIMD/scalar kernels; the bit
+  // array ends up identical to per-hash AddHash calls. TestHashes writes
+  // out[i] = 1 iff hashes[i] might be present (out must hold hashes.size()).
+  void AddHashes(std::span<const uint64_t> hashes);
+  void TestHashes(std::span<const uint64_t> hashes, uint8_t* out) const;
 
   bool MightContain(double value) const;
   bool MightContainHash(uint64_t hash) const;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "src/sketch/kernels.h"
+
 namespace ss {
 
 CountMinSketch::CountMinSketch(uint32_t width, uint32_t depth)
@@ -19,6 +21,11 @@ void CountMinSketch::AddHash(uint64_t hash, uint64_t count) {
   total_ += count;
 }
 
+void CountMinSketch::AddHashes(std::span<const uint64_t> hashes) {
+  kernels::CmsAddHashes(table_.data(), width_, depth_, hashes.data(), hashes.size());
+  total_ += hashes.size();
+}
+
 uint64_t CountMinSketch::EstimateCount(double value) const {
   return EstimateCountHash(HashValue(value));
 }
@@ -29,7 +36,10 @@ uint64_t CountMinSketch::EstimateCountHash(uint64_t hash) const {
   for (uint32_t row = 0; row < depth_; ++row) {
     best = std::min(best, Cell(row, NthHash(hash, h2, row) % width_));
   }
-  return best == UINT64_MAX ? 0 : best;
+  // Cells are always initialized, so the min over probed cells is the
+  // estimate even when every cell saturates at UINT64_MAX — mapping that
+  // to 0 would make a saturated table read as empty.
+  return best;
 }
 
 double CountMinSketch::EstimateCountCorrected(double value) const {
@@ -51,9 +61,15 @@ double CountMinSketch::EstimateCountCorrectedHash(uint64_t hash) const {
     corrected[row] = cell - noise;
   }
   // Median of the noise-corrected rows (count-mean-min), clamped into
-  // [0, min-estimate]: the min is a guaranteed upper bound.
+  // [0, min-estimate]: the min is a guaranteed upper bound. For even depth
+  // the median is the average of the two middle elements; taking only the
+  // upper-middle one biases the corrected estimate upward.
   std::nth_element(corrected.begin(), corrected.begin() + depth_ / 2, corrected.end());
   double median = corrected[depth_ / 2];
+  if (depth_ % 2 == 0) {
+    double lower = *std::max_element(corrected.begin(), corrected.begin() + depth_ / 2);
+    median = (lower + median) / 2.0;
+  }
   return std::clamp(median, 0.0, static_cast<double>(raw_min));
 }
 

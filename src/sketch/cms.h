@@ -6,6 +6,7 @@
 #define SUMMARYSTORE_SRC_SKETCH_CMS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/sketch/summary.h"
@@ -26,6 +27,9 @@ class CountMinSketch : public Summary {
 
   void Update(Timestamp ts, double value) override;
   void AddHash(uint64_t hash, uint64_t count = 1);
+  // Batch insert (count 1 each) through the dispatched SIMD/scalar kernels;
+  // the resulting table state is bit-identical to per-hash AddHash calls.
+  void AddHashes(std::span<const uint64_t> hashes);
 
   // Point estimate of value's frequency (min over rows; never underestimates).
   uint64_t EstimateCount(double value) const;

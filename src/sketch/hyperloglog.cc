@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/sketch/kernels.h"
 
 namespace ss {
 
@@ -39,6 +40,10 @@ void HyperLogLog::AddHash(uint64_t hash) {
   uint8_t rank = rest == 0 ? static_cast<uint8_t>(64 - precision_ + 1)
                            : static_cast<uint8_t>(std::countl_zero(rest) + 1);
   registers_[index] = std::max(registers_[index], rank);
+}
+
+void HyperLogLog::AddHashes(std::span<const uint64_t> hashes) {
+  kernels::HllAddHashes(registers_.data(), precision_, hashes.data(), hashes.size());
 }
 
 double HyperLogLog::EstimateCardinality() const {

@@ -6,6 +6,7 @@
 #define SUMMARYSTORE_SRC_SKETCH_HYPERLOGLOG_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/sketch/summary.h"
@@ -25,6 +26,9 @@ class HyperLogLog : public Summary {
 
   void Update(Timestamp ts, double value) override;
   void AddHash(uint64_t hash);
+  // Batch insert through the kernel layer; register state is identical to
+  // per-hash AddHash calls.
+  void AddHashes(std::span<const uint64_t> hashes);
 
   // Estimated number of distinct values.
   double EstimateCardinality() const;

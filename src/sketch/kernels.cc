@@ -1,0 +1,348 @@
+#include "src/sketch/kernels.h"
+
+#include <bit>
+#include <cstdlib>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/sketch/summary.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace ss::kernels {
+
+namespace internal {
+
+DivMagic MakeDivMagic(uint64_t d) {
+  SS_CHECK(d != 0) << "DivMagic: zero divisor";
+  DivMagic out;
+  out.d = d;
+  if ((d & (d - 1)) == 0) {
+    out.pow2 = true;
+    out.shift = static_cast<uint8_t>(std::countr_zero(d));
+    return out;
+  }
+  // libdivide's u64 generator: propose magic = floor(2^(64+k)/d) for
+  // k = floor(log2 d); if the error term is too large, double the magic and
+  // route through the rounding-add fixup at apply time.
+  const int floor_log = 63 - std::countl_zero(d);
+  __uint128_t num = static_cast<__uint128_t>(1) << (64 + floor_log);
+  uint64_t proposed = static_cast<uint64_t>(num / d);
+  uint64_t rem = static_cast<uint64_t>(num % d);
+  uint64_t e = d - rem;
+  out.shift = static_cast<uint8_t>(floor_log);
+  if (e < (uint64_t{1} << floor_log)) {
+    out.magic = proposed + 1;
+  } else {
+    uint64_t twice_rem = rem + rem;
+    out.magic = proposed + proposed + (twice_rem >= d || twice_rem < rem ? 1 : 0) + 1;
+    out.add = true;
+  }
+  return out;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::DivMagic;
+using internal::MakeDivMagic;
+
+// ---------------------------------------------------------------------------
+// Scalar reference: the exact per-element loops the sketch classes run.
+// ---------------------------------------------------------------------------
+
+void HashValuesScalar(const double* values, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = HashValue(values[i]);
+  }
+}
+
+void CmsAddHashesScalar(uint64_t* table, uint32_t width, uint32_t depth, const uint64_t* hashes,
+                        size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    uint64_t h = hashes[j];
+    uint64_t h2 = Mix64(h);
+    for (uint32_t row = 0; row < depth; ++row) {
+      table[static_cast<size_t>(row) * width + NthHash(h, h2, row) % width] += 1;
+    }
+  }
+}
+
+void BloomAddHashesScalar(uint64_t* bits, uint32_t num_bits, uint32_t num_hashes,
+                          const uint64_t* hashes, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    uint64_t h = hashes[j];
+    uint64_t h2 = Mix64(h);
+    for (uint32_t i = 0; i < num_hashes; ++i) {
+      uint64_t bit = NthHash(h, h2, i) % num_bits;
+      bits[bit / 64] |= uint64_t{1} << (bit % 64);
+    }
+  }
+}
+
+void BloomTestHashesScalar(const uint64_t* bits, uint32_t num_bits, uint32_t num_hashes,
+                           const uint64_t* hashes, size_t n, uint8_t* out) {
+  for (size_t j = 0; j < n; ++j) {
+    uint64_t h = hashes[j];
+    uint64_t h2 = Mix64(h);
+    uint8_t hit = 1;
+    for (uint32_t i = 0; i < num_hashes; ++i) {
+      uint64_t bit = NthHash(h, h2, i) % num_bits;
+      if ((bits[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) {
+        hit = 0;
+        break;
+      }
+    }
+    out[j] = hit;
+  }
+}
+
+void HllAddHashesImpl(uint8_t* registers, uint32_t precision, const uint64_t* hashes, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    uint64_t hash = hashes[j];
+    uint32_t index = static_cast<uint32_t>(hash >> (64 - precision));
+    uint64_t rest = hash << precision;
+    uint8_t rank = rest == 0 ? static_cast<uint8_t>(64 - precision + 1)
+                             : static_cast<uint8_t>(std::countl_zero(rest) + 1);
+    registers[index] = std::max(registers[index], rank);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2: four hashes per iteration. 64-bit lane multiplies are synthesized
+// from 32x32→64 products (AVX2 has no _mm256_mullo_epi64); `% width` uses the
+// DivMagic multiply-shift, which is exact, so every computed index matches the
+// scalar path bit for bit. Table/bit-array read-modify-writes stay scalar:
+// two lanes hashing to the same cell would lose an increment under a gathered
+// add, and AVX2 has no scatter anyway.
+// ---------------------------------------------------------------------------
+
+#if defined(__x86_64__)
+
+__attribute__((target("avx2"))) inline __m256i MulLo64(__m256i a, __m256i b) {
+  __m256i lo = _mm256_mul_epu32(a, b);
+  __m256i mid1 = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+  __m256i mid2 = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(_mm256_add_epi64(mid1, mid2), 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i MulHi64(__m256i a, __m256i b) {
+  const __m256i lo_mask = _mm256_set1_epi64x(0xffffffff);
+  __m256i a_hi = _mm256_srli_epi64(a, 32);
+  __m256i b_hi = _mm256_srli_epi64(b, 32);
+  __m256i ll = _mm256_mul_epu32(a, b);
+  __m256i lh = _mm256_mul_epu32(a, b_hi);
+  __m256i hl = _mm256_mul_epu32(a_hi, b);
+  __m256i hh = _mm256_mul_epu32(a_hi, b_hi);
+  __m256i cross = _mm256_add_epi64(hl, _mm256_srli_epi64(ll, 32));
+  __m256i cross2 = _mm256_add_epi64(lh, _mm256_and_si256(cross, lo_mask));
+  return _mm256_add_epi64(
+      hh, _mm256_add_epi64(_mm256_srli_epi64(cross, 32), _mm256_srli_epi64(cross2, 32)));
+}
+
+__attribute__((target("avx2"))) inline __m256i Mix64Avx2(__m256i x) {
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+  x = MulLo64(x, _mm256_set1_epi64x(static_cast<int64_t>(0xbf58476d1ce4e5b9ULL)));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+  x = MulLo64(x, _mm256_set1_epi64x(static_cast<int64_t>(0x94d049bb133111ebULL)));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+  return x;
+}
+
+// n mod d for the divisor captured in `m`, all four lanes at once.
+__attribute__((target("avx2"))) inline __m256i ModAvx2(__m256i n, const DivMagic& m,
+                                                       __m256i vmagic, __m256i vd,
+                                                       __m128i vshift) {
+  __m256i q;
+  if (m.pow2) {
+    q = _mm256_srl_epi64(n, vshift);
+  } else {
+    q = MulHi64(vmagic, n);
+    if (m.add) {
+      q = _mm256_add_epi64(_mm256_srli_epi64(_mm256_sub_epi64(n, q), 1), q);
+    }
+    q = _mm256_srl_epi64(q, vshift);
+  }
+  return _mm256_sub_epi64(n, MulLo64(q, vd));
+}
+
+__attribute__((target("avx2"))) void HashValuesAvx2(const double* values, size_t n,
+                                                    uint64_t* out) {
+  const __m256i prime5 = _mm256_set1_epi64x(static_cast<int64_t>(hash_internal::kPrime5));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i bits = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    __m256i h = Mix64Avx2(_mm256_add_epi64(bits, prime5));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  HashValuesScalar(values + i, n - i, out + i);
+}
+
+__attribute__((target("avx2"))) void CmsAddHashesAvx2(uint64_t* table, uint32_t width,
+                                                      uint32_t depth, const uint64_t* hashes,
+                                                      size_t n) {
+  const DivMagic dm = MakeDivMagic(width);
+  const __m256i vmagic = _mm256_set1_epi64x(static_cast<int64_t>(dm.magic));
+  const __m256i vwidth = _mm256_set1_epi64x(width);
+  const __m128i vshift = _mm_cvtsi32_si128(dm.shift);
+  const __m256i two = _mm256_set1_epi64x(2);
+  alignas(32) uint64_t idx[4];
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + j));
+    __m256i h2 = Mix64Avx2(h);
+    // NthHash(h, h2, i) = h + i*h2 + i^2 advances by h2 + 2i + 1 per row, so
+    // the row loop is add-only (exact mod-2^64 arithmetic, same as scalar).
+    __m256i cur = h;
+    __m256i step = _mm256_add_epi64(h2, _mm256_set1_epi64x(1));
+    uint64_t* row_base = table;
+    for (uint32_t row = 0; row < depth; ++row) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(idx),
+                         ModAvx2(cur, dm, vmagic, vwidth, vshift));
+      row_base[idx[0]] += 1;
+      row_base[idx[1]] += 1;
+      row_base[idx[2]] += 1;
+      row_base[idx[3]] += 1;
+      row_base += width;
+      cur = _mm256_add_epi64(cur, step);
+      step = _mm256_add_epi64(step, two);
+    }
+  }
+  CmsAddHashesScalar(table, width, depth, hashes + j, n - j);
+}
+
+__attribute__((target("avx2"))) void BloomAddHashesAvx2(uint64_t* bits, uint32_t num_bits,
+                                                        uint32_t num_hashes,
+                                                        const uint64_t* hashes, size_t n) {
+  const DivMagic dm = MakeDivMagic(num_bits);
+  const __m256i vmagic = _mm256_set1_epi64x(static_cast<int64_t>(dm.magic));
+  const __m256i vbits = _mm256_set1_epi64x(num_bits);
+  const __m128i vshift = _mm_cvtsi32_si128(dm.shift);
+  const __m256i two = _mm256_set1_epi64x(2);
+  alignas(32) uint64_t idx[4];
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + j));
+    __m256i h2 = Mix64Avx2(h);
+    __m256i cur = h;
+    __m256i step = _mm256_add_epi64(h2, _mm256_set1_epi64x(1));
+    for (uint32_t i = 0; i < num_hashes; ++i) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(idx),
+                         ModAvx2(cur, dm, vmagic, vbits, vshift));
+      for (int k = 0; k < 4; ++k) {
+        bits[idx[k] / 64] |= uint64_t{1} << (idx[k] % 64);
+      }
+      cur = _mm256_add_epi64(cur, step);
+      step = _mm256_add_epi64(step, two);
+    }
+  }
+  BloomAddHashesScalar(bits, num_bits, num_hashes, hashes + j, n - j);
+}
+
+__attribute__((target("avx2"))) void BloomTestHashesAvx2(const uint64_t* bits, uint32_t num_bits,
+                                                         uint32_t num_hashes,
+                                                         const uint64_t* hashes, size_t n,
+                                                         uint8_t* out) {
+  const DivMagic dm = MakeDivMagic(num_bits);
+  const __m256i vmagic = _mm256_set1_epi64x(static_cast<int64_t>(dm.magic));
+  const __m256i vbits = _mm256_set1_epi64x(num_bits);
+  const __m128i vshift = _mm_cvtsi32_si128(dm.shift);
+  const __m256i two = _mm256_set1_epi64x(2);
+  alignas(32) uint64_t idx[4];
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + j));
+    __m256i h2 = Mix64Avx2(h);
+    __m256i cur = h;
+    __m256i step = _mm256_add_epi64(h2, _mm256_set1_epi64x(1));
+    uint8_t hit[4] = {1, 1, 1, 1};
+    for (uint32_t i = 0; i < num_hashes; ++i) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(idx),
+                         ModAvx2(cur, dm, vmagic, vbits, vshift));
+      for (int k = 0; k < 4; ++k) {
+        hit[k] &= (bits[idx[k] / 64] >> (idx[k] % 64)) & 1;
+      }
+      cur = _mm256_add_epi64(cur, step);
+      step = _mm256_add_epi64(step, two);
+    }
+    for (int k = 0; k < 4; ++k) {
+      out[j + k] = hit[k];
+    }
+  }
+  BloomTestHashesScalar(bits, num_bits, num_hashes, hashes + j, n - j, out + j);
+}
+
+#endif  // defined(__x86_64__)
+
+// ---------------------------------------------------------------------------
+// Dispatch: one table, resolved once. SS_FORCE_SCALAR pins the reference
+// path regardless of CPU features (CI exercises it on AVX2 hosts).
+// ---------------------------------------------------------------------------
+
+struct KernelOps {
+  Impl impl;
+  void (*hash_values)(const double*, size_t, uint64_t*);
+  void (*cms_add)(uint64_t*, uint32_t, uint32_t, const uint64_t*, size_t);
+  void (*bloom_add)(uint64_t*, uint32_t, uint32_t, const uint64_t*, size_t);
+  void (*bloom_test)(const uint64_t*, uint32_t, uint32_t, const uint64_t*, size_t, uint8_t*);
+  void (*hll_add)(uint8_t*, uint32_t, const uint64_t*, size_t);
+};
+
+const KernelOps& Ops() {
+  static const KernelOps ops = [] {
+    KernelOps o{Impl::kScalar,         HashValuesScalar,      CmsAddHashesScalar,
+                BloomAddHashesScalar,  BloomTestHashesScalar, HllAddHashesImpl};
+#if defined(__x86_64__)
+    const char* force = std::getenv("SS_FORCE_SCALAR");
+    bool forced = force != nullptr && force[0] != '\0' && force[0] != '0';
+    if (!forced && __builtin_cpu_supports("avx2")) {
+      o = KernelOps{Impl::kAvx2,         HashValuesAvx2,      CmsAddHashesAvx2,
+                    BloomAddHashesAvx2,  BloomTestHashesAvx2, HllAddHashesImpl};
+    }
+#endif
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace
+
+Impl ActiveImpl() { return Ops().impl; }
+
+const char* ImplName(Impl impl) {
+  switch (impl) {
+    case Impl::kScalar:
+      return "scalar";
+    case Impl::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void HashValues(const double* values, size_t n, uint64_t* out) {
+  Ops().hash_values(values, n, out);
+}
+
+void CmsAddHashes(uint64_t* table, uint32_t width, uint32_t depth, const uint64_t* hashes,
+                  size_t n) {
+  Ops().cms_add(table, width, depth, hashes, n);
+}
+
+void BloomAddHashes(uint64_t* bits, uint32_t num_bits, uint32_t num_hashes,
+                    const uint64_t* hashes, size_t n) {
+  Ops().bloom_add(bits, num_bits, num_hashes, hashes, n);
+}
+
+void BloomTestHashes(const uint64_t* bits, uint32_t num_bits, uint32_t num_hashes,
+                     const uint64_t* hashes, size_t n, uint8_t* out) {
+  Ops().bloom_test(bits, num_bits, num_hashes, hashes, n, out);
+}
+
+void HllAddHashes(uint8_t* registers, uint32_t precision, const uint64_t* hashes, size_t n) {
+  Ops().hll_add(registers, precision, hashes, n);
+}
+
+}  // namespace ss::kernels

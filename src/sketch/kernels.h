@@ -1,0 +1,88 @@
+// Batch sketch-update kernels: the data-parallel inner loops behind
+// CountMinSketch::AddHashes, BloomFilter::AddHashes/TestHashes and
+// HyperLogLog::AddHashes.
+//
+// Every kernel has a scalar reference implementation (the exact loops the
+// sketch classes have always run, one element at a time) and, on x86-64, an
+// AVX2 implementation selected by runtime CPU dispatch. The two are
+// bit-identical by construction: the vector path computes the same Mix64 /
+// NthHash / `% width` index sequence with exact integer arithmetic (division
+// by invariant multiplication), so the resulting table state — and therefore
+// serialization, checksums and merge semantics — is byte-for-byte the same
+// whichever path ran. `SS_FORCE_SCALAR=1` in the environment pins the scalar
+// path; CI runs a leg with it set so the fallback stays tested on AVX2 hosts.
+#ifndef SUMMARYSTORE_SRC_SKETCH_KERNELS_H_
+#define SUMMARYSTORE_SRC_SKETCH_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ss::kernels {
+
+enum class Impl : uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+// The implementation the dispatcher selected at process start (cached; reads
+// SS_FORCE_SCALAR and the CPUID feature bits exactly once).
+Impl ActiveImpl();
+const char* ImplName(Impl impl);
+
+// Canonical value hashing (HashValue) over a batch of doubles.
+void HashValues(const double* values, size_t n, uint64_t* out);
+
+// CMS: for each hash, increment cell (row, NthHash(h, Mix64(h), row) % width)
+// by 1 in every row. `table` is row-major width*depth. Does not touch the
+// sketch's total counter; the owning class maintains it.
+void CmsAddHashes(uint64_t* table, uint32_t width, uint32_t depth, const uint64_t* hashes,
+                  size_t n);
+
+// Bloom: set (resp. test) the `num_hashes` probe bits of each hash in a
+// `num_bits`-wide bit array stored as 64-bit words. Test writes out[j] = 1 if
+// every probe bit of hashes[j] is set, else 0.
+void BloomAddHashes(uint64_t* bits, uint32_t num_bits, uint32_t num_hashes,
+                    const uint64_t* hashes, size_t n);
+void BloomTestHashes(const uint64_t* bits, uint32_t num_bits, uint32_t num_hashes,
+                     const uint64_t* hashes, size_t n, uint8_t* out);
+
+// HLL: fold each hash into the 2^precision register file (max of leading-zero
+// ranks). The inner loop is division-free and memory-bound, so both dispatch
+// targets share one tight scalar loop; the batch API's win here is hoisting
+// the per-event virtual call and bounds setup out of the loop.
+void HllAddHashes(uint8_t* registers, uint32_t precision, const uint64_t* hashes, size_t n);
+
+namespace internal {
+
+// Division by invariant multiplication (Granlund & Montgomery; the libdivide
+// u64 scheme): turns `n % d` for a loop-invariant d into multiplies and
+// shifts that the AVX2 path can evaluate per lane. Exposed for direct fuzzing
+// against the hardware `%` in tests.
+struct DivMagic {
+  uint64_t magic = 0;
+  uint8_t shift = 0;
+  bool add = false;   // use the rounding-add fixup path
+  bool pow2 = false;  // d is a power of two; magic unused
+  uint64_t d = 0;
+};
+
+DivMagic MakeDivMagic(uint64_t d);
+
+inline uint64_t DivApply(uint64_t n, const DivMagic& m) {
+  if (m.pow2) {
+    return n >> m.shift;
+  }
+  uint64_t q = static_cast<uint64_t>((static_cast<__uint128_t>(m.magic) * n) >> 64);
+  if (m.add) {
+    q = ((n - q) >> 1) + q;
+  }
+  return q >> m.shift;
+}
+
+inline uint64_t ModApply(uint64_t n, const DivMagic& m) { return n - DivApply(n, m) * m.d; }
+
+}  // namespace internal
+
+}  // namespace ss::kernels
+
+#endif  // SUMMARYSTORE_SRC_SKETCH_KERNELS_H_

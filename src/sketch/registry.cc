@@ -10,6 +10,7 @@
 #include "src/sketch/hyperloglog.h"
 #include "src/sketch/quantile.h"
 #include "src/sketch/reservoir.h"
+#include "src/sketch/spacesaving.h"
 #include "src/sketch/summary.h"
 
 namespace ss {
@@ -36,6 +37,8 @@ const char* SummaryKindName(SummaryKind kind) {
       return "quantile";
     case SummaryKind::kReservoir:
       return "reservoir";
+    case SummaryKind::kSpaceSaving:
+      return "spacesaving";
   }
   return "unknown";
 }
@@ -68,6 +71,8 @@ StatusOr<std::unique_ptr<Summary>> DeserializeSummary(Reader& reader) {
       return QuantileSketch::Deserialize(reader);
     case SummaryKind::kReservoir:
       return ReservoirSample::Deserialize(reader);
+    case SummaryKind::kSpaceSaving:
+      return SpaceSavingSketch::Deserialize(reader);
   }
   return Status::Corruption("unknown summary kind tag");
 }

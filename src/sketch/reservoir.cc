@@ -19,6 +19,24 @@ uint64_t ReservoirSample::NextRandom() {
   return Mix64(rng_state_);
 }
 
+uint64_t ReservoirSample::NextBounded(uint64_t bound) {
+  // Lemire's multiply-shift bounded reduction with rejection: a plain
+  // `NextRandom() % bound` over-selects the low 2^64 mod bound residues
+  // whenever bound does not divide 2^64, skewing slot selection.
+  uint64_t x = NextRandom();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = NextRandom();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
 void ReservoirSample::Update(Timestamp ts, double value) {
   ++population_;
   if (items_.size() < capacity_) {
@@ -26,7 +44,7 @@ void ReservoirSample::Update(Timestamp ts, double value) {
     return;
   }
   // Algorithm R: replace a random slot with probability capacity/population.
-  uint64_t j = NextRandom() % population_;
+  uint64_t j = NextBounded(population_);
   if (j < capacity_) {
     items_[static_cast<size_t>(j)] = Item{ts, value};
   }
@@ -65,10 +83,10 @@ Status ReservoirSample::MergeFrom(const Summary& other) {
     } else if (theirs.empty()) {
       from_mine = true;
     } else {
-      from_mine = NextRandom() % (my_weight + their_weight) < my_weight;
+      from_mine = NextBounded(my_weight + their_weight) < my_weight;
     }
     auto& src = from_mine ? mine : theirs;
-    size_t idx = static_cast<size_t>(NextRandom() % src.size());
+    size_t idx = static_cast<size_t>(NextBounded(src.size()));
     merged.push_back(src[idx]);
     src[idx] = src.back();
     src.pop_back();

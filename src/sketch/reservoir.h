@@ -38,7 +38,8 @@ class ReservoirSample : public Summary {
   std::unique_ptr<Summary> Clone() const override;
 
  private:
-  uint64_t NextRandom();  // SplitMix64 step over serialized state
+  uint64_t NextRandom();           // SplitMix64 step over serialized state
+  uint64_t NextBounded(uint64_t);  // unbiased draw from [0, bound)
 
   uint32_t capacity_;
   uint64_t population_ = 0;  // elements seen, not retained

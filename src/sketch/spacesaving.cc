@@ -1,0 +1,184 @@
+#include "src/sketch/spacesaving.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace ss {
+
+SpaceSavingSketch::SpaceSavingSketch(uint32_t capacity) : capacity_(capacity) {
+  SS_CHECK(capacity > 0) << "SpaceSavingSketch: zero capacity";
+  slots_.reserve(std::min<uint32_t>(capacity, 4096));
+}
+
+uint64_t SpaceSavingSketch::Key(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+size_t SpaceSavingSketch::FindMinSlot() const {
+  size_t best = 0;
+  for (size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].count < slots_[best].count) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+uint64_t SpaceSavingSketch::MinCount() const {
+  // The "everything else" bound: only meaningful once the table is full —
+  // before that every seen value is tracked and untracked means count 0.
+  if (slots_.size() < capacity_) {
+    return 0;
+  }
+  return slots_[FindMinSlot()].count;
+}
+
+void SpaceSavingSketch::Update(Timestamp /*ts*/, double value) { Add(value); }
+
+void SpaceSavingSketch::Add(double value, uint64_t count) {
+  total_ += count;
+  uint64_t key = Key(value);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    slots_[it->second].count += count;
+    return;
+  }
+  if (slots_.size() < capacity_) {
+    index_[key] = slots_.size();
+    slots_.push_back(Candidate{value, count, 0});
+    return;
+  }
+  // Classic eviction: the new value inherits the minimum count as its
+  // overestimation error and replaces that slot.
+  size_t victim = FindMinSlot();
+  uint64_t min_count = slots_[victim].count;
+  index_.erase(Key(slots_[victim].value));
+  slots_[victim] = Candidate{value, min_count + count, min_count};
+  index_[key] = victim;
+}
+
+SpaceSavingSketch::Candidate SpaceSavingSketch::Bracket(double value) const {
+  auto it = index_.find(Key(value));
+  if (it != index_.end()) {
+    return slots_[it->second];
+  }
+  uint64_t bound = MinCount();
+  return Candidate{value, bound, bound};
+}
+
+std::vector<SpaceSavingSketch::Candidate> SpaceSavingSketch::TopK(size_t k) const {
+  std::vector<Candidate> out = slots_;
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.value < b.value;
+  });
+  if (out.size() > k) {
+    out.resize(k);
+  }
+  return out;
+}
+
+Status SpaceSavingSketch::MergeFrom(const Summary& other) {
+  const auto* o = SummaryCast<SpaceSavingSketch>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("SpaceSavingSketch: kind mismatch in union");
+  }
+  if (o->capacity_ != capacity_) {
+    return Status::InvalidArgument("SpaceSavingSketch: capacity mismatch in union");
+  }
+  uint64_t my_min = MinCount();
+  uint64_t their_min = o->MinCount();
+  // Parallel space-saving combine over the union of tracked values. A value
+  // absent from one side could have occurred up to that side's minimum count
+  // there, so the missing side contributes min as count AND as error —
+  // keeping count an upper bound and count - error a lower bound.
+  std::vector<Candidate> merged;
+  merged.reserve(slots_.size() + o->slots_.size());
+  for (const Candidate& mine : slots_) {
+    auto it = o->index_.find(Key(mine.value));
+    if (it != o->index_.end()) {
+      const Candidate& theirs = o->slots_[it->second];
+      merged.push_back(
+          Candidate{mine.value, mine.count + theirs.count, mine.error + theirs.error});
+    } else {
+      merged.push_back(Candidate{mine.value, mine.count + their_min, mine.error + their_min});
+    }
+  }
+  for (const Candidate& theirs : o->slots_) {
+    if (index_.find(Key(theirs.value)) == index_.end()) {
+      merged.push_back(Candidate{theirs.value, theirs.count + my_min, theirs.error + my_min});
+    }
+  }
+  // Keep the `capacity` largest counts (deterministic order for replays).
+  std::sort(merged.begin(), merged.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.value < b.value;
+  });
+  if (merged.size() > capacity_) {
+    merged.resize(capacity_);
+  }
+  slots_ = std::move(merged);
+  index_.clear();
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    index_[Key(slots_[i].value)] = i;
+  }
+  total_ += o->total_;
+  return Status::Ok();
+}
+
+void SpaceSavingSketch::Serialize(Writer& writer) const {
+  writer.PutVarint(capacity_);
+  writer.PutVarint(total_);
+  writer.PutVarint(slots_.size());
+  for (const Candidate& c : slots_) {
+    writer.PutDouble(c.value);
+    writer.PutVarint(c.count);
+    writer.PutVarint(c.error);
+  }
+}
+
+StatusOr<std::unique_ptr<Summary>> SpaceSavingSketch::Deserialize(Reader& reader) {
+  SS_ASSIGN_OR_RETURN(uint64_t capacity, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t total, reader.ReadVarint());
+  SS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  // Each entry costs at least 10 encoded bytes (8-byte double + 2 varints).
+  if (capacity == 0 || capacity > (uint64_t{1} << 24) || count > capacity ||
+      count > reader.remaining() / 10 + 1) {
+    return Status::Corruption("SpaceSavingSketch: bad configuration");
+  }
+  auto sketch = std::make_unique<SpaceSavingSketch>(static_cast<uint32_t>(capacity));
+  sketch->total_ = total;
+  sketch->slots_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Candidate c;
+    SS_ASSIGN_OR_RETURN(c.value, reader.ReadDouble());
+    SS_ASSIGN_OR_RETURN(c.count, reader.ReadVarint());
+    SS_ASSIGN_OR_RETURN(c.error, reader.ReadVarint());
+    if (c.error > c.count) {
+      return Status::Corruption("SpaceSavingSketch: error exceeds count");
+    }
+    if (!sketch->index_.emplace(Key(c.value), sketch->slots_.size()).second) {
+      return Status::Corruption("SpaceSavingSketch: duplicate tracked value");
+    }
+    sketch->slots_.push_back(c);
+  }
+  return std::unique_ptr<Summary>(std::move(sketch));
+}
+
+size_t SpaceSavingSketch::SizeBytes() const {
+  return slots_.size() * (sizeof(Candidate) + 16) + 24;
+}
+
+std::unique_ptr<Summary> SpaceSavingSketch::Clone() const {
+  return std::make_unique<SpaceSavingSketch>(*this);
+}
+
+}  // namespace ss

@@ -1,0 +1,68 @@
+// Space-saving heavy hitters (Metwally, Agrawal & El Abbadi 2005): tracks at
+// most `capacity` candidate values with per-candidate (count, error) pairs
+// such that the true frequency of a tracked value v lies in
+// [count(v) - error(v), count(v)], and any untracked value's frequency is at
+// most the minimum tracked count. Union follows the parallel space-saving
+// combine: counts of values tracked on both sides add; a value missing from
+// one side is charged that side's minimum count as both count and error, so
+// the bracket property survives window merges. The query engine tightens the
+// per-candidate bracket further with the window CMS when one is configured.
+#ifndef SUMMARYSTORE_SRC_SKETCH_SPACESAVING_H_
+#define SUMMARYSTORE_SRC_SKETCH_SPACESAVING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sketch/summary.h"
+
+namespace ss {
+
+class SpaceSavingSketch : public Summary {
+ public:
+  static constexpr SummaryKind kKind = SummaryKind::kSpaceSaving;
+
+  struct Candidate {
+    double value = 0.0;
+    uint64_t count = 0;  // upper bound on the value's true frequency
+    uint64_t error = 0;  // count - error is a lower bound
+  };
+
+  explicit SpaceSavingSketch(uint32_t capacity);
+
+  SummaryKind kind() const override { return kKind; }
+  uint32_t capacity() const { return capacity_; }
+  uint64_t total_count() const { return total_; }
+  size_t tracked() const { return slots_.size(); }
+
+  void Update(Timestamp ts, double value) override;
+  void Add(double value, uint64_t count = 1);
+
+  // Frequency bracket for an arbitrary value: tracked values report their
+  // slot; untracked ones report [0, min tracked count].
+  Candidate Bracket(double value) const;
+
+  // Top-k candidates by descending count (ties broken by value for
+  // determinism). k is clamped to the tracked size.
+  std::vector<Candidate> TopK(size_t k) const;
+
+  Status MergeFrom(const Summary& other) override;
+  void Serialize(Writer& writer) const override;
+  static StatusOr<std::unique_ptr<Summary>> Deserialize(Reader& reader);
+  size_t SizeBytes() const override;
+  std::unique_ptr<Summary> Clone() const override;
+
+ private:
+  static uint64_t Key(double value);
+  size_t FindMinSlot() const;
+  uint64_t MinCount() const;
+
+  uint32_t capacity_;
+  uint64_t total_ = 0;
+  std::vector<Candidate> slots_;
+  std::unordered_map<uint64_t, size_t> index_;  // value bit pattern -> slot
+};
+
+}  // namespace ss
+
+#endif  // SUMMARYSTORE_SRC_SKETCH_SPACESAVING_H_

@@ -36,6 +36,7 @@ enum class SummaryKind : uint8_t {
   kHistogram = 8,
   kQuantile = 9,
   kReservoir = 10,
+  kSpaceSaving = 11,
 };
 
 const char* SummaryKindName(SummaryKind kind);

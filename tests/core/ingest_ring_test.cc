@@ -1,0 +1,237 @@
+// Striped ingest front: the lossless (kBlock) path must deliver every
+// offered event into the store regardless of producer count or ring size,
+// and the kShed path must keep exact accounting (store count + shed count ==
+// offers). The multi-producer stress test is the TSan target for the ring's
+// acquire/release publication protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/core/ingest_ring.h"
+#include "src/core/summary_store.h"
+
+namespace ss {
+namespace {
+
+StreamConfig SmallConfig() {
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  config.operators = OperatorSet::Microbench();
+  config.operators.bloom_bits = 256;
+  config.operators.cms_width = 64;
+  config.raw_threshold = 8;
+  return config;
+}
+
+// Multi-producer fronts need out-of-order slack: producers stamp events from
+// a shared clock, but an event can sit in its ring while newer timestamps
+// from faster producers are drained, so the stream's reorder buffer must
+// absorb the cross-ring skew (see the IngestFront header contract).
+StreamConfig ReorderingConfig(uint64_t slack) {
+  StreamConfig config = SmallConfig();
+  config.reorder_buffer = slack;
+  return config;
+}
+
+double CountInStore(SummaryStore& store, StreamId sid, Timestamp t1, Timestamp t2) {
+  QuerySpec spec{.t1 = t1, .t2 = t2, .op = QueryOp::kCount};
+  auto result = store.Query(sid, spec);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result->estimate : -1.0;
+}
+
+TEST(SpscRing, PushPopRoundTrip) {
+  SpscRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.TryPush(Event{i + 1, static_cast<double>(i)}));
+  }
+  EXPECT_FALSE(ring.TryPush(Event{99, 0.0}));  // full
+  Event out[8];
+  EXPECT_EQ(ring.PopBatch(out, 8), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i].ts, i + 1);
+    EXPECT_EQ(out[i].value, static_cast<double>(i));
+  }
+  EXPECT_EQ(ring.PopBatch(out, 8), 0u);  // empty again
+  // Wrap around the cursor a few times.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ring.TryPush(Event{round * 10 + i, 1.0}));
+    }
+    ASSERT_EQ(ring.PopBatch(out, 8), 3u);
+  }
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(IngestRing, SingleProducerDeliversEverything) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  ASSERT_TRUE(store.ok());
+  auto sid = (*store)->CreateStream(SmallConfig());
+  ASSERT_TRUE(sid.ok());
+  IngestFront front(**store, *sid);
+  IngestFront::Producer* p = front.RegisterProducer();
+  ASSERT_NE(p, nullptr);
+  constexpr int kEvents = 20000;
+  for (int t = 1; t <= kEvents; ++t) {
+    ASSERT_TRUE(p->Offer(t, static_cast<double>(t % 10)).ok());
+  }
+  ASSERT_TRUE(front.Drain().ok());
+  front.Stop();
+  EXPECT_EQ(front.shed_count(), 0u);
+  EXPECT_DOUBLE_EQ(CountInStore(**store, *sid, 1, kEvents), kEvents);
+}
+
+TEST(IngestRing, MultiProducerBlockPolicyLossless) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  auto sid = (*store)->CreateStream(ReorderingConfig(1 << 14));
+  // Tiny rings force the block path to actually wait on the worker.
+  IngestRingOptions options;
+  options.ring_capacity = 64;
+  options.drain_batch = 128;
+  IngestFront front(**store, *sid, options);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  std::vector<IngestFront::Producer*> handles;
+  for (int i = 0; i < kProducers; ++i) {
+    handles.push_back(front.RegisterProducer());
+    ASSERT_NE(handles.back(), nullptr);
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  std::atomic<Timestamp> clock{0};
+  for (int i = 0; i < kProducers; ++i) {
+    threads.emplace_back([&, i] {
+      for (int t = 0; t < kPerProducer; ++t) {
+        Timestamp ts = clock.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (!handles[i]->Offer(ts, static_cast<double>(i)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  ASSERT_TRUE(front.Drain().ok());
+  front.Stop();
+  // Flush releases events still staged in the stream's reorder buffer.
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(front.shed_count(), 0u);
+  EXPECT_DOUBLE_EQ(CountInStore(**store, *sid, 1, kProducers * kPerProducer),
+                   kProducers * kPerProducer);
+}
+
+TEST(IngestRing, ShedPolicyAccountingInvariant) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  auto sid = (*store)->CreateStream(SmallConfig());
+  IngestRingOptions options;
+  options.ring_capacity = 16;  // easy to overrun
+  options.policy = IngestRingOptions::Policy::kShed;
+  IngestFront front(**store, *sid, options);
+  IngestFront::Producer* p = front.RegisterProducer();
+  constexpr int kOffers = 20000;
+  uint64_t accepted = 0;
+  uint64_t shed = 0;
+  for (int t = 1; t <= kOffers; ++t) {
+    Status s = p->Offer(t, 1.0);
+    if (s.ok()) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+      ++shed;
+    }
+  }
+  ASSERT_TRUE(front.Drain().ok());
+  front.Stop();
+  // Exact bookkeeping: every offer either landed in the store or was shed.
+  EXPECT_EQ(accepted + shed, kOffers);
+  EXPECT_EQ(front.shed_count(), shed);
+  EXPECT_DOUBLE_EQ(CountInStore(**store, *sid, 1, kOffers),
+                   static_cast<double>(accepted));
+}
+
+TEST(IngestRing, OfferAfterStopFails) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  auto sid = (*store)->CreateStream(SmallConfig());
+  IngestFront front(**store, *sid);
+  IngestFront::Producer* p = front.RegisterProducer();
+  ASSERT_TRUE(p->Offer(1, 1.0).ok());
+  front.Stop();
+  front.Stop();  // idempotent
+  EXPECT_EQ(p->Offer(2, 2.0).code(), StatusCode::kFailedPrecondition);
+  // The pre-Stop event still landed.
+  EXPECT_DOUBLE_EQ(CountInStore(**store, *sid, 1, 10), 1.0);
+}
+
+TEST(IngestRing, ProducerRegistrationCapped) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  auto sid = (*store)->CreateStream(SmallConfig());
+  IngestRingOptions options;
+  options.max_producers = 2;
+  IngestFront front(**store, *sid, options);
+  EXPECT_NE(front.RegisterProducer(), nullptr);
+  EXPECT_NE(front.RegisterProducer(), nullptr);
+  EXPECT_EQ(front.RegisterProducer(), nullptr);
+  front.Stop();
+}
+
+// TSan leg target: concurrent producers + the drain worker + a reader issuing
+// queries mid-ingest. Asserts only thread-safety and final delivery (query
+// results mid-stream are time-dependent).
+TEST(IngestRing, ConcurrentProducersAndQueriesStress) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  auto sid = (*store)->CreateStream(ReorderingConfig(1 << 14));
+  IngestRingOptions options;
+  options.ring_capacity = 128;
+  IngestFront front(**store, *sid, options);
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 3000;
+  std::vector<IngestFront::Producer*> handles;
+  for (int i = 0; i < kProducers; ++i) {
+    handles.push_back(front.RegisterProducer());
+  }
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      QuerySpec spec{.t1 = 1, .t2 = kProducers * kPerProducer, .op = QueryOp::kCount};
+      auto result = (*store)->Query(*sid, spec);
+      // NotFound is fine before the first drain lands; anything else is not.
+      if (!result.ok()) {
+        EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> threads;
+  std::atomic<Timestamp> clock{0};
+  for (int i = 0; i < kProducers; ++i) {
+    threads.emplace_back([&, i] {
+      for (int t = 0; t < kPerProducer; ++t) {
+        Timestamp ts = clock.fetch_add(1, std::memory_order_relaxed) + 1;
+        ASSERT_TRUE(handles[i]->Offer(ts, static_cast<double>(t % 7)).ok());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  Status drained = front.Drain();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  front.Stop();
+  ASSERT_TRUE(drained.ok()) << drained.ToString();
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_DOUBLE_EQ(CountInStore(**store, *sid, 1, kProducers * kPerProducer),
+                   kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <vector>
 
 #include "src/core/query.h"
@@ -369,6 +370,128 @@ TEST(Query, RawThresholdGivesExactRecentAnswers) {
   ASSERT_TRUE(result.ok());
   EXPECT_DOUBLE_EQ(result->estimate, 6.0);
   EXPECT_TRUE(result->exact);
+}
+
+// Skewed fill for the top-k tests: value v appears ~proportional to its
+// weight, with value 1.0 dominating.
+void FillSkewed(Stream& stream, int n = 4000) {
+  Rng rng(17);
+  for (int t = 1; t <= n; ++t) {
+    uint64_t r = rng.NextBounded(100);
+    double v;
+    if (r < 40) {
+      v = 1.0;
+    } else if (r < 65) {
+      v = 2.0;
+    } else if (r < 80) {
+      v = 3.0;
+    } else {
+      v = static_cast<double>(4 + r % 16);
+    }
+    ASSERT_TRUE(stream.Append(t, v).ok());
+  }
+}
+
+TEST(Query, TopKRanksDominantValueFirst) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillSkewed(stream);
+  QuerySpec spec{.t1 = 1, .t2 = 4000, .op = QueryOp::kTopK, .top_k = 3};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->topk.size(), 3u);
+  EXPECT_DOUBLE_EQ(result->topk[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(result->topk[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(result->topk[2].value, 3.0);
+  // Headline estimate mirrors the first entry.
+  EXPECT_DOUBLE_EQ(result->estimate, result->topk[0].estimate);
+}
+
+TEST(Query, TopKBracketContainsTruthFullRange) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  std::map<double, int> truth;
+  Rng rng(17);
+  for (int t = 1; t <= 4000; ++t) {
+    uint64_t r = rng.NextBounded(100);
+    double v = r < 40 ? 1.0 : (r < 65 ? 2.0 : (r < 80 ? 3.0 : 4.0 + r % 16));
+    ++truth[v];
+    ASSERT_TRUE(stream.Append(t, v).ok());
+  }
+  QuerySpec spec{.t1 = 1, .t2 = 4000, .op = QueryOp::kTopK, .top_k = 5};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->topk.size(), 5u);
+  for (const auto& entry : result->topk) {
+    double actual = truth[entry.value];
+    EXPECT_LE(entry.ci_lo, actual) << "value " << entry.value;
+    EXPECT_GE(entry.ci_hi, actual) << "value " << entry.value;
+    EXPECT_LE(entry.ci_lo, entry.estimate);
+    EXPECT_GE(entry.ci_hi, entry.estimate);
+  }
+}
+
+TEST(Query, TopKPartialRangeIsInexactButSound) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  std::map<double, int> range_truth;
+  Rng rng(17);
+  constexpr int kT1 = 500;
+  constexpr int kT2 = 1500;
+  for (int t = 1; t <= 4000; ++t) {
+    double v = rng.NextBounded(100) < 50 ? 1.0 : 2.0;
+    if (t >= kT1 && t <= kT2) {
+      ++range_truth[v];
+    }
+    ASSERT_TRUE(stream.Append(t, v).ok());
+  }
+  QuerySpec spec{.t1 = kT1, .t2 = kT2, .op = QueryOp::kTopK, .top_k = 2};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->exact);
+  ASSERT_GE(result->topk.size(), 1u);
+  for (const auto& entry : result->topk) {
+    double actual = range_truth[entry.value];
+    // Partial windows contribute whole-window upper bounds and shed their
+    // possible out-of-range mass from the lower bound; truth stays inside.
+    EXPECT_LE(entry.ci_lo, actual) << "value " << entry.value;
+    EXPECT_GE(entry.ci_hi, actual) << "value " << entry.value;
+  }
+}
+
+TEST(Query, TopKWithoutOperatorFailsPrecondition) {
+  MemoryBackend kv;
+  StreamConfig config = FullConfig();
+  config.operators.spacesaving = false;
+  Stream stream(1, config, &kv);
+  FillRegular(stream);
+  QuerySpec spec{.t1 = 1, .t2 = 1000, .op = QueryOp::kTopK};
+  EXPECT_EQ(RunQuery(stream, spec).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Query, TopKZeroKRejected) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(), &kv);
+  FillRegular(stream, 10);
+  QuerySpec spec{.t1 = 1, .t2 = 10, .op = QueryOp::kTopK, .top_k = 0};
+  EXPECT_EQ(RunQuery(stream, spec).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Query, TopKOnRawWindowsIsExact) {
+  MemoryBackend kv;
+  Stream stream(1, FullConfig(/*raw_threshold=*/64), &kv);
+  for (int t = 990; t <= 1000; ++t) {
+    ASSERT_TRUE(stream.Append(t, t <= 996 ? 5.0 : 6.0).ok());
+  }
+  QuerySpec spec{.t1 = 990, .t2 = 1000, .op = QueryOp::kTopK, .top_k = 2};
+  auto result = RunQuery(stream, spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->topk.size(), 2u);
+  EXPECT_DOUBLE_EQ(result->topk[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(result->topk[0].ci_lo, 7.0);
+  EXPECT_DOUBLE_EQ(result->topk[0].ci_hi, 7.0);
+  EXPECT_DOUBLE_EQ(result->topk[1].value, 6.0);
+  EXPECT_DOUBLE_EQ(result->topk[1].ci_lo, 4.0);
 }
 
 }  // namespace

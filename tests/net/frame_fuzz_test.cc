@@ -2,9 +2,13 @@
 // fail closed on hostile bytes — kCorruption (and a clean disconnect at the
 // server), never a crash, hang, or oversized allocation. Runs under the ASan
 // ci.sh leg; keep every input here allocation-bounded.
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <limits>
+#include <thread>
 #include <memory>
 #include <string>
 #include <vector>
@@ -213,6 +217,81 @@ TEST(ProtocolDecodeTest, QueryResultSpanCountCrossChecked) {
   }
 }
 
+// top_k rides as a trailing QuerySpec field: new frames round-trip it, legacy
+// frames without it decode to the default, hostile values are rejected.
+TEST(ProtocolDecodeTest, QuerySpecTopKTrailingFieldCompatible) {
+  QuerySpec spec;
+  spec.t1 = 1;
+  spec.t2 = 100;
+  spec.op = QueryOp::kTopK;
+  spec.top_k = 32;
+  Writer w;
+  EncodeQuerySpec(spec, w);
+  {  // round-trips
+    Reader r(w.data());
+    auto decoded = DecodeQuerySpec(r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->op, QueryOp::kTopK);
+    EXPECT_EQ(decoded->top_k, 32u);
+  }
+  {  // legacy frame (no trailing top_k varint): default applies
+    std::string bytes = w.Release();
+    bytes.resize(bytes.size() - 1);  // top_k=32 encodes as one varint byte
+    Reader r(bytes);
+    auto decoded = DecodeQuerySpec(r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->top_k, 10u);
+  }
+  {  // hostile values: zero and absurdly large k
+    for (uint32_t hostile : {0u, (1u << 20) + 1, UINT32_MAX}) {
+      QuerySpec bad = spec;
+      bad.top_k = hostile;
+      Writer bw;
+      EncodeQuerySpec(bad, bw);
+      Reader r(bw.data());
+      EXPECT_EQ(DecodeQuerySpec(r).status().code(), StatusCode::kCorruption)
+          << "top_k=" << hostile;
+    }
+  }
+}
+
+TEST(ProtocolDecodeTest, QueryResultTopKEntriesTrailingFieldCompatible) {
+  QueryResult result;
+  result.estimate = 5.0;
+  result.topk = {{1.0, 5.0, 4.0, 6.0}, {2.0, 3.0, 2.0, 4.0}};
+  Writer w;
+  EncodeQueryResult(result, "", w);
+  {  // round-trips
+    Reader r(w.data());
+    auto decoded = DecodeQueryResult(r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    ASSERT_EQ(decoded->result.topk.size(), 2u);
+    EXPECT_DOUBLE_EQ(decoded->result.topk[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(decoded->result.topk[0].estimate, 5.0);
+    EXPECT_DOUBLE_EQ(decoded->result.topk[1].ci_lo, 2.0);
+    EXPECT_DOUBLE_EQ(decoded->result.topk[1].ci_hi, 4.0);
+  }
+  QueryResult plain;
+  plain.estimate = 1.0;
+  Writer pw;
+  EncodeQueryResult(plain, "", pw);
+  std::string legacy = pw.Release();
+  legacy.resize(legacy.size() - 1);  // strip the empty-topk count varint
+  {  // legacy frame without the trailing section decodes to empty topk
+    Reader r(legacy);
+    auto decoded = DecodeQueryResult(r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_TRUE(decoded->result.topk.empty());
+  }
+  {  // hostile entry count exceeding the payload: no allocation, clean error
+    Writer bw;
+    bw.PutRaw(legacy.data(), legacy.size());
+    bw.PutVarint(1u << 30);
+    Reader r(bw.data());
+    EXPECT_EQ(DecodeQueryResult(r).status().code(), StatusCode::kCorruption);
+  }
+}
+
 TEST(ProtocolDecodeTest, StatusAndScrubAndInfoRoundTrip) {
   {
     Writer w;
@@ -263,8 +342,11 @@ TEST(ProtocolDecodeTest, StatusAndScrubAndInfoRoundTrip) {
 class FrameFuzzServerTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // pid-qualified: ctest runs each test in its own process, so a
+    // process-local counter alone collides under parallel ctest.
     static std::atomic<int> counter{0};
-    dir_ = ::testing::TempDir() + "/ss_fuzz_" + std::to_string(counter.fetch_add(1));
+    dir_ = ::testing::TempDir() + "/ss_fuzz_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1));
     (void)RemoveDirRecursive(dir_);  // stale store from a previous run
     StoreOptions options;
     options.dir = dir_;
@@ -437,9 +519,19 @@ TEST_F(FrameFuzzServerTest, PipelinedValidThenGarbageExecutesPrefix) {
   spec.op = QueryOp::kCount;
   spec.t1 = 0;
   spec.t2 = 1000;
-  auto result = (*client)->Query(1, spec);
-  ASSERT_TRUE(result.ok());
-  EXPECT_DOUBLE_EQ(result->result.estimate, 1.0);
+  // The valid append executes on the worker pool and the hostile connection's
+  // close does not wait for it, so poll until it lands.
+  double estimate = 0;
+  for (int i = 0; i < 400; ++i) {
+    auto result = (*client)->Query(1, spec);
+    ASSERT_TRUE(result.ok());
+    estimate = result->result.estimate;
+    if (estimate != 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_DOUBLE_EQ(estimate, 1.0);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 // End-to-end tests for the sserver service core: request routing, per-
 // connection pipelining, shed/block backpressure, and the durable-ack
 // guarantee under a hard server kill (acked appends must survive WAL replay).
+#include <unistd.h>
+
 #include <atomic>
 #include <memory>
 #include <set>
@@ -27,8 +29,13 @@ StreamConfig SmallConfig() {
 class NetServerTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // The pid keeps the dir unique across processes: ctest runs each test as
+    // its own filtered process, so a process-local counter alone collides
+    // when tests from this binary run concurrently (-j), and SetUp's cleanup
+    // would wipe a sibling test's live store.
     static std::atomic<int> counter{0};
-    dir_ = ::testing::TempDir() + "/ss_net_" + std::to_string(counter.fetch_add(1));
+    dir_ = ::testing::TempDir() + "/ss_net_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1));
     (void)RemoveDirRecursive(dir_);  // stale store from a previous run
   }
 

@@ -6,6 +6,7 @@
 #include "src/obs/flight_recorder.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <cstdlib>
@@ -28,7 +29,9 @@ class FlightRecorderTest : public ::testing::Test {
     ::unsetenv("SS_FLIGHT_DIR");
     FlightRecorder::Default().set_enabled(true);
     FlightRecorder::Default().ResetForTest();
-    dir_ = ::testing::TempDir() + "flight_recorder_test";
+    // pid-qualified: parallel ctest runs sibling tests from this binary in
+    // concurrent processes, and a shared fixed dir would be wiped mid-test.
+    dir_ = ::testing::TempDir() + "flight_recorder_test_" + std::to_string(::getpid());
     (void)RemoveDirRecursive(dir_);
     ASSERT_TRUE(CreateDirIfMissing(dir_).ok());
   }

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "src/random/rng.h"
 #include "src/random/zipf.h"
@@ -143,6 +145,68 @@ TEST(CountMinSketch, SerdeRoundTrip) {
   for (int v = 0; v < 17; ++v) {
     EXPECT_EQ(copy->EstimateCount(v), cms.EstimateCount(v));
   }
+}
+
+// Regression: a table whose probed cells all saturate at UINT64_MAX must
+// report UINT64_MAX, not 0 — the old sentinel-initialized min loop read a
+// fully saturated probe set as "no cell found" and answered empty.
+TEST(CountMinSketch, SaturatedCellsReportSaturationNotZero) {
+  CountMinSketch cms(4, 3);
+  const uint64_t h = Hash64(uint64_t{0xdecafbad});
+  cms.AddHash(h, UINT64_MAX);
+  EXPECT_EQ(cms.EstimateCountHash(h), UINT64_MAX);
+}
+
+// Regression: for even depth the count-mean-min median must average the two
+// middle corrected rows; taking only the upper-middle one biases upward.
+// The expected value is recomputed here from a shadow table driven by the
+// same public probe primitives (Hash64 / Mix64 / NthHash) the sketch uses.
+TEST(CountMinSketch, EvenDepthMedianAveragesMiddleRows) {
+  constexpr uint32_t kWidth = 3;
+  constexpr uint32_t kDepth = 4;
+  int discriminating = 0;  // seeds where the old (upper-middle) answer differs
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    CountMinSketch cms(kWidth, kDepth);
+    std::vector<uint64_t> shadow(static_cast<size_t>(kWidth) * kDepth, 0);
+    uint64_t total = 0;
+    auto add = [&](uint64_t hash) {
+      cms.AddHash(hash);
+      uint64_t h2 = Mix64(hash);
+      for (uint32_t row = 0; row < kDepth; ++row) {
+        shadow[row * kWidth + NthHash(hash, h2, row) % kWidth] += 1;
+      }
+      ++total;
+    };
+    const uint64_t target = Hash64(seed * 977 + 5);
+    add(target);
+    Rng rng(seed);
+    for (int i = 0; i < 40; ++i) {
+      add(Hash64(rng.NextU64()));
+    }
+    // Shadow count-mean-min with the documented even-depth averaging.
+    uint64_t h2 = Mix64(target);
+    std::vector<double> corrected(kDepth);
+    uint64_t raw_min = UINT64_MAX;
+    for (uint32_t row = 0; row < kDepth; ++row) {
+      uint64_t raw = shadow[row * kWidth + NthHash(target, h2, row) % kWidth];
+      raw_min = std::min(raw_min, raw);
+      corrected[row] =
+          static_cast<double>(raw) -
+          (static_cast<double>(total) - static_cast<double>(raw)) / (kWidth - 1);
+    }
+    std::sort(corrected.begin(), corrected.end());
+    double expected = std::clamp((corrected[1] + corrected[2]) / 2.0, 0.0,
+                                 static_cast<double>(raw_min));
+    double old_biased =
+        std::clamp(corrected[2], 0.0, static_cast<double>(raw_min));  // upper-middle only
+    EXPECT_DOUBLE_EQ(cms.EstimateCountCorrectedHash(target), expected) << "seed=" << seed;
+    if (expected != old_biased) {
+      ++discriminating;
+    }
+  }
+  // The fixture must actually exercise the averaging path, or the test could
+  // never fail on the pre-fix code.
+  EXPECT_GT(discriminating, 5);
 }
 
 TEST(CountingBloom, MembershipAndFrequency) {

@@ -1,0 +1,146 @@
+// SIMD kernel / scalar-reference equivalence: the dispatched batch kernels
+// must leave bit-identical sketch state to the per-element scalar paths for
+// every batch size, or persisted tables, checksums, and merge semantics
+// would silently diverge between machines. The CI scalar leg re-runs this
+// whole binary with SS_FORCE_SCALAR=1, covering both dispatch targets.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/random/rng.h"
+#include "src/sketch/bloom.h"
+#include "src/sketch/cms.h"
+#include "src/sketch/hyperloglog.h"
+#include "src/sketch/kernels.h"
+
+namespace ss {
+namespace {
+
+std::string SerializeState(const Summary& summary) {
+  Writer writer;
+  summary.Serialize(writer);
+  return writer.data();
+}
+
+std::vector<uint64_t> RandomHashes(size_t n, uint64_t seed) {
+  std::vector<uint64_t> hashes(n);
+  Rng rng(seed);
+  for (auto& h : hashes) {
+    h = rng.NextU64();
+  }
+  return hashes;
+}
+
+const size_t kBatchSizes[] = {1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 64, 100, 257, 1024, 4096};
+
+TEST(Kernels, ActiveImplReportsName) {
+  kernels::Impl impl = kernels::ActiveImpl();
+  EXPECT_NE(kernels::ImplName(impl), nullptr);
+  const char* force = std::getenv("SS_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' && force[0] != '0') {
+    EXPECT_EQ(impl, kernels::Impl::kScalar);
+  }
+}
+
+TEST(Kernels, HashValuesMatchesScalarHashValue) {
+  Rng rng(0x4a11);
+  for (size_t n : kBatchSizes) {
+    std::vector<double> values(n);
+    for (auto& v : values) {
+      v = rng.NextGaussian() * 1e6;
+    }
+    std::vector<uint64_t> hashes(n);
+    kernels::HashValues(values.data(), n, hashes.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hashes[i], HashValue(values[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Kernels, CmsBatchBitIdenticalToSequential) {
+  for (size_t n : kBatchSizes) {
+    // Odd widths exercise the magic-division modulo; 1024 the pow2 path.
+    for (uint32_t width : {7u, 1000u, 1024u}) {
+      CountMinSketch batched(width, 5);
+      CountMinSketch sequential(width, 5);
+      std::vector<uint64_t> hashes = RandomHashes(n, 0xc0de + n + width);
+      batched.AddHashes(hashes);
+      for (uint64_t h : hashes) {
+        sequential.AddHash(h);
+      }
+      EXPECT_EQ(SerializeState(batched), SerializeState(sequential))
+          << "n=" << n << " width=" << width;
+    }
+  }
+}
+
+TEST(Kernels, BloomBatchBitIdenticalToSequential) {
+  for (size_t n : kBatchSizes) {
+    for (uint32_t bits : {67u, 1024u, 4099u}) {
+      BloomFilter batched(bits, 5);
+      BloomFilter sequential(bits, 5);
+      std::vector<uint64_t> hashes = RandomHashes(n, 0xb100 + n + bits);
+      batched.AddHashes(hashes);
+      for (uint64_t h : hashes) {
+        sequential.AddHash(h);
+      }
+      EXPECT_EQ(SerializeState(batched), SerializeState(sequential))
+          << "n=" << n << " bits=" << bits;
+    }
+  }
+}
+
+TEST(Kernels, BloomTestHashesMatchesMightContain) {
+  BloomFilter bloom(512, 5);
+  std::vector<uint64_t> inserted = RandomHashes(100, 0xfeed);
+  bloom.AddHashes(inserted);
+  std::vector<uint64_t> probes = inserted;
+  std::vector<uint64_t> absent = RandomHashes(100, 0xdead);
+  probes.insert(probes.end(), absent.begin(), absent.end());
+  std::vector<uint8_t> out(probes.size());
+  bloom.TestHashes(probes, out.data());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(out[i] != 0, bloom.MightContainHash(probes[i])) << "i=" << i;
+  }
+}
+
+TEST(Kernels, HllBatchBitIdenticalToSequential) {
+  for (size_t n : kBatchSizes) {
+    HyperLogLog batched(10);
+    HyperLogLog sequential(10);
+    std::vector<uint64_t> hashes = RandomHashes(n, 0xa011 + n);
+    batched.AddHashes(hashes);
+    for (uint64_t h : hashes) {
+      sequential.AddHash(h);
+    }
+    EXPECT_EQ(SerializeState(batched), SerializeState(sequential)) << "n=" << n;
+  }
+}
+
+// The AVX2 modulo is a magic-multiply reduction (libdivide's u64 scheme);
+// it must agree with the hardware `%` for every divisor, including powers of
+// two, divisors with the add-fixup path, and extreme numerators.
+TEST(Kernels, DivMagicMatchesHardwareModulo) {
+  Rng rng(0xd170);
+  std::vector<uint64_t> divisors = {1,  2,   3,    4,    5,    7,        8,
+                                    9,  63,  64,   65,   999,  1000,     1024,
+                                    3u, 97u, 4099, 1u << 20, (1u << 20) + 1, UINT32_MAX};
+  for (int i = 0; i < 40; ++i) {
+    divisors.push_back(rng.NextU64() % 100000 + 1);
+    divisors.push_back(rng.NextU64() | 1);  // huge odd divisors
+  }
+  std::vector<uint64_t> numerators = {0, 1, 2, UINT64_MAX, UINT64_MAX - 1};
+  for (int i = 0; i < 200; ++i) {
+    numerators.push_back(rng.NextU64());
+  }
+  for (uint64_t d : divisors) {
+    kernels::internal::DivMagic magic = kernels::internal::MakeDivMagic(d);
+    for (uint64_t n : numerators) {
+      ASSERT_EQ(kernels::internal::ModApply(n, magic), n % d) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ss

@@ -107,5 +107,62 @@ TEST(ReservoirSample, SerdeRoundTrip) {
   }
 }
 
+// Regression for the modulo-bias fix in the reservoir's bounded draws: the
+// retained sample must be uniform over the input. Chi-squared test on
+// per-element inclusion frequency across many independently seeded
+// reservoirs; gross non-uniformity (like a biased replacement index) blows
+// the statistic far past the threshold.
+TEST(ReservoirSample, InclusionFrequencyIsUniformChiSquared) {
+  constexpr int kCapacity = 8;
+  constexpr int kN = 80;        // elements per reservoir
+  constexpr int kTrials = 2000; // independent seeds
+  std::vector<int> hits(kN, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ReservoirSample sample(kCapacity, static_cast<uint64_t>(trial) * 2654435761u + 1);
+    for (int i = 0; i < kN; ++i) {
+      sample.Update(i, static_cast<double>(i));
+    }
+    for (const auto& item : sample.items()) {
+      ++hits[static_cast<int>(item.value)];
+    }
+  }
+  const double expected = static_cast<double>(kTrials) * kCapacity / kN;
+  double chi2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double d = hits[i] - expected;
+    chi2 += d * d / expected;
+  }
+  // df = 79; the 99.99th percentile is ~136. A uniform sampler passes with
+  // huge margin; an index bias concentrates mass and fails by orders of
+  // magnitude.
+  EXPECT_LT(chi2, 150.0) << "inclusion frequencies deviate from uniform";
+}
+
+// Merge re-sampling must also stay uniform: elements from both sides survive
+// in proportion to the side populations.
+TEST(ReservoirSample, MergeKeepsPopulationWeightedMix) {
+  constexpr int kTrials = 3000;
+  int from_a = 0;
+  int total = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ReservoirSample a(8, static_cast<uint64_t>(trial) * 2 + 1);
+    ReservoirSample b(8, static_cast<uint64_t>(trial) * 2 + 2);
+    for (int i = 0; i < 300; ++i) {
+      a.Update(i, 1.0);  // population 300
+    }
+    for (int i = 0; i < 100; ++i) {
+      b.Update(i, 2.0);  // population 100
+    }
+    ASSERT_TRUE(a.MergeFrom(b).ok());
+    for (const auto& item : a.items()) {
+      from_a += item.value == 1.0 ? 1 : 0;
+      ++total;
+    }
+  }
+  // E[share from a] = 300/400 = 0.75; with ~24k draws the tolerance is wide.
+  double share = static_cast<double>(from_a) / total;
+  EXPECT_NEAR(share, 0.75, 0.02);
+}
+
 }  // namespace
 }  // namespace ss

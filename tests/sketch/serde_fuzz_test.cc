@@ -116,7 +116,7 @@ TEST(SerdeFuzz, EverySketchKindSurvivesTruncationAndMutation) {
   ops.quantile_k = 32;
   ops.reservoir_capacity = 16;
   std::vector<std::unique_ptr<Summary>> summaries = ops.CreateAll(11);
-  ASSERT_EQ(summaries.size(), 10u);  // all ten SummaryKinds
+  ASSERT_EQ(summaries.size(), 11u);  // all eleven SummaryKinds
   for (auto& summary : summaries) {
     for (uint64_t i = 0; i < 200; ++i) {
       summary->Update(static_cast<Timestamp>(i), static_cast<double>(i % 13) * 0.5);
@@ -156,7 +156,7 @@ TEST(SerdeFuzz, EverySketchKindSurvivesTruncationAndMutation) {
 
 TEST(SerdeFuzz, UnknownSummaryKindFailsCleanly) {
   // A kind tag outside the registry must be rejected, not dispatched.
-  for (int kind : {0, 11, 42, 255}) {
+  for (int kind : {0, 12, 42, 255}) {
     Writer writer;
     writer.PutU8(static_cast<uint8_t>(kind));
     writer.PutVarint(4);

@@ -1,0 +1,149 @@
+// Space-saving heavy-hitter invariants: for every tracked value the true
+// frequency lies in [count - error, count]; untracked values are bounded by
+// the minimum tracked count; the parallel-combine union preserves both
+// properties across window merges.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/random/rng.h"
+#include "src/random/zipf.h"
+#include "src/sketch/spacesaving.h"
+
+namespace ss {
+namespace {
+
+TEST(SpaceSaving, ExactUnderCapacity) {
+  SpaceSavingSketch sketch(8);
+  for (int i = 0; i < 5; ++i) {
+    for (int rep = 0; rep <= i; ++rep) {
+      sketch.Add(static_cast<double>(i));
+    }
+  }
+  EXPECT_EQ(sketch.tracked(), 5u);
+  EXPECT_EQ(sketch.total_count(), 15u);
+  auto top = sketch.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].value, 4.0);
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].value, 3.0);
+  EXPECT_EQ(top[2].value, 2.0);
+  // Untracked value: bracketed by [0, min tracked count]... here not full,
+  // so an absent value is certainly absent.
+  auto absent = sketch.Bracket(99.0);
+  EXPECT_EQ(absent.count, 0u);
+}
+
+TEST(SpaceSaving, BracketContainsTruthUnderOverflow) {
+  SpaceSavingSketch sketch(32);
+  ZipfSampler zipf(500, 1.2);
+  Rng rng(7);
+  std::map<int, uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    int v = static_cast<int>(zipf.Sample(rng));
+    ++truth[v];
+    sketch.Add(static_cast<double>(v));
+  }
+  EXPECT_EQ(sketch.total_count(), 50000u);
+  EXPECT_LE(sketch.tracked(), 32u);
+  for (const auto& cand : sketch.TopK(32)) {
+    uint64_t actual = truth[static_cast<int>(cand.value)];
+    EXPECT_LE(actual, cand.count) << "value " << cand.value;
+    EXPECT_GE(actual, cand.count - cand.error) << "value " << cand.value;
+  }
+  // The heaviest hitters of a 1.2-Zipf easily clear the eviction floor: the
+  // true top value must be tracked and ranked first.
+  auto top = sketch.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  uint64_t max_truth = 0;
+  int max_value = 0;
+  for (const auto& [v, c] : truth) {
+    if (c > max_truth) {
+      max_truth = c;
+      max_value = v;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(top[0].value), max_value);
+}
+
+TEST(SpaceSaving, MergePreservesBracket) {
+  SpaceSavingSketch a(24);
+  SpaceSavingSketch b(24);
+  ZipfSampler zipf(300, 1.1);
+  Rng rng(3);
+  std::map<int, uint64_t> truth;
+  for (int i = 0; i < 30000; ++i) {
+    int v = static_cast<int>(zipf.Sample(rng));
+    ++truth[v];
+    (i % 2 == 0 ? a : b).Add(static_cast<double>(v));
+  }
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.total_count(), 30000u);
+  for (const auto& cand : a.TopK(24)) {
+    uint64_t actual = truth[static_cast<int>(cand.value)];
+    EXPECT_LE(actual, cand.count) << "value " << cand.value;
+    EXPECT_GE(actual, cand.count - cand.error) << "value " << cand.value;
+  }
+}
+
+TEST(SpaceSaving, MergeRejectsMismatchedKind) {
+  SpaceSavingSketch a(8);
+  SpaceSavingSketch b(16);
+  EXPECT_FALSE(a.MergeFrom(b).ok());
+}
+
+TEST(SpaceSaving, UpdateIgnoresTimestamp) {
+  SpaceSavingSketch sketch(4);
+  sketch.Update(123, 7.0);
+  sketch.Update(456, 7.0);
+  EXPECT_EQ(sketch.Bracket(7.0).count, 2u);
+}
+
+TEST(SpaceSaving, SerdeRoundTrip) {
+  SpaceSavingSketch sketch(16);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    sketch.Add(static_cast<double>(rng.NextBounded(40)));
+  }
+  Writer w;
+  SerializeSummary(sketch, w);
+  Reader r(w.data());
+  auto restored = DeserializeSummary(r);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const auto* copy = SummaryCast<SpaceSavingSketch>(restored->get());
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->total_count(), sketch.total_count());
+  EXPECT_EQ(copy->capacity(), sketch.capacity());
+  Writer w2;
+  SerializeSummary(*copy, w2);
+  EXPECT_EQ(w.data(), w2.data());
+}
+
+TEST(SpaceSaving, CloneIsIndependent) {
+  SpaceSavingSketch sketch(8);
+  sketch.Add(1.0, 5);
+  auto clone = sketch.Clone();
+  sketch.Add(1.0, 5);
+  EXPECT_EQ(sketch.Bracket(1.0).count, 10u);
+  EXPECT_EQ(SummaryCast<SpaceSavingSketch>(clone.get())->Bracket(1.0).count, 5u);
+}
+
+TEST(SpaceSaving, TruncatedPayloadFailsCleanly) {
+  SpaceSavingSketch sketch(8);
+  for (int i = 0; i < 100; ++i) {
+    sketch.Add(static_cast<double>(i % 12));
+  }
+  Writer w;
+  SerializeSummary(sketch, w);
+  std::string valid = w.data();
+  for (size_t len = 0; len < valid.size(); ++len) {
+    Reader reader(std::string_view(valid).substr(0, len));
+    auto result = DeserializeSummary(reader);
+    EXPECT_FALSE(result.ok()) << "truncation at " << len << " decoded";
+  }
+}
+
+}  // namespace
+}  // namespace ss

@@ -126,7 +126,7 @@ TEST(RandomizedUnion, QuantileMergeRespectsRankError) {
 TEST(OperatorSet, CreateAllMatchesConfiguration) {
   OperatorSet ops = OperatorSet::Full();
   auto summaries = ops.CreateAll(1);
-  EXPECT_EQ(summaries.size(), 10u);
+  EXPECT_EQ(summaries.size(), 11u);
   OperatorSet aggregates = OperatorSet::AggregatesOnly();
   EXPECT_EQ(aggregates.CreateAll(1).size(), 3u);
   OperatorSet micro = OperatorSet::Microbench();

@@ -29,6 +29,15 @@ case "$OUT" in
   *) echo "FAIL: expected membership yes"; exit 1 ;;
 esac
 
+# Heavy hitters: values 0..9 are uniform (100 each); the ranked list must
+# have 3 entries with sound brackets.
+OUT="$("$SSTOOL" query --dir "$DIR/store" --stream 7 --op topk --k 3 --t1 1 --t2 1000)"
+echo "$OUT"
+case "$OUT" in
+  *"#3 value="*) ;;
+  *) echo "FAIL: expected 3 top-k entries"; exit 1 ;;
+esac
+
 # --explain prints the per-query trace with its accounting lines.
 OUT="$("$SSTOOL" query --dir "$DIR/store" --stream 7 --op count --t1 1 --t2 1000 --explain)"
 echo "$OUT"

@@ -42,10 +42,11 @@ cmake --build "${san_dir}" -j"$(nproc)" --target \
   metrics_test trace_test flight_recorder_test \
   wal_test sstable_test lsm_store_test group_commit_test crash_recovery_test \
   lsm_concurrency_test fault_fs_test fault_injection_test \
-  corruption_test serde_fuzz_test frame_fuzz_test
+  corruption_test serde_fuzz_test frame_fuzz_test kernels_test spacesaving_test
 for t in metrics_test trace_test flight_recorder_test wal_test sstable_test \
          lsm_store_test group_commit_test crash_recovery_test lsm_concurrency_test \
-         fault_fs_test corruption_test serde_fuzz_test frame_fuzz_test; do
+         fault_fs_test corruption_test serde_fuzz_test frame_fuzz_test \
+         kernels_test spacesaving_test; do
   echo "--- ${t} (asan+ubsan)"
   if [ "${t}" = crash_recovery_test ]; then
     # Simulates hard kills by deliberately leaking un-flushed stores; leak
@@ -69,6 +70,17 @@ echo "=== corruption matrix: byte-flip sweep under ASan (SS_FAULT_INJECT=1) ==="
 # offset sweep runs only in CI; the dev build uses a strided subset.
 SS_FAULT_INJECT=1 "${san_dir}/tests/corruption_test"
 
+echo "=== scalar kernels: SS_FORCE_SCALAR=1 leg (dispatch fallback on AVX2 hosts) ==="
+# The batch kernels must leave bit-identical sketch state on both dispatch
+# targets. The tier-1 run exercised the native (AVX2 where available) path;
+# this leg pins the scalar reference and re-runs the equivalence fuzz suite
+# plus the sketch-math tests under ASan so the fallback stays tested.
+for t in kernels_test cms_test bloom_test hyperloglog_test; do
+  echo "--- ${t} (SS_FORCE_SCALAR=1)"
+  SS_FORCE_SCALAR=1 "${prefix}/tests/${t}"
+done
+SS_FORCE_SCALAR=1 "${san_dir}/tests/kernels_test"
+
 echo "=== server smoke: sserver on loopback + sstool --connect e2e ==="
 # Boots the real daemon, drives every store subcommand over the wire, and
 # asserts a clean SIGTERM drain + durable store. ctest runs this too; the
@@ -84,10 +96,13 @@ cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSS_SANITIZE=thre
 # corruption_test rides along for its background-scrub-thread coverage.
 cmake --build "${tsan_dir}" -j"$(nproc)" --target \
   thread_pool_test summary_store_test group_commit_test lsm_concurrency_test \
-  concurrency_test corruption_test flight_recorder_test net_server_test
+  concurrency_test corruption_test flight_recorder_test net_server_test \
+  ingest_ring_test
+# ingest_ring_test races producer rings against the merge worker and a
+# concurrent reader — the acquire/release SPSC publication under TSan.
 for t in thread_pool_test summary_store_test group_commit_test \
          lsm_concurrency_test concurrency_test corruption_test flight_recorder_test \
-         net_server_test; do
+         net_server_test ingest_ring_test; do
   echo "--- ${t} (tsan)"
   TSAN_OPTIONS=halt_on_error=1 "${tsan_dir}/tests/${t}"
 done
@@ -102,11 +117,11 @@ bench_out="${prefix}-bench"
 mkdir -p "${bench_out}"
 SS_BENCH_PROFILE=ci SS_BENCH_OUT="${bench_out}/BENCH_micro.json" \
   "${prefix}/bench/bench_micro" \
-  --benchmark_filter='BM_StreamAppend|BM_StoreAppend$|BM_ObsCounterInc|BM_ObsScopedTimer|BM_LsmPut$' \
+  --benchmark_filter='BM_StreamAppend|BM_StoreAppend$|BM_ObsCounterInc|BM_ObsScopedTimer|BM_LsmPut$|BM_Kernel' \
   --benchmark_min_time=0.05
 "${prefix}/tools/bench_compare" BENCH_micro.json "${bench_out}/BENCH_micro.json" \
   --threshold-pct 75
-SS_BENCH_PROFILE=ci SS_SCALE_STREAMS=8 SS_SCALE_EVENTS=50000 \
+SS_BENCH_PROFILE=ci SS_SCALE_STREAMS=8 SS_SCALE_EVENTS=50000 SS_SCALE_RING_EVENTS=200000 \
   SS_BENCH_OUT="${bench_out}/BENCH_scale.json" "${prefix}/bench/bench_scale"
 "${prefix}/tools/bench_compare" BENCH_scale.json "${bench_out}/BENCH_scale.json" \
   --threshold-pct 75

@@ -140,6 +140,9 @@ StatusOr<QueryOp> ParseQueryOp(const std::string& name) {
   if (op == "range" || op == "valuerange" || op == "selection") {
     return QueryOp::kValueRangeCount;
   }
+  if (op == "topk" || op == "heavyhitters" || op == "hh") {
+    return QueryOp::kTopK;
+  }
   return Status::InvalidArgument("unknown query op: " + name);
 }
 

@@ -11,8 +11,8 @@
 //                  at a time — one AppendBatch per chunk locally, one
 //                  append-batch frame per chunk over the wire)
 //   sstool query   --dir D --stream N --op count|sum|mean|min|max|exists|freq|distinct|
-//                  quantile|range --t1 T --t2 T [--value V] [--q Q]
-//                  [--vlo A --vhi B] [--confidence C] [--explain]
+//                  quantile|range|topk --t1 T --t2 T [--value V] [--q Q]
+//                  [--vlo A --vhi B] [--k K] [--confidence C] [--explain]
 //   sstool landmark --dir D --stream N --begin T | --end T
 //   sstool info    --dir D [--stream N]
 //   sstool stats   --dir D [--format prom|json]
@@ -197,6 +197,7 @@ int CmdQuery(const ParsedArgs& args) {
   spec.value_lo = std::stod(args.GetOr("vlo", "0"));
   spec.value_hi = std::stod(args.GetOr("vhi", "0"));
   spec.confidence = std::stod(args.GetOr("confidence", "0.95"));
+  spec.top_k = static_cast<uint32_t>(std::stoul(args.GetOr("k", "10")));
   spec.collect_trace = args.Has("explain");
   auto wire = (*handle)->Query(*sid, spec);
   if (!wire.ok()) {
@@ -213,6 +214,11 @@ int CmdQuery(const ParsedArgs& args) {
                 result.estimate, spec.confidence * 100, result.ci_lo, result.ci_hi,
                 result.exact ? "  [exact]" : "", result.degraded ? "  [degraded]" : "",
                 result.windows_read, result.landmark_events);
+  }
+  for (size_t i = 0; i < result.topk.size(); ++i) {
+    const TopKEntry& entry = result.topk[i];
+    std::printf("  #%zu value=%.6g count~%.6g ci=[%.6g, %.6g]\n", i + 1, entry.value,
+                entry.estimate, entry.ci_lo, entry.ci_hi);
   }
   if (result.degraded) {
     for (const auto& [a, b] : result.skipped_spans) {
