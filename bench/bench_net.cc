@@ -15,6 +15,11 @@
 //                    stream (store leaked: no destructor flush); the store is
 //                    reopened and every acked append must have survived via
 //                    WAL replay. acked_lost must be 0.
+//   5. noisy       — two-tenant fair-share isolation: a hot tenant saturates
+//                    far beyond its per-tenant share under kShed while a
+//                    quiet tenant trickles small appends. The quiet tenant
+//                    must see zero sheds and a bounded ack p99 — the whole
+//                    point of per-tenant admission budgets.
 //
 // SS_NET_CONNS / SS_NET_EVENTS override the shape; SS_BENCH_PROFILE=ci
 // shrinks the per-connection event count for the CI perf-trajectory leg.
@@ -31,6 +36,7 @@
 #include "src/common/clock.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
+#include "src/net/tenant.h"
 #include "src/obs/metrics.h"
 
 namespace {
@@ -77,7 +83,8 @@ struct ConnResult {
 };
 
 ConnResult DriveConnection(uint16_t port, StreamId sid, uint64_t events, size_t window,
-                           const Stopwatch& epoch) {
+                           const Stopwatch& epoch, uint32_t tenant = 0,
+                           std::string_view token = {}) {
   ConnResult out;
   auto client = net::Client::Connect("127.0.0.1", port);
   if (!client.ok()) {
@@ -85,6 +92,10 @@ ConnResult DriveConnection(uint16_t port, StreamId sid, uint64_t events, size_t 
     return out;
   }
   net::Client& c = **client;
+  if (tenant != 0 && !c.Hello(tenant, token).ok()) {
+    out.io_error = true;
+    return out;
+  }
   if (!c.CreateStream(sid, BenchConfig()).ok()) {
     out.io_error = true;
     return out;
@@ -386,8 +397,109 @@ int main() {
     report.Add("kill_acked_lost", static_cast<double>(lost), "appends", "lower");
   }
 
+  // ----------------------------------------------------------- phase 5: noisy
+  {
+    ScopedTempDir dir("net_noisy");
+    auto store = OpenStore(dir.path(), /*sync_wal=*/false);
+    auto registry = net::TenantRegistry::Parse(
+        "1 hot   hot-token   0 0 0\n"
+        "2 quiet quiet-token 0 0 0\n");
+    if (!registry.ok()) {
+      std::fprintf(stderr, "noisy phase: registry parse failed\n");
+      return 1;
+    }
+    net::ServerOptions options;
+    options.ingest_queue_events = 512;  // per-tenant share: 256
+    options.backpressure = net::ServerOptions::Backpressure::kShed;
+    options.tenants = std::make_shared<const net::TenantRegistry>(std::move(registry).value());
+    auto server = net::Server::Start(store->get(), options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "noisy server start failed\n");
+      return 1;
+    }
+    Counter& hot_shed =
+        MetricRegistry::Default().GetCounter("ss_net_backpressure_shed_total", "tenant=\"hot\"");
+    Counter& quiet_shed =
+        MetricRegistry::Default().GetCounter("ss_net_backpressure_shed_total", "tenant=\"quiet\"");
+    const uint64_t hot_shed_before = hot_shed.value();
+    const uint64_t quiet_shed_before = quiet_shed.value();
+
+    const int hot_conns = std::min(kConns, 8);
+    const uint64_t hot_events = std::min<uint64_t>(kEvents, 4096);
+    const uint64_t quiet_events = std::min<uint64_t>(kEvents, 512);
+    Stopwatch epoch;
+    std::vector<ConnResult> hot_results(hot_conns);
+    ConnResult quiet_result;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < hot_conns; ++t) {
+      threads.emplace_back([&, t] {
+        // Window far beyond the hot tenant's 256-event share: the hot tenant
+        // lives in permanent shed.
+        hot_results[t] = DriveConnection((*server)->port(), static_cast<StreamId>(t + 1),
+                                         hot_events, /*window=*/1024, epoch, 1, "hot-token");
+      });
+    }
+    threads.emplace_back([&] {
+      // Quiet tenant: a trickle (4 in flight) far below its own share.
+      quiet_result = DriveConnection((*server)->port(), /*sid=*/1, quiet_events,
+                                     /*window=*/4, epoch, 2, "quiet-token");
+    });
+    for (auto& th : threads) {
+      th.join();
+    }
+    uint64_t hot_rejected = 0;
+    for (const auto& r : hot_results) {
+      if (r.io_error) {
+        std::fprintf(stderr, "noisy phase: hot connection hit an I/O error\n");
+        return 1;
+      }
+      hot_rejected += r.rejected;
+    }
+    if (quiet_result.io_error) {
+      std::fprintf(stderr, "noisy phase: quiet connection hit an I/O error\n");
+      return 1;
+    }
+    const uint64_t hot_shed_delta = hot_shed.value() - hot_shed_before;
+    const uint64_t quiet_shed_delta = quiet_shed.value() - quiet_shed_before;
+    const double quiet_p99 = Percentile(quiet_result.ack_ms, 99);
+    std::printf("noisy: hot rejected %llu (tenant shed metric %llu); quiet acked %llu, "
+                "rejected %llu, ack p99 %.2f ms\n",
+                static_cast<unsigned long long>(hot_rejected),
+                static_cast<unsigned long long>(hot_shed_delta),
+                static_cast<unsigned long long>(quiet_result.acked),
+                static_cast<unsigned long long>(quiet_result.rejected), quiet_p99);
+    // Gates: the hot tenant must actually be shedding (the load is real), the
+    // quiet tenant must never be shed (fair share isolates it), and its ack
+    // p99 must stay bounded (generous absolute bound — the point is that it
+    // is not starved, not that it is fast).
+    if (hot_rejected == 0 || hot_shed_delta == 0) {
+      std::fprintf(stderr, "noisy phase: hot tenant was never shed — load too small\n");
+      return 1;
+    }
+    if (quiet_result.rejected != 0 || quiet_shed_delta != 0) {
+      std::fprintf(stderr, "noisy phase: quiet tenant was shed under fair share\n");
+      return 1;
+    }
+    if (quiet_result.acked != quiet_events) {
+      std::fprintf(stderr, "noisy phase: quiet tenant lost appends\n");
+      return 1;
+    }
+    if (quiet_p99 > 250.0) {
+      std::fprintf(stderr, "noisy phase: quiet tenant ack p99 %.2f ms exceeds 250 ms\n",
+                   quiet_p99);
+      return 1;
+    }
+    report.Add("noisy_hot_rejected_requests", static_cast<double>(hot_rejected), "requests",
+               "higher");
+    report.Add("noisy_quiet_rejected_requests", static_cast<double>(quiet_result.rejected),
+               "requests", "lower");
+    report.Add("noisy_quiet_ack_p99_ms", quiet_p99, "ms", "lower");
+    (*server)->Stop();
+  }
+
   std::printf("\nshape check: pipelining sustains the fleet, backpressure engages under "
-              "overload, and no acked append is lost to a hard kill.\n");
+              "overload, no acked append is lost to a hard kill, and fair-share admission "
+              "isolates a quiet tenant from a noisy neighbor.\n");
   const char* out = std::getenv("SS_BENCH_OUT");
   std::string report_path = out != nullptr ? out : "BENCH_net.json";
   if (report.WriteFile(report_path)) {

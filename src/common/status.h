@@ -23,6 +23,8 @@ enum class StatusCode {
   kIoError = 7,
   kCorruption = 8,
   kUnimplemented = 9,
+  kPermissionDenied = 10,
+  kResourceExhausted = 11,
 };
 
 inline const char* StatusCodeToString(StatusCode code) {
@@ -47,6 +49,10 @@ inline const char* StatusCodeToString(StatusCode code) {
       return "CORRUPTION";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -77,6 +83,12 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -159,20 +159,26 @@ size_t IngestFront::DrainOnce() {
   // equal timestamps.
   std::stable_sort(batch.begin(), batch.end(),
                    [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  bool applied = false;
   if (!failed_.load(std::memory_order_acquire)) {
     Status s = store_.AppendBatch(stream_, batch);
-    if (!s.ok()) {
+    if (s.ok()) {
+      applied = true;
+    } else {
       std::lock_guard<std::mutex> lock(status_mu_);
       status_ = s;
       failed_.store(true, std::memory_order_release);
     }
+  }
+  // Every event ends up in exactly one bucket: drained if the store applied
+  // it, shed if it was dropped — including the batch whose AppendBatch failed
+  // (events consumed so producers never wedge, but lost).
+  if (applied) {
+    Metrics().drained.Inc(batch.size());
   } else {
-    // Post-failure events are consumed (so producers never wedge) but
-    // dropped; account for them as shed.
     shed_.fetch_add(batch.size(), std::memory_order_relaxed);
     Metrics().shed.Inc(batch.size());
   }
-  Metrics().drained.Inc(batch.size());
   Metrics().sweeps.Inc();
   FlightRecorder::Default().Record(FlightEventType::kIngestDrain,
                                    static_cast<uint64_t>(stream_), batch.size());

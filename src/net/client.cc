@@ -61,6 +61,13 @@ Status Client::Transact(Opcode op, const Writer& body, std::string* resp_body) {
   return Status::Ok();
 }
 
+Status Client::Hello(uint32_t tenant, std::string_view token) {
+  Writer body;
+  body.PutVarint(tenant);
+  body.PutString(token);
+  return Transact(Opcode::kHello, body, nullptr);
+}
+
 Status Client::Ping() { return Transact(Opcode::kPing, Writer(), nullptr); }
 
 StatusOr<StreamId> Client::CreateStream(StreamId id, const StreamConfig& config) {

@@ -31,6 +31,10 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   // --- synchronous RPCs ----------------------------------------------------
+  // Authenticates this connection as `tenant` (multi-tenant servers reject
+  // every other request until a hello succeeds; legacy servers accept and
+  // ignore it). Must be the first RPC on the connection.
+  Status Hello(uint32_t tenant, std::string_view token);
   Status Ping();
   // id 0 asks the server to assign one; returns the created id.
   StatusOr<StreamId> CreateStream(StreamId id, const StreamConfig& config);

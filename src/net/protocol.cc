@@ -48,6 +48,8 @@ const char* OpcodeName(Opcode op) {
       return "stats";
     case Opcode::kStreamInfo:
       return "stream_info";
+    case Opcode::kHello:
+      return "hello";
   }
   return "unknown";
 }
@@ -277,7 +279,7 @@ void EncodeStatus(const Status& status, Writer& writer) {
 
 Status DecodeStatus(Reader& reader, Status* out) {
   SS_ASSIGN_OR_RETURN(uint8_t code, reader.ReadU8());
-  if (code > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
     return Status::Corruption("unknown status code: " + std::to_string(code));
   }
   SS_ASSIGN_OR_RETURN(std::string_view message, reader.ReadString());

@@ -48,7 +48,8 @@ enum class Opcode : uint8_t {
   kScrub = 11,          // body: u8 repair                                 -> ScrubReport
   kStats = 12,          // body: u8 format (0 json, 1 prom)                -> string
   kStreamInfo = 13,     // body: varint id (0 = all)                       -> varint n | n×StreamInfo
-  kMaxOpcode = kStreamInfo,
+  kHello = 14,          // body: varint tenant_id | string token           -> (empty)
+  kMaxOpcode = kHello,
 };
 
 // Human-readable opcode label (metric label values; fuzz-test diagnostics).

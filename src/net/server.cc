@@ -64,10 +64,19 @@ LatencyHistogram& AckBatch() {
   return h;
 }
 
+Counter& AuthFailTotal() {
+  static Counter& c = MetricRegistry::Default().GetCounter("ss_net_auth_fail_total");
+  return c;
+}
+
 Counter& RequestsFor(Opcode op) {
   return MetricRegistry::Default().GetCounter(
       "ss_net_requests_total", std::string("op=\"") + OpcodeName(op) + "\"");
 }
+
+// Per-tenant series of an ss_net metric, e.g.
+// ss_net_backpressure_shed_total{tenant="acme"}.
+std::string TenantLabel(const std::string& name) { return "tenant=\"" + name + "\""; }
 LatencyHistogram& RequestUsFor(Opcode op) {
   return MetricRegistry::Default().GetHistogram(
       "ss_net_request_us", std::string("op=\"") + OpcodeName(op) + "\"");
@@ -101,6 +110,45 @@ std::string RenderStats(SummaryStore* store, bool json) {
 
 }  // namespace
 
+// Per-tenant runtime state (DESIGN.md §14). The token bucket is touched only
+// by the loop thread during admission; `pending` and the byte-quota cache are
+// shared with workers through atomics. Entry 0 is the implicit legacy tenant
+// (id 0: identity stream-id mapping, unlimited quotas, the whole budget).
+struct Server::TenantState {
+  TenantConfig config;
+  uint64_t budget_events = 0;  // this tenant's share of ingest_queue_events
+
+  std::atomic<uint64_t> pending{0};  // events admitted, ack not yet sent
+
+  // Token bucket: rate = quotas.ingest_events_per_sec, burst = one second's
+  // worth; 0 = unlimited. Loop thread only.
+  double bucket_tokens = 0;
+  Stopwatch bucket_clock;
+
+  // Byte-quota bookkeeping (workers): exact recount of the tenant's stream
+  // sizes every kByteQuotaRecountEvents admitted events, estimated growth in
+  // between — see Server::CheckByteQuota.
+  std::atomic<uint64_t> resident_bytes{0};
+  std::atomic<uint64_t> events_since_recount{0};
+
+  // Tenant-labeled series of the ss_net admission metrics.
+  Counter* requests = nullptr;
+  Counter* shed = nullptr;
+  Counter* blocked = nullptr;
+  Counter* rate_limited = nullptr;
+  Gauge* pending_gauge = nullptr;
+
+  void InitMetrics() {
+    MetricRegistry& registry = MetricRegistry::Default();
+    const std::string label = TenantLabel(config.name);
+    requests = &registry.GetCounter("ss_net_requests_total", label);
+    shed = &registry.GetCounter("ss_net_backpressure_shed_total", label);
+    blocked = &registry.GetCounter("ss_net_backpressure_blocked_total", label);
+    rate_limited = &registry.GetCounter("ss_net_rate_limited_total", label);
+    pending_gauge = &registry.GetGauge("ss_net_ingest_pending_events", label);
+  }
+};
+
 // Per-connection state. The loop thread owns `in` and the epoll interest;
 // `out` is shared with workers under out_mu, the request queue under exec_mu.
 struct Server::Connection {
@@ -109,6 +157,12 @@ struct Server::Connection {
   Fd fd;
   std::string in;        // loop thread only: bytes read, not yet framed
   bool blocked = false;  // loop thread only: EPOLLIN disarmed (backpressure)
+
+  // Authenticated tenant. Loop thread only: set at accept (legacy) or by a
+  // successful hello; workers see the pointer frozen into each PendingExec
+  // at admission time, so requests enqueued before a hello stay denied even
+  // if they execute after it.
+  TenantState* tenant = nullptr;
 
   std::mutex out_mu;
   std::string out;          // response bytes not yet written to the socket
@@ -122,7 +176,14 @@ struct Server::Connection {
   // still fan out across the pool.
   struct PendingExec {
     std::string payload;
-    uint64_t admitted = 0;  // ingest events admitted for this request
+    TenantState* tenant = nullptr;  // admission-time tenant of this request
+    uint64_t admitted = 0;          // ingest events admitted for this request
+    // Pre-encoded response frame (shed rejections, hello acks, auth errors):
+    // non-empty means "send this instead of executing". Routing these through
+    // the queue keeps even loop-thread-generated responses in per-connection
+    // FIFO order — DESIGN.md §12 promises a client never observes response
+    // N+1 before response N.
+    std::string ready_frame;
   };
   std::mutex exec_mu;
   std::deque<PendingExec> exec_queue;
@@ -139,6 +200,30 @@ Server::Server(SummaryStore* store, ServerOptions options)
     : store_(store), options_(std::move(options)) {}
 
 Status Server::Init() {
+  {
+    auto legacy = std::make_unique<TenantState>();
+    legacy->config.id = 0;
+    legacy->config.name = "default";
+    legacy->budget_events = options_.ingest_queue_events;
+    legacy->InitMetrics();
+    tenants_.push_back(std::move(legacy));
+  }
+  if (multi_tenant()) {
+    // Fair share: the admission budget splits evenly across tenants, so one
+    // tenant saturating its share cannot push another tenant's ingest into
+    // shed/block (a global cap still bounds the total).
+    const uint64_t share =
+        std::max<uint64_t>(1, options_.ingest_queue_events / options_.tenants->size());
+    for (const TenantConfig& config : options_.tenants->tenants()) {
+      auto tenant = std::make_unique<TenantState>();
+      tenant->config = config;
+      tenant->budget_events = share;
+      tenant->bucket_tokens = static_cast<double>(config.quotas.ingest_events_per_sec);
+      tenant->InitMetrics();
+      tenants_.push_back(std::move(tenant));
+    }
+  }
+
   SS_ASSIGN_OR_RETURN(listener_, ListenTcp(options_.host, options_.port));
   SS_RETURN_IF_ERROR(SetNonBlocking(listener_.get(), true));
   SS_ASSIGN_OR_RETURN(port_, LocalPort(listener_.get()));
@@ -344,6 +429,8 @@ void Server::AcceptAll() {
     }
     SetNoDelay(fd);
     auto conn = std::make_shared<Connection>(std::move(sock));
+    // Multi-tenant mode: no tenant until a hello authenticates one.
+    conn->tenant = multi_tenant() ? nullptr : tenants_[0].get();
     struct epoll_event ev;
     std::memset(&ev, 0, sizeof(ev));
     ev.events = EPOLLIN;
@@ -442,32 +529,83 @@ void Server::ProcessInput(const std::shared_ptr<Connection>& conn) {
     }
     uint64_t admitted = 0;
     const Opcode op = header->op;
+    if (op == Opcode::kHello) {
+      // Authenticate on the loop thread, so later frames in this same buffer
+      // sweep already see the connection's tenant at admission.
+      RequestsFor(op).Inc();
+      HandleHello(conn, header->request_id, peek);
+      consumed += scan->frame_end;
+      continue;
+    }
+    TenantState* tenant = conn->tenant;
+    if (tenant == nullptr) {
+      // Multi-tenant mode before a successful hello: deny (in FIFO position)
+      // and keep unauthenticated traffic away from the admission budget.
+      RequestErrors().Inc();
+      AuthFailTotal().Inc();
+      EnqueueReadyFrame(conn, header->request_id,
+                        Status::PermissionDenied("hello required before any other request"));
+      consumed += scan->frame_end;
+      continue;
+    }
     if (op == Opcode::kAppend || op == Opcode::kAppendBatch) {
       uint64_t events = PeekIngestEvents(op, peek);
-      uint64_t pending = ingest_pending_.load(std::memory_order_acquire);
-      if (pending + events > options_.ingest_queue_events &&
-          !(pending == 0 && options_.backpressure == ServerOptions::Backpressure::kBlock)) {
+      // Tenant rate quota (token bucket, burst = one second's worth). Rate
+      // exhaustion is a typed per-tenant error under either backpressure
+      // policy — blocking would let one tenant's quota masquerade as global
+      // backpressure.
+      const uint64_t rate = tenant->config.quotas.ingest_events_per_sec;
+      if (rate > 0) {
+        tenant->bucket_tokens = std::min(
+            static_cast<double>(rate),
+            tenant->bucket_tokens +
+                tenant->bucket_clock.ElapsedSeconds() * static_cast<double>(rate));
+        tenant->bucket_clock.Reset();
+        if (tenant->bucket_tokens < static_cast<double>(events)) {
+          tenant->rate_limited->Inc();
+          RequestErrors().Inc();
+          EnqueueReadyFrame(conn, header->request_id,
+                            Status::ResourceExhausted("tenant ingest rate quota exceeded (" +
+                                                      std::to_string(rate) + " events/s)"));
+          consumed += scan->frame_end;
+          continue;
+        }
+        tenant->bucket_tokens -= static_cast<double>(events);
+      }
+      const bool block = options_.backpressure == ServerOptions::Backpressure::kBlock;
+      const uint64_t tenant_pending = tenant->pending.load(std::memory_order_acquire);
+      const uint64_t global_pending = ingest_pending_.load(std::memory_order_acquire);
+      // A single batch larger than the whole share is admitted when the
+      // share is idle under kBlock (it could never run otherwise). The
+      // global cap only binds once multiple tenants' admitted shares overlap.
+      const bool tenant_over = tenant_pending + events > tenant->budget_events &&
+                               !(tenant_pending == 0 && block);
+      const bool global_over = global_pending + events > options_.ingest_queue_events &&
+                               !(global_pending == 0 && block);
+      if (tenant_over || global_over) {
         if (options_.backpressure == ServerOptions::Backpressure::kShed) {
           ShedTotal().Inc();
-          Writer w;
-          w.PutVarint(header->request_id);
-          EncodeStatus(Status::FailedPrecondition(
-                           "backpressure: ingest queue full (shed policy)"),
-                       w);
-          std::string frame;
-          (void)AppendFrame(w.data(), &frame);
-          SendResponse(conn, std::move(frame));
+          tenant->shed->Inc();
+          // Through exec_queue, NOT straight to the socket: earlier frames
+          // may still be queued, and a shed rejection sent ahead of their
+          // responses would break the pipelined-ordering contract.
+          EnqueueReadyFrame(
+              conn, header->request_id,
+              Status::FailedPrecondition("backpressure: ingest queue full (shed policy)"));
           consumed += scan->frame_end;
           continue;
         }
         // kBlock: leave this frame (and everything behind it) buffered and
         // stop reading; TCP pushes back on the client until capacity frees.
         BlockedTotal().Inc();
+        tenant->blocked->Inc();
         conn->blocked = true;
         UpdateEpoll(conn, /*want_read=*/false, /*want_write=*/false);
         break;
       }
       admitted = events;
+      tenant->pending.fetch_add(events, std::memory_order_acq_rel);
+      tenant->pending_gauge->Add(static_cast<int64_t>(events));
       ingest_pending_.fetch_add(events, std::memory_order_acq_rel);
       IngestPending().Add(static_cast<int64_t>(events));
     }
@@ -475,7 +613,7 @@ void Server::ProcessInput(const std::shared_ptr<Connection>& conn) {
     {
       std::lock_guard<std::mutex> lock(conn->exec_mu);
       conn->exec_queue.push_back(
-          Connection::PendingExec{std::string(scan->payload), admitted});
+          Connection::PendingExec{std::string(scan->payload), tenant, admitted, {}});
       if (!conn->exec_running) {
         conn->exec_running = true;
         start_worker = true;
@@ -491,6 +629,76 @@ void Server::ProcessInput(const std::shared_ptr<Connection>& conn) {
   }
   if (close) {
     CloseConnection(conn);
+  }
+}
+
+void Server::HandleHello(const std::shared_ptr<Connection>& conn, uint64_t request_id,
+                         Reader& body) {
+  auto tenant_id = body.ReadVarint();
+  if (!tenant_id.ok()) {
+    RequestErrors().Inc();
+    EnqueueReadyFrame(conn, request_id, tenant_id.status());
+    return;
+  }
+  auto token = body.ReadString();
+  if (!token.ok()) {
+    RequestErrors().Inc();
+    EnqueueReadyFrame(conn, request_id, token.status());
+    return;
+  }
+  if (!multi_tenant()) {
+    // Legacy single-tenant server: accept and ignore, so tenant-configured
+    // clients can talk to either kind of deployment.
+    EnqueueReadyFrame(conn, request_id, Status::Ok());
+    return;
+  }
+  if (conn->tenant != nullptr) {
+    RequestErrors().Inc();
+    EnqueueReadyFrame(conn, request_id,
+                      Status::FailedPrecondition("connection is already authenticated"));
+    return;
+  }
+  if (*tenant_id == 0 || *tenant_id > kMaxTenantId ||
+      !options_.tenants->Authenticate(static_cast<uint32_t>(*tenant_id), *token)) {
+    // One error for every failure mode: the response must not reveal whether
+    // the tenant id exists.
+    RequestErrors().Inc();
+    AuthFailTotal().Inc();
+    EnqueueReadyFrame(conn, request_id,
+                      Status::PermissionDenied("unknown tenant or bad token"));
+    return;
+  }
+  for (const auto& tenant : tenants_) {
+    if (tenant->config.id == *tenant_id) {
+      conn->tenant = tenant.get();
+      break;
+    }
+  }
+  EnqueueReadyFrame(conn, request_id, Status::Ok());
+}
+
+void Server::EnqueueReadyFrame(const std::shared_ptr<Connection>& conn, uint64_t request_id,
+                               const Status& status) {
+  Writer w;
+  w.PutVarint(request_id);
+  EncodeStatus(status, w);
+  std::string frame;
+  if (!AppendFrame(w.data(), &frame).ok()) {
+    return;
+  }
+  bool start_worker = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->exec_mu);
+    Connection::PendingExec task;
+    task.ready_frame = std::move(frame);
+    conn->exec_queue.push_back(std::move(task));
+    if (!conn->exec_running) {
+      conn->exec_running = true;
+      start_worker = true;
+    }
+  }
+  if (start_worker) {
+    pool_->Submit([this, conn] { RunRequests(conn); });
   }
 }
 
@@ -617,9 +825,13 @@ void Server::SendResponse(const std::shared_ptr<Connection>& conn, std::string f
   }
 }
 
-void Server::ReleaseIngest(uint64_t events) {
+void Server::ReleaseIngest(TenantState* tenant, uint64_t events) {
   if (events == 0) {
     return;
+  }
+  if (tenant != nullptr) {
+    tenant->pending.fetch_sub(events, std::memory_order_acq_rel);
+    tenant->pending_gauge->Add(-static_cast<int64_t>(events));
   }
   ingest_pending_.fetch_sub(events, std::memory_order_acq_rel);
   IngestPending().Add(-static_cast<int64_t>(events));
@@ -639,31 +851,47 @@ void Server::RunRequests(const std::shared_ptr<Connection>& conn) {
       task = std::move(conn->exec_queue.front());
       conn->exec_queue.pop_front();
     }
-    ExecuteRequest(conn, std::move(task.payload), task.admitted);
+    if (!task.ready_frame.empty()) {
+      // Pre-encoded by the loop thread (shed rejection, hello ack, auth
+      // error); it waited here for its FIFO turn.
+      SendResponse(conn, std::move(task.ready_frame));
+      ReleaseIngest(task.tenant, task.admitted);
+      continue;
+    }
+    ExecuteRequest(conn, std::move(task.payload), task.tenant, task.admitted);
   }
 }
 
 void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn, std::string payload,
-                            uint64_t admitted_events) {
+                            TenantState* tenant, uint64_t admitted_events) {
   Reader reader(payload);
   auto header = DecodeRequestHeader(reader);
   if (!header.ok()) {
     // The loop validated the header already; a failure here means the
     // connection was already failed closed. Release and drop.
-    ReleaseIngest(admitted_events);
+    ReleaseIngest(tenant, admitted_events);
     return;
   }
   RequestsFor(header->op).Inc();
+  tenant->requests->Inc();
   ScopedTimer timer(RequestUsFor(header->op));
   bool defer_ack = false;
   Status ingest_status = Status::Ok();
-  std::string response = HandleRequest(*header, reader, &defer_ack, &ingest_status);
-  if (defer_ack && ingest_status.ok() && options_.durable_acks &&
-      !abort_.load(std::memory_order_acquire)) {
+  std::string response = HandleRequest(tenant, *header, reader, &defer_ack, &ingest_status);
+  if (defer_ack && ingest_status.ok() && options_.durable_acks) {
+    if (abort_.load(std::memory_order_acquire)) {
+      // Hard kill mid-request: the ack thread is gone (or will drop the
+      // batch), and falling through would send an OK ack with no covering
+      // Flush — the client would count an append WAL replay may not
+      // recover. Drop the response; an unacked append is allowed to be
+      // lost.
+      ReleaseIngest(tenant, admitted_events);
+      return;
+    }
     // Ingest succeeded in memory: the ack waits for a covering Flush.
     {
       std::lock_guard<std::mutex> lock(ack_mu_);
-      pending_acks_.push_back(PendingAck{conn, header->request_id, admitted_events});
+      pending_acks_.push_back(PendingAck{conn, tenant, header->request_id, admitted_events});
     }
     ack_cv_.notify_one();
     return;
@@ -674,11 +902,49 @@ void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn, std::string
       SendResponse(conn, std::move(frame));
     }
   }
-  ReleaseIngest(admitted_events);
+  ReleaseIngest(tenant, admitted_events);
 }
 
-std::string Server::HandleRequest(const RequestHeader& header, Reader& body, bool* defer_ack,
-                                  Status* ingest_status) {
+Status Server::CheckByteQuota(TenantState* tenant, uint64_t events) {
+  const uint64_t quota = tenant->config.quotas.max_resident_bytes;
+  if (quota == 0 || tenant->config.id == 0) {
+    return Status::Ok();
+  }
+  // Exact recount every kRecountEvents admitted events; in between, charge a
+  // flat per-event estimate on top of the last recount. The quota is a
+  // capacity guard, not an invoice — off by a few KiB is fine, scanning every
+  // tenant stream per append is not.
+  constexpr uint64_t kRecountEvents = 64;
+  constexpr uint64_t kBytesPerEventEstimate = 16;
+  uint64_t since =
+      tenant->events_since_recount.fetch_add(events, std::memory_order_relaxed) + events;
+  if (since >= kRecountEvents) {
+    tenant->events_since_recount.store(0, std::memory_order_relaxed);
+    uint64_t total = 0;
+    for (StreamId sid : store_->ListStreams()) {
+      if (TenantOfStream(sid) != tenant->config.id) {
+        continue;
+      }
+      auto stream = store_->GetStream(sid);
+      if (stream.ok()) {
+        total += (*stream)->SizeBytes();
+      }
+    }
+    tenant->resident_bytes.store(total, std::memory_order_relaxed);
+    since = 0;
+  }
+  const uint64_t estimate =
+      tenant->resident_bytes.load(std::memory_order_relaxed) + since * kBytesPerEventEstimate;
+  if (estimate > quota) {
+    return Status::ResourceExhausted("tenant byte quota exceeded (~" +
+                                     std::to_string(estimate) + " of " +
+                                     std::to_string(quota) + " bytes resident)");
+  }
+  return Status::Ok();
+}
+
+std::string Server::HandleRequest(TenantState* tenant, const RequestHeader& header, Reader& body,
+                                  bool* defer_ack, Status* ingest_status) {
   Writer resp;
   resp.PutVarint(header.request_id);
   auto fail = [&](const Status& status) {
@@ -687,6 +953,22 @@ std::string Server::HandleRequest(const RequestHeader& header, Reader& body, boo
     err.PutVarint(header.request_id);
     EncodeStatus(status, err);
     return err.Release();
+  };
+  const uint32_t tenant_id = tenant->config.id;
+  // Maps a wire (tenant-local) stream id into the store's namespace. The
+  // legacy tenant keeps the identity mapping over the full 64-bit space; real
+  // tenants get the top 16 bits, so a forged high-bit id is a denial, not a
+  // way into a neighbor's namespace.
+  auto map_id = [&](uint64_t local, StreamId* global) -> Status {
+    if (tenant_id == 0) {
+      *global = local;
+      return Status::Ok();
+    }
+    if (local > kMaxLocalStreamId) {
+      return Status::PermissionDenied("stream id outside tenant namespace");
+    }
+    *global = GlobalStreamId(tenant_id, local);
+    return Status::Ok();
   };
 
   switch (header.op) {
@@ -704,18 +986,51 @@ std::string Server::HandleRequest(const RequestHeader& header, Reader& body, boo
         return fail(config.status());
       }
       StreamId created = 0;
-      if (*id == 0) {
-        auto sid = store_->CreateStream(std::move(*config));
-        if (!sid.ok()) {
-          return fail(sid.status());
+      if (tenant_id == 0) {
+        if (*id == 0) {
+          auto sid = store_->CreateStream(std::move(*config));
+          if (!sid.ok()) {
+            return fail(sid.status());
+          }
+          created = *sid;
+        } else {
+          Status s = store_->CreateStreamWithId(*id, std::move(*config));
+          if (!s.ok()) {
+            return fail(s);
+          }
+          created = *id;
         }
-        created = *sid;
       } else {
-        Status s = store_->CreateStreamWithId(*id, std::move(*config));
+        if (*id > kMaxLocalStreamId) {
+          return fail(Status::PermissionDenied("stream id outside tenant namespace"));
+        }
+        // Serialized so two concurrent auto-assigns in the same namespace
+        // cannot race to the same local id; creates are rare.
+        std::lock_guard<std::mutex> lock(create_mu_);
+        uint64_t owned = 0;
+        StreamId max_local = 0;
+        for (StreamId sid : store_->ListStreams()) {
+          if (TenantOfStream(sid) != tenant_id) {
+            continue;
+          }
+          ++owned;
+          max_local = std::max(max_local, LocalStreamId(sid));
+        }
+        const uint64_t max_streams = tenant->config.quotas.max_streams;
+        if (max_streams > 0 && owned >= max_streams) {
+          return fail(Status::ResourceExhausted("tenant stream quota exceeded (" +
+                                                std::to_string(max_streams) + " streams)"));
+        }
+        const StreamId local = *id != 0 ? *id : max_local + 1;
+        if (local > kMaxLocalStreamId) {
+          return fail(Status::ResourceExhausted("tenant stream namespace exhausted"));
+        }
+        Status s = store_->CreateStreamWithId(GlobalStreamId(tenant_id, local),
+                                              std::move(*config));
         if (!s.ok()) {
           return fail(s);
         }
-        created = *id;
+        created = local;
       }
       if (Status s = store_->Flush(); !s.ok()) {
         return fail(s);
@@ -729,7 +1044,11 @@ std::string Server::HandleRequest(const RequestHeader& header, Reader& body, boo
       if (!id.ok()) {
         return fail(id.status());
       }
-      if (Status s = store_->DeleteStream(*id); !s.ok()) {
+      StreamId target = 0;
+      if (Status s = map_id(*id, &target); !s.ok()) {
+        return fail(s);
+      }
+      if (Status s = store_->DeleteStream(target); !s.ok()) {
         return fail(s);
       }
       EncodeStatus(Status::Ok(), resp);
@@ -737,6 +1056,15 @@ std::string Server::HandleRequest(const RequestHeader& header, Reader& body, boo
     }
     case Opcode::kListStreams: {
       std::vector<StreamId> ids = store_->ListStreams();
+      if (tenant_id != 0) {
+        std::vector<StreamId> mine;
+        for (StreamId id : ids) {
+          if (TenantOfStream(id) == tenant_id) {
+            mine.push_back(LocalStreamId(id));
+          }
+        }
+        ids = std::move(mine);
+      }
       EncodeStatus(Status::Ok(), resp);
       resp.PutVarint(ids.size());
       for (StreamId id : ids) {
@@ -761,7 +1089,14 @@ std::string Server::HandleRequest(const RequestHeader& header, Reader& body, boo
         *ingest_status = value.status();
         return fail(value.status());
       }
-      Status s = store_->Append(*id, *ts, *value);
+      StreamId target = 0;
+      Status s = map_id(*id, &target);
+      if (s.ok()) {
+        s = CheckByteQuota(tenant, 1);
+      }
+      if (s.ok()) {
+        s = store_->Append(target, *ts, *value);
+      }
       *ingest_status = s;
       if (!s.ok()) {
         return fail(s);
@@ -781,7 +1116,14 @@ std::string Server::HandleRequest(const RequestHeader& header, Reader& body, boo
         *ingest_status = events.status();
         return fail(events.status());
       }
-      Status s = store_->AppendBatch(*id, *events);
+      StreamId target = 0;
+      Status s = map_id(*id, &target);
+      if (s.ok()) {
+        s = CheckByteQuota(tenant, events->size());
+      }
+      if (s.ok()) {
+        s = store_->AppendBatch(target, *events);
+      }
       *ingest_status = s;
       if (!s.ok()) {
         return fail(s);
@@ -798,7 +1140,11 @@ std::string Server::HandleRequest(const RequestHeader& header, Reader& body, boo
       if (!spec.ok()) {
         return fail(spec.status());
       }
-      auto result = store_->Query(*id, *spec);
+      StreamId target = 0;
+      if (Status s = map_id(*id, &target); !s.ok()) {
+        return fail(s);
+      }
+      auto result = store_->Query(target, *spec);
       if (!result.ok()) {
         return fail(result.status());
       }
@@ -825,7 +1171,11 @@ std::string Server::HandleRequest(const RequestHeader& header, Reader& body, boo
         if (!id.ok()) {
           return fail(id.status());
         }
-        ids.push_back(*id);
+        StreamId target = 0;
+        if (Status s = map_id(*id, &target); !s.ok()) {
+          return fail(s);
+        }
+        ids.push_back(target);
       }
       auto spec = DecodeQuerySpec(body);
       if (!spec.ok()) {
@@ -853,8 +1203,12 @@ std::string Server::HandleRequest(const RequestHeader& header, Reader& body, boo
       if (!ts.ok()) {
         return fail(ts.status());
       }
-      Status s = header.op == Opcode::kBeginLandmark ? store_->BeginLandmark(*id, *ts)
-                                                     : store_->EndLandmark(*id, *ts);
+      StreamId target = 0;
+      if (Status s = map_id(*id, &target); !s.ok()) {
+        return fail(s);
+      }
+      Status s = header.op == Opcode::kBeginLandmark ? store_->BeginLandmark(target, *ts)
+                                                     : store_->EndLandmark(target, *ts);
       if (!s.ok()) {
         return fail(s);
       }
@@ -904,9 +1258,16 @@ std::string Server::HandleRequest(const RequestHeader& header, Reader& body, boo
       }
       std::vector<StreamId> ids;
       if (*want != 0) {
-        ids.push_back(*want);
+        StreamId target = 0;
+        if (Status s = map_id(*want, &target); !s.ok()) {
+          return fail(s);
+        }
+        ids.push_back(target);
       } else {
         ids = store_->ListStreams();
+        if (tenant_id != 0) {
+          std::erase_if(ids, [&](StreamId id) { return TenantOfStream(id) != tenant_id; });
+        }
       }
       std::vector<StreamInfo> rows;
       for (StreamId id : ids) {
@@ -915,7 +1276,7 @@ std::string Server::HandleRequest(const RequestHeader& header, Reader& body, boo
           return fail(stream.status());
         }
         StreamInfo info;
-        info.id = id;
+        info.id = tenant_id != 0 ? LocalStreamId(id) : id;
         info.element_count = (*stream)->element_count();
         info.landmark_element_count = (*stream)->landmark_element_count();
         info.window_count = (*stream)->window_count();
@@ -929,6 +1290,12 @@ std::string Server::HandleRequest(const RequestHeader& header, Reader& body, boo
       for (const StreamInfo& row : rows) {
         EncodeStreamInfo(row, resp);
       }
+      return resp.Release();
+    }
+    case Opcode::kHello: {
+      // The loop thread intercepts hellos before dispatch; if one lands here
+      // anyway it is a no-op on an already-resolved tenant.
+      EncodeStatus(Status::Ok(), resp);
       return resp.Release();
     }
   }
@@ -952,7 +1319,7 @@ void Server::AckThread() {
       // Hard kill: never acked, allowed to be lost. Release the budget so
       // teardown doesn't hinge on it.
       for (const PendingAck& ack : batch) {
-        ReleaseIngest(ack.events);
+        ReleaseIngest(ack.tenant, ack.events);
       }
       continue;
     }
@@ -970,7 +1337,7 @@ void Server::AckThread() {
       if (AppendFrame(w.data(), &frame).ok()) {
         SendResponse(ack.conn, std::move(frame));
       }
-      ReleaseIngest(ack.events);
+      ReleaseIngest(ack.tenant, ack.events);
     }
   }
 }

@@ -47,6 +47,7 @@
 #include "src/core/summary_store.h"
 #include "src/net/protocol.h"
 #include "src/net/socket.h"
+#include "src/net/tenant.h"
 
 namespace ss::net {
 
@@ -63,6 +64,11 @@ struct ServerOptions {
   Backpressure backpressure = Backpressure::kBlock;
   // Withhold ingest acks until a covering SummaryStore::Flush completes.
   bool durable_acks = true;
+  // Multi-tenant mode (DESIGN.md §14): non-null makes kHello mandatory,
+  // scopes every stream id to the authenticated tenant's namespace, and
+  // splits the ingest budget into per-tenant fair shares. Null keeps the
+  // legacy single-tenant behavior exactly.
+  std::shared_ptr<const TenantRegistry> tenants;
 };
 
 class Server {
@@ -92,8 +98,10 @@ class Server {
 
  private:
   struct Connection;
+  struct TenantState;
   struct PendingAck {
     std::shared_ptr<Connection> conn;
+    TenantState* tenant = nullptr;
     uint64_t request_id = 0;
     uint64_t events = 0;  // admission budget to release once acked
   };
@@ -119,11 +127,25 @@ class Server {
   // per connection at a time, so pipelined requests execute in arrival order.
   void RunRequests(const std::shared_ptr<Connection>& conn);
   void ExecuteRequest(const std::shared_ptr<Connection>& conn, std::string payload,
-                      uint64_t admitted_events);
-  std::string HandleRequest(const RequestHeader& header, Reader& body, bool* defer_ack,
-                            Status* ingest_status);
+                      TenantState* tenant, uint64_t admitted_events);
+  std::string HandleRequest(TenantState* tenant, const RequestHeader& header, Reader& body,
+                            bool* defer_ack, Status* ingest_status);
   void SendResponse(const std::shared_ptr<Connection>& conn, std::string frame);
-  void ReleaseIngest(uint64_t events);
+  void ReleaseIngest(TenantState* tenant, uint64_t events);
+
+  // --- multi-tenancy (loop thread unless noted) -----------------------------
+  bool multi_tenant() const { return options_.tenants != nullptr; }
+  // Handles a kHello frame synchronously on the loop thread (the connection's
+  // tenant must be set before later frames in the same buffer sweep reach
+  // admission); the pre-encoded response is queued through exec_queue so it
+  // stays in pipeline order.
+  void HandleHello(const std::shared_ptr<Connection>& conn, uint64_t request_id, Reader& body);
+  // Enqueues a pre-encoded response frame in FIFO position (shed rejections,
+  // auth errors, hello acks).
+  void EnqueueReadyFrame(const std::shared_ptr<Connection>& conn, uint64_t request_id,
+                         const Status& status);
+  // Worker-side append gate: tenant byte quota (approximate, cached).
+  Status CheckByteQuota(TenantState* tenant, uint64_t events);
 
   // --- durability ack thread ----------------------------------------------
   void AckThread();
@@ -153,6 +175,13 @@ class Server {
   // Ingest admission budget (events admitted, ack not yet sent).
   std::atomic<uint64_t> ingest_pending_{0};
   std::atomic<bool> recheck_blocked_{false};
+
+  // Tenant table, fixed at Init: index 0 is the implicit legacy tenant (id 0,
+  // unlimited quotas, the whole ingest budget); multi-tenant mode appends one
+  // entry per registry tenant. TenantState pointers stay valid for the
+  // server's lifetime.
+  std::vector<std::unique_ptr<TenantState>> tenants_;
+  std::mutex create_mu_;  // serializes tenant-local stream id auto-assignment
 
   // Durable-ack batcher state.
   std::mutex ack_mu_;

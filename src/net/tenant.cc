@@ -1,0 +1,161 @@
+#include "src/net/tenant.h"
+
+#include <cctype>
+#include <set>
+
+#include "src/common/hash.h"
+#include "src/storage/file_util.h"
+
+namespace ss::net {
+namespace {
+
+// Fixed digest seed: the digest is an in-memory authentication artifact, not
+// a persisted password hash, so a per-registry salt would buy nothing — the
+// cleartext token never leaves the config file.
+constexpr uint64_t kTokenSeed = 0x7e9a'11f3'5bd0'c642;
+
+// Splits one config line into whitespace-separated fields.
+std::vector<std::string> Fields(std::string_view line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) == 0) {
+      ++i;
+    }
+    if (i > start) {
+      out.emplace_back(line.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+StatusOr<uint64_t> ParseU64(const std::string& field, const char* what, int line_no) {
+  uint64_t value = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("tenants file line " + std::to_string(line_no) + ": " +
+                                     what + " is not a number: " + field);
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("tenants file line " + std::to_string(line_no) + ": " +
+                                     what + " overflows: " + field);
+    }
+    value = value * 10 + digit;
+  }
+  if (field.empty()) {
+    return Status::InvalidArgument(std::string("tenants file: empty ") + what);
+  }
+  return value;
+}
+
+}  // namespace
+
+uint64_t TenantRegistry::TokenDigest(std::string_view token) {
+  return Hash64(token, kTokenSeed);
+}
+
+StatusOr<TenantRegistry> TenantRegistry::Parse(std::string_view text) {
+  TenantRegistry registry;
+  std::set<std::string> names;
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    std::vector<std::string> fields = Fields(line);
+    if (fields.empty()) {
+      continue;
+    }
+    if (fields.size() != 6) {
+      return Status::InvalidArgument(
+          "tenants file line " + std::to_string(line_no) +
+          ": expected `id name token max_streams max_bytes events_per_sec` (6 fields), got " +
+          std::to_string(fields.size()));
+    }
+    TenantConfig tenant;
+    SS_ASSIGN_OR_RETURN(uint64_t id, ParseU64(fields[0], "tenant id", line_no));
+    if (id == 0 || id > kMaxTenantId) {
+      return Status::InvalidArgument("tenants file line " + std::to_string(line_no) +
+                                     ": tenant id must be in [1, 65535], got " + fields[0]);
+    }
+    tenant.id = static_cast<uint32_t>(id);
+    tenant.name = fields[1];
+    for (char c : tenant.name) {
+      // Names become metric label values and smoke-test grep targets; keep
+      // them to a conservative charset so neither needs escaping.
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' && c != '-') {
+        return Status::InvalidArgument("tenants file line " + std::to_string(line_no) +
+                                       ": name must be [A-Za-z0-9_-]: " + tenant.name);
+      }
+    }
+    if (fields[2].empty()) {
+      return Status::InvalidArgument("tenants file line " + std::to_string(line_no) +
+                                     ": empty token");
+    }
+    tenant.token_digest = TokenDigest(fields[2]);
+    SS_ASSIGN_OR_RETURN(tenant.quotas.max_streams, ParseU64(fields[3], "max_streams", line_no));
+    SS_ASSIGN_OR_RETURN(tenant.quotas.max_resident_bytes,
+                        ParseU64(fields[4], "max_resident_bytes", line_no));
+    SS_ASSIGN_OR_RETURN(tenant.quotas.ingest_events_per_sec,
+                        ParseU64(fields[5], "ingest_events_per_sec", line_no));
+    if (!registry.by_id_.emplace(tenant.id, registry.tenants_.size()).second) {
+      return Status::InvalidArgument("tenants file line " + std::to_string(line_no) +
+                                     ": duplicate tenant id " + fields[0]);
+    }
+    if (!names.insert(tenant.name).second) {
+      return Status::InvalidArgument("tenants file line " + std::to_string(line_no) +
+                                     ": duplicate tenant name " + tenant.name);
+    }
+    registry.tenants_.push_back(std::move(tenant));
+  }
+  if (registry.tenants_.empty()) {
+    return Status::InvalidArgument("tenants file defines no tenants");
+  }
+  return registry;
+}
+
+StatusOr<TenantRegistry> TenantRegistry::LoadFile(const std::string& path) {
+  SS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  auto parsed = Parse(text);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(), path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+const TenantConfig* TenantRegistry::Find(uint32_t id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &tenants_[it->second];
+}
+
+bool TenantRegistry::Authenticate(uint32_t id, std::string_view token) const {
+  const TenantConfig* tenant = Find(id);
+  // Unknown ids compare against a digest that can never match, through the
+  // same code path, so the timing does not reveal which ids exist.
+  const uint64_t expect = tenant != nullptr ? tenant->token_digest : 0;
+  const uint64_t got = TokenDigest(token);
+  // Branch-free 64-bit compare: the XOR folds to 0 only on equality and the
+  // reduction cost is independent of how many bits differ.
+  uint64_t diff = expect ^ got;
+  diff |= diff >> 32;
+  diff |= diff >> 16;
+  diff |= diff >> 8;
+  diff |= diff >> 4;
+  diff |= diff >> 2;
+  diff |= diff >> 1;
+  return tenant != nullptr && (diff & 1) == 0;
+}
+
+}  // namespace ss::net

@@ -1,0 +1,96 @@
+// Multi-tenant model for sserver (DESIGN.md §14): a registry of tenants
+// (numeric id, display name, authentication token, resource quotas) loaded
+// from a `--tenants FILE` config, plus the tenant → StreamId namespace
+// mapping that keeps SummaryStore itself tenant-oblivious.
+//
+// Namespace mapping: the wire layer speaks *local* stream ids (what a tenant
+// names its own streams); below the wire layer every id is mapped to a
+// *global* StreamId with the tenant id in the top 16 bits:
+//
+//   global := (tenant_id << 48) | local          local ∈ [1, 2^48)
+//
+// so tenant A's stream 7 and tenant B's stream 7 are distinct store keys,
+// and the mapping round-trips through the store's existing manifest
+// machinery with no new persistent state (the namespaced ids ARE the
+// persisted keys). Tenant id 0 is reserved for legacy single-tenant mode,
+// where the mapping is the identity and the full 64-bit id space is the
+// tenant's own.
+//
+// Tokens are never stored in cleartext past load: the registry keeps a
+// seeded 64-bit digest and authenticates with a constant-time compare, so
+// a token probe learns nothing from timing.
+#ifndef SUMMARYSTORE_SRC_NET_TENANT_H_
+#define SUMMARYSTORE_SRC_NET_TENANT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/keys.h"
+
+namespace ss::net {
+
+// Top 16 bits of a global StreamId carry the tenant id; the low 48 bits are
+// the tenant-local id. Local id 0 stays "auto-assign" on the wire.
+inline constexpr uint32_t kTenantShift = 48;
+inline constexpr uint64_t kMaxLocalStreamId = (uint64_t{1} << kTenantShift) - 1;
+inline constexpr uint32_t kMaxTenantId = 0xffff;
+
+constexpr StreamId GlobalStreamId(uint32_t tenant_id, StreamId local) {
+  return (static_cast<uint64_t>(tenant_id) << kTenantShift) | local;
+}
+constexpr uint32_t TenantOfStream(StreamId global) {
+  return static_cast<uint32_t>(global >> kTenantShift);
+}
+constexpr StreamId LocalStreamId(StreamId global) { return global & kMaxLocalStreamId; }
+
+// Per-tenant resource quotas. 0 = unlimited.
+struct TenantQuotas {
+  uint64_t max_streams = 0;           // live streams in the tenant namespace
+  uint64_t max_resident_bytes = 0;    // sum of the tenant's stream sizes
+  uint64_t ingest_events_per_sec = 0; // token bucket: rate + 1 s of burst
+};
+
+struct TenantConfig {
+  uint32_t id = 0;  // 1..kMaxTenantId (0 is the reserved legacy tenant)
+  std::string name;
+  uint64_t token_digest = 0;  // seeded Hash64 of the token; never the token
+  TenantQuotas quotas;
+};
+
+// Immutable once loaded; shared by reference across server threads.
+class TenantRegistry {
+ public:
+  // File format, one tenant per line (blank lines and '#' comments ignored):
+  //
+  //   id name token max_streams max_resident_bytes ingest_events_per_sec
+  //
+  // e.g. `1 acme s3cret 64 1073741824 100000`. Quota fields of 0 mean
+  // unlimited; all three quota fields are required. Ids must be unique and
+  // in [1, 65535]; names must be unique and are used as metric label values.
+  static StatusOr<TenantRegistry> Parse(std::string_view text);
+  static StatusOr<TenantRegistry> LoadFile(const std::string& path);
+
+  // Computes the digest Parse stores for `token` (exposed so tests can
+  // build registries without files).
+  static uint64_t TokenDigest(std::string_view token);
+
+  const TenantConfig* Find(uint32_t id) const;
+  // Constant-time token check; false for unknown ids too (same cost either
+  // way, so probing ids is no cheaper than probing tokens).
+  bool Authenticate(uint32_t id, std::string_view token) const;
+
+  size_t size() const { return tenants_.size(); }
+  const std::vector<TenantConfig>& tenants() const { return tenants_; }
+
+ private:
+  std::vector<TenantConfig> tenants_;          // config order
+  std::map<uint32_t, size_t> by_id_;           // id -> index in tenants_
+};
+
+}  // namespace ss::net
+
+#endif  // SUMMARYSTORE_SRC_NET_TENANT_H_

@@ -149,9 +149,10 @@ StatusOr<std::unique_ptr<Summary>> SpaceSavingSketch::Deserialize(Reader& reader
   SS_ASSIGN_OR_RETURN(uint64_t capacity, reader.ReadVarint());
   SS_ASSIGN_OR_RETURN(uint64_t total, reader.ReadVarint());
   SS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
-  // Each entry costs at least 10 encoded bytes (8-byte double + 2 varints).
+  // Each entry costs at least 10 encoded bytes (8-byte double + 2 varints),
+  // so any claimed count above remaining/10 cannot fit the payload.
   if (capacity == 0 || capacity > (uint64_t{1} << 24) || count > capacity ||
-      count > reader.remaining() / 10 + 1) {
+      count > reader.remaining() / 10) {
     return Status::Corruption("SpaceSavingSketch: bad configuration");
   }
   auto sketch = std::make_unique<SpaceSavingSketch>(static_cast<uint32_t>(capacity));

@@ -11,6 +11,7 @@
 
 #include "src/core/ingest_ring.h"
 #include "src/core/summary_store.h"
+#include "src/obs/metrics.h"
 
 namespace ss {
 namespace {
@@ -156,6 +157,43 @@ TEST(IngestRing, ShedPolicyAccountingInvariant) {
   EXPECT_EQ(front.shed_count(), shed);
   EXPECT_DOUBLE_EQ(CountInStore(**store, *sid, 1, kOffers),
                    static_cast<double>(accepted));
+}
+
+// Pin: drained/shed accounting is a partition, not a double count. Events in
+// a batch whose AppendBatch fails (and everything consumed after the sticky
+// failure) are shed; drained counts only store-applied events. The old code
+// bumped drained for every consumed batch, so dropped events inflated
+// ss_core_ingest_ring_drained_total.
+TEST(IngestRing, FailedBatchesCountShedNotDrained) {
+  auto store = SummaryStore::Open(StoreOptions{});
+  ASSERT_TRUE(store.ok());
+  auto sid = (*store)->CreateStream(SmallConfig());
+  ASSERT_TRUE(sid.ok());
+  IngestFront front(**store, *sid);
+  IngestFront::Producer* p = front.RegisterProducer();
+  ASSERT_NE(p, nullptr);
+
+  Counter& drained = MetricRegistry::Default().GetCounter("ss_core_ingest_ring_drained_total");
+  Counter& shed = MetricRegistry::Default().GetCounter("ss_core_ingest_ring_shed_total");
+  const uint64_t drained_before = drained.value();
+  const uint64_t shed_before = shed.value();
+
+  // Delete the stream before anything is offered: the first drain's
+  // AppendBatch fails (NotFound) and the failure sticks.
+  ASSERT_TRUE((*store)->DeleteStream(*sid).ok());
+  constexpr uint64_t kEvents = 500;
+  for (uint64_t t = 1; t <= kEvents; ++t) {
+    ASSERT_TRUE(p->Offer(static_cast<Timestamp>(t), 1.0).ok());
+  }
+  Status drain_status = front.Drain();
+  EXPECT_FALSE(drain_status.ok());  // the sticky failure surfaces
+  front.Stop();
+
+  // Every offered event was consumed but none was applied: all shed, none
+  // drained.
+  EXPECT_EQ(drained.value() - drained_before, 0u);
+  EXPECT_EQ(shed.value() - shed_before, kEvents);
+  EXPECT_EQ(front.shed_count(), kEvents);
 }
 
 TEST(IngestRing, OfferAfterStopFails) {

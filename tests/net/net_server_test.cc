@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstring>
 #include <memory>
 #include <set>
 #include <string>
@@ -14,6 +15,7 @@
 #include "src/core/summary_store.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
+#include "src/net/tenant.h"
 #include "src/obs/metrics.h"
 #include "src/storage/file_util.h"
 
@@ -354,6 +356,371 @@ TEST_F(NetServerTest, ManyConnectionsConcurrently) {
   auto result = (*client)->QueryAggregate(all, spec);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_DOUBLE_EQ(result->result.estimate, static_cast<double>(kConns * kPerConn));
+}
+
+// ------------------------------------------------------------- multi-tenancy
+
+std::shared_ptr<const TenantRegistry> Registry(std::string_view text) {
+  auto parsed = TenantRegistry::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  if (!parsed.ok()) {
+    return nullptr;
+  }
+  return std::make_shared<const TenantRegistry>(std::move(parsed).value());
+}
+
+// Two tenants with no resource quotas (isolation/auth tests).
+std::shared_ptr<const TenantRegistry> TwoTenants() {
+  return Registry(
+      "1 alpha alpha-secret 0 0 0\n"
+      "2 beta  beta-secret  0 0 0\n");
+}
+
+TEST_F(NetServerTest, HelloRequiredAndTokenChecked) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  ServerOptions options;
+  options.tenants = TwoTenants();
+  ASSERT_NE(options.tenants, nullptr);
+  auto server = Server::Start(store->get(), options);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  Client& c = **client;
+
+  // Anything before a hello is denied — and the connection survives it.
+  EXPECT_EQ(c.Ping().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(c.CreateStream(0, SmallConfig()).status().code(), StatusCode::kPermissionDenied);
+
+  // Bad token and unknown tenant earn the same denial.
+  EXPECT_EQ(c.Hello(1, "wrong").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(c.Hello(42, "alpha-secret").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(c.Ping().code(), StatusCode::kPermissionDenied);  // still locked out
+
+  ASSERT_TRUE(c.Hello(1, "alpha-secret").ok());
+  EXPECT_TRUE(c.Ping().ok());
+  // A second hello on an authenticated connection is an error, not a switch.
+  EXPECT_EQ(c.Hello(2, "beta-secret").code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(c.Ping().ok());
+}
+
+TEST_F(NetServerTest, LegacyServerIgnoresHello) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  auto server = Server::Start(store->get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  // Tenant-configured clients work against a single-tenant server.
+  EXPECT_TRUE((*client)->Hello(7, "whatever").ok());
+  EXPECT_TRUE((*client)->Ping().ok());
+}
+
+TEST_F(NetServerTest, TenantNamespacesIsolateStreams) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  ServerOptions options;
+  options.tenants = TwoTenants();
+  auto server = Server::Start(store->get(), options);
+  ASSERT_TRUE(server.ok());
+
+  auto alpha = Client::Connect("127.0.0.1", (*server)->port());
+  auto beta = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(alpha.ok() && beta.ok());
+  Client& a = **alpha;
+  Client& b = **beta;
+  ASSERT_TRUE(a.Hello(1, "alpha-secret").ok());
+  ASSERT_TRUE(b.Hello(2, "beta-secret").ok());
+
+  // Both tenants own a "stream 7" — distinct store keys.
+  ASSERT_TRUE(a.CreateStream(7, SmallConfig()).ok());
+  ASSERT_TRUE(b.CreateStream(7, SmallConfig()).ok());
+  ASSERT_TRUE(a.Append(7, 1, 10.0).ok());
+  ASSERT_TRUE(b.Append(7, 1, 20.0).ok());
+  std::vector<Event> more = {{2, 10.0}, {3, 10.0}};
+  ASSERT_TRUE(a.AppendBatch(7, more).ok());
+
+  QuerySpec spec;
+  spec.op = QueryOp::kCount;
+  spec.t1 = 0;
+  spec.t2 = 100;
+  auto a_count = a.Query(7, spec);
+  auto b_count = b.Query(7, spec);
+  ASSERT_TRUE(a_count.ok() && b_count.ok());
+  EXPECT_DOUBLE_EQ(a_count->result.estimate, 3.0);
+  EXPECT_DOUBLE_EQ(b_count->result.estimate, 1.0);
+
+  // Listings are namespace-local (and report local ids).
+  auto a_list = a.ListStreams();
+  auto b_list = b.ListStreams();
+  ASSERT_TRUE(a_list.ok() && b_list.ok());
+  EXPECT_EQ(*a_list, std::vector<StreamId>{7});
+  EXPECT_EQ(*b_list, std::vector<StreamId>{7});
+  auto b_infos = b.StreamInfos(0);
+  ASSERT_TRUE(b_infos.ok());
+  ASSERT_EQ(b_infos->size(), 1u);
+  EXPECT_EQ((*b_infos)[0].id, 7u);
+  EXPECT_EQ((*b_infos)[0].element_count, 1u);
+
+  // Cross-tenant reach-through: a stream id that does not exist in the
+  // caller's namespace is NotFound, and a forged global id (tenant bits set)
+  // is a flat denial.
+  EXPECT_EQ(b.DeleteStream(8).code(), StatusCode::kNotFound);
+  const StreamId forged = (StreamId{1} << 48) | 7;  // alpha's stream 7
+  EXPECT_EQ(b.Query(forged, spec).status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(b.DeleteStream(forged).code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(b.Append(forged, 9, 1.0).code(), StatusCode::kPermissionDenied);
+
+  // Deleting beta's stream 7 leaves alpha's intact.
+  ASSERT_TRUE(b.DeleteStream(7).ok());
+  EXPECT_TRUE(a.Query(7, spec).ok());
+
+  // Auto-assigned ids are tenant-local too (first free local id, not a
+  // global sequence).
+  auto b_auto = b.CreateStream(0, SmallConfig());
+  ASSERT_TRUE(b_auto.ok()) << b_auto.status();
+  EXPECT_EQ(*b_auto, 1u);
+}
+
+TEST_F(NetServerTest, TenantQuotasReturnTypedErrors) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  ServerOptions options;
+  // Each quota gets its own tenant so one limit can't mask another:
+  // alpha: 2 streams max + 32 events/s; gamma: ~1 KiB resident; beta: none.
+  options.tenants = Registry(
+      "1 alpha alpha-secret 2 0    32\n"
+      "2 beta  beta-secret  0 0    0\n"
+      "3 gamma gamma-secret 0 1024 0\n");
+  ASSERT_NE(options.tenants, nullptr);
+  auto server = Server::Start(store->get(), options);
+  ASSERT_TRUE(server.ok());
+
+  auto alpha = Client::Connect("127.0.0.1", (*server)->port());
+  auto beta = Client::Connect("127.0.0.1", (*server)->port());
+  auto gamma = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(alpha.ok() && beta.ok() && gamma.ok());
+  Client& a = **alpha;
+  Client& b = **beta;
+  Client& g = **gamma;
+  ASSERT_TRUE(a.Hello(1, "alpha-secret").ok());
+  ASSERT_TRUE(b.Hello(2, "beta-secret").ok());
+  ASSERT_TRUE(g.Hello(3, "gamma-secret").ok());
+
+  // Stream-count quota: the third create is a typed error.
+  ASSERT_TRUE(a.CreateStream(1, SmallConfig()).ok());
+  ASSERT_TRUE(a.CreateStream(2, SmallConfig()).ok());
+  EXPECT_EQ(a.CreateStream(3, SmallConfig()).status().code(),
+            StatusCode::kResourceExhausted);
+  ASSERT_TRUE(a.DeleteStream(2).ok());
+  EXPECT_TRUE(a.CreateStream(3, SmallConfig()).ok());  // freed a slot
+
+  // Ingest-rate quota: the bucket holds one second's worth (32 events);
+  // pipelining far more than that in one burst must hit the limiter.
+  std::vector<Event> chunk;
+  for (int i = 0; i < 16; ++i) {
+    chunk.push_back(Event{static_cast<Timestamp>(i + 1), 1.0});
+  }
+  Status first = a.AppendBatch(1, chunk);
+  ASSERT_TRUE(first.ok()) << first;
+  bool rate_limited = false;
+  for (int burst = 0; burst < 4 && !rate_limited; ++burst) {
+    for (Event& e : chunk) {
+      e.ts += 16;
+    }
+    Status s = a.AppendBatch(1, chunk);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s;
+      rate_limited = true;
+    }
+  }
+  EXPECT_TRUE(rate_limited);
+
+  // Byte quota: appends must eventually turn into typed errors as resident
+  // bytes cross ~1 KiB. beta (no quota) keeps ingesting the same load.
+  bool byte_limited = false;
+  ASSERT_TRUE(b.CreateStream(1, SmallConfig()).ok());
+  ASSERT_TRUE(g.CreateStream(1, SmallConfig()).ok());
+  std::vector<Event> wave;
+  for (int round = 0; round < 200 && !byte_limited; ++round) {
+    wave.clear();
+    for (int i = 0; i < 64; ++i) {
+      wave.push_back(Event{static_cast<Timestamp>(round * 64 + i + 1000), 1.0});
+    }
+    Status s = g.AppendBatch(1, wave);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s;
+      byte_limited = true;
+    }
+    ASSERT_TRUE(b.AppendBatch(1, wave).ok());
+  }
+  EXPECT_TRUE(byte_limited);
+}
+
+TEST_F(NetServerTest, FairShareShedIsolatesQuietTenant) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  ServerOptions options;
+  options.tenants = TwoTenants();
+  options.backpressure = ServerOptions::Backpressure::kShed;
+  options.ingest_queue_events = 16;  // per-tenant share: 8
+  auto server = Server::Start(store->get(), options);
+  ASSERT_TRUE(server.ok());
+
+  auto hot = Client::Connect("127.0.0.1", (*server)->port());
+  auto quiet = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(hot.ok() && quiet.ok());
+  Client& h = **hot;
+  Client& q = **quiet;
+  ASSERT_TRUE(h.Hello(1, "alpha-secret").ok());
+  ASSERT_TRUE(q.Hello(2, "beta-secret").ok());
+  ASSERT_TRUE(h.CreateStream(1, SmallConfig()).ok());
+  ASSERT_TRUE(q.CreateStream(1, SmallConfig()).ok());
+
+  // Hot tenant: every batch exceeds its 8-event share, so each one is shed —
+  // under the old single global budget (16) these would have been admitted
+  // and quiet's headroom consumed.
+  std::vector<Event> oversized;
+  for (int i = 0; i < 10; ++i) {
+    oversized.push_back(Event{static_cast<Timestamp>(i + 1), 1.0});
+  }
+  std::vector<Event> small = {{0, 1.0}};
+  for (int round = 0; round < 10; ++round) {
+    Status hs = h.AppendBatch(1, oversized);
+    EXPECT_EQ(hs.code(), StatusCode::kFailedPrecondition) << hs;
+    // Quiet tenant's small appends never shed while the hot tenant hammers.
+    small[0].ts = round + 1;
+    Status qs = q.AppendBatch(1, small);
+    EXPECT_TRUE(qs.ok()) << qs;
+  }
+}
+
+TEST_F(NetServerTest, FairShareBlockThrottlesOnlyHotTenant) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  ServerOptions options;
+  options.tenants = TwoTenants();
+  options.backpressure = ServerOptions::Backpressure::kBlock;
+  options.ingest_queue_events = 16;  // per-tenant share: 8
+  auto server = Server::Start(store->get(), options);
+  ASSERT_TRUE(server.ok());
+
+  auto hot = Client::Connect("127.0.0.1", (*server)->port());
+  auto quiet = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(hot.ok() && quiet.ok());
+  Client& h = **hot;
+  Client& q = **quiet;
+  ASSERT_TRUE(h.Hello(1, "alpha-secret").ok());
+  ASSERT_TRUE(q.Hello(2, "beta-secret").ok());
+  ASSERT_TRUE(h.CreateStream(1, SmallConfig()).ok());
+  ASSERT_TRUE(q.CreateStream(1, SmallConfig()).ok());
+
+  Counter& blocked = MetricRegistry::Default().GetCounter("ss_net_backpressure_blocked_total",
+                                                          "tenant=\"alpha\"");
+  const uint64_t blocked_before = blocked.value();
+
+  // Pipeline far more than the hot tenant's share; its connection throttles
+  // (TCP backpressure) but nothing is lost.
+  constexpr int kHotAppends = 200;
+  for (int i = 0; i < kHotAppends; ++i) {
+    ASSERT_TRUE(h.SendAppend(1, i + 1, 1.0).ok());
+  }
+  // Meanwhile the quiet tenant's synchronous appends sail through.
+  for (int i = 0; i < 20; ++i) {
+    Status s = q.Append(1, i + 1, 2.0);
+    EXPECT_TRUE(s.ok()) << s;
+  }
+  int acked = 0;
+  for (int i = 0; i < kHotAppends; ++i) {
+    auto ack = h.ReceiveAck();
+    ASSERT_TRUE(ack.ok()) << ack.status();
+    ASSERT_TRUE(ack->status.ok()) << ack->status;
+    ++acked;
+  }
+  EXPECT_EQ(acked, kHotAppends);
+  EXPECT_GT(blocked.value(), blocked_before);  // hot tenant's share engaged
+}
+
+// --------------------------------------------- pipelined shed ordering (pin)
+
+// Reads one response frame from a raw socket and returns its request id.
+uint64_t ReadResponseId(int fd) {
+  char prefix[4];
+  EXPECT_TRUE(ReadFully(fd, prefix, sizeof(prefix)).ok());
+  uint32_t len = 0;
+  std::memcpy(&len, prefix, sizeof(len));
+  EXPECT_GT(len, 0u);
+  EXPECT_LE(len, kMaxFrameBytes);
+  std::string payload(len, '\0');
+  EXPECT_TRUE(ReadFully(fd, payload.data(), len).ok());
+  Reader reader(payload);
+  auto id = reader.ReadVarint();
+  EXPECT_TRUE(id.ok());
+  return id.ok() ? *id : 0;
+}
+
+// Pin for the pipelined-ordering contract (DESIGN.md §12): a shed rejection
+// must be delivered after the responses of every earlier request on the
+// connection. The old code answered sheds synchronously from the epoll
+// thread while earlier frames still sat in exec_queue, so the rejection
+// could overtake them.
+TEST_F(NetServerTest, ShedResponsesArriveInPipelineOrder) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  ServerOptions options;
+  options.backpressure = ServerOptions::Backpressure::kShed;
+  options.ingest_queue_events = 8;
+  auto server = Server::Start(store->get(), options);
+  ASSERT_TRUE(server.ok());
+
+  auto fd = ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+
+  // Create the stream (and seed it) synchronously first.
+  {
+    Writer req;
+    EncodeRequestHeader(RequestHeader{1, Opcode::kCreateStream}, req);
+    req.PutVarint(5);
+    SmallConfig().Serialize(req);
+    std::string frame;
+    ASSERT_TRUE(AppendFrame(req.data(), &frame).ok());
+    ASSERT_TRUE(WriteFully(fd->get(), frame).ok());
+    EXPECT_EQ(ReadResponseId(fd->get()), 1u);
+  }
+
+  // One write carrying: queries with ids 2..17, then an oversized append
+  // batch (id 18) that the shed policy must reject. Its rejection must
+  // arrive LAST.
+  std::string burst;
+  QuerySpec spec;
+  spec.op = QueryOp::kCount;
+  spec.t1 = 0;
+  spec.t2 = 1000;
+  constexpr uint64_t kQueries = 16;
+  for (uint64_t id = 2; id <= 1 + kQueries; ++id) {
+    Writer req;
+    EncodeRequestHeader(RequestHeader{id, Opcode::kQuery}, req);
+    req.PutVarint(5);
+    EncodeQuerySpec(spec, req);
+    ASSERT_TRUE(AppendFrame(req.data(), &burst).ok());
+  }
+  {
+    Writer req;
+    EncodeRequestHeader(RequestHeader{2 + kQueries, Opcode::kAppendBatch}, req);
+    req.PutVarint(5);
+    std::vector<Event> big;
+    for (int i = 0; i < 64; ++i) {  // 64 > the whole 8-event budget: shed
+      big.push_back(Event{static_cast<Timestamp>(i + 1), 1.0});
+    }
+    EncodeEventBatch(big, req);
+    ASSERT_TRUE(AppendFrame(req.data(), &burst).ok());
+  }
+  ASSERT_TRUE(WriteFully(fd->get(), burst).ok());
+
+  for (uint64_t id = 2; id <= 2 + kQueries; ++id) {
+    EXPECT_EQ(ReadResponseId(fd->get()), id) << "response overtook an earlier request";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+// TenantRegistry unit tests: config parsing and validation, constant-time
+// token authentication, and the tenant → StreamId namespace mapping. The
+// end-to-end enforcement (hello, quotas, fair-share) lives in
+// net_server_test.cc; this file pins the pure pieces.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/net/tenant.h"
+
+namespace ss::net {
+namespace {
+
+TEST(TenantMapping, RoundTripsAndPartitions) {
+  EXPECT_EQ(GlobalStreamId(1, 7), (uint64_t{1} << 48) | 7);
+  EXPECT_EQ(TenantOfStream(GlobalStreamId(42, 9)), 42u);
+  EXPECT_EQ(LocalStreamId(GlobalStreamId(42, 9)), 9u);
+  // Same local id under different tenants → distinct global keys.
+  EXPECT_NE(GlobalStreamId(1, 7), GlobalStreamId(2, 7));
+  // Tenant 0 (legacy) is the identity over the low 48 bits.
+  EXPECT_EQ(GlobalStreamId(0, 12345), 12345u);
+  // Extremes stay in range.
+  EXPECT_EQ(TenantOfStream(GlobalStreamId(kMaxTenantId, kMaxLocalStreamId)), kMaxTenantId);
+  EXPECT_EQ(LocalStreamId(GlobalStreamId(kMaxTenantId, kMaxLocalStreamId)), kMaxLocalStreamId);
+}
+
+TEST(TenantRegistry, ParsesCommentsBlanksAndQuotas) {
+  auto registry = TenantRegistry::Parse(
+      "# tenants for the staging cluster\n"
+      "\n"
+      "1 acme s3cret 64 1073741824 100000\n"
+      "  # indented comment\n"
+      "2 umbrella hunter2 0 0 0\n");
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  EXPECT_EQ(registry->size(), 2u);
+  const TenantConfig* acme = registry->Find(1);
+  ASSERT_NE(acme, nullptr);
+  EXPECT_EQ(acme->name, "acme");
+  EXPECT_EQ(acme->quotas.max_streams, 64u);
+  EXPECT_EQ(acme->quotas.max_resident_bytes, 1073741824u);
+  EXPECT_EQ(acme->quotas.ingest_events_per_sec, 100000u);
+  // The cleartext token is not retained; only its digest.
+  EXPECT_EQ(acme->token_digest, TenantRegistry::TokenDigest("s3cret"));
+  const TenantConfig* umbrella = registry->Find(2);
+  ASSERT_NE(umbrella, nullptr);
+  EXPECT_EQ(umbrella->quotas.max_streams, 0u);  // 0 = unlimited
+  EXPECT_EQ(registry->Find(3), nullptr);
+}
+
+TEST(TenantRegistry, RejectsMalformedConfigs) {
+  // Wrong field count.
+  EXPECT_FALSE(TenantRegistry::Parse("1 acme tok 0 0\n").ok());
+  EXPECT_FALSE(TenantRegistry::Parse("1 acme tok 0 0 0 extra\n").ok());
+  // Id 0 is reserved; ids must fit in 16 bits and parse as numbers.
+  EXPECT_FALSE(TenantRegistry::Parse("0 acme tok 0 0 0\n").ok());
+  EXPECT_FALSE(TenantRegistry::Parse("65536 acme tok 0 0 0\n").ok());
+  EXPECT_FALSE(TenantRegistry::Parse("abc acme tok 0 0 0\n").ok());
+  EXPECT_FALSE(TenantRegistry::Parse("1 acme tok 0 0 18446744073709551616\n").ok());
+  // Duplicate ids and names.
+  EXPECT_FALSE(TenantRegistry::Parse("1 acme tok 0 0 0\n1 other tok 0 0 0\n").ok());
+  EXPECT_FALSE(TenantRegistry::Parse("1 acme tok 0 0 0\n2 acme tok 0 0 0\n").ok());
+  // Names become metric label values: restricted charset.
+  EXPECT_FALSE(TenantRegistry::Parse("1 ac\"me tok 0 0 0\n").ok());
+  EXPECT_FALSE(TenantRegistry::Parse("1 ac{}me tok 0 0 0\n").ok());
+  EXPECT_TRUE(TenantRegistry::Parse("1 Acme_prod-2 tok 0 0 0\n").ok());
+  // An empty registry is a configuration error, not an empty deployment.
+  EXPECT_FALSE(TenantRegistry::Parse("").ok());
+  EXPECT_FALSE(TenantRegistry::Parse("# only comments\n").ok());
+}
+
+TEST(TenantRegistry, AuthenticateChecksIdAndToken) {
+  auto registry = TenantRegistry::Parse("7 acme s3cret 0 0 0\n");
+  ASSERT_TRUE(registry.ok());
+  EXPECT_TRUE(registry->Authenticate(7, "s3cret"));
+  EXPECT_FALSE(registry->Authenticate(7, "s3cre"));
+  EXPECT_FALSE(registry->Authenticate(7, "s3cret "));
+  EXPECT_FALSE(registry->Authenticate(7, ""));
+  EXPECT_FALSE(registry->Authenticate(8, "s3cret"));   // unknown id
+  EXPECT_FALSE(registry->Authenticate(0, "s3cret"));   // legacy id never nets auth
+}
+
+}  // namespace
+}  // namespace ss::net

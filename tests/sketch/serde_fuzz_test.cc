@@ -6,6 +6,7 @@
 #include "src/core/stream.h"
 #include "src/core/window.h"
 #include "src/random/rng.h"
+#include "src/sketch/spacesaving.h"
 #include "src/sketch/summary.h"
 
 namespace ss {
@@ -165,6 +166,40 @@ TEST(SerdeFuzz, UnknownSummaryKindFailsCleanly) {
     Reader reader(bytes);
     auto result = DeserializeSummary(reader);
     EXPECT_FALSE(result.ok()) << "kind " << kind;
+  }
+}
+
+// Pin: the slot-count plausibility bound must reject a count whose minimum
+// encoding (10 bytes/entry) cannot fit the remaining payload. An off-by-one
+// (`remaining/10 + 1`) admits count == remaining/10 + 1, over-reserving and
+// starting entry reads that are doomed to fail mid-way.
+TEST(SerdeFuzz, SpaceSavingCountBoundIsExact) {
+  auto one_entry_payload = [](uint64_t count) {
+    Writer writer;
+    writer.PutVarint(16);     // capacity
+    writer.PutVarint(3);      // total
+    writer.PutVarint(count);  // claimed slot count
+    writer.PutDouble(1.5);    // exactly one minimum-size entry: 10 bytes
+    writer.PutVarint(3);      // slot count
+    writer.PutVarint(1);      // slot error
+    return writer.data();
+  };
+  {
+    // 10 bytes remaining fit exactly one entry: count == 1 must parse.
+    std::string bytes = one_entry_payload(1);
+    Reader reader(bytes);
+    auto result = SpaceSavingSketch::Deserialize(reader);
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  {
+    // count == remaining/10 + 1 == 2 cannot fit; it must be rejected by the
+    // bound check (a configuration error), not discovered mid-read.
+    std::string bytes = one_entry_payload(2);
+    Reader reader(bytes);
+    auto result = SpaceSavingSketch::Deserialize(reader);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("bad configuration"), std::string::npos)
+        << result.status();
   }
 }
 

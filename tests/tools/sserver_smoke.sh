@@ -103,4 +103,85 @@ case "$OUT" in
   *) echo "FAIL: store not durable after server shutdown"; echo "$OUT"; exit 1 ;;
 esac
 
+# ---------------------------------------------------------------- multi-tenant
+# Second leg: boot with --tenants and verify auth, namespace isolation, and a
+# typed quota error over the real wire with real processes.
+cat > "$DIR/tenants.conf" <<'EOF'
+# id name token max_streams max_resident_bytes ingest_events_per_sec
+1 acme     acme-secret     2 0 0
+2 umbrella umbrella-secret 0 0 0
+EOF
+
+"$SSERVER" --dir "$DIR/mtstore" --port 0 --tenants "$DIR/tenants.conf" > "$DIR/mtserver.log" 2>&1 &
+SERVER_PID=$!
+i=0
+while ! grep -q "listening on" "$DIR/mtserver.log" 2>/dev/null; do
+  i=$((i + 1))
+  if [ $i -gt 100 ]; then
+    echo "FAIL: multi-tenant sserver never reported listening"; cat "$DIR/mtserver.log"; exit 1
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: multi-tenant sserver exited during startup"; cat "$DIR/mtserver.log"; exit 1
+  fi
+  sleep 0.1
+done
+grep -q "multi-tenant mode, 2 tenant(s)" "$DIR/mtserver.log" || {
+  echo "FAIL: no multi-tenant banner"; cat "$DIR/mtserver.log"; exit 1
+}
+MTADDR="$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$DIR/mtserver.log" | head -1)"
+echo "multi-tenant sserver up at $MTADDR (pid $SERVER_PID)"
+
+# No credentials: denied before any request executes.
+if "$SSTOOL" create --connect "$MTADDR" --decay 'powerlaw(1,1,1,1)' --stream 7 2>/dev/null; then
+  echo "FAIL: unauthenticated create succeeded on a multi-tenant server"; exit 1
+fi
+# Wrong token: same denial.
+if "$SSTOOL" create --connect "$MTADDR" --tenant 1 --token wrong \
+    --decay 'powerlaw(1,1,1,1)' --stream 7 2>/dev/null; then
+  echo "FAIL: bad-token create succeeded"; exit 1
+fi
+
+# Both tenants own a private "stream 7".
+"$SSTOOL" create --connect "$MTADDR" --tenant 1 --token acme-secret \
+  --decay 'powerlaw(1,1,1,1)' --stream 7
+"$SSTOOL" create --connect "$MTADDR" --tenant 2 --token umbrella-secret \
+  --decay 'powerlaw(1,1,1,1)' --stream 7
+i=1
+while [ $i -le 100 ]; do
+  echo "$i,1"
+  i=$((i + 1))
+done | "$SSTOOL" ingest --connect "$MTADDR" --tenant 1 --token acme-secret --stream 7
+echo "1,5" | "$SSTOOL" ingest --connect "$MTADDR" --tenant 2 --token umbrella-secret --stream 7
+
+OUT="$("$SSTOOL" query --connect "$MTADDR" --tenant 1 --token acme-secret \
+  --stream 7 --op count --t1 1 --t2 100)"
+case "$OUT" in
+  *"estimate: 100"*) ;;
+  *) echo "FAIL: acme expected count 100"; echo "$OUT"; exit 1 ;;
+esac
+OUT="$("$SSTOOL" query --connect "$MTADDR" --tenant 2 --token umbrella-secret \
+  --stream 7 --op count --t1 1 --t2 100)"
+case "$OUT" in
+  *"estimate: 1"*) ;;
+  *) echo "FAIL: umbrella sees acme's events — namespace leak"; echo "$OUT"; exit 1 ;;
+esac
+
+# acme's stream quota is 2: the third create must fail with the typed error.
+"$SSTOOL" create --connect "$MTADDR" --tenant 1 --token acme-secret \
+  --decay 'powerlaw(1,1,1,1)' --stream 8
+OUT="$("$SSTOOL" create --connect "$MTADDR" --tenant 1 --token acme-secret \
+  --decay 'powerlaw(1,1,1,1)' --stream 9 2>&1 || true)"
+case "$OUT" in
+  *"stream quota"*) ;;
+  *) echo "FAIL: stream quota not enforced: $OUT"; exit 1 ;;
+esac
+
+kill -TERM "$SERVER_PID"
+rc=0
+wait "$SERVER_PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: multi-tenant sserver exited rc=$rc on SIGTERM"; cat "$DIR/mtserver.log"; exit 1
+fi
+SERVER_PID=""
+
 echo "sserver smoke: OK"

@@ -36,17 +36,18 @@ cmake --build "${prefix}" -j"$(nproc)"
 ctest --test-dir "${prefix}" --output-on-failure -j"$(nproc)"
 
 san_dir="${prefix}-asan"
-echo "=== sanitizers: ASan+UBSan build of obs + storage tests (${san_dir}) ==="
+echo "=== sanitizers: ASan+UBSan build of obs + storage + net tests (${san_dir}) ==="
 cmake -B "${san_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DSS_SANITIZE=address,undefined
 cmake --build "${san_dir}" -j"$(nproc)" --target \
   metrics_test trace_test flight_recorder_test \
   wal_test sstable_test lsm_store_test group_commit_test crash_recovery_test \
   lsm_concurrency_test fault_fs_test fault_injection_test \
-  corruption_test serde_fuzz_test frame_fuzz_test kernels_test spacesaving_test
+  corruption_test serde_fuzz_test frame_fuzz_test kernels_test spacesaving_test \
+  net_server_test tenant_test
 for t in metrics_test trace_test flight_recorder_test wal_test sstable_test \
          lsm_store_test group_commit_test crash_recovery_test lsm_concurrency_test \
          fault_fs_test corruption_test serde_fuzz_test frame_fuzz_test \
-         kernels_test spacesaving_test; do
+         kernels_test spacesaving_test net_server_test tenant_test; do
   echo "--- ${t} (asan+ubsan)"
   if [ "${t}" = crash_recovery_test ]; then
     # Simulates hard kills by deliberately leaking un-flushed stores; leak
@@ -83,7 +84,8 @@ SS_FORCE_SCALAR=1 "${san_dir}/tests/kernels_test"
 
 echo "=== server smoke: sserver on loopback + sstool --connect e2e ==="
 # Boots the real daemon, drives every store subcommand over the wire, and
-# asserts a clean SIGTERM drain + durable store. ctest runs this too; the
+# asserts a clean SIGTERM drain + durable store, then a two-tenant leg (auth,
+# namespace isolation, quota errors). ctest runs this too; the
 # explicit leg keeps the wire path visible in the CI log.
 tests/tools/sserver_smoke.sh "${prefix}/tools/sserver" "${prefix}/tools/sstool"
 

@@ -5,10 +5,14 @@
 //
 //   sserver --dir D [--host H] [--port P] [--workers N]
 //           [--ingest-bound EVENTS] [--backpressure block|shed]
-//           [--no-durable-acks] [--sync-wal]
+//           [--no-durable-acks] [--sync-wal] [--tenants FILE]
 //           [--scrub-interval MS] [--scrub-no-repair]
 //
 //   --port 0 (default) binds an ephemeral port; the chosen one is printed.
+//   --tenants FILE enables multi-tenant mode (DESIGN.md §14): clients must
+//     hello with a tenant id + token (sstool: --tenant/--token), stream ids
+//     are scoped per tenant, and the ingest budget is fair-shared. Without
+//     it the server runs in legacy single-tenant mode.
 //   --ingest-bound caps events admitted but not yet acknowledged; at the
 //     bound, `block` stops reading the offending connections (TCP pushes
 //     back) while `shed` answers FAILED_PRECONDITION immediately.
@@ -43,7 +47,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: sserver --dir DIR [--host H] [--port P] [--workers N]\n"
                "               [--ingest-bound EVENTS] [--backpressure block|shed]\n"
-               "               [--no-durable-acks] [--sync-wal]\n"
+               "               [--no-durable-acks] [--sync-wal] [--tenants FILE]\n"
                "               [--scrub-interval MS] [--scrub-no-repair]\n");
   return 2;
 }
@@ -89,6 +93,16 @@ int Main(int argc, char** argv) {
     options.backpressure = net::ServerOptions::Backpressure::kBlock;
   } else {
     return Fail(Status::InvalidArgument("--backpressure must be block or shed"));
+  }
+  if (args->Has("tenants")) {
+    auto registry = net::TenantRegistry::LoadFile(args->flags.at("tenants"));
+    if (!registry.ok()) {
+      return Fail(registry.status());
+    }
+    options.tenants =
+        std::make_shared<const net::TenantRegistry>(std::move(registry).value());
+    std::fprintf(stderr, "sserver: multi-tenant mode, %zu tenant(s)\n",
+                 options.tenants->size());
   }
 
   auto server = net::Server::Start(store->get(), options);

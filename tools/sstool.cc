@@ -3,6 +3,11 @@
 // Every subcommand below except the offline ones (`stats --diff`, `flight`)
 // accepts either flag and behaves identically in both modes.
 //
+// Against a multi-tenant sserver (`sserver --tenants FILE`), add
+// `--tenant ID --token TOKEN` next to --connect: the connection authenticates
+// first and every --stream id is then tenant-local (DESIGN.md §14). A legacy
+// server accepts and ignores the handshake.
+//
 //   sstool create  --dir D --decay "powerlaw(1,1,1,1)" [--ops agg|micro|full]
 //                  [--stream N] [--raw-threshold K] [--poisson]
 //                  [--time-windowing 1] [--reorder N]
@@ -58,7 +63,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: sstool <create|ingest|query|landmark|info|stats|scrub|delete> "
-               "(--dir DIR | --connect HOST:PORT) [flags]\n"
+               "(--dir DIR | --connect HOST:PORT [--tenant ID --token TOKEN]) [flags]\n"
                "       sstool stats --diff A.json B.json\n"
                "       sstool flight <bundle.bin|dir> [--since US] [--metrics]\n"
                "run with a command and no flags for per-command help in the header comment\n");

@@ -162,6 +162,19 @@ StatusOr<std::unique_ptr<StoreHandle>> StoreHandle::Open(const ParsedArgs& args)
     SS_ASSIGN_OR_RETURN(std::unique_ptr<net::Client> client,
                         net::Client::Connect(target.substr(0, colon),
                                              static_cast<uint16_t>(port)));
+    if (args.Has("tenant") || args.Has("token")) {
+      // Multi-tenant server: authenticate before anything else. A legacy
+      // server accepts and ignores the hello, so the flags are always safe.
+      if (!args.Has("tenant") || !args.Has("token")) {
+        return Status::InvalidArgument("--tenant and --token must be given together");
+      }
+      unsigned long tenant = std::stoul(args.flags.at("tenant"));
+      if (tenant == 0 || tenant > 65535) {
+        return Status::InvalidArgument("--tenant must be in [1, 65535]");
+      }
+      SS_RETURN_IF_ERROR(
+          client->Hello(static_cast<uint32_t>(tenant), args.flags.at("token")));
+    }
     return std::unique_ptr<StoreHandle>(new RemoteStoreHandle(std::move(client)));
   }
   if (!args.Has("dir")) {
