@@ -1,5 +1,5 @@
 // Multi-connection load driver for sserver's service core (src/net/server.h),
-// run in-process against a loopback listener. Four phases:
+// run in-process against a loopback listener. Six phases:
 //
 //   1. load        — N pipelined connections (default 32), each appending to
 //                    its own stream with a bounded in-flight window; reports
@@ -20,10 +20,16 @@
 //                    quiet tenant trickles small appends. The quiet tenant
 //                    must see zero sheds and a bounded ack p99 — the whole
 //                    point of per-tenant admission budgets.
+//   6. flaky       — FaultNet severs connections mid-load while RetryingClient
+//                    fleets pipeline appends under the (session, seq) replay
+//                    contract. Gates: every append acked, and the store holds
+//                    EXACTLY the acked count per stream — zero acked-append
+//                    loss AND zero duplicate application across reconnects.
 //
 // SS_NET_CONNS / SS_NET_EVENTS override the shape; SS_BENCH_PROFILE=ci
 // shrinks the per-connection event count for the CI perf-trajectory leg.
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,7 +41,10 @@
 #include "bench/bench_util.h"
 #include "src/common/clock.h"
 #include "src/net/client.h"
+#include "src/net/fault_net.h"
+#include "src/net/retry_client.h"
 #include "src/net/server.h"
+#include "src/net/socket.h"
 #include "src/net/tenant.h"
 #include "src/obs/metrics.h"
 
@@ -497,9 +506,162 @@ int main() {
     (*server)->Stop();
   }
 
+  // ----------------------------------------------------------- phase 6: flaky
+  {
+    ScopedTempDir dir("net_flaky");
+    auto store = OpenStore(dir.path(), /*sync_wal=*/false);
+    if (!store.ok()) {
+      std::fprintf(stderr, "flaky store open failed\n");
+      return 1;
+    }
+    net::FaultNet fault;
+    net::SetNetOpsForTest(&fault);
+    auto server = net::Server::Start(store->get(), net::ServerOptions{});
+    if (!server.ok()) {
+      std::fprintf(stderr, "flaky server start failed\n");
+      net::SetNetOpsForTest(nullptr);
+      return 1;
+    }
+    const int flaky_conns = std::min(kConns, 4);
+    const uint64_t flaky_events = std::min<uint64_t>(kEvents, 1000);
+    net::ClientOptions client_options;
+    client_options.rpc_timeout_ms = 5000;
+    client_options.max_retries = 10;
+    client_options.backoff_initial_ms = 1;
+    client_options.backoff_max_ms = 50;
+
+    // Chaos thread: whenever no fault is armed, schedule the next sever a few
+    // hundred frames ahead (alternating send/recv side). The workload never
+    // sees a quiet network for long.
+    std::atomic<bool> chaos_stop{false};
+    std::thread chaos([&] {
+      bool recv_side = false;
+      while (!chaos_stop.load()) {
+        if (!fault.armed()) {
+          if (recv_side) {
+            fault.SeverAfterRecvFrames(fault.frames_received() + 200);
+          } else {
+            fault.SeverAfterSentFrames(fault.frames_sent() + 200);
+          }
+          recv_side = !recv_side;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+
+    Stopwatch epoch;
+    std::vector<ConnResult> results(flaky_conns);
+    std::vector<uint64_t> retries(flaky_conns, 0), reconnects(flaky_conns, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < flaky_conns; ++t) {
+      threads.emplace_back([&, t] {
+        const StreamId sid = static_cast<StreamId>(t + 1);
+        auto client =
+            net::RetryingClient::Connect("127.0.0.1", (*server)->port(), client_options);
+        if (!client.ok()) {
+          results[t].io_error = true;
+          return;
+        }
+        net::RetryingClient& c = **client;
+        if (!c.CreateStream(sid, BenchConfig()).ok()) {
+          results[t].io_error = true;
+          return;
+        }
+        Timestamp ts = 0;
+        uint64_t sent = 0;
+        while (sent < flaky_events || c.inflight() > 0) {
+          while (sent < flaky_events && c.inflight() < 32) {
+            if (!c.SendAppend(sid, ++ts, 1.0).ok()) {
+              results[t].io_error = true;
+              return;
+            }
+            ++sent;
+          }
+          auto ack = c.ReceiveAck();
+          if (!ack.ok()) {
+            results[t].io_error = true;  // max_retries of recovery exhausted
+            return;
+          }
+          if (ack->status.ok()) {
+            ++results[t].acked;
+          } else {
+            ++results[t].rejected;
+          }
+        }
+        retries[t] = c.retries();
+        reconnects[t] = c.reconnects();
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    chaos_stop.store(true);
+    chaos.join();
+    const double wall_s = epoch.ElapsedSeconds();
+
+    uint64_t acked = 0, total_retries = 0, total_reconnects = 0;
+    for (int t = 0; t < flaky_conns; ++t) {
+      if (results[t].io_error || results[t].rejected != 0) {
+        std::fprintf(stderr, "flaky phase: connection %d did not converge\n", t);
+        net::SetNetOpsForTest(nullptr);
+        return 1;
+      }
+      acked += results[t].acked;
+      total_retries += retries[t];
+      total_reconnects += reconnects[t];
+    }
+    // The ledger: the server must hold EXACTLY the acked count per stream.
+    // A shortfall is an acked append lost to a sever; an excess is a replayed
+    // append applied twice past the (session, seq) dedup.
+    uint64_t lost = 0, duplicated = 0;
+    for (int t = 0; t < flaky_conns; ++t) {
+      auto stream = (*store)->GetStream(static_cast<StreamId>(t + 1));
+      const uint64_t count = stream.ok() ? (*stream)->element_count() : 0;
+      if (count < results[t].acked) {
+        lost += results[t].acked - count;
+      } else {
+        duplicated += count - results[t].acked;
+      }
+    }
+    const uint64_t resets = fault.injected_resets();
+    const double rate = static_cast<double>(acked) / wall_s;
+    std::printf("flaky: %llu appends acked at %.0f appends/s through %llu injected resets "
+                "(%llu retries, %llu reconnects); %llu lost, %llu duplicated\n",
+                static_cast<unsigned long long>(acked), rate,
+                static_cast<unsigned long long>(resets),
+                static_cast<unsigned long long>(total_retries),
+                static_cast<unsigned long long>(total_reconnects),
+                static_cast<unsigned long long>(lost),
+                static_cast<unsigned long long>(duplicated));
+    (*server)->Stop();
+    net::SetNetOpsForTest(nullptr);
+    if (acked != static_cast<uint64_t>(flaky_conns) * flaky_events) {
+      std::fprintf(stderr, "flaky phase: not every append was acked\n");
+      return 1;
+    }
+    if (lost != 0 || duplicated != 0) {
+      std::fprintf(stderr, "flaky phase: acked-append ledger diverged (lost %llu, dup %llu)\n",
+                   static_cast<unsigned long long>(lost),
+                   static_cast<unsigned long long>(duplicated));
+      return 1;
+    }
+    if (resets == 0) {
+      std::fprintf(stderr, "flaky phase: chaos never fired — gate proved nothing\n");
+      return 1;
+    }
+    report.Add("flaky_appends_per_sec", rate, "appends/s", "higher");
+    // injected_resets is deliberately NOT reported: the count scales with
+    // wall time, so a faster machine would read as a "regression". The
+    // resets>0 gate above already proves the chaos was real.
+    report.Add("flaky_acked_lost", static_cast<double>(lost), "appends", "lower");
+    report.Add("flaky_acked_duplicated", static_cast<double>(duplicated), "appends", "lower");
+  }
+
   std::printf("\nshape check: pipelining sustains the fleet, backpressure engages under "
-              "overload, no acked append is lost to a hard kill, and fair-share admission "
-              "isolates a quiet tenant from a noisy neighbor.\n");
+              "overload, no acked append is lost to a hard kill, fair-share admission "
+              "isolates a quiet tenant from a noisy neighbor, and retrying clients ride "
+              "out injected connection faults without losing or double-applying an acked "
+              "append.\n");
   const char* out = std::getenv("SS_BENCH_OUT");
   std::string report_path = out != nullptr ? out : "BENCH_net.json";
   if (report.WriteFile(report_path)) {

@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnimplemented = 9,
   kPermissionDenied = 10,
   kResourceExhausted = 11,
+  kDeadlineExceeded = 12,
 };
 
 inline const char* StatusCodeToString(StatusCode code) {
@@ -53,6 +54,8 @@ inline const char* StatusCodeToString(StatusCode code) {
       return "PERMISSION_DENIED";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -89,6 +92,9 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -13,14 +13,18 @@ ThreadPool::ThreadPool(size_t num_threads, Observer observer)
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Drain(); }
+
+void ThreadPool::Drain() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) {
-    worker.join();
+    if (worker.joinable()) {
+      worker.join();
+    }
   }
 }
 

@@ -54,6 +54,14 @@ class ThreadPool {
     return future;
   }
 
+  // Stops accepting queued execution, runs everything already in the queue,
+  // and joins the workers — but leaves the pool object alive, so concurrent
+  // or later Submits safely run inline on the submitting thread (the same
+  // fallback the destructor-race path uses). Idempotent. Lets an owner shut
+  // the pool down while other threads still hold the pointer, then destroy
+  // it once those threads are joined.
+  void Drain();
+
   size_t thread_count() const { return workers_.size(); }
   size_t QueueDepth() const;
 

@@ -124,6 +124,8 @@ class SummaryStore {
   // Logical decayed size across streams (the "s" of compaction S/s).
   uint64_t TotalSizeBytes() const;
   KvBackend& backend() { return *kv_; }
+  // Health probe: true once the backend is rejecting writes (poisoned WAL).
+  bool Poisoned() const { return kv_->Poisoned(); }
 
  private:
   SummaryStore(std::unique_ptr<KvBackend> kv, size_t fleet_query_threads)

@@ -5,26 +5,49 @@
 namespace ss::net {
 
 StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host, uint16_t port) {
+  return Connect(host, port, ClientOptions{});
+}
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host, uint16_t port,
+                                                  const ClientOptions& options) {
   std::unique_ptr<Client> client(new Client());
-  SS_ASSIGN_OR_RETURN(client->fd_, ConnectTcp(host, port));
+  client->options_ = options;
+  SS_ASSIGN_OR_RETURN(client->fd_, ConnectTcpTimeout(host, port, options.connect_timeout_ms));
   return client;
+}
+
+uint64_t Client::IoDeadline() const {
+  return options_.rpc_timeout_ms > 0 ? MonotonicMicros() + options_.rpc_timeout_ms * 1000 : 0;
 }
 
 StatusOr<uint64_t> Client::SendRequest(Opcode op, const Writer& body) {
   const uint64_t id = next_id_++;
+  RequestHeader header;
+  header.request_id = id;
+  header.op = op;
+  if (options_.deadline_ms > 0) {
+    header.has_deadline = true;
+    header.deadline_ms = options_.deadline_ms;
+  }
+  if (session_id_ != 0 && (op == Opcode::kAppend || op == Opcode::kAppendBatch)) {
+    header.has_session = true;
+    header.session_id = session_id_;
+    header.seq = next_seq_++;
+  }
   Writer payload;
-  EncodeRequestHeader(RequestHeader{id, op}, payload);
+  EncodeRequestHeader(header, payload);
   payload.PutRaw(body.data().data(), body.data().size());
   std::string frame;
   SS_RETURN_IF_ERROR(AppendFrame(payload.data(), &frame));
-  SS_RETURN_IF_ERROR(WriteFully(fd_.get(), frame));
+  SS_RETURN_IF_ERROR(WriteFullyDeadline(fd_.get(), frame, IoDeadline()));
   ++inflight_;
   return id;
 }
 
 Status Client::ReceiveFrame(std::string* payload) {
+  const uint64_t deadline = IoDeadline();
   char prefix[4];
-  SS_RETURN_IF_ERROR(ReadFully(fd_.get(), prefix, sizeof(prefix)));
+  SS_RETURN_IF_ERROR(ReadFullyDeadline(fd_.get(), prefix, sizeof(prefix), deadline));
   uint32_t len;
   std::memcpy(&len, prefix, sizeof(len));
   // The server is trusted more than the wild internet, but a corrupt length
@@ -33,7 +56,7 @@ Status Client::ReceiveFrame(std::string* payload) {
     return Status::Corruption("response frame length out of range: " + std::to_string(len));
   }
   payload->resize(len);
-  SS_RETURN_IF_ERROR(ReadFully(fd_.get(), payload->data(), len));
+  SS_RETURN_IF_ERROR(ReadFullyDeadline(fd_.get(), payload->data(), len, deadline));
   if (inflight_ > 0) {
     --inflight_;
   }
@@ -69,6 +92,20 @@ Status Client::Hello(uint32_t tenant, std::string_view token) {
 }
 
 Status Client::Ping() { return Transact(Opcode::kPing, Writer(), nullptr); }
+
+StatusOr<ServerHealth> Client::Health() {
+  std::string resp;
+  SS_RETURN_IF_ERROR(Transact(Opcode::kPing, Writer(), &resp));
+  if (resp.empty()) {
+    return ServerHealth::kOk;  // legacy server: no health byte
+  }
+  Reader reader(resp);
+  SS_ASSIGN_OR_RETURN(uint8_t health, reader.ReadU8());
+  if (health > static_cast<uint8_t>(ServerHealth::kDraining)) {
+    return Status::Corruption("unknown health state: " + std::to_string(health));
+  }
+  return static_cast<ServerHealth>(health);
+}
 
 StatusOr<StreamId> Client::CreateStream(StreamId id, const StreamConfig& config) {
   Writer body;

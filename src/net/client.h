@@ -23,9 +23,39 @@
 
 namespace ss::net {
 
+// Shared by Client (connect/deadline fields) and RetryingClient (retry and
+// backoff fields; see src/net/retry_client.h).
+struct ClientOptions {
+  // Bound on the TCP connect handshake. 0 = block until the kernel gives up.
+  uint64_t connect_timeout_ms = 0;
+  // Local bound on one RPC's socket I/O (send + receive). A stalled or
+  // black-holed peer costs at most this. 0 = wait forever (legacy behavior).
+  uint64_t rpc_timeout_ms = 0;
+  // Wire deadline stamped into every request header (kHeaderFlagDeadline):
+  // the server rejects the request with kDeadlineExceeded if this budget
+  // expired while it sat queued. 0 = no deadline field (legacy frames).
+  uint64_t deadline_ms = 0;
+  // --- RetryingClient only -------------------------------------------------
+  uint32_t max_retries = 3;          // attempts after the first failure
+  uint64_t backoff_initial_ms = 10;  // doubles per retry...
+  uint64_t backoff_max_ms = 2000;    // ...up to this cap
+  double backoff_jitter = 0.2;       // +/- fraction of the delay, seeded rng
+  uint64_t rng_seed = 0x5355'4d53;   // jitter determinism in tests
+};
+
+// Decoded from kPing's trailing health byte (DESIGN.md §15). Legacy servers
+// send no byte; clients decode that as kOk.
+enum class ServerHealth : uint8_t {
+  kOk = 0,
+  kPoisoned = 1,  // backend rejecting writes until reopen: fail over
+  kDraining = 2,  // shutdown imminent: fail over before the reset
+};
+
 class Client {
  public:
   static StatusOr<std::unique_ptr<Client>> Connect(const std::string& host, uint16_t port);
+  static StatusOr<std::unique_ptr<Client>> Connect(const std::string& host, uint16_t port,
+                                                   const ClientOptions& options);
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -36,6 +66,8 @@ class Client {
   // ignore it). Must be the first RPC on the connection.
   Status Hello(uint32_t tenant, std::string_view token);
   Status Ping();
+  // Ping as a health probe: same RPC, decodes the trailing health byte.
+  StatusOr<ServerHealth> Health();
   // id 0 asks the server to assign one; returns the created id.
   StatusOr<StreamId> CreateStream(StreamId id, const StreamConfig& config);
   Status DeleteStream(StreamId id);
@@ -65,12 +97,31 @@ class Client {
     Status status = Status::Ok();
   };
   // Blocks for the next response frame. IoError on disconnect (e.g. the
-  // server was killed with acks outstanding).
+  // server was killed with acks outstanding); kDeadlineExceeded once
+  // rpc_timeout_ms elapses with no frame.
   StatusOr<Ack> ReceiveAck();
   size_t inflight() const { return inflight_; }
 
+  // --- idempotent ingest session -------------------------------------------
+  // Once a session is set, every kAppend/kAppendBatch request carries
+  // (session_id, seq) header fields (kHeaderFlagSession); seq increments per
+  // ingest request. The server deduplicates per (tenant, session), so a
+  // replay of an already-applied seq is acked without re-applying.
+  void SetSession(uint64_t session_id) { session_id_ = session_id; }
+  uint64_t session_id() const { return session_id_; }
+  // Rewind/read the seq counter — RetryingClient replays its un-acked ingest
+  // tail with the original seqs after a reconnect.
+  void SetNextSeq(uint64_t seq) { next_seq_ = seq; }
+  uint64_t next_seq() const { return next_seq_; }
+
+  const ClientOptions& options() const { return options_; }
+
  private:
   Client() = default;
+
+  // Absolute MonotonicMicros() instant bounding the current RPC's socket
+  // I/O, or 0 when rpc_timeout_ms is unset.
+  uint64_t IoDeadline() const;
 
   // Sends one request frame (header + body) and returns its request_id.
   StatusOr<uint64_t> SendRequest(Opcode op, const Writer& body);
@@ -81,8 +132,11 @@ class Client {
   Status Transact(Opcode op, const Writer& body, std::string* resp_body);
 
   Fd fd_;
+  ClientOptions options_;
   uint64_t next_id_ = 1;
   size_t inflight_ = 0;
+  uint64_t session_id_ = 0;  // 0 = no session fields on the wire
+  uint64_t next_seq_ = 1;
 };
 
 }  // namespace ss::net

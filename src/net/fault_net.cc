@@ -1,0 +1,346 @@
+#include "src/net/fault_net.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/obs/flight_recorder.h"
+
+namespace ss::net {
+
+// ------------------------------------------------------------- FrameParser
+
+void FaultNet::FrameParser::Feed(const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    if (!in_body) {
+      while (header_have < 4 && off < n) {
+        header[header_have++] = static_cast<unsigned char>(data[off++]);
+      }
+      if (header_have < 4) {
+        return;
+      }
+      uint32_t len;
+      std::memcpy(&len, header, sizeof(len));
+      body_len = len;
+      body_remaining = len;
+      in_body = true;
+      header_have = 0;
+      // A zero-length frame is protocol corruption; the receiver will fail
+      // the connection. Treat it as an immediately-complete frame so the
+      // parser cannot wedge.
+      if (body_remaining == 0) {
+        in_body = false;
+        ++frames_done;
+      }
+      continue;
+    }
+    const uint64_t take = std::min<uint64_t>(body_remaining, n - off);
+    body_remaining -= take;
+    off += static_cast<size_t>(take);
+    if (body_remaining == 0) {
+      in_body = false;
+      ++frames_done;
+    }
+  }
+}
+
+uint64_t FaultNet::FrameParser::BytesUntilCutoff(uint64_t frames, uint64_t extra) const {
+  if (frames_done < frames) {
+    // Finishing the current frame cannot cross the boundary: allow up to the
+    // end of the body, or up to the end of the length header (after which
+    // the body size is known and the next call allows the body).
+    if (in_body) {
+      return std::max<uint64_t>(1, body_remaining);
+    }
+    return 4 - header_have;
+  }
+  if (frames_done > frames) {
+    return 0;  // already past any "+extra bytes into the next frame" window
+  }
+  // At or past the boundary of frame `frames`: count bytes consumed into the
+  // next frame so far.
+  const uint64_t past = in_body ? 4 + (body_len - body_remaining) : header_have;
+  return extra > past ? extra - past : 0;
+}
+
+// ------------------------------------------------------------ schedule API
+
+void FaultNet::SeverAfterSentFrames(uint64_t frames, uint64_t extra_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = Mode::kSeverSend;
+  target_frames_ = frames;
+  target_extra_ = extra_bytes;
+}
+
+void FaultNet::SeverAfterRecvFrames(uint64_t frames, uint64_t extra_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = Mode::kSeverRecv;
+  target_frames_ = frames;
+  target_extra_ = extra_bytes;
+}
+
+void FaultNet::BlackHoleAfterSentFrames(uint64_t frames) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = Mode::kBlackHole;
+  target_frames_ = frames;
+  target_extra_ = 0;
+}
+
+void FaultNet::SetMaxSendBytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_send_bytes_ = bytes;
+}
+
+void FaultNet::SetDelayMs(uint64_t ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  delay_ms_ = ms;
+}
+
+void FaultNet::FailNextConnects(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_connects_ = n;
+}
+
+void FaultNet::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fds_.clear();
+  mode_ = Mode::kNone;
+  target_frames_ = 0;
+  target_extra_ = 0;
+  max_send_bytes_ = 0;
+  delay_ms_ = 0;
+  fail_connects_ = 0;
+  total_frames_sent_ = 0;
+  total_frames_received_ = 0;
+  injected_resets_ = 0;
+  refused_connects_count_ = 0;
+  blackholed_count_ = 0;
+}
+
+uint64_t FaultNet::frames_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_frames_sent_;
+}
+
+uint64_t FaultNet::frames_received() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_frames_received_;
+}
+
+uint64_t FaultNet::injected_resets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_resets_;
+}
+
+uint64_t FaultNet::refused_connects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return refused_connects_count_;
+}
+
+uint64_t FaultNet::blackholed_fds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blackholed_count_;
+}
+
+bool FaultNet::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mode_ != Mode::kNone;
+}
+
+void FaultNet::TripLocked(int fd, FdState& state) {
+  if (mode_ == Mode::kBlackHole) {
+    state.blackholed = true;
+    ++blackholed_count_;
+    FlightRecorder::Default().Record(FlightEventType::kNetFaultInjected,
+                                     static_cast<uint64_t>(fd),
+                                     static_cast<uint64_t>(NetFaultKind::kBlackHole));
+  } else {
+    state.severed = true;
+    ++injected_resets_;
+    // Shut the real socket down both ways so the peer observes the sever too
+    // (the server sees EOF/reset, exactly like a mid-flight network cut).
+    (void)::shutdown(fd, SHUT_RDWR);
+    FlightRecorder::Default().Record(
+        FlightEventType::kNetFaultInjected, static_cast<uint64_t>(fd),
+        static_cast<uint64_t>(mode_ == Mode::kSeverSend ? NetFaultKind::kSeverSend
+                                                        : NetFaultKind::kSeverRecv));
+  }
+  mode_ = Mode::kNone;  // one-shot: the reconnect runs clean
+}
+
+// ------------------------------------------------------------------ NetOps
+
+int FaultNet::Connect(int fd, const struct sockaddr* addr, unsigned int addrlen) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fail_connects_ > 0) {
+      --fail_connects_;
+      ++refused_connects_count_;
+      FlightRecorder::Default().Record(FlightEventType::kNetFaultInjected,
+                                       static_cast<uint64_t>(fd),
+                                       static_cast<uint64_t>(NetFaultKind::kRefusedConnect));
+      errno = ECONNREFUSED;
+      return -1;
+    }
+  }
+  int rc = NetOps::Connect(fd, addr, addrlen);
+  if (rc == 0 || errno == EINPROGRESS || errno == EALREADY) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fds_[fd] = FdState{};  // fresh parsers; any stale state for a recycled fd is gone
+  }
+  return rc;
+}
+
+long FaultNet::Send(int fd, const void* buf, size_t len) {
+  uint64_t delay = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    delay = delay_ms_;
+  }
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  size_t cap = len;
+  {
+    // NEVER hold mu_ across the real syscall below: a blocking send/recv
+    // would wedge every other thread that touches the seam — including the
+    // server's loop thread, whose Fd::Reset routes through NetOps::Close.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return NetOps::Send(fd, buf, len);  // untracked (server-side) fd
+    }
+    FdState& state = it->second;
+    if (state.severed) {
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (mode_ == Mode::kSeverSend) {
+      // The cutoff counts frames GLOBALLY (across connections, in the order
+      // they hit the wire): translate to this fd's local frame space so the
+      // passthrough-learned total covers boundaries on every connection the
+      // workload opens.
+      const uint64_t remaining =
+          target_frames_ > total_frames_sent_ ? target_frames_ - total_frames_sent_ : 0;
+      const uint64_t allowed =
+          state.send.BytesUntilCutoff(state.send.frames_done + remaining, target_extra_);
+      if (allowed == 0) {
+        TripLocked(fd, state);
+        errno = ECONNRESET;
+        return -1;
+      }
+      cap = std::min<size_t>(cap, static_cast<size_t>(allowed));
+    }
+    if (max_send_bytes_ > 0) {
+      cap = std::min(cap, max_send_bytes_);
+    }
+  }
+  long n = NetOps::Send(fd, buf, cap);
+  if (n > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-find: a concurrent Close may have unregistered the fd mid-syscall.
+    auto it = fds_.find(fd);
+    if (it != fds_.end()) {
+      FdState& state = it->second;
+      const uint64_t before = state.send.frames_done;
+      state.send.Feed(static_cast<const char*>(buf), static_cast<size_t>(n));
+      total_frames_sent_ += state.send.frames_done - before;
+      if (mode_ == Mode::kBlackHole && total_frames_sent_ >= target_frames_ &&
+          !state.blackholed) {
+        TripLocked(fd, state);
+      }
+    }
+  }
+  return n;
+}
+
+long FaultNet::Recv(int fd, void* buf, size_t len) {
+  uint64_t delay = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    delay = delay_ms_;
+  }
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  size_t cap = len;
+  {
+    // As in Send: the real recv below may block; holding mu_ across it would
+    // serialize all client I/O and deadlock the server's close path.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return NetOps::Recv(fd, buf, len);
+    }
+    FdState& state = it->second;
+    if (state.severed) {
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (state.blackholed) {
+      errno = EAGAIN;  // peer alive but silent: nothing ever arrives
+      return -1;
+    }
+    if (mode_ == Mode::kSeverRecv) {
+      // Global → fd-local frame translation, as in Send.
+      const uint64_t remaining =
+          target_frames_ > total_frames_received_ ? target_frames_ - total_frames_received_ : 0;
+      const uint64_t allowed =
+          state.recv.BytesUntilCutoff(state.recv.frames_done + remaining, target_extra_);
+      if (allowed == 0) {
+        TripLocked(fd, state);
+        errno = ECONNRESET;
+        return -1;
+      }
+      cap = std::min<size_t>(cap, static_cast<size_t>(allowed));
+    }
+  }
+  long n = NetOps::Recv(fd, buf, cap);
+  if (n > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = fds_.find(fd);
+    if (it != fds_.end()) {
+      FdState& state = it->second;
+      const uint64_t before = state.recv.frames_done;
+      state.recv.Feed(static_cast<const char*>(buf), static_cast<size_t>(n));
+      total_frames_received_ += state.recv.frames_done - before;
+    }
+  }
+  return n;
+}
+
+int FaultNet::PollOne(int fd, short events, int timeout_ms) {
+  bool blackholed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = fds_.find(fd);
+    blackholed = it != fds_.end() && it->second.blackholed && (events & POLLIN) != 0;
+  }
+  if (blackholed) {
+    // Simulate the silent wait: sleep out (a slice of) the timeout, report
+    // nothing ready. With no deadline the caller re-polls, so cap the nap.
+    const int nap = timeout_ms < 0 ? 10 : std::min(timeout_ms, 50);
+    if (nap > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(nap));
+    }
+    return 0;
+  }
+  return NetOps::PollOne(fd, events, timeout_ms);
+}
+
+int FaultNet::Close(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fds_.erase(fd);
+  }
+  return NetOps::Close(fd);
+}
+
+}  // namespace ss::net

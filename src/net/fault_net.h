@@ -1,0 +1,138 @@
+// Deterministic network fault injection for src/net — the socket-layer
+// analogue of storage's FaultFs (src/storage/fault_fs.h). Install with
+// SetNetOpsForTest(&fault_net); every client-side socket syscall then routes
+// through the schedule.
+//
+// FaultNet understands the wire framing (u32-LE length prefix, protocol.h):
+// it parses both directions of every connection it sees, so faults are
+// expressible as "after the Nth complete frame (+k bytes)" — deterministic
+// regardless of how request ids or retry counts vary across runs. Frames are
+// counted GLOBALLY, across connections, in the order they hit the wire (a
+// sequential workload makes that order deterministic); the fd that crosses
+// the boundary is the one that gets severed. That is what lets
+// net_fault_test sever a mixed append/query workload at every frame boundary
+// of its lifetime — including frames on late connections — the way PR 3's
+// crash matrix kills the store at every mutating-syscall boundary.
+//
+// Fault kinds:
+//   - SeverAfterSentFrames(n, extra):  allow exactly n complete request
+//     frames (+`extra` bytes of the next) onto the wire, then shut the
+//     socket down and fail further I/O with ECONNRESET.
+//   - SeverAfterRecvFrames(n, extra):  deliver exactly n complete response
+//     frames (+`extra` bytes) to the client, then reset. The server may have
+//     applied the request whose ack was lost — the replay-dedup scenario.
+//   - BlackHoleAfterSentFrames(n):     after n sent frames the peer goes
+//     silent: sends still succeed, but reads see no bytes and polls time
+//     out, so only a client deadline can get control back.
+//   - SetMaxSendBytes(k):              short writes — every send transfers
+//     at most k bytes (stresses partial-write handling everywhere).
+//   - SetDelayMs(ms):                  fixed latency before each send/recv.
+//   - FailNextConnects(n):             next n connect attempts fail with
+//     ECONNREFUSED (backoff/retry coverage).
+//
+// Sever and black-hole schedules are one-shot: they arm, trip on the first
+// connection that reaches the boundary (the fd stays dead/silent until
+// closed), and clear — so the client's automatic reconnect runs clean.
+// Frame parsing and the sent/received counters are always on, which is how
+// the matrix learns the workload's frame count from a passthrough run.
+//
+// Thread-safe (one mutex, FaultFs-style). Only fds connected through
+// ConnectTcp[Timeout] are tracked; server-side fds pass through untouched.
+#ifndef SUMMARYSTORE_SRC_NET_FAULT_NET_H_
+#define SUMMARYSTORE_SRC_NET_FAULT_NET_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "src/net/socket.h"
+
+namespace ss::net {
+
+// arg1 of the kNetFaultInjected flight event.
+enum class NetFaultKind : uint8_t {
+  kSeverSend = 0,
+  kSeverRecv = 1,
+  kBlackHole = 2,
+  kRefusedConnect = 3,
+};
+
+class FaultNet : public NetOps {
+ public:
+  FaultNet() = default;
+
+  // --- schedule (arm before the client connects) ---------------------------
+  void SeverAfterSentFrames(uint64_t frames, uint64_t extra_bytes = 0);
+  void SeverAfterRecvFrames(uint64_t frames, uint64_t extra_bytes = 0);
+  void BlackHoleAfterSentFrames(uint64_t frames);
+  void SetMaxSendBytes(size_t bytes);  // 0 = unlimited
+  void SetDelayMs(uint64_t ms);        // 0 = no delay
+  void FailNextConnects(uint64_t n);
+  // Clears the schedule, all per-fd state, and the counters.
+  void Reset();
+
+  // --- introspection -------------------------------------------------------
+  uint64_t frames_sent() const;     // complete request frames across all fds
+  uint64_t frames_received() const; // complete response frames across all fds
+  uint64_t injected_resets() const;
+  uint64_t refused_connects() const;
+  uint64_t blackholed_fds() const;
+  bool armed() const;  // a sever/black-hole schedule is set and not tripped
+
+  // --- NetOps --------------------------------------------------------------
+  int Connect(int fd, const struct sockaddr* addr, unsigned int addrlen) override;
+  long Send(int fd, const void* buf, size_t len) override;
+  long Recv(int fd, void* buf, size_t len) override;
+  int PollOne(int fd, short events, int timeout_ms) override;
+  int Close(int fd) override;
+
+ private:
+  // Incremental u32-length-prefix stream parser for one direction of one fd.
+  struct FrameParser {
+    uint64_t frames_done = 0;
+    size_t header_have = 0;
+    unsigned char header[4] = {0, 0, 0, 0};
+    uint64_t body_len = 0;
+    uint64_t body_remaining = 0;
+    bool in_body = false;
+
+    void Feed(const char* data, size_t n);
+    // Bytes that may pass before the stream would cross the cutoff "after
+    // `frames` complete frames + `extra` bytes". 0 = already at the cutoff.
+    uint64_t BytesUntilCutoff(uint64_t frames, uint64_t extra) const;
+  };
+
+  struct FdState {
+    FrameParser send;
+    FrameParser recv;
+    bool severed = false;     // all I/O fails ECONNRESET
+    bool blackholed = false;  // reads silent, polls time out; sends pass
+  };
+
+  enum class Mode { kNone, kSeverSend, kSeverRecv, kBlackHole };
+
+  // Trips the armed schedule on `fd` (mutex held): marks the fd, records the
+  // flight event, bumps counters, clears the schedule.
+  void TripLocked(int fd, FdState& state);
+
+  mutable std::mutex mu_;
+  std::map<int, FdState> fds_;
+
+  Mode mode_ = Mode::kNone;
+  uint64_t target_frames_ = 0;
+  uint64_t target_extra_ = 0;
+
+  size_t max_send_bytes_ = 0;
+  uint64_t delay_ms_ = 0;
+  uint64_t fail_connects_ = 0;
+
+  uint64_t total_frames_sent_ = 0;
+  uint64_t total_frames_received_ = 0;
+  uint64_t injected_resets_ = 0;
+  uint64_t refused_connects_count_ = 0;
+  uint64_t blackholed_count_ = 0;
+};
+
+}  // namespace ss::net
+
+#endif  // SUMMARYSTORE_SRC_NET_FAULT_NET_H_

@@ -1,5 +1,6 @@
 #include "src/net/protocol.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -90,17 +91,49 @@ StatusOr<FrameScan> ScanFrame(std::string_view buf, size_t max_frame_bytes) {
 
 void EncodeRequestHeader(const RequestHeader& header, Writer& writer) {
   writer.PutVarint(header.request_id);
-  writer.PutU8(static_cast<uint8_t>(header.op));
+  uint8_t op_byte = static_cast<uint8_t>(header.op);
+  if (header.has_deadline) {
+    op_byte |= kHeaderFlagDeadline;
+  }
+  if (header.has_session) {
+    op_byte |= kHeaderFlagSession;
+  }
+  writer.PutU8(op_byte);
+  if (header.has_deadline) {
+    writer.PutVarint(header.deadline_ms);
+  }
+  if (header.has_session) {
+    writer.PutVarint(header.session_id);
+    writer.PutVarint(header.seq);
+  }
 }
 
 StatusOr<RequestHeader> DecodeRequestHeader(Reader& reader) {
   RequestHeader header;
   SS_ASSIGN_OR_RETURN(header.request_id, reader.ReadVarint());
-  SS_ASSIGN_OR_RETURN(uint8_t op, reader.ReadU8());
+  SS_ASSIGN_OR_RETURN(uint8_t op_byte, reader.ReadU8());
+  const uint8_t op = op_byte & kHeaderOpcodeMask;
   if (op > static_cast<uint8_t>(Opcode::kMaxOpcode)) {
+    // Covers legacy hostile bytes too: 15..63 have no flag bits set and fall
+    // through to here exactly as before the flag scheme existed.
     return Status::Corruption("unknown opcode: " + std::to_string(op));
   }
   header.op = static_cast<Opcode>(op);
+  if ((op_byte & kHeaderFlagDeadline) != 0) {
+    header.has_deadline = true;
+    SS_ASSIGN_OR_RETURN(header.deadline_ms, reader.ReadVarint());
+    // Clamp rather than reject: a cooperating client never sends more than
+    // kMaxDeadlineMs, and clamping keeps steady-clock math overflow-free.
+    header.deadline_ms = std::min(header.deadline_ms, kMaxDeadlineMs);
+  }
+  if ((op_byte & kHeaderFlagSession) != 0) {
+    header.has_session = true;
+    SS_ASSIGN_OR_RETURN(header.session_id, reader.ReadVarint());
+    SS_ASSIGN_OR_RETURN(header.seq, reader.ReadVarint());
+    if (header.session_id == 0 || header.seq == 0) {
+      return Status::Corruption("session id / seq must be non-zero");
+    }
+  }
   return header;
 }
 
@@ -279,7 +312,7 @@ void EncodeStatus(const Status& status, Writer& writer) {
 
 Status DecodeStatus(Reader& reader, Status* out) {
   SS_ASSIGN_OR_RETURN(uint8_t code, reader.ReadU8());
-  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Status::Corruption("unknown status code: " + std::to_string(code));
   }
   SS_ASSIGN_OR_RETURN(std::string_view message, reader.ReadString());

@@ -52,6 +52,29 @@ enum class Opcode : uint8_t {
   kMaxOpcode = kHello,
 };
 
+// The opcode byte's top two bits are header-extension flags (the opcode
+// itself occupies the low 6 bits; every legal opcode is <= kMaxOpcode = 14,
+// so legacy frames carry zero flags and are bit-for-bit unchanged):
+//
+//   0x80 kHeaderFlagDeadline — varint deadline_ms follows the opcode byte.
+//        The request's total time budget as seen by the client; the server
+//        rejects the request with kDeadlineExceeded if it expired while
+//        queued. 0 means "already expired" (a deterministic test hook).
+//   0x40 kHeaderFlagSession  — varint session_id | varint seq follow (after
+//        deadline_ms when both flags are set). Identifies an idempotent
+//        ingest replay scope: the server remembers the highest applied seq
+//        per (tenant, session) and suppresses re-application of replayed
+//        appends after a reconnect. Both values must be non-zero.
+//
+// Extension fields sit BETWEEN the header and the body (not at payload end)
+// because several bodies already use trailing-extension fields of their own.
+inline constexpr uint8_t kHeaderFlagDeadline = 0x80;
+inline constexpr uint8_t kHeaderFlagSession = 0x40;
+inline constexpr uint8_t kHeaderOpcodeMask = 0x3F;
+// Ceiling on a wire deadline: anything above 1 hour is clamped (a hostile
+// huge varint must not overflow steady-clock arithmetic server-side).
+inline constexpr uint64_t kMaxDeadlineMs = 3'600'000;
+
 // Human-readable opcode label (metric label values; fuzz-test diagnostics).
 const char* OpcodeName(Opcode op);
 
@@ -74,6 +97,13 @@ StatusOr<FrameScan> ScanFrame(std::string_view buf, size_t max_frame_bytes = kMa
 struct RequestHeader {
   uint64_t request_id = 0;
   Opcode op = Opcode::kPing;
+  // Header extensions (see the flag-bit scheme above). Legacy frames decode
+  // with both absent.
+  bool has_deadline = false;
+  uint64_t deadline_ms = 0;  // meaningful only when has_deadline
+  bool has_session = false;
+  uint64_t session_id = 0;  // non-zero when has_session
+  uint64_t seq = 0;         // non-zero when has_session
 };
 void EncodeRequestHeader(const RequestHeader& header, Writer& writer);
 StatusOr<RequestHeader> DecodeRequestHeader(Reader& reader);

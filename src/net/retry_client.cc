@@ -1,0 +1,457 @@
+#include "src/net/retry_client.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/net/socket.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+
+namespace ss::net {
+namespace {
+
+Counter& RetriesTotal() {
+  static Counter& c = MetricRegistry::Default().GetCounter("ss_net_retries_total");
+  return c;
+}
+Counter& ReconnectsTotal() {
+  static Counter& c = MetricRegistry::Default().GetCounter("ss_net_reconnects_total");
+  return c;
+}
+
+// Process-unique session ids: a monotonic instant mixed with a counter, so
+// two clients in one process (or a restarted process hitting the same
+// server) cannot collide on the server's per-(tenant, session) dedup table.
+uint64_t NewSessionId() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id = (MonotonicMicros() << 16) ^ (counter.fetch_add(1) + 1);
+  return id != 0 ? id : 1;  // 0 means "no session" on the wire
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(std::string host, uint16_t port, ClientOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(std::move(options)),
+      session_id_(NewSessionId()),
+      rng_(options_.rng_seed) {}
+
+StatusOr<std::unique_ptr<RetryingClient>> RetryingClient::Connect(const std::string& host,
+                                                                  uint16_t port,
+                                                                  const ClientOptions& options) {
+  std::unique_ptr<RetryingClient> client(new RetryingClient(host, port, options));
+  Status last = Status::Ok();
+  for (uint32_t attempt = 0; attempt <= options.max_retries; ++attempt) {
+    if (attempt > 0) {
+      client->Backoff(attempt);
+    }
+    last = client->EnsureConnected();
+    if (last.ok()) {
+      return client;
+    }
+  }
+  return last;
+}
+
+bool RetryingClient::IsTransient(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCorruption:  // mangled response stream: resync impossible
+    case StatusCode::kInternal:    // request/response id mismatch
+      return true;
+    default:
+      return false;
+  }
+}
+
+void RetryingClient::Backoff(uint32_t attempt) {
+  uint64_t delay = options_.backoff_initial_ms;
+  for (uint32_t i = 1; i < attempt && delay < options_.backoff_max_ms; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options_.backoff_max_ms);
+  if (options_.backoff_jitter > 0 && delay > 0) {
+    // delay * (1 +/- jitter), deterministic under the seeded rng.
+    const double spread = options_.backoff_jitter * static_cast<double>(delay);
+    const double offset = (rng_.NextDouble() * 2.0 - 1.0) * spread;
+    const double jittered = static_cast<double>(delay) + offset;
+    delay = jittered < 1.0 ? 1 : static_cast<uint64_t>(jittered);
+  }
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+}
+
+Status RetryingClient::EnsureConnected() {
+  if (conn_ != nullptr) {
+    return Status::Ok();
+  }
+  req_to_seq_.clear();  // request ids are per-connection
+  auto conn = Client::Connect(host_, port_, options_);
+  if (!conn.ok()) {
+    return conn.status();
+  }
+  conn_ = std::move(*conn);
+  conn_->SetSession(session_id_);
+  conn_->SetNextSeq(next_seq_);
+  if (ever_connected_) {
+    // Only RE-connects count: the first connection of a client's life is not
+    // a recovery event.
+    ++reconnects_;
+    ReconnectsTotal().Inc();
+    FlightRecorder::Default().Record(FlightEventType::kNetReconnect, reconnects_,
+                                     pending_.size());
+  }
+  ever_connected_ = true;
+  if (hello_done_) {
+    Status s = conn_->Hello(hello_tenant_, hello_token_);
+    if (!s.ok()) {
+      conn_.reset();
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status RetryingClient::Call(RetryMode mode, Opcode op,
+                            const std::function<Status(Client&, bool)>& fn) {
+  Status last = Status::Ok();
+  bool sent_once = false;
+  for (uint32_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      RetriesTotal().Inc();
+      FlightRecorder::Default().Record(FlightEventType::kNetRetry,
+                                       static_cast<uint64_t>(op), attempt);
+      Backoff(attempt);
+    }
+    Status conn_status = EnsureConnected();
+    if (!conn_status.ok()) {
+      last = conn_status;  // connect failures are always retryable
+      continue;
+    }
+    Status s = fn(*conn_, sent_once);
+    if (s.ok() || !IsTransient(s)) {
+      return s;
+    }
+    // Transport failure: the connection is unusable either way.
+    last = s;
+    conn_.reset();
+    sent_once = true;
+    if (mode == RetryMode::kConnectOnly) {
+      return s;  // the request may have reached the server; not safe to resend
+    }
+  }
+  return last;
+}
+
+Status RetryingClient::Hello(uint32_t tenant, std::string_view token) {
+  hello_tenant_ = tenant;
+  hello_token_.assign(token);
+  // Hello is idempotent per fresh connection (EnsureConnected re-runs it);
+  // on an already-authenticated connection a second hello is rejected, so
+  // run it through the resend loop only when it has not succeeded yet.
+  Status s = Call(RetryMode::kResend, Opcode::kHello, [&](Client& c, bool) {
+    return hello_done_ ? Status::Ok() : c.Hello(tenant, std::string_view(hello_token_));
+  });
+  if (s.ok()) {
+    hello_done_ = true;
+  }
+  return s;
+}
+
+Status RetryingClient::Ping() {
+  return Call(RetryMode::kResend, Opcode::kPing, [](Client& c, bool) { return c.Ping(); });
+}
+
+StatusOr<ServerHealth> RetryingClient::Health() {
+  ServerHealth out = ServerHealth::kOk;
+  Status s = Call(RetryMode::kResend, Opcode::kPing, [&](Client& c, bool) {
+    auto result = c.Health();
+    if (!result.ok()) {
+      return result.status();
+    }
+    out = *result;
+    return Status::Ok();
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  return out;
+}
+
+StatusOr<StreamId> RetryingClient::CreateStream(StreamId id, const StreamConfig& config) {
+  StreamId created = 0;
+  // Auto-assigned ids are not idempotent (a resend could create a second
+  // stream); explicit ids are, with kAlreadyExists on a retry meaning the
+  // first attempt won.
+  const RetryMode mode = id == 0 ? RetryMode::kConnectOnly : RetryMode::kResend;
+  Status s = Call(mode, Opcode::kCreateStream, [&](Client& c, bool is_retry) {
+    auto result = c.CreateStream(id, config);
+    if (!result.ok()) {
+      if (is_retry && id != 0 && result.status().code() == StatusCode::kAlreadyExists) {
+        created = id;  // an earlier attempt's request landed
+        return Status::Ok();
+      }
+      return result.status();
+    }
+    created = *result;
+    return Status::Ok();
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  return created;
+}
+
+Status RetryingClient::DeleteStream(StreamId id) {
+  return Call(RetryMode::kResend, Opcode::kDeleteStream, [&](Client& c, bool is_retry) {
+    Status s = c.DeleteStream(id);
+    if (is_retry && s.code() == StatusCode::kNotFound) {
+      return Status::Ok();  // an earlier attempt's request landed
+    }
+    return s;
+  });
+}
+
+StatusOr<std::vector<StreamId>> RetryingClient::ListStreams() {
+  std::vector<StreamId> out;
+  Status s = Call(RetryMode::kResend, Opcode::kListStreams, [&](Client& c, bool) {
+    auto result = c.ListStreams();
+    if (!result.ok()) {
+      return result.status();
+    }
+    out = std::move(*result);
+    return Status::Ok();
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  return out;
+}
+
+Status RetryingClient::Append(StreamId id, Timestamp ts, double value) {
+  // Pin the session seq on the first attempt so every resend carries the
+  // same one and the server's dedup table makes the retry exactly-once.
+  const uint64_t seq = next_seq_++;
+  return Call(RetryMode::kResend, Opcode::kAppend, [&](Client& c, bool) {
+    c.SetNextSeq(seq);
+    return c.Append(id, ts, value);
+  });
+}
+
+Status RetryingClient::AppendBatch(StreamId id, std::span<const Event> events) {
+  const uint64_t seq = next_seq_++;
+  return Call(RetryMode::kResend, Opcode::kAppendBatch, [&](Client& c, bool) {
+    c.SetNextSeq(seq);
+    return c.AppendBatch(id, events);
+  });
+}
+
+StatusOr<WireQueryResult> RetryingClient::Query(StreamId id, const QuerySpec& spec) {
+  std::optional<WireQueryResult> out;
+  Status s = Call(RetryMode::kResend, Opcode::kQuery, [&](Client& c, bool) {
+    auto result = c.Query(id, spec);
+    if (!result.ok()) {
+      return result.status();
+    }
+    out = std::move(*result);
+    return Status::Ok();
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  return std::move(*out);
+}
+
+StatusOr<WireQueryResult> RetryingClient::QueryAggregate(std::span<const StreamId> ids,
+                                                         const QuerySpec& spec) {
+  std::optional<WireQueryResult> out;
+  Status s = Call(RetryMode::kResend, Opcode::kQueryAggregate, [&](Client& c, bool) {
+    auto result = c.QueryAggregate(ids, spec);
+    if (!result.ok()) {
+      return result.status();
+    }
+    out = std::move(*result);
+    return Status::Ok();
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  return std::move(*out);
+}
+
+Status RetryingClient::BeginLandmark(StreamId id, Timestamp ts) {
+  // Not idempotent (a second begin on an open landmark is an error); only
+  // connect-phase failures are retried.
+  return Call(RetryMode::kConnectOnly, Opcode::kBeginLandmark,
+              [&](Client& c, bool) { return c.BeginLandmark(id, ts); });
+}
+
+Status RetryingClient::EndLandmark(StreamId id, Timestamp ts) {
+  return Call(RetryMode::kConnectOnly, Opcode::kEndLandmark,
+              [&](Client& c, bool) { return c.EndLandmark(id, ts); });
+}
+
+Status RetryingClient::Flush() {
+  return Call(RetryMode::kResend, Opcode::kFlush, [](Client& c, bool) { return c.Flush(); });
+}
+
+StatusOr<ScrubReport> RetryingClient::Scrub(bool repair) {
+  std::optional<ScrubReport> out;
+  Status s = Call(RetryMode::kResend, Opcode::kScrub, [&](Client& c, bool) {
+    auto result = c.Scrub(repair);
+    if (!result.ok()) {
+      return result.status();
+    }
+    out = *result;
+    return Status::Ok();
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  return *out;
+}
+
+StatusOr<std::string> RetryingClient::Stats(bool prometheus) {
+  std::optional<std::string> out;
+  Status s = Call(RetryMode::kResend, Opcode::kStats, [&](Client& c, bool) {
+    auto result = c.Stats(prometheus);
+    if (!result.ok()) {
+      return result.status();
+    }
+    out = std::move(*result);
+    return Status::Ok();
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  return std::move(*out);
+}
+
+StatusOr<std::vector<StreamInfo>> RetryingClient::StreamInfos(StreamId id) {
+  std::optional<std::vector<StreamInfo>> out;
+  Status s = Call(RetryMode::kResend, Opcode::kStreamInfo, [&](Client& c, bool) {
+    auto result = c.StreamInfos(id);
+    if (!result.ok()) {
+      return result.status();
+    }
+    out = std::move(*result);
+    return Status::Ok();
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  return std::move(*out);
+}
+
+// ------------------------------------------------------------ pipelined ingest
+
+Status RetryingClient::SendPending(const PendingIngest& p) {
+  conn_->SetNextSeq(p.seq);
+  StatusOr<uint64_t> id = p.op == Opcode::kAppend
+                              ? conn_->SendAppend(p.stream, p.ts, p.value)
+                              : conn_->SendAppendBatch(p.stream, p.events);
+  if (!id.ok()) {
+    return id.status();
+  }
+  req_to_seq_[*id] = p.seq;
+  return Status::Ok();
+}
+
+Status RetryingClient::ReplayPending() {
+  for (const PendingIngest& p : pending_) {
+    SS_RETURN_IF_ERROR(SendPending(p));
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> RetryingClient::SendAppend(StreamId id, Timestamp ts, double value) {
+  PendingIngest p;
+  p.seq = next_seq_++;
+  p.op = Opcode::kAppend;
+  p.stream = id;
+  p.ts = ts;
+  p.value = value;
+  pending_.push_back(p);
+  // A failed send is absorbed: the request is pending and ReceiveAck's
+  // recovery loop replays it. The caller only needs the seq.
+  if (conn_ != nullptr && !SendPending(pending_.back()).ok()) {
+    conn_.reset();
+  }
+  return p.seq;
+}
+
+StatusOr<uint64_t> RetryingClient::SendAppendBatch(StreamId id, std::span<const Event> events) {
+  PendingIngest p;
+  p.seq = next_seq_++;
+  p.op = Opcode::kAppendBatch;
+  p.stream = id;
+  p.events.assign(events.begin(), events.end());
+  pending_.push_back(std::move(p));
+  if (conn_ != nullptr && !SendPending(pending_.back()).ok()) {
+    conn_.reset();
+  }
+  return pending_.back().seq;
+}
+
+StatusOr<RetryingClient::Ack> RetryingClient::ReceiveAck() {
+  if (pending_.empty()) {
+    return Status::FailedPrecondition("no pipelined ingest in flight");
+  }
+  Status last = Status::Ok();
+  for (uint32_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      RetriesTotal().Inc();
+      FlightRecorder::Default().Record(FlightEventType::kNetRetry,
+                                       static_cast<uint64_t>(Opcode::kAppend), attempt);
+      Backoff(attempt);
+    }
+    if (conn_ == nullptr) {
+      Status s = EnsureConnected();
+      if (s.ok()) {
+        s = ReplayPending();
+      }
+      if (!s.ok()) {
+        conn_.reset();
+        last = s;
+        continue;
+      }
+    }
+    auto ack = conn_->ReceiveAck();
+    if (!ack.ok()) {
+      if (!IsTransient(ack.status())) {
+        return ack.status();
+      }
+      last = ack.status();
+      conn_.reset();
+      continue;
+    }
+    auto it = req_to_seq_.find(ack->request_id);
+    if (it == req_to_seq_.end()) {
+      // An ack for a request id we no longer track (e.g. from before a
+      // replay). Ignore and read the next frame without burning an attempt.
+      --attempt;
+      continue;
+    }
+    Ack out;
+    out.seq = it->second;
+    out.status = ack->status;
+    req_to_seq_.erase(it);
+    for (auto p = pending_.begin(); p != pending_.end(); ++p) {
+      if (p->seq == out.seq) {
+        pending_.erase(p);
+        break;
+      }
+    }
+    return out;
+  }
+  return last;
+}
+
+}  // namespace ss::net

@@ -1,0 +1,162 @@
+// Resilient wrapper around net::Client: bounded per-RPC deadlines, automatic
+// reconnect + re-hello, exponential backoff with deterministic jitter, and
+// exactly-once pipelined ingest via the (session, seq) replay-dedup contract
+// (DESIGN.md §15).
+//
+// Retry discipline:
+//   - Transport failures (kIoError, kDeadlineExceeded, kCorruption of a
+//     response, kInternal id mismatch) tear the connection down; the next
+//     attempt reconnects (with backoff) and re-runs the hello handshake.
+//   - Read-only / idempotent RPCs (Ping, ListStreams, Query, QueryAggregate,
+//     Stats, StreamInfos, Flush, Scrub) are always safe to resend.
+//   - Ingest (Append/AppendBatch, sync or pipelined) is made idempotent by
+//     the session header fields: every ingest request carries this client's
+//     session id and a monotone seq, the server remembers the highest
+//     applied seq per (tenant, session), and a replayed seq is acked without
+//     re-applying. A reconnect-and-resend after a lost ack cannot
+//     double-apply an event.
+//   - CreateStream with an explicit id resends and treats kAlreadyExists on
+//     a retry as success (the first attempt won); DeleteStream likewise maps
+//     kNotFound on a retry to success. CreateStream with auto-assigned id
+//     and the landmark RPCs are NOT resent once the request may have reached
+//     the server — only connect-phase failures are retried for those.
+//   - Application-level errors from the server are returned immediately.
+//
+// Every retry/reconnect bumps ss_net_retries_total / ss_net_reconnects_total
+// and records a flight event, so recovery paths are observable in prod.
+//
+// NOT thread-safe (same contract as Client): one RetryingClient per thread.
+#ifndef SUMMARYSTORE_SRC_NET_RETRY_CLIENT_H_
+#define SUMMARYSTORE_SRC_NET_RETRY_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/stream.h"
+#include "src/net/client.h"
+#include "src/random/rng.h"
+
+namespace ss::net {
+
+class RetryingClient {
+ public:
+  // Establishes the first connection (retrying with backoff up to
+  // max_retries if the server is not up yet).
+  static StatusOr<std::unique_ptr<RetryingClient>> Connect(const std::string& host,
+                                                           uint16_t port,
+                                                           const ClientOptions& options = {});
+
+  RetryingClient(const RetryingClient&) = delete;
+  RetryingClient& operator=(const RetryingClient&) = delete;
+
+  // Authenticates and remembers the credentials: every automatic reconnect
+  // re-runs the hello before anything else.
+  Status Hello(uint32_t tenant, std::string_view token);
+
+  // --- synchronous RPCs (same surface as Client) ---------------------------
+  Status Ping();
+  StatusOr<ServerHealth> Health();
+  StatusOr<StreamId> CreateStream(StreamId id, const StreamConfig& config);
+  Status DeleteStream(StreamId id);
+  StatusOr<std::vector<StreamId>> ListStreams();
+  Status Append(StreamId id, Timestamp ts, double value);
+  Status AppendBatch(StreamId id, std::span<const Event> events);
+  StatusOr<WireQueryResult> Query(StreamId id, const QuerySpec& spec);
+  StatusOr<WireQueryResult> QueryAggregate(std::span<const StreamId> ids, const QuerySpec& spec);
+  Status BeginLandmark(StreamId id, Timestamp ts);
+  Status EndLandmark(StreamId id, Timestamp ts);
+  Status Flush();
+  StatusOr<ScrubReport> Scrub(bool repair);
+  StatusOr<std::string> Stats(bool prometheus);
+  StatusOr<std::vector<StreamInfo>> StreamInfos(StreamId id);
+
+  // --- pipelined ingest ----------------------------------------------------
+  // Queue an ingest request without waiting for its ack; returns the SESSION
+  // SEQ identifying it (stable across reconnect replays, unlike the per-
+  // connection request id). A send failure is absorbed: the request stays
+  // pending and is replayed by the next ReceiveAck's reconnect.
+  StatusOr<uint64_t> SendAppend(StreamId id, Timestamp ts, double value);
+  StatusOr<uint64_t> SendAppendBatch(StreamId id, std::span<const Event> events);
+
+  struct Ack {
+    uint64_t seq = 0;
+    Status status = Status::Ok();  // the server's verdict for that request
+  };
+  // Blocks for the next ingest ack, transparently reconnecting and replaying
+  // the un-acked tail on transport failure. Fails only once max_retries
+  // consecutive recovery attempts made no progress.
+  StatusOr<Ack> ReceiveAck();
+  size_t inflight() const { return pending_.size(); }
+
+  // --- introspection -------------------------------------------------------
+  uint64_t retries() const { return retries_; }
+  uint64_t reconnects() const { return reconnects_; }
+  uint64_t session_id() const { return session_id_; }
+
+ private:
+  RetryingClient(std::string host, uint16_t port, ClientOptions options);
+
+  // How a sync RPC may be re-attempted after a transport failure.
+  enum class RetryMode {
+    kResend,       // idempotent (or made so by session seq): full retry
+    kConnectOnly,  // only failures BEFORE the request was sent are retried
+  };
+
+  // Runs `fn` against a live connection with the retry/backoff/reconnect
+  // loop. `fn(client, is_retry)` returns the RPC status; is_retry is true on
+  // every attempt after the first successful send.
+  Status Call(RetryMode mode, Opcode op,
+              const std::function<Status(Client&, bool is_retry)>& fn);
+
+  // Connects (if needed) and replays hello + session state. Does NOT retry;
+  // the Call/ReceiveAck loops own backoff.
+  Status EnsureConnected();
+  void Backoff(uint32_t attempt);
+  static bool IsTransient(const Status& s);
+
+  // Replays every pending ingest request (in seq order) on a fresh
+  // connection. Caller guarantees conn_ is live.
+  Status ReplayPending();
+
+  struct PendingIngest {
+    uint64_t seq = 0;
+    Opcode op = Opcode::kAppend;
+    StreamId stream = 0;
+    Timestamp ts = 0;   // kAppend
+    double value = 0;   // kAppend
+    std::vector<Event> events;  // kAppendBatch
+  };
+  // Sends one pending request on conn_ and records its request-id mapping.
+  Status SendPending(const PendingIngest& p);
+
+  const std::string host_;
+  const uint16_t port_;
+  const ClientOptions options_;
+
+  std::unique_ptr<Client> conn_;
+  bool ever_connected_ = false;
+  bool hello_done_ = false;
+  uint32_t hello_tenant_ = 0;
+  std::string hello_token_;
+
+  uint64_t session_id_ = 0;
+  uint64_t next_seq_ = 1;  // session-scoped, survives reconnects
+
+  std::deque<PendingIngest> pending_;  // un-acked ingest, ascending seq
+  std::unordered_map<uint64_t, uint64_t> req_to_seq_;  // current connection only
+
+  Rng rng_;
+  uint64_t retries_ = 0;
+  uint64_t reconnects_ = 0;
+};
+
+}  // namespace ss::net
+
+#endif  // SUMMARYSTORE_SRC_NET_RETRY_CLIENT_H_

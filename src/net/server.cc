@@ -11,6 +11,7 @@
 #include <deque>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 
 namespace ss::net {
@@ -66,6 +67,19 @@ LatencyHistogram& AckBatch() {
 
 Counter& AuthFailTotal() {
   static Counter& c = MetricRegistry::Default().GetCounter("ss_net_auth_fail_total");
+  return c;
+}
+Counter& DeadlineExceededTotal() {
+  static Counter& c = MetricRegistry::Default().GetCounter("ss_net_deadline_exceeded_total");
+  return c;
+}
+Counter& DupSuppressedTotal() {
+  static Counter& c = MetricRegistry::Default().GetCounter("ss_net_dup_suppressed_total");
+  return c;
+}
+Counter& SlowPeerDisconnects() {
+  static Counter& c =
+      MetricRegistry::Default().GetCounter("ss_net_slow_peer_disconnects_total");
   return c;
 }
 
@@ -131,6 +145,37 @@ struct Server::TenantState {
   std::atomic<uint64_t> resident_bytes{0};
   std::atomic<uint64_t> events_since_recount{0};
 
+  // Idempotent ingest replay dedup (DESIGN.md §15): highest applied seq per
+  // client session. The per-session mutex is held across check + apply +
+  // update, so a retransmit racing its original (the old connection's worker
+  // may still be executing when the replay arrives on a fresh connection)
+  // cannot double-apply. shared_ptr so a looked-up session survives eviction.
+  struct SessionState {
+    std::mutex mu;
+    uint64_t last_seq = 0;
+  };
+  std::mutex sessions_mu;
+  std::map<uint64_t, std::shared_ptr<SessionState>> sessions;
+
+  std::shared_ptr<SessionState> GetSession(uint64_t session_id) {
+    std::lock_guard<std::mutex> lock(sessions_mu);
+    auto it = sessions.find(session_id);
+    if (it != sessions.end()) {
+      return it->second;
+    }
+    // Bounded: a hostile client minting fresh session ids must not grow this
+    // map without limit. Evicting an entry only weakens dedup for a session
+    // idle long enough to age out of 4096 — a replay there degrades to the
+    // legacy at-least-once behavior, never to data loss.
+    constexpr size_t kMaxSessions = 4096;
+    if (sessions.size() >= kMaxSessions) {
+      sessions.erase(sessions.begin());
+    }
+    auto session = std::make_shared<SessionState>();
+    sessions.emplace(session_id, session);
+    return session;
+  }
+
   // Tenant-labeled series of the ss_net admission metrics.
   Counter* requests = nullptr;
   Counter* shed = nullptr;
@@ -169,6 +214,10 @@ struct Server::Connection {
   bool want_write = false;  // EPOLLOUT armed
   bool want_read = true;    // current EPOLLIN interest (mirrors !blocked)
   bool closed = false;      // fd closed; drop any late responses
+  // Slow-peer stall clock (under out_mu): MonotonicMicros() instant `out`
+  // first exceeded ServerOptions::max_conn_buffer_bytes, 0 while under the
+  // bound. The loop disconnects once it ages past slow_peer_timeout_ms.
+  uint64_t stall_since_us = 0;
 
   // FIFO of dispatched-but-unexecuted requests. At most one pool worker
   // drains it at a time (exec_running), so pipelined requests from this
@@ -178,6 +227,9 @@ struct Server::Connection {
     std::string payload;
     TenantState* tenant = nullptr;  // admission-time tenant of this request
     uint64_t admitted = 0;          // ingest events admitted for this request
+    // Absolute expiry of the request's wire deadline (0 = none), stamped at
+    // admission so queue time counts against the client's budget.
+    uint64_t deadline_at = 0;
     // Pre-encoded response frame (shed rejections, hello acks, auth errors):
     // non-empty means "send this instead of executing". Routing these through
     // the queue keeps even loop-thread-generated responses in per-connection
@@ -275,8 +327,13 @@ void Server::Stop() {
   stopping_.store(true, std::memory_order_release);
   Wake();
   // Drain in-flight requests; responses land in per-connection buffers and
-  // the still-running loop writes them out.
-  pool_.reset();
+  // the still-running loop writes them out. Drain (not reset): the loop
+  // thread still dereferences pool_ to submit work for late-arriving frames,
+  // which now runs inline; the pointer itself dies only after the join.
+  // Null when Init() failed before the pool came up.
+  if (pool_ != nullptr) {
+    pool_->Drain();
+  }
   // Flush + ack the ingest tail, then retire the batcher.
   {
     std::lock_guard<std::mutex> lock(ack_mu_);
@@ -292,6 +349,7 @@ void Server::Stop() {
   if (loop_thread_.joinable()) {
     loop_thread_.join();
   }
+  pool_.reset();
 }
 
 void Server::Abort() {
@@ -331,7 +389,12 @@ void Server::LoopThread() {
   std::vector<struct epoll_event> events(64);
   bool listener_closed = false;
   for (;;) {
-    int n = ::epoll_wait(epoll_.get(), events.data(), static_cast<int>(events.size()), -1);
+    // Timed waits only while some connection is over its output bound: stall
+    // clocks must advance even when no socket event ever arrives (the
+    // defining behavior of a peer that stopped reading).
+    const int timeout_ms = over_bound_.load(std::memory_order_acquire) > 0 ? 50 : -1;
+    int n = ::epoll_wait(epoll_.get(), events.data(), static_cast<int>(events.size()),
+                         timeout_ms);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -373,6 +436,9 @@ void Server::LoopThread() {
       (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, listener_.get(), nullptr);
       listener_.Reset();
       listener_closed = true;
+    }
+    if (over_bound_.load(std::memory_order_acquire) > 0) {
+      SweepSlowPeers();
     }
     if (recheck_blocked_.exchange(false, std::memory_order_acq_rel)) {
       RetryBlocked();
@@ -528,6 +594,15 @@ void Server::ProcessInput(const std::shared_ptr<Connection>& conn) {
       break;
     }
     uint64_t admitted = 0;
+    // Wire deadline → absolute expiry, stamped at admission so time spent in
+    // the exec queue counts against the client's budget. deadline_ms == 0
+    // with the flag present means "already expired" (a deterministic hook:
+    // the client's budget ran out before the frame finished encoding).
+    uint64_t deadline_at = 0;
+    if (header->has_deadline) {
+      deadline_at =
+          header->deadline_ms == 0 ? 1 : MonotonicMicros() + header->deadline_ms * 1000;
+    }
     const Opcode op = header->op;
     if (op == Opcode::kHello) {
       // Authenticate on the loop thread, so later frames in this same buffer
@@ -613,7 +688,7 @@ void Server::ProcessInput(const std::shared_ptr<Connection>& conn) {
     {
       std::lock_guard<std::mutex> lock(conn->exec_mu);
       conn->exec_queue.push_back(
-          Connection::PendingExec{std::string(scan->payload), tenant, admitted, {}});
+          Connection::PendingExec{std::string(scan->payload), tenant, admitted, deadline_at, {}});
       if (!conn->exec_running) {
         conn->exec_running = true;
         start_worker = true;
@@ -756,6 +831,7 @@ void Server::FlushOutput(const std::shared_ptr<Connection>& conn) {
     break;  // EAGAIN (retry on EPOLLOUT) or a dead peer (EPOLLERR follows)
   }
   conn->out.erase(0, off);
+  UpdateStallLocked(conn.get());
   const bool need_out = !conn->out.empty();
   if (need_out != conn->want_write) {
     conn->want_write = need_out;
@@ -774,6 +850,10 @@ void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
       return;
     }
     conn->closed = true;
+    if (conn->stall_since_us != 0) {
+      conn->stall_since_us = 0;
+      over_bound_.fetch_sub(1, std::memory_order_acq_rel);
+    }
     (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
     {
       std::lock_guard<std::mutex> conns_lock(conns_mu_);
@@ -814,6 +894,7 @@ void Server::SendResponse(const std::shared_ptr<Connection>& conn, std::string f
       }
       conn->out.erase(0, off);
     }
+    UpdateStallLocked(conn.get());
     need_loop = !conn->out.empty() && !conn->want_write;
   }
   if (need_loop) {
@@ -822,6 +903,41 @@ void Server::SendResponse(const std::shared_ptr<Connection>& conn, std::string f
       pending_writes_.push_back(conn);
     }
     Wake();
+  }
+}
+
+void Server::UpdateStallLocked(Connection* conn) {
+  if (options_.max_conn_buffer_bytes == 0 || conn->closed) {
+    return;
+  }
+  const bool over = conn->out.size() > options_.max_conn_buffer_bytes;
+  if (over && conn->stall_since_us == 0) {
+    conn->stall_since_us = MonotonicMicros();
+    if (over_bound_.fetch_add(1, std::memory_order_acq_rel) == 0) {
+      Wake();  // break the loop out of its indefinite wait into timed waits
+    }
+  } else if (!over && conn->stall_since_us != 0) {
+    conn->stall_since_us = 0;
+    over_bound_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void Server::SweepSlowPeers() {
+  const uint64_t now = MonotonicMicros();
+  const uint64_t limit_us = options_.slow_peer_timeout_ms * 1000;
+  std::vector<std::pair<std::shared_ptr<Connection>, uint64_t>> expired;
+  for (auto& [fd, conn] : conns_) {
+    (void)fd;
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->stall_since_us != 0 && now - conn->stall_since_us >= limit_us) {
+      expired.emplace_back(conn, conn->out.size());
+    }
+  }
+  for (const auto& [conn, buffered] : expired) {
+    SlowPeerDisconnects().Inc();
+    FlightRecorder::Default().Record(FlightEventType::kNetSlowPeerDisconnect,
+                                     static_cast<uint64_t>(conn->fd.get()), buffered);
+    CloseConnection(conn);
   }
 }
 
@@ -858,12 +974,13 @@ void Server::RunRequests(const std::shared_ptr<Connection>& conn) {
       ReleaseIngest(task.tenant, task.admitted);
       continue;
     }
-    ExecuteRequest(conn, std::move(task.payload), task.tenant, task.admitted);
+    ExecuteRequest(conn, std::move(task.payload), task.tenant, task.admitted, task.deadline_at);
   }
 }
 
 void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn, std::string payload,
-                            TenantState* tenant, uint64_t admitted_events) {
+                            TenantState* tenant, uint64_t admitted_events,
+                            uint64_t deadline_at_us) {
   Reader reader(payload);
   auto header = DecodeRequestHeader(reader);
   if (!header.ok()) {
@@ -874,6 +991,25 @@ void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn, std::string
   }
   RequestsFor(header->op).Inc();
   tenant->requests->Inc();
+  if (deadline_at_us != 0 && MonotonicMicros() >= deadline_at_us) {
+    // The client's budget expired while this sat in the exec queue: answer a
+    // typed rejection without touching the store. The client has long since
+    // given up locally; doing the work would only add load exactly when the
+    // server is too slow to be worth talking to.
+    DeadlineExceededTotal().Inc();
+    RequestErrors().Inc();
+    FlightRecorder::Default().Record(FlightEventType::kNetDeadlineExceeded,
+                                     static_cast<uint64_t>(header->op), header->deadline_ms);
+    Writer w;
+    w.PutVarint(header->request_id);
+    EncodeStatus(Status::DeadlineExceeded("deadline expired before execution"), w);
+    std::string frame;
+    if (AppendFrame(w.data(), &frame).ok()) {
+      SendResponse(conn, std::move(frame));
+    }
+    ReleaseIngest(tenant, admitted_events);
+    return;
+  }
   ScopedTimer timer(RequestUsFor(header->op));
   bool defer_ack = false;
   Status ingest_status = Status::Ok();
@@ -974,6 +1110,17 @@ std::string Server::HandleRequest(TenantState* tenant, const RequestHeader& head
   switch (header.op) {
     case Opcode::kPing: {
       EncodeStatus(Status::Ok(), resp);
+      // Trailing health byte (DESIGN.md §15): 0 = ok, 1 = poisoned (the
+      // backend is rejecting writes until reopen), 2 = draining (shutdown
+      // imminent; fail over now). Old clients ignore trailing response
+      // bytes; old servers send none and clients decode that as ok.
+      uint8_t health = 0;
+      if (store_->Poisoned()) {
+        health = 1;
+      } else if (draining()) {
+        health = 2;
+      }
+      resp.PutU8(health);
       return resp.Release();
     }
     case Opcode::kCreateStream: {
@@ -1095,7 +1242,29 @@ std::string Server::HandleRequest(TenantState* tenant, const RequestHeader& head
         s = CheckByteQuota(tenant, 1);
       }
       if (s.ok()) {
+        // Session replay dedup (DESIGN.md §15). The session lock spans
+        // check + apply + update: a replay racing its original on another
+        // worker serializes here instead of double-applying.
+        std::shared_ptr<TenantState::SessionState> session;
+        std::unique_lock<std::mutex> session_lock;
+        if (header.has_session) {
+          session = tenant->GetSession(header.session_id);
+          session_lock = std::unique_lock<std::mutex>(session->mu);
+          if (header.seq <= session->last_seq) {
+            // Already applied: ack OK without re-applying. defer_ack stays
+            // set, so even the duplicate's ack rides a covering flush.
+            DupSuppressedTotal().Inc();
+            FlightRecorder::Default().Record(FlightEventType::kNetDupSuppressed,
+                                             header.session_id, header.seq);
+            *ingest_status = Status::Ok();
+            EncodeStatus(Status::Ok(), resp);
+            return resp.Release();
+          }
+        }
         s = store_->Append(target, *ts, *value);
+        if (s.ok() && session != nullptr) {
+          session->last_seq = header.seq;
+        }
       }
       *ingest_status = s;
       if (!s.ok()) {
@@ -1122,7 +1291,26 @@ std::string Server::HandleRequest(TenantState* tenant, const RequestHeader& head
         s = CheckByteQuota(tenant, events->size());
       }
       if (s.ok()) {
+        // Same session replay dedup as kAppend; one seq covers the whole
+        // batch, which applies atomically from the session's point of view.
+        std::shared_ptr<TenantState::SessionState> session;
+        std::unique_lock<std::mutex> session_lock;
+        if (header.has_session) {
+          session = tenant->GetSession(header.session_id);
+          session_lock = std::unique_lock<std::mutex>(session->mu);
+          if (header.seq <= session->last_seq) {
+            DupSuppressedTotal().Inc();
+            FlightRecorder::Default().Record(FlightEventType::kNetDupSuppressed,
+                                             header.session_id, header.seq);
+            *ingest_status = Status::Ok();
+            EncodeStatus(Status::Ok(), resp);
+            return resp.Release();
+          }
+        }
         s = store_->AppendBatch(target, *events);
+        if (s.ok() && session != nullptr) {
+          session->last_seq = header.seq;
+        }
       }
       *ingest_status = s;
       if (!s.ok()) {

@@ -64,6 +64,12 @@ struct ServerOptions {
   Backpressure backpressure = Backpressure::kBlock;
   // Withhold ingest acks until a covering SummaryStore::Flush completes.
   bool durable_acks = true;
+  // Slow-peer defense (DESIGN.md §15): a connection whose outbound response
+  // buffer stays above max_conn_buffer_bytes for slow_peer_timeout_ms is
+  // disconnected (ss_net_slow_peer_disconnects_total), so one client that
+  // stops reading cannot pin unbounded server memory. 0 = unbounded (legacy).
+  size_t max_conn_buffer_bytes = 0;
+  uint64_t slow_peer_timeout_ms = 5000;
   // Multi-tenant mode (DESIGN.md §14): non-null makes kHello mandatory,
   // scopes every stream id to the authenticated tenant's namespace, and
   // splits the ingest budget into per-tenant fair shares. Null keeps the
@@ -92,6 +98,13 @@ class Server {
   // pending acks un-flushed and un-answered. Clients see a reset; appends
   // they never got an ack for are allowed to be lost. Idempotent.
   void Abort();
+
+  // Flags the server as draining: it keeps serving, but kPing health probes
+  // answer "draining" so load balancers / retrying clients fail over before
+  // the actual Stop(). sserver calls this on SIGTERM, sleeps the drain grace
+  // period, then stops.
+  void BeginDrain() { draining_.store(true, std::memory_order_release); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
 
   // Introspection for tests.
   size_t active_connections() const;
@@ -126,12 +139,22 @@ class Server {
   // Drains the connection's FIFO request queue; at most one worker runs this
   // per connection at a time, so pipelined requests execute in arrival order.
   void RunRequests(const std::shared_ptr<Connection>& conn);
+  // `deadline_at_us` is the absolute MonotonicMicros() instant the request's
+  // wire deadline expires (0 = none); ExecuteRequest answers
+  // kDeadlineExceeded without touching the store if it is already past.
   void ExecuteRequest(const std::shared_ptr<Connection>& conn, std::string payload,
-                      TenantState* tenant, uint64_t admitted_events);
+                      TenantState* tenant, uint64_t admitted_events, uint64_t deadline_at_us);
   std::string HandleRequest(TenantState* tenant, const RequestHeader& header, Reader& body,
                             bool* defer_ack, Status* ingest_status);
   void SendResponse(const std::shared_ptr<Connection>& conn, std::string frame);
   void ReleaseIngest(TenantState* tenant, uint64_t events);
+  // Slow-peer bookkeeping, called with conn->out_mu held after conn->out
+  // changes size: starts/clears the stall clock and maintains the global
+  // over-bound count that switches the loop to timed epoll waits.
+  void UpdateStallLocked(Connection* conn);
+  // Loop thread: disconnects every connection whose stall clock has exceeded
+  // slow_peer_timeout_ms.
+  void SweepSlowPeers();
 
   // --- multi-tenancy (loop thread unless noted) -----------------------------
   bool multi_tenant() const { return options_.tenants != nullptr; }
@@ -189,6 +212,12 @@ class Server {
   std::vector<PendingAck> pending_acks_;
   bool ack_stop_ = false;
 
+  // Connections currently holding more than max_conn_buffer_bytes of queued
+  // output. Non-zero switches the loop to timed epoll waits so stall clocks
+  // are checked even when no socket events arrive.
+  std::atomic<size_t> over_bound_{0};
+
+  std::atomic<bool> draining_{false};   // health probes answer "draining"
   std::atomic<bool> stopping_{false};   // stop accepting + dispatching
   std::atomic<bool> loop_stop_{false};  // loop should flush/close and exit
   std::atomic<bool> abort_{false};      // hard kill: no final flush, no acks

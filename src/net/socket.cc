@@ -10,6 +10,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 
 namespace ss::net {
@@ -19,18 +22,34 @@ Status Errno(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
 }
 
-// Waits (indefinitely) until `fd` is ready for the given poll events,
-// retrying EINTR.
-Status PollFor(int fd, short events) {
-  struct pollfd pfd;
-  pfd.fd = fd;
-  pfd.events = events;
+std::atomic<NetOps*> g_net_ops{nullptr};
+
+// Waits until `fd` is ready for the given poll events, retrying EINTR.
+// deadline_us == 0 waits forever; otherwise kDeadlineExceeded once the
+// absolute MonotonicMicros() instant passes.
+Status PollFor(int fd, short events, uint64_t deadline_us = 0) {
   for (;;) {
-    int rc = ::poll(&pfd, 1, -1);
+    int timeout_ms = -1;
+    if (deadline_us != 0) {
+      const uint64_t now = MonotonicMicros();
+      if (now >= deadline_us) {
+        return Status::DeadlineExceeded("deadline expired while waiting on socket");
+      }
+      // Round up so a sub-millisecond remainder still gets one bounded wait.
+      const uint64_t remaining_ms = (deadline_us - now + 999) / 1000;
+      timeout_ms = static_cast<int>(std::min<uint64_t>(remaining_ms, 60'000));
+    }
+    int rc = GetNetOps().PollOne(fd, events, timeout_ms);
     if (rc > 0) {
       return Status::Ok();
     }
-    if (rc < 0 && errno != EINTR) {
+    if (rc == 0) {
+      if (deadline_us == 0) {
+        continue;  // spurious zero without a deadline; wait again
+      }
+      return Status::DeadlineExceeded("deadline expired while waiting on socket");
+    }
+    if (errno != EINTR) {
       return Errno("poll");
     }
   }
@@ -38,11 +57,47 @@ Status PollFor(int fd, short events) {
 
 }  // namespace
 
+int NetOps::Connect(int fd, const struct sockaddr* addr, unsigned int addrlen) {
+  return ::connect(fd, addr, static_cast<socklen_t>(addrlen));
+}
+
+long NetOps::Send(int fd, const void* buf, size_t len) {
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+long NetOps::Recv(int fd, void* buf, size_t len) { return ::recv(fd, buf, len, 0); }
+
+int NetOps::PollOne(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  return ::poll(&pfd, 1, timeout_ms);
+}
+
+int NetOps::Close(int fd) { return ::close(fd); }
+
+void SetNetOpsForTest(NetOps* ops) { g_net_ops.store(ops, std::memory_order_release); }
+
+NetOps& GetNetOps() {
+  static NetOps default_ops;
+  NetOps* ops = g_net_ops.load(std::memory_order_acquire);
+  return ops != nullptr ? *ops : default_ops;
+}
+
+uint64_t MonotonicMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
 void Fd::Reset() {
   if (fd_ >= 0) {
     // POSIX leaves the fd state unspecified after EINTR from close; retrying
     // on Linux is harmless (the fd is gone either way) and EBADF is ignored.
-    while (::close(fd_) < 0 && errno == EINTR) {
+    // Routed through NetOps so fault schedules can unregister the fd before
+    // the kernel recycles its number.
+    while (GetNetOps().Close(fd_) < 0 && errno == EINTR) {
     }
     fd_ = -1;
   }
@@ -80,7 +135,9 @@ StatusOr<uint16_t> LocalPort(int fd) {
   return ntohs(addr.sin_port);
 }
 
-StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port) {
+namespace {
+
+StatusOr<struct sockaddr_in> ResolveHost(const std::string& host, uint16_t port) {
   struct sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -98,12 +155,20 @@ StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port) {
     addr.sin_addr = reinterpret_cast<struct sockaddr_in*>(res->ai_addr)->sin_addr;
     ::freeaddrinfo(res);
   }
+  return addr;
+}
+
+}  // namespace
+
+StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port) {
+  SS_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveHost(host, port));
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) {
     return Errno("socket");
   }
   for (;;) {
-    if (::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) == 0) {
+    if (GetNetOps().Connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                            sizeof(addr)) == 0) {
       break;
     }
     if (errno == EINTR) {
@@ -111,6 +176,52 @@ StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port) {
     }
     return Errno("connect " + host + ":" + std::to_string(port));
   }
+  SetNoDelay(fd.get());
+  return fd;
+}
+
+StatusOr<Fd> ConnectTcpTimeout(const std::string& host, uint16_t port, uint64_t timeout_ms) {
+  if (timeout_ms == 0) {
+    return ConnectTcp(host, port);
+  }
+  SS_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveHost(host, port));
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Errno("socket");
+  }
+  SS_RETURN_IF_ERROR(SetNonBlocking(fd.get(), true));
+  const uint64_t deadline_us = MonotonicMicros() + timeout_ms * 1000;
+  for (;;) {
+    if (GetNetOps().Connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                            sizeof(addr)) == 0) {
+      break;  // connected immediately (loopback often does)
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EINPROGRESS || errno == EALREADY) {
+      Status ready = PollFor(fd.get(), POLLOUT, deadline_us);
+      if (!ready.ok()) {
+        return ready.code() == StatusCode::kDeadlineExceeded
+                   ? Status::DeadlineExceeded("connect " + host + ":" + std::to_string(port) +
+                                              " timed out after " + std::to_string(timeout_ms) +
+                                              " ms")
+                   : ready;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+        return Errno("getsockopt(SO_ERROR)");
+      }
+      if (err != 0) {
+        errno = err;
+        return Errno("connect " + host + ":" + std::to_string(port));
+      }
+      break;
+    }
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  SS_RETURN_IF_ERROR(SetNonBlocking(fd.get(), false));
   SetNoDelay(fd.get());
   return fd;
 }
@@ -132,10 +243,17 @@ void SetNoDelay(int fd) {
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-Status WriteFully(int fd, std::string_view data) {
+Status WriteFully(int fd, std::string_view data) { return WriteFullyDeadline(fd, data, 0); }
+
+Status WriteFullyDeadline(int fd, std::string_view data, uint64_t deadline_us) {
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (deadline_us != 0) {
+      // The fd is usually blocking; a full send buffer would then block past
+      // any deadline. Wait for writability first, bounded.
+      SS_RETURN_IF_ERROR(PollFor(fd, POLLOUT, deadline_us));
+    }
+    long n = GetNetOps().Send(fd, data.data() + off, data.size() - off);
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;
@@ -144,7 +262,7 @@ Status WriteFully(int fd, std::string_view data) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      SS_RETURN_IF_ERROR(PollFor(fd, POLLOUT));
+      SS_RETURN_IF_ERROR(PollFor(fd, POLLOUT, deadline_us));
       continue;
     }
     return Errno("send");
@@ -153,8 +271,17 @@ Status WriteFully(int fd, std::string_view data) {
 }
 
 StatusOr<size_t> ReadSome(int fd, char* buf, size_t n) {
+  return ReadSomeDeadline(fd, buf, n, 0);
+}
+
+StatusOr<size_t> ReadSomeDeadline(int fd, char* buf, size_t n, uint64_t deadline_us) {
   for (;;) {
-    ssize_t r = ::recv(fd, buf, n, 0);
+    if (deadline_us != 0) {
+      // Readiness first: a blocking fd would otherwise sit in recv forever
+      // against a silent (black-holed) peer.
+      SS_RETURN_IF_ERROR(PollFor(fd, POLLIN, deadline_us));
+    }
+    long r = GetNetOps().Recv(fd, buf, n);
     if (r >= 0) {
       return static_cast<size_t>(r);
     }
@@ -162,17 +289,19 @@ StatusOr<size_t> ReadSome(int fd, char* buf, size_t n) {
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      SS_RETURN_IF_ERROR(PollFor(fd, POLLIN));
+      SS_RETURN_IF_ERROR(PollFor(fd, POLLIN, deadline_us));
       continue;
     }
     return Errno("recv");
   }
 }
 
-Status ReadFully(int fd, char* buf, size_t n) {
+Status ReadFully(int fd, char* buf, size_t n) { return ReadFullyDeadline(fd, buf, n, 0); }
+
+Status ReadFullyDeadline(int fd, char* buf, size_t n, uint64_t deadline_us) {
   size_t off = 0;
   while (off < n) {
-    SS_ASSIGN_OR_RETURN(size_t r, ReadSome(fd, buf + off, n - off));
+    SS_ASSIGN_OR_RETURN(size_t r, ReadSomeDeadline(fd, buf + off, n - off, deadline_us));
     if (r == 0) {
       return Status::IoError("connection closed mid-read (eof)");
     }

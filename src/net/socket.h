@@ -2,6 +2,11 @@
 // fd lifetime (RAII), listen/connect, and read/write loops that retry EINTR
 // and handle partial transfers — every byte of socket I/O in src/net goes
 // through these so the retry discipline lives in exactly one place.
+//
+// All client-side syscalls route through a process-pluggable NetOps seam
+// (the network analogue of storage's FileOps/FaultFs): tests install a
+// FaultNet (src/net/fault_net.h) to deterministically sever, stall, or
+// throttle connections at exact frame boundaries.
 #ifndef SUMMARYSTORE_SRC_NET_SOCKET_H_
 #define SUMMARYSTORE_SRC_NET_SOCKET_H_
 
@@ -11,7 +16,35 @@
 
 #include "src/common/status.h"
 
+struct sockaddr;  // <sys/socket.h>; kept out of this header on purpose
+
 namespace ss::net {
+
+// Syscall-level hooks for client-side socket I/O. The default implementation
+// calls straight through to the kernel; FaultNet wraps it with deterministic
+// fault schedules. Implementations must be thread-safe.
+class NetOps {
+ public:
+  virtual ~NetOps() = default;
+
+  // ::connect(2) driven to completion (EINTR handled by the caller's loop).
+  virtual int Connect(int fd, const struct sockaddr* addr, unsigned int addrlen);
+  // ::send(2) with MSG_NOSIGNAL. Returns bytes sent or -1 with errno set.
+  virtual long Send(int fd, const void* buf, size_t len);
+  // ::recv(2). Returns bytes read (0 = EOF) or -1 with errno set.
+  virtual long Recv(int fd, void* buf, size_t len);
+  // ::poll(2) on one fd. timeout_ms < 0 waits forever. Returns the poll rc.
+  virtual int PollOne(int fd, short events, int timeout_ms);
+  // ::close(2) notification so fault schedules can unregister the fd (the
+  // kernel may recycle the fd number immediately).
+  virtual int Close(int fd);
+};
+
+// Installs `ops` for every subsequent client-side socket call (nullptr
+// restores the passthrough default). NOT for production use: call only from
+// tests/benches, before any I/O the schedule should see.
+void SetNetOpsForTest(NetOps* ops);
+NetOps& GetNetOps();
 
 // Owns a file descriptor; closes (retrying EINTR) on destruction.
 class Fd {
@@ -55,6 +88,11 @@ StatusOr<uint16_t> LocalPort(int fd);
 // Blocking connect to host:port (numeric IPv4 or a resolvable name).
 StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port);
 
+// Connect with a bound: non-blocking connect + poll. timeout_ms == 0 means
+// no bound (identical to ConnectTcp). kDeadlineExceeded if the peer does not
+// complete the handshake in time.
+StatusOr<Fd> ConnectTcpTimeout(const std::string& host, uint16_t port, uint64_t timeout_ms);
+
 Status SetNonBlocking(int fd, bool nonblocking);
 
 // Disables Nagle so small request/response frames don't stall on ACKs.
@@ -70,6 +108,16 @@ StatusOr<size_t> ReadSome(int fd, char* buf, size_t n);
 
 // Blocking read of exactly `n` bytes; kIoError{"eof"} on a short stream.
 Status ReadFully(int fd, char* buf, size_t n);
+
+// Deadline-aware variants: identical I/O discipline, but every EAGAIN poll
+// is bounded by the time remaining until `deadline_us` (an absolute
+// MonotonicMicros() instant); kDeadlineExceeded once it passes. A stalled
+// peer (black hole) therefore costs at most the deadline, never forever.
+// deadline_us == 0 means unbounded (plain WriteFully/ReadFully behavior).
+uint64_t MonotonicMicros();
+Status WriteFullyDeadline(int fd, std::string_view data, uint64_t deadline_us);
+StatusOr<size_t> ReadSomeDeadline(int fd, char* buf, size_t n, uint64_t deadline_us);
+Status ReadFullyDeadline(int fd, char* buf, size_t n, uint64_t deadline_us);
 
 }  // namespace ss::net
 

@@ -100,6 +100,18 @@ const char* FlightEventTypeName(FlightEventType type) {
       return "ingest_shed";
     case FlightEventType::kIngestDrain:
       return "ingest_drain";
+    case FlightEventType::kNetFaultInjected:
+      return "net_fault_injected";
+    case FlightEventType::kNetRetry:
+      return "net_retry";
+    case FlightEventType::kNetReconnect:
+      return "net_reconnect";
+    case FlightEventType::kNetDeadlineExceeded:
+      return "net_deadline_exceeded";
+    case FlightEventType::kNetDupSuppressed:
+      return "net_dup_suppressed";
+    case FlightEventType::kNetSlowPeerDisconnect:
+      return "net_slow_peer_disconnect";
   }
   return "unknown";
 }

@@ -49,6 +49,12 @@ enum class FlightEventType : uint16_t {
   kIngestStall = 20,     // arg0 = stream id, arg1 = producer wait us (block policy)
   kIngestShed = 21,      // arg0 = stream id, arg1 = events shed (shed policy)
   kIngestDrain = 22,     // arg0 = stream id, arg1 = events drained this sweep
+  kNetFaultInjected = 23,   // arg0 = fd, arg1 = NetFaultKind enum (fault_net.h)
+  kNetRetry = 24,           // arg0 = opcode, arg1 = attempt number
+  kNetReconnect = 25,       // arg0 = reconnect count, arg1 = replayed ingest frames
+  kNetDeadlineExceeded = 26,  // arg0 = opcode, arg1 = deadline_ms
+  kNetDupSuppressed = 27,   // arg0 = session id, arg1 = seq
+  kNetSlowPeerDisconnect = 28,  // arg0 = fd, arg1 = buffered bytes at disconnect
 };
 
 const char* FlightEventTypeName(FlightEventType type);

@@ -68,6 +68,11 @@ class KvBackend {
   virtual StatusOr<std::string> Get(std::string_view key) = 0;
   virtual Status Delete(std::string_view key) = 0;
 
+  // True once the backend has entered a fail-fast state (e.g. a poisoned
+  // WAL) where writes are rejected until the store is reopened. Health
+  // probes surface this so clients can fail over before hitting errors.
+  virtual bool Poisoned() const { return false; }
+
   // Applies every operation in `batch`, in order. The default implementation
   // degrades to one write per op; backends with a write-ahead log override
   // this to log and fsync the group once. On error the batch may have been

@@ -666,4 +666,9 @@ KvBackend::CacheStats LsmStore::GetCacheStats() const {
   return {block_cache_.hits(), block_cache_.misses()};
 }
 
+bool LsmStore::Poisoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_poisoned_;
+}
+
 }  // namespace ss

@@ -67,6 +67,7 @@ class LsmStore : public KvBackend {
   uint64_t ApproximateSizeBytes() const override;
   void DropCaches() override;
   CacheStats GetCacheStats() const override;
+  bool Poisoned() const override;
 
   // Introspection for tests and benches.
   size_t sstable_count() const;

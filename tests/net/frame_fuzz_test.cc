@@ -96,6 +96,100 @@ TEST(ProtocolDecodeTest, RequestHeaderRejectsUnknownOpcode) {
   EXPECT_EQ(header.status().code(), StatusCode::kCorruption);
 }
 
+// deadline/session ride as flag-gated header extensions (DESIGN.md §15): new
+// frames round-trip them, legacy frames decode with both absent, and hostile
+// or truncated fields fail closed.
+TEST(ProtocolDecodeTest, RequestHeaderExtensionFieldsCompatibleAndHostile) {
+  RequestHeader full;
+  full.request_id = 7;
+  full.op = Opcode::kAppend;
+  full.has_deadline = true;
+  full.deadline_ms = 1500;
+  full.has_session = true;
+  full.session_id = 0xABCD;
+  full.seq = 42;
+  Writer w;
+  EncodeRequestHeader(full, w);
+  const std::string bytes = w.Release();
+  {  // round-trips
+    Reader r(bytes);
+    auto decoded = DecodeRequestHeader(r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->request_id, 7u);
+    EXPECT_EQ(decoded->op, Opcode::kAppend);
+    EXPECT_TRUE(decoded->has_deadline);
+    EXPECT_EQ(decoded->deadline_ms, 1500u);
+    EXPECT_TRUE(decoded->has_session);
+    EXPECT_EQ(decoded->session_id, 0xABCDu);
+    EXPECT_EQ(decoded->seq, 42u);
+  }
+  {  // legacy header (no flag bits) decodes with both extensions absent
+    Writer lw;
+    lw.PutVarint(7);
+    lw.PutU8(static_cast<uint8_t>(Opcode::kAppend));
+    Reader r(lw.data());
+    auto decoded = DecodeRequestHeader(r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_FALSE(decoded->has_deadline);
+    EXPECT_FALSE(decoded->has_session);
+    EXPECT_EQ(decoded->deadline_ms, 0u);
+    EXPECT_EQ(decoded->session_id, 0u);
+  }
+  // Truncation at every byte: the flag bits promise fields that never
+  // arrive, so every proper prefix must fail closed, never default.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Reader r(std::string_view(bytes).substr(0, cut));
+    auto decoded = DecodeRequestHeader(r);
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption) << "cut=" << cut;
+  }
+  {  // zero session id / zero seq: reserved as "no session", must be rejected
+    for (auto [sid, seq] : {std::pair<uint64_t, uint64_t>{0, 5}, {5, 0}, {0, 0}}) {
+      Writer bw;
+      bw.PutVarint(1);
+      bw.PutU8(static_cast<uint8_t>(Opcode::kAppend) | kHeaderFlagSession);
+      bw.PutVarint(sid);
+      bw.PutVarint(seq);
+      Reader r(bw.data());
+      EXPECT_EQ(DecodeRequestHeader(r).status().code(), StatusCode::kCorruption)
+          << "sid=" << sid << " seq=" << seq;
+    }
+  }
+  {  // a hostile huge deadline clamps (steady-clock math must not overflow)
+    Writer bw;
+    bw.PutVarint(1);
+    bw.PutU8(static_cast<uint8_t>(Opcode::kPing) | kHeaderFlagDeadline);
+    bw.PutVarint(UINT64_MAX);
+    Reader r(bw.data());
+    auto decoded = DecodeRequestHeader(r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_TRUE(decoded->has_deadline);
+    EXPECT_EQ(decoded->deadline_ms, kMaxDeadlineMs);
+  }
+  {  // overlong varint in the deadline slot
+    Writer bw;
+    bw.PutVarint(1);
+    bw.PutU8(static_cast<uint8_t>(Opcode::kPing) | kHeaderFlagDeadline);
+    bw.PutRaw(std::string(11, '\xff').data(), 11);
+    Reader r(bw.data());
+    EXPECT_EQ(DecodeRequestHeader(r).status().code(), StatusCode::kCorruption);
+  }
+  {  // flag bits cannot launder a garbage opcode: masked op is checked first
+    for (uint8_t flags : {kHeaderFlagDeadline, kHeaderFlagSession,
+                          static_cast<uint8_t>(kHeaderFlagDeadline | kHeaderFlagSession)}) {
+      Writer bw;
+      bw.PutVarint(1);
+      bw.PutU8(static_cast<uint8_t>((static_cast<uint8_t>(Opcode::kMaxOpcode) + 1) | flags));
+      bw.PutVarint(100);  // plausible trailing fields
+      bw.PutVarint(100);
+      bw.PutVarint(100);
+      Reader r(bw.data());
+      EXPECT_EQ(DecodeRequestHeader(r).status().code(), StatusCode::kCorruption)
+          << "flags=" << static_cast<int>(flags);
+    }
+  }
+}
+
 TEST(ProtocolDecodeTest, QuerySpecRejectsHostileValues) {
   QuerySpec spec;
   spec.t1 = -100;
@@ -417,6 +511,70 @@ TEST_F(FrameFuzzServerTest, GarbageOpcodesCloseCleanly) {
   }
   // An unterminated 11-byte varint as the request id.
   SendExpectClose(ValidFrame(std::string(11, '\xff')), "overlong varint request id");
+  AssertServerHealthy();
+}
+
+TEST_F(FrameFuzzServerTest, HostileHeaderExtensionsCloseCleanly) {
+  {  // deadline flag set, no deadline bytes follow
+    Writer w;
+    w.PutVarint(1);
+    w.PutU8(static_cast<uint8_t>(Opcode::kPing) | kHeaderFlagDeadline);
+    SendExpectClose(ValidFrame(w.data()), "deadline flag without field");
+  }
+  {  // session flag set, seq varint missing
+    Writer w;
+    w.PutVarint(1);
+    w.PutU8(static_cast<uint8_t>(Opcode::kAppend) | kHeaderFlagSession);
+    w.PutVarint(0x5E55);
+    SendExpectClose(ValidFrame(w.data()), "session flag with truncated fields");
+  }
+  {  // zero session id: reserved, the server must not admit it
+    Writer w;
+    w.PutVarint(1);
+    w.PutU8(static_cast<uint8_t>(Opcode::kAppend) | kHeaderFlagSession);
+    w.PutVarint(0);
+    w.PutVarint(5);
+    SendExpectClose(ValidFrame(w.data()), "zero session id");
+  }
+  {  // overlong varint in the deadline slot
+    Writer w;
+    w.PutVarint(1);
+    w.PutU8(static_cast<uint8_t>(Opcode::kPing) | kHeaderFlagDeadline);
+    w.PutRaw(std::string(11, '\xff').data(), 11);
+    SendExpectClose(ValidFrame(w.data()), "overlong deadline varint");
+  }
+  AssertServerHealthy();
+}
+
+TEST_F(FrameFuzzServerTest, HugeWireDeadlineClampedNotOverflowed) {
+  // UINT64_MAX deadline_ms clamps to kMaxDeadlineMs server-side, so the
+  // request executes normally instead of wrapping the expiry arithmetic
+  // into the past (which would reject every request) or crashing.
+  Writer w;
+  RequestHeader header;
+  header.request_id = 77;
+  header.op = Opcode::kListStreams;
+  header.has_deadline = true;
+  header.deadline_ms = UINT64_MAX;
+  EncodeRequestHeader(header, w);
+  auto fd = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(WriteFully(fd->get(), ValidFrame(w.data())).ok());
+  char prefix[4];
+  ASSERT_TRUE(ReadFully(fd->get(), prefix, sizeof(prefix)).ok());
+  uint32_t len;
+  std::memcpy(&len, prefix, sizeof(len));
+  ASSERT_GT(len, 0u);
+  ASSERT_LE(len, kMaxFrameBytes);
+  std::string payload(len, '\0');
+  ASSERT_TRUE(ReadFully(fd->get(), payload.data(), len).ok());
+  Reader reader(payload);
+  auto id = reader.ReadVarint();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 77u);
+  Status remote = Status::Ok();
+  ASSERT_TRUE(DecodeStatus(reader, &remote).ok());
+  EXPECT_TRUE(remote.ok()) << remote;
   AssertServerHealthy();
 }
 

@@ -1,0 +1,299 @@
+// The resilient-RPC acceptance matrix (DESIGN.md §15): run a fixed mixed
+// append/query workload through RetryingClient while FaultNet severs the
+// connection at EVERY frame boundary — each sent-frame boundary, each
+// received-frame boundary, and mid-frame variants one byte past each — plus
+// black-hole, refused-connect, short-write, and delay runs.
+//
+// The invariant after any single fault:
+//   1. no acked append is lost         (store count >= acks)
+//   2. no append is applied twice      (store count == acks, exactly)
+//   3. the client converges via backoff (the workload completes OK)
+//
+// A passthrough run (schedule empty) teaches the matrix the workload's frame
+// count, the same way the crash matrix learns the mutating-syscall count
+// before killing the store at each one.
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/summary_store.h"
+#include "src/net/client.h"
+#include "src/net/fault_net.h"
+#include "src/net/retry_client.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+#include "src/storage/file_util.h"
+
+namespace ss::net {
+namespace {
+
+// ASSERT_TRUE only works in void functions; keeps the workload readable
+// while still aborting on the first failure.
+#define ASSERT_OK_OR_DIE(status_expr, what) \
+  do {                                      \
+    Status _s = (status_expr);              \
+    ASSERT_TRUE(_s.ok()) << what << ": " << _s; \
+  } while (0)
+
+StreamConfig SmallConfig() {
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  return config;
+}
+
+// The workload ingests this many events; every run must end with EXACTLY
+// this count in the store (no acked append lost, none applied twice).
+constexpr uint64_t kSyncAppends = 4;
+constexpr uint64_t kPipelinedAppends = 4;
+constexpr uint64_t kTotalEvents = kSyncAppends + kPipelinedAppends;
+
+class NetFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static std::atomic<int> counter{0};
+    base_ = ::testing::TempDir() + "/ss_fault_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1));
+    (void)RemoveDirRecursive(base_);
+    ASSERT_TRUE(CreateDirIfMissing(base_).ok());
+    SetNetOpsForTest(&fault_);
+  }
+
+  void TearDown() override {
+    SetNetOpsForTest(nullptr);
+    (void)RemoveDirRecursive(base_);
+  }
+
+  // Fresh store + server per run so faults can't bleed state across matrix
+  // entries. Members declared store-then-server so teardown stops the server
+  // before closing the store.
+  struct Run {
+    std::unique_ptr<SummaryStore> store;
+    std::unique_ptr<Server> server;
+  };
+  Run StartServer(int run_id) {
+    StoreOptions options;
+    options.dir = base_ + "/run" + std::to_string(run_id);
+    auto store = SummaryStore::Open(options);
+    EXPECT_TRUE(store.ok()) << store.status();
+    if (!store.ok()) return {};
+    auto server = Server::Start(store->get(), ServerOptions{});
+    EXPECT_TRUE(server.ok()) << server.status();
+    if (!server.ok()) return {};
+    return Run{std::move(store).value(), std::move(server).value()};
+  }
+
+  static ClientOptions FastRetryOptions() {
+    ClientOptions options;
+    options.connect_timeout_ms = 5000;
+    options.rpc_timeout_ms = 2000;  // gets control back from black holes
+    options.max_retries = 8;
+    options.backoff_initial_ms = 1;
+    options.backoff_max_ms = 20;
+    return options;
+  }
+
+  // The mixed workload: create a stream, sync appends, a query, pipelined
+  // appends, a flush — then verify the exact element count through a fresh
+  // connection. Reports the recovery counters so callers can assert the
+  // retry machinery (not luck) carried the run.
+  struct WorkloadResult {
+    uint64_t retries = 0;
+    uint64_t reconnects = 0;
+  };
+  void RunWorkload(const Run& run, WorkloadResult* out) {
+    ASSERT_NE(run.server, nullptr);
+    auto client = RetryingClient::Connect("127.0.0.1", run.server->port(), FastRetryOptions());
+    ASSERT_OK_OR_DIE(client.status(), "connect");
+    RetryingClient& c = **client;
+
+    ASSERT_OK_OR_DIE(c.CreateStream(1, SmallConfig()).status(), "create");
+    for (uint64_t i = 1; i <= kSyncAppends; ++i) {
+      ASSERT_OK_OR_DIE(c.Append(1, static_cast<Timestamp>(i), 1.0), "append");
+    }
+
+    QuerySpec spec;
+    spec.op = QueryOp::kCount;
+    spec.t1 = 0;
+    spec.t2 = 1000;
+    auto mid = c.Query(1, spec);
+    ASSERT_OK_OR_DIE(mid.status(), "mid query");
+    EXPECT_DOUBLE_EQ(mid->result.estimate, static_cast<double>(kSyncAppends));
+
+    for (uint64_t i = 1; i <= kPipelinedAppends; ++i) {
+      auto seq = c.SendAppend(1, static_cast<Timestamp>(kSyncAppends + i), 2.0);
+      ASSERT_OK_OR_DIE(seq.status(), "send append");
+    }
+    while (c.inflight() > 0) {
+      auto ack = c.ReceiveAck();
+      ASSERT_OK_OR_DIE(ack.status(), "receive ack");
+      EXPECT_TRUE(ack->status.ok()) << ack->status;
+    }
+
+    ASSERT_OK_OR_DIE(c.Flush(), "flush");
+
+    // Verify through a clean connection. The matrix's sever may land on this
+    // phase's frames instead of the workload's — the verify client retries
+    // too, so either way the run converges and the count check holds.
+    auto verify = RetryingClient::Connect("127.0.0.1", run.server->port(), FastRetryOptions());
+    ASSERT_OK_OR_DIE(verify.status(), "verify connect");
+    auto result = (*verify)->Query(1, spec);
+    ASSERT_OK_OR_DIE(result.status(), "verify query");
+    // Recovery effort is summed across both clients: whichever connection
+    // the fault landed on is the one that had to retry its way back.
+    out->retries = c.retries() + (*verify)->retries();
+    out->reconnects = c.reconnects() + (*verify)->reconnects();
+    // The gate: exact equality. Less means an acked append was lost; more
+    // means a replay was applied twice.
+    EXPECT_DOUBLE_EQ(result->result.estimate, static_cast<double>(kTotalEvents))
+        << "acked-append count diverged after fault";
+  }
+
+  FaultNet fault_;
+  std::string base_;
+};
+
+// Schedule empty: everything passes through, and we learn the workload's
+// frame counts for the matrix below.
+TEST_F(NetFaultTest, PassthroughBaseline) {
+  Run run = StartServer(0);
+  WorkloadResult r;
+  RunWorkload(run, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.reconnects, 0u);
+  EXPECT_GE(fault_.frames_sent(), kTotalEvents);
+  EXPECT_EQ(fault_.injected_resets(), 0u);
+}
+
+// Sever at every request-frame boundary (and one byte into the next frame).
+TEST_F(NetFaultTest, SeverAtEverySentFrameBoundary) {
+  Run baseline = StartServer(0);
+  WorkloadResult r;
+  RunWorkload(baseline, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  const uint64_t total = fault_.frames_sent();
+  ASSERT_GT(total, 0u);
+  baseline.server.reset();
+  baseline.store.reset();
+
+  int run_id = 1;
+  for (uint64_t cut = 0; cut < total; ++cut) {
+    for (uint64_t extra : {uint64_t{0}, uint64_t{1}}) {
+      SCOPED_TRACE("sever after sent frame " + std::to_string(cut) + " +" +
+                   std::to_string(extra) + "b");
+      fault_.Reset();
+      fault_.SeverAfterSentFrames(cut, extra);
+      Run run = StartServer(run_id++);
+      RunWorkload(run, &r);
+      if (::testing::Test::HasFatalFailure()) return;
+      EXPECT_EQ(fault_.injected_resets(), 1u) << "fault never fired";
+      EXPECT_GE(r.reconnects, 1u) << "client recovered without reconnecting?";
+    }
+  }
+}
+
+// Sever at every response-frame boundary: the server may have applied the
+// request whose ack we never saw — the replay-dedup scenario. Count must
+// still be exact.
+TEST_F(NetFaultTest, SeverAtEveryRecvFrameBoundary) {
+  Run baseline = StartServer(0);
+  WorkloadResult r;
+  RunWorkload(baseline, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  const uint64_t total = fault_.frames_received();
+  ASSERT_GT(total, 0u);
+  baseline.server.reset();
+  baseline.store.reset();
+
+  int run_id = 1;
+  for (uint64_t cut = 0; cut < total; ++cut) {
+    for (uint64_t extra : {uint64_t{0}, uint64_t{1}}) {
+      SCOPED_TRACE("sever after recv frame " + std::to_string(cut) + " +" +
+                   std::to_string(extra) + "b");
+      fault_.Reset();
+      fault_.SeverAfterRecvFrames(cut, extra);
+      Run run = StartServer(run_id++);
+      RunWorkload(run, &r);
+      if (::testing::Test::HasFatalFailure()) return;
+      EXPECT_EQ(fault_.injected_resets(), 1u) << "fault never fired";
+      EXPECT_GE(r.reconnects, 1u);
+    }
+  }
+}
+
+// Black hole mid-workload: the peer goes silent instead of resetting. Only
+// the client's rpc_timeout can get control back; it must then reconnect and
+// converge with an exact count.
+TEST_F(NetFaultTest, BlackHoleRecoveredByLocalDeadline) {
+  fault_.BlackHoleAfterSentFrames(3);
+  Run run = StartServer(0);
+  WorkloadResult r;
+  RunWorkload(run, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(fault_.blackholed_fds(), 1u);
+  EXPECT_GE(r.reconnects, 1u);
+}
+
+// The server is "down" for the first connect attempts; backoff rides it out.
+TEST_F(NetFaultTest, RefusedConnectsRetriedWithBackoff) {
+  fault_.FailNextConnects(3);
+  Run run = StartServer(0);
+  WorkloadResult r;
+  RunWorkload(run, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(fault_.refused_connects(), 3u);
+}
+
+// Every send transfers at most 3 bytes: partial-write handling everywhere on
+// the client path. No fault fires, so zero retries are expected — just a
+// correct, complete workload.
+TEST_F(NetFaultTest, ShortWritesEverywhere) {
+  fault_.SetMaxSendBytes(3);
+  Run run = StartServer(0);
+  WorkloadResult r;
+  RunWorkload(run, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(r.retries, 0u);
+}
+
+// Fixed per-syscall latency: exercises the deadline-aware I/O paths without
+// tripping them (delay << rpc_timeout).
+TEST_F(NetFaultTest, InjectedDelayTolerated) {
+  fault_.SetDelayMs(1);
+  Run run = StartServer(0);
+  WorkloadResult r;
+  RunWorkload(run, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(r.retries, 0u);
+}
+
+// Sever + short-writes composed: the cutoff math must hold even when frames
+// trickle out a few bytes per send.
+TEST_F(NetFaultTest, SeverComposesWithShortWrites) {
+  Run baseline = StartServer(0);
+  WorkloadResult r;
+  RunWorkload(baseline, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  const uint64_t total = fault_.frames_sent();
+  ASSERT_GT(total, 2u);
+  baseline.server.reset();
+  baseline.store.reset();
+
+  fault_.Reset();
+  fault_.SetMaxSendBytes(3);
+  fault_.SeverAfterSentFrames(total / 2);
+  Run run = StartServer(1);
+  RunWorkload(run, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(fault_.injected_resets(), 1u);
+  EXPECT_GE(r.reconnects, 1u);
+}
+
+#undef ASSERT_OK_OR_DIE
+
+}  // namespace
+}  // namespace ss::net

@@ -723,5 +723,218 @@ TEST_F(NetServerTest, ShedResponsesArriveInPipelineOrder) {
   }
 }
 
+// ------------------------------------------- resilient RPC (DESIGN.md §15)
+
+// A legacy client's frames — plain opcode byte, no flag bits, no trailing
+// header fields — must behave bit-for-bit as before the deadline/session
+// extension: same request bytes, same response bytes.
+TEST_F(NetServerTest, LegacyFramesBitForBitUnaffected) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  auto server = Server::Start(store->get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  auto fd = ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(fd.ok());
+
+  // Hand-rolled legacy header: varint request id, then the bare opcode byte.
+  auto legacy_frame = [](uint64_t id, Opcode op, const Writer& body) {
+    Writer req;
+    req.PutVarint(id);
+    req.PutU8(static_cast<uint8_t>(op));
+    req.PutRaw(body.data().data(), body.data().size());
+    std::string frame;
+    EXPECT_TRUE(AppendFrame(req.data(), &frame).ok());
+    return frame;
+  };
+
+  ASSERT_TRUE(WriteFully(fd->get(), legacy_frame(1, Opcode::kPing, Writer())).ok());
+  EXPECT_EQ(ReadResponseId(fd->get()), 1u);
+
+  Writer create;
+  create.PutVarint(4);
+  SmallConfig().Serialize(create);
+  ASSERT_TRUE(WriteFully(fd->get(), legacy_frame(2, Opcode::kCreateStream, create)).ok());
+  EXPECT_EQ(ReadResponseId(fd->get()), 2u);
+
+  Writer append;
+  append.PutVarint(4);
+  append.PutSignedVarint(10);
+  append.PutDouble(1.0);
+  ASSERT_TRUE(WriteFully(fd->get(), legacy_frame(3, Opcode::kAppend, append)).ok());
+  EXPECT_EQ(ReadResponseId(fd->get()), 3u);
+
+  // And the modern Client agrees on what landed.
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  QuerySpec spec;
+  spec.op = QueryOp::kCount;
+  spec.t1 = 0;
+  spec.t2 = 100;
+  auto result = (*client)->Query(4, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->result.estimate, 1.0);
+}
+
+// The (session, seq) dedup contract: a replayed ingest seq is acked OK but
+// applied exactly once — the replay after a lost ack cannot double-count.
+TEST_F(NetServerTest, SessionReplayIsDeduplicated) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  auto server = Server::Start(store->get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  Client& c = **client;
+  ASSERT_TRUE(c.CreateStream(1, SmallConfig()).ok());
+
+  Counter& dups = MetricRegistry::Default().GetCounter("ss_net_dup_suppressed_total");
+  const uint64_t dups_before = dups.value();
+
+  c.SetSession(0xABCD);
+  ASSERT_TRUE(c.Append(1, 10, 1.0).ok());  // seq 1
+  ASSERT_TRUE(c.Append(1, 20, 2.0).ok());  // seq 2
+
+  // Replay seq 2 — as a reconnecting client would after losing the ack. Even
+  // from a brand-new connection (the realistic shape), same session id.
+  auto replayer = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(replayer.ok());
+  (*replayer)->SetSession(0xABCD);
+  (*replayer)->SetNextSeq(2);
+  Status replay = (*replayer)->Append(1, 20, 2.0);
+  EXPECT_TRUE(replay.ok()) << replay;  // dup is acked OK, not an error
+  EXPECT_EQ(dups.value(), dups_before + 1);
+
+  // A batch replay dedups too.
+  std::vector<Event> batch = {{30, 3.0}, {31, 3.5}};
+  ASSERT_TRUE(c.AppendBatch(1, batch).ok());  // seq 3
+  (*replayer)->SetNextSeq(3);
+  EXPECT_TRUE((*replayer)->AppendBatch(1, batch).ok());
+  EXPECT_EQ(dups.value(), dups_before + 2);
+
+  QuerySpec spec;
+  spec.op = QueryOp::kCount;
+  spec.t1 = 0;
+  spec.t2 = 100;
+  auto result = c.Query(1, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->result.estimate, 4.0) << "replayed ingest was double-applied";
+}
+
+// deadline_ms = 0 with the deadline flag set means "already expired": the
+// server must answer kDeadlineExceeded without executing. (A real expiry is
+// the same code path with a non-deterministic clock; 0 pins it.)
+TEST_F(NetServerTest, ExpiredWireDeadlineIsRejectedTyped) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  auto server = Server::Start(store->get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  auto fd = ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(fd.ok());
+
+  Counter& expired = MetricRegistry::Default().GetCounter("ss_net_deadline_exceeded_total");
+  const uint64_t expired_before = expired.value();
+
+  RequestHeader header;
+  header.request_id = 1;
+  header.op = Opcode::kListStreams;
+  header.has_deadline = true;
+  header.deadline_ms = 0;
+  Writer req;
+  EncodeRequestHeader(header, req);
+  std::string frame;
+  ASSERT_TRUE(AppendFrame(req.data(), &frame).ok());
+  ASSERT_TRUE(WriteFully(fd->get(), frame).ok());
+
+  char prefix[4];
+  ASSERT_TRUE(ReadFully(fd->get(), prefix, sizeof(prefix)).ok());
+  uint32_t len = 0;
+  std::memcpy(&len, prefix, sizeof(len));
+  ASSERT_GT(len, 0u);
+  ASSERT_LE(len, kMaxFrameBytes);
+  std::string payload(len, '\0');
+  ASSERT_TRUE(ReadFully(fd->get(), payload.data(), len).ok());
+  Reader reader(payload);
+  auto id = reader.ReadVarint();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1u);
+  Status remote = Status::Ok();
+  ASSERT_TRUE(DecodeStatus(reader, &remote).ok());
+  EXPECT_EQ(remote.code(), StatusCode::kDeadlineExceeded) << remote;
+  EXPECT_EQ(expired.value(), expired_before + 1);
+
+  // A generous deadline sails through on the same connection.
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ClientOptions generous;
+  generous.deadline_ms = 60'000;
+  auto client2 = Client::Connect("127.0.0.1", (*server)->port(), generous);
+  ASSERT_TRUE(client2.ok());
+  EXPECT_TRUE((*client2)->ListStreams().ok());
+}
+
+// Slow-peer defense: a client that stops reading while responses pile up
+// past max_conn_buffer_bytes is disconnected after slow_peer_timeout_ms
+// instead of pinning server memory forever.
+TEST_F(NetServerTest, SlowPeerIsDisconnected) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  ServerOptions options;
+  options.max_conn_buffer_bytes = 16 * 1024;
+  options.slow_peer_timeout_ms = 200;
+  auto server = Server::Start(store->get(), options);
+  ASSERT_TRUE(server.ok());
+  auto fd = ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(fd.ok());
+
+  Counter& disconnects =
+      MetricRegistry::Default().GetCounter("ss_net_slow_peer_disconnects_total");
+  const uint64_t before = disconnects.value();
+
+  // Pipeline a pile of stats requests (multi-KB responses each) and never
+  // read: kernel buffers fill (both sides can autotune to megabytes, hence
+  // the request count), conn->out crosses the bound, the stall clock runs
+  // out.
+  std::string burst;
+  for (uint64_t id = 1; id <= 8192; ++id) {
+    Writer req;
+    EncodeRequestHeader(RequestHeader{id, Opcode::kStats}, req);
+    req.PutU8(1);  // prometheus text
+    ASSERT_TRUE(AppendFrame(req.data(), &burst).ok());
+  }
+  ASSERT_TRUE(WriteFully(fd->get(), burst).ok());
+
+  // The server must cut us loose within a few timeout periods.
+  bool dropped = false;
+  for (int i = 0; i < 100 && !dropped; ++i) {
+    dropped = disconnects.value() > before;
+    usleep(50 * 1000);
+  }
+  EXPECT_TRUE(dropped) << "slow peer was never disconnected";
+  EXPECT_EQ((*server)->active_connections(), 0u);
+}
+
+// kPing doubles as a health probe: ok on a fresh server, draining after
+// BeginDrain, and legacy empty-body responses decode as ok.
+TEST_F(NetServerTest, HealthProbeReflectsDrain) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  auto server = Server::Start(store->get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  auto health = (*client)->Health();
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(*health, ServerHealth::kOk);
+
+  (*server)->BeginDrain();
+  health = (*client)->Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(*health, ServerHealth::kDraining);
+
+  // Plain Ping still succeeds while draining — the probe is advisory.
+  EXPECT_TRUE((*client)->Ping().ok());
+}
+
 }  // namespace
 }  // namespace ss::net

@@ -1,0 +1,308 @@
+// RetryingClient behavior: backoff on refused connects, retry-budget
+// exhaustion, reconnect + re-hello, retry-aware error mapping for
+// CreateStream/DeleteStream, local rpc deadlines — and the concurrent
+// exactly-once session-dedup contract this binary also runs under TSan
+// (tools/ci.sh), where the server's per-(tenant, session) seq tracking and
+// the slow-path locks get hammered from many threads at once.
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/summary_store.h"
+#include "src/net/client.h"
+#include "src/net/fault_net.h"
+#include "src/net/retry_client.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+#include "src/net/tenant.h"
+#include "src/obs/metrics.h"
+#include "src/storage/file_util.h"
+
+namespace ss::net {
+namespace {
+
+StreamConfig SmallConfig() {
+  StreamConfig config;
+  config.decay = std::make_shared<PowerLawDecay>(1, 1, 1, 1);
+  return config;
+}
+
+ClientOptions FastOptions() {
+  ClientOptions options;
+  options.connect_timeout_ms = 5000;
+  options.rpc_timeout_ms = 2000;
+  options.max_retries = 6;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 20;
+  return options;
+}
+
+class RetryClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static std::atomic<int> counter{0};
+    dir_ = ::testing::TempDir() + "/ss_retry_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1));
+    (void)RemoveDirRecursive(dir_);
+    SetNetOpsForTest(&fault_);
+  }
+
+  void TearDown() override {
+    SetNetOpsForTest(nullptr);
+    (void)RemoveDirRecursive(dir_);
+  }
+
+  StatusOr<std::unique_ptr<SummaryStore>> OpenStore() {
+    StoreOptions options;
+    options.dir = dir_;
+    return SummaryStore::Open(options);
+  }
+
+  FaultNet fault_;
+  std::string dir_;
+};
+
+// Refused connects are retried with backoff until the "server" comes up.
+TEST_F(RetryClientTest, ConnectRidesOutRefusedConnects) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  auto server = Server::Start(store->get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+
+  fault_.FailNextConnects(3);
+  auto client = RetryingClient::Connect("127.0.0.1", (*server)->port(), FastOptions());
+  ASSERT_TRUE(client.ok()) << client.status();
+  EXPECT_EQ(fault_.refused_connects(), 3u);
+  EXPECT_TRUE((*client)->Ping().ok());
+}
+
+// Once the retry budget is spent the typed transport error surfaces.
+TEST_F(RetryClientTest, RetryBudgetExhaustionSurfacesError) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  auto server = Server::Start(store->get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+
+  ClientOptions options = FastOptions();
+  options.max_retries = 2;
+  fault_.FailNextConnects(100);
+  auto client = RetryingClient::Connect("127.0.0.1", (*server)->port(), options);
+  EXPECT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kIoError) << client.status();
+}
+
+// A severed connection is rebuilt transparently, the hello handshake is
+// replayed, and the recovery is observable: retries()/reconnects() and the
+// ss_net_{retries,reconnects}_total counters all move.
+TEST_F(RetryClientTest, ReconnectReplaysHello) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  ServerOptions options;
+  auto parsed = TenantRegistry::Parse("1 alpha alpha-secret 0 0 0\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  options.tenants = std::make_shared<const TenantRegistry>(std::move(parsed).value());
+  auto server = Server::Start(store->get(), options);
+  ASSERT_TRUE(server.ok());
+
+  Counter& retries = MetricRegistry::Default().GetCounter("ss_net_retries_total");
+  Counter& reconnects = MetricRegistry::Default().GetCounter("ss_net_reconnects_total");
+  const uint64_t retries_before = retries.value();
+  const uint64_t reconnects_before = reconnects.value();
+
+  auto client = RetryingClient::Connect("127.0.0.1", (*server)->port(), FastOptions());
+  ASSERT_TRUE(client.ok()) << client.status();
+  RetryingClient& c = **client;
+  ASSERT_TRUE(c.Hello(1, "alpha-secret").ok());
+  ASSERT_TRUE(c.CreateStream(1, SmallConfig()).ok());
+
+  // Kill the live connection out from under the client. The next RPC hits
+  // ECONNRESET, reconnects, re-hellos (else the server answers
+  // kPermissionDenied), and succeeds.
+  fault_.SeverAfterSentFrames(0);
+  Status s = c.Append(1, 1, 1.0);
+  EXPECT_TRUE(s.ok()) << s;
+  EXPECT_GE(c.retries(), 1u);
+  EXPECT_GE(c.reconnects(), 1u);
+  EXPECT_GT(retries.value(), retries_before);
+  EXPECT_GT(reconnects.value(), reconnects_before);
+
+  // And the re-authenticated connection still sees the tenant's namespace.
+  auto streams = c.ListStreams();
+  ASSERT_TRUE(streams.ok());
+  EXPECT_EQ(streams->size(), 1u);
+}
+
+// kAlreadyExists/kNotFound are only mapped to success on a RETRY — a
+// first-attempt duplicate create or missing delete stays an error.
+TEST_F(RetryClientTest, FirstAttemptErrorsAreNotMasked) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  auto server = Server::Start(store->get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+
+  auto client = RetryingClient::Connect("127.0.0.1", (*server)->port(), FastOptions());
+  ASSERT_TRUE(client.ok());
+  RetryingClient& c = **client;
+  ASSERT_TRUE(c.CreateStream(5, SmallConfig()).ok());
+  EXPECT_EQ(c.CreateStream(5, SmallConfig()).status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(c.DeleteStream(99).code(), StatusCode::kNotFound);
+}
+
+// A black-holed peer is bounded by rpc_timeout_ms: the raw Client reports
+// kDeadlineExceeded (instead of hanging forever), which the retrying layer
+// treats as transport failure and recovers from.
+TEST_F(RetryClientTest, LocalRpcTimeoutBoundsBlackHole) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  auto server = Server::Start(store->get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+
+  ClientOptions options;
+  options.rpc_timeout_ms = 100;
+  fault_.BlackHoleAfterSentFrames(0);
+  auto raw = Client::Connect("127.0.0.1", (*server)->port(), options);
+  ASSERT_TRUE(raw.ok());
+  Status s = (*raw)->Ping();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s;
+
+  // Same fault through the retrying client: reconnect converges.
+  fault_.Reset();
+  fault_.BlackHoleAfterSentFrames(0);
+  ClientOptions retry_options = FastOptions();
+  retry_options.rpc_timeout_ms = 100;
+  auto client = RetryingClient::Connect("127.0.0.1", (*server)->port(), retry_options);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Ping().ok());
+  EXPECT_GE((*client)->reconnects(), 1u);
+}
+
+// Pipelined ingest across a sever: the un-acked tail is replayed on the new
+// connection, every queued seq is acked, and the store count is exact.
+TEST_F(RetryClientTest, PipelinedTailReplayedAfterSever) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  auto server = Server::Start(store->get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+
+  auto client = RetryingClient::Connect("127.0.0.1", (*server)->port(), FastOptions());
+  ASSERT_TRUE(client.ok());
+  RetryingClient& c = **client;
+  ASSERT_TRUE(c.CreateStream(1, SmallConfig()).ok());
+
+  constexpr uint64_t kEvents = 16;
+  // Lose the ack stream partway through: the server applies some of these,
+  // but the client never hears; replay + dedup must reconcile exactly.
+  fault_.SeverAfterRecvFrames(fault_.frames_received() + 4);
+  for (uint64_t i = 1; i <= kEvents; ++i) {
+    auto seq = c.SendAppend(1, static_cast<Timestamp>(i), 1.0);
+    ASSERT_TRUE(seq.ok()) << seq.status();
+  }
+  uint64_t acked = 0;
+  while (c.inflight() > 0) {
+    auto ack = c.ReceiveAck();
+    ASSERT_TRUE(ack.ok()) << ack.status();
+    EXPECT_TRUE(ack->status.ok()) << ack->status;
+    ++acked;
+  }
+  EXPECT_EQ(acked, kEvents);
+  EXPECT_GE(c.reconnects(), 1u);
+
+  ASSERT_TRUE(c.Flush().ok());
+  QuerySpec spec;
+  spec.op = QueryOp::kCount;
+  spec.t1 = 0;
+  spec.t2 = 1000;
+  auto result = c.Query(1, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->result.estimate, static_cast<double>(kEvents));
+}
+
+// The concurrency gate (runs under TSan in CI): many clients appending into
+// separate streams while two more deliberately race the SAME session's seq
+// space. Per-stream counts must come out exact — the session table's locks
+// either serialize correctly or TSan/the count assertions light up.
+TEST_F(RetryClientTest, ConcurrentSessionsApplyExactlyOnce) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store.ok());
+  auto server = Server::Start(store->get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  const uint16_t port = (*server)->port();
+
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 32;
+  {
+    auto admin = Client::Connect("127.0.0.1", port);
+    ASSERT_TRUE(admin.ok());
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_TRUE((*admin)->CreateStream(static_cast<StreamId>(t + 1), SmallConfig()).ok());
+    }
+    ASSERT_TRUE((*admin)->CreateStream(100, SmallConfig()).ok());
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  // Independent sessions, independent streams.
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([port, t, &failures] {
+      auto client = RetryingClient::Connect("127.0.0.1", port, FastOptions());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (uint64_t i = 1; i <= kPerThread; ++i) {
+        if (!(*client)->Append(static_cast<StreamId>(t + 1), static_cast<Timestamp>(i), 1.0).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  // Two raw clients racing one shared session over one stream: both walk
+  // seqs 1..kPerThread, so every seq must be applied exactly once whichever
+  // connection wins it.
+  constexpr uint64_t kSharedSession = 0x5E55;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([port, &failures] {
+      auto client = Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      (*client)->SetSession(kSharedSession);
+      for (uint64_t i = 1; i <= kPerThread; ++i) {
+        (*client)->SetNextSeq(i);
+        if (!(*client)->Append(100, static_cast<Timestamp>(i), 1.0).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  auto verify = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(verify.ok());
+  ASSERT_TRUE((*verify)->Flush().ok());
+  QuerySpec spec;
+  spec.op = QueryOp::kCount;
+  spec.t1 = 0;
+  spec.t2 = 1000;
+  for (int t = 0; t < kThreads; ++t) {
+    auto result = (*verify)->Query(static_cast<StreamId>(t + 1), spec);
+    ASSERT_TRUE(result.ok());
+    EXPECT_DOUBLE_EQ(result->result.estimate, static_cast<double>(kPerThread));
+  }
+  auto shared = (*verify)->Query(100, spec);
+  ASSERT_TRUE(shared.ok());
+  EXPECT_DOUBLE_EQ(shared->result.estimate, static_cast<double>(kPerThread))
+      << "racing session replicas double-applied or lost a seq";
+}
+
+}  // namespace
+}  // namespace ss::net

@@ -17,7 +17,9 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$SSERVER" --dir "$DIR/store" --port 0 > "$DIR/server.log" 2>&1 &
+# --drain-grace-ms keeps the server answering health probes as "draining"
+# for a window after SIGTERM, which the shutdown leg below asserts.
+"$SSERVER" --dir "$DIR/store" --port 0 --drain-grace-ms 2000 > "$DIR/server.log" 2>&1 &
 SERVER_PID=$!
 
 # Wait for the listen banner (the port is ephemeral, so parse it back out).
@@ -34,6 +36,13 @@ while ! grep -q "listening on" "$DIR/server.log" 2>/dev/null; do
 done
 ADDR="$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$DIR/server.log" | head -1)"
 echo "sserver up at $ADDR (pid $SERVER_PID)"
+
+# Health probe: a fresh server answers "ok" with exit 0.
+OUT="$("$SSTOOL" ping --connect "$ADDR")"
+case "$OUT" in
+  ok) ;;
+  *) echo "FAIL: expected health 'ok' from a fresh server, got '$OUT'"; exit 1 ;;
+esac
 
 # Every store subcommand over the wire.
 "$SSTOOL" create --connect "$ADDR" --decay 'powerlaw(1,1,1,1)' --ops full --stream 7
@@ -84,8 +93,19 @@ case "$OUT" in
   *) echo "FAIL: expected remote landmark max 999"; exit 1 ;;
 esac
 
-# Clean shutdown: SIGTERM must drain and exit 0.
+# Clean shutdown: SIGTERM must drain and exit 0. During the --drain-grace-ms
+# window the server keeps serving but the health probe flips to "draining"
+# (exit 3), so load balancers pull it before the listener goes away.
 kill -TERM "$SERVER_PID"
+rc=0
+OUT="$("$SSTOOL" ping --connect "$ADDR")" || rc=$?
+case "$OUT" in
+  draining) ;;
+  *) echo "FAIL: expected health 'draining' inside the grace window, got '$OUT'"; exit 1 ;;
+esac
+if [ "$rc" -ne 3 ]; then
+  echo "FAIL: draining probe should exit 3, got $rc"; exit 1
+fi
 rc=0
 wait "$SERVER_PID" || rc=$?
 if [ "$rc" -ne 0 ]; then

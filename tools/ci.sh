@@ -43,11 +43,13 @@ cmake --build "${san_dir}" -j"$(nproc)" --target \
   wal_test sstable_test lsm_store_test group_commit_test crash_recovery_test \
   lsm_concurrency_test fault_fs_test fault_injection_test \
   corruption_test serde_fuzz_test frame_fuzz_test kernels_test spacesaving_test \
-  net_server_test tenant_test
+  net_server_test tenant_test net_fault_test
+# net_fault_test severs every frame boundary of its workload with FaultNet —
+# reconnect/replay buffer churn is exactly what ASan should watch.
 for t in metrics_test trace_test flight_recorder_test wal_test sstable_test \
          lsm_store_test group_commit_test crash_recovery_test lsm_concurrency_test \
          fault_fs_test corruption_test serde_fuzz_test frame_fuzz_test \
-         kernels_test spacesaving_test net_server_test tenant_test; do
+         kernels_test spacesaving_test net_server_test tenant_test net_fault_test; do
   echo "--- ${t} (asan+ubsan)"
   if [ "${t}" = crash_recovery_test ]; then
     # Simulates hard kills by deliberately leaking un-flushed stores; leak
@@ -99,12 +101,14 @@ cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSS_SANITIZE=thre
 cmake --build "${tsan_dir}" -j"$(nproc)" --target \
   thread_pool_test summary_store_test group_commit_test lsm_concurrency_test \
   concurrency_test corruption_test flight_recorder_test net_server_test \
-  ingest_ring_test
+  ingest_ring_test retry_client_test
 # ingest_ring_test races producer rings against the merge worker and a
 # concurrent reader — the acquire/release SPSC publication under TSan.
+# retry_client_test races concurrent retrying clients (including two raw
+# clients sharing one session) against the server's per-session dedup map.
 for t in thread_pool_test summary_store_test group_commit_test \
          lsm_concurrency_test concurrency_test corruption_test flight_recorder_test \
-         net_server_test ingest_ring_test; do
+         net_server_test ingest_ring_test retry_client_test; do
   echo "--- ${t} (tsan)"
   TSAN_OPTIONS=halt_on_error=1 "${tsan_dir}/tests/${t}"
 done

@@ -7,6 +7,8 @@
 //           [--ingest-bound EVENTS] [--backpressure block|shed]
 //           [--no-durable-acks] [--sync-wal] [--tenants FILE]
 //           [--scrub-interval MS] [--scrub-no-repair]
+//           [--max-conn-buffer-bytes N] [--slow-peer-timeout-ms MS]
+//           [--drain-grace-ms MS]
 //
 //   --port 0 (default) binds an ephemeral port; the chosen one is printed.
 //   --tenants FILE enables multi-tenant mode (DESIGN.md §14): clients must
@@ -20,12 +22,20 @@
 //     experiments; an acked append may be lost on a hard kill).
 //   --sync-wal makes every acknowledged write survive power loss, not just
 //     process death.
+//   --max-conn-buffer-bytes bounds each connection's queued-response memory;
+//     a peer that stays over the bound for --slow-peer-timeout-ms without
+//     reading is disconnected (slow-peer defense, DESIGN.md §15). 0 (the
+//     default) keeps the legacy unbounded behavior.
+//   --drain-grace-ms makes SIGTERM/SIGINT announce the shutdown first: kPing
+//     health probes answer "draining" for that long before the actual stop,
+//     so load balancers drain connections instead of seeing resets.
 //
 // Prints exactly one `listening on HOST:PORT` line to stdout once serving
 // (smoke tests and bench harnesses key off it), then runs until SIGINT or
 // SIGTERM, which trigger a graceful drain: stop accepting, finish in-flight
 // requests, flush + ack the ingest tail, close.
 #include <signal.h>
+#include <time.h>
 
 #include <cstdio>
 #include <string>
@@ -48,7 +58,9 @@ int Usage() {
                "usage: sserver --dir DIR [--host H] [--port P] [--workers N]\n"
                "               [--ingest-bound EVENTS] [--backpressure block|shed]\n"
                "               [--no-durable-acks] [--sync-wal] [--tenants FILE]\n"
-               "               [--scrub-interval MS] [--scrub-no-repair]\n");
+               "               [--scrub-interval MS] [--scrub-no-repair]\n"
+               "               [--max-conn-buffer-bytes N] [--slow-peer-timeout-ms MS]\n"
+               "               [--drain-grace-ms MS]\n");
   return 2;
 }
 
@@ -86,6 +98,8 @@ int Main(int argc, char** argv) {
   options.worker_threads = std::stoull(args->GetOr("workers", "0"));
   options.ingest_queue_events = std::stoull(args->GetOr("ingest-bound", "65536"));
   options.durable_acks = !args->Has("no-durable-acks");
+  options.max_conn_buffer_bytes = std::stoull(args->GetOr("max-conn-buffer-bytes", "0"));
+  options.slow_peer_timeout_ms = std::stoull(args->GetOr("slow-peer-timeout-ms", "5000"));
   const std::string policy = args->GetOr("backpressure", "block");
   if (policy == "shed") {
     options.backpressure = net::ServerOptions::Backpressure::kShed;
@@ -116,6 +130,16 @@ int Main(int argc, char** argv) {
   while (sigwait(&sigs, &sig) != 0) {
   }
   std::fprintf(stderr, "sserver: received %s, draining\n", sig == SIGINT ? "SIGINT" : "SIGTERM");
+  const uint64_t drain_grace_ms = std::stoull(args->GetOr("drain-grace-ms", "0"));
+  if (drain_grace_ms > 0) {
+    // Announce first, stop later: health probes answer "draining" during the
+    // grace window so clients and load balancers fail over cleanly.
+    (*server)->BeginDrain();
+    struct timespec grace;
+    grace.tv_sec = static_cast<time_t>(drain_grace_ms / 1000);
+    grace.tv_nsec = static_cast<long>((drain_grace_ms % 1000) * 1'000'000);
+    nanosleep(&grace, nullptr);
+  }
   (*server)->Stop();
   server->reset();
   if (Status s = (*store)->Flush(); !s.ok()) {

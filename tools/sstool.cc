@@ -24,7 +24,20 @@
 //   sstool stats   --diff A.json B.json            (offline; no --dir needed)
 //   sstool scrub   --dir D [--dry-run]
 //   sstool delete  --dir D --stream N
+//   sstool ping    --connect HOST:PORT            (health probe; remote only)
 //   sstool flight  <bundle.bin|dir> [--since US] [--metrics]
+//
+// Remote-mode resilience flags (next to --connect, any subcommand):
+//   --timeout-ms MS   bound the connect handshake and each RPC's socket I/O
+//   --deadline-ms MS  stamp a wire deadline; the server answers
+//                     DEADLINE_EXCEEDED instead of executing a request whose
+//                     budget expired while queued
+//   --retries N       reconnect/resend attempts after a transport failure
+//                     (appends stay exactly-once via session replay dedup)
+//
+// `ping` prints the server's health — ok, poisoned (backend rejecting writes)
+// or draining (shutdown imminent) — and exits 0 only for ok, so scripts and
+// load-balancer checks can branch on it.
 //
 // `query --explain` additionally prints the per-query trace: windows scanned,
 // bytes read, window/block cache hits and misses, per-phase latency, and the
@@ -47,6 +60,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "src/net/retry_client.h"
 #include "src/obs/flight_recorder.h"
 #include "src/storage/file_util.h"
 #include "tools/cli.h"
@@ -63,7 +77,9 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: sstool <create|ingest|query|landmark|info|stats|scrub|delete> "
-               "(--dir DIR | --connect HOST:PORT [--tenant ID --token TOKEN]) [flags]\n"
+               "(--dir DIR | --connect HOST:PORT [--tenant ID --token TOKEN]\n"
+               "        [--timeout-ms MS] [--deadline-ms MS] [--retries N]) [flags]\n"
+               "       sstool ping --connect HOST:PORT\n"
                "       sstool stats --diff A.json B.json\n"
                "       sstool flight <bundle.bin|dir> [--since US] [--metrics]\n"
                "run with a command and no flags for per-command help in the header comment\n");
@@ -428,6 +444,40 @@ int CmdFlight(const ParsedArgs& args) {
   return 0;
 }
 
+int CmdPing(const ParsedArgs& args) {
+  if (!args.Has("connect")) {
+    return Fail(Status::InvalidArgument("ping requires --connect host:port"));
+  }
+  const std::string& target = args.flags.at("connect");
+  size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= target.size()) {
+    return Fail(Status::InvalidArgument("--connect expects host:port, got " + target));
+  }
+  unsigned long port = std::stoul(target.substr(colon + 1));
+  if (port == 0 || port > 65535) {
+    return Fail(Status::InvalidArgument("--connect port out of range: " + target));
+  }
+  net::ClientOptions options;
+  options.connect_timeout_ms = std::stoull(args.GetOr("timeout-ms", "0"));
+  options.rpc_timeout_ms = options.connect_timeout_ms;
+  options.max_retries = static_cast<uint32_t>(std::stoul(args.GetOr("retries", "3")));
+  auto client = net::RetryingClient::Connect(target.substr(0, colon),
+                                             static_cast<uint16_t>(port), options);
+  if (!client.ok()) {
+    return Fail(client.status());
+  }
+  auto health = (*client)->Health();
+  if (!health.ok()) {
+    return Fail(health.status());
+  }
+  const char* text = *health == net::ServerHealth::kOk         ? "ok"
+                     : *health == net::ServerHealth::kPoisoned ? "poisoned"
+                                                               : "draining";
+  std::printf("%s\n", text);
+  // Non-ok health exits non-zero so health checks can branch without parsing.
+  return *health == net::ServerHealth::kOk ? 0 : 3;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -462,6 +512,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "delete") {
     return CmdDelete(*args);
+  }
+  if (command == "ping") {
+    return CmdPing(*args);
   }
   if (command == "flight") {
     return CmdFlight(*args);

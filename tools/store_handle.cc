@@ -110,7 +110,8 @@ class LocalStoreHandle : public StoreHandle {
 
 class RemoteStoreHandle : public StoreHandle {
  public:
-  explicit RemoteStoreHandle(std::unique_ptr<net::Client> client) : client_(std::move(client)) {}
+  explicit RemoteStoreHandle(std::unique_ptr<net::RetryingClient> client)
+      : client_(std::move(client)) {}
 
   StatusOr<StreamId> CreateStream(StreamId id, StreamConfig config) override {
     return client_->CreateStream(id, config);
@@ -143,7 +144,7 @@ class RemoteStoreHandle : public StoreHandle {
   }
 
  private:
-  std::unique_ptr<net::Client> client_;
+  std::unique_ptr<net::RetryingClient> client_;
 };
 
 }  // namespace
@@ -159,9 +160,21 @@ StatusOr<std::unique_ptr<StoreHandle>> StoreHandle::Open(const ParsedArgs& args)
     if (port == 0 || port > 65535) {
       return Status::InvalidArgument("--connect port out of range: " + target);
     }
-    SS_ASSIGN_OR_RETURN(std::unique_ptr<net::Client> client,
-                        net::Client::Connect(target.substr(0, colon),
-                                             static_cast<uint16_t>(port)));
+    // Remote commands run through the retrying client: --timeout-ms bounds
+    // both the connect and each RPC's socket I/O, --deadline-ms stamps a wire
+    // deadline the server enforces against queue time, and --retries bounds
+    // the reconnect/resend loop (appends stay exactly-once via the session
+    // replay-dedup contract). Defaults keep the legacy block-forever
+    // behavior with a few retries for flaky links.
+    net::ClientOptions client_options;
+    client_options.connect_timeout_ms = std::stoull(args.GetOr("timeout-ms", "0"));
+    client_options.rpc_timeout_ms = client_options.connect_timeout_ms;
+    client_options.deadline_ms = std::stoull(args.GetOr("deadline-ms", "0"));
+    client_options.max_retries = static_cast<uint32_t>(std::stoul(args.GetOr("retries", "3")));
+    SS_ASSIGN_OR_RETURN(std::unique_ptr<net::RetryingClient> client,
+                        net::RetryingClient::Connect(target.substr(0, colon),
+                                                     static_cast<uint16_t>(port),
+                                                     client_options));
     if (args.Has("tenant") || args.Has("token")) {
       // Multi-tenant server: authenticate before anything else. A legacy
       // server accepts and ignores the hello, so the flags are always safe.

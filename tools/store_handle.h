@@ -14,6 +14,7 @@
 
 #include "src/core/summary_store.h"
 #include "src/net/client.h"
+#include "src/net/retry_client.h"
 #include "tools/cli.h"
 
 namespace ss {
